@@ -1,0 +1,89 @@
+// Command sentinel-datagen generates the evaluation corpus: per
+// device-type setup captures as libpcap files (as the paper's tcpdump
+// rig produced) plus the extracted fingerprints as JSON reports.
+//
+//	sentinel-datagen -out ./dataset -runs 20 -seed 1
+//
+// produces dataset/<Type>/run00.pcap … run19.pcap and
+// dataset/fingerprints.json.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/devices"
+	"repro/internal/fingerprint"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "sentinel-datagen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("sentinel-datagen", flag.ContinueOnError)
+	var (
+		out  = fs.String("out", "dataset", "output directory")
+		runs = fs.Int("runs", 20, "setup captures per device-type")
+		seed = fs.Int64("seed", 1, "generation seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	env := devices.DefaultEnv()
+	reports := make(map[string][]fingerprint.Report)
+	total := 0
+	for _, name := range devices.Names() {
+		dir := filepath.Join(*out, name)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return fmt.Errorf("creating %s: %w", dir, err)
+		}
+		traces, err := devices.GenerateRuns(name, env, *seed, *runs)
+		if err != nil {
+			return err
+		}
+		for i, tr := range traces {
+			path := filepath.Join(dir, fmt.Sprintf("run%02d.pcap", i))
+			f, err := os.Create(path)
+			if err != nil {
+				return fmt.Errorf("creating %s: %w", path, err)
+			}
+			if err := tr.WritePCAP(f); err != nil {
+				f.Close()
+				return fmt.Errorf("writing %s: %w", path, err)
+			}
+			if err := f.Close(); err != nil {
+				return fmt.Errorf("closing %s: %w", path, err)
+			}
+			report, err := fingerprint.MarshalReportStruct(tr.MAC.String(), tr.Fingerprint())
+			if err != nil {
+				return err
+			}
+			reports[name] = append(reports[name], report)
+			total++
+		}
+	}
+
+	fpPath := filepath.Join(*out, "fingerprints.json")
+	f, err := os.Create(fpPath)
+	if err != nil {
+		return fmt.Errorf("creating %s: %w", fpPath, err)
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(reports); err != nil {
+		return fmt.Errorf("encoding fingerprints: %w", err)
+	}
+
+	fmt.Printf("wrote %d captures for %d device-types under %s (plus fingerprints.json)\n",
+		total, devices.Count(), *out)
+	return nil
+}

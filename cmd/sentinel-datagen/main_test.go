@@ -1,0 +1,59 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/sniff"
+)
+
+func TestDatagenWritesCorpus(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-out", dir, "-runs", "2", "-seed", "3"}); err != nil {
+		t.Fatal(err)
+	}
+
+	// 27 type directories with 2 pcaps each, plus fingerprints.json.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirs := 0
+	sawJSON := false
+	for _, e := range entries {
+		if e.IsDir() {
+			dirs++
+			continue
+		}
+		if e.Name() == "fingerprints.json" {
+			sawJSON = true
+		}
+	}
+	if dirs != 27 {
+		t.Errorf("got %d type directories, want 27", dirs)
+	}
+	if !sawJSON {
+		t.Error("fingerprints.json missing")
+	}
+
+	// A written pcap parses back into exactly one device capture.
+	f, err := os.Open(filepath.Join(dir, "HueBridge", "run01.pcap"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	captures, err := sniff.ReadPcap(f, sniff.GatewayConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(captures) != 1 {
+		t.Errorf("pcap contains %d captures, want 1", len(captures))
+	}
+}
+
+func TestDatagenBadFlags(t *testing.T) {
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Error("bogus flag accepted")
+	}
+}

@@ -1,0 +1,76 @@
+// Command sentinel-enforce regenerates the enforcement-plane experiments
+// of the paper's evaluation (§VI-C): Table V (user-experienced latency
+// with and without filtering), Table VI (filtering overhead), Fig. 6a
+// (latency vs concurrent flows), Fig. 6b (CPU utilization) and Fig. 6c
+// (memory vs enforcement rules).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "sentinel-enforce:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("sentinel-enforce", flag.ContinueOnError)
+	var (
+		experiment = fs.String("experiment", "all", "table5|table6|fig6a|fig6b|fig6c|all")
+		iterations = fs.Int("iterations", 15, "pings per measured pair")
+		seed       = fs.Int64("seed", 1, "jitter seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := experiments.EnforceConfig{Iterations: *iterations, Seed: *seed}
+
+	switch *experiment {
+	case "table5", "table6", "fig6a", "fig6b", "fig6c", "all":
+	default:
+		return fmt.Errorf("unknown experiment %q", *experiment)
+	}
+
+	if *experiment == "table5" || *experiment == "all" {
+		res, err := experiments.RunTable5(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.RenderTable5())
+		fmt.Println()
+	}
+	if *experiment == "table6" || *experiment == "all" {
+		res, err := experiments.RunTable6(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.RenderTable6())
+		fmt.Println()
+	}
+	if *experiment == "fig6a" || *experiment == "fig6b" || *experiment == "all" {
+		res, err := experiments.RunFig6ab(cfg, nil)
+		if err != nil {
+			return err
+		}
+		if *experiment != "fig6b" {
+			fmt.Print(res.RenderFig6a())
+			fmt.Println()
+		}
+		if *experiment != "fig6a" {
+			fmt.Print(res.RenderFig6b())
+			fmt.Println()
+		}
+	}
+	if *experiment == "fig6c" || *experiment == "all" {
+		res := experiments.RunFig6c(nil)
+		fmt.Print(res.RenderFig6c())
+	}
+	return nil
+}

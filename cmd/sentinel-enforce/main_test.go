@@ -1,0 +1,15 @@
+package main
+
+import "testing"
+
+func TestEnforceUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-experiment", "fig7"}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestEnforceQuickTable5(t *testing.T) {
+	if err := run([]string{"-experiment", "table5", "-iterations", "5"}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,108 @@
+// Command sentinel-eval regenerates the identification experiments of
+// the paper's evaluation (§VI-B): Fig. 5 (per-type accuracy), Table III
+// (confusion matrix of the ten low-accuracy types), Table IV (timing
+// breakdown) and the design-choice ablations.
+//
+// Usage:
+//
+//	sentinel-eval -experiment fig5            # default paper protocol
+//	sentinel-eval -experiment all -repeats 2  # faster smoke run
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "sentinel-eval:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("sentinel-eval", flag.ContinueOnError)
+	var (
+		experiment = fs.String("experiment", "all", "fig5|table3|table4|ablations|all")
+		runs       = fs.Int("runs", 20, "setup captures per device-type")
+		folds      = fs.Int("folds", 10, "cross-validation folds")
+		repeats    = fs.Int("repeats", 10, "cross-validation repetitions")
+		trees      = fs.Int("trees", 100, "random-forest size")
+		seed       = fs.Int64("seed", 1, "experiment seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := experiments.IdentConfig{
+		Runs: *runs, Folds: *folds, Repeats: *repeats, Trees: *trees, Seed: *seed,
+	}
+
+	wantCV := false
+	for _, e := range []string{"fig5", "table3", "all"} {
+		if *experiment == e {
+			wantCV = true
+		}
+	}
+
+	if wantCV {
+		fmt.Printf("running %d-fold CV × %d on %d×%d fingerprints (trees=%d, seed=%d)…\n",
+			cfg.Folds, cfg.Repeats, 27, cfg.Runs, cfg.Trees, cfg.Seed)
+		res, err := experiments.RunIdentification(cfg)
+		if err != nil {
+			return err
+		}
+		if *experiment == "fig5" || *experiment == "all" {
+			fmt.Println()
+			fmt.Print(res.RenderFig5())
+		}
+		if *experiment == "table3" || *experiment == "all" {
+			fmt.Println()
+			fmt.Print(res.RenderTable3())
+		}
+		fmt.Printf("\nmulti-match fraction: %.2f (paper: 0.55); mean edit-distance computations per identification: %.1f (paper: 7)\n",
+			res.MultiMatchFraction, res.DiscriminationsPerTest)
+	}
+
+	if *experiment == "table4" || *experiment == "all" {
+		fmt.Println()
+		res, err := experiments.RunTable4(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.RenderTable4())
+	}
+
+	if *experiment == "ablations" || *experiment == "all" {
+		abCfg := cfg
+		if abCfg.Repeats > 2 {
+			abCfg.Repeats = 2 // ablations sweep many configs; cap the cost
+		}
+		for _, f := range []func() (*experiments.AblationResult, error){
+			func() (*experiments.AblationResult, error) { return experiments.RunAblationFPrimeLength(abCfg, nil) },
+			func() (*experiments.AblationResult, error) { return experiments.RunAblationNegativeRatio(abCfg, nil) },
+			func() (*experiments.AblationResult, error) { return experiments.RunAblationForestSize(abCfg, nil) },
+			func() (*experiments.AblationResult, error) { return experiments.RunAblationEditDistanceOnly(abCfg) },
+		} {
+			res, err := f()
+			if err != nil {
+				return err
+			}
+			fmt.Println()
+			fmt.Print(res.Render())
+		}
+	}
+
+	switch *experiment {
+	case "fig5", "table3", "table4", "ablations", "all":
+		return nil
+	default:
+		return fmt.Errorf("unknown experiment %q (want %s)", *experiment,
+			strings.Join([]string{"fig5", "table3", "table4", "ablations", "all"}, "|"))
+	}
+}

@@ -1,0 +1,25 @@
+package main
+
+import "testing"
+
+func TestEvalUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-experiment", "fig99"}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestEvalBadFlag(t *testing.T) {
+	if err := run([]string{"-definitely-not-a-flag"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}
+
+func TestEvalQuickFig5(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CV run in -short mode")
+	}
+	err := run([]string{"-experiment", "fig5", "-runs", "6", "-folds", "3", "-repeats", "1", "-trees", "15"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,132 @@
+// Command sentinel-pcap inspects a libpcap capture, extracts the IoT
+// Sentinel fingerprint of each device it contains, and identifies the
+// device-types against a classifier bank trained on the synthetic
+// corpus — the offline equivalent of what the Security Gateway does
+// online.
+//
+//	sentinel-pcap -pcap dataset/HueBridge/run00.pcap
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/devices"
+	"repro/internal/ml"
+	"repro/internal/packet"
+	"repro/internal/sniff"
+	"repro/internal/vulndb"
+)
+
+// appDetail decodes the application layer of a packet for the verbose
+// listing, best-effort.
+func appDetail(p *packet.Packet) string {
+	if len(p.Payload) == 0 {
+		return ""
+	}
+	http, https, dhcp, bootp, ssdp, dns, mdns, _ := p.AppProtocols()
+	switch {
+	case dhcp || bootp:
+		if info, err := packet.ParseDHCP(p.Payload); err == nil {
+			host := ""
+			if info.Hostname != "" {
+				host = " hostname=" + info.Hostname
+			}
+			return fmt.Sprintf("  [dhcp op=%d type=%d%s]", info.Op, info.MessageType, host)
+		}
+	case dns || mdns:
+		if info, err := packet.ParseDNS(p.Payload); err == nil && len(info.Questions) > 0 {
+			return fmt.Sprintf("  [dns q=%s type=%d]", info.Questions[0].Name, info.Questions[0].Type)
+		}
+	case ssdp:
+		if info, err := packet.ParseSSDP(p.Payload); err == nil {
+			return fmt.Sprintf("  [ssdp %s st=%s nt=%s]", info.Method, info.Headers["ST"], info.Headers["NT"])
+		}
+	case http:
+		if info, err := packet.ParseHTTPRequest(p.Payload); err == nil {
+			return fmt.Sprintf("  [http %s %s host=%s]", info.Method, info.Path, info.Host)
+		}
+	case https:
+		if sni, err := packet.ParseTLSServerName(p.Payload); err == nil && sni != "" {
+			return fmt.Sprintf("  [tls sni=%s]", sni)
+		}
+	}
+	return ""
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "sentinel-pcap:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("sentinel-pcap", flag.ContinueOnError)
+	var (
+		pcapPath = fs.String("pcap", "", "capture file to identify (required)")
+		runs     = fs.Int("runs", 20, "training captures per device-type")
+		trees    = fs.Int("trees", 100, "random-forest size")
+		seed     = fs.Int64("seed", 99, "training corpus seed (must differ from the capture's)")
+		verbose  = fs.Bool("v", false, "print per-packet summaries")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *pcapPath == "" {
+		return fmt.Errorf("missing -pcap argument")
+	}
+
+	f, err := os.Open(*pcapPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	captures, err := sniff.ReadPcap(f, sniff.GatewayConfig())
+	if err != nil {
+		return err
+	}
+	if len(captures) == 0 {
+		return fmt.Errorf("%s contains no device setup captures", *pcapPath)
+	}
+
+	fmt.Printf("training %d classifiers on %d runs/type (trees=%d)…\n", devices.Count(), *runs, *trees)
+	ds, err := devices.GenerateDataset(devices.DefaultEnv(), *seed, *runs)
+	if err != nil {
+		return err
+	}
+	bank, err := core.Train(core.Config{
+		Forest: ml.ForestConfig{Trees: *trees},
+		Seed:   *seed,
+	}, ds)
+	if err != nil {
+		return err
+	}
+	db := vulndb.Seeded()
+
+	for _, c := range captures {
+		fp := c.Fingerprint()
+		if *verbose {
+			for i, pkt := range c.Packets {
+				fmt.Printf("  %3d %s %s%s\n", i, pkt.Timestamp.Format("15:04:05.000"),
+					pkt.Summary(), appDetail(pkt))
+			}
+		}
+		res := bank.Identify(fp)
+		fmt.Printf("\ndevice %s: %d packets, fingerprint %s\n", c.MAC, len(c.Packets), fp)
+		if !res.Known {
+			fmt.Println("  verdict: UNKNOWN device-type -> isolation level strict")
+			continue
+		}
+		assessment := db.Assess(res.Type)
+		fmt.Printf("  identified as %s (stage: %s, candidates: %v)\n", res.Type, res.Stage, res.Accepted)
+		fmt.Printf("  vulnerability assessment: %d advisories -> isolation level %s\n",
+			len(assessment.Vulns), assessment.Level())
+		for _, v := range assessment.Vulns {
+			fmt.Printf("    %s (CVSS %.1f, %d): %s\n", v.ID, v.CVSS, v.Year, v.Summary)
+		}
+	}
+	return nil
+}

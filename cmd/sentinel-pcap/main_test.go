@@ -1,0 +1,52 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/devices"
+)
+
+func TestPcapIdentifiesCapture(t *testing.T) {
+	dir := t.TempDir()
+	p, err := devices.Lookup("HomeMaticPlug")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := p.Generate(devices.DefaultEnv(), 77, 0)
+	path := filepath.Join(dir, "capture.pcap")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.WritePCAP(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Small training corpus keeps the test quick; the capture's seed (77)
+	// differs from the training seed so the run is genuinely unseen.
+	if err := run([]string{"-pcap", path, "-runs", "6", "-trees", "20", "-seed", "5"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPcapRequiresArgument(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("missing -pcap accepted")
+	}
+}
+
+func TestPcapRejectsGarbageFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "garbage.pcap")
+	if err := os.WriteFile(path, []byte("not a pcap"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-pcap", path}); err == nil {
+		t.Error("garbage pcap accepted")
+	}
+}

@@ -1,0 +1,18 @@
+// Package repro is a from-scratch Go reproduction of "IoT SENTINEL:
+// Automated Device-Type Identification for Security Enforcement in IoT"
+// (Miettinen, Marchal, Hafeez, Asokan, Sadeghi, Tarkoma — ICDCS 2017).
+//
+// The library lives under internal/: the packet codecs, pcap I/O, the 23
+// Table-I features, fingerprints F and F′, a from-scratch Random Forest,
+// Damerau-Levenshtein discrimination, the two-stage identification
+// pipeline (internal/core), the 27 Table-II device-behaviour profiles, a
+// discrete-event network simulator, an OVS-style flow table, the
+// enforcement layer, a CVE-style vulnerability repository, the IoT
+// Security Service and the Security Gateway. The experiments package
+// regenerates every table and figure of the paper's evaluation; the
+// benchmarks in bench_test.go expose each of them to `go test -bench`.
+//
+// See README.md for a walkthrough, DESIGN.md for the system inventory
+// and experiment index, and EXPERIMENTS.md for paper-versus-measured
+// results.
+package repro

@@ -1,0 +1,110 @@
+// Newdevice: what happens when a device-type the IoT Security Service
+// has never seen joins the network — every classifier rejects its
+// fingerprint, the device is reported as a new type, and the gateway
+// confines it with strict isolation (no Internet, untrusted overlay
+// only). Enrolling the new type later requires training one classifier,
+// leaving the existing bank untouched (§IV-B1).
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/devices"
+	"repro/internal/fingerprint"
+	"repro/internal/gateway"
+	"repro/internal/iotssp"
+	"repro/internal/ml"
+	"repro/internal/netsim"
+	"repro/internal/packet"
+	"repro/internal/vulndb"
+)
+
+func main() {
+	log.SetFlags(0)
+	env := devices.DefaultEnv()
+
+	// Train the service on 26 of the 27 types, withholding HomeMaticPlug:
+	// from the service's point of view, that type does not exist yet.
+	// (A type with close same-vendor siblings — say one WeMo of three —
+	// would instead be absorbed by its siblings' classifiers, which is
+	// the confusion-group behaviour of Table III, not an error.)
+	const newcomer = "HomeMaticPlug"
+	fmt.Printf("training the IoTSSP on 26 device-types (withholding %s)…\n", newcomer)
+	full, err := devices.GenerateDataset(env, 1, 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	train := make(map[string][]*fingerprint.Fingerprint, 26)
+	for name, prints := range full {
+		if name != newcomer {
+			train[name] = prints
+		}
+	}
+	bank, err := core.Train(core.Config{Forest: ml.ForestConfig{Trees: 50}, Seed: 7}, train)
+	if err != nil {
+		log.Fatal(err)
+	}
+	svc := iotssp.NewService(bank, vulndb.Seeded(), nil)
+
+	// Gateway + medium.
+	gw := gateway.New(gateway.Config{
+		MAC:       packet.MustParseMAC("02:53:47:57:00:01"),
+		IP:        packet.MustParseIP4("192.168.1.1"),
+		LocalNet:  packet.MustParseIP4("192.168.1.0"),
+		Filtering: true,
+	}, gateway.LocalService{Svc: svc})
+	n := netsim.New(5, time.Date(2016, 3, 1, 10, 0, 0, 0, time.UTC))
+	n.SetBridge(gw.Bridge())
+
+	// The unknown device joins.
+	profile, err := devices.Lookup(newcomer)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dev, err := n.AddHost(newcomer, profile.MAC, profile.IP, netsim.WiFiLink(6*time.Millisecond, 0.1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	trace := profile.Generate(env, 999, 0)
+	for _, pkt := range trace.Packets {
+		pkt := pkt
+		n.Schedule(pkt.Timestamp, func() { dev.Send(pkt) })
+	}
+	fmt.Printf("%s joins and performs its setup (%d packets)…\n", newcomer, len(trace.Packets))
+	n.RunAll()
+	gw.Tick(n.Now().Add(time.Minute))
+
+	ev := gw.Events[0]
+	fmt.Printf("\n[gateway] verdict for %s: known=%v level=%s\n", ev.MAC, ev.Known, ev.Level)
+	if ev.Known {
+		fmt.Println("unexpected: the withheld type was identified — classifier bank too permissive")
+	} else {
+		fmt.Println("as designed: rejected by all 26 classifiers -> new device-type -> strict isolation")
+	}
+
+	// The strictly isolated device cannot reach the Internet…
+	remote, err := n.AddHost("remote", packet.MustParseMAC("02:0b:00:00:00:01"),
+		packet.MustParseIP4("52.1.2.3"), netsim.WANLink(5*time.Millisecond, 0.1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	gw.Ignore(remote.MAC)
+	p := netsim.NewPinger(dev, remote, 3)
+	p.Run(3, 50*time.Millisecond, 32)
+	n.RunAll()
+	fmt.Printf("\n%s -> Internet: %d/3 pings answered (strict isolation blocks them)\n", newcomer, len(p.Results))
+
+	// …until the operator enrolls the new type: one classifier is
+	// trained; the other 26 are untouched.
+	fmt.Printf("\n[iotssp] enrolling %s with %d fingerprints (no relearning of the existing bank)…\n",
+		newcomer, len(full[newcomer]))
+	if err := bank.Enroll(newcomer, full[newcomer]); err != nil {
+		log.Fatal(err)
+	}
+	res := bank.Identify(trace.Fingerprint())
+	fmt.Printf("[iotssp] re-identification after enrolment: known=%v type=%s (stage %s)\n",
+		res.Known, res.Type, res.Stage)
+}

@@ -1,0 +1,356 @@
+package devices
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/packet"
+	"repro/internal/pcap"
+)
+
+func TestCatalogMatchesTableII(t *testing.T) {
+	if Count() != 27 {
+		t.Fatalf("catalog has %d device-types, want 27 (Table II)", Count())
+	}
+	names := Names()
+	if len(names) != 27 {
+		t.Fatalf("Names() returned %d entries", len(names))
+	}
+	// Fig. 5 order spot checks.
+	if names[0] != "Aria" {
+		t.Errorf("first type = %s, want Aria", names[0])
+	}
+	if names[26] != "iKettle2" {
+		t.Errorf("last type = %s, want iKettle2", names[26])
+	}
+
+	seenMAC := make(map[packet.MAC]string)
+	seenIP := make(map[packet.IP4]string)
+	for _, name := range names {
+		p, err := Lookup(name)
+		if err != nil {
+			t.Fatalf("Lookup(%s): %v", name, err)
+		}
+		if p.Model == "" {
+			t.Errorf("%s: empty model", name)
+		}
+		if !p.Conn.WiFi && !p.Conn.ZigBee && !p.Conn.Ethernet && !p.Conn.ZWave && !p.Conn.Other {
+			t.Errorf("%s: no connectivity flags", name)
+		}
+		if prev, dup := seenMAC[p.MAC]; dup {
+			t.Errorf("%s and %s share MAC %s", name, prev, p.MAC)
+		}
+		seenMAC[p.MAC] = name
+		if prev, dup := seenIP[p.IP]; dup {
+			t.Errorf("%s and %s share IP %s", name, prev, p.IP)
+		}
+		seenIP[p.IP] = name
+	}
+}
+
+func TestLookupUnknown(t *testing.T) {
+	if _, err := Lookup("NestThermostat"); err == nil {
+		t.Error("Lookup of unknown type succeeded")
+	}
+}
+
+func TestSortedNames(t *testing.T) {
+	ns := SortedNames()
+	for i := 1; i < len(ns); i++ {
+		if ns[i-1] >= ns[i] {
+			t.Fatalf("SortedNames not sorted at %d: %s >= %s", i, ns[i-1], ns[i])
+		}
+	}
+}
+
+func TestConfusionGroups(t *testing.T) {
+	groups := ConfusionGroups()
+	if len(groups) != 4 {
+		t.Fatalf("got %d confusion groups, want 4 (Table III)", len(groups))
+	}
+	total := 0
+	for _, g := range groups {
+		total += len(g)
+		for _, name := range g {
+			if _, err := Lookup(name); err != nil {
+				t.Errorf("group member %s not in catalog", name)
+			}
+			if got := GroupOf(name); len(got) != len(g) {
+				t.Errorf("GroupOf(%s) = %v, want %v", name, got, g)
+			}
+		}
+	}
+	if total != 10 {
+		t.Errorf("confusion groups cover %d types, want 10", total)
+	}
+	if GroupOf("HueBridge") != nil {
+		t.Error("HueBridge reported in a confusion group")
+	}
+}
+
+func TestGenerateDeterminism(t *testing.T) {
+	env := DefaultEnv()
+	p, err := Lookup("HueBridge")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1 := p.Generate(env, 42, 3)
+	t2 := p.Generate(env, 42, 3)
+	if len(t1.Packets) != len(t2.Packets) {
+		t.Fatalf("same seed produced %d vs %d packets", len(t1.Packets), len(t2.Packets))
+	}
+	for i := range t1.Packets {
+		w1, err1 := t1.Packets[i].Serialize()
+		w2, err2 := t2.Packets[i].Serialize()
+		if err1 != nil || err2 != nil {
+			t.Fatalf("serialize: %v %v", err1, err2)
+		}
+		if !bytes.Equal(w1, w2) {
+			t.Fatalf("packet %d differs between identical-seed runs", i)
+		}
+		if !t1.Packets[i].Timestamp.Equal(t2.Packets[i].Timestamp) {
+			t.Fatalf("packet %d timestamp differs between identical-seed runs", i)
+		}
+	}
+}
+
+func TestGenerateRunsVary(t *testing.T) {
+	env := DefaultEnv()
+	traces, err := GenerateRuns("WeMoSwitch", env, 1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At least two runs must differ (retransmissions, optional phases).
+	base := traces[0].Fingerprint()
+	varied := false
+	for _, tr := range traces[1:] {
+		if !tr.Fingerprint().Equal(base) {
+			varied = true
+			break
+		}
+	}
+	if !varied {
+		t.Error("10 runs produced identical fingerprints; no stochastic variation")
+	}
+}
+
+func TestAllTracesWellFormed(t *testing.T) {
+	env := DefaultEnv()
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			p, err := Lookup(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tr := p.Generate(env, 7, 0)
+			if len(tr.Packets) < 6 {
+				t.Fatalf("only %d packets", len(tr.Packets))
+			}
+			f := tr.Fingerprint()
+			if f.Len() < 5 {
+				t.Errorf("fingerprint too short: %v", f)
+			}
+			if f.UniqueCount() < 5 {
+				t.Errorf("too few unique vectors: %v", f)
+			}
+
+			// Every packet must serialize and come from the device MAC.
+			last := time.Time{}
+			for i, pk := range tr.Packets {
+				if _, err := pk.Serialize(); err != nil {
+					t.Fatalf("packet %d: %v", i, err)
+				}
+				if pk.Eth.Src != p.MAC {
+					t.Fatalf("packet %d sent from %s, want %s", i, pk.Eth.Src, p.MAC)
+				}
+				if pk.Timestamp.Before(last) {
+					t.Fatalf("packet %d timestamp goes backwards", i)
+				}
+				// Gaps must stay under the gateway's idle threshold so
+				// setup-end detection does not truncate the capture.
+				if i > 0 {
+					if gap := pk.Timestamp.Sub(last); gap >= 9*time.Second {
+						t.Fatalf("packet %d follows a %v gap", i, gap)
+					}
+				}
+				last = pk.Timestamp
+			}
+		})
+	}
+}
+
+func TestTraceDurationRealistic(t *testing.T) {
+	env := DefaultEnv()
+	for _, name := range []string{"HueBridge", "Aria", "SmarterCoffee"} {
+		p, err := Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := 0 * time.Second
+		tr := p.Generate(env, 3, 0)
+		d = tr.Duration()
+		if d < 2*time.Second || d > 3*time.Minute {
+			t.Errorf("%s setup duration = %v, want between 2s and 3m", name, d)
+		}
+	}
+}
+
+func TestWritePCAPRoundTrip(t *testing.T) {
+	env := DefaultEnv()
+	p, err := Lookup("D-LinkCam")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := p.Generate(env, 5, 1)
+	var buf bytes.Buffer
+	if err := tr.WritePCAP(&buf); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := pcap.ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != len(tr.Packets) {
+		t.Fatalf("pcap has %d records, want %d", len(recs), len(tr.Packets))
+	}
+	// Decoding the pcap must reproduce the identical fingerprint.
+	pkts := make([]*packet.Packet, len(recs))
+	for i, rec := range recs {
+		pk, err := packet.Decode(rec.Data, rec.Timestamp)
+		if err != nil {
+			t.Fatalf("decoding record %d: %v", i, err)
+		}
+		pkts[i] = pk
+	}
+	rt := Trace{Type: tr.Type, Packets: pkts}
+	if !rt.Fingerprint().Equal(tr.Fingerprint()) {
+		t.Error("fingerprint changed across pcap round-trip")
+	}
+}
+
+func TestGenerateDataset(t *testing.T) {
+	env := DefaultEnv()
+	ds, err := GenerateDataset(env, 11, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Total() != 27*4 {
+		t.Fatalf("dataset total = %d, want %d", ds.Total(), 27*4)
+	}
+	for name, prints := range ds {
+		if len(prints) != 4 {
+			t.Errorf("%s has %d fingerprints, want 4", name, len(prints))
+		}
+	}
+}
+
+func TestConfusablePairsShareBehaviour(t *testing.T) {
+	// Twin types share a script, so the distinct-vector vocabulary of one
+	// should be (nearly) contained in many runs of its twin.
+	env := DefaultEnv()
+	a, err := GenerateRuns("TP-LinkPlugHS110", env, 1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateRuns("TP-LinkPlugHS100", env, 1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vocab := make(map[string]bool)
+	for _, tr := range b {
+		f := tr.Fingerprint()
+		for i := 0; i < f.Len(); i++ {
+			vocab[f.At(i).String()] = true
+		}
+	}
+	missing := 0
+	total := 0
+	for _, tr := range a {
+		f := tr.Fingerprint()
+		for i := 0; i < f.Len(); i++ {
+			total++
+			if !vocab[f.At(i).String()] {
+				missing++
+			}
+		}
+	}
+	if frac := float64(missing) / float64(total); frac > 0.05 {
+		t.Errorf("%.1f%% of HS110 vectors unseen in HS100 runs; twins should overlap", 100*frac)
+	}
+}
+
+func TestDistinctTypesDiffer(t *testing.T) {
+	// Types outside confusion groups must produce clearly different
+	// fixed fingerprints from each other.
+	env := DefaultEnv()
+	names := []string{"Aria", "HueBridge", "SmarterCoffee", "MAXGateway", "Withings"}
+	prints := make(map[string][]float64)
+	for _, n := range names {
+		p, err := Lookup(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prints[n] = p.Generate(env, 1, 0).Fingerprint().Fixed()
+	}
+	for i, a := range names {
+		for _, b := range names[i+1:] {
+			diff := 0
+			for k := range prints[a] {
+				if prints[a][k] != prints[b][k] {
+					diff++
+				}
+			}
+			if diff < 10 {
+				t.Errorf("%s and %s differ in only %d / 276 features", a, b, diff)
+			}
+		}
+	}
+}
+
+func TestGenerateStandby(t *testing.T) {
+	env := DefaultEnv()
+	p, err := Lookup("Aria")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := p.GenerateStandby(env, 1, 0, 10)
+	if len(tr.Packets) < 10 {
+		t.Fatalf("standby trace has %d packets, want >= 10", len(tr.Packets))
+	}
+	for i, pk := range tr.Packets {
+		if pk.Eth.Src != p.MAC {
+			t.Fatalf("standby packet %d from wrong MAC", i)
+		}
+	}
+	// Standby fingerprints must still be type-specific: two types differ.
+	q, err := Lookup("HueBridge")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tq := q.GenerateStandby(env, 1, 0, 10)
+	if tr.Fingerprint().Equal(tq.Fingerprint()) {
+		t.Error("standby fingerprints of different types identical")
+	}
+}
+
+func TestCloudIPStable(t *testing.T) {
+	a := CloudIP("x.example.com")
+	b := CloudIP("x.example.com")
+	c := CloudIP("y.example.com")
+	if a != b {
+		t.Error("CloudIP not deterministic")
+	}
+	if a == c {
+		t.Error("CloudIP collides for different hosts")
+	}
+	if a[0] != 52 {
+		t.Errorf("CloudIP prefix = %d, want 52", a[0])
+	}
+	for _, o := range a[1:] {
+		if o == 0 || o == 255 {
+			t.Errorf("CloudIP octet %d out of safe range", o)
+		}
+	}
+}

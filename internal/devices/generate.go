@@ -1,0 +1,162 @@
+package devices
+
+import (
+	"fmt"
+	"hash/fnv"
+	"io"
+	"time"
+
+	"repro/internal/fingerprint"
+	"repro/internal/packet"
+	"repro/internal/pcap"
+)
+
+// Trace is one captured setup run of a device: the packets the device
+// sent, in emission order.
+type Trace struct {
+	Type    string
+	Run     int
+	MAC     packet.MAC
+	Packets []*packet.Packet
+}
+
+// Fingerprint extracts the variable-length fingerprint F of the trace.
+func (t Trace) Fingerprint() *fingerprint.Fingerprint {
+	return fingerprint.New(t.Packets)
+}
+
+// Duration returns the time span between the first and last packet.
+func (t Trace) Duration() time.Duration {
+	if len(t.Packets) < 2 {
+		return 0
+	}
+	return t.Packets[len(t.Packets)-1].Timestamp.Sub(t.Packets[0].Timestamp)
+}
+
+// WritePCAP serializes the trace as a classic libpcap file.
+func (t Trace) WritePCAP(w io.Writer) error {
+	pw, err := pcap.NewWriter(w)
+	if err != nil {
+		return err
+	}
+	for _, p := range t.Packets {
+		wire, err := p.Serialize()
+		if err != nil {
+			return fmt.Errorf("devices: serializing %s packet: %w", t.Type, err)
+		}
+		if err := pw.WritePacket(p.Timestamp, wire); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runSeed derives the deterministic RNG seed for one setup run of one
+// device-type.
+func runSeed(name string, baseSeed int64, run int) int64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s/%d", name, baseSeed)
+	return int64(h.Sum64()&0x7fffffffffff) + int64(run)*1_000_003
+}
+
+// Generate produces one setup run of the profile. Runs are deterministic
+// in (baseSeed, run).
+func (p *Profile) Generate(env Env, baseSeed int64, run int) Trace {
+	s := newSession(env, p.MAC, p.IP, runSeed(p.Name, baseSeed, run))
+	s.bias = instanceBias(p.Name)
+	p.script(s)
+	return Trace{Type: p.Name, Run: run, MAC: p.MAC, Packets: s.pkts}
+}
+
+// instanceBias derives the device instance's stable behavioural tendency
+// from its identity. It is a property of the physical unit, not of the
+// run, so every capture of one device shares it.
+func instanceBias(name string) float64 {
+	h := fnv.New32a()
+	h.Write([]byte(name))
+	return float64(h.Sum32()%1024) / 1023
+}
+
+// GenerateStandby produces post-setup standby traffic (heartbeats to the
+// vendor cloud plus occasional service chatter) for the legacy
+// installation scenario of §VIII-A. The pattern is type-specific: period,
+// payload size and side protocols derive deterministically from the
+// type's identity, standing in for the characteristic keepalive
+// behaviour real firmware exhibits.
+func (p *Profile) GenerateStandby(env Env, baseSeed int64, run, beats int) Trace {
+	s := newSession(env, p.MAC, p.IP, runSeed(p.Name+"/standby", baseSeed, run))
+	s.bias = instanceBias(p.Name)
+	s.b.SetIP(p.IP)
+
+	h := fnv.New32a()
+	h.Write([]byte(p.Name))
+	v := h.Sum32()
+	period := time.Duration(15+v%30) * time.Second
+	size := 40 + int(v>>8%200)
+	cloud := CloudIP(p.Name + ".heartbeat.example.com")
+
+	for i := 0; i < beats; i++ {
+		s.heartbeat(cloud, packet.PortHTTPS, size, 1, period)
+		switch v % 3 {
+		case 0:
+			if s.chance(0.5) {
+				s.emit(s.b.DNSQueryPkt(env.GatewayMAC, env.DNSServer, s.nextPort(),
+					uint16(i), p.Name+".heartbeat.example.com", packet.DNSTypeA, s.now))
+			}
+		case 1:
+			if s.chance(0.4) {
+				s.emit(s.b.MDNSAnnouncePkt("_"+p.Name+"._tcp.local", p.Name, s.now))
+			}
+		case 2:
+			if s.chance(0.3) {
+				s.emit(s.b.ARPRequestFor(env.GatewayIP, s.now))
+			}
+		}
+	}
+	return Trace{Type: p.Name, Run: run, MAC: p.MAC, Packets: s.pkts}
+}
+
+// GenerateRuns produces the given number of setup runs for one type.
+func GenerateRuns(name string, env Env, baseSeed int64, runs int) ([]Trace, error) {
+	p, err := Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	traces := make([]Trace, runs)
+	for i := range traces {
+		traces[i] = p.Generate(env, baseSeed, i)
+	}
+	return traces, nil
+}
+
+// Dataset is a full fingerprint corpus: for each device-type, the
+// fingerprints of its setup runs.
+type Dataset map[string][]*fingerprint.Fingerprint
+
+// GenerateDataset reproduces the paper's corpus: `runs` setup captures
+// for each of the 27 device-types (the paper used 20, yielding 540
+// fingerprints), reduced to fingerprints.
+func GenerateDataset(env Env, baseSeed int64, runs int) (Dataset, error) {
+	ds := make(Dataset, Count())
+	for _, name := range Names() {
+		traces, err := GenerateRuns(name, env, baseSeed, runs)
+		if err != nil {
+			return nil, err
+		}
+		prints := make([]*fingerprint.Fingerprint, len(traces))
+		for i := range traces {
+			prints[i] = traces[i].Fingerprint()
+		}
+		ds[name] = prints
+	}
+	return ds, nil
+}
+
+// Total returns the total number of fingerprints in the dataset.
+func (d Dataset) Total() int {
+	n := 0
+	for _, prints := range d {
+		n += len(prints)
+	}
+	return n
+}

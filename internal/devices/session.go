@@ -1,0 +1,349 @@
+// Package devices simulates the setup-phase network behaviour of the 27
+// consumer IoT device-types of the paper's Table II.
+//
+// The paper collected 20 real setup captures per device with tcpdump on a
+// laptop acting as the access point. That hardware is not available here,
+// so this package substitutes scripted behaviour profiles: each profile
+// emits the protocol sequence its device-type produces while being
+// inducted into a home network (WPA2/EAPoL association, DHCP, ARP
+// probing, IPv6 bring-up, discovery chatter, cloud registration over
+// HTTP/TLS, NTP, multicast joins…), with per-run stochastic variation
+// (retransmissions, optional phases, discrete payload-size choices).
+//
+// The substitution preserves what matters to the pipeline: the
+// fingerprinter only consumes the 23 header-derived features of Table I,
+// so reproducing each type's protocol sequence, packet sizes, destination
+// ordering and port usage reproduces the feature distributions the
+// classifiers see. Same-vendor sibling devices (the D-Link sensor
+// cluster, the TP-Link, Edimax and Smarter pairs) share scripts exactly
+// as the real devices share hardware and firmware, which is what lets the
+// paper's confusion structure (Table III) emerge rather than being
+// hard-coded.
+package devices
+
+import (
+	"hash/fnv"
+	"math/rand"
+	"time"
+
+	"repro/internal/packet"
+)
+
+// Env describes the network the simulated device joins.
+type Env struct {
+	GatewayMAC packet.MAC
+	GatewayIP  packet.IP4
+	// DNSServer is the resolver handed out by DHCP (the gateway in a
+	// typical home network).
+	DNSServer packet.IP4
+	// Start is the virtual wall-clock time of the first packet.
+	Start time.Time
+}
+
+// DefaultEnv returns the lab network of Fig. 4: a gateway at 192.168.1.1
+// that also serves DNS.
+func DefaultEnv() Env {
+	return Env{
+		GatewayMAC: packet.MustParseMAC("02:53:47:57:00:01"),
+		GatewayIP:  packet.MustParseIP4("192.168.1.1"),
+		DNSServer:  packet.MustParseIP4("192.168.1.1"),
+		Start:      time.Date(2016, 3, 1, 10, 0, 0, 0, time.UTC),
+	}
+}
+
+// session is the per-run scripting context handed to profile scripts. It
+// tracks the virtual clock, source addressing, ephemeral ports and
+// resolved names, and accumulates the emitted packets.
+type session struct {
+	env Env
+	b   *packet.Builder
+	rng *rand.Rand
+	now time.Time
+
+	// assignedIP is the DHCP lease the virtual server grants; the DHCP
+	// phase installs it as the source IP.
+	assignedIP packet.IP4
+
+	// bias in [0,1] is a per-device-instance behavioural tendency (how
+	// eagerly the firmware retries, repeats announcements, etc.). Two
+	// same-firmware siblings have slightly different biases — the real
+	// physical devices do too — which is what lets the edit-distance
+	// discrimination stage prefer the actual type mildly over its twins
+	// (Table III's above-chance diagonal) without making the types
+	// classifier-separable.
+	bias float64
+
+	pkts      []*packet.Packet
+	ephemeral uint16
+	dnsID     uint16
+	xid       uint32
+}
+
+// newSession creates a scripting context for one setup run.
+func newSession(env Env, mac packet.MAC, deviceIP packet.IP4, seed int64) *session {
+	rng := rand.New(rand.NewSource(seed))
+	s := &session{
+		env:       env,
+		b:         packet.NewBuilder(mac),
+		rng:       rng,
+		now:       env.Start,
+		ephemeral: 49152 + uint16(rng.Intn(2000)),
+		dnsID:     uint16(rng.Intn(1 << 16)),
+		xid:       rng.Uint32(),
+	}
+	s.assignedIP = deviceIP
+	return s
+}
+
+// emit appends p at the current virtual time.
+func (s *session) emit(p *packet.Packet) {
+	p.Timestamp = s.now
+	s.pkts = append(s.pkts, p)
+}
+
+// wait advances the virtual clock by a uniform duration in [min, max].
+func (s *session) wait(min, max time.Duration) {
+	if max <= min {
+		s.now = s.now.Add(min)
+		return
+	}
+	s.now = s.now.Add(min + time.Duration(s.rng.Int63n(int64(max-min))))
+}
+
+// short advances the clock by an intra-burst gap (10–120 ms).
+func (s *session) short() { s.wait(10*time.Millisecond, 120*time.Millisecond) }
+
+// pause advances the clock by an inter-phase gap (0.5–4 s), staying well
+// under the gateway's idle-gap threshold.
+func (s *session) pause() { s.wait(500*time.Millisecond, 4*time.Second) }
+
+// chance returns true with probability p.
+func (s *session) chance(p float64) bool { return s.rng.Float64() < p }
+
+// tendency returns true with a probability centered on p and skewed by
+// the instance bias within ±spread.
+func (s *session) tendency(p, spread float64) bool {
+	return s.rng.Float64() < p+spread*(2*s.bias-1)
+}
+
+// nextPort returns a fresh ephemeral source port.
+func (s *session) nextPort() uint16 {
+	s.ephemeral++
+	if s.ephemeral < 49152 {
+		s.ephemeral = 49152
+	}
+	return s.ephemeral
+}
+
+// registeredPort returns a fresh source port in the registered range, as
+// older embedded IP stacks allocate.
+func (s *session) registeredPort() uint16 {
+	return 1024 + uint16(s.rng.Intn(4000))
+}
+
+// CloudIP maps a hostname to a stable public IP in 52/8, standing in for
+// the vendor's cloud endpoints.
+func CloudIP(host string) packet.IP4 {
+	h := fnv.New32a()
+	h.Write([]byte(host))
+	v := h.Sum32()
+	octet := func(x uint32) byte { return byte(1 + x%254) }
+	return packet.IP4{52, octet(v), octet(v >> 8), octet(v >> 16)}
+}
+
+// ---------------------------------------------------------------------------
+// Script phases. Each emits only packets sent BY the device: the paper's
+// fingerprint records the packets received from the new device, so peer
+// responses never enter the capture.
+
+// wifiAssociate emits the device side of WPA2 association: an EAPOL-Start
+// and messages 2 and 4 of the four-way handshake.
+func (s *session) wifiAssociate() {
+	if s.tendency(0.5, 0.35) {
+		s.emit(s.b.EAPOLStart(s.env.GatewayMAC, s.now))
+		s.short()
+	}
+	s.emit(s.b.EAPOLKey(s.env.GatewayMAC, 2, 26, s.now))
+	s.short()
+	s.emit(s.b.EAPOLKey(s.env.GatewayMAC, 4, 0, s.now))
+	s.short()
+}
+
+// dhcp emits DHCPDISCOVER (with an occasional retransmission) and
+// DHCPREQUEST, then installs the granted lease as the source IP.
+func (s *session) dhcp(hostname string) {
+	d := s.b.DHCPDiscoverPkt(s.xid, hostname, s.now)
+	s.emit(d)
+	if s.tendency(0.25, 0.2) { // retransmission while the offer is in flight
+		s.wait(900*time.Millisecond, 1500*time.Millisecond)
+		s.emit(s.b.DHCPDiscoverPkt(s.xid, hostname, s.now))
+	}
+	s.wait(50*time.Millisecond, 300*time.Millisecond)
+	s.emit(s.b.DHCPRequestPkt(s.xid, s.assignedIP, s.env.GatewayIP, hostname, s.now))
+	s.wait(50*time.Millisecond, 200*time.Millisecond)
+	s.b.SetIP(s.assignedIP)
+}
+
+// plainBOOTP emits a legacy BOOTP request (no DHCP options), as the
+// oldest embedded stacks do, then installs the lease.
+func (s *session) plainBOOTP() {
+	p := s.b.UDPTo(packet.BroadcastMAC, packet.IP4Broadcast,
+		packet.PortBOOTPCli, packet.PortBOOTPSrv, packet.BuildBOOTP(1, s.xid, s.b.MAC()), s.now)
+	p.IPv4.Src = packet.IP4Zero
+	s.emit(p)
+	s.wait(100*time.Millisecond, 400*time.Millisecond)
+	s.b.SetIP(s.assignedIP)
+}
+
+// arpPhase emits RFC 5227 probes and announcements for the new lease and
+// resolves the gateway.
+func (s *session) arpPhase() {
+	probes := 2 + s.rng.Intn(2)
+	for i := 0; i < probes; i++ {
+		s.emit(s.b.ARPProbe(s.assignedIP, s.now))
+		s.short()
+	}
+	s.emit(s.b.ARPAnnounce(s.now))
+	s.short()
+	if s.tendency(0.6, 0.35) {
+		s.emit(s.b.ARPAnnounce(s.now))
+		s.short()
+	}
+	s.emit(s.b.ARPRequestFor(s.env.GatewayIP, s.now))
+	s.short()
+}
+
+// ipv6Bringup emits duplicate address detection, a router solicitation
+// and an MLDv2 report, as dual-stack firmware does while the interface
+// comes up.
+func (s *session) ipv6Bringup() {
+	s.emit(s.b.NeighborSolicitPkt(s.now))
+	s.short()
+	if s.tendency(0.7, 0.3) {
+		s.emit(s.b.RouterSolicitPkt(s.now))
+		s.short()
+	}
+	s.emit(s.b.MLDv2ReportPkt(s.now, packet.IP6MDNS))
+	s.short()
+}
+
+// dnsLookup emits an A query (optionally retried and optionally followed
+// by an AAAA query) for host and returns the resolved cloud IP.
+func (s *session) dnsLookup(host string, alsoAAAA bool) packet.IP4 {
+	s.dnsID++
+	s.emit(s.b.DNSQueryPkt(s.env.GatewayMAC, s.env.DNSServer, s.nextPort(), s.dnsID, host, packet.DNSTypeA, s.now))
+	s.short()
+	if alsoAAAA {
+		s.dnsID++
+		s.emit(s.b.DNSQueryPkt(s.env.GatewayMAC, s.env.DNSServer, s.nextPort(), s.dnsID, host, packet.DNSTypeAAAA, s.now))
+		s.short()
+	}
+	return CloudIP(host)
+}
+
+// ntpSync emits count NTP requests to the given server IP.
+func (s *session) ntpSync(server packet.IP4, count int) {
+	for i := 0; i < count; i++ {
+		s.emit(s.b.NTPRequestPkt(s.env.GatewayMAC, server, s.now))
+		s.wait(80*time.Millisecond, 400*time.Millisecond)
+	}
+}
+
+// httpExchange emits the client side of a short HTTP connection: SYN,
+// ACK, request, ACK, FIN.
+func (s *session) httpExchange(dst packet.IP4, dstPort uint16, method, host, path, agent string, bodyLen int) {
+	sp := s.nextPort()
+	s.emit(s.b.TCPSynPkt(s.env.GatewayMAC, dst, sp, dstPort, s.now))
+	s.short()
+	s.emit(s.b.TCPAckPkt(s.env.GatewayMAC, dst, sp, dstPort, s.now))
+	s.short()
+	s.emit(s.b.TCPDataPkt(s.env.GatewayMAC, dst, sp, dstPort,
+		packet.BuildHTTPRequest(method, host, path, agent, bodyLen), s.now))
+	s.short()
+	s.emit(s.b.TCPAckPkt(s.env.GatewayMAC, dst, sp, dstPort, s.now))
+	s.short()
+	s.emit(s.b.TCPFinPkt(s.env.GatewayMAC, dst, sp, dstPort, s.now))
+	s.short()
+}
+
+// tlsExchange emits the client side of a TLS session to dst:443: SYN,
+// ACK, ClientHello, ACKs and appDataSegs encrypted-data segments of the
+// given size.
+func (s *session) tlsExchange(dst packet.IP4, serverName string, ticketLen, appDataSegs, segSize int) {
+	sp := s.nextPort()
+	s.emit(s.b.TCPSynPkt(s.env.GatewayMAC, dst, sp, packet.PortHTTPS, s.now))
+	s.short()
+	s.emit(s.b.TCPAckPkt(s.env.GatewayMAC, dst, sp, packet.PortHTTPS, s.now))
+	s.short()
+	s.emit(s.b.TLSClientHelloPkt(s.env.GatewayMAC, dst, sp, serverName, ticketLen, s.now))
+	s.short()
+	s.emit(s.b.TCPAckPkt(s.env.GatewayMAC, dst, sp, packet.PortHTTPS, s.now))
+	s.short()
+	for i := 0; i < appDataSegs; i++ {
+		s.emit(s.b.TCPDataPkt(s.env.GatewayMAC, dst, sp, packet.PortHTTPS, make([]byte, segSize), s.now))
+		s.short()
+	}
+	s.emit(s.b.TCPFinPkt(s.env.GatewayMAC, dst, sp, packet.PortHTTPS, s.now))
+	s.short()
+}
+
+// ssdpDiscover emits count M-SEARCH multicasts.
+func (s *session) ssdpDiscover(st string, count int) {
+	sp := s.nextPort()
+	for i := 0; i < count; i++ {
+		s.emit(s.b.SSDPMSearchPkt(st, sp, s.now))
+		s.wait(150*time.Millisecond, 600*time.Millisecond)
+	}
+}
+
+// ssdpAnnounce emits NOTIFY ssdp:alive multicasts for the device's
+// services.
+func (s *session) ssdpAnnounce(location string, services ...string) {
+	sp := s.nextPort()
+	for _, svc := range services {
+		s.emit(s.b.SSDPNotifyPkt(location, svc, "uuid:"+svc, sp, s.now))
+		s.short()
+	}
+}
+
+// mdnsAnnounce emits an mDNS PTR announcement (repeated once).
+func (s *session) mdnsAnnounce(service, instance string) {
+	s.emit(s.b.MDNSAnnouncePkt(service, instance, s.now))
+	s.short()
+	if s.tendency(0.75, 0.25) {
+		s.emit(s.b.MDNSAnnouncePkt(service, instance, s.now))
+		s.short()
+	}
+}
+
+// igmpJoin emits an IGMPv2 membership report (with Router Alert).
+func (s *session) igmpJoin(group packet.IP4) {
+	s.emit(s.b.IGMPJoinPkt(group, s.now))
+	s.short()
+}
+
+// udpBurst emits count UDP datagrams of size payloadLen to dst:dstPort.
+func (s *session) udpBurst(dst packet.IP4, srcPort, dstPort uint16, payloadLen, count int) {
+	for i := 0; i < count; i++ {
+		s.emit(s.b.UDPTo(s.env.GatewayMAC, dst, srcPort, dstPort, make([]byte, payloadLen), s.now))
+		s.short()
+	}
+}
+
+// llcFrame emits one 802.3/LLC frame, as some wired hubs do on startup.
+func (s *session) llcFrame(dsap byte, infoLen int) {
+	s.emit(s.b.LLCTestPkt(packet.BroadcastMAC, dsap, infoLen, s.now))
+	s.short()
+}
+
+// heartbeat emits standby-phase keepalive traffic after setup: count
+// rounds of a TLS-like data segment (or plain UDP ping for local-only
+// devices) separated by interval. Used by the legacy-installation
+// experiments (§VIII-A).
+func (s *session) heartbeat(dst packet.IP4, dstPort uint16, size, count int, interval time.Duration) {
+	sp := s.nextPort()
+	for i := 0; i < count; i++ {
+		s.now = s.now.Add(interval)
+		s.emit(s.b.TCPDataPkt(s.env.GatewayMAC, dst, sp, dstPort, make([]byte, size), s.now))
+	}
+}

@@ -1,0 +1,74 @@
+// Package editdist implements the Damerau-Levenshtein edit distance used
+// by IoT Sentinel's discrimination stage (paper §IV-B2).
+//
+// The variant implemented is optimal string alignment (OSA): insertion,
+// deletion, substitution, and transposition of two adjacent symbols, with
+// no symbol edited twice. Fingerprints F are treated as words whose
+// characters are whole packet feature vectors; two characters are equal
+// only if all 23 features match.
+package editdist
+
+// Distance returns the OSA Damerau-Levenshtein distance between a and b.
+// It runs in O(len(a)*len(b)) time and O(min) memory (three rows).
+func Distance[T comparable](a, b []T) int {
+	n, m := len(a), len(b)
+	if n == 0 {
+		return m
+	}
+	if m == 0 {
+		return n
+	}
+
+	prev2 := make([]int, m+1) // row i-2
+	prev := make([]int, m+1)  // row i-1
+	cur := make([]int, m+1)   // row i
+	for j := 0; j <= m; j++ {
+		prev[j] = j
+	}
+
+	for i := 1; i <= n; i++ {
+		cur[0] = i
+		for j := 1; j <= m; j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			d := min3(
+				prev[j]+1,      // deletion
+				cur[j-1]+1,     // insertion
+				prev[j-1]+cost, // substitution / match
+			)
+			if i > 1 && j > 1 && a[i-1] == b[j-2] && a[i-2] == b[j-1] {
+				if t := prev2[j-2] + 1; t < d {
+					d = t // adjacent transposition
+				}
+			}
+			cur[j] = d
+		}
+		prev2, prev, cur = prev, cur, prev2
+	}
+	return prev[m]
+}
+
+// Normalized returns the distance divided by the length of the longer
+// sequence, bounded on [0,1]. Two empty sequences have distance 0.
+func Normalized[T comparable](a, b []T) float64 {
+	longest := len(a)
+	if len(b) > longest {
+		longest = len(b)
+	}
+	if longest == 0 {
+		return 0
+	}
+	return float64(Distance(a, b)) / float64(longest)
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}

@@ -1,0 +1,145 @@
+package editdist
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func runes(s string) []rune { return []rune(s) }
+
+func TestDistanceKnownValues(t *testing.T) {
+	tests := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"", "abc", 3},
+		{"abc", "", 3},
+		{"abc", "abc", 0},
+		{"kitten", "sitting", 3},
+		{"flaw", "lawn", 2},
+		{"ca", "abc", 3}, // OSA: cannot reuse edited substring (true DL would be 2)
+		{"ab", "ba", 1},  // adjacent transposition
+		{"abcd", "acbd", 1},
+		{"abcd", "badc", 2},
+		{"a", "b", 1},
+		{"abcdef", "abdcef", 1},
+		{"teh", "the", 1},
+	}
+	for _, tt := range tests {
+		if got := Distance(runes(tt.a), runes(tt.b)); got != tt.want {
+			t.Errorf("Distance(%q, %q) = %d, want %d", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestNormalizedBounds(t *testing.T) {
+	if got := Normalized(runes("abc"), runes("abc")); got != 0 {
+		t.Errorf("Normalized(equal) = %v, want 0", got)
+	}
+	if got := Normalized(runes("abc"), runes("xyz")); got != 1 {
+		t.Errorf("Normalized(disjoint same length) = %v, want 1", got)
+	}
+	if got := Normalized(runes(""), runes("")); got != 0 {
+		t.Errorf("Normalized(empty, empty) = %v, want 0", got)
+	}
+	if got := Normalized(runes(""), runes("abcd")); got != 1 {
+		t.Errorf("Normalized(empty, abcd) = %v, want 1", got)
+	}
+	// Division is by the longer length.
+	if got := Normalized(runes("ab"), runes("abcd")); got != 0.5 {
+		t.Errorf("Normalized(ab, abcd) = %v, want 0.5", got)
+	}
+}
+
+func TestDistanceProperties(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 200}
+
+	// Identity: d(a,a) == 0.
+	identity := func(a []byte) bool { return Distance(a, a) == 0 }
+	if err := quick.Check(identity, cfg); err != nil {
+		t.Error("identity:", err)
+	}
+
+	// Symmetry: d(a,b) == d(b,a).
+	symmetry := func(a, b []byte) bool { return Distance(a, b) == Distance(b, a) }
+	if err := quick.Check(symmetry, cfg); err != nil {
+		t.Error("symmetry:", err)
+	}
+
+	// Bounds: |len(a)-len(b)| <= d <= max(len(a), len(b)).
+	bounds := func(a, b []byte) bool {
+		d := Distance(a, b)
+		diff := len(a) - len(b)
+		if diff < 0 {
+			diff = -diff
+		}
+		maxLen := len(a)
+		if len(b) > maxLen {
+			maxLen = len(b)
+		}
+		return d >= diff && d <= maxLen
+	}
+	if err := quick.Check(bounds, cfg); err != nil {
+		t.Error("bounds:", err)
+	}
+
+	// Normalized is within [0,1].
+	norm := func(a, b []byte) bool {
+		v := Normalized(a, b)
+		return v >= 0 && v <= 1
+	}
+	if err := quick.Check(norm, cfg); err != nil {
+		t.Error("normalized bounds:", err)
+	}
+}
+
+func TestSingleEditDistancesAreOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	base := []byte("abcdefghijklmnop")
+	for trial := 0; trial < 100; trial++ {
+		b := append([]byte(nil), base...)
+		switch rng.Intn(4) {
+		case 0: // substitution
+			b[rng.Intn(len(b))] = 'z'
+		case 1: // deletion
+			i := rng.Intn(len(b))
+			b = append(b[:i], b[i+1:]...)
+		case 2: // insertion
+			i := rng.Intn(len(b) + 1)
+			b = append(b[:i], append([]byte{'z'}, b[i:]...)...)
+		case 3: // adjacent transposition
+			i := rng.Intn(len(b) - 1)
+			if b[i] == b[i+1] {
+				continue // swap of equal symbols is distance 0
+			}
+			b[i], b[i+1] = b[i+1], b[i]
+		}
+		if d := Distance(base, b); d > 1 {
+			t.Fatalf("single edit gave distance %d (result %q)", d, b)
+		}
+	}
+}
+
+func TestDistanceIntSlices(t *testing.T) {
+	a := []int{1, 2, 3, 4}
+	b := []int{1, 3, 2, 4}
+	if got := Distance(a, b); got != 1 {
+		t.Errorf("Distance(int transposition) = %d, want 1", got)
+	}
+}
+
+func BenchmarkDistance100x100(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	x := make([]int, 100)
+	y := make([]int, 100)
+	for i := range x {
+		x[i] = rng.Intn(20)
+		y[i] = rng.Intn(20)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Distance(x, y)
+	}
+}

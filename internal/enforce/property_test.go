@@ -1,0 +1,105 @@
+package enforce
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/packet"
+)
+
+// arbitrary levels derived from fuzz bytes.
+func levelFrom(b byte) IsolationLevel { return IsolationLevel(1 + int(b)%3) }
+
+// TestLocalSymmetryProperty: overlay membership decides local traffic, so
+// permission between two rule-holding unicast devices is symmetric.
+func TestLocalSymmetryProperty(t *testing.T) {
+	f := func(a, b packet.MAC, la, lb byte) bool {
+		// Force unicast, distinct, non-infrastructure MACs.
+		a[0], b[0] = 0x02, 0x06
+		e := NewEngine(packet.MustParseIP4("192.168.1.0"))
+		if err := e.SetRule(Rule{DeviceMAC: a, Level: levelFrom(la)}); err != nil {
+			return false
+		}
+		if err := e.SetRule(Rule{DeviceMAC: b, Level: levelFrom(lb)}); err != nil {
+			return false
+		}
+		return e.DecideLocal(a, b).Allow == e.DecideLocal(b, a).Allow
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSameLevelSameOverlayProperty: two devices with the same level are
+// always in the same overlay and may communicate locally.
+func TestSameLevelSameOverlayProperty(t *testing.T) {
+	f := func(a, b packet.MAC, l byte) bool {
+		a[0], b[0] = 0x02, 0x06
+		e := NewEngine(packet.MustParseIP4("192.168.1.0"))
+		level := levelFrom(l)
+		if err := e.SetRule(Rule{DeviceMAC: a, Level: level}); err != nil {
+			return false
+		}
+		if err := e.SetRule(Rule{DeviceMAC: b, Level: level}); err != nil {
+			return false
+		}
+		return e.DecideLocal(a, b).Allow
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestStrictNeverReachesInternetProperty: no external destination is
+// permitted for a strict device, whatever the address.
+func TestStrictNeverReachesInternetProperty(t *testing.T) {
+	e := NewEngine(packet.MustParseIP4("192.168.1.0"))
+	mac := packet.MustParseMAC("02:00:00:00:00:01")
+	if err := e.SetRule(Rule{DeviceMAC: mac, Level: Strict}); err != nil {
+		t.Fatal(err)
+	}
+	f := func(dst packet.IP4) bool {
+		if e.IsLocal(dst) {
+			return true // not an external destination
+		}
+		return !e.DecideExternal(mac, dst).Allow
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRestrictedPermitsExactlyItsEndpointsProperty: a restricted device
+// reaches an external IP iff the IP is in its permit list.
+func TestRestrictedPermitsExactlyItsEndpointsProperty(t *testing.T) {
+	e := NewEngine(packet.MustParseIP4("192.168.1.0"))
+	mac := packet.MustParseMAC("02:00:00:00:00:02")
+	permitted := packet.MustParseIP4("52.10.20.30")
+	if err := e.SetRule(Rule{DeviceMAC: mac, Level: Restricted, PermittedIPs: []packet.IP4{permitted}}); err != nil {
+		t.Fatal(err)
+	}
+	f := func(dst packet.IP4) bool {
+		if e.IsLocal(dst) {
+			return true
+		}
+		got := e.DecideExternal(mac, dst).Allow
+		return got == (dst == permitted)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestHashDeterminismProperty: equal rules hash equal; permitted-IP order
+// never matters.
+func TestHashDeterminismProperty(t *testing.T) {
+	f := func(mac packet.MAC, l byte, a, b, c packet.IP4) bool {
+		level := levelFrom(l)
+		r1 := Rule{DeviceMAC: mac, Level: level, PermittedIPs: []packet.IP4{a, b, c}}
+		r2 := Rule{DeviceMAC: mac, Level: level, PermittedIPs: []packet.IP4{c, a, b}}
+		return r1.Hash() == r2.Hash()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

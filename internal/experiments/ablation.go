@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// AblationPoint is one configuration of an ablation sweep.
+type AblationPoint struct {
+	// Label names the swept value (e.g. "F'=8").
+	Label string
+	// GlobalAccuracy is the overall correct-identification ratio.
+	GlobalAccuracy float64
+	// GroupAccuracy credits confusion-group members as correct.
+	GroupAccuracy float64
+	// IdentifyTime is the wall-clock cost of the experiment's
+	// identification phase per fingerprint, when measured.
+	IdentifyTime time.Duration
+}
+
+// AblationResult is a sweep over one design choice.
+type AblationResult struct {
+	Name   string
+	Points []AblationPoint
+}
+
+// Render formats the sweep as a table.
+func (r *AblationResult) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Ablation — %s\n", r.Name)
+	fmt.Fprintf(&sb, "%-16s %10s %12s %14s\n", "config", "accuracy", "group-acc", "time/ident")
+	for _, p := range r.Points {
+		t := "-"
+		if p.IdentifyTime > 0 {
+			t = p.IdentifyTime.String()
+		}
+		fmt.Fprintf(&sb, "%-16s %10.3f %12.3f %14s\n", p.Label, p.GlobalAccuracy, p.GroupAccuracy, t)
+	}
+	return sb.String()
+}
+
+// RunAblationFPrimeLength sweeps the F′ truncation length around the
+// paper's choice of 12 packets (§IV-A: "12 packets was a good trade-off").
+func RunAblationFPrimeLength(base IdentConfig, lengths []int) (*AblationResult, error) {
+	if len(lengths) == 0 {
+		lengths = []int{4, 8, 12, 16, 20}
+	}
+	res := &AblationResult{Name: "F' truncation length (paper: 12)"}
+	for _, n := range lengths {
+		cfg := base
+		cfg.FixedPackets = n
+		r, err := RunIdentification(cfg)
+		if err != nil {
+			return nil, err
+		}
+		res.Points = append(res.Points, AblationPoint{
+			Label:          fmt.Sprintf("F'=%d", n),
+			GlobalAccuracy: r.GlobalAccuracy(),
+			GroupAccuracy:  r.GroupAccuracy(),
+		})
+	}
+	return res, nil
+}
+
+// RunAblationNegativeRatio sweeps the negatives-per-positive sampling
+// ratio around the paper's 10·n (§VI-B, imbalanced-class learning).
+func RunAblationNegativeRatio(base IdentConfig, ratios []int) (*AblationResult, error) {
+	if len(ratios) == 0 {
+		ratios = []int{1, 5, 10, 20}
+	}
+	res := &AblationResult{Name: "negative sampling ratio (paper: 10n)"}
+	for _, ratio := range ratios {
+		cfg := base
+		cfg.NegativeRatio = ratio
+		r, err := RunIdentification(cfg)
+		if err != nil {
+			return nil, err
+		}
+		res.Points = append(res.Points, AblationPoint{
+			Label:          fmt.Sprintf("%dn", ratio),
+			GlobalAccuracy: r.GlobalAccuracy(),
+			GroupAccuracy:  r.GroupAccuracy(),
+		})
+	}
+	return res, nil
+}
+
+// RunAblationForestSize sweeps the per-type Random Forest size.
+func RunAblationForestSize(base IdentConfig, sizes []int) (*AblationResult, error) {
+	if len(sizes) == 0 {
+		sizes = []int{10, 25, 50, 100}
+	}
+	res := &AblationResult{Name: "Random Forest size"}
+	for _, trees := range sizes {
+		cfg := base
+		cfg.Trees = trees
+		start := time.Now()
+		r, err := RunIdentification(cfg)
+		if err != nil {
+			return nil, err
+		}
+		res.Points = append(res.Points, AblationPoint{
+			Label:          fmt.Sprintf("%d trees", trees),
+			GlobalAccuracy: r.GlobalAccuracy(),
+			GroupAccuracy:  r.GroupAccuracy(),
+			IdentifyTime:   time.Since(start),
+		})
+	}
+	return res, nil
+}
+
+// RunAblationEditDistanceOnly compares the two-stage pipeline against
+// identification by edit distance alone (§IV-B: possible but "far more
+// time consuming").
+func RunAblationEditDistanceOnly(base IdentConfig) (*AblationResult, error) {
+	res := &AblationResult{Name: "two-stage pipeline vs edit distance only"}
+	for _, editOnly := range []bool{false, true} {
+		cfg := base
+		cfg.EditDistanceOnly = editOnly
+		start := time.Now()
+		r, err := RunIdentification(cfg)
+		if err != nil {
+			return nil, err
+		}
+		label := "two-stage"
+		if editOnly {
+			label = "edit-only"
+		}
+		res.Points = append(res.Points, AblationPoint{
+			Label:          label,
+			GlobalAccuracy: r.GlobalAccuracy(),
+			GroupAccuracy:  r.GroupAccuracy(),
+			IdentifyTime:   time.Since(start),
+		})
+	}
+	return res, nil
+}

@@ -1,0 +1,481 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/enforce"
+	"repro/internal/flowtable"
+	"repro/internal/gateway"
+	"repro/internal/netsim"
+	"repro/internal/packet"
+)
+
+// EnforceConfig parameterizes the enforcement-plane experiments.
+type EnforceConfig struct {
+	// Iterations is the ping count per measured pair (paper: 15).
+	Iterations int
+	// Seed drives link jitter. The same seed is used for the filtering
+	// and no-filtering runs so they see identical jitter streams.
+	Seed int64
+}
+
+// PaperEnforceConfig matches §VI-C: 15 iterations per measured pair.
+func PaperEnforceConfig() EnforceConfig { return EnforceConfig{Iterations: 15, Seed: 1} }
+
+func (c EnforceConfig) withDefaults() EnforceConfig {
+	if c.Iterations == 0 {
+		c.Iterations = 15
+	}
+	return c
+}
+
+// testbed mirrors the lab of Fig. 4: user devices D1-D4 on WiFi, a local
+// server on Ethernet, a remote server behind a WAN link, all bridged by
+// the Security Gateway.
+type testbed struct {
+	net *netsim.Network
+	gw  *gateway.Gateway
+	d   map[string]*netsim.Host
+}
+
+var (
+	tbGatewayMAC = packet.MustParseMAC("02:53:47:57:00:01")
+	tbGatewayIP  = packet.MustParseIP4("192.168.1.1")
+	tbSubnet     = packet.MustParseIP4("192.168.1.0")
+	tbStart      = time.Date(2016, 3, 1, 10, 0, 0, 0, time.UTC)
+)
+
+// hostSpec calibrates the per-host link models to Table V's RTTs.
+type hostSpec struct {
+	name string
+	mac  string
+	ip   string
+	link netsim.LatencyModel
+}
+
+func testbedSpecs() []hostSpec {
+	return []hostSpec{
+		{"D1", "02:d1:00:00:00:01", "192.168.1.11", netsim.WiFiLink(6500*time.Microsecond, 0.06)},
+		{"D2", "02:d2:00:00:00:02", "192.168.1.12", netsim.WiFiLink(7500*time.Microsecond, 0.06)},
+		{"D3", "02:d3:00:00:00:03", "192.168.1.13", netsim.WiFiLink(7200*time.Microsecond, 0.06)},
+		{"D4", "02:d4:00:00:00:04", "192.168.1.14", netsim.WiFiLink(6200*time.Microsecond, 0.06)},
+		{"Slocal", "02:0a:00:00:00:05", "192.168.1.2", netsim.EthernetLink(2500 * time.Microsecond)},
+		{"Sremote", "02:0b:00:00:00:06", "52.28.100.7", netsim.WANLink(3900*time.Microsecond, 0.15)},
+	}
+}
+
+// newTestbed builds the Fig. 4 network with the gateway bridging in the
+// given filtering mode. Measurement hosts are trusted (they are the
+// user's own devices) and marked so the monitor does not fingerprint
+// them.
+func newTestbed(cfg EnforceConfig, filtering bool) (*testbed, error) {
+	n := netsim.New(cfg.Seed, tbStart)
+	g := gateway.New(gateway.Config{
+		MAC:       tbGatewayMAC,
+		IP:        tbGatewayIP,
+		LocalNet:  tbSubnet,
+		Filtering: filtering,
+	}, nil)
+
+	tb := &testbed{net: n, gw: g, d: make(map[string]*netsim.Host)}
+	for _, spec := range testbedSpecs() {
+		mac := packet.MustParseMAC(spec.mac)
+		ip := packet.MustParseIP4(spec.ip)
+		h, err := n.AddHost(spec.name, mac, ip, spec.link)
+		if err != nil {
+			return nil, err
+		}
+		tb.d[spec.name] = h
+		g.Ignore(mac)
+		if err := g.Engine().SetRule(enforce.Rule{
+			DeviceMAC:  mac,
+			DeviceType: spec.name,
+			Level:      enforce.Trusted,
+		}); err != nil {
+			return nil, err
+		}
+	}
+	// The remote server is an external endpoint; trusted devices may
+	// reach it because Trusted grants unrestricted Internet access.
+	n.SetBridge(g.Bridge())
+	return tb, nil
+}
+
+// PairLatency is one measured source/destination latency row.
+type PairLatency struct {
+	Src, Dst   string
+	WithMean   time.Duration
+	WithStd    time.Duration
+	NoMean     time.Duration
+	NoStd      time.Duration
+	Iterations int
+}
+
+// OverheadPct returns the relative latency increase of filtering.
+func (p PairLatency) OverheadPct() float64 {
+	if p.NoMean == 0 {
+		return 0
+	}
+	return 100 * (float64(p.WithMean) - float64(p.NoMean)) / float64(p.NoMean)
+}
+
+// Table5Result holds the latency matrix of Table V.
+type Table5Result struct {
+	Pairs []PairLatency
+}
+
+// measurePair runs the ping experiment for one src/dst pair in one
+// filtering mode.
+func measurePair(cfg EnforceConfig, filtering bool, src, dst string) (time.Duration, time.Duration, error) {
+	tb, err := newTestbed(cfg, filtering)
+	if err != nil {
+		return 0, 0, err
+	}
+	p := netsim.NewPinger(tb.d[src], tb.d[dst], 1)
+	p.Run(cfg.Iterations, 200*time.Millisecond, 56)
+	tb.net.RunAll()
+	if len(p.Results) != cfg.Iterations {
+		return 0, 0, fmt.Errorf("experiments: %s->%s lost pings: got %d/%d (filtering=%v)",
+			src, dst, len(p.Results), cfg.Iterations, filtering)
+	}
+	return p.Mean(), p.StdDev(), nil
+}
+
+// RunTable5 measures user-experienced latency for D1-D3 against D4, the
+// local server, and the remote server, with and without filtering.
+func RunTable5(cfg EnforceConfig) (*Table5Result, error) {
+	cfg = cfg.withDefaults()
+	res := &Table5Result{}
+	for _, src := range []string{"D1", "D2", "D3"} {
+		for _, dst := range []string{"D4", "Slocal", "Sremote"} {
+			withMean, withStd, err := measurePair(cfg, true, src, dst)
+			if err != nil {
+				return nil, err
+			}
+			noMean, noStd, err := measurePair(cfg, false, src, dst)
+			if err != nil {
+				return nil, err
+			}
+			res.Pairs = append(res.Pairs, PairLatency{
+				Src: src, Dst: dst,
+				WithMean: withMean, WithStd: withStd,
+				NoMean: noMean, NoStd: noStd,
+				Iterations: cfg.Iterations,
+			})
+		}
+	}
+	return res, nil
+}
+
+// RenderTable5 formats the latency matrix like the paper's Table V.
+func (r *Table5Result) RenderTable5() string {
+	var sb strings.Builder
+	sb.WriteString("Table V — Latency (ms) experienced by users\n")
+	fmt.Fprintf(&sb, "%-6s %-8s %18s %18s %9s\n", "Source", "Dest", "Filtering", "No Filtering", "Δ%")
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	for _, p := range r.Pairs {
+		fmt.Fprintf(&sb, "%-6s %-8s %9.1f (±%4.1f) %9.1f (±%4.1f) %8.2f%%\n",
+			p.Src, p.Dst, ms(p.WithMean), ms(p.WithStd), ms(p.NoMean), ms(p.NoStd), p.OverheadPct())
+	}
+	return sb.String()
+}
+
+// Table6Result holds the filtering overhead summary of Table VI.
+type Table6Result struct {
+	D1D2LatencyPct float64
+	D1D3LatencyPct float64
+	CPUPct         float64
+	MemoryPct      float64
+}
+
+// RunTable6 measures the overhead of the filtering mechanism: the
+// latency deltas of two device pairs, plus the CPU and memory cost of
+// running with filtering under a moderate background load.
+func RunTable6(cfg EnforceConfig) (*Table6Result, error) {
+	cfg = cfg.withDefaults()
+	res := &Table6Result{}
+
+	for i, dst := range []string{"D2", "D3"} {
+		withMean, _, err := measurePair(cfg, true, "D1", dst)
+		if err != nil {
+			return nil, err
+		}
+		noMean, _, err := measurePair(cfg, false, "D1", dst)
+		if err != nil {
+			return nil, err
+		}
+		pct := 100 * (float64(withMean) - float64(noMean)) / float64(noMean)
+		if i == 0 {
+			res.D1D2LatencyPct = pct
+		} else {
+			res.D1D3LatencyPct = pct
+		}
+	}
+
+	// CPU: run the same background load in both modes and compare
+	// utilization (baseline excluded from the delta).
+	const flows = 60
+	withCPU, _, err := runLoad(cfg, true, flows, 10*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	noCPU, _, err := runLoad(cfg, false, flows, 10*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	res.CPUPct = withCPU - noCPU
+
+	// Memory: the paper compares total gateway memory with and without
+	// the filtering mechanism in a lab of ~a hundred devices. The
+	// filtering-only state is the compiled flow table on top of the rule
+	// cache; the denominator is the modeled process baseline plus the
+	// always-present rule cache.
+	const labDevices = 100
+	withMem := measureRuleMemory(labDevices, true)
+	noMem := measureRuleMemory(labDevices, false)
+	baseBytes := baselineMB * (1 << 20)
+	res.MemoryPct = 100 * (float64(withMem) - float64(noMem)) / (baseBytes + float64(noMem))
+	return res, nil
+}
+
+// RenderTable6 formats the overhead summary.
+func (r *Table6Result) RenderTable6() string {
+	var sb strings.Builder
+	sb.WriteString("Table VI — Overhead due to filtering mechanism\n")
+	fmt.Fprintf(&sb, "D1D2 Latency    %+6.2f%%   (paper: +5.84%%)\n", r.D1D2LatencyPct)
+	fmt.Fprintf(&sb, "D1D3 Latency    %+6.2f%%   (paper: +0.71%%)\n", r.D1D3LatencyPct)
+	fmt.Fprintf(&sb, "CPU utilization %+6.2f%%   (paper: +0.63%%)\n", r.CPUPct)
+	fmt.Fprintf(&sb, "Memory usage    %+6.2f%%   (paper: +7.6%%)\n", r.MemoryPct)
+	return sb.String()
+}
+
+// LoadPoint is one measurement of the load experiments (Fig. 6a, 6b).
+type LoadPoint struct {
+	Flows       int
+	LatencyD1D2 time.Duration
+	LatencyD1D3 time.Duration
+	CPUPct      float64
+}
+
+// Fig6abResult holds the latency- and CPU-versus-load series.
+type Fig6abResult struct {
+	Filtering []LoadPoint
+	Plain     []LoadPoint
+}
+
+// runLoad drives `flows` bidirectional UDP background flows (≈7 pkt/s
+// each, as a hundred-device home generates) through the gateway for the
+// given duration and returns the CPU utilization percentage (on the
+// paper's ≈36% Raspberry Pi baseline) plus D1-D2 ping latency measured
+// concurrently.
+func runLoad(cfg EnforceConfig, filtering bool, flows int, dur time.Duration) (cpuPct float64, d1d2 time.Duration, err error) {
+	tb, err := newTestbed(cfg, filtering)
+	if err != nil {
+		return 0, 0, err
+	}
+	n := tb.net
+
+	// Background flows: D2 <-> D3 port pairs, 7 pkt/s each direction.
+	const pktPerSec = 7
+	src := tb.d["D2"]
+	dst := tb.d["D3"]
+	b := packet.NewBuilder(src.MAC)
+	b.SetIP(src.IP)
+	interval := time.Second / pktPerSec
+	for f := 0; f < flows; f++ {
+		sport := uint16(40000 + f)
+		offset := time.Duration(f) * (interval / time.Duration(flows+1))
+		for i := 0; i < int(dur/interval); i++ {
+			at := tbStart.Add(offset + time.Duration(i)*interval)
+			pkt := b.UDPTo(dst.MAC, dst.IP, sport, 9000, make([]byte, 120), at)
+			n.Schedule(at, func() { src.Send(pkt) })
+		}
+	}
+
+	// Concurrent latency probe.
+	p := netsim.NewPinger(tb.d["D1"], tb.d["D2"], 1)
+	p.Run(cfg.Iterations, dur/time.Duration(cfg.Iterations+1), 56)
+
+	n.RunAll()
+	elapsed := n.Now().Sub(tbStart)
+	const baseline = 36.0 // Pi OS + controller idle load (paper Fig. 6b)
+	return tb.gw.CPU.Utilization(elapsed, baseline), p.Mean(), nil
+}
+
+// RunFig6ab sweeps the number of concurrent flows and records latency
+// (Fig. 6a) and CPU utilization (Fig. 6b) in both filtering modes.
+func RunFig6ab(cfg EnforceConfig, flowCounts []int) (*Fig6abResult, error) {
+	cfg = cfg.withDefaults()
+	if len(flowCounts) == 0 {
+		flowCounts = []int{20, 40, 60, 80, 100, 120, 140}
+	}
+	res := &Fig6abResult{}
+	const dur = 10 * time.Second
+	for _, flows := range flowCounts {
+		for _, filtering := range []bool{true, false} {
+			cpu, lat12, err := runLoad(cfg, filtering, flows, dur)
+			if err != nil {
+				return nil, err
+			}
+			// Second probe pair for Fig. 6a's D1-D3 series.
+			tb, err := newTestbed(cfg, filtering)
+			if err != nil {
+				return nil, err
+			}
+			p13 := netsim.NewPinger(tb.d["D1"], tb.d["D3"], 2)
+			p13.Run(cfg.Iterations, 200*time.Millisecond, 56)
+			tb.net.RunAll()
+
+			pt := LoadPoint{Flows: flows, LatencyD1D2: lat12, LatencyD1D3: p13.Mean(), CPUPct: cpu}
+			if filtering {
+				res.Filtering = append(res.Filtering, pt)
+			} else {
+				res.Plain = append(res.Plain, pt)
+			}
+		}
+	}
+	return res, nil
+}
+
+// RenderFig6a formats the latency-versus-flows series.
+func (r *Fig6abResult) RenderFig6a() string {
+	var sb strings.Builder
+	sb.WriteString("Fig. 6a — Latency (ms) vs number of concurrent flows\n")
+	fmt.Fprintf(&sb, "%6s %14s %14s %14s %14s\n", "flows", "D1-D2 w/filt", "D1-D2 w/o", "D1-D3 w/filt", "D1-D3 w/o")
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	for i := range r.Filtering {
+		f, p := r.Filtering[i], r.Plain[i]
+		fmt.Fprintf(&sb, "%6d %14.1f %14.1f %14.1f %14.1f\n",
+			f.Flows, ms(f.LatencyD1D2), ms(p.LatencyD1D2), ms(f.LatencyD1D3), ms(p.LatencyD1D3))
+	}
+	return sb.String()
+}
+
+// RenderFig6b formats the CPU-versus-flows series.
+func (r *Fig6abResult) RenderFig6b() string {
+	var sb strings.Builder
+	sb.WriteString("Fig. 6b — CPU utilization (%) vs number of concurrent flows\n")
+	fmt.Fprintf(&sb, "%6s %14s %14s\n", "flows", "with filtering", "without")
+	for i := range r.Filtering {
+		fmt.Fprintf(&sb, "%6d %14.1f %14.1f\n", r.Filtering[i].Flows, r.Filtering[i].CPUPct, r.Plain[i].CPUPct)
+	}
+	return sb.String()
+}
+
+// MemoryPoint is one measurement of Fig. 6c.
+type MemoryPoint struct {
+	Rules int
+	// HeapBytes is the measured live-heap growth attributable to the
+	// enforcement state (rule cache + compiled flow rules).
+	HeapBytes uint64
+	// EstimateBytes is the engine's analytic footprint estimate.
+	EstimateBytes int
+	// TotalMB includes the modeled process baseline (OS + OVS +
+	// controller RSS) the paper's Fig. 6c implicitly contains.
+	TotalMB float64
+}
+
+// Fig6cResult holds memory-versus-rules series for both modes.
+type Fig6cResult struct {
+	Filtering []MemoryPoint
+	Plain     []MemoryPoint
+}
+
+// baselineMB is the modeled resident footprint of the gateway stack
+// before any enforcement rules exist.
+const baselineMB = 18.0
+
+// measureRuleMemory builds an engine (and, with filtering, the compiled
+// flow table) holding n device rules and returns the measured live-heap
+// growth in bytes.
+func measureRuleMemory(n int, filtering bool) uint64 {
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+
+	engine := enforce.NewEngine(tbSubnet)
+	table := flowtable.New()
+	for i := 0; i < n; i++ {
+		mac := packet.MAC{0x02, 0xee, byte(i >> 16), byte(i >> 8), byte(i), 0x01}
+		r := enforce.Rule{
+			DeviceMAC:    mac,
+			DeviceType:   "LoadDevice",
+			Level:        enforce.Restricted,
+			PermittedIPs: []packet.IP4{{52, byte(i >> 8), byte(i), 1}},
+		}
+		_ = engine.SetRule(r)
+		if filtering {
+			// The compiled OpenFlow rules are what OVS additionally
+			// holds when filtering is active.
+			for _, fr := range enforce.CompileFlowRules(r, nil, tbGatewayMAC, tbGatewayIP) {
+				table.Add(fr)
+			}
+		}
+	}
+	runtime.GC()
+	runtime.ReadMemStats(&after)
+	runtime.KeepAlive(engine)
+	runtime.KeepAlive(table)
+	if after.HeapAlloc < before.HeapAlloc {
+		return 0
+	}
+	return after.HeapAlloc - before.HeapAlloc
+}
+
+// RunFig6c sweeps the enforcement-rule count and measures memory.
+func RunFig6c(ruleCounts []int) *Fig6cResult {
+	if len(ruleCounts) == 0 {
+		ruleCounts = []int{0, 2500, 5000, 7500, 10000, 12500, 15000, 17500, 20000}
+	}
+	res := &Fig6cResult{}
+	for _, n := range ruleCounts {
+		for _, filtering := range []bool{true, false} {
+			heap := measureRuleMemory(n, filtering)
+			est := estimateRuleBytes(n)
+			pt := MemoryPoint{
+				Rules:         n,
+				HeapBytes:     heap,
+				EstimateBytes: est,
+				TotalMB:       baselineMB + float64(heap)/(1<<20),
+			}
+			if filtering {
+				res.Filtering = append(res.Filtering, pt)
+			} else {
+				res.Plain = append(res.Plain, pt)
+			}
+		}
+	}
+	return res
+}
+
+// estimateRuleBytes is the analytic per-rule footprint estimate used to
+// cross-check the measured heap growth.
+func estimateRuleBytes(n int) int {
+	e := enforce.NewEngine(tbSubnet)
+	for i := 0; i < n; i++ {
+		mac := packet.MAC{0x02, 0xee, byte(i >> 16), byte(i >> 8), byte(i), 0x01}
+		_ = e.SetRule(enforce.Rule{
+			DeviceMAC:    mac,
+			DeviceType:   "LoadDevice",
+			Level:        enforce.Restricted,
+			PermittedIPs: []packet.IP4{{52, byte(i >> 8), byte(i), 1}},
+		})
+	}
+	return e.MemoryFootprint()
+}
+
+// RenderFig6c formats the memory-versus-rules series.
+func (r *Fig6cResult) RenderFig6c() string {
+	var sb strings.Builder
+	sb.WriteString("Fig. 6c — Memory consumption (MB) vs number of enforcement rules\n")
+	sb.WriteString(fmt.Sprintf("(modeled %v MB process baseline + measured live-heap growth)\n", baselineMB))
+	fmt.Fprintf(&sb, "%8s %16s %16s\n", "rules", "with filtering", "without")
+	for i := range r.Filtering {
+		fmt.Fprintf(&sb, "%8d %16.2f %16.2f\n",
+			r.Filtering[i].Rules, r.Filtering[i].TotalMB, r.Plain[i].TotalMB)
+	}
+	return sb.String()
+}

@@ -1,0 +1,319 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/devices"
+)
+
+// quick is a reduced protocol keeping the test suite fast while still
+// exercising the full pipeline.
+func quick() IdentConfig {
+	return IdentConfig{Runs: 8, Folds: 4, Repeats: 1, Trees: 20, Seed: 2}
+}
+
+func TestRunIdentificationShapeMatchesPaper(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full CV in -short mode")
+	}
+	res, err := RunIdentification(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Every fingerprint is tested exactly Repeats times.
+	for _, typ := range res.Types {
+		if res.Tested[typ] != 8 {
+			t.Errorf("%s tested %d times, want 8", typ, res.Tested[typ])
+		}
+	}
+
+	// The paper's headline shape: distinct types identify (nearly)
+	// perfectly, confusion-group types sit around 0.5, and the global
+	// ratio lands around 0.8.
+	confusable := make(map[string]bool)
+	for _, g := range devices.ConfusionGroups() {
+		for _, m := range g {
+			confusable[m] = true
+		}
+	}
+	distinctSum, distinctN := 0.0, 0
+	confusedSum, confusedN := 0.0, 0
+	for _, typ := range res.Types {
+		acc := res.Accuracy(typ)
+		if confusable[typ] {
+			confusedSum += acc
+			confusedN++
+			continue
+		}
+		distinctSum += acc
+		distinctN++
+		// The reduced protocol (20 trees, 8 runs) is noisier than the
+		// paper's; allow slack per type but keep the mean tight below.
+		if acc < 0.6 {
+			t.Errorf("distinct %s accuracy %.2f, want >= 0.6", typ, acc)
+		}
+	}
+	if mean := distinctSum / float64(distinctN); mean < 0.9 {
+		t.Errorf("mean accuracy over the 17 distinct types %.3f, want >= 0.9", mean)
+	}
+	// With only 8 tests per type a single confusable type can get lucky;
+	// the degradation must show in the group mean (paper: ≈0.5).
+	if mean := confusedSum / float64(confusedN); mean > 0.8 {
+		t.Errorf("mean accuracy over the 10 confusable types %.3f, expected degradation", mean)
+	}
+	global := res.GlobalAccuracy()
+	if global < 0.70 || global > 0.95 {
+		t.Errorf("global accuracy %.3f outside the paper-like band [0.70, 0.95]", global)
+	}
+	// Group-credited accuracy should be near perfect: confusion stays
+	// within hardware/firmware families.
+	if ga := res.GroupAccuracy(); ga < 0.95 {
+		t.Errorf("group accuracy %.3f, want >= 0.95", ga)
+	}
+	// Discrimination must actually run (the paper reports 55% of
+	// fingerprints matching more than one type).
+	if res.MultiMatchFraction <= 0.1 {
+		t.Errorf("multi-match fraction %.2f, want > 0.1", res.MultiMatchFraction)
+	}
+	if res.StageCounts["discrimination"] == 0 {
+		t.Error("discrimination stage never ran")
+	}
+}
+
+func TestConfusionMatrixStructure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full CV in -short mode")
+	}
+	res, err := RunIdentification(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Misidentifications of confusable types stay inside their group:
+	// e.g. TP-Link plugs are predicted as one of the two TP-Link plugs.
+	for _, group := range devices.ConfusionGroups() {
+		inGroup := make(map[string]bool, len(group))
+		for _, m := range group {
+			inGroup[m] = true
+		}
+		for _, actual := range group {
+			outside := 0
+			total := 0
+			for pred, n := range res.Confusion[actual] {
+				total += n
+				if pred != "" && !inGroup[pred] {
+					outside += n
+				}
+			}
+			if total > 0 && float64(outside)/float64(total) > 0.15 {
+				t.Errorf("%s leaks %d/%d predictions outside its group", actual, outside, total)
+			}
+		}
+	}
+
+	// Renderers produce the paper's row/column structure.
+	fig5 := res.RenderFig5()
+	if !strings.Contains(fig5, "GLOBAL") || !strings.Contains(fig5, "Aria") {
+		t.Error("RenderFig5 missing rows")
+	}
+	t3 := res.RenderTable3()
+	if !strings.Contains(t3, "A\\P") || !strings.Contains(t3, "10") {
+		t.Error("RenderTable3 malformed")
+	}
+}
+
+func TestRunTable4TimingShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing run in -short mode")
+	}
+	cfg := quick()
+	res, err := RunTable4(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Steps) != 6 {
+		t.Fatalf("got %d timing rows, want 6", len(res.Steps))
+	}
+	byName := make(map[string]TimingStats)
+	for _, s := range res.Steps {
+		byName[s.Name] = s
+	}
+	one := byName["1 Classification (Random Forest)"]
+	all := byName["27 Classifications (Random Forest)"]
+	ident := byName["Type identification (end to end)"]
+	if one.Mean <= 0 || all.Mean <= 0 || ident.Mean <= 0 {
+		t.Fatalf("non-positive timings: %+v", res.Steps)
+	}
+	// Shape: 27 classifications cost more than 1; identification costs
+	// at least as much as classification.
+	if all.Mean < one.Mean {
+		t.Error("27 classifications cheaper than 1")
+	}
+	if ident.Mean < all.Mean/2 {
+		t.Error("identification cheaper than half the classification stage")
+	}
+	out := res.RenderTable4()
+	if !strings.Contains(out, "Table IV") {
+		t.Error("RenderTable4 missing header")
+	}
+}
+
+func TestRunTable5LatencyShape(t *testing.T) {
+	cfg := EnforceConfig{Iterations: 15, Seed: 1}
+	res, err := RunTable5(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Pairs) != 9 {
+		t.Fatalf("got %d pairs, want 9", len(res.Pairs))
+	}
+	for _, p := range res.Pairs {
+		// Latencies in the paper's 15-30ms band.
+		if p.NoMean < 10*time.Millisecond || p.NoMean > 40*time.Millisecond {
+			t.Errorf("%s->%s unfiltered latency %v outside the Table V band", p.Src, p.Dst, p.NoMean)
+		}
+		// Filtering adds only a small overhead.
+		if pct := p.OverheadPct(); pct < -2 || pct > 15 {
+			t.Errorf("%s->%s filtering overhead %.2f%%, want small", p.Src, p.Dst, pct)
+		}
+	}
+	// Device-to-device (two WiFi hops) is slower than device-to-local
+	// server (WiFi + Ethernet), as in the paper.
+	var d1d4, d1sl time.Duration
+	for _, p := range res.Pairs {
+		if p.Src == "D1" && p.Dst == "D4" {
+			d1d4 = p.NoMean
+		}
+		if p.Src == "D1" && p.Dst == "Slocal" {
+			d1sl = p.NoMean
+		}
+	}
+	if d1d4 <= d1sl {
+		t.Errorf("D1-D4 (%v) should exceed D1-Slocal (%v)", d1d4, d1sl)
+	}
+	if out := res.RenderTable5(); !strings.Contains(out, "Table V") {
+		t.Error("RenderTable5 missing header")
+	}
+}
+
+func TestRunTable6OverheadSmall(t *testing.T) {
+	res, err := RunTable6(EnforceConfig{Iterations: 15, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, pct := range map[string]float64{
+		"D1D2": res.D1D2LatencyPct,
+		"D1D3": res.D1D3LatencyPct,
+		"CPU":  res.CPUPct,
+	} {
+		if pct < -3 || pct > 15 {
+			t.Errorf("%s overhead %.2f%% outside the small-overhead band", name, pct)
+		}
+	}
+	if res.MemoryPct < 0 {
+		t.Errorf("memory overhead %.2f%% negative", res.MemoryPct)
+	}
+	if out := res.RenderTable6(); !strings.Contains(out, "Table VI") {
+		t.Error("RenderTable6 missing header")
+	}
+}
+
+func TestRunFig6abShape(t *testing.T) {
+	res, err := RunFig6ab(EnforceConfig{Iterations: 10, Seed: 1}, []int{20, 80, 140})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Filtering) != 3 || len(res.Plain) != 3 {
+		t.Fatalf("series lengths %d/%d, want 3/3", len(res.Filtering), len(res.Plain))
+	}
+	// CPU grows with flows and stays in the paper's 36-60% band.
+	for i, pt := range res.Filtering {
+		if pt.CPUPct < 36 || pt.CPUPct > 70 {
+			t.Errorf("filtering CPU at %d flows = %.1f%%, outside band", pt.Flows, pt.CPUPct)
+		}
+		if i > 0 && pt.CPUPct+1e-9 < res.Filtering[i-1].CPUPct {
+			t.Errorf("filtering CPU decreased from %.1f%% to %.1f%%", res.Filtering[i-1].CPUPct, pt.CPUPct)
+		}
+	}
+	// Latency stays in a user-tolerable band even at 140 flows.
+	last := res.Filtering[len(res.Filtering)-1]
+	if last.LatencyD1D2 > 40*time.Millisecond {
+		t.Errorf("latency at 140 flows = %v, want < 40ms", last.LatencyD1D2)
+	}
+	if !strings.Contains(res.RenderFig6a(), "Fig. 6a") || !strings.Contains(res.RenderFig6b(), "Fig. 6b") {
+		t.Error("Fig. 6a/6b renderers malformed")
+	}
+}
+
+func TestRunFig6cLinearMemory(t *testing.T) {
+	res := RunFig6c([]int{0, 5000, 10000})
+	if len(res.Filtering) != 3 {
+		t.Fatalf("got %d points", len(res.Filtering))
+	}
+	// Memory grows with the rule count, and filtering holds at least as
+	// much as no-filtering (flow table on top of the rule cache).
+	if res.Filtering[2].HeapBytes <= res.Filtering[1].HeapBytes ||
+		res.Filtering[1].HeapBytes <= res.Filtering[0].HeapBytes {
+		t.Errorf("filtering memory not increasing: %+v", res.Filtering)
+	}
+	for i := range res.Filtering {
+		if res.Filtering[i].Rules == 0 {
+			continue // GC noise dominates the empty configuration
+		}
+		if res.Filtering[i].HeapBytes < res.Plain[i].HeapBytes/2 {
+			t.Errorf("filtering holds less memory than plain at %d rules", res.Filtering[i].Rules)
+		}
+	}
+	// The analytic estimate tracks the measured growth within 10x.
+	est := float64(res.Filtering[2].EstimateBytes)
+	meas := float64(res.Filtering[2].HeapBytes)
+	if est <= 0 || meas/est > 10 || est/meas > 10 {
+		t.Errorf("estimate %.0f vs measured %.0f diverge", est, meas)
+	}
+	if !strings.Contains(res.RenderFig6c(), "Fig. 6c") {
+		t.Error("RenderFig6c malformed")
+	}
+}
+
+func TestAblationFPrimeLength(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation in -short mode")
+	}
+	cfg := quick()
+	cfg.Runs = 6
+	res, err := RunAblationFPrimeLength(cfg, []int{4, 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("got %d points", len(res.Points))
+	}
+	// Over-truncation (4 packets) must not beat the paper's 12 by a
+	// meaningful margin.
+	if res.Points[0].GlobalAccuracy > res.Points[1].GlobalAccuracy+0.05 {
+		t.Errorf("F'=4 (%.3f) beats F'=12 (%.3f)", res.Points[0].GlobalAccuracy, res.Points[1].GlobalAccuracy)
+	}
+	if !strings.Contains(res.Render(), "Ablation") {
+		t.Error("Render malformed")
+	}
+}
+
+func TestAblationEditOnly(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation in -short mode")
+	}
+	cfg := quick()
+	cfg.Runs = 6
+	res, err := RunAblationEditDistanceOnly(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	two, edit := res.Points[0], res.Points[1]
+	// Edit-only must be competitive on accuracy (the paper says it works)
+	// and is expected to cost more wall-clock in the identification loop.
+	if edit.GlobalAccuracy < two.GlobalAccuracy-0.25 {
+		t.Errorf("edit-only accuracy %.3f collapsed vs two-stage %.3f", edit.GlobalAccuracy, two.GlobalAccuracy)
+	}
+}

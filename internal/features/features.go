@@ -1,0 +1,198 @@
+// Package features extracts the 23 per-packet features of IoT Sentinel's
+// Table I.
+//
+// Each observed packet is reduced to a Vector of 23 integers: sixteen
+// protocol-presence booleans spanning the link, network, transport and
+// application layers, two IP-option booleans (padding, Router Alert), the
+// packet size, a raw-data presence boolean, a destination-IP counter, and
+// the source and destination port classes. None of the features depends
+// on packet payload bytes, so they are extractable from encrypted
+// traffic.
+//
+// The destination-IP counter is stateful across a capture: the first
+// distinct destination IP observed is numbered 1, the second 2, and so
+// on, so the feature encodes the count and order in which a device
+// contacts different endpoints during setup. Use an Extractor to carry
+// that state.
+package features
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/packet"
+)
+
+// NumFeatures is the number of per-packet features (Table I).
+const NumFeatures = 23
+
+// Feature indices into a Vector, following Table I's order. The paper
+// numbers features f1..f23; index i holds f(i+1).
+const (
+	ARP = iota // link layer protocol
+	LLC
+	IP // network layer protocol
+	ICMP
+	ICMPv6
+	EAPoL
+	TCP // transport layer protocol
+	UDP
+	HTTP // application layer protocol
+	HTTPS
+	DHCP
+	BOOTP
+	SSDP
+	DNS
+	MDNS
+	NTP
+	Padding     // IP options
+	RouterAlert // IP options
+	Size        // packet content (int)
+	RawData     // packet content
+	DstIPCounter
+	SrcPortClass
+	DstPortClass
+)
+
+// names maps feature indices to Table I's feature names.
+var names = [NumFeatures]string{
+	"ARP", "LLC", "IP", "ICMP", "ICMPv6", "EAPoL", "TCP", "UDP",
+	"HTTP", "HTTPS", "DHCP", "BOOTP", "SSDP", "DNS", "MDNS", "NTP",
+	"Padding", "RouterAlert", "Size", "RawData", "DstIPCounter",
+	"SrcPortClass", "DstPortClass",
+}
+
+// Name returns the Table I name of the feature at index i.
+func Name(i int) string { return names[i] }
+
+// Vector is the 23-feature representation of one packet. Binary features
+// hold 0 or 1; Size, DstIPCounter and the port classes hold small
+// non-negative integers. Vector is a comparable value type so fingerprint
+// code can deduplicate and compare packets with ==.
+type Vector [NumFeatures]int32
+
+// String renders the vector compactly for logs and test failures, listing
+// set booleans by name and integer features as key=value.
+func (v Vector) String() string {
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i := ARP; i <= NTP; i++ {
+		if v[i] != 0 {
+			if sb.Len() > 1 {
+				sb.WriteByte(' ')
+			}
+			sb.WriteString(names[i])
+		}
+	}
+	for _, i := range []int{Padding, RouterAlert, RawData} {
+		if v[i] != 0 {
+			if sb.Len() > 1 {
+				sb.WriteByte(' ')
+			}
+			sb.WriteString(names[i])
+		}
+	}
+	fmt.Fprintf(&sb, " size=%d dst=%d sp=%d dp=%d}", v[Size], v[DstIPCounter], v[SrcPortClass], v[DstPortClass])
+	return sb.String()
+}
+
+// Floats converts the vector to a float64 slice for machine-learning
+// consumers, appending into dst (which may be nil).
+func (v Vector) Floats(dst []float64) []float64 {
+	for _, x := range v {
+		dst = append(dst, float64(x))
+	}
+	return dst
+}
+
+// Extractor extracts feature vectors from a packet stream, carrying the
+// destination-IP counter state of one capture. The zero value is ready to
+// use; do not reuse an Extractor across captures (create a new one per
+// device setup observation).
+type Extractor struct {
+	dstIPs map[string]int32
+}
+
+// Reset clears the destination-IP counter state so the Extractor can be
+// reused for a new capture.
+func (e *Extractor) Reset() { e.dstIPs = nil }
+
+// dstCounter returns the counter value for dst, assigning the next value
+// on first sight.
+func (e *Extractor) dstCounter(dst string) int32 {
+	if e.dstIPs == nil {
+		e.dstIPs = make(map[string]int32, 8)
+	}
+	if c, ok := e.dstIPs[dst]; ok {
+		return c
+	}
+	c := int32(len(e.dstIPs) + 1)
+	e.dstIPs[dst] = c
+	return c
+}
+
+// Extract computes the feature vector of p, updating the destination-IP
+// counter state.
+func (e *Extractor) Extract(p *packet.Packet) Vector {
+	var v Vector
+	b := func(idx int, on bool) {
+		if on {
+			v[idx] = 1
+		}
+	}
+
+	b(ARP, p.ARP != nil)
+	b(LLC, p.LLC != nil)
+	b(IP, p.IPv4 != nil || p.IPv6 != nil)
+	b(ICMP, p.ICMP != nil)
+	b(ICMPv6, p.ICMPv6 != nil)
+	b(EAPoL, p.EAPOL != nil)
+	b(TCP, p.TCP != nil)
+	b(UDP, p.UDP != nil)
+
+	http, https, dhcp, bootp, ssdp, dns, mdns, ntp := p.AppProtocols()
+	b(HTTP, http)
+	b(HTTPS, https)
+	b(DHCP, dhcp)
+	b(BOOTP, bootp)
+	b(SSDP, ssdp)
+	b(DNS, dns)
+	b(MDNS, mdns)
+	b(NTP, ntp)
+
+	switch {
+	case p.IPv4 != nil:
+		b(Padding, p.IPv4.HasPadding())
+		b(RouterAlert, p.IPv4.HasRouterAlert())
+	case p.IPv6 != nil:
+		b(Padding, p.IPv6.HopByHop.HasPadding())
+		b(RouterAlert, p.IPv6.HopByHop.HasRouterAlert())
+	}
+
+	v[Size] = int32(p.Length())
+	// Raw data: the packet carries bytes beyond its decoded protocol
+	// headers — transport payload, an LLC information field, or a raw IP
+	// payload such as an IGMP report.
+	b(RawData, len(p.Payload) > 0)
+
+	if dst, ok := p.DstIP(); ok {
+		v[DstIPCounter] = e.dstCounter(dst)
+	}
+
+	sp, spOK := p.SrcPort()
+	dp, dpOK := p.DstPort()
+	v[SrcPortClass] = int32(packet.PortClass(sp, spOK))
+	v[DstPortClass] = int32(packet.PortClass(dp, dpOK))
+	return v
+}
+
+// ExtractAll computes feature vectors for a whole capture in order using
+// fresh counter state.
+func ExtractAll(pkts []*packet.Packet) []Vector {
+	var e Extractor
+	out := make([]Vector, len(pkts))
+	for i, p := range pkts {
+		out[i] = e.Extract(p)
+	}
+	return out
+}

@@ -1,0 +1,226 @@
+package features
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/packet"
+)
+
+var (
+	devMAC = packet.MustParseMAC("13:73:74:7e:a9:c2")
+	apMAC  = packet.MustParseMAC("02:00:00:00:00:01")
+	devIP  = packet.MustParseIP4("192.168.1.57")
+	gwIP   = packet.MustParseIP4("192.168.1.1")
+	cloud  = packet.MustParseIP4("52.28.14.9")
+	t0     = time.Date(2016, 3, 1, 10, 0, 0, 0, time.UTC)
+)
+
+func builder() *packet.Builder {
+	b := packet.NewBuilder(devMAC)
+	b.SetIP(devIP)
+	return b
+}
+
+// expect describes the features that must be set (to the given values) in
+// an extracted vector; all other boolean features must be zero.
+func checkVector(t *testing.T, v Vector, want map[int]int32) {
+	t.Helper()
+	for i := 0; i < NumFeatures; i++ {
+		wantVal, specified := want[i]
+		switch {
+		case specified && v[i] != wantVal:
+			t.Errorf("feature %s = %d, want %d (vector %v)", Name(i), v[i], wantVal, v)
+		case !specified && i != Size && v[i] != 0:
+			t.Errorf("feature %s = %d, want 0 (vector %v)", Name(i), v[i], v)
+		}
+	}
+}
+
+func TestExtractARP(t *testing.T) {
+	var e Extractor
+	v := e.Extract(builder().ARPAnnounce(t0))
+	checkVector(t, v, map[int]int32{ARP: 1})
+	if v[Size] != 60 {
+		t.Errorf("Size = %d, want 60", v[Size])
+	}
+}
+
+func TestExtractEAPOL(t *testing.T) {
+	var e Extractor
+	v := e.Extract(packet.NewBuilder(devMAC).EAPOLKey(apMAC, 2, 24, t0))
+	checkVector(t, v, map[int]int32{EAPoL: 1})
+}
+
+func TestExtractDHCP(t *testing.T) {
+	var e Extractor
+	v := e.Extract(packet.NewBuilder(devMAC).DHCPDiscoverPkt(1, "plug", t0))
+	checkVector(t, v, map[int]int32{
+		IP: 1, UDP: 1, DHCP: 1, BOOTP: 1, RawData: 1,
+		DstIPCounter: 1, SrcPortClass: 1, DstPortClass: 1,
+	})
+}
+
+func TestExtractDNS(t *testing.T) {
+	var e Extractor
+	v := e.Extract(builder().DNSQueryPkt(apMAC, gwIP, 33211, 1, "x.example.com", packet.DNSTypeA, t0))
+	checkVector(t, v, map[int]int32{
+		IP: 1, UDP: 1, DNS: 1, RawData: 1,
+		DstIPCounter: 1, SrcPortClass: 2, DstPortClass: 1,
+	})
+}
+
+func TestExtractMDNS(t *testing.T) {
+	var e Extractor
+	v := e.Extract(builder().MDNSAnnouncePkt("_hue._tcp.local", "b", t0))
+	// mDNS uses port 5353 on both sides, which is in the registered range.
+	checkVector(t, v, map[int]int32{
+		IP: 1, UDP: 1, MDNS: 1, RawData: 1,
+		DstIPCounter: 1, SrcPortClass: 2, DstPortClass: 2,
+	})
+}
+
+func TestExtractSSDPAndNTP(t *testing.T) {
+	var e Extractor
+	v := e.Extract(builder().SSDPMSearchPkt("ssdp:all", 50000, t0))
+	checkVector(t, v, map[int]int32{
+		IP: 1, UDP: 1, SSDP: 1, RawData: 1,
+		DstIPCounter: 1, SrcPortClass: 3, DstPortClass: 2,
+	})
+	v = e.Extract(builder().NTPRequestPkt(apMAC, gwIP, t0))
+	checkVector(t, v, map[int]int32{
+		IP: 1, UDP: 1, NTP: 1, RawData: 1,
+		DstIPCounter: 2, SrcPortClass: 1, DstPortClass: 1,
+	})
+}
+
+func TestExtractHTTPAndHTTPS(t *testing.T) {
+	var e Extractor
+	v := e.Extract(builder().HTTPRequestPkt(apMAC, cloud, 49200, "GET", "h", "/", "a", 0, t0))
+	checkVector(t, v, map[int]int32{
+		IP: 1, TCP: 1, HTTP: 1, RawData: 1,
+		DstIPCounter: 1, SrcPortClass: 3, DstPortClass: 1,
+	})
+	v = e.Extract(builder().TLSClientHelloPkt(apMAC, cloud, 49201, "h", 0, t0))
+	checkVector(t, v, map[int]int32{
+		IP: 1, TCP: 1, HTTPS: 1, RawData: 1,
+		DstIPCounter: 1, SrcPortClass: 3, DstPortClass: 1,
+	})
+}
+
+func TestExtractTCPSynHasNoRawData(t *testing.T) {
+	var e Extractor
+	v := e.Extract(builder().TCPSynPkt(apMAC, cloud, 49152, 443, t0))
+	checkVector(t, v, map[int]int32{
+		IP: 1, TCP: 1, HTTPS: 1,
+		DstIPCounter: 1, SrcPortClass: 3, DstPortClass: 1,
+	})
+}
+
+func TestExtractIGMPRouterAlert(t *testing.T) {
+	var e Extractor
+	v := e.Extract(builder().IGMPJoinPkt(packet.IP4SSDP, t0))
+	checkVector(t, v, map[int]int32{
+		IP: 1, RouterAlert: 1, RawData: 1, DstIPCounter: 1,
+	})
+}
+
+func TestExtractMLDRouterAlertAndPadding(t *testing.T) {
+	var e Extractor
+	v := e.Extract(builder().MLDv2ReportPkt(t0, packet.IP6MDNS))
+	checkVector(t, v, map[int]int32{
+		IP: 1, ICMPv6: 1, RouterAlert: 1, Padding: 1, DstIPCounter: 1,
+	})
+}
+
+func TestExtractICMPv6NDP(t *testing.T) {
+	var e Extractor
+	v := e.Extract(builder().NeighborSolicitPkt(t0))
+	checkVector(t, v, map[int]int32{
+		IP: 1, ICMPv6: 1, DstIPCounter: 1,
+	})
+}
+
+func TestExtractICMPEcho(t *testing.T) {
+	var e Extractor
+	v := e.Extract(builder().ICMPEchoPkt(apMAC, gwIP, 1, 1, 32, t0))
+	checkVector(t, v, map[int]int32{IP: 1, ICMP: 1, DstIPCounter: 1})
+}
+
+func TestExtractLLC(t *testing.T) {
+	var e Extractor
+	v := e.Extract(builder().LLCTestPkt(packet.BroadcastMAC, 0x42, 35, t0))
+	checkVector(t, v, map[int]int32{LLC: 1, RawData: 1})
+}
+
+func TestDstIPCounterOrdering(t *testing.T) {
+	b := builder()
+	var e Extractor
+	pkts := []*packet.Packet{
+		b.DNSQueryPkt(apMAC, gwIP, 33211, 1, "a.example", packet.DNSTypeA, t0), // gw -> 1
+		b.NTPRequestPkt(apMAC, gwIP, t0),                                       // gw -> 1 again
+		b.TCPSynPkt(apMAC, cloud, 49152, 443, t0),                              // cloud -> 2
+		b.DNSQueryPkt(apMAC, gwIP, 33212, 2, "b.example", packet.DNSTypeA, t0), // gw -> 1
+		b.TCPSynPkt(apMAC, packet.MustParseIP4("52.0.0.1"), 49153, 443, t0),    // -> 3
+		b.TCPSynPkt(apMAC, cloud, 49154, 443, t0),                              // cloud -> 2
+	}
+	want := []int32{1, 1, 2, 1, 3, 2}
+	for i, p := range pkts {
+		if got := e.Extract(p)[DstIPCounter]; got != want[i] {
+			t.Errorf("packet %d DstIPCounter = %d, want %d", i, got, want[i])
+		}
+	}
+}
+
+func TestExtractorReset(t *testing.T) {
+	b := builder()
+	var e Extractor
+	e.Extract(b.TCPSynPkt(apMAC, cloud, 49152, 443, t0))
+	e.Reset()
+	v := e.Extract(b.TCPSynPkt(apMAC, packet.MustParseIP4("52.0.0.1"), 49152, 443, t0))
+	if v[DstIPCounter] != 1 {
+		t.Errorf("after Reset, DstIPCounter = %d, want 1", v[DstIPCounter])
+	}
+}
+
+func TestExtractAllFreshState(t *testing.T) {
+	b := builder()
+	pkts := []*packet.Packet{
+		b.TCPSynPkt(apMAC, cloud, 49152, 443, t0),
+		b.TCPSynPkt(apMAC, gwIP, 49153, 80, t0),
+	}
+	vs1 := ExtractAll(pkts)
+	vs2 := ExtractAll(pkts)
+	for i := range vs1 {
+		if vs1[i] != vs2[i] {
+			t.Errorf("ExtractAll not deterministic at %d: %v vs %v", i, vs1[i], vs2[i])
+		}
+	}
+	if vs1[0][DstIPCounter] != 1 || vs1[1][DstIPCounter] != 2 {
+		t.Errorf("ExtractAll counters = %d,%d want 1,2", vs1[0][DstIPCounter], vs1[1][DstIPCounter])
+	}
+}
+
+func TestVectorString(t *testing.T) {
+	var e Extractor
+	v := e.Extract(builder().NTPRequestPkt(apMAC, gwIP, t0))
+	s := v.String()
+	for _, want := range []string{"NTP", "UDP", "IP", "size="} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q, missing %q", s, want)
+		}
+	}
+}
+
+func TestFloats(t *testing.T) {
+	v := Vector{1, 0, 1}
+	v[Size] = 60
+	fs := v.Floats(nil)
+	if len(fs) != NumFeatures {
+		t.Fatalf("Floats length = %d, want %d", len(fs), NumFeatures)
+	}
+	if fs[0] != 1 || fs[1] != 0 || fs[2] != 1 || fs[Size] != 60 {
+		t.Errorf("Floats values wrong: %v", fs)
+	}
+}

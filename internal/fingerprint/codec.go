@@ -1,0 +1,68 @@
+package fingerprint
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/features"
+)
+
+// Report is the wire form of a device fingerprint as the Security Gateway
+// submits it to the IoT Security Service. It carries no identity beyond
+// the observed MAC (needed by the gateway to apply the returned isolation
+// level); the IoTSSP stores nothing about its clients.
+type Report struct {
+	// MAC is the device's hardware address as printed by packet.MAC.
+	MAC string `json:"mac"`
+	// Vectors is the F matrix, one row per packet column.
+	Vectors [][]int32 `json:"vectors"`
+}
+
+// MarshalReportStruct builds the wire struct for a fingerprint.
+func MarshalReportStruct(mac string, f *Fingerprint) (Report, error) {
+	if f == nil {
+		return Report{}, fmt.Errorf("encoding fingerprint report: nil fingerprint")
+	}
+	rows := make([][]int32, f.Len())
+	for i := 0; i < f.Len(); i++ {
+		v := f.At(i)
+		rows[i] = append([]int32(nil), v[:]...)
+	}
+	return Report{MAC: mac, Vectors: rows}, nil
+}
+
+// UnmarshalReportStruct validates and decodes a wire struct.
+func UnmarshalReportStruct(r Report) (string, *Fingerprint, error) {
+	vs := make([]features.Vector, len(r.Vectors))
+	for i, row := range r.Vectors {
+		if len(row) != features.NumFeatures {
+			return "", nil, fmt.Errorf("decoding fingerprint report: row %d has %d features, want %d",
+				i, len(row), features.NumFeatures)
+		}
+		copy(vs[i][:], row)
+	}
+	return r.MAC, FromVectors(vs), nil
+}
+
+// MarshalReport encodes a fingerprint into its JSON wire form.
+func MarshalReport(mac string, f *Fingerprint) ([]byte, error) {
+	r, err := MarshalReportStruct(mac, f)
+	if err != nil {
+		return nil, err
+	}
+	b, err := json.Marshal(r)
+	if err != nil {
+		return nil, fmt.Errorf("encoding fingerprint report: %w", err)
+	}
+	return b, nil
+}
+
+// UnmarshalReport decodes a JSON fingerprint report, validating vector
+// dimensionality.
+func UnmarshalReport(b []byte) (string, *Fingerprint, error) {
+	var r Report
+	if err := json.Unmarshal(b, &r); err != nil {
+		return "", nil, fmt.Errorf("decoding fingerprint report: %w", err)
+	}
+	return UnmarshalReportStruct(r)
+}

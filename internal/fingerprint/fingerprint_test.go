@@ -1,0 +1,244 @@
+package fingerprint
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/features"
+	"repro/internal/packet"
+)
+
+var t0 = time.Date(2016, 3, 1, 10, 0, 0, 0, time.UTC)
+
+// vec returns a vector whose first field is tag, to build distinguishable
+// test vectors cheaply.
+func vec(tag int32) features.Vector {
+	var v features.Vector
+	v[features.Size] = tag
+	return v
+}
+
+func TestConsecutiveDuplicatesDiscarded(t *testing.T) {
+	vs := []features.Vector{vec(1), vec(1), vec(2), vec(2), vec(2), vec(1), vec(3), vec(3)}
+	f := FromVectors(vs)
+	want := []features.Vector{vec(1), vec(2), vec(1), vec(3)}
+	if f.Len() != len(want) {
+		t.Fatalf("Len = %d, want %d", f.Len(), len(want))
+	}
+	for i, w := range want {
+		if f.At(i) != w {
+			t.Errorf("At(%d) = %v, want %v", i, f.At(i), w)
+		}
+	}
+}
+
+func TestUniquePrefix(t *testing.T) {
+	vs := []features.Vector{vec(1), vec(2), vec(1), vec(3), vec(2), vec(4)}
+	f := FromVectors(vs)
+	got := f.UniquePrefix(3)
+	want := []features.Vector{vec(1), vec(2), vec(3)}
+	if len(got) != len(want) {
+		t.Fatalf("UniquePrefix length = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("UniquePrefix[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if f.UniqueCount() != 4 {
+		t.Errorf("UniqueCount = %d, want 4", f.UniqueCount())
+	}
+}
+
+func TestFixedLengthAndPadding(t *testing.T) {
+	// Fewer than 12 unique vectors: F' must zero-pad to 276.
+	f := FromVectors([]features.Vector{vec(1), vec(2), vec(3)})
+	fx := f.Fixed()
+	if len(fx) != FixedLen {
+		t.Fatalf("Fixed length = %d, want %d", len(fx), FixedLen)
+	}
+	if fx[features.Size] != 1 || fx[features.NumFeatures+features.Size] != 2 {
+		t.Error("Fixed does not start with the unique vectors in order")
+	}
+	for i := 3 * features.NumFeatures; i < FixedLen; i++ {
+		if fx[i] != 0 {
+			t.Fatalf("Fixed[%d] = %v, want 0 (padding)", i, fx[i])
+		}
+	}
+}
+
+func TestFixedTruncatesAtTwelve(t *testing.T) {
+	vs := make([]features.Vector, 0, 20)
+	for i := int32(1); i <= 20; i++ {
+		vs = append(vs, vec(i))
+	}
+	fx := FromVectors(vs).Fixed()
+	if len(fx) != FixedLen {
+		t.Fatalf("Fixed length = %d, want %d", len(fx), FixedLen)
+	}
+	// Last packet slot must hold vector 12, not 20.
+	lastSlot := fx[11*features.NumFeatures+features.Size]
+	if lastSlot != 12 {
+		t.Errorf("12th packet slot size = %v, want 12", lastSlot)
+	}
+}
+
+func TestNewFromPackets(t *testing.T) {
+	mac := packet.MustParseMAC("13:73:74:7e:a9:c2")
+	b := packet.NewBuilder(mac)
+	ap := packet.MustParseMAC("02:00:00:00:00:01")
+	// Two identical ARP probes in a row collapse into one column.
+	pkts := []*packet.Packet{
+		b.EAPOLStart(ap, t0),
+		b.ARPProbe(packet.MustParseIP4("192.168.1.57"), t0),
+		b.ARPProbe(packet.MustParseIP4("192.168.1.57"), t0),
+		b.DHCPDiscoverPkt(7, "dev", t0),
+	}
+	f := New(pkts)
+	if f.Len() != 3 {
+		t.Errorf("Len = %d, want 3 (consecutive ARP probes collapse)", f.Len())
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := FromVectors([]features.Vector{vec(1), vec(2)})
+	b := FromVectors([]features.Vector{vec(1), vec(2)})
+	c := FromVectors([]features.Vector{vec(1), vec(3)})
+	d := FromVectors([]features.Vector{vec(1)})
+	if !a.Equal(b) {
+		t.Error("identical fingerprints not Equal")
+	}
+	if a.Equal(c) || a.Equal(d) {
+		t.Error("different fingerprints reported Equal")
+	}
+}
+
+func TestFromVectorsProperty(t *testing.T) {
+	// Property: no two consecutive vectors in F are equal, and F preserves
+	// subsequence order.
+	f := func(tags []uint8) bool {
+		vs := make([]features.Vector, len(tags))
+		for i, tag := range tags {
+			vs[i] = vec(int32(tag % 4)) // small alphabet to force duplicates
+		}
+		fp := FromVectors(vs)
+		for i := 1; i < fp.Len(); i++ {
+			if fp.At(i) == fp.At(i-1) {
+				return false
+			}
+		}
+		return fp.Len() <= len(vs)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReportRoundTrip(t *testing.T) {
+	f := FromVectors([]features.Vector{vec(1), vec(2), vec(7)})
+	b, err := MarshalReport("13:73:74:7e:a9:c2", f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mac, g, err := UnmarshalReport(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mac != "13:73:74:7e:a9:c2" {
+		t.Errorf("MAC = %q", mac)
+	}
+	if !f.Equal(g) {
+		t.Error("fingerprint changed across JSON round-trip")
+	}
+}
+
+func TestUnmarshalReportRejectsBadDimension(t *testing.T) {
+	if _, _, err := UnmarshalReport([]byte(`{"mac":"x","vectors":[[1,2,3]]}`)); err == nil {
+		t.Error("UnmarshalReport accepted a 3-feature row")
+	}
+	if _, _, err := UnmarshalReport([]byte(`not json`)); err == nil {
+		t.Error("UnmarshalReport accepted garbage")
+	}
+}
+
+func TestSetupEndIdleGap(t *testing.T) {
+	d := NewSetupEndDetector(DefaultSetupEndConfig())
+	ts := t0
+	for i := 0; i < 20; i++ {
+		if d.Observe(ts) {
+			t.Fatalf("setup ended prematurely at packet %d", i)
+		}
+		ts = ts.Add(200 * time.Millisecond)
+	}
+	// An 11-second silence ends the phase.
+	if !d.Observe(ts.Add(11 * time.Second)) {
+		t.Error("idle gap did not end the setup phase")
+	}
+	if !d.Done() {
+		t.Error("Done() = false after idle gap")
+	}
+}
+
+func TestSetupEndRateDecrease(t *testing.T) {
+	d := NewSetupEndDetector(DefaultSetupEndConfig())
+	ts := t0
+	// Burst: 30 packets at 10 pkt/s.
+	for i := 0; i < 30; i++ {
+		d.Observe(ts)
+		ts = ts.Add(100 * time.Millisecond)
+	}
+	if d.Done() {
+		t.Fatal("setup ended during the burst")
+	}
+	// Trickle: heartbeats every 8 s (below the idle gap, but the rate
+	// collapses well under 20% of peak).
+	ended := false
+	for i := 0; i < 5 && !ended; i++ {
+		ts = ts.Add(8 * time.Second)
+		ended = d.Observe(ts)
+	}
+	if !ended {
+		t.Error("rate decrease did not end the setup phase")
+	}
+}
+
+func TestSetupEndMaxPackets(t *testing.T) {
+	cfg := DefaultSetupEndConfig()
+	cfg.MaxPackets = 50
+	d := NewSetupEndDetector(cfg)
+	ts := t0
+	for i := 0; i < 49; i++ {
+		if d.Observe(ts) {
+			t.Fatalf("ended at packet %d", i)
+		}
+		ts = ts.Add(10 * time.Millisecond)
+	}
+	if !d.Observe(ts) {
+		t.Error("MaxPackets did not end the setup phase")
+	}
+}
+
+func TestSetupEndExpire(t *testing.T) {
+	d := NewSetupEndDetector(DefaultSetupEndConfig())
+	if d.Expire(t0) {
+		t.Error("Expire with no packets reported done")
+	}
+	d.Observe(t0)
+	if d.Expire(t0.Add(5 * time.Second)) {
+		t.Error("Expire before idle gap reported done")
+	}
+	if !d.Expire(t0.Add(15 * time.Second)) {
+		t.Error("Expire after idle gap did not report done")
+	}
+}
+
+func TestSetupEndCount(t *testing.T) {
+	d := NewSetupEndDetector(DefaultSetupEndConfig())
+	for i := 0; i < 5; i++ {
+		d.Observe(t0.Add(time.Duration(i) * time.Second))
+	}
+	if d.Count() != 5 {
+		t.Errorf("Count = %d, want 5", d.Count())
+	}
+}

@@ -1,0 +1,115 @@
+package fingerprint
+
+import "time"
+
+// SetupEndConfig tunes the setup-phase end detector. The zero value is
+// not valid; use DefaultSetupEndConfig.
+type SetupEndConfig struct {
+	// Window is the width of the sliding rate window.
+	Window time.Duration
+	// RateFraction ends the setup phase when the packet rate in the
+	// current window falls below this fraction of the peak window rate.
+	RateFraction float64
+	// IdleGap ends the setup phase unconditionally when no packet has
+	// arrived for this long.
+	IdleGap time.Duration
+	// MinPackets is the minimum number of packets that must be observed
+	// before a rate decrease may end the phase (guards against declaring
+	// the end inside the very first burst).
+	MinPackets int
+	// MaxPackets caps the capture; the phase ends once this many packets
+	// have been recorded regardless of rate.
+	MaxPackets int
+}
+
+// DefaultSetupEndConfig returns the detector configuration used by the
+// Security Gateway: a 5-second window, end on a drop below 20% of the
+// peak rate or a 10-second silence, after at least 8 packets, capped at
+// 2048 packets.
+func DefaultSetupEndConfig() SetupEndConfig {
+	return SetupEndConfig{
+		Window:       5 * time.Second,
+		RateFraction: 0.2,
+		IdleGap:      10 * time.Second,
+		MinPackets:   8,
+		MaxPackets:   2048,
+	}
+}
+
+// SetupEndDetector detects the end of a device's setup phase from the
+// decrease in its packet rate, as the paper's gateway does (§IV-A). Feed
+// packet arrival times with Observe; it reports true once the setup phase
+// has ended. The detector is single-use.
+type SetupEndDetector struct {
+	cfg      SetupEndConfig
+	arrivals []time.Time
+	peakRate float64
+	count    int
+	done     bool
+}
+
+// NewSetupEndDetector returns a detector with the given configuration.
+func NewSetupEndDetector(cfg SetupEndConfig) *SetupEndDetector {
+	return &SetupEndDetector{cfg: cfg}
+}
+
+// Done reports whether the setup phase has ended.
+func (d *SetupEndDetector) Done() bool { return d.done }
+
+// Count returns the number of packets observed so far.
+func (d *SetupEndDetector) Count() int { return d.count }
+
+// Observe records a packet arrival at t and reports whether the setup
+// phase ended with this packet. Arrivals must be fed in non-decreasing
+// time order.
+func (d *SetupEndDetector) Observe(t time.Time) bool {
+	if d.done {
+		return true
+	}
+	if d.count > 0 {
+		last := d.arrivals[len(d.arrivals)-1]
+		if gap := t.Sub(last); gap >= d.cfg.IdleGap {
+			d.done = true
+			return true
+		}
+	}
+	d.count++
+	d.arrivals = append(d.arrivals, t)
+	if d.count >= d.cfg.MaxPackets {
+		d.done = true
+		return true
+	}
+
+	// Drop arrivals that slid out of the window, then compare the
+	// current window rate against the peak.
+	cutoff := t.Add(-d.cfg.Window)
+	i := 0
+	for i < len(d.arrivals) && d.arrivals[i].Before(cutoff) {
+		i++
+	}
+	d.arrivals = d.arrivals[i:]
+	rate := float64(len(d.arrivals)) / d.cfg.Window.Seconds()
+	if rate > d.peakRate {
+		d.peakRate = rate
+	}
+	if d.count >= d.cfg.MinPackets && rate < d.cfg.RateFraction*d.peakRate {
+		d.done = true
+		return true
+	}
+	return false
+}
+
+// Expire reports whether the setup phase should be considered over
+// because the clock has advanced to now with no further packets.
+func (d *SetupEndDetector) Expire(now time.Time) bool {
+	if d.done {
+		return true
+	}
+	if len(d.arrivals) == 0 {
+		return false
+	}
+	if now.Sub(d.arrivals[len(d.arrivals)-1]) >= d.cfg.IdleGap {
+		d.done = true
+	}
+	return d.done
+}

@@ -1,0 +1,77 @@
+package flowtable
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/packet"
+)
+
+// randomKey builds an arbitrary flow key from fuzzer-provided bytes.
+func randomKey(src, dst packet.MAC, sip, dip packet.IP4, proto uint8, sp, dp uint16) Key {
+	return Key{
+		EthSrc: src, EthDst: dst, EtherType: packet.EtherTypeIPv4,
+		IPSrc: sip, IPDst: dip, IPProto: packet.IPProto(proto),
+		L4Src: sp, L4Dst: dp,
+	}
+}
+
+// TestCacheConsistencyProperty: for any key, a cached lookup must return
+// the same action as a fresh rule scan (the microflow cache is an
+// optimization, never a semantic change).
+func TestCacheConsistencyProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	cached := New(WithDefaultAction(ActionDrop))
+	uncached := New(WithDefaultAction(ActionDrop), WithCacheLimit(1))
+	for i := 0; i < 50; i++ {
+		mac := packet.MAC{0x02, byte(i), 0, 0, 0, 1}
+		r := Rule{
+			Priority: rng.Intn(100),
+			Match:    Match{EthSrc: MACPtr(mac)},
+			Action:   ActionForward,
+			Cookie:   uint64(i),
+		}
+		cached.Add(r)
+		uncached.Add(r)
+	}
+
+	f := func(src, dst packet.MAC, sip, dip packet.IP4, proto uint8, sp, dp uint16) bool {
+		k := randomKey(src, dst, sip, dip, proto, sp, dp)
+		first := cached.Lookup(k)  // may populate the cache
+		second := cached.Lookup(k) // cache hit
+		scan := uncached.Lookup(k) // effectively always a rule scan
+		return first == second && first == scan
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMatchSpecializationProperty: adding a constraint to a match can
+// only shrink the set of keys it covers.
+func TestMatchSpecializationProperty(t *testing.T) {
+	f := func(src, dst packet.MAC, sip, dip packet.IP4, proto uint8, sp, dp uint16) bool {
+		k := randomKey(src, dst, sip, dip, proto, sp, dp)
+		loose := Match{EthSrc: &src}
+		tight := Match{EthSrc: &src, IPDst: &dip, L4Dst: &dp}
+		if tight.Covers(k) && !loose.Covers(k) {
+			return false // specialization covered a key the general match missed
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestEmptyMatchCoversEverything: the empty match is the universal set.
+func TestEmptyMatchCoversEverything(t *testing.T) {
+	empty := Match{}
+	f := func(src, dst packet.MAC, sip, dip packet.IP4, proto uint8, sp, dp uint16) bool {
+		return empty.Covers(randomKey(src, dst, sip, dip, proto, sp, dp))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

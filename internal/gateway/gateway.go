@@ -1,0 +1,331 @@
+// Package gateway implements the Security Gateway (paper §III-A, §V):
+// the SDN-based home router that monitors new devices, extracts their
+// fingerprints, consults the IoT Security Service, and enforces the
+// returned isolation level on every forwarded frame.
+//
+// The gateway plugs into the netsim medium as its bridge function. Frame
+// handling mirrors the paper's datapath: the custom controller module
+// sees every flow; established flows hit the exact-match flow cache; the
+// first packet of a new flow pays a flow-setup cost. The time spent in
+// monitoring and rule lookup is *measured* on the host and injected into
+// the virtual timeline, so enforcement overhead in the experiments is
+// real, not assumed.
+package gateway
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/enforce"
+	"repro/internal/fingerprint"
+	"repro/internal/flowtable"
+	"repro/internal/iotssp"
+	"repro/internal/netsim"
+	"repro/internal/packet"
+	"repro/internal/sniff"
+)
+
+// Identifier is the gateway's dependency on the IoT Security Service.
+// Both the TCP client and the in-process service adapter satisfy it.
+type Identifier interface {
+	Identify(ctx context.Context, mac string, fp *fingerprint.Fingerprint) (iotssp.Response, error)
+}
+
+// LocalService adapts an in-process iotssp.Service to the Identifier
+// interface (for simulations that do not need the TCP hop).
+type LocalService struct {
+	Svc *iotssp.Service
+}
+
+// Identify implements Identifier.
+func (l LocalService) Identify(_ context.Context, mac string, fp *fingerprint.Fingerprint) (iotssp.Response, error) {
+	report, err := fingerprint.MarshalReportStruct(mac, fp)
+	if err != nil {
+		return iotssp.Response{}, err
+	}
+	resp := l.Svc.Handle(iotssp.Request{Fingerprint: report})
+	if resp.Error != "" {
+		return resp, fmt.Errorf("gateway: service error: %s", resp.Error)
+	}
+	return resp, nil
+}
+
+// Config configures a Security Gateway.
+type Config struct {
+	// MAC and IP identify the gateway itself on the local segment.
+	MAC packet.MAC
+	IP  packet.IP4
+	// LocalNet is the /24 network address of the home network.
+	LocalNet packet.IP4
+	// Filtering enables enforcement (the "with filtering" mode of the
+	// paper's experiments). With filtering off the gateway still bridges
+	// and monitors but never blocks.
+	Filtering bool
+	// SetupEnd tunes the setup-phase end detector; zero value selects
+	// sniff.GatewayConfig().
+	SetupEnd fingerprint.SetupEndConfig
+	// BaseForwardCost is the modeled datapath cost of bridging one frame
+	// (kernel/OVS forwarding on the Raspberry Pi). Applied in both
+	// filtering modes. Zero selects 150µs.
+	BaseForwardCost time.Duration
+	// FlowSetupCost is the modeled controller upcall cost paid by the
+	// first packet of each flow when filtering is enabled. Zero selects
+	// 900µs.
+	FlowSetupCost time.Duration
+	// PSKSeed seeds per-device credential generation.
+	PSKSeed int64
+}
+
+// withDefaults fills zero-valued knobs.
+func (c Config) withDefaults() Config {
+	if c.SetupEnd == (fingerprint.SetupEndConfig{}) {
+		c.SetupEnd = sniff.GatewayConfig()
+	}
+	if c.BaseForwardCost == 0 {
+		c.BaseForwardCost = 150 * time.Microsecond
+	}
+	if c.FlowSetupCost == 0 {
+		c.FlowSetupCost = 900 * time.Microsecond
+	}
+	return c
+}
+
+// Event records one device identification handled by the gateway.
+type Event struct {
+	At         time.Time
+	MAC        packet.MAC
+	Known      bool
+	DeviceType string
+	Level      enforce.IsolationLevel
+	Err        error
+}
+
+// Notification is a user-facing alert about a device whose flaws cannot
+// be mitigated by network isolation (§III-C3): the vulnerability is
+// reachable over a channel the gateway cannot filter, so the user should
+// locate and remove the device.
+type Notification struct {
+	At         time.Time
+	MAC        packet.MAC
+	DeviceType string
+	// Channels names the uncontrollable communication channels.
+	Channels []string
+}
+
+// String renders the alert for the gateway's management interface.
+func (n Notification) String() string {
+	return fmt.Sprintf("SECURITY ALERT: %s (%s) has flaws reachable over %v, which this gateway cannot filter; please locate and remove the device",
+		n.DeviceType, n.MAC, n.Channels)
+}
+
+// CPUStats is the gateway's busy-time accounting, the basis of the
+// Fig. 6b CPU-utilization experiment.
+type CPUStats struct {
+	// Busy is the accumulated per-frame processing time: the modeled
+	// forwarding cost plus the measured monitoring/lookup time.
+	Busy time.Duration
+	// Frames is the number of frames processed.
+	Frames uint64
+}
+
+// Gateway is the Security Gateway. Drive it from a single goroutine (the
+// simulation loop); the identifier round-trip is the only blocking call.
+type Gateway struct {
+	cfg     Config
+	monitor *sniff.Monitor
+	engine  *enforce.Engine
+	table   *flowtable.Table
+	ident   Identifier
+	psk     *PSKManager
+
+	// Events is the identification log, in completion order.
+	Events []Event
+	// Notifications collects the user alerts for devices that must be
+	// removed manually (§III-C3).
+	Notifications []Notification
+	// CPU accumulates datapath busy time.
+	CPU CPUStats
+
+	// busyUntil models the gateway CPU as a single server in virtual
+	// time: frames arriving while a previous frame is still being
+	// processed queue behind it, so latency grows gently with load
+	// (Fig. 6a) and utilization is a true busy fraction (Fig. 6b).
+	busyUntil time.Time
+
+	// deviceIPs records the source IPs observed per device MAC, for
+	// operator display and rule compilation.
+	deviceIPs map[packet.IP4]packet.MAC
+}
+
+// New assembles a gateway.
+func New(cfg Config, ident Identifier) *Gateway {
+	cfg = cfg.withDefaults()
+	g := &Gateway{
+		cfg:       cfg,
+		monitor:   sniff.NewMonitor(cfg.SetupEnd),
+		engine:    enforce.NewEngine(cfg.LocalNet),
+		table:     flowtable.New(flowtable.WithDefaultAction(flowtable.ActionController)),
+		ident:     ident,
+		psk:       NewPSKManager(cfg.PSKSeed),
+		deviceIPs: make(map[packet.IP4]packet.MAC),
+	}
+	g.monitor.IgnoreMACs[cfg.MAC] = true
+	g.monitor.OnSetupComplete = g.onSetupComplete
+	return g
+}
+
+// Engine exposes the enforcement engine (rule cache).
+func (g *Gateway) Engine() *enforce.Engine { return g.engine }
+
+// Table exposes the flow table.
+func (g *Gateway) Table() *flowtable.Table { return g.table }
+
+// Monitor exposes the device monitor.
+func (g *Gateway) Monitor() *sniff.Monitor { return g.monitor }
+
+// PSK exposes the credential manager.
+func (g *Gateway) PSK() *PSKManager { return g.psk }
+
+// Ignore excludes a MAC from device monitoring (infrastructure and
+// measurement hosts).
+func (g *Gateway) Ignore(mac packet.MAC) { g.monitor.IgnoreMACs[mac] = true }
+
+// MarkInfrastructure declares mac an infrastructure endpoint: it is
+// neither monitored as a device nor subject to overlay confinement.
+func (g *Gateway) MarkInfrastructure(mac packet.MAC) {
+	g.Ignore(mac)
+	g.engine.SetInfrastructure(mac)
+}
+
+// onSetupComplete fingerprints a completed capture, consults the IoT
+// Security Service and installs the enforcement rule.
+func (g *Gateway) onSetupComplete(c sniff.Capture) {
+	fp := c.Fingerprint()
+	ev := Event{MAC: c.MAC, At: c.Packets[len(c.Packets)-1].Timestamp}
+	if g.ident == nil {
+		// No identification service configured (pure enforcement
+		// testbeds): confine unknowns as strict.
+		ev.Level = enforce.Strict
+		g.installRule(enforce.Rule{DeviceMAC: c.MAC, Level: enforce.Strict})
+		g.Events = append(g.Events, ev)
+		return
+	}
+	resp, err := g.ident.Identify(context.Background(), c.MAC.String(), fp)
+	if err != nil {
+		// Fail safe: unreachable service means strict confinement.
+		ev.Err = err
+		ev.Level = enforce.Strict
+		g.installRule(enforce.Rule{DeviceMAC: c.MAC, Level: enforce.Strict})
+		g.Events = append(g.Events, ev)
+		return
+	}
+	level, err := iotssp.ParseLevel(resp.Level)
+	if err != nil {
+		level = enforce.Strict
+	}
+	ev.Known = resp.Known
+	ev.DeviceType = resp.DeviceType
+	ev.Level = level
+
+	rule := enforce.Rule{DeviceMAC: c.MAC, DeviceType: resp.DeviceType, Level: level}
+	for _, ep := range resp.PermittedEndpoints {
+		ip, perr := packet.ParseIP4(ep)
+		if perr != nil {
+			continue
+		}
+		rule.PermittedIPs = append(rule.PermittedIPs, ip)
+	}
+	g.installRule(rule)
+	g.psk.Issue(c.MAC)
+	g.Events = append(g.Events, ev)
+	if resp.NotifyUser {
+		g.Notifications = append(g.Notifications, Notification{
+			At:         ev.At,
+			MAC:        c.MAC,
+			DeviceType: resp.DeviceType,
+			Channels:   append([]string(nil), resp.UncontrolledChannels...),
+		})
+	}
+}
+
+// installRule stores the enforcement rule and recompiles the flow table.
+// Overlay membership may shift with every new rule, so all device rules
+// are recompiled with their current peers, as the controller module
+// revalidates flows after a table change.
+func (g *Gateway) installRule(r enforce.Rule) {
+	if err := g.engine.SetRule(r); err != nil {
+		return
+	}
+	for _, rule := range g.engine.Rules() {
+		g.table.RemoveByCookie(rule.Hash())
+		peers := g.engine.OverlayPeers(rule.Level, rule.DeviceMAC)
+		for _, fr := range enforce.CompileFlowRules(rule, peers, g.cfg.MAC, g.cfg.IP) {
+			g.table.Add(fr)
+		}
+	}
+}
+
+// Bridge returns the netsim bridge function implementing the gateway
+// datapath.
+func (g *Gateway) Bridge() netsim.BridgeFunc {
+	return func(now time.Time, src *netsim.Host, p *packet.Packet) (bool, time.Duration) {
+		t0 := time.Now()
+
+		// Monitoring: track new devices' setup phases.
+		g.monitor.Observe(p)
+		if p.IPv4 != nil && p.IPv4.Src != packet.IP4Zero && g.engine.IsLocal(p.IPv4.Src) {
+			g.deviceIPs[p.IPv4.Src] = p.Eth.Src
+		}
+
+		deliver := true
+		var procDelay time.Duration
+		if g.cfg.Filtering {
+			key := flowtable.KeyOf(p)
+			action := g.table.LookupAt(key, now)
+			if action == flowtable.ActionController {
+				// First packet of an unclassified flow: the controller
+				// module decides, installs the microflow, and the packet
+				// pays the upcall cost.
+				verdict := g.engine.DecidePacket(p)
+				if verdict.Allow {
+					action = flowtable.ActionForward
+				} else {
+					action = flowtable.ActionDrop
+				}
+				g.table.InsertCache(key, action, 0)
+				procDelay += g.cfg.FlowSetupCost
+			}
+			deliver = action == flowtable.ActionForward
+		}
+
+		measured := time.Since(t0)
+		serviceTime := procDelay + measured + g.cfg.BaseForwardCost
+		g.CPU.Busy += serviceTime
+		g.CPU.Frames++
+
+		// Single-server queueing: wait for the datapath to drain, then
+		// occupy it for this frame's service time.
+		var waiting time.Duration
+		if g.busyUntil.After(now) {
+			waiting = g.busyUntil.Sub(now)
+			g.busyUntil = g.busyUntil.Add(serviceTime)
+		} else {
+			g.busyUntil = now.Add(serviceTime)
+		}
+		return deliver, waiting + serviceTime
+	}
+}
+
+// Tick lets the gateway finish captures for devices that have gone
+// silent; call it periodically from the simulation.
+func (g *Gateway) Tick(now time.Time) { g.monitor.Tick(now) }
+
+// Utilization converts busy time over an elapsed window into a CPU
+// percentage on top of a baseline (the Pi's OS + controller idle load).
+func (c CPUStats) Utilization(elapsed time.Duration, baselinePct float64) float64 {
+	if elapsed <= 0 {
+		return baselinePct
+	}
+	return baselinePct + 100*float64(c.Busy)/float64(elapsed)
+}

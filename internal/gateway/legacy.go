@@ -1,0 +1,112 @@
+package gateway
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/enforce"
+	"repro/internal/fingerprint"
+	"repro/internal/iotssp"
+	"repro/internal/packet"
+)
+
+// LegacyDevice describes one device already present in a legacy
+// installation being upgraded to IoT Sentinel (paper §VIII-A): the
+// gateway never saw its setup phase, so identification must work from
+// standby-phase traffic, and migration into the trusted overlay depends
+// on WPS re-keying support.
+type LegacyDevice struct {
+	MAC packet.MAC
+	// StandbyCapture is a capture of the device's standby-phase traffic
+	// (heartbeats, keepalives) collected after the software update.
+	StandbyCapture []*packet.Packet
+	// SupportsWPS reports whether the device can re-key via WPS.
+	SupportsWPS bool
+}
+
+// MigrationOutcome describes what happened to one legacy device.
+type MigrationOutcome struct {
+	MAC        packet.MAC
+	DeviceType string
+	Known      bool
+	Level      enforce.IsolationLevel
+	// Rekeyed reports whether the device received a device-specific PSK
+	// via WPS re-keying and moved to the trusted overlay.
+	Rekeyed bool
+	// NeedsManualReintroduction is set for devices that earned trust but
+	// cannot re-key automatically: the user must re-introduce them.
+	NeedsManualReintroduction bool
+	Err                       error
+}
+
+// String renders the outcome for the gateway's management interface.
+func (o MigrationOutcome) String() string {
+	switch {
+	case o.Err != nil:
+		return fmt.Sprintf("%s: identification failed (%v); stays untrusted", o.MAC, o.Err)
+	case !o.Known:
+		return fmt.Sprintf("%s: unknown device-type; strict isolation", o.MAC)
+	case o.Rekeyed:
+		return fmt.Sprintf("%s: %s trusted; re-keyed into trusted overlay", o.MAC, o.DeviceType)
+	case o.NeedsManualReintroduction:
+		return fmt.Sprintf("%s: %s trusted but no WPS; manual re-introduction required", o.MAC, o.DeviceType)
+	default:
+		return fmt.Sprintf("%s: %s %s; remains in untrusted overlay", o.MAC, o.DeviceType, o.Level)
+	}
+}
+
+// MigrateLegacy runs the §VIII-A legacy-installation flow: each existing
+// device is identified from its standby traffic, assigned an isolation
+// level, and — when trusted and WPS-capable — re-keyed from the
+// deprecated network-wide PSK onto a device-specific PSK in the trusted
+// overlay. Devices that cannot re-key stay in the untrusted overlay (the
+// paper's option 1) and are flagged for optional manual re-introduction.
+func (g *Gateway) MigrateLegacy(devices []LegacyDevice) []MigrationOutcome {
+	g.psk.DeprecateNetworkPSK()
+	out := make([]MigrationOutcome, 0, len(devices))
+	for _, d := range devices {
+		out = append(out, g.migrateOne(d))
+	}
+	return out
+}
+
+func (g *Gateway) migrateOne(d LegacyDevice) MigrationOutcome {
+	o := MigrationOutcome{MAC: d.MAC, Level: enforce.Strict}
+	fp := fingerprint.New(d.StandbyCapture)
+	resp, err := g.ident.Identify(context.Background(), d.MAC.String(), fp)
+	if err != nil {
+		o.Err = err
+		g.installRule(enforce.Rule{DeviceMAC: d.MAC, Level: enforce.Strict})
+		return o
+	}
+	o.Known = resp.Known
+	o.DeviceType = resp.DeviceType
+	level, err := iotssp.ParseLevel(resp.Level)
+	if err != nil {
+		level = enforce.Strict
+	}
+	o.Level = level
+
+	rule := enforce.Rule{DeviceMAC: d.MAC, DeviceType: resp.DeviceType, Level: level}
+	for _, ep := range resp.PermittedEndpoints {
+		if ip, perr := packet.ParseIP4(ep); perr == nil {
+			rule.PermittedIPs = append(rule.PermittedIPs, ip)
+		}
+	}
+	g.installRule(rule)
+
+	if level == enforce.Trusted {
+		if d.SupportsWPS {
+			g.psk.Rekey(d.MAC)
+			o.Rekeyed = true
+		} else {
+			// Without WPS the device cannot obtain the new PSK; it keeps
+			// operating in the untrusted overlay until re-introduced.
+			rule.Level = enforce.Strict
+			g.installRule(rule)
+			o.Level = enforce.Strict
+			o.NeedsManualReintroduction = true
+		}
+	}
+	return o
+}

@@ -1,0 +1,109 @@
+package gateway
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"repro/internal/packet"
+)
+
+// PSKManager issues and tracks device-specific WPA2 pre-shared keys
+// (paper §III-A): every device authenticates with its own PSK, obtained
+// via WPS or handed out during setup, so a compromised device cannot
+// impersonate or eavesdrop on others. It also implements the WPS
+// re-keying flow used to migrate legacy installations (§VIII-A).
+type PSKManager struct {
+	mu   sync.Mutex
+	rng  *rand.Rand
+	keys map[packet.MAC]string
+	// networkPSK is the legacy WPA2-Personal network key; Deprecate
+	// invalidates it, triggering re-keying for WPS-capable devices.
+	networkPSK        string
+	networkDeprecated bool
+	generation        uint64
+}
+
+// NewPSKManager creates a manager with a seeded key generator (keys are
+// random hex strings; only their uniqueness and rotation matter here, no
+// real cryptography is exercised by the paper's evaluation).
+func NewPSKManager(seed int64) *PSKManager {
+	m := &PSKManager{
+		rng:  rand.New(rand.NewSource(seed)),
+		keys: make(map[packet.MAC]string),
+	}
+	m.networkPSK = m.newKey()
+	return m
+}
+
+// newKey generates a fresh 16-byte hex key. Callers hold mu or own m.
+func (m *PSKManager) newKey() string {
+	m.generation++
+	buf := make([]byte, 16)
+	for i := range buf {
+		buf[i] = byte(m.rng.Intn(256))
+	}
+	return fmt.Sprintf("%x", buf)
+}
+
+// Issue returns the device-specific PSK for mac, creating one on first
+// use.
+func (m *PSKManager) Issue(mac packet.MAC) string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if k, ok := m.keys[mac]; ok {
+		return k
+	}
+	k := m.newKey()
+	m.keys[mac] = k
+	return k
+}
+
+// KeyFor returns the PSK previously issued to mac.
+func (m *PSKManager) KeyFor(mac packet.MAC) (string, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	k, ok := m.keys[mac]
+	return k, ok
+}
+
+// Rekey rotates the device's PSK (WPS re-keying exchange) and returns the
+// new key.
+func (m *PSKManager) Rekey(mac packet.MAC) string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	k := m.newKey()
+	m.keys[mac] = k
+	return k
+}
+
+// Revoke drops the device's PSK (device removed from the network).
+func (m *PSKManager) Revoke(mac packet.MAC) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.keys, mac)
+}
+
+// NetworkPSK returns the legacy network-wide WPA2-Personal key and
+// whether it is still valid.
+func (m *PSKManager) NetworkPSK() (string, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.networkPSK, !m.networkDeprecated
+}
+
+// DeprecateNetworkPSK invalidates the legacy network key. Devices
+// supporting WPS re-keying will obtain device-specific PSKs; the rest
+// must be re-introduced manually (§VIII-A).
+func (m *PSKManager) DeprecateNetworkPSK() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.networkDeprecated = true
+}
+
+// Count returns the number of device-specific keys issued.
+func (m *PSKManager) Count() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.keys)
+}

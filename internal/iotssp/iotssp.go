@@ -1,0 +1,315 @@
+// Package iotssp implements the IoT Security Service (paper §III-B): the
+// cloud-side component that receives device fingerprints from Security
+// Gateways, identifies device-types with the classifier bank, assesses
+// their vulnerability, and returns the isolation level to enforce.
+//
+// The service speaks a JSON-lines protocol over TCP: one request object
+// per line, one response object per line. It is stateless with respect
+// to its clients — it stores nothing about gateways between requests, so
+// gateways can reach it through an anonymizing transport.
+package iotssp
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/enforce"
+	"repro/internal/fingerprint"
+	"repro/internal/vulndb"
+)
+
+// Request is one identification request from a Security Gateway.
+type Request struct {
+	// Fingerprint is the device's fingerprint report (MAC + F matrix).
+	Fingerprint fingerprint.Report `json:"fingerprint"`
+}
+
+// Response is the service's answer.
+type Response struct {
+	// MAC echoes the device MAC from the request so the gateway can
+	// correlate concurrent requests.
+	MAC string `json:"mac"`
+	// Known reports whether any classifier accepted the fingerprint.
+	Known bool `json:"known"`
+	// DeviceType is the identified type (empty if unknown).
+	DeviceType string `json:"device_type,omitempty"`
+	// Stage is the pipeline stage that decided ("classification",
+	// "discrimination" or "none").
+	Stage string `json:"stage"`
+	// Level is the isolation level to enforce ("strict", "restricted",
+	// "trusted").
+	Level string `json:"level"`
+	// PermittedEndpoints lists the cloud endpoints a restricted device
+	// may contact, as dotted-quad strings.
+	PermittedEndpoints []string `json:"permitted_endpoints,omitempty"`
+	// Vulnerabilities lists the advisory IDs behind a restricted verdict.
+	Vulnerabilities []string `json:"vulnerabilities,omitempty"`
+	// NotifyUser is set when the device has flaws reachable over
+	// channels the gateway cannot filter (Bluetooth, LTE, proprietary
+	// radios): isolation is insufficient and the user should remove the
+	// device (§III-C3). UncontrolledChannels names the channels.
+	NotifyUser           bool     `json:"notify_user,omitempty"`
+	UncontrolledChannels []string `json:"uncontrolled_channels,omitempty"`
+	// Error is set when the request could not be processed.
+	Error string `json:"error,omitempty"`
+}
+
+// ParseLevel converts a wire level name back to the enforcement type.
+func ParseLevel(s string) (enforce.IsolationLevel, error) {
+	switch s {
+	case "strict":
+		return enforce.Strict, nil
+	case "restricted":
+		return enforce.Restricted, nil
+	case "trusted":
+		return enforce.Trusted, nil
+	default:
+		return 0, fmt.Errorf("iotssp: unknown isolation level %q", s)
+	}
+}
+
+// Service identifies fingerprints and maps device-types to isolation
+// levels. It is safe for concurrent use.
+type Service struct {
+	bank *core.Bank
+	db   *vulndb.DB
+	// endpoints maps device-type to the permitted cloud endpoints used
+	// for the Restricted level.
+	endpoints map[string][]string
+}
+
+// NewService assembles a service from a trained bank, a vulnerability
+// repository and the per-type permitted endpoints.
+func NewService(bank *core.Bank, db *vulndb.DB, endpoints map[string][]string) *Service {
+	eps := make(map[string][]string, len(endpoints))
+	for t, list := range endpoints {
+		eps[t] = append([]string(nil), list...)
+	}
+	return &Service{bank: bank, db: db, endpoints: eps}
+}
+
+// Handle processes one request.
+func (s *Service) Handle(req Request) Response {
+	mac, fp, err := fingerprint.UnmarshalReportStruct(req.Fingerprint)
+	if err != nil {
+		return Response{Error: err.Error()}
+	}
+	res := s.bank.Identify(fp)
+	resp := Response{
+		MAC:   mac,
+		Known: res.Known,
+		Stage: res.Stage.String(),
+	}
+	if !res.Known {
+		resp.Level = enforce.Strict.String()
+		return resp
+	}
+	resp.DeviceType = res.Type
+	assessment := s.db.Assess(res.Type)
+	level := assessment.Level()
+	resp.Level = level.String()
+	if level == enforce.Restricted {
+		resp.PermittedEndpoints = append([]string(nil), s.endpoints[res.Type]...)
+		for _, v := range assessment.Vulns {
+			resp.Vulnerabilities = append(resp.Vulnerabilities, v.ID)
+		}
+	}
+	if notify, channels := assessment.RequiresUserNotification(); notify {
+		resp.NotifyUser = true
+		resp.UncontrolledChannels = channels
+	}
+	return resp
+}
+
+// Server serves the JSON-lines protocol on a listener.
+type Server struct {
+	svc *Service
+
+	mu     sync.Mutex
+	lis    net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewServer wraps a service for network serving.
+func NewServer(svc *Service) *Server {
+	return &Server{svc: svc, conns: make(map[net.Conn]struct{})}
+}
+
+// Serve accepts connections on lis until Close is called. It blocks.
+func (s *Server) Serve(lis net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return errors.New("iotssp: server closed")
+	}
+	s.lis = lis
+	s.mu.Unlock()
+
+	for {
+		conn, err := lis.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return fmt.Errorf("iotssp: accept: %w", err)
+		}
+		s.mu.Lock()
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer func() {
+				s.mu.Lock()
+				delete(s.conns, conn)
+				s.mu.Unlock()
+				conn.Close()
+			}()
+			s.handleConn(conn)
+		}()
+	}
+}
+
+// handleConn processes JSON lines until the peer closes.
+func (s *Server) handleConn(conn net.Conn) {
+	scanner := bufio.NewScanner(conn)
+	scanner.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	enc := json.NewEncoder(conn)
+	for scanner.Scan() {
+		var req Request
+		resp := Response{}
+		if err := json.Unmarshal(scanner.Bytes(), &req); err != nil {
+			resp.Error = fmt.Sprintf("malformed request: %v", err)
+		} else {
+			resp = s.svc.Handle(req)
+		}
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+	}
+}
+
+// Close stops the server and waits for in-flight connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	lis := s.lis
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
+	var err error
+	if lis != nil {
+		err = lis.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// Client is a Security Gateway's connection to the IoT Security Service.
+// Safe for concurrent use; requests are serialized over one connection.
+type Client struct {
+	addr    string
+	timeout time.Duration
+
+	mu   sync.Mutex
+	conn net.Conn
+	br   *bufio.Reader
+}
+
+// NewClient creates a client for the service at addr (host:port).
+func NewClient(addr string) *Client {
+	return &Client{addr: addr, timeout: 10 * time.Second}
+}
+
+// connectLocked dials if needed. Callers hold mu.
+func (c *Client) connectLocked(ctx context.Context) error {
+	if c.conn != nil {
+		return nil
+	}
+	d := net.Dialer{}
+	conn, err := d.DialContext(ctx, "tcp", c.addr)
+	if err != nil {
+		return fmt.Errorf("iotssp: dialing %s: %w", c.addr, err)
+	}
+	c.conn = conn
+	c.br = bufio.NewReader(conn)
+	return nil
+}
+
+// Close closes the client connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return nil
+	}
+	err := c.conn.Close()
+	c.conn = nil
+	c.br = nil
+	return err
+}
+
+// Identify submits a fingerprint and returns the service's verdict.
+func (c *Client) Identify(ctx context.Context, mac string, fp *fingerprint.Fingerprint) (Response, error) {
+	report, err := fingerprint.MarshalReportStruct(mac, fp)
+	if err != nil {
+		return Response{}, err
+	}
+	body, err := json.Marshal(Request{Fingerprint: report})
+	if err != nil {
+		return Response{}, fmt.Errorf("iotssp: encoding request: %w", err)
+	}
+	body = append(body, '\n')
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.connectLocked(ctx); err != nil {
+		return Response{}, err
+	}
+	deadline := time.Now().Add(c.timeout)
+	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+		deadline = d
+	}
+	if err := c.conn.SetDeadline(deadline); err != nil {
+		return Response{}, fmt.Errorf("iotssp: setting deadline: %w", err)
+	}
+	if _, err := c.conn.Write(body); err != nil {
+		c.resetLocked()
+		return Response{}, fmt.Errorf("iotssp: sending request: %w", err)
+	}
+	line, err := c.br.ReadBytes('\n')
+	if err != nil {
+		c.resetLocked()
+		return Response{}, fmt.Errorf("iotssp: reading response: %w", err)
+	}
+	var resp Response
+	if err := json.Unmarshal(line, &resp); err != nil {
+		return Response{}, fmt.Errorf("iotssp: decoding response: %w", err)
+	}
+	if resp.Error != "" {
+		return resp, fmt.Errorf("iotssp: service error: %s", resp.Error)
+	}
+	return resp, nil
+}
+
+// resetLocked drops a broken connection so the next call redials.
+func (c *Client) resetLocked() {
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+		c.br = nil
+	}
+}

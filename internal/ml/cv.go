@@ -1,0 +1,57 @@
+package ml
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// StratifiedKFold partitions sample indices into k folds preserving the
+// per-class proportions of labels. Labels may be arbitrary ints (one per
+// sample, not restricted to binary). Each fold is a slice of sample
+// indices; every index appears in exactly one fold.
+func StratifiedKFold(labels []int, k int, rng *rand.Rand) ([][]int, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("ml: k-fold needs k >= 2, got %d", k)
+	}
+	if len(labels) < k {
+		return nil, fmt.Errorf("ml: %d samples cannot fill %d folds", len(labels), k)
+	}
+
+	// Group sample indices per class, shuffle within each class, then
+	// deal them round-robin across the folds.
+	byClass := make(map[int][]int)
+	classOrder := make([]int, 0)
+	for i, y := range labels {
+		if _, seen := byClass[y]; !seen {
+			classOrder = append(classOrder, y)
+		}
+		byClass[y] = append(byClass[y], i)
+	}
+
+	folds := make([][]int, k)
+	for _, y := range classOrder {
+		idx := byClass[y]
+		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		for pos, sample := range idx {
+			f := pos % k
+			folds[f] = append(folds[f], sample)
+		}
+	}
+	return folds, nil
+}
+
+// TrainTestSplit returns the complement of fold (train indices) and the
+// fold itself (test indices), given the total sample count.
+func TrainTestSplit(folds [][]int, foldIdx, total int) (train, test []int) {
+	inTest := make([]bool, total)
+	for _, i := range folds[foldIdx] {
+		inTest[i] = true
+	}
+	train = make([]int, 0, total-len(folds[foldIdx]))
+	for i := 0; i < total; i++ {
+		if !inTest[i] {
+			train = append(train, i)
+		}
+	}
+	return train, folds[foldIdx]
+}

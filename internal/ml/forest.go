@@ -1,0 +1,70 @@
+package ml
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// ForestConfig controls Random Forest training.
+type ForestConfig struct {
+	// Trees is the number of trees; 0 means DefaultTrees.
+	Trees int
+	// Tree configures the individual CART trees.
+	Tree TreeConfig
+	// Seed seeds the forest's randomness (bootstrap and feature
+	// subsampling). Two forests trained with the same seed on the same
+	// data are identical.
+	Seed int64
+}
+
+// DefaultTrees is the default forest size.
+const DefaultTrees = 100
+
+// Forest is a trained Random Forest binary classifier.
+type Forest struct {
+	trees []*Tree
+}
+
+// NewForest trains a Random Forest on ds: each tree is induced on a
+// bootstrap sample of the rows with per-node feature subsampling
+// (Breiman, 2001).
+func NewForest(ds *Dataset, cfg ForestConfig) (*Forest, error) {
+	if ds == nil || ds.Len() == 0 {
+		return nil, fmt.Errorf("ml: training on empty dataset")
+	}
+	nTrees := cfg.Trees
+	if nTrees <= 0 {
+		nTrees = DefaultTrees
+	}
+	master := rand.New(rand.NewSource(cfg.Seed))
+	f := &Forest{trees: make([]*Tree, nTrees)}
+	for i := range f.trees {
+		// Derive one generator per tree from the master stream so tree
+		// training is independent of the others' consumption pattern.
+		rng := rand.New(rand.NewSource(master.Int63()))
+		sample := ds.Subset(bootstrap(ds.Len(), rng))
+		f.trees[i] = NewTree(sample, cfg.Tree, rng)
+	}
+	return f, nil
+}
+
+// PredictProb returns the fraction of trees voting for the positive
+// class.
+func (f *Forest) PredictProb(x []float64) float64 {
+	votes := 0
+	for _, t := range f.trees {
+		votes += t.Predict(x)
+	}
+	return float64(votes) / float64(len(f.trees))
+}
+
+// Predict returns the majority-vote class for x.
+func (f *Forest) Predict(x []float64) int {
+	if f.PredictProb(x) >= 0.5 {
+		return 1
+	}
+	return 0
+}
+
+// Trees returns the number of trees in the forest.
+func (f *Forest) Trees() int { return len(f.trees) }

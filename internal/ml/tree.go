@@ -1,0 +1,227 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// TreeConfig controls CART induction.
+type TreeConfig struct {
+	// MaxDepth limits tree depth; 0 means unlimited.
+	MaxDepth int
+	// MinSamplesLeaf is the minimum number of training rows a leaf may
+	// hold; splits producing smaller children are rejected.
+	MinSamplesLeaf int
+	// MTry is the number of features sampled (without replacement) as
+	// split candidates at each node; 0 means sqrt(total features).
+	MTry int
+}
+
+// node is one node of a CART tree, stored in the tree's flat node slice.
+// Leaves have feature == -1 and carry the positive-class probability.
+type node struct {
+	feature   int     // split feature, or -1 for a leaf
+	threshold float64 // go left when x[feature] <= threshold
+	left      int32   // index of left child
+	right     int32   // index of right child
+	prob      float64 // leaf: P(class 1)
+}
+
+// Tree is a trained CART binary classification tree.
+type Tree struct {
+	nodes []node
+}
+
+// NewTree induces a CART tree on ds using Gini impurity. rng drives the
+// per-node feature subsampling.
+func NewTree(ds *Dataset, cfg TreeConfig, rng *rand.Rand) *Tree {
+	mtry := cfg.MTry
+	if mtry <= 0 {
+		mtry = int(math.Sqrt(float64(ds.Features())))
+		if mtry < 1 {
+			mtry = 1
+		}
+	}
+	b := &treeBuilder{ds: ds, cfg: cfg, mtry: mtry, rng: rng}
+	idx := make([]int, ds.Len())
+	for i := range idx {
+		idx[i] = i
+	}
+	t := &Tree{}
+	b.tree = t
+	b.grow(idx, 0)
+	return t
+}
+
+type treeBuilder struct {
+	ds   *Dataset
+	cfg  TreeConfig
+	mtry int
+	rng  *rand.Rand
+	tree *Tree
+}
+
+// grow builds the subtree over rows idx and returns its node index.
+func (b *treeBuilder) grow(idx []int, depth int) int32 {
+	pos := 0
+	for _, i := range idx {
+		pos += b.ds.Y[i]
+	}
+	n := len(idx)
+	id := int32(len(b.tree.nodes))
+	b.tree.nodes = append(b.tree.nodes, node{feature: -1, prob: float64(pos) / float64(n)})
+
+	if pos == 0 || pos == n {
+		return id // pure
+	}
+	if b.cfg.MaxDepth > 0 && depth >= b.cfg.MaxDepth {
+		return id
+	}
+	minLeaf := b.cfg.MinSamplesLeaf
+	if minLeaf < 1 {
+		minLeaf = 1
+	}
+	if n < 2*minLeaf {
+		return id
+	}
+
+	feat, thr, ok := b.bestSplit(idx, pos, minLeaf)
+	if !ok {
+		return id
+	}
+
+	left := make([]int, 0, n)
+	right := make([]int, 0, n)
+	for _, i := range idx {
+		if b.ds.X[i][feat] <= thr {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	// Recurse; children are appended after this node so the indices are
+	// assigned by the recursive calls.
+	l := b.grow(left, depth+1)
+	r := b.grow(right, depth+1)
+	nd := &b.tree.nodes[id]
+	nd.feature = feat
+	nd.threshold = thr
+	nd.left = l
+	nd.right = r
+	return id
+}
+
+// bestSplit searches for the split with the lowest weighted Gini
+// impurity. It considers mtry randomly sampled candidate features but —
+// like standard Random Forest implementations — keeps inspecting further
+// features when the sampled ones admit no valid partition (sparse
+// fingerprint vectors routinely make a 16-feature sample all-constant
+// within a node), declaring a leaf only when no feature splits the node.
+// pos is the positive count over idx.
+func (b *treeBuilder) bestSplit(idx []int, pos, minLeaf int) (feature int, threshold float64, ok bool) {
+	n := len(idx)
+	bestGini := math.Inf(1)
+	parentGini := giniImpurity(pos, n)
+
+	type valLabel struct {
+		v float64
+		y int
+	}
+	vals := make([]valLabel, n)
+
+	perm := b.rng.Perm(b.ds.Features())
+	for tried, f := range perm {
+		// Stop after the mtry quota once a usable split exists.
+		if tried >= b.mtry && ok {
+			break
+		}
+		for i, row := range idx {
+			vals[i] = valLabel{v: b.ds.X[row][f], y: b.ds.Y[row]}
+		}
+		sort.Slice(vals, func(i, j int) bool { return vals[i].v < vals[j].v })
+
+		// Sweep split points between distinct consecutive values.
+		leftN, leftPos := 0, 0
+		for i := 0; i < n-1; i++ {
+			leftN++
+			leftPos += vals[i].y
+			if vals[i].v == vals[i+1].v {
+				continue
+			}
+			rightN := n - leftN
+			if leftN < minLeaf || rightN < minLeaf {
+				continue
+			}
+			rightPos := pos - leftPos
+			g := (float64(leftN)*giniImpurity(leftPos, leftN) +
+				float64(rightN)*giniImpurity(rightPos, rightN)) / float64(n)
+			// Only impurity-decreasing splits are valid.
+			if g < bestGini && g < parentGini {
+				bestGini = g
+				feature = f
+				threshold = (vals[i].v + vals[i+1].v) / 2
+				ok = true
+			}
+		}
+	}
+	return feature, threshold, ok
+}
+
+// giniImpurity returns the Gini impurity of a node with pos positives out
+// of n rows.
+func giniImpurity(pos, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	p := float64(pos) / float64(n)
+	return 2 * p * (1 - p)
+}
+
+// PredictProb returns the positive-class probability for x.
+func (t *Tree) PredictProb(x []float64) float64 {
+	i := int32(0)
+	for {
+		nd := &t.nodes[i]
+		if nd.feature < 0 {
+			return nd.prob
+		}
+		if x[nd.feature] <= nd.threshold {
+			i = nd.left
+		} else {
+			i = nd.right
+		}
+	}
+}
+
+// Predict returns the predicted class (0 or 1) for x.
+func (t *Tree) Predict(x []float64) int {
+	if t.PredictProb(x) >= 0.5 {
+		return 1
+	}
+	return 0
+}
+
+// NodeCount returns the number of nodes in the tree.
+func (t *Tree) NodeCount() int { return len(t.nodes) }
+
+// Depth returns the depth of the tree (a lone root has depth 0).
+func (t *Tree) Depth() int {
+	if len(t.nodes) == 0 {
+		return 0
+	}
+	var walk func(i int32) int
+	walk = func(i int32) int {
+		nd := &t.nodes[i]
+		if nd.feature < 0 {
+			return 0
+		}
+		l := walk(nd.left)
+		r := walk(nd.right)
+		if l > r {
+			return l + 1
+		}
+		return r + 1
+	}
+	return walk(0)
+}

@@ -1,0 +1,266 @@
+// Package netsim is a discrete-event network simulator standing in for
+// the paper's physical lab (Fig. 4): IoT devices and user devices
+// attached to a Security Gateway over WiFi or Ethernet, a local server,
+// and a remote server behind a WAN link.
+//
+// The simulator owns a virtual clock and an event queue. Hosts send
+// Ethernet frames; each frame traverses the sender's uplink (with a
+// per-link latency model), the gateway's bridge function — where the
+// Security Gateway's monitoring and enforcement hook in, contributing
+// *measured* processing time — and the receiver's downlink. Latency
+// models are calibrated to the WiFi/Ethernet/WAN round-trip times of
+// Table V; the enforcement overhead on top of them is measured from the
+// real data structures, not modeled.
+package netsim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/packet"
+)
+
+// LatencyModel computes the one-way latency of a frame over a link.
+type LatencyModel func(rng *rand.Rand, frameLen int) time.Duration
+
+// WiFiLink models a wireless hop: base air-time plus ±jitterFrac uniform
+// jitter plus serialization at ~20 Mbit/s effective throughput.
+func WiFiLink(base time.Duration, jitterFrac float64) LatencyModel {
+	return func(rng *rand.Rand, frameLen int) time.Duration {
+		jitter := 1 + jitterFrac*(2*rng.Float64()-1)
+		serial := time.Duration(frameLen) * 8 * time.Nanosecond * 50 // 20 Mbit/s
+		return time.Duration(float64(base)*jitter) + serial
+	}
+}
+
+// EthernetLink models a wired hop: small fixed latency plus serialization
+// at 100 Mbit/s.
+func EthernetLink(base time.Duration) LatencyModel {
+	return func(rng *rand.Rand, frameLen int) time.Duration {
+		serial := time.Duration(frameLen) * 8 * time.Nanosecond * 10 // 100 Mbit/s
+		return base + serial
+	}
+}
+
+// WANLink models the path to a remote server: propagation delay with
+// mild jitter.
+func WANLink(base time.Duration, jitterFrac float64) LatencyModel {
+	return func(rng *rand.Rand, frameLen int) time.Duration {
+		jitter := 1 + jitterFrac*(2*rng.Float64()-1)
+		return time.Duration(float64(base) * jitter)
+	}
+}
+
+// event is one scheduled callback.
+type event struct {
+	at  time.Time
+	seq uint64 // tiebreaker for deterministic ordering
+	fn  func()
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if !q[i].at.Equal(q[j].at) {
+		return q[i].at.Before(q[j].at)
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// BridgeFunc is the gateway datapath hook. It is called when a frame
+// reaches the gateway; it returns whether to deliver the frame onward and
+// any extra processing delay the gateway added (e.g. measured rule-lookup
+// time). The hook may inspect but must not retain the packet.
+type BridgeFunc func(now time.Time, src *Host, p *packet.Packet) (deliver bool, procDelay time.Duration)
+
+// Host is one endpoint attached to the gateway.
+type Host struct {
+	Name string
+	MAC  packet.MAC
+	IP   packet.IP4
+
+	net *Network
+	lat LatencyModel
+
+	// OnReceive handles frames delivered to this host. The default
+	// handler answers ICMP echo requests, which is all the latency
+	// experiments need.
+	OnReceive func(h *Host, p *packet.Packet)
+
+	// Received counts delivered frames.
+	Received uint64
+}
+
+// Network is the simulated network. Not safe for concurrent use: the
+// simulation is single-threaded by design (deterministic event order).
+type Network struct {
+	rng   *rand.Rand
+	now   time.Time
+	queue eventQueue
+	seq   uint64
+	hosts map[packet.MAC]*Host
+	byIP  map[packet.IP4]*Host
+	// ordered preserves attachment order so broadcast fan-out consumes
+	// the jitter stream deterministically.
+	ordered []*Host
+	bridge  BridgeFunc
+
+	// Delivered counts frames that reached a destination host.
+	Delivered uint64
+	// Dropped counts frames the bridge refused.
+	Dropped uint64
+}
+
+// New creates a network with a seeded jitter source. The virtual clock
+// starts at start.
+func New(seed int64, start time.Time) *Network {
+	n := &Network{
+		rng:   rand.New(rand.NewSource(seed)),
+		now:   start,
+		hosts: make(map[packet.MAC]*Host),
+		byIP:  make(map[packet.IP4]*Host),
+	}
+	n.bridge = func(time.Time, *Host, *packet.Packet) (bool, time.Duration) { return true, 0 }
+	return n
+}
+
+// Now returns the virtual time.
+func (n *Network) Now() time.Time { return n.now }
+
+// SetBridge installs the gateway datapath hook.
+func (n *Network) SetBridge(fn BridgeFunc) { n.bridge = fn }
+
+// AddHost attaches a host to the gateway with the given link model.
+func (n *Network) AddHost(name string, mac packet.MAC, ip packet.IP4, lat LatencyModel) (*Host, error) {
+	if _, dup := n.hosts[mac]; dup {
+		return nil, fmt.Errorf("netsim: duplicate MAC %s", mac)
+	}
+	h := &Host{Name: name, MAC: mac, IP: ip, net: n, lat: lat}
+	h.OnReceive = EchoResponder
+	n.hosts[mac] = h
+	n.ordered = append(n.ordered, h)
+	if ip != (packet.IP4{}) {
+		n.byIP[ip] = h
+	}
+	return h, nil
+}
+
+// HostByMAC returns the host with the given MAC, if attached.
+func (n *Network) HostByMAC(mac packet.MAC) (*Host, bool) {
+	h, ok := n.hosts[mac]
+	return h, ok
+}
+
+// HostByIP returns the host with the given IP, if attached.
+func (n *Network) HostByIP(ip packet.IP4) (*Host, bool) {
+	h, ok := n.byIP[ip]
+	return h, ok
+}
+
+// Schedule enqueues fn at the given virtual time (not before now).
+func (n *Network) Schedule(at time.Time, fn func()) {
+	if at.Before(n.now) {
+		at = n.now
+	}
+	n.seq++
+	heap.Push(&n.queue, &event{at: at, seq: n.seq, fn: fn})
+}
+
+// After enqueues fn after a delay.
+func (n *Network) After(d time.Duration, fn func()) { n.Schedule(n.now.Add(d), fn) }
+
+// Run processes events until the queue drains or the optional horizon is
+// reached. It returns the number of events processed.
+func (n *Network) Run(until time.Time) int {
+	processed := 0
+	for n.queue.Len() > 0 {
+		e := n.queue[0]
+		if !until.IsZero() && e.at.After(until) {
+			break
+		}
+		heap.Pop(&n.queue)
+		n.now = e.at
+		e.fn()
+		processed++
+	}
+	return processed
+}
+
+// RunAll processes events until the queue is empty.
+func (n *Network) RunAll() int { return n.Run(time.Time{}) }
+
+// Send transmits a frame from the host: it arrives at the gateway bridge
+// after the uplink latency, then — if the bridge allows it — at the
+// destination host(s) after the downlink latency plus the bridge's
+// processing delay.
+func (h *Host) Send(p *packet.Packet) {
+	n := h.net
+	up := h.lat(n.rng, p.Length())
+	n.After(up, func() {
+		deliver, proc := n.bridge(n.now, h, p)
+		if !deliver {
+			n.Dropped++
+			return
+		}
+		n.deliver(h, p, proc)
+	})
+}
+
+// deliver routes the frame from the gateway to its destination(s).
+func (n *Network) deliver(src *Host, p *packet.Packet, proc time.Duration) {
+	dst := p.Eth.Dst
+	if dst.IsBroadcast() || dst.IsMulticast() {
+		for _, h := range n.ordered {
+			if h == src {
+				continue
+			}
+			n.deliverTo(h, p, proc)
+		}
+		return
+	}
+	if h, ok := n.hosts[dst]; ok {
+		n.deliverTo(h, p, proc)
+	}
+	// Frames to unknown MACs vanish (no flooding of unicast).
+}
+
+func (n *Network) deliverTo(h *Host, p *packet.Packet, proc time.Duration) {
+	down := h.lat(n.rng, p.Length())
+	n.After(proc+down, func() {
+		h.Received++
+		n.Delivered++
+		if h.OnReceive != nil {
+			h.OnReceive(h, p)
+		}
+	})
+}
+
+// EchoResponder is the default OnReceive handler: it answers ICMP echo
+// requests addressed to the host's IP with an echo reply.
+func EchoResponder(h *Host, p *packet.Packet) {
+	if p.ICMP == nil || p.ICMP.Type != packet.ICMPEchoRequest || p.IPv4 == nil {
+		return
+	}
+	if p.IPv4.Dst != h.IP {
+		return
+	}
+	reply := &packet.Packet{
+		Eth:  &packet.Ethernet{Dst: p.Eth.Src, Src: h.MAC, Type: packet.EtherTypeIPv4},
+		IPv4: &packet.IPv4{TTL: 64, Proto: packet.IPProtoICMP, Src: h.IP, Dst: p.IPv4.Src},
+		ICMP: &packet.ICMP{Type: packet.ICMPEchoReply, Rest: p.ICMP.Rest, Data: append([]byte(nil), p.ICMP.Data...)},
+	}
+	h.Send(reply)
+}

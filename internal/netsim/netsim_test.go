@@ -1,0 +1,250 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/packet"
+)
+
+var (
+	t0    = time.Date(2016, 3, 1, 10, 0, 0, 0, time.UTC)
+	macD1 = packet.MustParseMAC("02:d1:00:00:00:01")
+	macD2 = packet.MustParseMAC("02:d2:00:00:00:02")
+	macS  = packet.MustParseMAC("02:0a:00:00:00:03")
+	ipD1  = packet.MustParseIP4("192.168.1.11")
+	ipD2  = packet.MustParseIP4("192.168.1.12")
+	ipS   = packet.MustParseIP4("192.168.1.2")
+)
+
+// twoHosts builds a network with two WiFi hosts and returns them.
+func twoHosts(t *testing.T) (*Network, *Host, *Host) {
+	t.Helper()
+	n := New(1, t0)
+	d1, err := n.AddHost("D1", macD1, ipD1, WiFiLink(6*time.Millisecond, 0.1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := n.AddHost("D2", macD2, ipD2, WiFiLink(6*time.Millisecond, 0.1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n, d1, d2
+}
+
+func TestDuplicateMAC(t *testing.T) {
+	n := New(1, t0)
+	if _, err := n.AddHost("a", macD1, ipD1, EthernetLink(time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.AddHost("b", macD1, ipD2, EthernetLink(time.Millisecond)); err == nil {
+		t.Error("duplicate MAC accepted")
+	}
+}
+
+func TestEventOrdering(t *testing.T) {
+	n := New(1, t0)
+	var got []int
+	n.Schedule(t0.Add(3*time.Second), func() { got = append(got, 3) })
+	n.Schedule(t0.Add(1*time.Second), func() { got = append(got, 1) })
+	n.Schedule(t0.Add(2*time.Second), func() { got = append(got, 2) })
+	// Same-time events run in scheduling order.
+	n.Schedule(t0.Add(2*time.Second), func() { got = append(got, 4) })
+	n.RunAll()
+	want := []int{1, 2, 4, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event order = %v, want %v", got, want)
+		}
+	}
+	if !n.Now().Equal(t0.Add(3 * time.Second)) {
+		t.Errorf("clock = %v, want %v", n.Now(), t0.Add(3*time.Second))
+	}
+}
+
+func TestRunHorizon(t *testing.T) {
+	n := New(1, t0)
+	ran := 0
+	n.Schedule(t0.Add(time.Second), func() { ran++ })
+	n.Schedule(t0.Add(time.Hour), func() { ran++ })
+	n.Run(t0.Add(time.Minute))
+	if ran != 1 {
+		t.Errorf("ran %d events before horizon, want 1", ran)
+	}
+}
+
+func TestPingRTT(t *testing.T) {
+	n, d1, d2 := twoHosts(t)
+	p := NewPinger(d1, d2, 1)
+	p.Run(15, 200*time.Millisecond, 56)
+	n.RunAll()
+	if len(p.Results) != 15 {
+		t.Fatalf("got %d ping results, want 15", len(p.Results))
+	}
+	mean := p.Mean()
+	// Two WiFi hops each way: ~4 × 6ms ± jitter + serialization.
+	if mean < 18*time.Millisecond || mean > 32*time.Millisecond {
+		t.Errorf("mean RTT = %v, want ≈24ms", mean)
+	}
+	if p.StdDev() <= 0 {
+		t.Errorf("StdDev = %v, want > 0 with jitter", p.StdDev())
+	}
+}
+
+func TestBridgeDrop(t *testing.T) {
+	n, d1, d2 := twoHosts(t)
+	n.SetBridge(func(_ time.Time, src *Host, p *packet.Packet) (bool, time.Duration) {
+		return false, 0 // drop everything
+	})
+	p := NewPinger(d1, d2, 1)
+	p.SendOne(16)
+	n.RunAll()
+	if len(p.Results) != 0 {
+		t.Error("ping succeeded through a dropping bridge")
+	}
+	if n.Dropped == 0 {
+		t.Error("Dropped counter not incremented")
+	}
+}
+
+func TestBridgeDelayAddsLatency(t *testing.T) {
+	n1, a1, b1 := twoHosts(t)
+	p1 := NewPinger(a1, b1, 1)
+	p1.Run(10, time.Second, 56)
+	n1.RunAll()
+
+	n2 := New(1, t0) // same seed: identical jitter stream
+	a2, err := n2.AddHost("D1", macD1, ipD1, WiFiLink(6*time.Millisecond, 0.1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := n2.AddHost("D2", macD2, ipD2, WiFiLink(6*time.Millisecond, 0.1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const extra = 2 * time.Millisecond
+	n2.SetBridge(func(time.Time, *Host, *packet.Packet) (bool, time.Duration) {
+		return true, extra
+	})
+	p2 := NewPinger(a2, b2, 1)
+	p2.Run(10, time.Second, 56)
+	n2.RunAll()
+
+	diff := p2.Mean() - p1.Mean()
+	// Each RTT crosses the bridge twice.
+	if diff < 3*time.Millisecond || diff > 5*time.Millisecond {
+		t.Errorf("bridge delay added %v to RTT, want ≈4ms", diff)
+	}
+}
+
+func TestBroadcastDelivery(t *testing.T) {
+	n, d1, _ := twoHosts(t)
+	s, err := n.AddHost("S", macS, ipS, EthernetLink(time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	received := 0
+	s.OnReceive = func(h *Host, p *packet.Packet) { received++ }
+
+	b := packet.NewBuilder(macD1)
+	d1.Send(b.DHCPDiscoverPkt(1, "x", t0))
+	n.RunAll()
+	if received != 1 {
+		t.Errorf("server received %d broadcast frames, want 1", received)
+	}
+	// Both other hosts got it.
+	if n.Delivered != 2 {
+		t.Errorf("Delivered = %d, want 2 (all hosts except sender)", n.Delivered)
+	}
+}
+
+func TestUnicastToUnknownMACVanishes(t *testing.T) {
+	n, d1, _ := twoHosts(t)
+	b := packet.NewBuilder(macD1)
+	b.SetIP(ipD1)
+	d1.Send(b.TCPSynPkt(packet.MustParseMAC("aa:aa:aa:aa:aa:aa"), packet.MustParseIP4("10.0.0.1"), 49152, 80, t0))
+	n.RunAll()
+	if n.Delivered != 0 {
+		t.Errorf("Delivered = %d, want 0", n.Delivered)
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	run := func() []time.Duration {
+		n := New(42, t0)
+		d1, err := n.AddHost("D1", macD1, ipD1, WiFiLink(6*time.Millisecond, 0.2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		d2, err := n.AddHost("D2", macD2, ipD2, WiFiLink(7*time.Millisecond, 0.2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := NewPinger(d1, d2, 1)
+		p.Run(20, 100*time.Millisecond, 56)
+		n.RunAll()
+		out := make([]time.Duration, len(p.Results))
+		for i, r := range p.Results {
+			out[i] = r.RTT
+		}
+		return out
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("runs differ in length: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("RTT %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestHostLookup(t *testing.T) {
+	n, d1, _ := twoHosts(t)
+	if h, ok := n.HostByMAC(macD1); !ok || h != d1 {
+		t.Error("HostByMAC failed")
+	}
+	if h, ok := n.HostByIP(ipD1); !ok || h != d1 {
+		t.Error("HostByIP failed")
+	}
+	if _, ok := n.HostByMAC(macS); ok {
+		t.Error("HostByMAC found unattached host")
+	}
+}
+
+func TestEchoResponderIgnoresOtherTraffic(t *testing.T) {
+	n, d1, d2 := twoHosts(t)
+	b := packet.NewBuilder(macD1)
+	b.SetIP(ipD1)
+	// A TCP SYN to D2 must not trigger a reply.
+	d1.Send(b.TCPSynPkt(macD2, ipD2, 49152, 80, t0))
+	n.RunAll()
+	if d1.Received != 0 {
+		t.Error("non-ICMP traffic triggered a reply")
+	}
+	if d2.Received != 1 {
+		t.Errorf("D2 received %d frames, want 1", d2.Received)
+	}
+}
+
+func TestLatencyModels(t *testing.T) {
+	n := New(1, t0)
+	wifi := WiFiLink(6*time.Millisecond, 0)
+	eth := EthernetLink(500 * time.Microsecond)
+	wan := WANLink(9*time.Millisecond, 0)
+
+	if d := wifi(n.rng, 1000); d < 6*time.Millisecond {
+		t.Errorf("WiFi latency %v below base", d)
+	}
+	// Serialization grows with frame length.
+	if wifi(n.rng, 1500) <= wifi(n.rng, 64) {
+		t.Error("WiFi latency not increasing with frame size")
+	}
+	if d := eth(n.rng, 1000); d < 500*time.Microsecond || d > time.Millisecond {
+		t.Errorf("Ethernet latency %v out of range", d)
+	}
+	if d := wan(n.rng, 1000); d != 9*time.Millisecond {
+		t.Errorf("WAN latency without jitter = %v, want 9ms", d)
+	}
+}

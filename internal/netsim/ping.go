@@ -1,0 +1,108 @@
+package netsim
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/packet"
+)
+
+// PingResult is one measured ICMP round trip.
+type PingResult struct {
+	Seq uint16
+	RTT time.Duration
+}
+
+// Pinger measures ICMP round-trip times between two hosts in virtual
+// time, as the paper does for Table V and Fig. 6a.
+type Pinger struct {
+	src, dst *Host
+	id       uint16
+	seq      uint16
+	sentAt   map[uint16]time.Time
+	Results  []PingResult
+}
+
+// NewPinger prepares src to ping dst. It chains onto src's receive
+// handler to capture echo replies.
+func NewPinger(src, dst *Host, id uint16) *Pinger {
+	p := &Pinger{src: src, dst: dst, id: id, sentAt: make(map[uint16]time.Time)}
+	prev := src.OnReceive
+	src.OnReceive = func(h *Host, pkt *packet.Packet) {
+		if p.handleReply(h, pkt) {
+			return
+		}
+		if prev != nil {
+			prev(h, pkt)
+		}
+	}
+	return p
+}
+
+// handleReply records the RTT of an echo reply belonging to this pinger.
+func (p *Pinger) handleReply(h *Host, pkt *packet.Packet) bool {
+	if pkt.ICMP == nil || pkt.ICMP.Type != packet.ICMPEchoReply {
+		return false
+	}
+	id := uint16(pkt.ICMP.Rest[0])<<8 | uint16(pkt.ICMP.Rest[1])
+	if id != p.id {
+		return false
+	}
+	seq := uint16(pkt.ICMP.Rest[2])<<8 | uint16(pkt.ICMP.Rest[3])
+	sent, ok := p.sentAt[seq]
+	if !ok {
+		return false
+	}
+	delete(p.sentAt, seq)
+	p.Results = append(p.Results, PingResult{Seq: seq, RTT: h.net.Now().Sub(sent)})
+	return true
+}
+
+// SendOne transmits the next echo request at the current virtual time.
+func (p *Pinger) SendOne(payloadLen int) {
+	p.seq++
+	seq := p.seq
+	req := &packet.Packet{
+		Eth:  &packet.Ethernet{Dst: p.dst.MAC, Src: p.src.MAC, Type: packet.EtherTypeIPv4},
+		IPv4: &packet.IPv4{TTL: 64, Proto: packet.IPProtoICMP, Src: p.src.IP, Dst: p.dst.IP},
+		ICMP: packet.EchoICMP(packet.ICMPEchoRequest, p.id, seq, make([]byte, payloadLen)),
+	}
+	p.sentAt[seq] = p.src.net.Now()
+	p.src.Send(req)
+}
+
+// Run schedules count pings at the given interval and returns immediately;
+// call the network's Run to execute them.
+func (p *Pinger) Run(count int, interval time.Duration, payloadLen int) {
+	for i := 0; i < count; i++ {
+		delay := time.Duration(i) * interval
+		p.src.net.After(delay, func() { p.SendOne(payloadLen) })
+	}
+}
+
+// Mean returns the mean RTT of the collected results.
+func (p *Pinger) Mean() time.Duration {
+	if len(p.Results) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, r := range p.Results {
+		sum += r.RTT
+	}
+	return sum / time.Duration(len(p.Results))
+}
+
+// StdDev returns the RTT standard deviation.
+func (p *Pinger) StdDev() time.Duration {
+	n := len(p.Results)
+	if n < 2 {
+		return 0
+	}
+	mean := float64(p.Mean())
+	var ss float64
+	for _, r := range p.Results {
+		d := float64(r.RTT) - mean
+		ss += d * d
+	}
+	return time.Duration(math.Sqrt(ss / float64(n-1)))
+}

@@ -1,0 +1,161 @@
+package packet
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// MAC is a 48-bit IEEE 802 hardware address. It is a value type so it can
+// be used directly as a map key in flow tables and device registries.
+type MAC [6]byte
+
+// BroadcastMAC is the all-ones broadcast address ff:ff:ff:ff:ff:ff.
+var BroadcastMAC = MAC{0xff, 0xff, 0xff, 0xff, 0xff, 0xff}
+
+// ZeroMAC is the all-zeros address 00:00:00:00:00:00.
+var ZeroMAC = MAC{}
+
+// String formats the address as colon-separated lowercase hex.
+func (m MAC) String() string {
+	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x", m[0], m[1], m[2], m[3], m[4], m[5])
+}
+
+// IsBroadcast reports whether the address is the broadcast address.
+func (m MAC) IsBroadcast() bool { return m == BroadcastMAC }
+
+// IsMulticast reports whether the address has the group bit set.
+func (m MAC) IsMulticast() bool { return m[0]&0x01 == 1 }
+
+// ParseMAC parses a colon- or dash-separated hex MAC address.
+func ParseMAC(s string) (MAC, error) {
+	var m MAC
+	sep := ":"
+	if strings.Contains(s, "-") {
+		sep = "-"
+	}
+	parts := strings.Split(s, sep)
+	if len(parts) != 6 {
+		return m, fmt.Errorf("packet: malformed MAC %q", s)
+	}
+	for i, p := range parts {
+		v, err := strconv.ParseUint(p, 16, 8)
+		if err != nil {
+			return m, fmt.Errorf("packet: malformed MAC %q: %w", s, err)
+		}
+		m[i] = byte(v)
+	}
+	return m, nil
+}
+
+// MustParseMAC is like ParseMAC but panics on error. Intended for
+// package-level constants and tests.
+func MustParseMAC(s string) MAC {
+	m, err := ParseMAC(s)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// IP4 is an IPv4 address as a comparable value type.
+type IP4 [4]byte
+
+// Well-known IPv4 addresses.
+var (
+	IP4Zero      = IP4{}                   // 0.0.0.0, used by DHCP clients
+	IP4Broadcast = IP4{255, 255, 255, 255} // limited broadcast
+	IP4MDNS      = IP4{224, 0, 0, 251}     // mDNS multicast group
+	IP4SSDP      = IP4{239, 255, 255, 250} // SSDP multicast group
+	IP4IGMPv3    = IP4{224, 0, 0, 22}      // IGMPv3 membership reports
+	IP4AllRtrs   = IP4{224, 0, 0, 2}       // all-routers multicast
+)
+
+// String formats the address in dotted-quad notation.
+func (a IP4) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d", a[0], a[1], a[2], a[3])
+}
+
+// IsMulticast reports whether the address is in 224.0.0.0/4.
+func (a IP4) IsMulticast() bool { return a[0] >= 224 && a[0] <= 239 }
+
+// IsBroadcast reports whether the address is 255.255.255.255.
+func (a IP4) IsBroadcast() bool { return a == IP4Broadcast }
+
+// ParseIP4 parses a dotted-quad IPv4 address.
+func ParseIP4(s string) (IP4, error) {
+	var a IP4
+	parts := strings.Split(s, ".")
+	if len(parts) != 4 {
+		return a, fmt.Errorf("packet: malformed IPv4 address %q", s)
+	}
+	for i, p := range parts {
+		v, err := strconv.ParseUint(p, 10, 8)
+		if err != nil {
+			return a, fmt.Errorf("packet: malformed IPv4 address %q: %w", s, err)
+		}
+		a[i] = byte(v)
+	}
+	return a, nil
+}
+
+// MustParseIP4 is like ParseIP4 but panics on error.
+func MustParseIP4(s string) IP4 {
+	a, err := ParseIP4(s)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// IP6 is an IPv6 address as a comparable value type.
+type IP6 [16]byte
+
+// Well-known IPv6 addresses.
+var (
+	IP6Zero       = IP6{}
+	IP6AllNodes   = IP6{0xff, 0x02, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0x01}
+	IP6AllRouters = IP6{0xff, 0x02, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0x02}
+	IP6MDNS       = IP6{0xff, 0x02, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0xfb}
+	IP6MLDv2Rtrs  = IP6{0xff, 0x02, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0x16}
+)
+
+// String formats the address as eight colon-separated hex groups. It does
+// not apply :: compression; the fixed form keeps destination-counter keys
+// stable and is sufficient for logs and tests.
+func (a IP6) String() string {
+	var sb strings.Builder
+	sb.Grow(39)
+	for i := 0; i < 16; i += 2 {
+		if i > 0 {
+			sb.WriteByte(':')
+		}
+		v := uint16(a[i])<<8 | uint16(a[i+1])
+		sb.WriteString(strconv.FormatUint(uint64(v), 16))
+	}
+	return sb.String()
+}
+
+// IsMulticast reports whether the address is in ff00::/8.
+func (a IP6) IsMulticast() bool { return a[0] == 0xff }
+
+// LinkLocalIP6 derives a link-local (fe80::/64) IPv6 address from a MAC
+// using the modified EUI-64 transform, as IoT devices do during SLAAC.
+func LinkLocalIP6(m MAC) IP6 {
+	var a IP6
+	a[0], a[1] = 0xfe, 0x80
+	a[8] = m[0] ^ 0x02
+	a[9], a[10] = m[1], m[2]
+	a[11], a[12] = 0xff, 0xfe
+	a[13], a[14], a[15] = m[3], m[4], m[5]
+	return a
+}
+
+// SolicitedNodeIP6 returns the solicited-node multicast address
+// ff02::1:ffXX:XXXX for the given unicast address, used in DAD neighbor
+// solicitations.
+func SolicitedNodeIP6(a IP6) IP6 {
+	s := IP6{0xff, 0x02, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0x01, 0xff}
+	s[13], s[14], s[15] = a[13], a[14], a[15]
+	return s
+}

@@ -1,0 +1,134 @@
+package packet
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestParseMAC(t *testing.T) {
+	tests := []struct {
+		in      string
+		want    MAC
+		wantErr bool
+	}{
+		{"13:73:74:7e:a9:c2", MAC{0x13, 0x73, 0x74, 0x7e, 0xa9, 0xc2}, false},
+		{"13-73-74-7E-A9-C2", MAC{0x13, 0x73, 0x74, 0x7e, 0xa9, 0xc2}, false},
+		{"ff:ff:ff:ff:ff:ff", BroadcastMAC, false},
+		{"00:00:00:00:00:00", ZeroMAC, false},
+		{"13:73:74:7e:a9", MAC{}, true},
+		{"13:73:74:7e:a9:zz", MAC{}, true},
+		{"", MAC{}, true},
+	}
+	for _, tt := range tests {
+		got, err := ParseMAC(tt.in)
+		if (err != nil) != tt.wantErr {
+			t.Errorf("ParseMAC(%q) error = %v, wantErr %v", tt.in, err, tt.wantErr)
+			continue
+		}
+		if err == nil && got != tt.want {
+			t.Errorf("ParseMAC(%q) = %v, want %v", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestMACStringRoundTrip(t *testing.T) {
+	f := func(m MAC) bool {
+		parsed, err := ParseMAC(m.String())
+		return err == nil && parsed == m
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIP4StringRoundTrip(t *testing.T) {
+	f := func(a IP4) bool {
+		parsed, err := ParseIP4(a.String())
+		return err == nil && parsed == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseIP4Errors(t *testing.T) {
+	for _, in := range []string{"", "1.2.3", "1.2.3.4.5", "256.0.0.1", "a.b.c.d"} {
+		if _, err := ParseIP4(in); err == nil {
+			t.Errorf("ParseIP4(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func TestMACPredicates(t *testing.T) {
+	if !BroadcastMAC.IsBroadcast() || !BroadcastMAC.IsMulticast() {
+		t.Error("broadcast MAC predicates wrong")
+	}
+	if ZeroMAC.IsBroadcast() || ZeroMAC.IsMulticast() {
+		t.Error("zero MAC predicates wrong")
+	}
+	if !(MAC{0x01, 0x00, 0x5e, 0, 0, 1}).IsMulticast() {
+		t.Error("IPv4 multicast MAC not detected")
+	}
+}
+
+func TestIP4Predicates(t *testing.T) {
+	if !IP4MDNS.IsMulticast() || !IP4SSDP.IsMulticast() {
+		t.Error("multicast groups not detected")
+	}
+	if IP4Broadcast.IsMulticast() {
+		t.Error("broadcast misclassified as multicast")
+	}
+	if !IP4Broadcast.IsBroadcast() {
+		t.Error("broadcast not detected")
+	}
+	if MustParseIP4("192.168.1.1").IsMulticast() {
+		t.Error("unicast misclassified as multicast")
+	}
+}
+
+func TestLinkLocalIP6(t *testing.T) {
+	m := MustParseMAC("13:73:74:7e:a9:c2")
+	a := LinkLocalIP6(m)
+	if a[0] != 0xfe || a[1] != 0x80 {
+		t.Errorf("LinkLocalIP6 prefix = %x%x, want fe80", a[0], a[1])
+	}
+	// Modified EUI-64 flips the universal/local bit and inserts fffe.
+	if a[8] != 0x13^0x02 || a[11] != 0xff || a[12] != 0xfe {
+		t.Errorf("LinkLocalIP6 EUI-64 bytes wrong: %v", a)
+	}
+	if a[15] != 0xc2 {
+		t.Errorf("LinkLocalIP6 trailing byte = %x, want c2", a[15])
+	}
+}
+
+func TestSolicitedNodeIP6(t *testing.T) {
+	a := LinkLocalIP6(MustParseMAC("13:73:74:7e:a9:c2"))
+	s := SolicitedNodeIP6(a)
+	if !s.IsMulticast() {
+		t.Error("solicited-node address not multicast")
+	}
+	if s[13] != a[13] || s[14] != a[14] || s[15] != a[15] {
+		t.Error("solicited-node address does not carry the low 24 bits")
+	}
+}
+
+func TestIP6String(t *testing.T) {
+	if got, want := IP6MDNS.String(), "ff02:0:0:0:0:0:0:fb"; got != want {
+		t.Errorf("IP6MDNS.String() = %q, want %q", got, want)
+	}
+}
+
+func TestChecksumProperties(t *testing.T) {
+	// Appending the checksum of b to b yields a sum that verifies to zero.
+	f := func(b []byte) bool {
+		if len(b)%2 == 1 {
+			b = append(b, 0)
+		}
+		c := Checksum(b)
+		full := append(append([]byte(nil), b...), byte(c>>8), byte(c))
+		return Checksum(full) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,371 @@
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+)
+
+// Well-known ports used for application-protocol classification. The
+// fingerprinting features never inspect payload semantics; ports (plus the
+// BOOTP/DHCP distinction below) are what Table I's application-layer
+// booleans key on.
+const (
+	PortHTTP     uint16 = 80
+	PortHTTPAlt  uint16 = 8080
+	PortHTTPS    uint16 = 443
+	PortHTTPSAlt uint16 = 8443
+	PortDNS      uint16 = 53
+	PortMDNS     uint16 = 5353
+	PortNTP      uint16 = 123
+	PortSSDP     uint16 = 1900
+	PortBOOTPSrv uint16 = 67
+	PortBOOTPCli uint16 = 68
+)
+
+// dhcpMagicCookie distinguishes DHCP messages from plain BOOTP.
+var dhcpMagicCookie = [4]byte{99, 130, 83, 99}
+
+// AppProtocols reports the Table-I application-layer booleans for the
+// packet: HTTP, HTTPS, DHCP, BOOTP, SSDP, DNS, MDNS and NTP, in that
+// order. Classification is purely port-based except for the DHCP/BOOTP
+// split, which additionally checks the BOOTP magic cookie (a fixed header
+// field, not payload content).
+func (p *Packet) AppProtocols() (http, https, dhcp, bootp, ssdp, dns, mdns, ntp bool) {
+	src, okS := p.SrcPort()
+	dst, okD := p.DstPort()
+	if !okS || !okD {
+		return
+	}
+	either := func(port uint16) bool { return src == port || dst == port }
+
+	if p.TCP != nil {
+		http = either(PortHTTP) || either(PortHTTPAlt)
+		https = either(PortHTTPS) || either(PortHTTPSAlt)
+	}
+	if p.UDP != nil {
+		if either(PortBOOTPSrv) || either(PortBOOTPCli) {
+			bootp = true
+			dhcp = isDHCP(p.Payload)
+		}
+		ssdp = either(PortSSDP)
+		dns = either(PortDNS)
+		mdns = either(PortMDNS)
+		ntp = either(PortNTP)
+	}
+	return
+}
+
+// isDHCP reports whether a BOOTP payload carries the DHCP magic cookie.
+func isDHCP(payload []byte) bool {
+	const cookieOff = 236
+	if len(payload) < cookieOff+4 {
+		return false
+	}
+	return [4]byte(payload[cookieOff:cookieOff+4]) == dhcpMagicCookie
+}
+
+// PortClass is the network port class of Table I: 0 = no port,
+// 1 = well-known [0,1023], 2 = registered [1024,49151],
+// 3 = dynamic [49152,65535].
+func PortClass(port uint16, present bool) int {
+	switch {
+	case !present:
+		return 0
+	case port <= 1023:
+		return 1
+	case port <= 49151:
+		return 2
+	default:
+		return 3
+	}
+}
+
+// ---------------------------------------------------------------------------
+// DHCP / BOOTP
+
+// DHCP message types (option 53).
+const (
+	DHCPDiscover uint8 = 1
+	DHCPOffer    uint8 = 2
+	DHCPRequest  uint8 = 3
+	DHCPAck      uint8 = 5
+	DHCPInform   uint8 = 8
+)
+
+// DHCPOption is a single DHCP option TLV.
+type DHCPOption struct {
+	Code byte
+	Data []byte
+}
+
+// DHCP option codes used by device setup flows.
+const (
+	DHCPOptRequestedIP   byte = 50
+	DHCPOptMessageType   byte = 53
+	DHCPOptServerID      byte = 54
+	DHCPOptParamRequest  byte = 55
+	DHCPOptClientID      byte = 61
+	DHCPOptHostname      byte = 12
+	DHCPOptVendorClassID byte = 60
+	DHCPOptEnd           byte = 255
+)
+
+// BuildDHCP builds a BOOTP/DHCP payload. op is 1 for BOOTREQUEST, 2 for
+// BOOTREPLY. The chaddr is taken from mac; yiaddr/ciaddr may be zero.
+func BuildDHCP(op byte, xid uint32, mac MAC, ciaddr, yiaddr IP4, msgType uint8, extra ...DHCPOption) []byte {
+	b := make([]byte, 240)
+	b[0] = op
+	b[1] = 1 // htype: Ethernet
+	b[2] = 6 // hlen
+	binary.BigEndian.PutUint32(b[4:], xid)
+	copy(b[12:16], ciaddr[:])
+	copy(b[16:20], yiaddr[:])
+	copy(b[28:34], mac[:])
+	copy(b[236:240], dhcpMagicCookie[:])
+	b = append(b, DHCPOptMessageType, 1, msgType)
+	for _, opt := range extra {
+		b = append(b, opt.Code, byte(len(opt.Data)))
+		b = append(b, opt.Data...)
+	}
+	return append(b, DHCPOptEnd)
+}
+
+// BuildBOOTP builds a plain BOOTP payload (no DHCP magic cookie), as some
+// very old device stacks emit.
+func BuildBOOTP(op byte, xid uint32, mac MAC) []byte {
+	b := make([]byte, 300)
+	b[0] = op
+	b[1] = 1
+	b[2] = 6
+	binary.BigEndian.PutUint32(b[4:], xid)
+	copy(b[28:34], mac[:])
+	return b
+}
+
+// ---------------------------------------------------------------------------
+// DNS / mDNS
+
+// DNS record types used in queries.
+const (
+	DNSTypeA    uint16 = 1
+	DNSTypePTR  uint16 = 12
+	DNSTypeTXT  uint16 = 16
+	DNSTypeAAAA uint16 = 28
+	DNSTypeSRV  uint16 = 33
+	DNSTypeANY  uint16 = 255
+)
+
+// BuildDNSQuery builds a single-question DNS query payload for the given
+// fully-qualified name and record type. recursionDesired is set for
+// unicast DNS and cleared for mDNS.
+func BuildDNSQuery(id uint16, name string, qtype uint16, recursionDesired bool) []byte {
+	b := make([]byte, 12, 12+len(name)+6)
+	binary.BigEndian.PutUint16(b[0:], id)
+	if recursionDesired {
+		b[2] = 0x01
+	}
+	binary.BigEndian.PutUint16(b[4:], 1) // QDCOUNT
+	b = appendDNSName(b, name)
+	b = be16(b, qtype)
+	b = be16(b, 1) // class IN
+	return b
+}
+
+// BuildDNSResponse builds a minimal single-answer DNS response carrying an
+// A record.
+func BuildDNSResponse(id uint16, name string, addr IP4, ttl uint32) []byte {
+	b := make([]byte, 12, 12+2*(len(name)+6)+16)
+	binary.BigEndian.PutUint16(b[0:], id)
+	b[2] = 0x81                          // response, RD
+	b[3] = 0x80                          // RA
+	binary.BigEndian.PutUint16(b[4:], 1) // QDCOUNT
+	binary.BigEndian.PutUint16(b[6:], 1) // ANCOUNT
+	b = appendDNSName(b, name)
+	b = be16(b, DNSTypeA)
+	b = be16(b, 1)
+	b = appendDNSName(b, name)
+	b = be16(b, DNSTypeA)
+	b = be16(b, 1)
+	b = append(b, byte(ttl>>24), byte(ttl>>16), byte(ttl>>8), byte(ttl))
+	b = be16(b, 4)
+	return append(b, addr[:]...)
+}
+
+// BuildMDNSAnnounce builds an mDNS announcement payload advertising the
+// given service instance via a PTR record, as devices do when they join
+// the network (e.g. _hue._tcp.local, _googlecast._tcp.local).
+func BuildMDNSAnnounce(service, instance string) []byte {
+	b := make([]byte, 12, 64)
+	b[2] = 0x84                          // authoritative response
+	binary.BigEndian.PutUint16(b[6:], 1) // ANCOUNT
+	b = appendDNSName(b, service)
+	b = be16(b, DNSTypePTR)
+	b = be16(b, 0x8001)             // class IN, cache-flush
+	b = append(b, 0, 0, 0x11, 0x94) // TTL 4500
+	target := instance + "." + service
+	b = be16(b, uint16(len(target)+2))
+	return appendDNSName(b, target)
+}
+
+func appendDNSName(b []byte, name string) []byte {
+	for _, label := range strings.Split(name, ".") {
+		if label == "" {
+			continue
+		}
+		b = append(b, byte(len(label)))
+		b = append(b, label...)
+	}
+	return append(b, 0)
+}
+
+// ---------------------------------------------------------------------------
+// SSDP
+
+// BuildSSDPMSearch builds an SSDP M-SEARCH discovery request payload as
+// UPnP devices and controller apps multicast to 239.255.255.250:1900.
+func BuildSSDPMSearch(searchTarget string, mx int) []byte {
+	return []byte(fmt.Sprintf(
+		"M-SEARCH * HTTP/1.1\r\nHOST: 239.255.255.250:1900\r\nMAN: \"ssdp:discover\"\r\nMX: %d\r\nST: %s\r\n\r\n",
+		mx, searchTarget))
+}
+
+// BuildSSDPNotify builds an SSDP NOTIFY ssdp:alive announcement payload.
+func BuildSSDPNotify(location, nt, usn string) []byte {
+	return []byte(fmt.Sprintf(
+		"NOTIFY * HTTP/1.1\r\nHOST: 239.255.255.250:1900\r\nCACHE-CONTROL: max-age=1800\r\nLOCATION: %s\r\nNT: %s\r\nNTS: ssdp:alive\r\nUSN: %s\r\n\r\n",
+		location, nt, usn))
+}
+
+// ---------------------------------------------------------------------------
+// NTP
+
+// BuildNTPRequest builds a 48-byte NTPv4 client request payload.
+func BuildNTPRequest(txTimestamp uint64) []byte {
+	b := make([]byte, 48)
+	b[0] = 0x23 // LI=0, VN=4, Mode=3 (client)
+	binary.BigEndian.PutUint64(b[40:], txTimestamp)
+	return b
+}
+
+// ---------------------------------------------------------------------------
+// HTTP / TLS
+
+// BuildHTTPRequest builds an HTTP/1.1 request payload with the headers
+// typical of IoT device firmware (short header set, no cookies).
+func BuildHTTPRequest(method, host, path, userAgent string, bodyLen int) []byte {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s %s HTTP/1.1\r\nHost: %s\r\nUser-Agent: %s\r\nAccept: */*\r\n", method, path, host, userAgent)
+	if bodyLen > 0 {
+		fmt.Fprintf(&sb, "Content-Type: application/json\r\nContent-Length: %d\r\n", bodyLen)
+	}
+	sb.WriteString("Connection: close\r\n\r\n")
+	if bodyLen > 0 {
+		sb.WriteString(strings.Repeat("x", bodyLen))
+	}
+	return []byte(sb.String())
+}
+
+// BuildTLSClientHello builds a TLS 1.2 ClientHello record with an SNI
+// extension for serverName. Only the framing matters to the fingerprinter
+// (packet size and raw-data presence); the cipher list is a fixed
+// plausible set.
+func BuildTLSClientHello(serverName string, sessionTicketLen int) []byte {
+	var hello []byte
+	hello = append(hello, 0x03, 0x03)          // client_version TLS 1.2
+	hello = append(hello, make([]byte, 32)...) // random
+	hello = append(hello, 0)                   // session_id length
+	ciphers := []uint16{0xc02f, 0xc030, 0xc02b, 0xc02c, 0x009e, 0x0033, 0x0039, 0x002f, 0x0035}
+	hello = be16(hello, uint16(2*len(ciphers)))
+	for _, c := range ciphers {
+		hello = be16(hello, c)
+	}
+	hello = append(hello, 1, 0) // compression: null
+
+	var ext []byte
+	sni := make([]byte, 0, len(serverName)+9)
+	sni = be16(sni, uint16(len(serverName)+5)) // server_name_list length
+	sni = append(sni, 0)                       // host_name
+	sni = be16(sni, uint16(len(serverName)))
+	sni = append(sni, serverName...)
+	ext = be16(ext, 0x0000) // server_name
+	ext = be16(ext, uint16(len(sni)))
+	ext = append(ext, sni...)
+	if sessionTicketLen > 0 {
+		ext = be16(ext, 0x0023) // session_ticket
+		ext = be16(ext, uint16(sessionTicketLen))
+		ext = append(ext, make([]byte, sessionTicketLen)...)
+	}
+	hello = be16(hello, uint16(len(ext)))
+	hello = append(hello, ext...)
+
+	hs := []byte{0x01, byte(len(hello) >> 16), byte(len(hello) >> 8), byte(len(hello))}
+	hs = append(hs, hello...)
+	rec := []byte{0x16, 0x03, 0x03} // handshake, TLS 1.2
+	rec = be16(rec, uint16(len(hs)))
+	return append(rec, hs...)
+}
+
+// ---------------------------------------------------------------------------
+// IGMP / MLD / NDP / EAPOL bodies
+
+// BuildIGMPv2Report builds an IGMPv2 membership report for the group, the
+// payload devices emit (with an IP Router Alert option) when they join the
+// SSDP or mDNS multicast groups.
+func BuildIGMPv2Report(group IP4) []byte {
+	b := make([]byte, 8)
+	b[0] = 0x16 // v2 membership report
+	copy(b[4:], group[:])
+	binary.BigEndian.PutUint16(b[2:], Checksum(b))
+	return b
+}
+
+// BuildMLDv2Report builds an MLDv2 listener report body (ICMPv6 type 143)
+// with one "change to exclude" record per group.
+func BuildMLDv2Report(groups ...IP6) []byte {
+	b := make([]byte, 2) // reserved
+	b = be16(b, uint16(len(groups)))
+	for _, g := range groups {
+		b = append(b, 4, 0) // CHANGE_TO_EXCLUDE_MODE, aux len 0
+		b = be16(b, 0)      // no sources
+		b = append(b, g[:]...)
+	}
+	return b
+}
+
+// BuildNeighborSolicit builds an ICMPv6 neighbor solicitation body for the
+// target address, with the source link-layer address option when src is
+// not the zero MAC (duplicate address detection omits it).
+func BuildNeighborSolicit(target IP6, src MAC) []byte {
+	b := make([]byte, 4, 28)
+	b = append(b, target[:]...)
+	if src != ZeroMAC {
+		b = append(b, 1, 1) // source link-layer address option
+		b = append(b, src[:]...)
+	}
+	return b
+}
+
+// BuildEAPOLKey builds an EAPOL-Key body resembling one message of the
+// WPA2 four-way handshake. keyDataLen controls the trailing key-data
+// field, which differs between handshake messages.
+func BuildEAPOLKey(msg int, keyDataLen int) []byte {
+	b := make([]byte, 95+keyDataLen)
+	b[0] = 2 // descriptor type: RSN
+	var info uint16
+	switch msg {
+	case 1:
+		info = 0x008a
+	case 2:
+		info = 0x010a
+	case 3:
+		info = 0x13ca
+	default:
+		info = 0x030a
+	}
+	binary.BigEndian.PutUint16(b[1:], info)
+	binary.BigEndian.PutUint16(b[3:], 16) // key length
+	b[12] = byte(msg)                     // replay counter (low byte)
+	binary.BigEndian.PutUint16(b[93:], uint16(keyDataLen))
+	return b
+}

@@ -1,0 +1,319 @@
+package packet
+
+import "time"
+
+// Builder assembles common packet shapes for a single source host. It
+// exists so the device-behaviour simulator and tests can construct
+// realistic frames in one call. The zero value is not usable; create one
+// with NewBuilder.
+type Builder struct {
+	srcMAC MAC
+	srcIP  IP4
+	srcIP6 IP6
+}
+
+// NewBuilder returns a Builder emitting frames from the given MAC. The
+// source IPv4 address starts as 0.0.0.0 (pre-DHCP); call SetIP once the
+// device has acquired a lease.
+func NewBuilder(mac MAC) *Builder {
+	return &Builder{srcMAC: mac, srcIP6: LinkLocalIP6(mac)}
+}
+
+// SetIP sets the source IPv4 address used by subsequent IP packets.
+func (b *Builder) SetIP(ip IP4) { b.srcIP = ip }
+
+// IP returns the current source IPv4 address.
+func (b *Builder) IP() IP4 { return b.srcIP }
+
+// MAC returns the source MAC address.
+func (b *Builder) MAC() MAC { return b.srcMAC }
+
+// eth returns the Ethernet header to dst.
+func (b *Builder) eth(dst MAC, t EtherType) *Ethernet {
+	return &Ethernet{Dst: dst, Src: b.srcMAC, Type: t}
+}
+
+// multicastMAC4 maps an IPv4 multicast group to its Ethernet address.
+func multicastMAC4(ip IP4) MAC {
+	return MAC{0x01, 0x00, 0x5e, ip[1] & 0x7f, ip[2], ip[3]}
+}
+
+// multicastMAC6 maps an IPv6 multicast group to its Ethernet address.
+func multicastMAC6(ip IP6) MAC {
+	return MAC{0x33, 0x33, ip[12], ip[13], ip[14], ip[15]}
+}
+
+// dstMAC4 picks the Ethernet destination for an IPv4 destination: the
+// multicast mapping for group addresses, broadcast for 255.255.255.255,
+// else the supplied unicast gateway/peer MAC.
+func dstMAC4(dst IP4, peer MAC) MAC {
+	switch {
+	case dst.IsBroadcast():
+		return BroadcastMAC
+	case dst.IsMulticast():
+		return multicastMAC4(dst)
+	default:
+		return peer
+	}
+}
+
+// EAPOLStart builds an EAPOL-Start frame addressed to the authenticator.
+func (b *Builder) EAPOLStart(ap MAC, ts time.Time) *Packet {
+	return &Packet{
+		Timestamp: ts,
+		Eth:       b.eth(ap, EtherTypeEAPoL),
+		EAPOL:     &EAPOL{Version: 2, Type: EAPOLTypeStart},
+	}
+}
+
+// EAPOLKey builds message msg of the WPA2 four-way handshake.
+func (b *Builder) EAPOLKey(ap MAC, msg, keyDataLen int, ts time.Time) *Packet {
+	return &Packet{
+		Timestamp: ts,
+		Eth:       b.eth(ap, EtherTypeEAPoL),
+		EAPOL:     &EAPOL{Version: 2, Type: EAPOLTypeKey, Body: BuildEAPOLKey(msg, keyDataLen)},
+	}
+}
+
+// ARPProbe builds an RFC 5227 ARP probe for ip (sender IP all zeros).
+func (b *Builder) ARPProbe(ip IP4, ts time.Time) *Packet {
+	return &Packet{
+		Timestamp: ts,
+		Eth:       b.eth(BroadcastMAC, EtherTypeARP),
+		ARP:       &ARP{Op: ARPRequest, SenderHW: b.srcMAC, TargetIP: ip},
+	}
+}
+
+// ARPAnnounce builds a gratuitous ARP announcement for the builder's IP.
+func (b *Builder) ARPAnnounce(ts time.Time) *Packet {
+	return &Packet{
+		Timestamp: ts,
+		Eth:       b.eth(BroadcastMAC, EtherTypeARP),
+		ARP:       &ARP{Op: ARPRequest, SenderHW: b.srcMAC, SenderIP: b.srcIP, TargetIP: b.srcIP},
+	}
+}
+
+// ARPRequestFor builds an ARP request resolving target.
+func (b *Builder) ARPRequestFor(target IP4, ts time.Time) *Packet {
+	return &Packet{
+		Timestamp: ts,
+		Eth:       b.eth(BroadcastMAC, EtherTypeARP),
+		ARP:       &ARP{Op: ARPRequest, SenderHW: b.srcMAC, SenderIP: b.srcIP, TargetIP: target},
+	}
+}
+
+// UDPTo builds a UDP packet to dst:dstPort with the given payload.
+func (b *Builder) UDPTo(peer MAC, dst IP4, srcPort, dstPort uint16, payload []byte, ts time.Time) *Packet {
+	ttl := uint8(64)
+	if dst.IsMulticast() {
+		ttl = 1
+		if dst == IP4SSDP {
+			ttl = 4 // SSDP uses TTL 4 per UPnP spec
+		}
+	}
+	return &Packet{
+		Timestamp: ts,
+		Eth:       b.eth(dstMAC4(dst, peer), EtherTypeIPv4),
+		IPv4:      &IPv4{TTL: ttl, Proto: IPProtoUDP, Src: b.srcIP, Dst: dst, DontFrag: dst == IP4Broadcast || !dst.IsMulticast()},
+		UDP:       &UDP{SrcPort: srcPort, DstPort: dstPort},
+		Payload:   payload,
+	}
+}
+
+// DHCPDiscoverPkt builds the broadcast DHCPDISCOVER of a fresh device.
+func (b *Builder) DHCPDiscoverPkt(xid uint32, hostname string, ts time.Time) *Packet {
+	opts := []DHCPOption{
+		{Code: DHCPOptParamRequest, Data: []byte{1, 3, 6, 15, 28}},
+	}
+	if hostname != "" {
+		opts = append(opts, DHCPOption{Code: DHCPOptHostname, Data: []byte(hostname)})
+	}
+	payload := BuildDHCP(1, xid, b.srcMAC, IP4Zero, IP4Zero, DHCPDiscover, opts...)
+	p := b.UDPTo(BroadcastMAC, IP4Broadcast, PortBOOTPCli, PortBOOTPSrv, payload, ts)
+	p.IPv4.Src = IP4Zero
+	return p
+}
+
+// DHCPRequestPkt builds the broadcast DHCPREQUEST for the offered address.
+func (b *Builder) DHCPRequestPkt(xid uint32, offered, server IP4, hostname string, ts time.Time) *Packet {
+	opts := []DHCPOption{
+		{Code: DHCPOptRequestedIP, Data: append([]byte(nil), offered[:]...)},
+		{Code: DHCPOptServerID, Data: append([]byte(nil), server[:]...)},
+	}
+	if hostname != "" {
+		opts = append(opts, DHCPOption{Code: DHCPOptHostname, Data: []byte(hostname)})
+	}
+	payload := BuildDHCP(1, xid, b.srcMAC, IP4Zero, IP4Zero, DHCPRequest, opts...)
+	p := b.UDPTo(BroadcastMAC, IP4Broadcast, PortBOOTPCli, PortBOOTPSrv, payload, ts)
+	p.IPv4.Src = IP4Zero
+	return p
+}
+
+// DNSQueryPkt builds a unicast DNS A/AAAA query to the resolver.
+func (b *Builder) DNSQueryPkt(peer MAC, resolver IP4, srcPort, id uint16, name string, qtype uint16, ts time.Time) *Packet {
+	return b.UDPTo(peer, resolver, srcPort, PortDNS, BuildDNSQuery(id, name, qtype, true), ts)
+}
+
+// MDNSAnnouncePkt builds an mDNS service announcement to 224.0.0.251.
+func (b *Builder) MDNSAnnouncePkt(service, instance string, ts time.Time) *Packet {
+	return b.UDPTo(ZeroMAC, IP4MDNS, PortMDNS, PortMDNS, BuildMDNSAnnounce(service, instance), ts)
+}
+
+// SSDPMSearchPkt builds an SSDP M-SEARCH to 239.255.255.250:1900.
+func (b *Builder) SSDPMSearchPkt(st string, srcPort uint16, ts time.Time) *Packet {
+	return b.UDPTo(ZeroMAC, IP4SSDP, srcPort, PortSSDP, BuildSSDPMSearch(st, 2), ts)
+}
+
+// SSDPNotifyPkt builds an SSDP NOTIFY announcement.
+func (b *Builder) SSDPNotifyPkt(location, nt, usn string, srcPort uint16, ts time.Time) *Packet {
+	return b.UDPTo(ZeroMAC, IP4SSDP, srcPort, PortSSDP, BuildSSDPNotify(location, nt, usn), ts)
+}
+
+// NTPRequestPkt builds an NTP client request to the given server.
+func (b *Builder) NTPRequestPkt(peer MAC, server IP4, ts time.Time) *Packet {
+	return b.UDPTo(peer, server, PortNTP, PortNTP, BuildNTPRequest(uint64(ts.UnixNano())), ts)
+}
+
+// IGMPJoinPkt builds an IGMPv2 membership report for group, carrying the
+// IPv4 Router Alert option as RFC 2236 mandates.
+func (b *Builder) IGMPJoinPkt(group IP4, ts time.Time) *Packet {
+	return &Packet{
+		Timestamp: ts,
+		Eth:       b.eth(multicastMAC4(group), EtherTypeIPv4),
+		IPv4: &IPv4{
+			TTL:     1,
+			Proto:   IPProtoIGMP,
+			Src:     b.srcIP,
+			Dst:     group,
+			Options: RouterAlertOption(),
+		},
+		Payload: BuildIGMPv2Report(group),
+	}
+}
+
+// TCPSynPkt builds a TCP SYN to dst:dstPort.
+func (b *Builder) TCPSynPkt(peer MAC, dst IP4, srcPort, dstPort uint16, ts time.Time) *Packet {
+	return &Packet{
+		Timestamp: ts,
+		Eth:       b.eth(dstMAC4(dst, peer), EtherTypeIPv4),
+		IPv4:      &IPv4{TTL: 64, Proto: IPProtoTCP, Src: b.srcIP, Dst: dst, DontFrag: true},
+		TCP:       &TCP{SrcPort: srcPort, DstPort: dstPort, Seq: uint32(srcPort) << 12, Flags: TCPSyn, Window: 29200, Options: MSSOption(1460)},
+	}
+}
+
+// TCPDataPkt builds a PSH/ACK TCP segment carrying payload.
+func (b *Builder) TCPDataPkt(peer MAC, dst IP4, srcPort, dstPort uint16, payload []byte, ts time.Time) *Packet {
+	return &Packet{
+		Timestamp: ts,
+		Eth:       b.eth(dstMAC4(dst, peer), EtherTypeIPv4),
+		IPv4:      &IPv4{TTL: 64, Proto: IPProtoTCP, Src: b.srcIP, Dst: dst, DontFrag: true},
+		TCP:       &TCP{SrcPort: srcPort, DstPort: dstPort, Seq: 1, Ack: 1, Flags: TCPPsh | TCPAck, Window: 29200},
+		Payload:   payload,
+	}
+}
+
+// TCPAckPkt builds a bare ACK segment.
+func (b *Builder) TCPAckPkt(peer MAC, dst IP4, srcPort, dstPort uint16, ts time.Time) *Packet {
+	return &Packet{
+		Timestamp: ts,
+		Eth:       b.eth(dstMAC4(dst, peer), EtherTypeIPv4),
+		IPv4:      &IPv4{TTL: 64, Proto: IPProtoTCP, Src: b.srcIP, Dst: dst, DontFrag: true},
+		TCP:       &TCP{SrcPort: srcPort, DstPort: dstPort, Seq: 1, Ack: 1, Flags: TCPAck, Window: 29200},
+	}
+}
+
+// TCPFinPkt builds a FIN/ACK segment closing a connection.
+func (b *Builder) TCPFinPkt(peer MAC, dst IP4, srcPort, dstPort uint16, ts time.Time) *Packet {
+	return &Packet{
+		Timestamp: ts,
+		Eth:       b.eth(dstMAC4(dst, peer), EtherTypeIPv4),
+		IPv4:      &IPv4{TTL: 64, Proto: IPProtoTCP, Src: b.srcIP, Dst: dst, DontFrag: true},
+		TCP:       &TCP{SrcPort: srcPort, DstPort: dstPort, Seq: 2, Ack: 1, Flags: TCPFin | TCPAck, Window: 29200},
+	}
+}
+
+// HTTPRequestPkt builds a TCP segment carrying an HTTP request.
+func (b *Builder) HTTPRequestPkt(peer MAC, dst IP4, srcPort uint16, method, host, path, agent string, bodyLen int, ts time.Time) *Packet {
+	return b.TCPDataPkt(peer, dst, srcPort, PortHTTP, BuildHTTPRequest(method, host, path, agent, bodyLen), ts)
+}
+
+// TLSClientHelloPkt builds a TCP segment carrying a TLS ClientHello to
+// dst:443.
+func (b *Builder) TLSClientHelloPkt(peer MAC, dst IP4, srcPort uint16, serverName string, ticketLen int, ts time.Time) *Packet {
+	return b.TCPDataPkt(peer, dst, srcPort, PortHTTPS, BuildTLSClientHello(serverName, ticketLen), ts)
+}
+
+// ICMPEchoPkt builds an ICMP echo request to dst.
+func (b *Builder) ICMPEchoPkt(peer MAC, dst IP4, id, seq uint16, payloadLen int, ts time.Time) *Packet {
+	return &Packet{
+		Timestamp: ts,
+		Eth:       b.eth(dstMAC4(dst, peer), EtherTypeIPv4),
+		IPv4:      &IPv4{TTL: 64, Proto: IPProtoICMP, Src: b.srcIP, Dst: dst},
+		ICMP:      EchoICMP(ICMPEchoRequest, id, seq, make([]byte, payloadLen)),
+	}
+}
+
+// NeighborSolicitPkt builds the IPv6 duplicate-address-detection neighbor
+// solicitation a device multicasts while bringing up its link-local
+// address.
+func (b *Builder) NeighborSolicitPkt(ts time.Time) *Packet {
+	target := b.srcIP6
+	snm := SolicitedNodeIP6(target)
+	return &Packet{
+		Timestamp: ts,
+		Eth:       b.eth(multicastMAC6(snm), EtherTypeIPv6),
+		IPv6: &IPv6{
+			NextHeader: IPProtoICMPv6,
+			HopLimit:   255,
+			Src:        IP6Zero, // DAD uses the unspecified source
+			Dst:        snm,
+		},
+		ICMPv6: &ICMPv6{Type: ICMPv6NeighborSolicit, Body: BuildNeighborSolicit(target, ZeroMAC)},
+	}
+}
+
+// RouterSolicitPkt builds an ICMPv6 router solicitation to ff02::2.
+func (b *Builder) RouterSolicitPkt(ts time.Time) *Packet {
+	body := make([]byte, 4, 12)
+	body = append(body, 1, 1)
+	body = append(body, b.srcMAC[:]...)
+	return &Packet{
+		Timestamp: ts,
+		Eth:       b.eth(multicastMAC6(IP6AllRouters), EtherTypeIPv6),
+		IPv6: &IPv6{
+			NextHeader: IPProtoICMPv6,
+			HopLimit:   255,
+			Src:        b.srcIP6,
+			Dst:        IP6AllRouters,
+		},
+		ICMPv6: &ICMPv6{Type: ICMPv6RouterSolicit, Body: body},
+	}
+}
+
+// MLDv2ReportPkt builds the MLDv2 listener report (with hop-by-hop Router
+// Alert) that IPv6-enabled devices multicast when joining mDNS groups.
+func (b *Builder) MLDv2ReportPkt(ts time.Time, groups ...IP6) *Packet {
+	return &Packet{
+		Timestamp: ts,
+		Eth:       b.eth(multicastMAC6(IP6MLDv2Rtrs), EtherTypeIPv6),
+		IPv6: &IPv6{
+			NextHeader: IPProtoICMPv6,
+			HopLimit:   1,
+			Src:        b.srcIP6,
+			Dst:        IP6MLDv2Rtrs,
+			HopByHop:   &HopByHop{Options: RouterAlertOption6(0)},
+		},
+		ICMPv6: &ICMPv6{Type: ICMPv6MLDv2Report, Body: BuildMLDv2Report(groups...)},
+	}
+}
+
+// LLCTestPkt builds an 802.3/LLC TEST frame such as hub devices emit on
+// their wired interfaces.
+func (b *Builder) LLCTestPkt(dst MAC, dsap byte, infoLen int, ts time.Time) *Packet {
+	return &Packet{
+		Timestamp: ts,
+		Eth:       &Ethernet{Dst: dst, Src: b.srcMAC, Length802: true},
+		LLC:       &LLC{DSAP: dsap, SSAP: dsap, Control: 0xe3},
+		Payload:   make([]byte, infoLen),
+	}
+}

@@ -1,0 +1,46 @@
+package packet
+
+// onesSum accumulates the 16-bit one's-complement sum of b into acc.
+func onesSum(acc uint32, b []byte) uint32 {
+	n := len(b)
+	for i := 0; i+1 < n; i += 2 {
+		acc += uint32(b[i])<<8 | uint32(b[i+1])
+	}
+	if n%2 == 1 {
+		acc += uint32(b[n-1]) << 8
+	}
+	return acc
+}
+
+// onesFold folds the accumulator into a 16-bit one's-complement checksum.
+func onesFold(acc uint32) uint16 {
+	for acc>>16 != 0 {
+		acc = acc&0xffff + acc>>16
+	}
+	return ^uint16(acc)
+}
+
+// Checksum computes the Internet checksum (RFC 1071) of b.
+func Checksum(b []byte) uint16 { return onesFold(onesSum(0, b)) }
+
+// pseudoHeaderSum4 computes the partial sum of the IPv4 pseudo-header used
+// by the TCP/UDP checksums.
+func pseudoHeaderSum4(src, dst IP4, proto IPProto, length int) uint32 {
+	var acc uint32
+	acc = onesSum(acc, src[:])
+	acc = onesSum(acc, dst[:])
+	acc += uint32(proto)
+	acc += uint32(length)
+	return acc
+}
+
+// pseudoHeaderSum6 computes the partial sum of the IPv6 pseudo-header used
+// by the TCP/UDP/ICMPv6 checksums.
+func pseudoHeaderSum6(src, dst IP6, proto IPProto, length int) uint32 {
+	var acc uint32
+	acc = onesSum(acc, src[:])
+	acc = onesSum(acc, dst[:])
+	acc += uint32(length)
+	acc += uint32(proto)
+	return acc
+}

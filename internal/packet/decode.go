@@ -1,0 +1,247 @@
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+)
+
+// Decode parses wire bytes into a Packet. The input slice is not retained;
+// payloads are copied. Checksums of fixed-size headers (IPv4) are
+// verified; transport checksums are verified when the full segment is
+// present.
+func Decode(b []byte, ts time.Time) (*Packet, error) {
+	if len(b) < 14 {
+		return nil, fmt.Errorf("decoding Ethernet header: %w", ErrTruncated)
+	}
+	p := &Packet{Timestamp: ts, raw: append([]byte(nil), b...)}
+	eth := &Ethernet{}
+	copy(eth.Dst[:], b[0:6])
+	copy(eth.Src[:], b[6:12])
+	tl := binary.BigEndian.Uint16(b[12:14])
+	p.Eth = eth
+	rest := b[14:]
+
+	if tl <= 1500 {
+		eth.Length802 = true
+		if int(tl) > len(rest) {
+			return nil, fmt.Errorf("decoding 802.3 frame: %w", ErrTruncated)
+		}
+		rest = rest[:tl]
+		if len(rest) < 3 {
+			return nil, fmt.Errorf("decoding LLC header: %w", ErrTruncated)
+		}
+		p.LLC = &LLC{DSAP: rest[0], SSAP: rest[1], Control: rest[2]}
+		p.Payload = append([]byte(nil), rest[3:]...)
+		return p, nil
+	}
+
+	eth.Type = EtherType(tl)
+	var err error
+	switch eth.Type {
+	case EtherTypeARP:
+		err = p.decodeARP(rest)
+	case EtherTypeEAPoL:
+		err = p.decodeEAPOL(rest)
+	case EtherTypeIPv4:
+		err = p.decodeIPv4(rest)
+	case EtherTypeIPv6:
+		err = p.decodeIPv6(rest)
+	default:
+		p.Payload = append([]byte(nil), rest...)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func (p *Packet) decodeARP(b []byte) error {
+	if len(b) < 28 {
+		return fmt.Errorf("decoding ARP: %w", ErrTruncated)
+	}
+	a := &ARP{Op: binary.BigEndian.Uint16(b[6:8])}
+	copy(a.SenderHW[:], b[8:14])
+	copy(a.SenderIP[:], b[14:18])
+	copy(a.TargetHW[:], b[18:24])
+	copy(a.TargetIP[:], b[24:28])
+	p.ARP = a
+	return nil
+}
+
+func (p *Packet) decodeEAPOL(b []byte) error {
+	if len(b) < 4 {
+		return fmt.Errorf("decoding EAPoL: %w", ErrTruncated)
+	}
+	n := int(binary.BigEndian.Uint16(b[2:4]))
+	if 4+n > len(b) {
+		return fmt.Errorf("decoding EAPoL body: %w", ErrTruncated)
+	}
+	p.EAPOL = &EAPOL{Version: b[0], Type: b[1], Body: append([]byte(nil), b[4:4+n]...)}
+	return nil
+}
+
+func (p *Packet) decodeIPv4(b []byte) error {
+	if len(b) < 20 {
+		return fmt.Errorf("decoding IPv4 header: %w", ErrTruncated)
+	}
+	if b[0]>>4 != 4 {
+		return fmt.Errorf("decoding IPv4: version %d: %w", b[0]>>4, ErrBadVersion)
+	}
+	hdrLen := int(b[0]&0x0f) * 4
+	total := int(binary.BigEndian.Uint16(b[2:4]))
+	if hdrLen < 20 || hdrLen > total || total > len(b) {
+		return fmt.Errorf("decoding IPv4 lengths (ihl=%d total=%d have=%d): %w", hdrLen, total, len(b), ErrTruncated)
+	}
+	if Checksum(b[:hdrLen]) != 0 {
+		return fmt.Errorf("decoding IPv4 header: %w", ErrBadChecksum)
+	}
+	h := &IPv4{
+		TOS:      b[1],
+		ID:       binary.BigEndian.Uint16(b[4:6]),
+		DontFrag: b[6]&0x40 != 0,
+		TTL:      b[8],
+		Proto:    IPProto(b[9]),
+	}
+	copy(h.Src[:], b[12:16])
+	copy(h.Dst[:], b[16:20])
+	if hdrLen > 20 {
+		h.Options = append([]byte(nil), b[20:hdrLen]...)
+	}
+	p.IPv4 = h
+	pseudo := func(proto IPProto, length int) uint32 {
+		return pseudoHeaderSum4(h.Src, h.Dst, proto, length)
+	}
+	return p.decodeTransport(h.Proto, b[hdrLen:total], pseudo)
+}
+
+func (p *Packet) decodeIPv6(b []byte) error {
+	if len(b) < 40 {
+		return fmt.Errorf("decoding IPv6 header: %w", ErrTruncated)
+	}
+	if b[0]>>4 != 6 {
+		return fmt.Errorf("decoding IPv6: version %d: %w", b[0]>>4, ErrBadVersion)
+	}
+	h := &IPv6{
+		TrafficClass: b[0]<<4 | b[1]>>4,
+		FlowLabel:    uint32(b[1]&0x0f)<<16 | uint32(binary.BigEndian.Uint16(b[2:4])),
+		NextHeader:   IPProto(b[6]),
+		HopLimit:     b[7],
+	}
+	copy(h.Src[:], b[8:24])
+	copy(h.Dst[:], b[24:40])
+	payloadLen := int(binary.BigEndian.Uint16(b[4:6]))
+	if 40+payloadLen > len(b) {
+		return fmt.Errorf("decoding IPv6 payload: %w", ErrTruncated)
+	}
+	rest := b[40 : 40+payloadLen]
+	p.IPv6 = h
+
+	next := h.NextHeader
+	if next == IPProtoHopByHop {
+		if len(rest) < 2 {
+			return fmt.Errorf("decoding IPv6 hop-by-hop header: %w", ErrTruncated)
+		}
+		extLen := (int(rest[1]) + 1) * 8
+		if extLen > len(rest) {
+			return fmt.Errorf("decoding IPv6 hop-by-hop options: %w", ErrTruncated)
+		}
+		next = IPProto(rest[0])
+		h.HopByHop = &HopByHop{Options: append([]byte(nil), rest[2:extLen]...)}
+		h.NextHeader = next
+		rest = rest[extLen:]
+	}
+	pseudo := func(proto IPProto, length int) uint32 {
+		return pseudoHeaderSum6(h.Src, h.Dst, proto, length)
+	}
+	return p.decodeTransport(next, rest, pseudo)
+}
+
+func (p *Packet) decodeTransport(proto IPProto, b []byte, pseudo func(IPProto, int) uint32) error {
+	switch proto {
+	case IPProtoTCP:
+		return p.decodeTCP(b, pseudo)
+	case IPProtoUDP:
+		return p.decodeUDP(b, pseudo)
+	case IPProtoICMP:
+		return p.decodeICMP(b)
+	case IPProtoICMPv6:
+		return p.decodeICMPv6(b, pseudo)
+	default:
+		p.Payload = append([]byte(nil), b...)
+		return nil
+	}
+}
+
+func (p *Packet) decodeTCP(b []byte, pseudo func(IPProto, int) uint32) error {
+	if len(b) < 20 {
+		return fmt.Errorf("decoding TCP header: %w", ErrTruncated)
+	}
+	hdrLen := int(b[12]>>4) * 4
+	if hdrLen < 20 || hdrLen > len(b) {
+		return fmt.Errorf("decoding TCP options (doff=%d): %w", hdrLen, ErrTruncated)
+	}
+	if onesFold(onesSum(pseudo(IPProtoTCP, len(b)), b)) != 0 {
+		return fmt.Errorf("decoding TCP: %w", ErrBadChecksum)
+	}
+	t := &TCP{
+		SrcPort: binary.BigEndian.Uint16(b[0:2]),
+		DstPort: binary.BigEndian.Uint16(b[2:4]),
+		Seq:     binary.BigEndian.Uint32(b[4:8]),
+		Ack:     binary.BigEndian.Uint32(b[8:12]),
+		Flags:   b[13],
+		Window:  binary.BigEndian.Uint16(b[14:16]),
+	}
+	if hdrLen > 20 {
+		t.Options = append([]byte(nil), b[20:hdrLen]...)
+	}
+	p.TCP = t
+	p.Payload = append([]byte(nil), b[hdrLen:]...)
+	return nil
+}
+
+func (p *Packet) decodeUDP(b []byte, pseudo func(IPProto, int) uint32) error {
+	if len(b) < 8 {
+		return fmt.Errorf("decoding UDP header: %w", ErrTruncated)
+	}
+	length := int(binary.BigEndian.Uint16(b[4:6]))
+	if length < 8 || length > len(b) {
+		return fmt.Errorf("decoding UDP length %d: %w", length, ErrTruncated)
+	}
+	if binary.BigEndian.Uint16(b[6:8]) != 0 {
+		if onesFold(onesSum(pseudo(IPProtoUDP, length), b[:length])) != 0 {
+			return fmt.Errorf("decoding UDP: %w", ErrBadChecksum)
+		}
+	}
+	p.UDP = &UDP{
+		SrcPort: binary.BigEndian.Uint16(b[0:2]),
+		DstPort: binary.BigEndian.Uint16(b[2:4]),
+	}
+	p.Payload = append([]byte(nil), b[8:length]...)
+	return nil
+}
+
+func (p *Packet) decodeICMP(b []byte) error {
+	if len(b) < 8 {
+		return fmt.Errorf("decoding ICMP header: %w", ErrTruncated)
+	}
+	if Checksum(b) != 0 {
+		return fmt.Errorf("decoding ICMP: %w", ErrBadChecksum)
+	}
+	m := &ICMP{Type: b[0], Code: b[1]}
+	copy(m.Rest[:], b[4:8])
+	m.Data = append([]byte(nil), b[8:]...)
+	p.ICMP = m
+	return nil
+}
+
+func (p *Packet) decodeICMPv6(b []byte, pseudo func(IPProto, int) uint32) error {
+	if len(b) < 4 {
+		return fmt.Errorf("decoding ICMPv6 header: %w", ErrTruncated)
+	}
+	if onesFold(onesSum(pseudo(IPProtoICMPv6, len(b)), b)) != 0 {
+		return fmt.Errorf("decoding ICMPv6: %w", ErrBadChecksum)
+	}
+	p.ICMPv6 = &ICMPv6{Type: b[0], Code: b[1], Body: append([]byte(nil), b[4:]...)}
+	return nil
+}

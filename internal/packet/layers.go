@@ -1,0 +1,275 @@
+package packet
+
+// Ethernet is the link-layer header. When Length802 is true the frame is
+// an IEEE 802.3 frame whose type field carries the payload length and an
+// LLC header follows; otherwise it is an Ethernet II frame and Type holds
+// the EtherType.
+type Ethernet struct {
+	Dst MAC
+	Src MAC
+	// Type is the EtherType for Ethernet II frames. Ignored when
+	// Length802 is set (the length is computed from the payload).
+	Type EtherType
+	// Length802 selects 802.3 length + LLC framing.
+	Length802 bool
+}
+
+// LLC is an IEEE 802.2 Logical Link Control header, used by frames such
+// as spanning-tree BPDUs that some IoT hubs emit on their wired side.
+type LLC struct {
+	DSAP    byte
+	SSAP    byte
+	Control byte
+}
+
+// ARP operation codes.
+const (
+	ARPRequest uint16 = 1
+	ARPReply   uint16 = 2
+)
+
+// ARP is an Address Resolution Protocol message for IPv4 over Ethernet
+// (htype 1, ptype 0x0800). Gratuitous ARP and ARP probe are expressed
+// through the address fields per RFC 5227.
+type ARP struct {
+	Op       uint16
+	SenderHW MAC
+	SenderIP IP4
+	TargetHW MAC
+	TargetIP IP4
+}
+
+// IPv4 option type octets observed by the fingerprinting feature set.
+const (
+	IPOptEndOfList   byte = 0x00 // padding
+	IPOptNOP         byte = 0x01 // padding
+	IPOptRouterAlert byte = 0x94 // RFC 2113
+)
+
+// IPv4 is an IPv4 header. Options holds the raw option bytes; Serialize
+// pads them with End-of-Options octets to a 32-bit boundary.
+type IPv4 struct {
+	TOS      uint8
+	ID       uint16
+	DontFrag bool
+	TTL      uint8
+	Proto    IPProto
+	Src      IP4
+	Dst      IP4
+	// Options holds raw IPv4 header option bytes (may be nil).
+	Options []byte
+}
+
+// HasRouterAlert reports whether the header carries a Router Alert option.
+func (h *IPv4) HasRouterAlert() bool { return hasOptionType(h.Options, IPOptRouterAlert) }
+
+// HasPadding reports whether the header options include padding octets
+// (NOP or End-of-Options), either explicit or implied by alignment.
+func (h *IPv4) HasPadding() bool {
+	if len(h.Options)%4 != 0 {
+		return true // serializer must pad to a 32-bit boundary
+	}
+	return hasOptionType(h.Options, IPOptEndOfList) || hasOptionType(h.Options, IPOptNOP)
+}
+
+// hasOptionType scans a raw IPv4 option byte string for the given type.
+func hasOptionType(opts []byte, typ byte) bool {
+	for i := 0; i < len(opts); {
+		t := opts[i]
+		if t == typ {
+			return true
+		}
+		switch t {
+		case IPOptEndOfList:
+			return typ == IPOptEndOfList
+		case IPOptNOP:
+			i++
+		default:
+			if i+1 >= len(opts) {
+				return false // malformed; stop scanning
+			}
+			l := int(opts[i+1])
+			if l < 2 {
+				return false
+			}
+			i += l
+		}
+	}
+	return false
+}
+
+// RouterAlertOption returns the 4-byte IPv4 Router Alert option
+// (type 148, length 4, value 0 = "examine packet").
+func RouterAlertOption() []byte { return []byte{IPOptRouterAlert, 0x04, 0x00, 0x00} }
+
+// IPv6 is an IPv6 header. A hop-by-hop extension header (used by MLD
+// reports for their Router Alert option) is modeled via HopByHop.
+type IPv6 struct {
+	TrafficClass uint8
+	FlowLabel    uint32 // 20 bits
+	NextHeader   IPProto
+	HopLimit     uint8
+	Src          IP6
+	Dst          IP6
+	// HopByHop, when non-nil, is serialized as a hop-by-hop options
+	// extension header between the fixed header and the payload.
+	HopByHop *HopByHop
+}
+
+// HopByHop is an IPv6 hop-by-hop options extension header.
+type HopByHop struct {
+	// Options holds the raw TLV option bytes excluding the leading
+	// next-header and length octets; Serialize pads with PadN to an
+	// 8-octet boundary.
+	Options []byte
+}
+
+// IPv6 hop-by-hop option types.
+const (
+	IP6OptPad1        byte = 0x00
+	IP6OptPadN        byte = 0x01
+	IP6OptRouterAlert byte = 0x05 // RFC 2711
+)
+
+// HasRouterAlert reports whether the extension header carries a Router
+// Alert option.
+func (h *HopByHop) HasRouterAlert() bool {
+	if h == nil {
+		return false
+	}
+	for i := 0; i < len(h.Options); {
+		t := h.Options[i]
+		if t == IP6OptRouterAlert {
+			return true
+		}
+		if t == IP6OptPad1 {
+			i++
+			continue
+		}
+		if i+1 >= len(h.Options) {
+			return false
+		}
+		i += 2 + int(h.Options[i+1])
+	}
+	return false
+}
+
+// HasPadding reports whether the extension header includes Pad1/PadN
+// options, either explicit or implied by 8-octet alignment.
+func (h *HopByHop) HasPadding() bool {
+	if h == nil {
+		return false
+	}
+	if (2+len(h.Options))%8 != 0 {
+		return true // serializer must pad
+	}
+	for i := 0; i < len(h.Options); {
+		t := h.Options[i]
+		if t == IP6OptPad1 || t == IP6OptPadN {
+			return true
+		}
+		if i+1 >= len(h.Options) {
+			return false
+		}
+		i += 2 + int(h.Options[i+1])
+	}
+	return false
+}
+
+// RouterAlertOption6 returns the hop-by-hop Router Alert option TLV with
+// the given value (0 = MLD).
+func RouterAlertOption6(value uint16) []byte {
+	return []byte{IP6OptRouterAlert, 0x02, byte(value >> 8), byte(value)}
+}
+
+// EAPOL packet types (IEEE 802.1X).
+const (
+	EAPOLTypeEAP    uint8 = 0
+	EAPOLTypeStart  uint8 = 1
+	EAPOLTypeLogoff uint8 = 2
+	EAPOLTypeKey    uint8 = 3
+)
+
+// EAPOL is an IEEE 802.1X EAP-over-LAN frame, as exchanged during the
+// WPA2 four-way handshake when a device associates with the gateway.
+type EAPOL struct {
+	Version uint8
+	Type    uint8
+	// Body is the raw frame body (e.g. an EAPOL-Key descriptor).
+	Body []byte
+}
+
+// ICMP is an ICMPv4 message. Rest carries the 4 bytes following the
+// checksum (identifier/sequence for echo), Data the remaining payload.
+type ICMP struct {
+	Type uint8
+	Code uint8
+	Rest [4]byte
+	Data []byte
+}
+
+// ICMPv4 message types used in this codebase.
+const (
+	ICMPEchoReply   uint8 = 0
+	ICMPEchoRequest uint8 = 8
+)
+
+// EchoICMP builds an ICMP echo message with the given identifier and
+// sequence number.
+func EchoICMP(typ uint8, id, seq uint16, data []byte) *ICMP {
+	m := &ICMP{Type: typ, Data: data}
+	m.Rest[0], m.Rest[1] = byte(id>>8), byte(id)
+	m.Rest[2], m.Rest[3] = byte(seq>>8), byte(seq)
+	return m
+}
+
+// ICMPv6 is an ICMPv6 message. The checksum is computed over the IPv6
+// pseudo-header during serialization.
+type ICMPv6 struct {
+	Type uint8
+	Code uint8
+	// Body is the raw message body following the 4-byte header.
+	Body []byte
+}
+
+// ICMPv6 message types used by IoT devices during setup (SLAAC, DAD, MLD).
+const (
+	ICMPv6RouterSolicit   uint8 = 133
+	ICMPv6RouterAdvert    uint8 = 134
+	ICMPv6NeighborSolicit uint8 = 135
+	ICMPv6NeighborAdvert  uint8 = 136
+	ICMPv6MLDv2Report     uint8 = 143
+)
+
+// TCP flag bits.
+const (
+	TCPFin uint8 = 1 << 0
+	TCPSyn uint8 = 1 << 1
+	TCPRst uint8 = 1 << 2
+	TCPPsh uint8 = 1 << 3
+	TCPAck uint8 = 1 << 4
+)
+
+// TCP is a TCP segment header. Options holds raw option bytes; Serialize
+// pads them with NOPs to a 32-bit boundary.
+type TCP struct {
+	SrcPort uint16
+	DstPort uint16
+	Seq     uint32
+	Ack     uint32
+	Flags   uint8
+	Window  uint16
+	Options []byte
+}
+
+// MSSOption returns the TCP Maximum Segment Size option bytes.
+func MSSOption(mss uint16) []byte {
+	return []byte{0x02, 0x04, byte(mss >> 8), byte(mss)}
+}
+
+// UDP is a UDP datagram header. Length and checksum are computed during
+// serialization.
+type UDP struct {
+	SrcPort uint16
+	DstPort uint16
+}

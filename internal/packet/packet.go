@@ -1,0 +1,196 @@
+// Package packet implements the packet model and wire codecs used
+// throughout the IoT Sentinel reproduction.
+//
+// It supports exactly the protocol set the paper's fingerprinting engine
+// observes during device setup (Table I): Ethernet II and 802.3/LLC
+// framing, ARP, IPv4 (including Router Alert and padding options), IPv6,
+// ICMP, ICMPv6, EAPoL, TCP and UDP, plus application-layer payload
+// builders for DHCP/BOOTP, DNS, mDNS, SSDP, NTP, HTTP and HTTPS (TLS).
+//
+// Packets round-trip: a Packet built from layer structs serializes to
+// wire bytes with Serialize, and Decode parses wire bytes back into the
+// same layer structs. All integers are big-endian (network order) on the
+// wire. Checksums (IPv4 header, TCP/UDP/ICMP/ICMPv6) are computed during
+// serialization and verified during decoding.
+package packet
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// EtherType identifies the protocol carried in an Ethernet II frame.
+type EtherType uint16
+
+// EtherType values used by the fingerprinting feature set.
+const (
+	EtherTypeIPv4  EtherType = 0x0800
+	EtherTypeARP   EtherType = 0x0806
+	EtherTypeIPv6  EtherType = 0x86DD
+	EtherTypeEAPoL EtherType = 0x888E
+)
+
+// String returns the conventional name of the EtherType.
+func (t EtherType) String() string {
+	switch t {
+	case EtherTypeIPv4:
+		return "IPv4"
+	case EtherTypeARP:
+		return "ARP"
+	case EtherTypeIPv6:
+		return "IPv6"
+	case EtherTypeEAPoL:
+		return "EAPoL"
+	default:
+		return fmt.Sprintf("EtherType(0x%04x)", uint16(t))
+	}
+}
+
+// IPProto identifies the transport protocol carried in an IP datagram.
+type IPProto uint8
+
+// IP protocol numbers used in this codebase.
+const (
+	IPProtoICMP     IPProto = 1
+	IPProtoIGMP     IPProto = 2
+	IPProtoTCP      IPProto = 6
+	IPProtoUDP      IPProto = 17
+	IPProtoICMPv6   IPProto = 58
+	IPProtoHopByHop IPProto = 0 // IPv6 hop-by-hop extension header
+)
+
+// Errors returned by the decoders.
+var (
+	ErrTruncated   = errors.New("packet: truncated data")
+	ErrBadChecksum = errors.New("packet: checksum mismatch")
+	ErrBadVersion  = errors.New("packet: bad IP version")
+)
+
+// Packet is a fully decoded (or to-be-serialized) network packet. Exactly
+// one link layer is set (Eth); at most one of the network-layer pointers
+// and at most one of the transport-layer pointers is non-nil. Payload
+// holds the application-layer bytes, if any.
+type Packet struct {
+	// Timestamp is the capture or emission time of the packet.
+	Timestamp time.Time
+
+	// Eth is the Ethernet framing. Always present.
+	Eth *Ethernet
+	// LLC is set when the frame uses 802.3 length + LLC encapsulation
+	// instead of Ethernet II.
+	LLC *LLC
+
+	ARP    *ARP
+	IPv4   *IPv4
+	IPv6   *IPv6
+	EAPOL  *EAPOL
+	ICMP   *ICMP
+	ICMPv6 *ICMPv6
+	TCP    *TCP
+	UDP    *UDP
+
+	// Payload is the application-layer payload (TCP/UDP data, or LLC
+	// information field).
+	Payload []byte
+
+	// raw caches the serialized wire representation.
+	raw []byte
+}
+
+// Wire returns the serialized wire bytes of the packet, serializing on
+// first use. It panics if the packet is structurally invalid; use
+// Serialize when the error is needed.
+func (p *Packet) Wire() []byte {
+	if p.raw == nil {
+		b, err := p.Serialize()
+		if err != nil {
+			panic(fmt.Sprintf("packet: cannot serialize: %v", err))
+		}
+		p.raw = b
+	}
+	return p.raw
+}
+
+// Length returns the on-wire length of the packet in bytes.
+func (p *Packet) Length() int { return len(p.Wire()) }
+
+// Invalidate drops the cached wire bytes, forcing re-serialization after
+// a layer has been mutated.
+func (p *Packet) Invalidate() { p.raw = nil }
+
+// Summary returns a short human-readable description, e.g.
+// "IPv4/UDP 10.0.0.9:68->10.0.0.1:67 len=342".
+func (p *Packet) Summary() string {
+	switch {
+	case p.ARP != nil:
+		return fmt.Sprintf("ARP op=%d %s->%s", p.ARP.Op, p.ARP.SenderIP, p.ARP.TargetIP)
+	case p.EAPOL != nil:
+		return fmt.Sprintf("EAPoL type=%d len=%d", p.EAPOL.Type, p.Length())
+	case p.LLC != nil:
+		return fmt.Sprintf("LLC dsap=0x%02x len=%d", p.LLC.DSAP, p.Length())
+	case p.IPv4 != nil:
+		return p.ipSummary("IPv4", p.IPv4.Src.String(), p.IPv4.Dst.String())
+	case p.IPv6 != nil:
+		return p.ipSummary("IPv6", p.IPv6.Src.String(), p.IPv6.Dst.String())
+	default:
+		return fmt.Sprintf("Ethernet type=0x%04x len=%d", uint16(p.Eth.Type), p.Length())
+	}
+}
+
+func (p *Packet) ipSummary(ver, src, dst string) string {
+	switch {
+	case p.TCP != nil:
+		return fmt.Sprintf("%s/TCP %s:%d->%s:%d len=%d", ver, src, p.TCP.SrcPort, dst, p.TCP.DstPort, p.Length())
+	case p.UDP != nil:
+		return fmt.Sprintf("%s/UDP %s:%d->%s:%d len=%d", ver, src, p.UDP.SrcPort, dst, p.UDP.DstPort, p.Length())
+	case p.ICMP != nil:
+		return fmt.Sprintf("%s/ICMP type=%d %s->%s", ver, p.ICMP.Type, src, dst)
+	case p.ICMPv6 != nil:
+		return fmt.Sprintf("%s/ICMPv6 type=%d %s->%s", ver, p.ICMPv6.Type, src, dst)
+	default:
+		return fmt.Sprintf("%s %s->%s len=%d", ver, src, dst, p.Length())
+	}
+}
+
+// SrcPort returns the transport source port and true, or 0 and false when
+// the packet has no transport layer.
+func (p *Packet) SrcPort() (uint16, bool) {
+	switch {
+	case p.TCP != nil:
+		return p.TCP.SrcPort, true
+	case p.UDP != nil:
+		return p.UDP.SrcPort, true
+	}
+	return 0, false
+}
+
+// DstPort returns the transport destination port and true, or 0 and false
+// when the packet has no transport layer.
+func (p *Packet) DstPort() (uint16, bool) {
+	switch {
+	case p.TCP != nil:
+		return p.TCP.DstPort, true
+	case p.UDP != nil:
+		return p.UDP.DstPort, true
+	}
+	return 0, false
+}
+
+// DstIP returns the destination IP as a string and true, or "" and false
+// when the packet has no IP layer.
+func (p *Packet) DstIP() (string, bool) {
+	switch {
+	case p.IPv4 != nil:
+		return p.IPv4.Dst.String(), true
+	case p.IPv6 != nil:
+		return p.IPv6.Dst.String(), true
+	}
+	return "", false
+}
+
+// HasTransportPayload reports whether the packet carries application
+// payload bytes above the transport layer.
+func (p *Packet) HasTransportPayload() bool {
+	return (p.TCP != nil || p.UDP != nil) && len(p.Payload) > 0
+}

@@ -1,0 +1,304 @@
+package packet
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+)
+
+var (
+	testMAC  = MustParseMAC("13:73:74:7e:a9:c2")
+	apMAC    = MustParseMAC("02:00:00:00:00:01")
+	deviceIP = MustParseIP4("192.168.1.57")
+	gwIP     = MustParseIP4("192.168.1.1")
+	cloudIP  = MustParseIP4("52.28.14.9")
+	t0       = time.Date(2016, 3, 1, 10, 0, 0, 0, time.UTC)
+)
+
+// builder returns a Builder with an assigned IP, as a device has after DHCP.
+func builder() *Builder {
+	b := NewBuilder(testMAC)
+	b.SetIP(deviceIP)
+	return b
+}
+
+// roundTrip serializes p, decodes the bytes, re-serializes the decoded
+// packet, and fails unless both byte strings match.
+func roundTrip(t *testing.T, p *Packet) *Packet {
+	t.Helper()
+	wire, err := p.Serialize()
+	if err != nil {
+		t.Fatalf("Serialize: %v", err)
+	}
+	dec, err := Decode(wire, p.Timestamp)
+	if err != nil {
+		t.Fatalf("Decode(%x): %v", wire, err)
+	}
+	wire2, err := dec.Serialize()
+	if err != nil {
+		t.Fatalf("re-Serialize: %v", err)
+	}
+	if !bytes.Equal(wire, wire2) {
+		t.Fatalf("round-trip mismatch:\n first=%x\nsecond=%x", wire, wire2)
+	}
+	return dec
+}
+
+func TestRoundTripCatalog(t *testing.T) {
+	b := builder()
+	pre := NewBuilder(testMAC) // pre-DHCP builder, IP 0.0.0.0
+	tests := []struct {
+		name string
+		pkt  *Packet
+	}{
+		{"eapol-start", pre.EAPOLStart(apMAC, t0)},
+		{"eapol-key-msg2", pre.EAPOLKey(apMAC, 2, 24, t0)},
+		{"arp-probe", pre.ARPProbe(deviceIP, t0)},
+		{"arp-announce", b.ARPAnnounce(t0)},
+		{"arp-request", b.ARPRequestFor(gwIP, t0)},
+		{"dhcp-discover", pre.DHCPDiscoverPkt(0xdeadbeef, "smartplug", t0)},
+		{"dhcp-request", pre.DHCPRequestPkt(0xdeadbeef, deviceIP, gwIP, "smartplug", t0)},
+		{"dns-query", b.DNSQueryPkt(apMAC, gwIP, 33211, 7, "cloud.vendor.example.com", DNSTypeA, t0)},
+		{"mdns-announce", b.MDNSAnnouncePkt("_hue._tcp.local", "bridge-01", t0)},
+		{"ssdp-msearch", b.SSDPMSearchPkt("ssdp:all", 50000, t0)},
+		{"ssdp-notify", b.SSDPNotifyPkt("http://192.168.1.57:80/desc.xml", "upnp:rootdevice", "uuid:1", 50001, t0)},
+		{"ntp-request", b.NTPRequestPkt(apMAC, gwIP, t0)},
+		{"igmp-join", b.IGMPJoinPkt(IP4SSDP, t0)},
+		{"tcp-syn", b.TCPSynPkt(apMAC, cloudIP, 49152, 443, t0)},
+		{"tcp-ack", b.TCPAckPkt(apMAC, cloudIP, 49152, 443, t0)},
+		{"tcp-fin", b.TCPFinPkt(apMAC, cloudIP, 49152, 443, t0)},
+		{"http-get", b.HTTPRequestPkt(apMAC, cloudIP, 49153, "GET", "cloud.vendor.example.com", "/api/v1/register", "iot/1.0", 0, t0)},
+		{"tls-hello", b.TLSClientHelloPkt(apMAC, cloudIP, 49154, "cloud.vendor.example.com", 0, t0)},
+		{"icmp-echo", b.ICMPEchoPkt(apMAC, gwIP, 1, 1, 56, t0)},
+		{"ndp-dad", b.NeighborSolicitPkt(t0)},
+		{"ndp-rs", b.RouterSolicitPkt(t0)},
+		{"mldv2-report", b.MLDv2ReportPkt(t0, IP6MDNS)},
+		{"llc-test", b.LLCTestPkt(BroadcastMAC, 0x42, 35, t0)},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			roundTrip(t, tt.pkt)
+		})
+	}
+}
+
+func TestDecodeFieldsDHCP(t *testing.T) {
+	p := NewBuilder(testMAC).DHCPDiscoverPkt(0x01020304, "cam", t0)
+	dec := roundTrip(t, p)
+	if dec.Eth.Src != testMAC {
+		t.Errorf("src MAC = %v, want %v", dec.Eth.Src, testMAC)
+	}
+	if dec.Eth.Dst != BroadcastMAC {
+		t.Errorf("dst MAC = %v, want broadcast", dec.Eth.Dst)
+	}
+	if dec.IPv4 == nil || dec.IPv4.Src != IP4Zero || dec.IPv4.Dst != IP4Broadcast {
+		t.Fatalf("IPv4 header = %+v, want 0.0.0.0 -> 255.255.255.255", dec.IPv4)
+	}
+	if dec.UDP == nil || dec.UDP.SrcPort != 68 || dec.UDP.DstPort != 67 {
+		t.Fatalf("UDP ports = %+v, want 68 -> 67", dec.UDP)
+	}
+	_, _, dhcp, bootp, _, _, _, _ := dec.AppProtocols()
+	if !dhcp || !bootp {
+		t.Errorf("AppProtocols: dhcp=%v bootp=%v, want both true", dhcp, bootp)
+	}
+}
+
+func TestBOOTPWithoutCookieIsNotDHCP(t *testing.T) {
+	b := NewBuilder(testMAC)
+	p := b.UDPTo(BroadcastMAC, IP4Broadcast, PortBOOTPCli, PortBOOTPSrv, BuildBOOTP(1, 7, testMAC), t0)
+	p.IPv4.Src = IP4Zero
+	dec := roundTrip(t, p)
+	_, _, dhcp, bootp, _, _, _, _ := dec.AppProtocols()
+	if dhcp {
+		t.Error("plain BOOTP classified as DHCP")
+	}
+	if !bootp {
+		t.Error("plain BOOTP not classified as BOOTP")
+	}
+}
+
+func TestIPv4RouterAlertAndPadding(t *testing.T) {
+	b := builder()
+	p := b.IGMPJoinPkt(IP4SSDP, t0)
+	dec := roundTrip(t, p)
+	if !dec.IPv4.HasRouterAlert() {
+		t.Error("IGMP join lost its Router Alert option")
+	}
+	if dec.IPv4.HasPadding() {
+		t.Error("4-byte Router Alert option should not imply padding")
+	}
+
+	// Odd-length options force End-of-Options padding on the wire.
+	p2 := b.ICMPEchoPkt(apMAC, gwIP, 1, 1, 8, t0)
+	p2.IPv4.Options = []byte{IPOptNOP}
+	dec2 := roundTrip(t, p2)
+	if !dec2.IPv4.HasPadding() {
+		t.Error("padded options not detected after round-trip")
+	}
+}
+
+func TestIPv6HopByHopRouterAlert(t *testing.T) {
+	p := builder().MLDv2ReportPkt(t0, IP6MDNS, IP6AllNodes)
+	dec := roundTrip(t, p)
+	if dec.IPv6 == nil || dec.IPv6.HopByHop == nil {
+		t.Fatal("hop-by-hop header lost in round-trip")
+	}
+	if !dec.IPv6.HopByHop.HasRouterAlert() {
+		t.Error("MLD report lost its Router Alert option")
+	}
+	if !dec.IPv6.HopByHop.HasPadding() {
+		t.Error("hop-by-hop header should report PadN padding (4-byte RA + 2-byte PadN)")
+	}
+	if dec.ICMPv6 == nil || dec.ICMPv6.Type != ICMPv6MLDv2Report {
+		t.Fatalf("ICMPv6 = %+v, want MLDv2 report", dec.ICMPv6)
+	}
+}
+
+func TestChecksumValidationRejectsCorruption(t *testing.T) {
+	wire, err := builder().NTPRequestPkt(apMAC, gwIP, t0).Serialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, off := range []int{15, 25, 36, 45} { // IPv4 hdr, header fields, UDP payload
+		corrupt := append([]byte(nil), wire...)
+		corrupt[off] ^= 0xff
+		if _, err := Decode(corrupt, t0); err == nil {
+			t.Errorf("Decode accepted frame corrupted at offset %d", off)
+		}
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	wire, err := builder().TCPSynPkt(apMAC, cloudIP, 49152, 443, t0).Serialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < 20; n++ {
+		if _, err := Decode(wire[:n], t0); err == nil {
+			t.Errorf("Decode accepted %d-byte truncation", n)
+		}
+	}
+	// Truncating below the IP total length must fail too.
+	if _, err := Decode(wire[:30], t0); !errors.Is(err, ErrTruncated) {
+		t.Errorf("Decode(30 bytes) = %v, want ErrTruncated", err)
+	}
+}
+
+func TestShortFramePadding(t *testing.T) {
+	wire, err := builder().ARPAnnounce(t0).Serialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wire) != 60 {
+		t.Errorf("ARP frame length = %d, want 60 (14 hdr + 46 min payload)", len(wire))
+	}
+}
+
+func TestAppProtocolClassification(t *testing.T) {
+	b := builder()
+	tests := []struct {
+		name string
+		pkt  *Packet
+		want string
+	}{
+		{"http", b.HTTPRequestPkt(apMAC, cloudIP, 49200, "GET", "h", "/", "a", 0, t0), "http"},
+		{"https", b.TLSClientHelloPkt(apMAC, cloudIP, 49201, "h", 0, t0), "https"},
+		{"dns", b.DNSQueryPkt(apMAC, gwIP, 33211, 1, "a.example", DNSTypeA, t0), "dns"},
+		{"mdns", b.MDNSAnnouncePkt("_x._tcp.local", "i", t0), "mdns"},
+		{"ssdp", b.SSDPMSearchPkt("ssdp:all", 50000, t0), "ssdp"},
+		{"ntp", b.NTPRequestPkt(apMAC, gwIP, t0), "ntp"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			http, https, dhcp, bootp, ssdp, dns, mdns, ntp := tt.pkt.AppProtocols()
+			got := map[string]bool{
+				"http": http, "https": https, "dhcp": dhcp, "bootp": bootp,
+				"ssdp": ssdp, "dns": dns, "mdns": mdns, "ntp": ntp,
+			}
+			for name, on := range got {
+				if on != (name == tt.want) {
+					t.Errorf("%s = %v, want %v", name, on, name == tt.want)
+				}
+			}
+		})
+	}
+}
+
+func TestPortClass(t *testing.T) {
+	tests := []struct {
+		port    uint16
+		present bool
+		want    int
+	}{
+		{0, false, 0},
+		{0, true, 1},
+		{80, true, 1},
+		{1023, true, 1},
+		{1024, true, 2},
+		{49151, true, 2},
+		{49152, true, 3},
+		{65535, true, 3},
+	}
+	for _, tt := range tests {
+		if got := PortClass(tt.port, tt.present); got != tt.want {
+			t.Errorf("PortClass(%d, %v) = %d, want %d", tt.port, tt.present, got, tt.want)
+		}
+	}
+}
+
+func TestSummaryFormats(t *testing.T) {
+	b := builder()
+	tests := []struct {
+		pkt  *Packet
+		want string
+	}{
+		{b.ARPAnnounce(t0), "ARP"},
+		{b.NTPRequestPkt(apMAC, gwIP, t0), "UDP"},
+		{b.TCPSynPkt(apMAC, cloudIP, 49152, 443, t0), "TCP"},
+		{b.ICMPEchoPkt(apMAC, gwIP, 1, 1, 8, t0), "ICMP"},
+		{NewBuilder(testMAC).EAPOLStart(apMAC, t0), "EAPoL"},
+		{b.LLCTestPkt(BroadcastMAC, 0x42, 8, t0), "LLC"},
+	}
+	for _, tt := range tests {
+		if got := tt.pkt.Summary(); !bytes.Contains([]byte(got), []byte(tt.want)) {
+			t.Errorf("Summary() = %q, want it to mention %q", got, tt.want)
+		}
+	}
+}
+
+func TestWireCaching(t *testing.T) {
+	p := builder().NTPRequestPkt(apMAC, gwIP, t0)
+	w1 := p.Wire()
+	w2 := p.Wire()
+	if &w1[0] != &w2[0] {
+		t.Error("Wire() did not cache the serialization")
+	}
+	p.Invalidate()
+	p.UDP.SrcPort = 124
+	w3 := p.Wire()
+	if bytes.Equal(w1, w3) {
+		t.Error("Invalidate did not force re-serialization")
+	}
+}
+
+func TestPortAccessors(t *testing.T) {
+	b := builder()
+	p := b.TCPSynPkt(apMAC, cloudIP, 49152, 443, t0)
+	if sp, ok := p.SrcPort(); !ok || sp != 49152 {
+		t.Errorf("SrcPort = %d,%v", sp, ok)
+	}
+	if dp, ok := p.DstPort(); !ok || dp != 443 {
+		t.Errorf("DstPort = %d,%v", dp, ok)
+	}
+	arp := b.ARPAnnounce(t0)
+	if _, ok := arp.SrcPort(); ok {
+		t.Error("ARP packet reported a source port")
+	}
+	if _, ok := arp.DstIP(); ok {
+		t.Error("ARP packet reported a destination IP")
+	}
+	if ip, ok := p.DstIP(); !ok || ip != cloudIP.String() {
+		t.Errorf("DstIP = %q,%v", ip, ok)
+	}
+}

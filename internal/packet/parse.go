@@ -1,0 +1,282 @@
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+)
+
+// This file holds application-layer parsers, the inverses of the
+// builders in apps.go. The fingerprinting pipeline never needs them (its
+// features are payload-free by design); they serve the inspection
+// tooling (sentinel-pcap -v) and the protocol responders in simulations.
+
+// DHCPInfo is the decoded summary of a BOOTP/DHCP payload.
+type DHCPInfo struct {
+	// Op is 1 for BOOTREQUEST, 2 for BOOTREPLY.
+	Op byte
+	// XID is the transaction ID.
+	XID uint32
+	// ClientMAC is the chaddr field.
+	ClientMAC MAC
+	// YourIP is the address being assigned (replies).
+	YourIP IP4
+	// IsDHCP reports whether the magic cookie is present.
+	IsDHCP bool
+	// MessageType is option 53 when present (0 otherwise).
+	MessageType uint8
+	// Hostname is option 12 when present.
+	Hostname string
+	// RequestedIP is option 50 when present.
+	RequestedIP IP4
+}
+
+// ParseDHCP decodes a BOOTP/DHCP payload.
+func ParseDHCP(b []byte) (DHCPInfo, error) {
+	var info DHCPInfo
+	if len(b) < 236 {
+		return info, fmt.Errorf("parsing DHCP: %w", ErrTruncated)
+	}
+	info.Op = b[0]
+	info.XID = binary.BigEndian.Uint32(b[4:8])
+	copy(info.ClientMAC[:], b[28:34])
+	copy(info.YourIP[:], b[16:20])
+	if len(b) < 240 || [4]byte(b[236:240]) != dhcpMagicCookie {
+		return info, nil // plain BOOTP
+	}
+	info.IsDHCP = true
+	for i := 240; i < len(b); {
+		code := b[i]
+		if code == DHCPOptEnd {
+			break
+		}
+		if code == 0 { // pad
+			i++
+			continue
+		}
+		if i+1 >= len(b) {
+			return info, fmt.Errorf("parsing DHCP option %d: %w", code, ErrTruncated)
+		}
+		l := int(b[i+1])
+		if i+2+l > len(b) {
+			return info, fmt.Errorf("parsing DHCP option %d: %w", code, ErrTruncated)
+		}
+		data := b[i+2 : i+2+l]
+		switch code {
+		case DHCPOptMessageType:
+			if l >= 1 {
+				info.MessageType = data[0]
+			}
+		case DHCPOptHostname:
+			info.Hostname = string(data)
+		case DHCPOptRequestedIP:
+			if l >= 4 {
+				copy(info.RequestedIP[:], data[:4])
+			}
+		}
+		i += 2 + l
+	}
+	return info, nil
+}
+
+// DNSInfo is the decoded summary of a DNS/mDNS payload.
+type DNSInfo struct {
+	ID       uint16
+	Response bool
+	// Questions holds the question names with their types.
+	Questions []DNSQuestion
+	// AnswerCount is the ANCOUNT header field.
+	AnswerCount int
+}
+
+// DNSQuestion is one parsed question entry.
+type DNSQuestion struct {
+	Name string
+	Type uint16
+}
+
+// ParseDNS decodes the header and question section of a DNS payload.
+func ParseDNS(b []byte) (DNSInfo, error) {
+	var info DNSInfo
+	if len(b) < 12 {
+		return info, fmt.Errorf("parsing DNS header: %w", ErrTruncated)
+	}
+	info.ID = binary.BigEndian.Uint16(b[0:2])
+	info.Response = b[2]&0x80 != 0
+	qd := int(binary.BigEndian.Uint16(b[4:6]))
+	info.AnswerCount = int(binary.BigEndian.Uint16(b[6:8]))
+	off := 12
+	for q := 0; q < qd; q++ {
+		name, n, err := parseDNSName(b, off)
+		if err != nil {
+			return info, err
+		}
+		off += n
+		if off+4 > len(b) {
+			return info, fmt.Errorf("parsing DNS question: %w", ErrTruncated)
+		}
+		info.Questions = append(info.Questions, DNSQuestion{
+			Name: name,
+			Type: binary.BigEndian.Uint16(b[off : off+2]),
+		})
+		off += 4
+	}
+	return info, nil
+}
+
+// parseDNSName reads an uncompressed DNS name at off, returning the name
+// and the number of bytes consumed. Compression pointers terminate the
+// name (sufficient for question sections, which never compress in the
+// payloads this codebase builds).
+func parseDNSName(b []byte, off int) (string, int, error) {
+	var labels []string
+	i := off
+	for {
+		if i >= len(b) {
+			return "", 0, fmt.Errorf("parsing DNS name: %w", ErrTruncated)
+		}
+		l := int(b[i])
+		if l == 0 {
+			i++
+			break
+		}
+		if l&0xc0 == 0xc0 { // compression pointer ends the name
+			i += 2
+			break
+		}
+		if i+1+l > len(b) {
+			return "", 0, fmt.Errorf("parsing DNS label: %w", ErrTruncated)
+		}
+		labels = append(labels, string(b[i+1:i+1+l]))
+		i += 1 + l
+	}
+	return strings.Join(labels, "."), i - off, nil
+}
+
+// SSDPInfo is the decoded summary of an SSDP payload.
+type SSDPInfo struct {
+	// Method is "M-SEARCH", "NOTIFY" or "RESPONSE".
+	Method string
+	// Headers holds the header fields, upper-cased keys.
+	Headers map[string]string
+}
+
+// ParseSSDP decodes an SSDP (HTTP-over-UDP) payload.
+func ParseSSDP(b []byte) (SSDPInfo, error) {
+	info := SSDPInfo{Headers: make(map[string]string)}
+	lines := strings.Split(string(b), "\r\n")
+	if len(lines) == 0 || lines[0] == "" {
+		return info, fmt.Errorf("parsing SSDP: empty payload")
+	}
+	switch {
+	case strings.HasPrefix(lines[0], "M-SEARCH"):
+		info.Method = "M-SEARCH"
+	case strings.HasPrefix(lines[0], "NOTIFY"):
+		info.Method = "NOTIFY"
+	case strings.HasPrefix(lines[0], "HTTP/"):
+		info.Method = "RESPONSE"
+	default:
+		return info, fmt.Errorf("parsing SSDP: unrecognized start line %q", lines[0])
+	}
+	for _, line := range lines[1:] {
+		if line == "" {
+			break
+		}
+		k, v, ok := strings.Cut(line, ":")
+		if !ok {
+			continue
+		}
+		info.Headers[strings.ToUpper(strings.TrimSpace(k))] = strings.TrimSpace(v)
+	}
+	return info, nil
+}
+
+// HTTPInfo is the decoded summary of an HTTP request payload.
+type HTTPInfo struct {
+	Method string
+	Path   string
+	Host   string
+}
+
+// ParseHTTPRequest decodes the request line and Host header.
+func ParseHTTPRequest(b []byte) (HTTPInfo, error) {
+	var info HTTPInfo
+	lines := strings.Split(string(b), "\r\n")
+	parts := strings.SplitN(lines[0], " ", 3)
+	if len(parts) != 3 || !strings.HasPrefix(parts[2], "HTTP/") {
+		return info, fmt.Errorf("parsing HTTP: malformed request line %q", lines[0])
+	}
+	info.Method = parts[0]
+	info.Path = parts[1]
+	for _, line := range lines[1:] {
+		if line == "" {
+			break
+		}
+		if k, v, ok := strings.Cut(line, ":"); ok && strings.EqualFold(strings.TrimSpace(k), "Host") {
+			info.Host = strings.TrimSpace(v)
+		}
+	}
+	return info, nil
+}
+
+// ParseTLSServerName extracts the SNI server name from a TLS ClientHello
+// record, or "" when absent.
+func ParseTLSServerName(b []byte) (string, error) {
+	// TLS record header: type(1) version(2) length(2).
+	if len(b) < 5 || b[0] != 0x16 {
+		return "", fmt.Errorf("parsing TLS: not a handshake record")
+	}
+	rec := b[5:]
+	if len(rec) < 4 || rec[0] != 0x01 {
+		return "", fmt.Errorf("parsing TLS: not a ClientHello")
+	}
+	hsLen := int(rec[1])<<16 | int(rec[2])<<8 | int(rec[3])
+	if 4+hsLen > len(rec) {
+		return "", fmt.Errorf("parsing TLS handshake: %w", ErrTruncated)
+	}
+	p := rec[4 : 4+hsLen]
+	// client_version(2) random(32)
+	if len(p) < 35 {
+		return "", fmt.Errorf("parsing ClientHello: %w", ErrTruncated)
+	}
+	i := 34
+	// session_id
+	i += 1 + int(p[i])
+	if i+2 > len(p) {
+		return "", fmt.Errorf("parsing ClientHello ciphers: %w", ErrTruncated)
+	}
+	// cipher_suites
+	i += 2 + int(binary.BigEndian.Uint16(p[i:]))
+	if i+1 > len(p) {
+		return "", fmt.Errorf("parsing ClientHello compression: %w", ErrTruncated)
+	}
+	// compression_methods
+	i += 1 + int(p[i])
+	if i+2 > len(p) {
+		return "", nil // no extensions
+	}
+	extLen := int(binary.BigEndian.Uint16(p[i:]))
+	i += 2
+	end := i + extLen
+	if end > len(p) {
+		return "", fmt.Errorf("parsing ClientHello extensions: %w", ErrTruncated)
+	}
+	for i+4 <= end {
+		typ := binary.BigEndian.Uint16(p[i:])
+		l := int(binary.BigEndian.Uint16(p[i+2:]))
+		i += 4
+		if i+l > end {
+			return "", fmt.Errorf("parsing ClientHello extension %d: %w", typ, ErrTruncated)
+		}
+		if typ == 0x0000 && l >= 5 { // server_name
+			sni := p[i : i+l]
+			// list length(2) type(1) name length(2) name
+			nameLen := int(binary.BigEndian.Uint16(sni[3:5]))
+			if 5+nameLen <= len(sni) {
+				return string(sni[5 : 5+nameLen]), nil
+			}
+		}
+		i += l
+	}
+	return "", nil
+}

@@ -1,0 +1,171 @@
+package packet
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestParseDHCPRoundTrip(t *testing.T) {
+	payload := BuildDHCP(1, 0xcafebabe, testMAC, IP4Zero, IP4Zero, DHCPRequest,
+		DHCPOption{Code: DHCPOptRequestedIP, Data: deviceIP[:]},
+		DHCPOption{Code: DHCPOptHostname, Data: []byte("smartplug")},
+	)
+	info, err := ParseDHCP(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.IsDHCP {
+		t.Error("DHCP payload not recognized as DHCP")
+	}
+	if info.Op != 1 || info.XID != 0xcafebabe {
+		t.Errorf("header = %+v", info)
+	}
+	if info.ClientMAC != testMAC {
+		t.Errorf("ClientMAC = %v", info.ClientMAC)
+	}
+	if info.MessageType != DHCPRequest {
+		t.Errorf("MessageType = %d, want request", info.MessageType)
+	}
+	if info.Hostname != "smartplug" {
+		t.Errorf("Hostname = %q", info.Hostname)
+	}
+	if info.RequestedIP != deviceIP {
+		t.Errorf("RequestedIP = %v", info.RequestedIP)
+	}
+}
+
+func TestParseDHCPPlainBOOTP(t *testing.T) {
+	info, err := ParseDHCP(BuildBOOTP(1, 7, testMAC))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.IsDHCP {
+		t.Error("plain BOOTP recognized as DHCP")
+	}
+	if info.ClientMAC != testMAC {
+		t.Errorf("ClientMAC = %v", info.ClientMAC)
+	}
+}
+
+func TestParseDHCPTruncated(t *testing.T) {
+	if _, err := ParseDHCP(make([]byte, 100)); err == nil {
+		t.Error("truncated DHCP accepted")
+	}
+}
+
+func TestParseDNSRoundTrip(t *testing.T) {
+	payload := BuildDNSQuery(77, "cloud.vendor.example.com", DNSTypeAAAA, true)
+	info, err := ParseDNS(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.ID != 77 || info.Response {
+		t.Errorf("header = %+v", info)
+	}
+	if len(info.Questions) != 1 {
+		t.Fatalf("questions = %+v", info.Questions)
+	}
+	q := info.Questions[0]
+	if q.Name != "cloud.vendor.example.com" || q.Type != DNSTypeAAAA {
+		t.Errorf("question = %+v", q)
+	}
+
+	resp, err := ParseDNS(BuildDNSResponse(77, "cloud.vendor.example.com", deviceIP, 300))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Response || resp.AnswerCount != 1 {
+		t.Errorf("response = %+v", resp)
+	}
+}
+
+func TestParseDNSNameProperty(t *testing.T) {
+	// Property: any name built from safe labels round-trips.
+	f := func(raw []byte) bool {
+		label := "a"
+		for _, c := range raw {
+			if len(label) >= 20 {
+				break
+			}
+			label += string(rune('a' + c%26))
+		}
+		name := label + ".example.com"
+		payload := BuildDNSQuery(1, name, DNSTypeA, false)
+		info, err := ParseDNS(payload)
+		return err == nil && len(info.Questions) == 1 && info.Questions[0].Name == name
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseSSDP(t *testing.T) {
+	info, err := ParseSSDP(BuildSSDPMSearch("ssdp:all", 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Method != "M-SEARCH" {
+		t.Errorf("Method = %q", info.Method)
+	}
+	if info.Headers["ST"] != "ssdp:all" {
+		t.Errorf("ST = %q", info.Headers["ST"])
+	}
+
+	notify, err := ParseSSDP(BuildSSDPNotify("http://192.168.1.5/d.xml", "upnp:rootdevice", "uuid:x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if notify.Method != "NOTIFY" || notify.Headers["NT"] != "upnp:rootdevice" {
+		t.Errorf("notify = %+v", notify)
+	}
+
+	if _, err := ParseSSDP([]byte("GARBAGE\r\n")); err == nil {
+		t.Error("garbage SSDP accepted")
+	}
+}
+
+func TestParseHTTPRequest(t *testing.T) {
+	info, err := ParseHTTPRequest(BuildHTTPRequest("POST", "api.example.com", "/v1/register", "iot/1.0", 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Method != "POST" || info.Path != "/v1/register" || info.Host != "api.example.com" {
+		t.Errorf("info = %+v", info)
+	}
+	if _, err := ParseHTTPRequest([]byte("not http")); err == nil {
+		t.Error("garbage HTTP accepted")
+	}
+}
+
+func TestParseTLSServerName(t *testing.T) {
+	for _, ticket := range []int{0, 32} {
+		hello := BuildTLSClientHello("cloud.vendor.example.com", ticket)
+		name, err := ParseTLSServerName(hello)
+		if err != nil {
+			t.Fatalf("ticket=%d: %v", ticket, err)
+		}
+		if name != "cloud.vendor.example.com" {
+			t.Errorf("ticket=%d: SNI = %q", ticket, name)
+		}
+	}
+	if _, err := ParseTLSServerName([]byte{0x17, 0x03, 0x03, 0, 0}); err == nil {
+		t.Error("non-handshake record accepted")
+	}
+}
+
+func TestParseTLSServerNameProperty(t *testing.T) {
+	f := func(raw []byte, ticket uint8) bool {
+		host := "h"
+		for _, c := range raw {
+			if len(host) >= 60 {
+				break
+			}
+			host += string(rune('a' + c%26))
+		}
+		name, err := ParseTLSServerName(BuildTLSClientHello(host, int(ticket)))
+		return err == nil && name == host
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,278 @@
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// minEthernetPayload is the minimum Ethernet payload length; shorter
+// frames are zero-padded on the wire as real NICs do.
+const minEthernetPayload = 46
+
+// Serialize encodes the packet into wire bytes, computing lengths and
+// checksums. The layer structs are not modified.
+func (p *Packet) Serialize() ([]byte, error) {
+	if p.Eth == nil {
+		return nil, fmt.Errorf("packet: missing Ethernet layer")
+	}
+	payload, err := p.serializeNetwork()
+	if err != nil {
+		return nil, err
+	}
+	// The 802.3 length field covers the real data, not the frame padding.
+	dataLen := len(payload)
+	if pad := minEthernetPayload - len(payload); pad > 0 {
+		payload = append(payload, make([]byte, pad)...)
+	}
+	b := make([]byte, 0, 14+len(payload))
+	b = append(b, p.Eth.Dst[:]...)
+	b = append(b, p.Eth.Src[:]...)
+	if p.Eth.Length802 {
+		b = be16(b, uint16(dataLen))
+	} else {
+		b = be16(b, uint16(p.Eth.Type))
+	}
+	b = append(b, payload...)
+	return b, nil
+}
+
+// serializeNetwork encodes everything above the Ethernet header.
+func (p *Packet) serializeNetwork() ([]byte, error) {
+	switch {
+	case p.Eth.Length802:
+		if p.LLC == nil {
+			return nil, fmt.Errorf("packet: 802.3 frame without LLC header")
+		}
+		b := []byte{p.LLC.DSAP, p.LLC.SSAP, p.LLC.Control}
+		return append(b, p.Payload...), nil
+	case p.ARP != nil:
+		return p.serializeARP(), nil
+	case p.EAPOL != nil:
+		return p.serializeEAPOL(), nil
+	case p.IPv4 != nil:
+		return p.serializeIPv4()
+	case p.IPv6 != nil:
+		return p.serializeIPv6()
+	default:
+		return p.Payload, nil
+	}
+}
+
+func (p *Packet) serializeARP() []byte {
+	a := p.ARP
+	b := make([]byte, 0, 28)
+	b = be16(b, 1)      // htype: Ethernet
+	b = be16(b, 0x0800) // ptype: IPv4
+	b = append(b, 6, 4) // hlen, plen
+	b = be16(b, a.Op)
+	b = append(b, a.SenderHW[:]...)
+	b = append(b, a.SenderIP[:]...)
+	b = append(b, a.TargetHW[:]...)
+	b = append(b, a.TargetIP[:]...)
+	return b
+}
+
+func (p *Packet) serializeEAPOL() []byte {
+	e := p.EAPOL
+	b := make([]byte, 0, 4+len(e.Body))
+	b = append(b, e.Version, e.Type)
+	b = be16(b, uint16(len(e.Body)))
+	return append(b, e.Body...)
+}
+
+// serializeTransport encodes the transport layer plus payload given the
+// pseudo-header partial checksum function.
+func (p *Packet) serializeTransport(pseudo func(proto IPProto, length int) uint32) (IPProto, []byte, error) {
+	switch {
+	case p.TCP != nil:
+		return IPProtoTCP, p.serializeTCP(pseudo), nil
+	case p.UDP != nil:
+		return IPProtoUDP, p.serializeUDP(pseudo), nil
+	case p.ICMP != nil:
+		return IPProtoICMP, p.serializeICMP(), nil
+	case p.ICMPv6 != nil:
+		return IPProtoICMPv6, p.serializeICMPv6(pseudo), nil
+	default:
+		// Raw IP payload (e.g. IGMP membership reports).
+		if p.IPv4 != nil {
+			return p.IPv4.Proto, p.Payload, nil
+		}
+		return p.IPv6.NextHeader, p.Payload, nil
+	}
+}
+
+func (p *Packet) serializeIPv4() ([]byte, error) {
+	h := p.IPv4
+	opts := padTo(h.Options, 4, IPOptEndOfList)
+	if len(opts) > 40 {
+		return nil, fmt.Errorf("packet: IPv4 options too long (%d bytes)", len(opts))
+	}
+	hdrLen := 20 + len(opts)
+
+	body, err := p.ipv4Body(h, hdrLen)
+	if err != nil {
+		return nil, err
+	}
+	total := hdrLen + len(body)
+	if total > 0xffff {
+		return nil, fmt.Errorf("packet: IPv4 datagram too long (%d bytes)", total)
+	}
+
+	b := make([]byte, hdrLen, total)
+	b[0] = 0x40 | uint8(hdrLen/4)
+	b[1] = h.TOS
+	binary.BigEndian.PutUint16(b[2:], uint16(total))
+	binary.BigEndian.PutUint16(b[4:], h.ID)
+	if h.DontFrag {
+		b[6] = 0x40
+	}
+	b[8] = h.TTL
+	b[9] = uint8(h.Proto)
+	copy(b[12:], h.Src[:])
+	copy(b[16:], h.Dst[:])
+	copy(b[20:], opts)
+	binary.BigEndian.PutUint16(b[10:], Checksum(b[:hdrLen]))
+	return append(b, body...), nil
+}
+
+// ipv4Body encodes the transport layer for an IPv4 packet and patches the
+// header protocol field to match the transport in use.
+func (p *Packet) ipv4Body(h *IPv4, hdrLen int) ([]byte, error) {
+	pseudo := func(proto IPProto, length int) uint32 {
+		return pseudoHeaderSum4(h.Src, h.Dst, proto, length)
+	}
+	proto, body, err := p.serializeTransport(pseudo)
+	if err != nil {
+		return nil, err
+	}
+	if p.TCP != nil || p.UDP != nil || p.ICMP != nil || p.ICMPv6 != nil {
+		h.Proto = proto
+	}
+	return body, nil
+}
+
+func (p *Packet) serializeIPv6() ([]byte, error) {
+	h := p.IPv6
+	pseudo := func(proto IPProto, length int) uint32 {
+		return pseudoHeaderSum6(h.Src, h.Dst, proto, length)
+	}
+	proto, body, err := p.serializeTransport(pseudo)
+	if err != nil {
+		return nil, err
+	}
+	if p.TCP != nil || p.UDP != nil || p.ICMP != nil || p.ICMPv6 != nil {
+		h.NextHeader = proto
+	}
+
+	var ext []byte
+	next := h.NextHeader
+	if h.HopByHop != nil {
+		opts := padTo6(h.HopByHop.Options)
+		ext = make([]byte, 0, 2+len(opts))
+		ext = append(ext, uint8(next), uint8((2+len(opts))/8-1))
+		ext = append(ext, opts...)
+		next = IPProtoHopByHop
+	}
+
+	payloadLen := len(ext) + len(body)
+	b := make([]byte, 40, 40+payloadLen)
+	b[0] = 0x60 | h.TrafficClass>>4
+	b[1] = h.TrafficClass<<4 | uint8(h.FlowLabel>>16)
+	binary.BigEndian.PutUint16(b[2:], uint16(h.FlowLabel))
+	binary.BigEndian.PutUint16(b[4:], uint16(payloadLen))
+	b[6] = uint8(next)
+	b[7] = h.HopLimit
+	copy(b[8:], h.Src[:])
+	copy(b[24:], h.Dst[:])
+	b = append(b, ext...)
+	return append(b, body...), nil
+}
+
+func (p *Packet) serializeTCP(pseudo func(IPProto, int) uint32) []byte {
+	t := p.TCP
+	opts := padTo(t.Options, 4, IPOptNOP)
+	hdrLen := 20 + len(opts)
+	b := make([]byte, hdrLen, hdrLen+len(p.Payload))
+	binary.BigEndian.PutUint16(b[0:], t.SrcPort)
+	binary.BigEndian.PutUint16(b[2:], t.DstPort)
+	binary.BigEndian.PutUint32(b[4:], t.Seq)
+	binary.BigEndian.PutUint32(b[8:], t.Ack)
+	b[12] = uint8(hdrLen/4) << 4
+	b[13] = t.Flags
+	binary.BigEndian.PutUint16(b[14:], t.Window)
+	copy(b[20:], opts)
+	b = append(b, p.Payload...)
+	sum := onesFold(onesSum(pseudo(IPProtoTCP, len(b)), b))
+	binary.BigEndian.PutUint16(b[16:], sum)
+	return b
+}
+
+func (p *Packet) serializeUDP(pseudo func(IPProto, int) uint32) []byte {
+	u := p.UDP
+	length := 8 + len(p.Payload)
+	b := make([]byte, 8, length)
+	binary.BigEndian.PutUint16(b[0:], u.SrcPort)
+	binary.BigEndian.PutUint16(b[2:], u.DstPort)
+	binary.BigEndian.PutUint16(b[4:], uint16(length))
+	b = append(b, p.Payload...)
+	sum := onesFold(onesSum(pseudo(IPProtoUDP, length), b))
+	if sum == 0 {
+		sum = 0xffff // UDP transmits all-ones for a computed zero checksum
+	}
+	binary.BigEndian.PutUint16(b[6:], sum)
+	return b
+}
+
+func (p *Packet) serializeICMP() []byte {
+	m := p.ICMP
+	b := make([]byte, 8, 8+len(m.Data))
+	b[0], b[1] = m.Type, m.Code
+	copy(b[4:], m.Rest[:])
+	b = append(b, m.Data...)
+	binary.BigEndian.PutUint16(b[2:], Checksum(b))
+	return b
+}
+
+func (p *Packet) serializeICMPv6(pseudo func(IPProto, int) uint32) []byte {
+	m := p.ICMPv6
+	b := make([]byte, 4, 4+len(m.Body))
+	b[0], b[1] = m.Type, m.Code
+	b = append(b, m.Body...)
+	sum := onesFold(onesSum(pseudo(IPProtoICMPv6, len(b)), b))
+	binary.BigEndian.PutUint16(b[2:], sum)
+	return b
+}
+
+// be16 appends v in big-endian byte order.
+func be16(b []byte, v uint16) []byte { return append(b, byte(v>>8), byte(v)) }
+
+// padTo pads opts with the given filler byte to a multiple of n bytes.
+func padTo(opts []byte, n int, fill byte) []byte {
+	rem := len(opts) % n
+	if rem == 0 {
+		return opts
+	}
+	padded := make([]byte, 0, len(opts)+n-rem)
+	padded = append(padded, opts...)
+	for i := 0; i < n-rem; i++ {
+		padded = append(padded, fill)
+	}
+	return padded
+}
+
+// padTo6 pads IPv6 hop-by-hop option bytes with Pad1/PadN so that the
+// extension header (2 bytes fixed + options) fills a multiple of 8 octets.
+func padTo6(opts []byte) []byte {
+	rem := (2 + len(opts)) % 8
+	if rem == 0 {
+		return opts
+	}
+	pad := 8 - rem
+	padded := make([]byte, 0, len(opts)+pad)
+	padded = append(padded, opts...)
+	if pad == 1 {
+		return append(padded, IP6OptPad1)
+	}
+	padded = append(padded, IP6OptPadN, byte(pad-2))
+	return append(padded, make([]byte, pad-2)...)
+}

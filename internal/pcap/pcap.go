@@ -1,0 +1,212 @@
+// Package pcap reads and writes classic libpcap capture files.
+//
+// It supports microsecond (0xa1b2c3d4) and nanosecond (0xa1b23c4d) magic
+// in either byte order, link type Ethernet, and per-packet snap-length
+// truncation — everything the paper's tcpdump-based capture rig produced.
+// The reader is streaming: Next returns one record at a time so arbitrarily
+// large captures can be processed in constant memory.
+package pcap
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Magic numbers identifying libpcap files.
+const (
+	MagicMicroseconds uint32 = 0xa1b2c3d4
+	MagicNanoseconds  uint32 = 0xa1b23c4d
+)
+
+// LinkTypeEthernet is the only link type used in this repository.
+const LinkTypeEthernet uint32 = 1
+
+// DefaultSnapLen is the snapshot length written by NewWriter, matching
+// tcpdump's modern default.
+const DefaultSnapLen uint32 = 262144
+
+// Errors returned by the reader.
+var (
+	ErrBadMagic    = errors.New("pcap: bad magic number")
+	ErrBadLinkType = errors.New("pcap: unsupported link type")
+)
+
+// Record is one captured packet record.
+type Record struct {
+	// Timestamp is the capture time.
+	Timestamp time.Time
+	// OrigLen is the original packet length on the wire; len(Data) may be
+	// smaller if the capture was truncated to the snap length.
+	OrigLen int
+	// Data is the captured packet bytes.
+	Data []byte
+}
+
+// Writer writes a libpcap file. Create one with NewWriter.
+type Writer struct {
+	w       io.Writer
+	nanos   bool
+	snapLen uint32
+	hdrBuf  [16]byte
+}
+
+// WriterOption configures a Writer.
+type WriterOption func(*Writer)
+
+// WithNanosecondResolution makes the writer emit the nanosecond-resolution
+// magic and timestamps.
+func WithNanosecondResolution() WriterOption {
+	return func(w *Writer) { w.nanos = true }
+}
+
+// WithSnapLen sets the snapshot length recorded in the file header and
+// applied to written packets.
+func WithSnapLen(n uint32) WriterOption {
+	return func(w *Writer) { w.snapLen = n }
+}
+
+// NewWriter writes a pcap global header to w and returns a Writer. The
+// file is little-endian (the native order of the capture laptop).
+func NewWriter(w io.Writer, opts ...WriterOption) (*Writer, error) {
+	pw := &Writer{w: w, snapLen: DefaultSnapLen}
+	for _, opt := range opts {
+		opt(pw)
+	}
+	magic := MagicMicroseconds
+	if pw.nanos {
+		magic = MagicNanoseconds
+	}
+	var hdr [24]byte
+	binary.LittleEndian.PutUint32(hdr[0:], magic)
+	binary.LittleEndian.PutUint16(hdr[4:], 2) // version major
+	binary.LittleEndian.PutUint16(hdr[6:], 4) // version minor
+	binary.LittleEndian.PutUint32(hdr[16:], pw.snapLen)
+	binary.LittleEndian.PutUint32(hdr[20:], LinkTypeEthernet)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return nil, fmt.Errorf("writing pcap header: %w", err)
+	}
+	return pw, nil
+}
+
+// WritePacket writes one packet record. Data longer than the snap length
+// is truncated in the record but keeps its original length field.
+func (w *Writer) WritePacket(ts time.Time, data []byte) error {
+	secs := uint32(ts.Unix())
+	var sub uint32
+	if w.nanos {
+		sub = uint32(ts.Nanosecond())
+	} else {
+		sub = uint32(ts.Nanosecond() / 1000)
+	}
+	capLen := uint32(len(data))
+	if capLen > w.snapLen {
+		capLen = w.snapLen
+	}
+	binary.LittleEndian.PutUint32(w.hdrBuf[0:], secs)
+	binary.LittleEndian.PutUint32(w.hdrBuf[4:], sub)
+	binary.LittleEndian.PutUint32(w.hdrBuf[8:], capLen)
+	binary.LittleEndian.PutUint32(w.hdrBuf[12:], uint32(len(data)))
+	if _, err := w.w.Write(w.hdrBuf[:]); err != nil {
+		return fmt.Errorf("writing pcap record header: %w", err)
+	}
+	if _, err := w.w.Write(data[:capLen]); err != nil {
+		return fmt.Errorf("writing pcap record data: %w", err)
+	}
+	return nil
+}
+
+// Reader reads a libpcap file. Create one with NewReader.
+type Reader struct {
+	r       io.Reader
+	order   binary.ByteOrder
+	nanos   bool
+	snapLen uint32
+	hdrBuf  [16]byte
+}
+
+// NewReader parses the global header from r and returns a Reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	var hdr [24]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("reading pcap header: %w", err)
+	}
+	pr := &Reader{r: r}
+	magicLE := binary.LittleEndian.Uint32(hdr[0:4])
+	magicBE := binary.BigEndian.Uint32(hdr[0:4])
+	switch {
+	case magicLE == MagicMicroseconds:
+		pr.order = binary.LittleEndian
+	case magicLE == MagicNanoseconds:
+		pr.order, pr.nanos = binary.LittleEndian, true
+	case magicBE == MagicMicroseconds:
+		pr.order = binary.BigEndian
+	case magicBE == MagicNanoseconds:
+		pr.order, pr.nanos = binary.BigEndian, true
+	default:
+		return nil, fmt.Errorf("magic %08x: %w", magicLE, ErrBadMagic)
+	}
+	pr.snapLen = pr.order.Uint32(hdr[16:20])
+	if lt := pr.order.Uint32(hdr[20:24]); lt != LinkTypeEthernet {
+		return nil, fmt.Errorf("link type %d: %w", lt, ErrBadLinkType)
+	}
+	return pr, nil
+}
+
+// SnapLen returns the snapshot length declared in the file header.
+func (r *Reader) SnapLen() uint32 { return r.snapLen }
+
+// NanosecondResolution reports whether timestamps carry nanoseconds.
+func (r *Reader) NanosecondResolution() bool { return r.nanos }
+
+// Next returns the next packet record, or io.EOF at end of file.
+func (r *Reader) Next() (Record, error) {
+	if _, err := io.ReadFull(r.r, r.hdrBuf[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return Record{}, io.EOF
+		}
+		return Record{}, fmt.Errorf("reading pcap record header: %w", err)
+	}
+	secs := r.order.Uint32(r.hdrBuf[0:4])
+	sub := r.order.Uint32(r.hdrBuf[4:8])
+	capLen := r.order.Uint32(r.hdrBuf[8:12])
+	origLen := r.order.Uint32(r.hdrBuf[12:16])
+	if capLen > r.snapLen && r.snapLen > 0 {
+		return Record{}, fmt.Errorf("pcap: record capture length %d exceeds snap length %d", capLen, r.snapLen)
+	}
+	data := make([]byte, capLen)
+	if _, err := io.ReadFull(r.r, data); err != nil {
+		return Record{}, fmt.Errorf("reading pcap record data: %w", err)
+	}
+	nanos := int64(sub)
+	if !r.nanos {
+		nanos *= 1000
+	}
+	return Record{
+		Timestamp: time.Unix(int64(secs), nanos).UTC(),
+		OrigLen:   int(origLen),
+		Data:      data,
+	}, nil
+}
+
+// ReadAll reads every record until EOF. Intended for tests and small
+// captures; use Next for streaming.
+func ReadAll(r io.Reader) ([]Record, error) {
+	pr, err := NewReader(r)
+	if err != nil {
+		return nil, err
+	}
+	var recs []Record
+	for {
+		rec, err := pr.Next()
+		if errors.Is(err, io.EOF) {
+			return recs, nil
+		}
+		if err != nil {
+			return recs, err
+		}
+		recs = append(recs, rec)
+	}
+}

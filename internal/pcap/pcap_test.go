@@ -1,0 +1,233 @@
+package pcap
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+var t0 = time.Date(2016, 3, 1, 10, 0, 0, 123456000, time.UTC)
+
+func TestRoundTripMicroseconds(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	packets := [][]byte{
+		bytes.Repeat([]byte{0xaa}, 60),
+		bytes.Repeat([]byte{0xbb}, 1514),
+		{0x01},
+	}
+	for i, p := range packets {
+		if err := w.WritePacket(t0.Add(time.Duration(i)*time.Millisecond), p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	recs, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != len(packets) {
+		t.Fatalf("got %d records, want %d", len(recs), len(packets))
+	}
+	for i, rec := range recs {
+		if !bytes.Equal(rec.Data, packets[i]) {
+			t.Errorf("record %d data mismatch", i)
+		}
+		if rec.OrigLen != len(packets[i]) {
+			t.Errorf("record %d OrigLen = %d, want %d", i, rec.OrigLen, len(packets[i]))
+		}
+		want := t0.Add(time.Duration(i) * time.Millisecond).Truncate(time.Microsecond)
+		if !rec.Timestamp.Equal(want) {
+			t.Errorf("record %d timestamp = %v, want %v", i, rec.Timestamp, want)
+		}
+	}
+}
+
+func TestRoundTripNanoseconds(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, WithNanosecondResolution())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := t0.Add(789 * time.Nanosecond)
+	if err := w.WritePacket(ts, []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || !recs[0].Timestamp.Equal(ts) {
+		t.Fatalf("nanosecond timestamp lost: got %v, want %v", recs[0].Timestamp, ts)
+	}
+}
+
+func TestSnapLenTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, WithSnapLen(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := bytes.Repeat([]byte{0xcc}, 512)
+	if err := w.WritePacket(t0, big); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs[0].Data) != 64 {
+		t.Errorf("captured length = %d, want 64", len(recs[0].Data))
+	}
+	if recs[0].OrigLen != 512 {
+		t.Errorf("OrigLen = %d, want 512", recs[0].OrigLen)
+	}
+}
+
+// TestBigEndianFile verifies the reader handles captures written on
+// big-endian machines (byte-swapped header fields).
+func TestBigEndianFile(t *testing.T) {
+	var buf bytes.Buffer
+	var hdr [24]byte
+	binary.BigEndian.PutUint32(hdr[0:], MagicMicroseconds)
+	binary.BigEndian.PutUint16(hdr[4:], 2)
+	binary.BigEndian.PutUint16(hdr[6:], 4)
+	binary.BigEndian.PutUint32(hdr[16:], 65535)
+	binary.BigEndian.PutUint32(hdr[20:], LinkTypeEthernet)
+	buf.Write(hdr[:])
+	var rec [16]byte
+	binary.BigEndian.PutUint32(rec[0:], uint32(t0.Unix()))
+	binary.BigEndian.PutUint32(rec[4:], 42)
+	binary.BigEndian.PutUint32(rec[8:], 4)
+	binary.BigEndian.PutUint32(rec[12:], 4)
+	buf.Write(rec[:])
+	buf.Write([]byte{9, 8, 7, 6})
+
+	recs, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || !bytes.Equal(recs[0].Data, []byte{9, 8, 7, 6}) {
+		t.Fatalf("big-endian record mishandled: %+v", recs)
+	}
+	if got := recs[0].Timestamp.Nanosecond(); got != 42000 {
+		t.Errorf("timestamp nanoseconds = %d, want 42000", got)
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	data := make([]byte, 24)
+	if _, err := NewReader(bytes.NewReader(data)); !errors.Is(err, ErrBadMagic) {
+		t.Errorf("NewReader = %v, want ErrBadMagic", err)
+	}
+}
+
+func TestBadLinkType(t *testing.T) {
+	var hdr [24]byte
+	binary.LittleEndian.PutUint32(hdr[0:], MagicMicroseconds)
+	binary.LittleEndian.PutUint32(hdr[20:], 105) // 802.11
+	if _, err := NewReader(bytes.NewReader(hdr[:])); !errors.Is(err, ErrBadLinkType) {
+		t.Errorf("NewReader = %v, want ErrBadLinkType", err)
+	}
+}
+
+func TestTruncatedFile(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WritePacket(t0, []byte{1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// Cut mid-record: header readable, data truncated.
+	_, err = ReadAll(bytes.NewReader(full[:len(full)-2]))
+	if err == nil {
+		t.Error("ReadAll accepted truncated record data")
+	}
+	// Cut mid-record-header.
+	_, err = ReadAll(bytes.NewReader(full[:24+8]))
+	if err == nil {
+		t.Error("ReadAll accepted truncated record header")
+	}
+}
+
+func TestEmptyFile(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := NewWriter(&buf); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Errorf("empty capture returned %d records", len(recs))
+	}
+}
+
+func TestStreamingNext(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 100
+	for i := 0; i < n; i++ {
+		if err := w.WritePacket(t0, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		rec, err := r.Next()
+		if err != nil {
+			t.Fatalf("Next() #%d: %v", i, err)
+		}
+		if rec.Data[0] != byte(i) {
+			t.Fatalf("record %d out of order", i)
+		}
+	}
+	if _, err := r.Next(); !errors.Is(err, io.EOF) {
+		t.Errorf("Next past end = %v, want io.EOF", err)
+	}
+}
+
+// TestRoundTripProperty fuzzes packet contents through a write/read cycle.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(payloads [][]byte) bool {
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf)
+		if err != nil {
+			return false
+		}
+		for _, p := range payloads {
+			if err := w.WritePacket(t0, p); err != nil {
+				return false
+			}
+		}
+		recs, err := ReadAll(&buf)
+		if err != nil || len(recs) != len(payloads) {
+			return false
+		}
+		for i := range recs {
+			if !bytes.Equal(recs[i].Data, payloads[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

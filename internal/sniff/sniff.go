@@ -1,0 +1,163 @@
+// Package sniff is the capture adapter between a packet source (the
+// simulated medium or a pcap file) and the fingerprinting engine: it
+// demultiplexes frames by source MAC, tracks the setup phase of each
+// newly appearing device with a rate-based end detector, and hands
+// completed setup captures to a callback, mirroring the paper's
+// tcpdump-fed device monitoring module (§VI-A).
+package sniff
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/fingerprint"
+	"repro/internal/packet"
+	"repro/internal/pcap"
+)
+
+// Capture is one device's completed setup capture.
+type Capture struct {
+	MAC     packet.MAC
+	Packets []*packet.Packet
+}
+
+// Fingerprint extracts the capture's fingerprint F.
+func (c Capture) Fingerprint() *fingerprint.Fingerprint {
+	return fingerprint.New(c.Packets)
+}
+
+// Monitor watches a frame stream for new devices. Feed frames with
+// Observe; when a device's setup phase ends (packet-rate decrease or
+// idle gap), the OnSetupComplete callback fires once for that device.
+// Monitor is not safe for concurrent use; drive it from one goroutine
+// (the simulator or capture loop).
+type Monitor struct {
+	cfg fingerprint.SetupEndConfig
+	// OnSetupComplete receives each completed capture.
+	OnSetupComplete func(Capture)
+
+	// IgnoreMACs filters frames from infrastructure (the gateway itself,
+	// measurement hosts).
+	IgnoreMACs map[packet.MAC]bool
+
+	active   map[packet.MAC]*deviceState
+	finished map[packet.MAC]bool
+}
+
+type deviceState struct {
+	detector *fingerprint.SetupEndDetector
+	packets  []*packet.Packet
+}
+
+// NewMonitor creates a monitor with the given setup-end configuration.
+func NewMonitor(cfg fingerprint.SetupEndConfig) *Monitor {
+	return &Monitor{
+		cfg:        cfg,
+		IgnoreMACs: make(map[packet.MAC]bool),
+		active:     make(map[packet.MAC]*deviceState),
+		finished:   make(map[packet.MAC]bool),
+	}
+}
+
+// GatewayConfig returns the setup-end configuration the Security Gateway
+// uses: tolerant of multi-second inter-phase gaps within a setup burst,
+// ending on a 10 s silence or a collapse of the packet rate.
+func GatewayConfig() fingerprint.SetupEndConfig {
+	return fingerprint.SetupEndConfig{
+		Window:       15 * time.Second,
+		RateFraction: 0.1,
+		IdleGap:      10 * time.Second,
+		MinPackets:   16,
+		MaxPackets:   4096,
+	}
+}
+
+// Seen reports whether the monitor has completed a capture for mac.
+func (m *Monitor) Seen(mac packet.MAC) bool { return m.finished[mac] }
+
+// Active returns the number of devices currently in their setup phase.
+func (m *Monitor) Active() int { return len(m.active) }
+
+// Observe feeds one frame to the monitor.
+func (m *Monitor) Observe(p *packet.Packet) {
+	src := p.Eth.Src
+	if m.IgnoreMACs[src] || m.finished[src] {
+		return
+	}
+	st, ok := m.active[src]
+	if !ok {
+		st = &deviceState{detector: fingerprint.NewSetupEndDetector(m.cfg)}
+		m.active[src] = st
+	}
+	// The idle-gap check inside Observe may declare the phase over
+	// *before* this packet: the packet then belongs to the standby phase,
+	// not the setup capture.
+	if done := st.detector.Observe(p.Timestamp); done {
+		m.complete(src, st)
+		return
+	}
+	st.packets = append(st.packets, p)
+}
+
+// Tick advances the monitor's clock, completing captures whose devices
+// have gone quiet.
+func (m *Monitor) Tick(now time.Time) {
+	for mac, st := range m.active {
+		if st.detector.Expire(now) {
+			m.complete(mac, st)
+		}
+	}
+}
+
+// Flush force-completes all in-progress captures (end of a pcap).
+func (m *Monitor) Flush() {
+	for mac, st := range m.active {
+		m.complete(mac, st)
+	}
+}
+
+func (m *Monitor) complete(mac packet.MAC, st *deviceState) {
+	delete(m.active, mac)
+	if len(st.packets) == 0 {
+		return
+	}
+	m.finished[mac] = true
+	if m.OnSetupComplete != nil {
+		m.OnSetupComplete(Capture{MAC: mac, Packets: st.packets})
+	}
+}
+
+// Forget clears the completed state for mac so a re-connected device is
+// fingerprinted again (hard reset, as between the paper's test rounds).
+func (m *Monitor) Forget(mac packet.MAC) { delete(m.finished, mac) }
+
+// ReadPcap reads an entire capture file and groups it into per-device
+// setup captures using the monitor's detector configuration.
+func ReadPcap(r io.Reader, cfg fingerprint.SetupEndConfig) ([]Capture, error) {
+	pr, err := pcap.NewReader(r)
+	if err != nil {
+		return nil, err
+	}
+	m := NewMonitor(cfg)
+	var out []Capture
+	m.OnSetupComplete = func(c Capture) { out = append(out, c) }
+	for {
+		rec, err := pr.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("sniff: reading capture: %w", err)
+		}
+		pkt, err := packet.Decode(rec.Data, rec.Timestamp)
+		if err != nil {
+			// Tolerate undecodable frames as tcpdump does.
+			continue
+		}
+		m.Observe(pkt)
+	}
+	m.Flush()
+	return out, nil
+}

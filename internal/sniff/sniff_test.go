@@ -1,0 +1,211 @@
+package sniff
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/devices"
+	"repro/internal/fingerprint"
+	"repro/internal/packet"
+)
+
+var t0 = time.Date(2016, 3, 1, 10, 0, 0, 0, time.UTC)
+
+func fastConfig() fingerprint.SetupEndConfig {
+	return fingerprint.SetupEndConfig{
+		Window:       5 * time.Second,
+		RateFraction: 0.2,
+		IdleGap:      10 * time.Second,
+		MinPackets:   4,
+		MaxPackets:   1024,
+	}
+}
+
+func TestMonitorSingleDevice(t *testing.T) {
+	m := NewMonitor(fastConfig())
+	var captures []Capture
+	m.OnSetupComplete = func(c Capture) { captures = append(captures, c) }
+
+	mac := packet.MustParseMAC("02:00:00:00:00:11")
+	b := packet.NewBuilder(mac)
+	ts := t0
+	for i := 0; i < 12; i++ {
+		m.Observe(b.ARPProbe(packet.MustParseIP4("192.168.1.5"), ts))
+		ts = ts.Add(300 * time.Millisecond)
+	}
+	if len(captures) != 0 {
+		t.Fatal("capture completed during active burst")
+	}
+	// Device goes quiet; Tick after the idle gap completes the capture.
+	m.Tick(ts.Add(15 * time.Second))
+	if len(captures) != 1 {
+		t.Fatalf("got %d captures, want 1", len(captures))
+	}
+	if captures[0].MAC != mac {
+		t.Errorf("capture MAC = %v", captures[0].MAC)
+	}
+	if len(captures[0].Packets) != 12 {
+		t.Errorf("capture has %d packets, want 12", len(captures[0].Packets))
+	}
+	if !m.Seen(mac) {
+		t.Error("Seen = false after completion")
+	}
+}
+
+func TestMonitorIdleGapSplitsSetupFromStandby(t *testing.T) {
+	m := NewMonitor(fastConfig())
+	var captures []Capture
+	m.OnSetupComplete = func(c Capture) { captures = append(captures, c) }
+
+	mac := packet.MustParseMAC("02:00:00:00:00:12")
+	b := packet.NewBuilder(mac)
+	ts := t0
+	for i := 0; i < 10; i++ {
+		m.Observe(b.ARPProbe(packet.MustParseIP4("192.168.1.5"), ts))
+		ts = ts.Add(200 * time.Millisecond)
+	}
+	// First standby packet arrives after a long silence: it must end the
+	// capture and NOT be part of it.
+	m.Observe(b.NTPRequestPkt(packet.MustParseMAC("02:00:00:00:00:01"), packet.MustParseIP4("192.168.1.1"), ts.Add(30*time.Second)))
+	if len(captures) != 1 {
+		t.Fatalf("got %d captures, want 1", len(captures))
+	}
+	if n := len(captures[0].Packets); n != 10 {
+		t.Errorf("capture has %d packets, want 10 (standby packet excluded)", n)
+	}
+}
+
+func TestMonitorMultipleDevicesInterleaved(t *testing.T) {
+	m := NewMonitor(fastConfig())
+	captures := make(map[packet.MAC]int)
+	m.OnSetupComplete = func(c Capture) { captures[c.MAC] = len(c.Packets) }
+
+	mac1 := packet.MustParseMAC("02:00:00:00:00:21")
+	mac2 := packet.MustParseMAC("02:00:00:00:00:22")
+	b1 := packet.NewBuilder(mac1)
+	b2 := packet.NewBuilder(mac2)
+	ts := t0
+	for i := 0; i < 8; i++ {
+		m.Observe(b1.ARPProbe(packet.MustParseIP4("192.168.1.5"), ts))
+		m.Observe(b2.ARPProbe(packet.MustParseIP4("192.168.1.6"), ts.Add(100*time.Millisecond)))
+		ts = ts.Add(400 * time.Millisecond)
+	}
+	if m.Active() != 2 {
+		t.Errorf("Active = %d, want 2", m.Active())
+	}
+	m.Tick(ts.Add(time.Minute))
+	if len(captures) != 2 {
+		t.Fatalf("got %d captures, want 2", len(captures))
+	}
+	if captures[mac1] != 8 || captures[mac2] != 8 {
+		t.Errorf("per-device packet counts = %v, want 8 each", captures)
+	}
+}
+
+func TestMonitorIgnoresAndForget(t *testing.T) {
+	m := NewMonitor(fastConfig())
+	count := 0
+	m.OnSetupComplete = func(Capture) { count++ }
+
+	gw := packet.MustParseMAC("02:00:00:00:00:01")
+	m.IgnoreMACs[gw] = true
+	b := packet.NewBuilder(gw)
+	for i := 0; i < 20; i++ {
+		m.Observe(b.ARPProbe(packet.MustParseIP4("192.168.1.1"), t0.Add(time.Duration(i)*time.Second)))
+	}
+	m.Flush()
+	if count != 0 {
+		t.Error("ignored MAC produced a capture")
+	}
+
+	// A completed device is not re-captured until Forget.
+	dev := packet.MustParseMAC("02:00:00:00:00:31")
+	db := packet.NewBuilder(dev)
+	ts := t0
+	for i := 0; i < 6; i++ {
+		m.Observe(db.ARPProbe(packet.MustParseIP4("192.168.1.9"), ts))
+		ts = ts.Add(time.Second)
+	}
+	m.Flush()
+	if count != 1 {
+		t.Fatalf("count = %d, want 1", count)
+	}
+	for i := 0; i < 6; i++ {
+		m.Observe(db.ARPProbe(packet.MustParseIP4("192.168.1.9"), ts))
+		ts = ts.Add(time.Second)
+	}
+	m.Flush()
+	if count != 1 {
+		t.Error("completed device re-captured without Forget")
+	}
+	m.Forget(dev)
+	for i := 0; i < 6; i++ {
+		m.Observe(db.ARPProbe(packet.MustParseIP4("192.168.1.9"), ts))
+		ts = ts.Add(time.Second)
+	}
+	m.Flush()
+	if count != 2 {
+		t.Error("Forget did not re-enable capture")
+	}
+}
+
+func TestMonitorWithDeviceTraces(t *testing.T) {
+	// A full simulated setup run must complete as one capture whose
+	// fingerprint matches the trace's own.
+	m := NewMonitor(GatewayConfig())
+	var captures []Capture
+	m.OnSetupComplete = func(c Capture) { captures = append(captures, c) }
+
+	p, err := devices.Lookup("HueBridge")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := p.Generate(devices.DefaultEnv(), 3, 0)
+	for _, pkt := range tr.Packets {
+		m.Observe(pkt)
+	}
+	last := tr.Packets[len(tr.Packets)-1].Timestamp
+	m.Tick(last.Add(time.Minute))
+	if len(captures) != 1 {
+		t.Fatalf("got %d captures, want 1", len(captures))
+	}
+	if got, want := len(captures[0].Packets), len(tr.Packets); got != want {
+		t.Errorf("capture truncated: %d packets, want %d", got, want)
+	}
+	if !captures[0].Fingerprint().Equal(tr.Fingerprint()) {
+		t.Error("capture fingerprint differs from trace fingerprint")
+	}
+}
+
+func TestReadPcapGroupsByDevice(t *testing.T) {
+	env := devices.DefaultEnv()
+	p1, err := devices.Lookup("Aria")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := p1.Generate(env, 9, 0)
+	var buf bytes.Buffer
+	if err := tr.WritePCAP(&buf); err != nil {
+		t.Fatal(err)
+	}
+	captures, err := ReadPcap(&buf, GatewayConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(captures) != 1 {
+		t.Fatalf("got %d captures, want 1", len(captures))
+	}
+	if captures[0].MAC != p1.MAC {
+		t.Errorf("capture MAC = %v, want %v", captures[0].MAC, p1.MAC)
+	}
+	if !captures[0].Fingerprint().Equal(tr.Fingerprint()) {
+		t.Error("pcap capture fingerprint differs from trace")
+	}
+}
+
+func TestReadPcapRejectsGarbage(t *testing.T) {
+	if _, err := ReadPcap(bytes.NewReader(make([]byte, 10)), GatewayConfig()); err == nil {
+		t.Error("ReadPcap accepted garbage")
+	}
+}
