@@ -28,7 +28,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("sentinel-eval", flag.ContinueOnError)
 	var (
-		experiment = fs.String("experiment", "all", "fig5|table3|table4|ablations|all")
+		experiment = fs.String("experiment", "all", "fig5|table3|table4|throughput|ablations|all")
 		runs       = fs.Int("runs", 20, "setup captures per device-type")
 		folds      = fs.Int("folds", 10, "cross-validation folds")
 		repeats    = fs.Int("repeats", 10, "cross-validation repetitions")
@@ -78,6 +78,17 @@ func run(args []string) error {
 		fmt.Print(res.RenderTable4())
 	}
 
+	if *experiment == "throughput" || *experiment == "all" {
+		fmt.Println()
+		res, err := experiments.RunThroughput(experiments.ThroughputConfig{
+			Runs: *runs, Trees: *trees, Seed: *seed,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.RenderThroughput())
+	}
+
 	if *experiment == "ablations" || *experiment == "all" {
 		abCfg := cfg
 		if abCfg.Repeats > 2 {
@@ -99,10 +110,10 @@ func run(args []string) error {
 	}
 
 	switch *experiment {
-	case "fig5", "table3", "table4", "ablations", "all":
+	case "fig5", "table3", "table4", "throughput", "ablations", "all":
 		return nil
 	default:
 		return fmt.Errorf("unknown experiment %q (want %s)", *experiment,
-			strings.Join([]string{"fig5", "table3", "table4", "ablations", "all"}, "|"))
+			strings.Join([]string{"fig5", "table3", "table4", "throughput", "ablations", "all"}, "|"))
 	}
 }

@@ -12,6 +12,23 @@
 // regenerates every table and figure of the paper's evaluation; the
 // benchmarks in bench_test.go expose each of them to `go test -bench`.
 //
+// Identification is a concurrent, batched engine. Forest inference runs
+// over a flattened struct-of-arrays node layout with
+// ml.Forest.PredictProbBatch fanning samples across goroutines;
+// core.Bank is safe for concurrent use (Enroll may race Identify) and
+// core.Bank.IdentifyBatch pipelines a whole fingerprint batch through
+// the bank — one forest at a time over all samples, then a worker pool
+// for edit-distance discrimination with reused scratch buffers —
+// returning results bit-identical to the sequential path. The Security
+// Gateway never blocks its packet path on identification: completed
+// setup captures enter a bounded queue drained by identifier workers
+// under a context deadline, devices wait in strict quarantine until the
+// asynchronous verdict is applied (Gateway.Tick/Drain), and failures,
+// timeouts and queue overflows surface as user Notifications. The
+// throughput experiment (experiments.RunThroughput) and the Throughput*
+// benchmarks measure fingerprints/sec across batch sizes and worker
+// counts.
+//
 // See README.md for a walkthrough, DESIGN.md for the system inventory
 // and experiment index, and EXPERIMENTS.md for paper-versus-measured
 // results.

@@ -76,6 +76,7 @@ func main() {
 	fmt.Printf("%s joins and performs its setup (%d packets)…\n", newcomer, len(trace.Packets))
 	n.RunAll()
 	gw.Tick(n.Now().Add(time.Minute))
+	gw.Drain() // wait for the async identification verdict
 
 	ev := gw.Events[0]
 	fmt.Printf("\n[gateway] verdict for %s: known=%v level=%s\n", ev.MAC, ev.Known, ev.Level)

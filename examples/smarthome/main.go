@@ -96,6 +96,7 @@ func main() {
 	fmt.Println("\n[gateway] devices joining; observing setup traffic…")
 	n.RunAll()
 	gw.Tick(n.Now().Add(time.Minute)) // setup phases end
+	gw.Drain()                        // wait for the async identifications
 
 	for _, ev := range gw.Events {
 		status := "identified as " + ev.DeviceType

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/fingerprint"
+)
+
+// IdentifyBatch identifies every fingerprint of fps and returns the
+// results in input order. results[i] is bit-identical to what
+// b.Identify(fps[i]) returns, for any worker count: stage-one votes are
+// integer tree counts and stage-two reference sampling is a pure
+// function of (bank, fingerprint), so neither depends on scheduling.
+//
+// The batch is evaluated the cache-friendly way round: stage one runs
+// one forest at a time over the whole batch (each forest's flattened
+// node arrays stay hot while every sample streams through it), then
+// stage two fans the multi-accept fingerprints across a worker pool for
+// edit-distance discrimination with per-worker scratch buffers.
+// workers <= 0 selects GOMAXPROCS. The bank's read lock is held for the
+// duration, so a concurrent Enroll waits for the batch (and vice versa).
+func (b *Bank) IdentifyBatch(fps []*fingerprint.Fingerprint, workers int) []Result {
+	out := make([]Result, len(fps))
+	if len(fps) == 0 {
+		return out
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	b.rw.RLock()
+	defer b.rw.RUnlock()
+
+	// Stage one, batched per forest: each classifier votes on every
+	// fingerprint before the next classifier's nodes evict it from
+	// cache. The forest parallelizes over samples internally.
+	fixed := make([][]float64, len(fps))
+	for i, f := range fps {
+		fixed[i] = f.FixedN(b.cfg.FixedPackets)
+	}
+	accepted := make([][]string, len(fps))
+	for _, tm := range b.types {
+		probs := tm.forest.PredictProbBatch(fixed, workers)
+		for i, p := range probs {
+			if p >= b.cfg.AcceptThreshold {
+				accepted[i] = append(accepted[i], tm.name)
+			}
+		}
+	}
+
+	// Stage two: resolve every fingerprint, discriminating multi-accepts.
+	// Work is handed out through an atomic cursor rather than static
+	// chunks because discrimination cost varies wildly between samples
+	// (zero for single accepts, O(|F|²) per reference otherwise).
+	if workers > len(fps) {
+		workers = len(fps)
+	}
+	if workers <= 1 {
+		var scratch identScratch
+		for i, f := range fps {
+			out[i] = b.resolveLocked(f, accepted[i], &scratch)
+		}
+		return out
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var scratch identScratch
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(fps) {
+					return
+				}
+				out[i] = b.resolveLocked(fps[i], accepted[i], &scratch)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,176 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/fingerprint"
+)
+
+// batchBank builds a bank with enough types that discrimination runs,
+// plus a probe set spanning every type and an out-of-distribution
+// fingerprint.
+func batchBank(t *testing.T) (*Bank, []*fingerprint.Fingerprint) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(77))
+	train := map[string][]*fingerprint.Fingerprint{
+		"camA":  synthType(100, 15, rng),
+		"plugB": synthType(200, 15, rng),
+		"hubC":  synthType(300, 15, rng),
+		"twin1": synthType(500, 15, rng),
+		"twin2": synthType(500, 15, rng),
+	}
+	// A permissive accept threshold makes multi-accepts (and hence the
+	// discrimination stage) common, which the equivalence tests need.
+	cfg := smallConfig()
+	cfg.AcceptThreshold = 0.3
+	b, err := Train(cfg, train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var probes []*fingerprint.Fingerprint
+	for _, seed := range []int64{100, 200, 300, 500, 500, 999} {
+		probes = append(probes, synthType(seed, 4, rng)...)
+	}
+	return b, probes
+}
+
+func TestIdentifyBatchMatchesSequential(t *testing.T) {
+	b, probes := batchBank(t)
+	want := make([]Result, len(probes))
+	for i, f := range probes {
+		want[i] = b.Identify(f)
+	}
+	sawDiscrimination := false
+	for _, r := range want {
+		if r.Stage == StageDiscrimination {
+			sawDiscrimination = true
+		}
+	}
+	if !sawDiscrimination {
+		t.Fatal("probe set never triggered discrimination; equivalence test is vacuous")
+	}
+	for _, workers := range []int{0, 1, 2, 3, 8} {
+		got := b.IdentifyBatch(probes, workers)
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d results for %d probes", workers, len(got), len(probes))
+		}
+		for i := range want {
+			if !reflect.DeepEqual(got[i], want[i]) {
+				t.Errorf("workers=%d probe %d: batch %+v != sequential %+v", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestIdentifyBatchEmpty(t *testing.T) {
+	b, _ := batchBank(t)
+	if got := b.IdentifyBatch(nil, 4); len(got) != 0 {
+		t.Errorf("empty batch returned %d results", len(got))
+	}
+}
+
+func TestIdentifyDeterministicAcrossCalls(t *testing.T) {
+	// Reference sampling must be a pure function of (bank, fingerprint):
+	// repeated identifications of the same fingerprint, interleaved with
+	// identifications of others, return identical scores.
+	b, probes := batchBank(t)
+	first := b.Identify(probes[0])
+	for _, f := range probes[1:] {
+		b.Identify(f)
+	}
+	again := b.Identify(probes[0])
+	if !reflect.DeepEqual(first, again) {
+		t.Errorf("re-identification diverged: %+v vs %+v", first, again)
+	}
+}
+
+// TestEnrollRacesIdentify drives Identify, IdentifyBatch, Classify and
+// Discriminate from reader goroutines while Enroll grows the bank, under
+// the race detector. Readers observe the bank before or after each
+// enrolment but never mid-way.
+func TestEnrollRacesIdentify(t *testing.T) {
+	b, probes := batchBank(t)
+	rng := rand.New(rand.NewSource(31))
+	newTypes := make(map[string][]*fingerprint.Fingerprint)
+	for i := 0; i < 4; i++ {
+		newTypes[fmt.Sprintf("late%d", i)] = synthType(int64(700+i), 10, rng)
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				switch (i + r) % 4 {
+				case 0:
+					res := b.Identify(probes[i%len(probes)])
+					if res.Known && res.Type == "" {
+						t.Error("known result with empty type")
+					}
+				case 1:
+					got := b.IdentifyBatch(probes, 2)
+					if len(got) != len(probes) {
+						t.Errorf("batch returned %d results", len(got))
+					}
+				case 2:
+					b.Classify(probes[i%len(probes)].Fixed())
+				case 3:
+					if n := b.Len(); n < 5 || n > 9 {
+						t.Errorf("bank size %d outside [5,9]", n)
+					}
+				}
+			}
+		}(r)
+	}
+
+	for name, prints := range newTypes {
+		if err := b.Enroll(name, prints); err != nil {
+			t.Errorf("Enroll(%s): %v", name, err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	if b.Len() != 9 {
+		t.Errorf("final bank size %d, want 9", b.Len())
+	}
+}
+
+// TestEnrollRacesIdentifyBatchHeavy holds long batches open while
+// enrolments happen, exercising writer starvation/handoff paths.
+func TestEnrollRacesIdentifyBatchHeavy(t *testing.T) {
+	b, probes := batchBank(t)
+	rng := rand.New(rand.NewSource(37))
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			b.IdentifyBatch(probes, 0)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 3; i++ {
+			if err := b.Enroll(fmt.Sprintf("heavy%d", i), synthType(int64(800+i), 8, rng)); err != nil {
+				t.Errorf("Enroll: %v", err)
+			}
+		}
+	}()
+	wg.Wait()
+	if b.Len() != 8 {
+		t.Errorf("final bank size %d, want 8", b.Len())
+	}
+}

@@ -18,7 +18,9 @@
 package core
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
 	"math/rand"
 	"sort"
 	"sync"
@@ -142,16 +144,35 @@ type typeModel struct {
 // Bank is a bank of per-type classifiers with an edit-distance
 // discriminator. Create with NewBank, extend with Enroll.
 //
-// Identify and Classify are safe for concurrent use; Enroll must not run
-// concurrently with them.
+// A Bank is safe for concurrent use: Identify, IdentifyBatch, Classify,
+// Discriminate and the accessors take a read lock and may run in
+// parallel with each other; Enroll takes the write lock and may race
+// freely with them (identifications observe the bank either before or
+// after the enrolment, never mid-way). Discrimination reference
+// sampling is derived deterministically from the bank seed and the
+// fingerprint being identified, so results do not depend on the order
+// or interleaving of identification calls.
 type Bank struct {
-	cfg   Config
+	cfg Config
+
+	// rw guards types and index: held shared by the identification
+	// paths, exclusively by Enroll.
+	rw    sync.RWMutex
 	types []*typeModel
 	index map[string]*typeModel
 
-	// mu guards rng: discrimination samples references through it.
+	// mu guards rng, which drives negative sampling during training
+	// (the only remaining consumer of the shared stream).
 	mu  sync.Mutex
 	rng *rand.Rand
+}
+
+// identScratch is per-goroutine scratch reused across an identification
+// call (and, in IdentifyBatch, across all fingerprints a worker
+// handles): the edit-distance DP rows and the reference slice.
+type identScratch struct {
+	rows editdist.Rows
+	refs []*fingerprint.Fingerprint
 }
 
 // NewBank creates an empty classifier bank.
@@ -193,6 +214,12 @@ func Train(cfg Config, trainingSet map[string][]*fingerprint.Fingerprint) (*Bank
 
 // Types returns the enrolled device-type names in enrolment order.
 func (b *Bank) Types() []string {
+	b.rw.RLock()
+	defer b.rw.RUnlock()
+	return b.typesLocked()
+}
+
+func (b *Bank) typesLocked() []string {
 	out := make([]string, len(b.types))
 	for i, tm := range b.types {
 		out[i] = tm.name
@@ -201,7 +228,11 @@ func (b *Bank) Types() []string {
 }
 
 // Len returns the number of enrolled device-types.
-func (b *Bank) Len() int { return len(b.types) }
+func (b *Bank) Len() int {
+	b.rw.RLock()
+	defer b.rw.RUnlock()
+	return len(b.types)
+}
 
 // Enroll trains a classifier for a new device-type from its training
 // fingerprints and adds it to the bank. Existing classifiers are not
@@ -210,6 +241,8 @@ func (b *Bank) Len() int { return len(b.types) }
 // samples for later enrolments; earlier classifiers simply never saw the
 // new type as negatives, exactly as in the paper's incremental setting.
 func (b *Bank) Enroll(name string, prints []*fingerprint.Fingerprint) error {
+	b.rw.Lock()
+	defer b.rw.Unlock()
 	if err := b.addType(name, prints); err != nil {
 		return err
 	}
@@ -295,6 +328,12 @@ func (b *Bank) trainClassifier(tm *typeModel) (*ml.Forest, error) {
 // whose classifier accepts the fixed-size fingerprint, in enrolment
 // order.
 func (b *Bank) Classify(fixed []float64) []string {
+	b.rw.RLock()
+	defer b.rw.RUnlock()
+	return b.classifyLocked(fixed)
+}
+
+func (b *Bank) classifyLocked(fixed []float64) []string {
 	var accepted []string
 	for _, tm := range b.types {
 		if tm.forest.PredictProb(fixed) >= b.cfg.AcceptThreshold {
@@ -306,14 +345,27 @@ func (b *Bank) Classify(fixed []float64) []string {
 
 // Identify runs the full two-stage pipeline on a fingerprint.
 func (b *Bank) Identify(f *fingerprint.Fingerprint) Result {
-	accepted := b.Classify(f.FixedN(b.cfg.FixedPackets))
+	b.rw.RLock()
+	defer b.rw.RUnlock()
+	var scratch identScratch
+	return b.identifyLocked(f, &scratch)
+}
+
+func (b *Bank) identifyLocked(f *fingerprint.Fingerprint, scratch *identScratch) Result {
+	accepted := b.classifyLocked(f.FixedN(b.cfg.FixedPackets))
+	return b.resolveLocked(f, accepted, scratch)
+}
+
+// resolveLocked turns a stage-one accept set into a Result, running
+// discrimination when needed.
+func (b *Bank) resolveLocked(f *fingerprint.Fingerprint, accepted []string, scratch *identScratch) Result {
 	switch len(accepted) {
 	case 0:
 		return Result{Stage: StageNone}
 	case 1:
 		return Result{Known: true, Type: accepted[0], Accepted: accepted, Stage: StageClassification}
 	default:
-		typ, scores := b.Discriminate(f, accepted)
+		typ, scores := b.discriminateLocked(f, accepted, scratch)
 		return Result{
 			Known:    true,
 			Type:     typ,
@@ -325,11 +377,20 @@ func (b *Bank) Identify(f *fingerprint.Fingerprint) Result {
 }
 
 // Discriminate runs stage two: it compares F against DiscriminationRefs
-// randomly sampled reference fingerprints of each candidate type and
-// returns the type with the lowest dissimilarity score, along with all
-// scores. Ties break toward the earlier-enrolled type.
+// reference fingerprints of each candidate type sampled deterministically
+// for this fingerprint, and returns the type with the lowest
+// dissimilarity score, along with all scores. Ties break toward the
+// earlier-enrolled type.
 func (b *Bank) Discriminate(f *fingerprint.Fingerprint, candidates []string) (string, map[string]float64) {
-	seq := f.Vectors()
+	b.rw.RLock()
+	defer b.rw.RUnlock()
+	var scratch identScratch
+	return b.discriminateLocked(f, candidates, &scratch)
+}
+
+func (b *Bank) discriminateLocked(f *fingerprint.Fingerprint, candidates []string, scratch *identScratch) (string, map[string]float64) {
+	seq := f.View()
+	rng := b.refRNG(f)
 	scores := make(map[string]float64, len(candidates))
 	best := ""
 	bestScore := 0.0
@@ -339,10 +400,10 @@ func (b *Bank) Discriminate(f *fingerprint.Fingerprint, candidates []string) (st
 		if tm == nil {
 			continue
 		}
-		refs := b.sampleRefs(tm)
+		refs := b.sampleRefs(tm, rng, scratch)
 		var s float64
 		for _, ref := range refs {
-			s += editdist.Normalized(seq, ref.Vectors())
+			s += editdist.NormalizedBuf(seq, ref.View(), &scratch.rows)
 		}
 		scores[name] = s
 		if best == "" || s < bestScore {
@@ -353,19 +414,38 @@ func (b *Bank) Discriminate(f *fingerprint.Fingerprint, candidates []string) (st
 	return best, scores
 }
 
-// sampleRefs draws up to DiscriminationRefs reference fingerprints of tm.
-func (b *Bank) sampleRefs(tm *typeModel) []*fingerprint.Fingerprint {
+// refRNG derives the generator driving reference sampling for one
+// identification. Seeding from the bank seed and a hash of the
+// fingerprint makes the draw a pure function of (bank, fingerprint):
+// identifying the same fingerprint always compares the same references,
+// whether sequentially, in a batch, or concurrently from many
+// goroutines — the property the batch/sequential equivalence guarantee
+// rests on.
+func (b *Bank) refRNG(f *fingerprint.Fingerprint) *rand.Rand {
+	h := fnv.New64a()
+	var buf [4]byte
+	for _, v := range f.View() {
+		for _, c := range v {
+			binary.LittleEndian.PutUint32(buf[:], uint32(c))
+			h.Write(buf[:])
+		}
+	}
+	return rand.New(rand.NewSource(b.cfg.Seed ^ int64(h.Sum64())))
+}
+
+// sampleRefs draws up to DiscriminationRefs reference fingerprints of tm
+// through rng, reusing scratch.refs as the backing slice.
+func (b *Bank) sampleRefs(tm *typeModel, rng *rand.Rand, scratch *identScratch) []*fingerprint.Fingerprint {
 	k := b.cfg.DiscriminationRefs
 	if k >= len(tm.prints) {
 		return tm.prints
 	}
-	b.mu.Lock()
-	idx := ml.SampleWithoutReplacement(len(tm.prints), k, b.rng)
-	b.mu.Unlock()
-	refs := make([]*fingerprint.Fingerprint, k)
-	for i, j := range idx {
-		refs[i] = tm.prints[j]
+	idx := ml.SampleWithoutReplacement(len(tm.prints), k, rng)
+	refs := scratch.refs[:0]
+	for _, j := range idx {
+		refs = append(refs, tm.prints[j])
 	}
+	scratch.refs = refs
 	return refs
 }
 
@@ -373,6 +453,8 @@ func (b *Bank) sampleRefs(tm *typeModel) []*fingerprint.Fingerprint {
 // discrimination among the given candidates performs (used by the timing
 // experiments of Table IV).
 func (b *Bank) DistanceComputations(candidates []string) int {
+	b.rw.RLock()
+	defer b.rw.RUnlock()
 	total := 0
 	for _, name := range candidates {
 		if tm := b.index[name]; tm != nil {
@@ -398,11 +480,15 @@ func (b *Bank) IdentifyVectors(vs []features.Vector) Result {
 // consuming than classification" (§IV-B); the ablation benchmarks
 // quantify that trade-off.
 func (b *Bank) IdentifyEditOnly(f *fingerprint.Fingerprint) Result {
-	typ, scores := b.Discriminate(f, b.Types())
+	b.rw.RLock()
+	defer b.rw.RUnlock()
+	var scratch identScratch
+	types := b.typesLocked()
+	typ, scores := b.discriminateLocked(f, types, &scratch)
 	return Result{
 		Known:    typ != "",
 		Type:     typ,
-		Accepted: b.Types(),
+		Accepted: types,
 		Scores:   scores,
 		Stage:    StageDiscrimination,
 	}

@@ -8,9 +8,40 @@
 // only if all 23 features match.
 package editdist
 
+// Rows is caller-owned scratch for DistanceBuf: the three DP rows of the
+// OSA recurrence. A zero Rows is ready to use; it grows as needed and is
+// reused across calls, so a hot loop comparing many sequence pairs
+// performs no per-comparison allocations. A Rows must not be shared
+// between goroutines; give each worker its own.
+type Rows struct {
+	prev2, prev, cur []int
+}
+
+// grow ensures each row holds at least n ints.
+func (r *Rows) grow(n int) {
+	if cap(r.prev2) < n {
+		r.prev2 = make([]int, n)
+		r.prev = make([]int, n)
+		r.cur = make([]int, n)
+		return
+	}
+	r.prev2 = r.prev2[:n]
+	r.prev = r.prev[:n]
+	r.cur = r.cur[:n]
+}
+
 // Distance returns the OSA Damerau-Levenshtein distance between a and b.
 // It runs in O(len(a)*len(b)) time and O(min) memory (three rows).
 func Distance[T comparable](a, b []T) int {
+	var r Rows
+	return DistanceBuf(a, b, &r)
+}
+
+// DistanceBuf is Distance with caller-owned scratch rows: it allocates
+// nothing once r has grown to the longest b seen. This is the variant the
+// discrimination stage uses, where every candidate×reference comparison
+// would otherwise allocate three rows.
+func DistanceBuf[T comparable](a, b []T, r *Rows) int {
 	n, m := len(a), len(b)
 	if n == 0 {
 		return m
@@ -19,9 +50,10 @@ func Distance[T comparable](a, b []T) int {
 		return n
 	}
 
-	prev2 := make([]int, m+1) // row i-2
-	prev := make([]int, m+1)  // row i-1
-	cur := make([]int, m+1)   // row i
+	r.grow(m + 1)
+	prev2 := r.prev2 // row i-2
+	prev := r.prev   // row i-1
+	cur := r.cur     // row i
 	for j := 0; j <= m; j++ {
 		prev[j] = j
 	}
@@ -53,6 +85,12 @@ func Distance[T comparable](a, b []T) int {
 // Normalized returns the distance divided by the length of the longer
 // sequence, bounded on [0,1]. Two empty sequences have distance 0.
 func Normalized[T comparable](a, b []T) float64 {
+	var r Rows
+	return NormalizedBuf(a, b, &r)
+}
+
+// NormalizedBuf is Normalized with caller-owned scratch rows.
+func NormalizedBuf[T comparable](a, b []T, r *Rows) float64 {
 	longest := len(a)
 	if len(b) > longest {
 		longest = len(b)
@@ -60,7 +98,7 @@ func Normalized[T comparable](a, b []T) float64 {
 	if longest == 0 {
 		return 0
 	}
-	return float64(Distance(a, b)) / float64(longest)
+	return float64(DistanceBuf(a, b, r)) / float64(longest)
 }
 
 func min3(a, b, c int) int {

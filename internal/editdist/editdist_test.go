@@ -130,6 +130,41 @@ func TestDistanceIntSlices(t *testing.T) {
 	}
 }
 
+func TestDistanceBufMatchesDistance(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var rows Rows
+	for trial := 0; trial < 200; trial++ {
+		a := make([]int, rng.Intn(40))
+		b := make([]int, rng.Intn(40))
+		for i := range a {
+			a[i] = rng.Intn(5)
+		}
+		for i := range b {
+			b[i] = rng.Intn(5)
+		}
+		// The same Rows is reused across trials of varying lengths.
+		if got, want := DistanceBuf(a, b, &rows), Distance(a, b); got != want {
+			t.Fatalf("DistanceBuf(%v, %v) = %d, want %d", a, b, got, want)
+		}
+		if got, want := NormalizedBuf(a, b, &rows), Normalized(a, b); got != want {
+			t.Fatalf("NormalizedBuf(%v, %v) = %v, want %v", a, b, got, want)
+		}
+	}
+}
+
+func TestDistanceBufAllocFree(t *testing.T) {
+	a := []byte("the quick brown fox jumps over the lazy dog")
+	b := []byte("the quack brown fox jumped over a lazy dog")
+	var rows Rows
+	DistanceBuf(a, b, &rows) // warm the scratch
+	allocs := testing.AllocsPerRun(100, func() {
+		DistanceBuf(a, b, &rows)
+	})
+	if allocs != 0 {
+		t.Errorf("DistanceBuf allocated %.1f objects per run with warm scratch, want 0", allocs)
+	}
+}
+
 func BenchmarkDistance100x100(b *testing.B) {
 	rng := rand.New(rand.NewSource(7))
 	x := make([]int, 100)

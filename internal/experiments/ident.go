@@ -220,14 +220,25 @@ func RunIdentification(cfg IdentConfig) (*IdentResult, error) {
 			if err != nil {
 				return nil, err
 			}
-			for _, i := range testIdx {
-				s := samples[i]
-				var r core.Result
-				if cfg.EditDistanceOnly {
-					r = bank.IdentifyEditOnly(s.fp)
-				} else {
-					r = bank.Identify(s.fp)
+			// Identify the whole test fold through the batch engine
+			// (bit-identical to sequential Identify, parallel across
+			// GOMAXPROCS); the edit-only ablation has no batch variant.
+			testFPs := make([]*fingerprint.Fingerprint, len(testIdx))
+			for k, i := range testIdx {
+				testFPs[k] = samples[i].fp
+			}
+			var results []core.Result
+			if cfg.EditDistanceOnly {
+				results = make([]core.Result, len(testFPs))
+				for k, f := range testFPs {
+					results[k] = bank.IdentifyEditOnly(f)
 				}
+			} else {
+				results = bank.IdentifyBatch(testFPs, 0)
+			}
+			for k, i := range testIdx {
+				s := samples[i]
+				r := results[k]
 				totalTests++
 				res.Tested[s.typ]++
 				res.StageCounts[r.Stage.String()]++

@@ -1,0 +1,155 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/devices"
+	"repro/internal/fingerprint"
+	"repro/internal/ml"
+)
+
+// ThroughputConfig parameterizes the batch identification throughput
+// experiment: how many fingerprints per second the bank sustains as the
+// batch engine fans work across workers, versus the sequential
+// one-at-a-time path the paper's Table IV measures.
+type ThroughputConfig struct {
+	// Types is the number of enrolled device-types (0 means all 27).
+	Types int
+	// Runs is the number of training fingerprints per type (0 means 12).
+	Runs int
+	// Trees is the per-type forest size (0 means 100).
+	Trees int
+	// Batch is the probe batch size (0 means 4 probes per enrolled
+	// type, the Table-4-scale workload).
+	Batch int
+	// Workers lists the worker counts to sweep (nil means {1, 2, 4,
+	// GOMAXPROCS} deduplicated and capped at GOMAXPROCS).
+	Workers []int
+	// Seed drives dataset generation and training.
+	Seed int64
+}
+
+func (c ThroughputConfig) withDefaults() ThroughputConfig {
+	if c.Types <= 0 || c.Types > len(devices.Names()) {
+		c.Types = len(devices.Names())
+	}
+	if c.Runs == 0 {
+		c.Runs = 12
+	}
+	if c.Trees == 0 {
+		c.Trees = 100
+	}
+	if len(c.Workers) == 0 {
+		maxW := runtime.GOMAXPROCS(0)
+		seen := map[int]bool{}
+		for _, w := range []int{1, 2, 4, maxW} {
+			if w >= 1 && w <= maxW && !seen[w] {
+				c.Workers = append(c.Workers, w)
+				seen[w] = true
+			}
+		}
+	}
+	return c
+}
+
+// ThroughputPoint is one worker-count measurement.
+type ThroughputPoint struct {
+	Workers            int
+	FingerprintsPerSec float64
+	// Speedup is FingerprintsPerSec over the sequential rate.
+	Speedup float64
+}
+
+// ThroughputResult is the outcome of the throughput experiment.
+type ThroughputResult struct {
+	EnrolledTypes int
+	BatchSize     int
+	// SequentialPerSec is the one-at-a-time Identify rate (the paper's
+	// operating mode).
+	SequentialPerSec float64
+	Points           []ThroughputPoint
+}
+
+// RunThroughput trains a bank, builds a probe batch and measures
+// fingerprints/sec through the sequential path and through
+// Bank.IdentifyBatch at each worker count. It verifies on the way that
+// every batch run returns results identical to the sequential pass —
+// the equivalence guarantee the batch engine makes.
+func RunThroughput(cfg ThroughputConfig) (*ThroughputResult, error) {
+	cfg = cfg.withDefaults()
+	env := devices.DefaultEnv()
+	ds, err := devices.GenerateDataset(env, cfg.Seed, cfg.Runs)
+	if err != nil {
+		return nil, err
+	}
+	names := devices.Names()[:cfg.Types]
+	train := make(map[string][]*fingerprint.Fingerprint, len(names))
+	var held []*fingerprint.Fingerprint
+	for _, name := range names {
+		prints := ds[name]
+		train[name] = prints[:len(prints)-1]
+		held = append(held, prints[len(prints)-1])
+	}
+	bank, err := core.Train(core.Config{
+		Forest: ml.ForestConfig{Trees: cfg.Trees},
+		Seed:   cfg.Seed,
+	}, train)
+	if err != nil {
+		return nil, err
+	}
+
+	batch := cfg.Batch
+	if batch <= 0 {
+		batch = 4 * len(held)
+	}
+	probes := make([]*fingerprint.Fingerprint, batch)
+	for i := range probes {
+		probes[i] = held[i%len(held)]
+	}
+
+	res := &ThroughputResult{EnrolledTypes: len(names), BatchSize: batch}
+
+	t0 := time.Now()
+	want := make([]core.Result, len(probes))
+	for i, f := range probes {
+		want[i] = bank.Identify(f)
+	}
+	seqDur := time.Since(t0)
+	res.SequentialPerSec = float64(len(probes)) / seqDur.Seconds()
+
+	for _, w := range cfg.Workers {
+		t1 := time.Now()
+		got := bank.IdentifyBatch(probes, w)
+		dur := time.Since(t1)
+		for i := range want {
+			if got[i].Type != want[i].Type || got[i].Known != want[i].Known || got[i].Stage != want[i].Stage {
+				return nil, fmt.Errorf("experiments: batch (workers=%d) diverged from sequential at probe %d: %+v vs %+v",
+					w, i, got[i], want[i])
+			}
+		}
+		rate := float64(len(probes)) / dur.Seconds()
+		res.Points = append(res.Points, ThroughputPoint{
+			Workers:            w,
+			FingerprintsPerSec: rate,
+			Speedup:            rate / res.SequentialPerSec,
+		})
+	}
+	return res, nil
+}
+
+// RenderThroughput formats the sweep as a text table.
+func (r *ThroughputResult) RenderThroughput() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Batch identification throughput — %d types, batch of %d\n",
+		r.EnrolledTypes, r.BatchSize)
+	fmt.Fprintf(&sb, "%-12s %14s %9s\n", "mode", "fingerprints/s", "speedup")
+	fmt.Fprintf(&sb, "%-12s %14.1f %9s\n", "sequential", r.SequentialPerSec, "1.00x")
+	for _, p := range r.Points {
+		fmt.Fprintf(&sb, "batch w=%-4d %14.1f %8.2fx\n", p.Workers, p.FingerprintsPerSec, p.Speedup)
+	}
+	return sb.String()
+}

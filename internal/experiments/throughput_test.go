@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunThroughput(t *testing.T) {
+	res, err := RunThroughput(ThroughputConfig{
+		Types:   6,
+		Runs:    6,
+		Trees:   15,
+		Batch:   24,
+		Workers: []int{1, 2},
+		Seed:    3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EnrolledTypes != 6 || res.BatchSize != 24 {
+		t.Errorf("shape = %d types, batch %d; want 6, 24", res.EnrolledTypes, res.BatchSize)
+	}
+	if res.SequentialPerSec <= 0 {
+		t.Errorf("sequential rate = %v", res.SequentialPerSec)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("got %d points, want 2", len(res.Points))
+	}
+	for _, p := range res.Points {
+		if p.FingerprintsPerSec <= 0 || p.Speedup <= 0 {
+			t.Errorf("degenerate point %+v", p)
+		}
+	}
+	out := res.RenderThroughput()
+	if !strings.Contains(out, "sequential") || !strings.Contains(out, "batch w=") {
+		t.Errorf("render missing rows:\n%s", out)
+	}
+}
+
+func TestRunThroughputDefaults(t *testing.T) {
+	cfg := ThroughputConfig{}.withDefaults()
+	if cfg.Types != 27 || cfg.Runs != 12 || cfg.Trees != 100 {
+		t.Errorf("defaults = %+v", cfg)
+	}
+	if len(cfg.Workers) == 0 || cfg.Workers[0] != 1 {
+		t.Errorf("worker sweep = %v", cfg.Workers)
+	}
+}

@@ -64,6 +64,12 @@ func (f *Fingerprint) Vectors() []features.Vector {
 	return append([]features.Vector(nil), f.vectors...)
 }
 
+// View returns the packet vectors of F without copying. The returned
+// slice must not be modified; use Vectors for an owned copy. View exists
+// for hot paths (edit-distance discrimination) where the per-call copy
+// of Vectors dominates the comparison itself.
+func (f *Fingerprint) View() []features.Vector { return f.vectors }
+
 // UniquePrefix returns the first max unique vectors of F in first-seen
 // order.
 func (f *Fingerprint) UniquePrefix(max int) []features.Vector {

@@ -1,0 +1,260 @@
+package gateway
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/enforce"
+	"repro/internal/fingerprint"
+	"repro/internal/iotssp"
+	"repro/internal/packet"
+	"repro/internal/sniff"
+)
+
+// gatedIdentifier blocks every Identify call until its gate is closed
+// (or the context expires), letting tests observe the gateway between
+// enqueue and result.
+type gatedIdentifier struct {
+	gate chan struct{}
+	resp iotssp.Response
+}
+
+func (gi *gatedIdentifier) Identify(ctx context.Context, mac string, fp *fingerprint.Fingerprint) (iotssp.Response, error) {
+	select {
+	case <-gi.gate:
+		r := gi.resp
+		r.MAC = mac
+		return r, nil
+	case <-ctx.Done():
+		return iotssp.Response{}, ctx.Err()
+	}
+}
+
+// synthCapture fabricates a minimal completed setup capture for mac.
+func synthCapture(mac packet.MAC, at time.Time) sniff.Capture {
+	var pkts []*packet.Packet
+	for i := 0; i < 3; i++ {
+		pkts = append(pkts, &packet.Packet{
+			Timestamp: at.Add(time.Duration(i) * time.Second),
+			Eth:       &packet.Ethernet{Src: mac, Dst: gwMAC},
+		})
+	}
+	return sniff.Capture{MAC: mac, Packets: pkts}
+}
+
+func TestAsyncQuarantineUntilResultApplied(t *testing.T) {
+	gi := &gatedIdentifier{
+		gate: make(chan struct{}),
+		resp: iotssp.Response{Known: true, DeviceType: "Aria", Level: "trusted"},
+	}
+	g := New(gatewayConfig(true), gi)
+	defer g.Close()
+	mac := packet.MustParseMAC("02:de:ad:be:ef:01")
+
+	g.onSetupComplete(synthCapture(mac, t0))
+
+	// The identifier is gated: the device must already sit in strict
+	// quarantine, with no Event yet.
+	rule, ok := g.Engine().RuleFor(mac)
+	if !ok || rule.Level != enforce.Strict {
+		t.Fatalf("quarantine rule = %+v (ok=%v), want strict", rule, ok)
+	}
+	if len(g.Events) != 0 {
+		t.Fatalf("premature events: %+v", g.Events)
+	}
+	if g.Pending() != 1 {
+		t.Errorf("Pending() = %d, want 1", g.Pending())
+	}
+
+	close(gi.gate)
+	g.Drain()
+
+	if g.Pending() != 0 {
+		t.Errorf("Pending() after Drain = %d, want 0", g.Pending())
+	}
+	if len(g.Events) != 1 {
+		t.Fatalf("got %d events after drain, want 1", len(g.Events))
+	}
+	ev := g.Events[0]
+	if ev.Err != nil || !ev.Known || ev.DeviceType != "Aria" || ev.Level != enforce.Trusted {
+		t.Errorf("event = %+v, want known Aria trusted", ev)
+	}
+	rule, ok = g.Engine().RuleFor(mac)
+	if !ok || rule.Level != enforce.Trusted {
+		t.Errorf("rule after drain = %+v (ok=%v), want trusted", rule, ok)
+	}
+	if _, ok := g.PSK().KeyFor(mac); !ok {
+		t.Error("no PSK issued after successful identification")
+	}
+}
+
+func TestAsyncIdentificationTimeout(t *testing.T) {
+	gi := &gatedIdentifier{gate: make(chan struct{})} // never released
+	cfg := gatewayConfig(true)
+	cfg.IdentTimeout = 20 * time.Millisecond
+	g := New(cfg, gi)
+	defer g.Close()
+	mac := packet.MustParseMAC("02:de:ad:be:ef:02")
+
+	g.onSetupComplete(synthCapture(mac, t0))
+	g.Drain()
+
+	if len(g.Events) != 1 {
+		t.Fatalf("got %d events, want 1", len(g.Events))
+	}
+	if !errors.Is(g.Events[0].Err, context.DeadlineExceeded) {
+		t.Errorf("event error = %v, want deadline exceeded", g.Events[0].Err)
+	}
+	if len(g.Notifications) != 1 || g.Notifications[0].Err == nil {
+		t.Fatalf("timeout not surfaced as a notification: %+v", g.Notifications)
+	}
+	if s := g.Notifications[0].String(); s == "" {
+		t.Error("empty notification text")
+	}
+	rule, ok := g.Engine().RuleFor(mac)
+	if !ok || rule.Level != enforce.Strict {
+		t.Errorf("rule after timeout = %+v (ok=%v), want strict quarantine", rule, ok)
+	}
+}
+
+func TestAsyncQueueOverflowFailsSafe(t *testing.T) {
+	gi := &gatedIdentifier{
+		gate: make(chan struct{}),
+		resp: iotssp.Response{Known: true, DeviceType: "Aria", Level: "trusted"},
+	}
+	cfg := gatewayConfig(true)
+	cfg.IdentWorkers = 1
+	cfg.IdentQueue = 1
+	g := New(cfg, gi)
+	defer g.Close()
+
+	macs := make([]packet.MAC, 4)
+	for i := range macs {
+		macs[i] = packet.MustParseMAC(fmt.Sprintf("02:de:ad:be:ef:%02x", 0x10+i))
+	}
+	// First capture occupies the lone worker, second fills the queue.
+	// Give the worker a moment to take the first job off the queue so
+	// the arithmetic below is deterministic.
+	g.onSetupComplete(synthCapture(macs[0], t0))
+	deadline := time.Now().Add(time.Second)
+	for len(g.jobs) > 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	g.onSetupComplete(synthCapture(macs[1], t0.Add(time.Second)))
+	g.onSetupComplete(synthCapture(macs[2], t0.Add(2*time.Second)))
+	g.onSetupComplete(synthCapture(macs[3], t0.Add(3*time.Second)))
+
+	// At least one of the late captures must have overflowed into an
+	// immediate fail-safe event and notification.
+	overflowEvents := 0
+	for _, ev := range g.Events {
+		if ev.Err != nil {
+			overflowEvents++
+		}
+	}
+	if overflowEvents == 0 {
+		t.Fatalf("no overflow events; events = %+v", g.Events)
+	}
+	if len(g.Notifications) != overflowEvents {
+		t.Errorf("%d overflow events but %d notifications", overflowEvents, len(g.Notifications))
+	}
+	for _, mac := range macs {
+		rule, ok := g.Engine().RuleFor(mac)
+		if !ok || rule.Level != enforce.Strict {
+			t.Errorf("%s: rule = %+v (ok=%v), want strict quarantine", mac, rule, ok)
+		}
+	}
+
+	close(gi.gate)
+	g.Drain()
+	if got := len(g.Events); got != 4 {
+		t.Errorf("got %d events after drain, want 4", got)
+	}
+}
+
+func TestQuarantineFlowRulesRemovedOnVerdict(t *testing.T) {
+	// Devices identified asynchronously pass through a strict quarantine
+	// rule whose cookie differs from the final rule's. Its compiled flow
+	// entries must be removed when the verdict replaces it — otherwise
+	// every device quarantined in the same window keeps strict-overlay
+	// reachability to the others forever.
+	gi := &gatedIdentifier{
+		gate: make(chan struct{}),
+		resp: iotssp.Response{Known: true, DeviceType: "Aria", Level: "trusted"},
+	}
+	g := New(gatewayConfig(true), gi)
+	defer g.Close()
+
+	macA := packet.MustParseMAC("02:de:ad:be:ef:40")
+	macB := packet.MustParseMAC("02:de:ad:be:ef:41")
+	g.onSetupComplete(synthCapture(macA, t0))
+	g.onSetupComplete(synthCapture(macB, t0.Add(time.Second)))
+	close(gi.gate)
+	g.Drain()
+
+	for _, mac := range []packet.MAC{macA, macB} {
+		quarantine := enforce.Rule{DeviceMAC: mac, Level: enforce.Strict}
+		if n := g.Table().RemoveByCookie(quarantine.Hash()); n != 0 {
+			t.Errorf("%s: %d stale quarantine flow rules survived the verdict", mac, n)
+		}
+		rule, ok := g.Engine().RuleFor(mac)
+		if !ok || rule.Level != enforce.Trusted {
+			t.Errorf("%s: final rule = %+v (ok=%v), want trusted", mac, rule, ok)
+		}
+	}
+}
+
+func TestCloseFailsSafe(t *testing.T) {
+	gi := &gatedIdentifier{gate: make(chan struct{})}
+	g := New(gatewayConfig(true), gi)
+	g.Close()
+	g.Close() // idempotent
+
+	mac := packet.MustParseMAC("02:de:ad:be:ef:20")
+	g.onSetupComplete(synthCapture(mac, t0))
+	if len(g.Events) != 1 || g.Events[0].Err == nil {
+		t.Fatalf("capture after Close not failed safe: %+v", g.Events)
+	}
+	rule, ok := g.Engine().RuleFor(mac)
+	if !ok || rule.Level != enforce.Strict {
+		t.Errorf("rule = %+v (ok=%v), want strict", rule, ok)
+	}
+}
+
+func TestAsyncManyDevicesConcurrently(t *testing.T) {
+	// A burst of captures across a multi-worker pool: every device gets
+	// exactly one event and the events arrive in queue order.
+	gi := &gatedIdentifier{
+		gate: make(chan struct{}),
+		resp: iotssp.Response{Known: true, DeviceType: "Aria", Level: "trusted"},
+	}
+	cfg := gatewayConfig(true)
+	cfg.IdentWorkers = 4
+	g := New(cfg, gi)
+	defer g.Close()
+
+	const devices = 16
+	close(gi.gate) // identifier answers immediately
+	for i := 0; i < devices; i++ {
+		mac := packet.MustParseMAC(fmt.Sprintf("02:de:ad:be:ef:%02x", 0x30+i))
+		g.onSetupComplete(synthCapture(mac, t0.Add(time.Duration(i)*time.Second)))
+	}
+	g.Drain()
+
+	if len(g.Events) != devices {
+		t.Fatalf("got %d events, want %d", len(g.Events), devices)
+	}
+	seen := make(map[packet.MAC]bool)
+	for _, ev := range g.Events {
+		if ev.Err != nil {
+			t.Errorf("event error: %v", ev.Err)
+		}
+		if seen[ev.MAC] {
+			t.Errorf("duplicate event for %s", ev.MAC)
+		}
+		seen[ev.MAC] = true
+	}
+}

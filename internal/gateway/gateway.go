@@ -15,6 +15,9 @@ package gateway
 import (
 	"context"
 	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/enforce"
@@ -75,6 +78,22 @@ type Config struct {
 	FlowSetupCost time.Duration
 	// PSKSeed seeds per-device credential generation.
 	PSKSeed int64
+
+	// IdentWorkers is the number of goroutines servicing the
+	// identification queue. Zero selects 2. The packet path never blocks
+	// on these workers: a completed setup capture is queued, a strict
+	// quarantine rule confines the device, and the real rule replaces it
+	// when the asynchronous result is applied.
+	IdentWorkers int
+	// IdentQueue bounds the identification queue. A capture arriving
+	// with the queue full fails safe: the device stays in strict
+	// quarantine and the overflow is surfaced as an error Event and a
+	// Notification. Zero selects 64.
+	IdentQueue int
+	// IdentTimeout bounds each identification round-trip to the IoT
+	// Security Service; the context handed to the Identifier carries
+	// this deadline. Zero selects 10s.
+	IdentTimeout time.Duration
 }
 
 // withDefaults fills zero-valued knobs.
@@ -87,6 +106,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.FlowSetupCost == 0 {
 		c.FlowSetupCost = 900 * time.Microsecond
+	}
+	if c.IdentWorkers <= 0 {
+		c.IdentWorkers = 2
+	}
+	if c.IdentQueue <= 0 {
+		c.IdentQueue = 64
+	}
+	if c.IdentTimeout <= 0 {
+		c.IdentTimeout = 10 * time.Second
 	}
 	return c
 }
@@ -101,20 +129,30 @@ type Event struct {
 	Err        error
 }
 
-// Notification is a user-facing alert about a device whose flaws cannot
-// be mitigated by network isolation (§III-C3): the vulnerability is
-// reachable over a channel the gateway cannot filter, so the user should
-// locate and remove the device.
+// Notification is a user-facing alert raised by the gateway: either a
+// device whose flaws cannot be mitigated by network isolation (§III-C3 —
+// the vulnerability is reachable over a channel the gateway cannot
+// filter, so the user should locate and remove the device), or an
+// identification failure (service error, timeout, queue overflow) that
+// left a device confined in strict quarantine.
 type Notification struct {
 	At         time.Time
 	MAC        packet.MAC
 	DeviceType string
-	// Channels names the uncontrollable communication channels.
+	// Channels names the uncontrollable communication channels
+	// (§III-C3 alerts only).
 	Channels []string
+	// Err is the identification failure that triggered the alert, nil
+	// for §III-C3 alerts.
+	Err error
 }
 
 // String renders the alert for the gateway's management interface.
 func (n Notification) String() string {
+	if n.Err != nil {
+		return fmt.Sprintf("SECURITY ALERT: identification of %s failed (%v); the device remains in strict quarantine",
+			n.MAC, n.Err)
+	}
 	return fmt.Sprintf("SECURITY ALERT: %s (%s) has flaws reachable over %v, which this gateway cannot filter; please locate and remove the device",
 		n.DeviceType, n.MAC, n.Channels)
 }
@@ -129,8 +167,29 @@ type CPUStats struct {
 	Frames uint64
 }
 
+// identJob is one queued identification: a completed setup capture
+// waiting for a worker.
+type identJob struct {
+	seq int64
+	mac packet.MAC
+	at  time.Time
+	fp  *fingerprint.Fingerprint
+}
+
+// identDone is a finished identification waiting to be applied on the
+// gateway goroutine.
+type identDone struct {
+	job  identJob
+	resp iotssp.Response
+	err  error
+}
+
 // Gateway is the Security Gateway. Drive it from a single goroutine (the
-// simulation loop); the identifier round-trip is the only blocking call.
+// simulation loop). The packet path never blocks on identification:
+// completed setup captures are queued to a pool of identifier workers
+// while the device sits behind a strict quarantine rule, and the
+// asynchronous results are applied on the driving goroutine by Tick and
+// Drain.
 type Gateway struct {
 	cfg     Config
 	monitor *sniff.Monitor
@@ -139,10 +198,12 @@ type Gateway struct {
 	ident   Identifier
 	psk     *PSKManager
 
-	// Events is the identification log, in completion order.
+	// Events is the identification log, in apply order (queue order
+	// within each Tick/Drain batch).
 	Events []Event
-	// Notifications collects the user alerts for devices that must be
-	// removed manually (§III-C3).
+	// Notifications collects the user alerts: devices that must be
+	// removed manually (§III-C3) and identification failures that left a
+	// device quarantined.
 	Notifications []Notification
 	// CPU accumulates datapath busy time.
 	CPU CPUStats
@@ -156,6 +217,19 @@ type Gateway struct {
 	// deviceIPs records the source IPs observed per device MAC, for
 	// operator display and rule compilation.
 	deviceIPs map[packet.IP4]packet.MAC
+
+	// Identification queue state. jobs feeds the worker pool; done
+	// collects finished identifications until the gateway goroutine
+	// applies them. inFlight counts enqueued-but-unapplied jobs so
+	// Drain knows when the pipeline is empty.
+	jobs     chan identJob
+	seq      int64
+	workers  sync.Once
+	closed   bool
+	inFlight sync.WaitGroup
+	pending  atomic.Int64
+	doneMu   sync.Mutex
+	done     []identDone
 }
 
 // New assembles a gateway.
@@ -169,6 +243,7 @@ func New(cfg Config, ident Identifier) *Gateway {
 		ident:     ident,
 		psk:       NewPSKManager(cfg.PSKSeed),
 		deviceIPs: make(map[packet.IP4]packet.MAC),
+		jobs:      make(chan identJob, cfg.IdentQueue),
 	}
 	g.monitor.IgnoreMACs[cfg.MAC] = true
 	g.monitor.OnSetupComplete = g.onSetupComplete
@@ -198,28 +273,105 @@ func (g *Gateway) MarkInfrastructure(mac packet.MAC) {
 	g.engine.SetInfrastructure(mac)
 }
 
-// onSetupComplete fingerprints a completed capture, consults the IoT
-// Security Service and installs the enforcement rule.
+// onSetupComplete fingerprints a completed capture, installs a strict
+// quarantine rule and hands the capture to the identifier workers. The
+// packet path continues immediately; the quarantine rule is replaced
+// when the asynchronous result is applied.
 func (g *Gateway) onSetupComplete(c sniff.Capture) {
 	fp := c.Fingerprint()
-	ev := Event{MAC: c.MAC, At: c.Packets[len(c.Packets)-1].Timestamp}
+	at := c.Packets[len(c.Packets)-1].Timestamp
 	if g.ident == nil {
 		// No identification service configured (pure enforcement
 		// testbeds): confine unknowns as strict.
-		ev.Level = enforce.Strict
 		g.installRule(enforce.Rule{DeviceMAC: c.MAC, Level: enforce.Strict})
-		g.Events = append(g.Events, ev)
+		g.Events = append(g.Events, Event{MAC: c.MAC, At: at, Level: enforce.Strict})
 		return
 	}
-	resp, err := g.ident.Identify(context.Background(), c.MAC.String(), fp)
-	if err != nil {
-		// Fail safe: unreachable service means strict confinement.
-		ev.Err = err
-		ev.Level = enforce.Strict
-		g.installRule(enforce.Rule{DeviceMAC: c.MAC, Level: enforce.Strict})
-		g.Events = append(g.Events, ev)
+
+	// Quarantine until the verdict arrives: the device can complete its
+	// setup against the strict overlay but reaches nothing else.
+	g.installRule(enforce.Rule{DeviceMAC: c.MAC, Level: enforce.Strict})
+
+	job := identJob{seq: g.seq, mac: c.MAC, at: at, fp: fp}
+	g.seq++
+	if g.closed {
+		g.failJob(job, fmt.Errorf("gateway: identification queue closed"))
 		return
 	}
+	g.workers.Do(g.startWorkers)
+	g.inFlight.Add(1)
+	select {
+	case g.jobs <- job:
+		g.pending.Add(1)
+	default:
+		// Queue overflow: fail safe in quarantine and tell the user
+		// rather than blocking the packet path or dropping silently.
+		g.inFlight.Done()
+		g.failJob(job, fmt.Errorf("gateway: identification queue full (capacity %d, %d pending)", cap(g.jobs), g.pending.Load()))
+	}
+}
+
+// failJob records a capture that never reached the service: an error
+// Event plus a Notification, with the quarantine rule left in place.
+func (g *Gateway) failJob(job identJob, err error) {
+	g.Events = append(g.Events, Event{MAC: job.mac, At: job.at, Level: enforce.Strict, Err: err})
+	g.Notifications = append(g.Notifications, Notification{At: job.at, MAC: job.mac, Err: err})
+}
+
+// startWorkers launches the identifier pool.
+func (g *Gateway) startWorkers() {
+	for i := 0; i < g.cfg.IdentWorkers; i++ {
+		go g.identWorker()
+	}
+}
+
+// identWorker services the identification queue: each job gets a
+// deadline-bounded round-trip to the IoT Security Service, and the
+// outcome is parked until the gateway goroutine applies it.
+func (g *Gateway) identWorker() {
+	for job := range g.jobs {
+		ctx, cancel := context.WithTimeout(context.Background(), g.cfg.IdentTimeout)
+		resp, err := g.ident.Identify(ctx, job.mac.String(), job.fp)
+		cancel()
+		g.doneMu.Lock()
+		g.done = append(g.done, identDone{job: job, resp: resp, err: err})
+		g.doneMu.Unlock()
+		g.inFlight.Done()
+	}
+}
+
+// applyCompleted installs the results of finished identifications. It
+// runs on the gateway goroutine (from Tick or Drain), so rule and event
+// state stay single-writer. Results are applied in queue order within
+// each batch to keep simulations deterministic.
+func (g *Gateway) applyCompleted() {
+	g.doneMu.Lock()
+	batch := g.done
+	g.done = nil
+	g.doneMu.Unlock()
+	if len(batch) == 0 {
+		return
+	}
+	sort.Slice(batch, func(i, j int) bool { return batch[i].job.seq < batch[j].job.seq })
+	for _, d := range batch {
+		g.applyResult(d)
+		g.pending.Add(-1)
+	}
+}
+
+// applyResult turns one identification outcome into enforcement state.
+func (g *Gateway) applyResult(d identDone) {
+	ev := Event{MAC: d.job.mac, At: d.job.at}
+	if d.err != nil {
+		// Fail safe: unreachable or timed-out service means the
+		// quarantine rule stays, and the user hears about it.
+		ev.Err = d.err
+		ev.Level = enforce.Strict
+		g.Events = append(g.Events, ev)
+		g.Notifications = append(g.Notifications, Notification{At: d.job.at, MAC: d.job.mac, Err: d.err})
+		return
+	}
+	resp := d.resp
 	level, err := iotssp.ParseLevel(resp.Level)
 	if err != nil {
 		level = enforce.Strict
@@ -228,7 +380,7 @@ func (g *Gateway) onSetupComplete(c sniff.Capture) {
 	ev.DeviceType = resp.DeviceType
 	ev.Level = level
 
-	rule := enforce.Rule{DeviceMAC: c.MAC, DeviceType: resp.DeviceType, Level: level}
+	rule := enforce.Rule{DeviceMAC: d.job.mac, DeviceType: resp.DeviceType, Level: level}
 	for _, ep := range resp.PermittedEndpoints {
 		ip, perr := packet.ParseIP4(ep)
 		if perr != nil {
@@ -237,16 +389,42 @@ func (g *Gateway) onSetupComplete(c sniff.Capture) {
 		rule.PermittedIPs = append(rule.PermittedIPs, ip)
 	}
 	g.installRule(rule)
-	g.psk.Issue(c.MAC)
+	g.psk.Issue(d.job.mac)
 	g.Events = append(g.Events, ev)
 	if resp.NotifyUser {
 		g.Notifications = append(g.Notifications, Notification{
 			At:         ev.At,
-			MAC:        c.MAC,
+			MAC:        d.job.mac,
 			DeviceType: resp.DeviceType,
 			Channels:   append([]string(nil), resp.UncontrolledChannels...),
 		})
 	}
+}
+
+// Drain blocks until every queued identification has completed, then
+// applies the results. Call it at simulation barriers (end of a replay,
+// before asserting on Events) where the asynchronous pipeline must be
+// empty.
+func (g *Gateway) Drain() {
+	g.inFlight.Wait()
+	g.applyCompleted()
+}
+
+// Pending returns the number of identifications enqueued or running
+// whose results have not been applied yet.
+func (g *Gateway) Pending() int {
+	return int(g.pending.Load())
+}
+
+// Close stops the identifier workers. Captures completing afterwards
+// fail safe into quarantine. Close does not wait for in-flight work;
+// call Drain first to apply it.
+func (g *Gateway) Close() {
+	if g.closed {
+		return
+	}
+	g.closed = true
+	close(g.jobs)
 }
 
 // installRule stores the enforcement rule and recompiles the flow table.
@@ -254,6 +432,13 @@ func (g *Gateway) onSetupComplete(c sniff.Capture) {
 // are recompiled with their current peers, as the controller module
 // revalidates flows after a table change.
 func (g *Gateway) installRule(r enforce.Rule) {
+	// Drop the flow rules compiled for the rule this one replaces: a
+	// quarantine rule's cookie differs from its successor's, so the
+	// recompile loop below would never remove its entries and the
+	// device would keep its quarantine-overlay reachability.
+	if old, ok := g.engine.RuleFor(r.DeviceMAC); ok {
+		g.table.RemoveByCookie(old.Hash())
+	}
 	if err := g.engine.SetRule(r); err != nil {
 		return
 	}
@@ -318,8 +503,12 @@ func (g *Gateway) Bridge() netsim.BridgeFunc {
 }
 
 // Tick lets the gateway finish captures for devices that have gone
-// silent; call it periodically from the simulation.
-func (g *Gateway) Tick(now time.Time) { g.monitor.Tick(now) }
+// silent and applies identification results that arrived since the last
+// call; call it periodically from the simulation.
+func (g *Gateway) Tick(now time.Time) {
+	g.monitor.Tick(now)
+	g.applyCompleted()
+}
 
 // Utilization converts busy time over an elapsed window into a CPU
 // percentage on top of a baseline (the Pi's OS + controller idle load).

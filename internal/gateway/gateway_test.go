@@ -87,6 +87,7 @@ func TestGatewayIdentifiesDeviceFromSetupTraffic(t *testing.T) {
 	n.RunAll()
 	// Let the device go silent past the idle gap, then tick.
 	g.Tick(n.Now().Add(time.Minute))
+	g.Drain()
 
 	if len(g.Events) != 1 {
 		t.Fatalf("got %d identification events, want 1", len(g.Events))
@@ -210,6 +211,7 @@ func TestGatewayUnknownDeviceGetsStrict(t *testing.T) {
 	}
 	n.RunAll()
 	g.Tick(n.Now().Add(time.Minute))
+	g.Drain()
 
 	if len(g.Events) != 1 {
 		t.Fatalf("got %d events, want 1", len(g.Events))
@@ -241,6 +243,7 @@ func TestGatewayFailsClosedWhenServiceUnreachable(t *testing.T) {
 	}
 	n.RunAll()
 	g.Tick(n.Now().Add(time.Minute))
+	g.Drain()
 
 	if len(g.Events) != 1 {
 		t.Fatalf("got %d events, want 1", len(g.Events))
@@ -395,6 +398,7 @@ func TestGatewayUserNotification(t *testing.T) {
 	}
 	n.RunAll()
 	g.Tick(n.Now().Add(time.Minute))
+	g.Drain()
 
 	if len(g.Events) != 1 || g.Events[0].DeviceType != "EdnetGateway" {
 		t.Fatalf("identification failed: %+v", g.Events)
@@ -437,6 +441,7 @@ func TestGatewayNoNotificationForNetworkOnlyFlaws(t *testing.T) {
 	}
 	n.RunAll()
 	g.Tick(n.Now().Add(time.Minute))
+	g.Drain()
 
 	if len(g.Notifications) != 0 {
 		t.Errorf("unexpected notifications: %+v", g.Notifications)

@@ -73,7 +73,9 @@ func (g *Gateway) MigrateLegacy(devices []LegacyDevice) []MigrationOutcome {
 func (g *Gateway) migrateOne(d LegacyDevice) MigrationOutcome {
 	o := MigrationOutcome{MAC: d.MAC, Level: enforce.Strict}
 	fp := fingerprint.New(d.StandbyCapture)
-	resp, err := g.ident.Identify(context.Background(), d.MAC.String(), fp)
+	ctx, cancel := context.WithTimeout(context.Background(), g.cfg.IdentTimeout)
+	defer cancel()
+	resp, err := g.ident.Identify(ctx, d.MAC.String(), fp)
 	if err != nil {
 		o.Err = err
 		g.installRule(enforce.Rule{DeviceMAC: d.MAC, Level: enforce.Strict})

@@ -1,0 +1,161 @@
+package ml
+
+import (
+	"runtime"
+	"sync"
+)
+
+// flatForest is a struct-of-arrays flattening of every tree in a forest
+// into four parallel arrays. Traversal touches one small field array per
+// step instead of striding over 40-byte node structs, which keeps far
+// more of the forest in cache when thousands of fingerprints stream
+// through the bank. Node indices are absolute into the flat arrays;
+// roots[t] is the root of tree t.
+//
+// For leaves feature is -1 and threshold carries the leaf's positive
+// probability (left/right are unused), so a traversal step and a leaf
+// read hit the same two arrays.
+type flatForest struct {
+	feature   []int32
+	threshold []float64
+	left      []int32
+	right     []int32
+	roots     []int32
+}
+
+// flatten builds the struct-of-arrays layout from trained trees.
+func flatten(trees []*Tree) *flatForest {
+	total := 0
+	for _, t := range trees {
+		total += len(t.nodes)
+	}
+	f := &flatForest{
+		feature:   make([]int32, total),
+		threshold: make([]float64, total),
+		left:      make([]int32, total),
+		right:     make([]int32, total),
+		roots:     make([]int32, len(trees)),
+	}
+	base := int32(0)
+	for ti, t := range trees {
+		f.roots[ti] = base
+		for i, nd := range t.nodes {
+			j := base + int32(i)
+			f.feature[j] = int32(nd.feature)
+			if nd.feature < 0 {
+				f.threshold[j] = nd.prob
+				continue
+			}
+			f.threshold[j] = nd.threshold
+			f.left[j] = base + nd.left
+			f.right[j] = base + nd.right
+		}
+		base += int32(len(t.nodes))
+	}
+	return f
+}
+
+// votesRange counts positive votes of trees [lo, hi) for sample x.
+func (f *flatForest) votesRange(x []float64, lo, hi int) int {
+	votes := 0
+	for _, root := range f.roots[lo:hi] {
+		i := root
+		for f.feature[i] >= 0 {
+			if x[f.feature[i]] <= f.threshold[i] {
+				i = f.left[i]
+			} else {
+				i = f.right[i]
+			}
+		}
+		if f.threshold[i] >= 0.5 {
+			votes++
+		}
+	}
+	return votes
+}
+
+// votes counts positive votes across all trees for sample x.
+func (f *flatForest) votes(x []float64) int {
+	return f.votesRange(x, 0, len(f.roots))
+}
+
+// minParallel is the smallest amount of work (samples or trees) worth
+// fanning across goroutines; below it the spawn cost dominates.
+const minParallel = 8
+
+// votesParallel counts positive votes for one sample with the trees
+// partitioned across workers. Per-chunk vote counts are integers summed
+// after all workers join, so the result is bit-identical to the
+// sequential count regardless of scheduling.
+func (f *flatForest) votesParallel(x []float64, workers int) int {
+	n := len(f.roots)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n < minParallel {
+		return f.votes(x)
+	}
+	partial := make([]int, workers)
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			partial[w] = f.votesRange(x, lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	votes := 0
+	for _, v := range partial {
+		votes += v
+	}
+	return votes
+}
+
+// votesBatch fills out[i] with the positive vote count for xs[i],
+// partitioning the samples across workers in contiguous chunks. Each
+// output cell depends only on its own sample, so the result is
+// bit-identical to a sequential loop.
+func (f *flatForest) votesBatch(xs [][]float64, out []int, workers int) {
+	n := len(xs)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n < minParallel {
+		for i, x := range xs {
+			out[i] = f.votes(x)
+		}
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				out[i] = f.votes(xs[i])
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// defaultWorkers resolves a worker-count knob: values <= 0 select
+// GOMAXPROCS.
+func defaultWorkers(workers int) int {
+	if workers > 0 {
+		return workers
+	}
+	return runtime.GOMAXPROCS(0)
+}

@@ -21,8 +21,15 @@ type ForestConfig struct {
 const DefaultTrees = 100
 
 // Forest is a trained Random Forest binary classifier.
+//
+// After training the trees are additionally flattened into a
+// struct-of-arrays node layout (see flatForest) that all prediction
+// paths traverse; the per-tree representation is kept for
+// introspection (NodeCount, Depth). A Forest is immutable after
+// NewForest and safe for concurrent prediction.
 type Forest struct {
 	trees []*Tree
+	flat  *flatForest
 }
 
 // NewForest trains a Random Forest on ds: each tree is induced on a
@@ -45,17 +52,40 @@ func NewForest(ds *Dataset, cfg ForestConfig) (*Forest, error) {
 		sample := ds.Subset(bootstrap(ds.Len(), rng))
 		f.trees[i] = NewTree(sample, cfg.Tree, rng)
 	}
+	f.flat = flatten(f.trees)
 	return f, nil
 }
 
 // PredictProb returns the fraction of trees voting for the positive
 // class.
 func (f *Forest) PredictProb(x []float64) float64 {
-	votes := 0
-	for _, t := range f.trees {
-		votes += t.Predict(x)
-	}
+	return float64(f.flat.votes(x)) / float64(len(f.trees))
+}
+
+// PredictProbParallel is PredictProb with the trees partitioned across
+// up to workers goroutines (<= 0 selects GOMAXPROCS). Votes are integer
+// counts summed after the workers join, so the result is bit-identical
+// to PredictProb.
+func (f *Forest) PredictProbParallel(x []float64, workers int) float64 {
+	votes := f.flat.votesParallel(x, defaultWorkers(workers))
 	return float64(votes) / float64(len(f.trees))
+}
+
+// PredictProbBatch returns PredictProb for every sample of xs,
+// evaluating samples in parallel across up to workers goroutines (<= 0
+// selects GOMAXPROCS). Each output cell depends only on its own sample,
+// so the slice is bit-identical to calling PredictProb in a loop.
+func (f *Forest) PredictProbBatch(xs [][]float64, workers int) []float64 {
+	if len(xs) == 0 {
+		return nil
+	}
+	votes := make([]int, len(xs))
+	f.flat.votesBatch(xs, votes, defaultWorkers(workers))
+	out := make([]float64, len(xs))
+	for i, v := range votes {
+		out[i] = float64(v) / float64(len(f.trees))
+	}
+	return out
 }
 
 // Predict returns the majority-vote class for x.
