@@ -31,6 +31,10 @@ import (
 
 // Identifier is the gateway's dependency on the IoT Security Service.
 // Both the TCP client and the in-process service adapter satisfy it.
+//
+// Identify is called concurrently from the gateway's pool of
+// IdentWorkers goroutines; implementations must be safe for concurrent
+// use.
 type Identifier interface {
 	Identify(ctx context.Context, mac string, fp *fingerprint.Fingerprint) (iotssp.Response, error)
 }
@@ -361,16 +365,13 @@ func (g *Gateway) applyCompleted() {
 
 // applyResult turns one identification outcome into enforcement state.
 func (g *Gateway) applyResult(d identDone) {
-	ev := Event{MAC: d.job.mac, At: d.job.at}
 	if d.err != nil {
 		// Fail safe: unreachable or timed-out service means the
 		// quarantine rule stays, and the user hears about it.
-		ev.Err = d.err
-		ev.Level = enforce.Strict
-		g.Events = append(g.Events, ev)
-		g.Notifications = append(g.Notifications, Notification{At: d.job.at, MAC: d.job.mac, Err: d.err})
+		g.failJob(d.job, d.err)
 		return
 	}
+	ev := Event{MAC: d.job.mac, At: d.job.at}
 	resp := d.resp
 	level, err := iotssp.ParseLevel(resp.Level)
 	if err != nil {
@@ -432,15 +433,18 @@ func (g *Gateway) Close() {
 // are recompiled with their current peers, as the controller module
 // revalidates flows after a table change.
 func (g *Gateway) installRule(r enforce.Rule) {
-	// Drop the flow rules compiled for the rule this one replaces: a
+	old, hadOld := g.engine.RuleFor(r.DeviceMAC)
+	if err := g.engine.SetRule(r); err != nil {
+		// Rejected rule: leave the engine and flow table exactly as they
+		// were, still consistent with each other.
+		return
+	}
+	// Drop the flow rules compiled for the rule this one replaced: a
 	// quarantine rule's cookie differs from its successor's, so the
 	// recompile loop below would never remove its entries and the
 	// device would keep its quarantine-overlay reachability.
-	if old, ok := g.engine.RuleFor(r.DeviceMAC); ok {
+	if hadOld {
 		g.table.RemoveByCookie(old.Hash())
-	}
-	if err := g.engine.SetRule(r); err != nil {
-		return
 	}
 	for _, rule := range g.engine.Rules() {
 		g.table.RemoveByCookie(rule.Hash())

@@ -95,11 +95,14 @@ func (f *flatForest) votesParallel(x []float64, workers int) int {
 	if workers <= 1 || n < minParallel {
 		return f.votes(x)
 	}
-	partial := make([]int, workers)
 	chunk := (n + workers - 1) / workers
+	// ceil(n/workers) chunks of size chunk can over-cover n, so the
+	// number of chunks actually spawned — not workers — sizes partial
+	// and bounds the loop (w*chunk could otherwise pass n).
+	nchunks := (n + chunk - 1) / chunk
+	partial := make([]int, nchunks)
 	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
+	for w, lo := 0, 0; lo < n; w, lo = w+1, lo+chunk {
 		hi := lo + chunk
 		if hi > n {
 			hi = n
