@@ -28,7 +28,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("sentinel-eval", flag.ContinueOnError)
 	var (
-		experiment = fs.String("experiment", "all", "fig5|table3|table4|throughput|ablations|all")
+		experiment = fs.String("experiment", "all", "fig5|table3|table4|throughput|service|ablations|all")
 		runs       = fs.Int("runs", 20, "setup captures per device-type")
 		folds      = fs.Int("folds", 10, "cross-validation folds")
 		repeats    = fs.Int("repeats", 10, "cross-validation repetitions")
@@ -89,6 +89,17 @@ func run(args []string) error {
 		fmt.Print(res.RenderThroughput())
 	}
 
+	if *experiment == "service" || *experiment == "all" {
+		fmt.Println()
+		res, err := experiments.RunService(experiments.ServiceConfig{
+			Runs: *runs / 2, Trees: *trees, Seed: *seed,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.RenderService())
+	}
+
 	if *experiment == "ablations" || *experiment == "all" {
 		abCfg := cfg
 		if abCfg.Repeats > 2 {
@@ -110,10 +121,10 @@ func run(args []string) error {
 	}
 
 	switch *experiment {
-	case "fig5", "table3", "table4", "throughput", "ablations", "all":
+	case "fig5", "table3", "table4", "throughput", "service", "ablations", "all":
 		return nil
 	default:
 		return fmt.Errorf("unknown experiment %q (want %s)", *experiment,
-			strings.Join([]string{"fig5", "table3", "table4", "throughput", "ablations", "all"}, "|"))
+			strings.Join([]string{"fig5", "table3", "table4", "throughput", "service", "ablations", "all"}, "|"))
 	}
 }

@@ -29,6 +29,25 @@
 // benchmarks measure fingerprints/sec across batch sizes and worker
 // counts.
 //
+// The IoT Security Service itself is built for multi-gateway load. The
+// iotssp.Server runs a bounded accept loop with a read and a write pump
+// per connection; a micro-batching dispatcher aggregates requests
+// across every connection and flushes them into Bank.IdentifyBatch on a
+// size threshold or a small time budget, answering overload with
+// retryable backpressure responses instead of unbounded queues.
+// Verdicts are cached in an LRU keyed by the canonical fingerprint hash
+// (fingerprint.Hash), versioned by the bank's enrolment count so Enroll
+// invalidates stale entries, with singleflight collapsing of duplicate
+// in-flight fingerprints — the fleet's repeat device models cost a
+// cache probe instead of a forest pass. On the client side,
+// gateway.Pool multiplexes pipelined requests over N persistent
+// connections (correlated by MAC and line, reconnecting with jittered
+// backoff), and the compact packed wire form of fingerprint reports
+// keeps protocol CPU out of the hot path. The load experiment
+// (experiments.RunService) replays a multi-gateway fleet workload over
+// TCP and reports throughput against the per-request baseline, cache
+// hit rate and latency percentiles.
+//
 // See README.md for a walkthrough, DESIGN.md for the system inventory
 // and experiment index, and EXPERIMENTS.md for paper-versus-measured
 // results.

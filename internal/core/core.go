@@ -18,12 +18,11 @@
 package core
 
 import (
-	"encoding/binary"
 	"fmt"
-	"hash/fnv"
 	"math/rand"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/editdist"
 	"repro/internal/features"
@@ -161,6 +160,11 @@ type Bank struct {
 	types []*typeModel
 	index map[string]*typeModel
 
+	// version counts successful enrolments. Verdict caches key their
+	// entries by it so enrolling a new type invalidates every verdict
+	// computed against the smaller bank.
+	version atomic.Uint64
+
 	// mu guards rng, which drives negative sampling during training
 	// (the only remaining consumer of the shared stream).
 	mu  sync.Mutex
@@ -209,6 +213,7 @@ func Train(cfg Config, trainingSet map[string][]*fingerprint.Fingerprint) (*Bank
 		}
 		tm.forest = forest
 	}
+	b.version.Add(uint64(len(b.types)))
 	return b, nil
 }
 
@@ -255,7 +260,18 @@ func (b *Bank) Enroll(name string, prints []*fingerprint.Fingerprint) error {
 		return fmt.Errorf("core: training classifier for %q: %w", name, err)
 	}
 	tm.forest = forest
+	b.version.Add(1)
 	return nil
+}
+
+// Version returns the bank's enrolment version: it starts at the number
+// of types Train enrolled and increments on every successful Enroll.
+// A verdict computed at version v is stale once Version() > v — repeat
+// fingerprints that were unknown (or discriminated among fewer
+// candidates) may identify differently against the grown bank — so
+// caches must tag entries with the version they were computed at.
+func (b *Bank) Version() uint64 {
+	return b.version.Load()
 }
 
 // addType registers a device-type's fingerprints without training its
@@ -415,22 +431,14 @@ func (b *Bank) discriminateLocked(f *fingerprint.Fingerprint, candidates []strin
 }
 
 // refRNG derives the generator driving reference sampling for one
-// identification. Seeding from the bank seed and a hash of the
-// fingerprint makes the draw a pure function of (bank, fingerprint):
-// identifying the same fingerprint always compares the same references,
-// whether sequentially, in a batch, or concurrently from many
-// goroutines — the property the batch/sequential equivalence guarantee
-// rests on.
+// identification. Seeding from the bank seed and the canonical
+// fingerprint hash makes the draw a pure function of (bank,
+// fingerprint): identifying the same fingerprint always compares the
+// same references, whether sequentially, in a batch, or concurrently
+// from many goroutines — the property the batch/sequential equivalence
+// guarantee rests on.
 func (b *Bank) refRNG(f *fingerprint.Fingerprint) *rand.Rand {
-	h := fnv.New64a()
-	var buf [4]byte
-	for _, v := range f.View() {
-		for _, c := range v {
-			binary.LittleEndian.PutUint32(buf[:], uint32(c))
-			h.Write(buf[:])
-		}
-	}
-	return rand.New(rand.NewSource(b.cfg.Seed ^ int64(h.Sum64())))
+	return rand.New(rand.NewSource(b.cfg.Seed ^ int64(f.Hash())))
 }
 
 // sampleRefs draws up to DiscriminationRefs reference fingerprints of tm

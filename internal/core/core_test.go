@@ -383,3 +383,31 @@ func TestIdentifyVectors(t *testing.T) {
 		t.Errorf("IdentifyVectors disagrees with Identify: %+v vs %+v", r1, r2)
 	}
 }
+
+func TestBankVersionTracksEnrolments(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	train := map[string][]*fingerprint.Fingerprint{
+		"camA":  synthType(100, 10, rng),
+		"plugB": synthType(200, 10, rng),
+	}
+	b, err := Train(smallConfig(), train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Version(); got != 2 {
+		t.Fatalf("Version after Train of 2 types = %d", got)
+	}
+	if err := b.Enroll("hubC", synthType(300, 10, rng)); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Version(); got != 3 {
+		t.Fatalf("Version after Enroll = %d", got)
+	}
+	// A failed enrolment (duplicate name) must not bump the version.
+	if err := b.Enroll("hubC", synthType(300, 10, rng)); err == nil {
+		t.Fatal("duplicate enrolment accepted")
+	}
+	if got := b.Version(); got != 3 {
+		t.Errorf("Version after failed Enroll = %d, want 3", got)
+	}
+}

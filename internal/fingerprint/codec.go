@@ -1,6 +1,8 @@
 package fingerprint
 
 import (
+	"encoding/base64"
+	"encoding/binary"
 	"encoding/json"
 	"fmt"
 
@@ -11,11 +13,21 @@ import (
 // submits it to the IoT Security Service. It carries no identity beyond
 // the observed MAC (needed by the gateway to apply the returned isolation
 // level); the IoTSSP stores nothing about its clients.
+//
+// The F matrix travels in one of two shapes. Vectors is the readable
+// form: one JSON row per packet column. Packed is the compact form the
+// high-throughput clients send: the same values as zigzag varints,
+// base64-encoded, which shrinks the request several-fold and — more
+// importantly under load — replaces hundreds of JSON number parses per
+// request with one string scan. When Packed is set it wins; Vectors is
+// ignored.
 type Report struct {
 	// MAC is the device's hardware address as printed by packet.MAC.
 	MAC string `json:"mac"`
 	// Vectors is the F matrix, one row per packet column.
-	Vectors [][]int32 `json:"vectors"`
+	Vectors [][]int32 `json:"vectors,omitempty"`
+	// Packed is the F matrix as base64(zigzag varints), row-major.
+	Packed string `json:"packed,omitempty"`
 }
 
 // MarshalReportStruct builds the wire struct for a fingerprint.
@@ -31,8 +43,32 @@ func MarshalReportStruct(mac string, f *Fingerprint) (Report, error) {
 	return Report{MAC: mac, Vectors: rows}, nil
 }
 
-// UnmarshalReportStruct validates and decodes a wire struct.
+// MarshalReportPacked builds the compact wire struct for a fingerprint
+// (the form the pooled gateway clients send).
+func MarshalReportPacked(mac string, f *Fingerprint) (Report, error) {
+	if f == nil {
+		return Report{}, fmt.Errorf("encoding fingerprint report: nil fingerprint")
+	}
+	buf := make([]byte, 0, f.Len()*features.NumFeatures*2)
+	for _, v := range f.vectors {
+		for _, c := range v {
+			// Zigzag so small negative values stay short.
+			buf = binary.AppendUvarint(buf, uint64(uint32(c<<1)^uint32(c>>31)))
+		}
+	}
+	return Report{MAC: mac, Packed: base64.StdEncoding.EncodeToString(buf)}, nil
+}
+
+// UnmarshalReportStruct validates and decodes a wire struct, accepting
+// either matrix shape.
 func UnmarshalReportStruct(r Report) (string, *Fingerprint, error) {
+	if r.Packed != "" {
+		vs, err := unpackVectors(r.Packed)
+		if err != nil {
+			return "", nil, err
+		}
+		return r.MAC, FromVectors(vs), nil
+	}
 	vs := make([]features.Vector, len(r.Vectors))
 	for i, row := range r.Vectors {
 		if len(row) != features.NumFeatures {
@@ -42,6 +78,35 @@ func UnmarshalReportStruct(r Report) (string, *Fingerprint, error) {
 		copy(vs[i][:], row)
 	}
 	return r.MAC, FromVectors(vs), nil
+}
+
+// unpackVectors decodes the base64(zigzag varint) matrix form.
+func unpackVectors(packed string) ([]features.Vector, error) {
+	raw, err := base64.StdEncoding.DecodeString(packed)
+	if err != nil {
+		return nil, fmt.Errorf("decoding fingerprint report: bad packed matrix: %w", err)
+	}
+	var flat []int32
+	for len(raw) > 0 {
+		u, n := binary.Uvarint(raw)
+		if n <= 0 {
+			return nil, fmt.Errorf("decoding fingerprint report: truncated packed matrix")
+		}
+		raw = raw[n:]
+		if u > 0xffffffff {
+			return nil, fmt.Errorf("decoding fingerprint report: packed value overflows int32")
+		}
+		flat = append(flat, int32(uint32(u)>>1)^-int32(u&1))
+	}
+	if len(flat)%features.NumFeatures != 0 {
+		return nil, fmt.Errorf("decoding fingerprint report: packed matrix holds %d values, not a multiple of %d",
+			len(flat), features.NumFeatures)
+	}
+	vs := make([]features.Vector, len(flat)/features.NumFeatures)
+	for i := range vs {
+		copy(vs[i][:], flat[i*features.NumFeatures:(i+1)*features.NumFeatures])
+	}
+	return vs, nil
 }
 
 // MarshalReport encodes a fingerprint into its JSON wire form.

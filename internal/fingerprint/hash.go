@@ -1,0 +1,28 @@
+package fingerprint
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+)
+
+// Hash returns a canonical 64-bit FNV-1a hash of the variable-length
+// fingerprint F. Two fingerprints with identical packet sequences hash
+// identically, regardless of how they were constructed, so the hash can
+// key caches and deterministic derivations (verdict caching in the IoT
+// Security Service, reference sampling in the discrimination stage).
+//
+// The hash folds every component of every feature vector in sequence
+// order as little-endian uint32s; it is not a cryptographic digest, but
+// at 64 bits accidental collisions between the fingerprints a deployment
+// observes are negligible.
+func (f *Fingerprint) Hash() uint64 {
+	h := fnv.New64a()
+	var buf [4]byte
+	for _, v := range f.vectors {
+		for _, c := range v {
+			binary.LittleEndian.PutUint32(buf[:], uint32(c))
+			h.Write(buf[:])
+		}
+	}
+	return h.Sum64()
+}

@@ -1,0 +1,345 @@
+package gateway
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/fingerprint"
+	"repro/internal/iotssp"
+)
+
+// PoolConfig tunes a Pool. The zero value selects sensible defaults.
+type PoolConfig struct {
+	// Conns is the number of persistent TCP connections to the service.
+	// Requests multiplex across them by device MAC, so one busy gateway
+	// pipelines many identifications concurrently. 0 selects 4.
+	Conns int
+	// Timeout bounds each request round-trip (tightened further by the
+	// caller's context deadline). 0 selects 10s.
+	Timeout time.Duration
+	// MaxRetries is how many times a request is retried after transport
+	// failures or retryable (backpressure) service errors, with jittered
+	// exponential backoff between attempts. 0 selects 3.
+	MaxRetries int
+	// RetryBackoff is the base backoff before the first retry; each
+	// further retry doubles it, and every sleep is jittered to 50–150%
+	// so a fleet of gateways does not reconnect in lockstep. 0 selects
+	// 25ms.
+	RetryBackoff time.Duration
+	// Seed seeds the jitter generator (0 selects 1).
+	Seed int64
+}
+
+func (c PoolConfig) withDefaults() PoolConfig {
+	if c.Conns <= 0 {
+		c.Conns = 4
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 10 * time.Second
+	}
+	if c.MaxRetries <= 0 {
+		c.MaxRetries = 3
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 25 * time.Millisecond
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// PoolStats is a snapshot of a Pool's counters.
+type PoolStats struct {
+	// Requests counts Identify calls; Retries counts extra attempts
+	// after transport failures or backpressure responses.
+	Requests uint64
+	Retries  uint64
+	// Dials counts connection (re-)establishments across the pool.
+	Dials uint64
+	// Failures counts Identify calls that returned an error after
+	// exhausting their retries.
+	Failures uint64
+}
+
+// Pool is a pooled TCP client for the IoT Security Service: N
+// persistent connections with pipelined request multiplexing. Each
+// device MAC maps to a fixed connection (spreading the fleet across
+// the pool while keeping a device's requests together), many requests
+// ride each connection at once with responses matched by the service's
+// line echo, and broken connections redial lazily with jittered
+// exponential backoff. Pool implements Identifier and is safe for
+// concurrent use by the gateway's identification workers.
+type Pool struct {
+	cfg   PoolConfig
+	conns []*poolConn
+
+	jmu sync.Mutex
+	rng *rand.Rand
+
+	requests, retries, dials, failures atomic.Uint64
+}
+
+// NewPool creates a pool for the service at addr (host:port). No
+// connection is made until the first Identify.
+func NewPool(addr string, cfg PoolConfig) *Pool {
+	cfg = cfg.withDefaults()
+	p := &Pool{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	p.conns = make([]*poolConn, cfg.Conns)
+	for i := range p.conns {
+		p.conns[i] = &poolConn{addr: addr, pool: p, waiters: make(map[uint64]*poolCall)}
+	}
+	return p
+}
+
+// Stats snapshots the pool counters.
+func (p *Pool) Stats() PoolStats {
+	return PoolStats{
+		Requests: p.requests.Load(),
+		Retries:  p.retries.Load(),
+		Dials:    p.dials.Load(),
+		Failures: p.failures.Load(),
+	}
+}
+
+// pick maps a MAC to its home connection.
+func (p *Pool) pick(mac string) *poolConn {
+	h := fnv.New32a()
+	h.Write([]byte(mac))
+	return p.conns[h.Sum32()%uint32(len(p.conns))]
+}
+
+// sleepJitter blocks for the attempt's jittered exponential backoff or
+// until ctx is done.
+func (p *Pool) sleepJitter(ctx context.Context, attempt int) error {
+	d := p.cfg.RetryBackoff << (attempt - 1)
+	p.jmu.Lock()
+	jittered := time.Duration(float64(d) * (0.5 + p.rng.Float64()))
+	p.jmu.Unlock()
+	t := time.NewTimer(jittered)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Identify implements Identifier: it submits the fingerprint over the
+// MAC's home connection and waits for the multiplexed response,
+// retrying transport failures and backpressure responses with jittered
+// backoff.
+func (p *Pool) Identify(ctx context.Context, mac string, fp *fingerprint.Fingerprint) (iotssp.Response, error) {
+	p.requests.Add(1)
+	report, err := fingerprint.MarshalReportPacked(mac, fp)
+	if err != nil {
+		return iotssp.Response{}, err
+	}
+	body, err := json.Marshal(iotssp.Request{Fingerprint: report})
+	if err != nil {
+		return iotssp.Response{}, fmt.Errorf("gateway: encoding request: %w", err)
+	}
+	body = append(body, '\n')
+
+	pc := p.pick(mac)
+	var lastErr error
+	for attempt := 0; attempt <= p.cfg.MaxRetries; attempt++ {
+		if attempt > 0 {
+			p.retries.Add(1)
+			if err := p.sleepJitter(ctx, attempt); err != nil {
+				p.failures.Add(1)
+				return iotssp.Response{}, fmt.Errorf("gateway: identify %s: %w (last error: %v)", mac, err, lastErr)
+			}
+		}
+		resp, err := pc.roundTrip(ctx, mac, body, p.cfg.Timeout)
+		if err != nil {
+			lastErr = err
+			if ctx.Err() != nil {
+				break
+			}
+			continue
+		}
+		if resp.Error != "" {
+			if resp.Retryable {
+				// Server backpressure: well-formed request, try again
+				// after backing off.
+				lastErr = fmt.Errorf("service backpressure: %s", resp.Error)
+				continue
+			}
+			p.failures.Add(1)
+			return resp, fmt.Errorf("gateway: service error: %s", resp.Error)
+		}
+		return resp, nil
+	}
+	p.failures.Add(1)
+	return iotssp.Response{}, fmt.Errorf("gateway: identify %s: %w", mac, lastErr)
+}
+
+// Close severs every pooled connection and fails their outstanding
+// requests.
+func (p *Pool) Close() error {
+	for _, pc := range p.conns {
+		pc.close()
+	}
+	return nil
+}
+
+// poolResult is a completed round-trip.
+type poolResult struct {
+	resp iotssp.Response
+	err  error
+}
+
+// poolCall is one in-flight request waiting for its response.
+type poolCall struct {
+	ch chan poolResult
+}
+
+// poolConn is one persistent connection with pipelined requests.
+// Responses are correlated to waiters by the request's line number on
+// the connection, which the service echoes in every response (the
+// "line" field): the pool counts the lines it writes, so the match is
+// exact however the server reorders verdicts, overload errors and
+// cache hits — including two in-flight requests for the same MAC.
+type poolConn struct {
+	addr string
+	pool *Pool
+
+	mu   sync.Mutex
+	conn net.Conn
+	// lines counts request lines written on the current connection;
+	// waiters holds the in-flight call for each line.
+	lines   uint64
+	waiters map[uint64]*poolCall
+	closed  bool
+}
+
+// roundTrip sends one request and waits for its multiplexed response.
+func (pc *poolConn) roundTrip(ctx context.Context, mac string, body []byte, timeout time.Duration) (iotssp.Response, error) {
+	deadline := time.Now().Add(timeout)
+	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+		deadline = d
+	}
+
+	pc.mu.Lock()
+	if pc.closed {
+		pc.mu.Unlock()
+		return iotssp.Response{}, fmt.Errorf("gateway: pool closed")
+	}
+	if pc.conn == nil {
+		d := net.Dialer{Deadline: deadline}
+		conn, err := d.DialContext(ctx, "tcp", pc.addr)
+		if err != nil {
+			pc.mu.Unlock()
+			return iotssp.Response{}, fmt.Errorf("gateway: dialing %s: %w", pc.addr, err)
+		}
+		pc.conn = conn
+		pc.lines = 0
+		pc.pool.dials.Add(1)
+		go pc.readPump(conn)
+	}
+	conn := pc.conn
+	call := &poolCall{ch: make(chan poolResult, 1)}
+	pc.lines++
+	line := pc.lines
+	pc.waiters[line] = call
+	conn.SetWriteDeadline(deadline)
+	if _, err := conn.Write(body); err != nil {
+		pc.dropLocked(conn, fmt.Errorf("gateway: sending request: %w", err))
+		pc.mu.Unlock()
+		return iotssp.Response{}, fmt.Errorf("gateway: sending request: %w", err)
+	}
+	pc.mu.Unlock()
+
+	timer := time.NewTimer(time.Until(deadline))
+	defer timer.Stop()
+	select {
+	case res := <-call.ch:
+		return res.resp, res.err
+	case <-ctx.Done():
+		// A missed deadline usually means the connection or the service
+		// is wedged; sever it so every pipelined request fails fast and
+		// the next call redials.
+		pc.fail(conn, ctx.Err())
+		return iotssp.Response{}, ctx.Err()
+	case <-timer.C:
+		pc.fail(conn, fmt.Errorf("gateway: identify %s: deadline exceeded", mac))
+		return iotssp.Response{}, fmt.Errorf("gateway: identify %s: deadline exceeded", mac)
+	}
+}
+
+// readPump decodes response lines and hands each to its waiter until
+// the connection breaks.
+func (pc *poolConn) readPump(conn net.Conn) {
+	br := bufio.NewReader(conn)
+	for {
+		line, err := br.ReadBytes('\n')
+		if err != nil {
+			pc.fail(conn, fmt.Errorf("gateway: reading response: %w", err))
+			return
+		}
+		var resp iotssp.Response
+		if err := json.Unmarshal(line, &resp); err != nil {
+			pc.fail(conn, fmt.Errorf("gateway: decoding response: %w", err))
+			return
+		}
+		pc.deliver(resp)
+	}
+}
+
+// deliver routes a response to the waiter for its echoed line number.
+// Responses without a waiter (after a local timeout, or lacking the
+// line echo) are dropped.
+func (pc *poolConn) deliver(resp iotssp.Response) {
+	pc.mu.Lock()
+	call := pc.waiters[resp.Line]
+	if call == nil {
+		pc.mu.Unlock()
+		return
+	}
+	delete(pc.waiters, resp.Line)
+	pc.mu.Unlock()
+	call.ch <- poolResult{resp: resp}
+}
+
+// fail severs conn and fails every outstanding request, so the next
+// round-trip redials.
+func (pc *poolConn) fail(conn net.Conn, err error) {
+	pc.mu.Lock()
+	pc.dropLocked(conn, err)
+	pc.mu.Unlock()
+}
+
+// dropLocked severs conn (if still current) and fails its waiters.
+// Callers hold mu.
+func (pc *poolConn) dropLocked(conn net.Conn, err error) {
+	if pc.conn != conn {
+		return
+	}
+	conn.Close()
+	pc.conn = nil
+	waiters := pc.waiters
+	pc.waiters = make(map[uint64]*poolCall)
+	for _, call := range waiters {
+		call.ch <- poolResult{err: err}
+	}
+}
+
+// close permanently severs the connection.
+func (pc *poolConn) close() {
+	pc.mu.Lock()
+	pc.closed = true
+	if pc.conn != nil {
+		pc.dropLocked(pc.conn, fmt.Errorf("gateway: pool closed"))
+	}
+	pc.mu.Unlock()
+}

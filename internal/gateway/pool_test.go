@@ -1,0 +1,312 @@
+package gateway
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/devices"
+	"repro/internal/fingerprint"
+	"repro/internal/iotssp"
+)
+
+// startTestServer serves an in-process IoTSSP over TCP for pool tests.
+func startTestServer(t *testing.T, svc *iotssp.Service) string {
+	t.Helper()
+	srv := iotssp.NewServer(svc)
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(lis)
+	t.Cleanup(func() { srv.Close() })
+	return lis.Addr().String()
+}
+
+func TestPoolConcurrentIdentifications(t *testing.T) {
+	svc := trainedService(t, "Aria", "HueBridge", "EdimaxCam", "WeMoSwitch")
+	addr := startTestServer(t, svc)
+
+	probes := make(map[string]*devicesProbe)
+	for _, name := range []string{"Aria", "HueBridge", "EdimaxCam", "WeMoSwitch"} {
+		probes[name] = probeFor(t, name)
+	}
+
+	pool := NewPool(addr, PoolConfig{Conns: 3, Seed: 11})
+	defer pool.Close()
+
+	const perType = 8
+	var wg sync.WaitGroup
+	for name, probe := range probes {
+		for i := 0; i < perType; i++ {
+			wg.Add(1)
+			go func(name string, probe *devicesProbe, i int) {
+				defer wg.Done()
+				mac := fmt.Sprintf("02:77:%02x:00:00:%02x", len(name), i)
+				resp, err := pool.Identify(context.Background(), mac, probe.fp)
+				if err != nil {
+					t.Errorf("%s/%d: %v", name, i, err)
+					return
+				}
+				if resp.MAC != mac {
+					t.Errorf("%s/%d: MAC echo %q, want %q", name, i, resp.MAC, mac)
+				}
+				if resp.DeviceType != name {
+					t.Errorf("%s/%d: identified as %q", name, i, resp.DeviceType)
+				}
+			}(name, probe, i)
+		}
+	}
+	wg.Wait()
+
+	st := pool.Stats()
+	if st.Requests != 4*perType {
+		t.Errorf("requests = %d", st.Requests)
+	}
+	if st.Dials > 3 {
+		t.Errorf("dials = %d, want <= pool size 3 (connections must persist)", st.Dials)
+	}
+	if st.Failures != 0 {
+		t.Errorf("failures = %d", st.Failures)
+	}
+}
+
+// devicesProbe holds a held-out probe fingerprint for pool tests.
+type devicesProbe struct {
+	fp *fingerprint.Fingerprint
+}
+
+// probeFor generates one fresh setup fingerprint of a device-type,
+// disjoint from the training runs.
+func probeFor(t *testing.T, name string) *devicesProbe {
+	t.Helper()
+	traces, err := devices.GenerateRuns(name, devices.DefaultEnv(), 22, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &devicesProbe{fp: traces[0].Fingerprint()}
+}
+
+// fakeService runs a hand-scripted JSON-lines peer for failure
+// injection. handle is called per connection with its decoded request
+// lines; returning false closes the connection.
+func fakeService(t *testing.T, handle func(conn net.Conn, count int, req iotssp.Request) bool) string {
+	t.Helper()
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { lis.Close() })
+	go func() {
+		for {
+			conn, err := lis.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn) {
+				defer conn.Close()
+				br := bufio.NewReader(conn)
+				count := 0
+				for {
+					line, err := br.ReadBytes('\n')
+					if err != nil {
+						return
+					}
+					count++
+					var req iotssp.Request
+					if err := json.Unmarshal(line, &req); err != nil {
+						return
+					}
+					if !handle(conn, count, req) {
+						return
+					}
+				}
+			}(conn)
+		}
+	}()
+	return lis.Addr().String()
+}
+
+func respondJSON(t *testing.T, conn net.Conn, resp iotssp.Response) {
+	t.Helper()
+	b, err := json.Marshal(resp)
+	if err != nil {
+		t.Error(err)
+		return
+	}
+	conn.Write(append(b, '\n'))
+}
+
+func TestPoolRetriesBackpressure(t *testing.T) {
+	probe := probeFor(t, "Aria")
+	var mu sync.Mutex
+	rejected := 0
+	addr := fakeService(t, func(conn net.Conn, count int, req iotssp.Request) bool {
+		mu.Lock()
+		first := rejected == 0
+		if first {
+			rejected++
+		}
+		mu.Unlock()
+		if first {
+			respondJSON(t, conn, iotssp.Response{
+				MAC:       req.Fingerprint.MAC,
+				Line:      uint64(count),
+				Error:     "server overloaded: request queue full",
+				Retryable: true,
+			})
+			return true
+		}
+		respondJSON(t, conn, iotssp.Response{MAC: req.Fingerprint.MAC, Line: uint64(count), Known: true, DeviceType: "Aria", Stage: "classification", Level: "trusted"})
+		return true
+	})
+
+	pool := NewPool(addr, PoolConfig{Conns: 1, RetryBackoff: time.Millisecond, Seed: 3})
+	defer pool.Close()
+	resp, err := pool.Identify(context.Background(), "02:77:00:00:00:01", probe.fp)
+	if err != nil {
+		t.Fatalf("Identify after backpressure: %v", err)
+	}
+	if resp.DeviceType != "Aria" {
+		t.Errorf("resp = %+v", resp)
+	}
+	if st := pool.Stats(); st.Retries == 0 {
+		t.Errorf("no retry recorded: %+v", st)
+	}
+}
+
+func TestPoolReconnectsAfterConnDrop(t *testing.T) {
+	probe := probeFor(t, "Aria")
+	addr := fakeService(t, func(conn net.Conn, count int, req iotssp.Request) bool {
+		respondJSON(t, conn, iotssp.Response{MAC: req.Fingerprint.MAC, Line: uint64(count), Known: true, DeviceType: "Aria", Stage: "classification", Level: "trusted"})
+		return count < 1 // close after the first response on each connection
+	})
+
+	pool := NewPool(addr, PoolConfig{Conns: 1, RetryBackoff: time.Millisecond, Seed: 3})
+	defer pool.Close()
+	for i := 0; i < 3; i++ {
+		if _, err := pool.Identify(context.Background(), "02:77:00:00:00:02", probe.fp); err != nil {
+			t.Fatalf("Identify %d: %v", i, err)
+		}
+	}
+	if st := pool.Stats(); st.Dials < 2 {
+		t.Errorf("pool never redialed: %+v", st)
+	}
+}
+
+func TestPoolMultiplexesOutOfOrderResponses(t *testing.T) {
+	probe := probeFor(t, "Aria")
+	// The same MAC twice plus a distinct one: line-echo correlation must
+	// keep even same-MAC responses straight when the server reorders.
+	macA := "02:77:00:00:00:0a"
+	macB := "02:77:00:00:00:1b"
+
+	type pending struct {
+		req  iotssp.Request
+		line int
+	}
+	var mu sync.Mutex
+	var parked []pending
+	addr := fakeService(t, func(conn net.Conn, count int, req iotssp.Request) bool {
+		// Park requests; answer all three in reverse arrival order once
+		// the last arrives.
+		mu.Lock()
+		defer mu.Unlock()
+		parked = append(parked, pending{req: req, line: count})
+		if len(parked) < 3 {
+			return true
+		}
+		for i := len(parked) - 1; i >= 0; i-- {
+			p := parked[i]
+			respondJSON(t, conn, iotssp.Response{
+				MAC: p.req.Fingerprint.MAC, Line: uint64(p.line), Known: true,
+				DeviceType: fmt.Sprintf("type-for-line-%d", p.line),
+				Stage:      "classification", Level: "trusted",
+			})
+		}
+		parked = nil
+		return true
+	})
+
+	// One connection so all requests share the pipe.
+	pool := NewPool(addr, PoolConfig{Conns: 1, Seed: 3})
+	defer pool.Close()
+
+	var wg sync.WaitGroup
+	got := make([]iotssp.Response, 3)
+	for i, mac := range []string{macA, macA, macB} {
+		wg.Add(1)
+		go func(i int, mac string) {
+			defer wg.Done()
+			resp, err := pool.Identify(context.Background(), mac, probe.fp)
+			if err != nil {
+				t.Errorf("request %d (%s): %v", i, mac, err)
+				return
+			}
+			if resp.MAC != mac {
+				t.Errorf("request %d: MAC %q, want %q", i, resp.MAC, mac)
+			}
+			got[i] = resp
+		}(i, mac)
+	}
+	wg.Wait()
+
+	// Every caller must have received the response for its own line.
+	for i, resp := range got {
+		if resp.Line == 0 {
+			continue // errored above
+		}
+		want := fmt.Sprintf("type-for-line-%d", resp.Line)
+		if resp.DeviceType != want {
+			t.Errorf("request %d: line %d carried %q: responses crossed wires", i, resp.Line, resp.DeviceType)
+		}
+	}
+	lines := map[uint64]bool{}
+	for _, resp := range got {
+		lines[resp.Line] = true
+	}
+	if len(lines) != 3 {
+		t.Errorf("line numbers not distinct across callers: %v", lines)
+	}
+}
+
+func TestPoolHonorsContextDeadline(t *testing.T) {
+	probe := probeFor(t, "Aria")
+	addr := fakeService(t, func(conn net.Conn, count int, req iotssp.Request) bool {
+		return true // swallow requests, never answer
+	})
+	pool := NewPool(addr, PoolConfig{Conns: 1, Seed: 3})
+	defer pool.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := pool.Identify(ctx, "02:77:00:00:00:03", probe.fp)
+	if err == nil {
+		t.Fatal("Identify succeeded against a mute service")
+	}
+	if !strings.Contains(err.Error(), "deadline") && !strings.Contains(err.Error(), "context") {
+		t.Errorf("err = %v", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Errorf("deadline ignored: took %s", time.Since(start))
+	}
+}
+
+func TestPoolMACAffinity(t *testing.T) {
+	pool := NewPool("127.0.0.1:1", PoolConfig{Conns: 4, Seed: 3})
+	defer pool.Close()
+	for _, mac := range []string{"02:00:00:00:00:01", "02:00:00:00:00:02", "aa:bb:cc:dd:ee:ff"} {
+		first := pool.pick(mac)
+		for i := 0; i < 5; i++ {
+			if pool.pick(mac) != first {
+				t.Fatalf("MAC %s not pinned to one connection", mac)
+			}
+		}
+	}
+}

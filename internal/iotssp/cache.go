@@ -1,0 +1,227 @@
+package iotssp
+
+import (
+	"container/list"
+	"sync"
+)
+
+// CacheStats is a snapshot of the verdict cache counters.
+type CacheStats struct {
+	// Hits counts lookups served from a completed cache entry.
+	Hits uint64
+	// Shared counts lookups that attached to an in-flight computation of
+	// the same fingerprint instead of recomputing it (the singleflight
+	// collapse), including duplicates deduplicated inside one batch.
+	Shared uint64
+	// Misses counts lookups that had to compute a fresh verdict.
+	Misses uint64
+	// Evictions counts entries displaced by the LRU policy.
+	Evictions uint64
+	// Entries is the number of verdicts currently cached.
+	Entries int
+}
+
+// HitRate is the fraction of lookups that avoided a verdict
+// computation: (Hits+Shared) / (Hits+Shared+Misses). 0 when no lookups
+// have happened.
+func (s CacheStats) HitRate() float64 {
+	total := s.Hits + s.Shared + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits+s.Shared) / float64(total)
+}
+
+// flight is one in-flight verdict computation other callers may attach
+// to. The leader closes done after storing resp/ok.
+type flight struct {
+	version uint64
+	done    chan struct{}
+	resp    Response
+	ok      bool
+}
+
+// cacheEntry is one cached verdict. resp carries no MAC (the cache is
+// keyed by fingerprint alone; callers stamp the requesting MAC on a
+// copy).
+type cacheEntry struct {
+	key     uint64
+	version uint64
+	resp    Response
+}
+
+// verdictCache is an LRU verdict cache with singleflight collapsing of
+// duplicate in-flight fingerprints. Entries are keyed by the canonical
+// fingerprint hash and tagged with the bank version they were computed
+// at: an Enroll bumps the bank version, so every older entry turns into
+// a miss and is replaced on next use (repeat fingerprints must be
+// re-identified against the grown bank).
+//
+// The cached Responses share slice backing arrays between callers; they
+// are treated as immutable everywhere in the service and must not be
+// mutated by callers.
+type verdictCache struct {
+	mu      sync.Mutex
+	cap     int
+	lru     *list.List // of *cacheEntry; front = most recent
+	byKey   map[uint64]*list.Element
+	flights map[uint64]*flight
+
+	hits, shared, misses, evictions uint64
+}
+
+// newVerdictCache creates a cache holding up to capacity verdicts.
+// capacity <= 0 returns nil (caching disabled); callers treat a nil
+// cache as compute-always.
+func newVerdictCache(capacity int) *verdictCache {
+	if capacity <= 0 {
+		return nil
+	}
+	return &verdictCache{
+		cap:     capacity,
+		lru:     list.New(),
+		byKey:   make(map[uint64]*list.Element),
+		flights: make(map[uint64]*flight),
+	}
+}
+
+// beginState classifies what begin found for a key.
+type beginState int
+
+const (
+	// beginHit: a completed verdict was returned.
+	beginHit beginState = iota
+	// beginShared: another caller is computing this verdict; wait on the
+	// returned flight.
+	beginShared
+	// beginLeader: the caller must compute the verdict and finish the
+	// returned flight.
+	beginLeader
+)
+
+// begin starts a lookup for (key, version). It returns the cached
+// verdict (beginHit), an in-flight computation to wait on
+// (beginShared), or registers the caller as the computation leader
+// (beginLeader), who must call finish on the returned flight exactly
+// once — even on failure — or waiters block forever.
+func (c *verdictCache) begin(key, version uint64) (Response, beginState, *flight) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		e := el.Value.(*cacheEntry)
+		if e.version == version {
+			c.lru.MoveToFront(el)
+			c.hits++
+			return e.resp, beginHit, nil
+		}
+		if e.version < version {
+			// Stale entry from before an enrolment: drop it so the
+			// recompute below replaces it (not counted as an eviction —
+			// capacity did not force it out).
+			c.lru.Remove(el)
+			delete(c.byKey, key)
+		}
+		// e.version > version: the caller read the bank version before a
+		// concurrent Enroll finished. Leave the fresher entry for
+		// up-to-date callers and recompute for this one (finish will
+		// skip the insert).
+	}
+	if f, ok := c.flights[key]; ok && f.version == version {
+		c.shared++
+		return Response{}, beginShared, f
+	}
+	f := &flight{version: version, done: make(chan struct{})}
+	c.flights[key] = f
+	c.misses++
+	return Response{}, beginLeader, f
+}
+
+// finish completes a leader's flight: it stores the verdict (when ok),
+// wakes every waiter, and deregisters the flight. ok=false publishes
+// the failure to waiters without caching anything.
+func (c *verdictCache) finish(key uint64, f *flight, resp Response, ok bool) {
+	c.mu.Lock()
+	if c.flights[key] == f {
+		delete(c.flights, key)
+	}
+	insert := ok
+	if insert {
+		if el, exists := c.byKey[key]; exists {
+			// A concurrent leader at another version raced us in. Keep
+			// whichever verdict saw the newer bank: a slow pre-Enroll
+			// leader must not clobber the fresh post-Enroll entry. (The
+			// flight's waiters still get this flight's verdict either
+			// way — insert only governs the cache.)
+			if el.Value.(*cacheEntry).version > f.version {
+				insert = false
+			} else {
+				c.lru.Remove(el)
+				delete(c.byKey, key)
+			}
+		}
+	}
+	if insert {
+		c.byKey[key] = c.lru.PushFront(&cacheEntry{key: key, version: f.version, resp: resp})
+		for c.lru.Len() > c.cap {
+			oldest := c.lru.Back()
+			c.lru.Remove(oldest)
+			delete(c.byKey, oldest.Value.(*cacheEntry).key)
+			c.evictions++
+		}
+	}
+	c.mu.Unlock()
+	f.resp = resp
+	f.ok = ok
+	close(f.done)
+}
+
+// do returns the verdict for (key, version), computing it via compute at
+// most once across concurrent callers. compute's second return value
+// reports whether the verdict is cacheable. The boolean result reports
+// whether the verdict was served without calling compute in this call.
+func (c *verdictCache) do(key, version uint64, compute func() (Response, bool)) (Response, bool) {
+	for {
+		resp, state, f := c.begin(key, version)
+		switch state {
+		case beginHit:
+			return resp, true
+		case beginShared:
+			<-f.done
+			if f.ok {
+				return f.resp, true
+			}
+			// The leader failed to produce a cacheable verdict; compute
+			// for ourselves (taking over as leader, or hitting whatever
+			// landed meanwhile).
+			continue
+		default: // beginLeader
+			resp, ok := compute()
+			c.finish(key, f, resp, ok)
+			return resp, false
+		}
+	}
+}
+
+// noteShared accounts one lookup that was deduplicated against a
+// leader outside begin's bookkeeping (in-batch duplicates).
+func (c *verdictCache) noteShared() {
+	c.mu.Lock()
+	c.shared++
+	c.mu.Unlock()
+}
+
+// stats snapshots the counters.
+func (c *verdictCache) stats() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits:      c.hits,
+		Shared:    c.shared,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Entries:   c.lru.Len(),
+	}
+}

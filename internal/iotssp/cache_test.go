@@ -1,0 +1,237 @@
+package iotssp
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+
+	"repro/internal/devices"
+	"repro/internal/fingerprint"
+)
+
+func TestCacheHitAndLRUEviction(t *testing.T) {
+	c := newVerdictCache(2)
+	compute := func(typ string) func() (Response, bool) {
+		return func() (Response, bool) { return Response{DeviceType: typ}, true }
+	}
+
+	if r, fromCache := c.do(1, 1, compute("a")); fromCache || r.DeviceType != "a" {
+		t.Fatalf("first lookup: %+v fromCache=%v", r, fromCache)
+	}
+	if r, fromCache := c.do(1, 1, compute("WRONG")); !fromCache || r.DeviceType != "a" {
+		t.Fatalf("second lookup should hit: %+v fromCache=%v", r, fromCache)
+	}
+
+	c.do(2, 1, compute("b"))
+	c.do(3, 1, compute("c")) // capacity 2: key 1 is the LRU victim
+	st := c.stats()
+	if st.Evictions != 1 || st.Entries != 2 {
+		t.Fatalf("after overflow: %+v", st)
+	}
+	if _, fromCache := c.do(1, 1, compute("a2")); fromCache {
+		t.Error("evicted key served from cache")
+	}
+
+	// Recency: touching key 3 must make key 1's re-insert evict key 2.
+	c.do(3, 1, compute("WRONG"))
+	c.do(1, 1, compute("WRONG")) // hit (re-inserted above)
+	if _, fromCache := c.do(2, 1, compute("b2")); fromCache {
+		t.Error("LRU victim (key 2) still cached")
+	}
+}
+
+func TestCacheVersionInvalidatesEntry(t *testing.T) {
+	c := newVerdictCache(4)
+	c.do(7, 1, func() (Response, bool) { return Response{DeviceType: "old"}, true })
+	r, fromCache := c.do(7, 2, func() (Response, bool) { return Response{DeviceType: "new"}, true })
+	if fromCache || r.DeviceType != "new" {
+		t.Fatalf("stale-version entry served: %+v fromCache=%v", r, fromCache)
+	}
+	// The recompute replaced the stale entry at the new version.
+	if r, fromCache := c.do(7, 2, func() (Response, bool) { return Response{}, true }); !fromCache || r.DeviceType != "new" {
+		t.Fatalf("recomputed entry not cached: %+v fromCache=%v", r, fromCache)
+	}
+	if st := c.stats(); st.Evictions != 0 {
+		t.Errorf("version replacement counted as eviction: %+v", st)
+	}
+}
+
+func TestCacheSingleflightCollapsesStorm(t *testing.T) {
+	c := newVerdictCache(8)
+	const callers = 32
+	gate := make(chan struct{})
+	var computes int
+	var mu sync.Mutex
+
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r, _ := c.do(42, 1, func() (Response, bool) {
+				<-gate // hold the flight open until every caller has piled in
+				mu.Lock()
+				computes++
+				mu.Unlock()
+				return Response{DeviceType: "t"}, true
+			})
+			if r.DeviceType != "t" {
+				t.Errorf("storm caller got %+v", r)
+			}
+		}()
+	}
+	// Wait until all callers are either the leader or attached waiters.
+	for {
+		st := c.stats()
+		if st.Misses+st.Shared+st.Hits == callers {
+			break
+		}
+		runtime.Gosched()
+	}
+	close(gate)
+	wg.Wait()
+
+	if computes != 1 {
+		t.Fatalf("storm computed %d times, want 1", computes)
+	}
+	st := c.stats()
+	if st.Misses != 1 || st.Shared+st.Hits != callers-1 {
+		t.Errorf("storm stats: %+v", st)
+	}
+}
+
+func TestCacheFailedFlightNotCached(t *testing.T) {
+	c := newVerdictCache(4)
+	c.do(9, 1, func() (Response, bool) { return Response{Error: "transient"}, false })
+	if st := c.stats(); st.Entries != 0 {
+		t.Fatalf("uncacheable verdict cached: %+v", st)
+	}
+	r, fromCache := c.do(9, 1, func() (Response, bool) { return Response{DeviceType: "ok"}, true })
+	if fromCache || r.DeviceType != "ok" {
+		t.Fatalf("after failed flight: %+v fromCache=%v", r, fromCache)
+	}
+}
+
+func TestCacheSharedWaiterRetriesAfterFailedLeader(t *testing.T) {
+	c := newVerdictCache(4)
+	leaderIn := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan Response, 1)
+
+	go func() {
+		c.do(5, 1, func() (Response, bool) {
+			close(leaderIn)
+			<-release
+			return Response{}, false // leader fails; nothing cached
+		})
+	}()
+	<-leaderIn
+	go func() {
+		r, _ := c.do(5, 1, func() (Response, bool) { return Response{DeviceType: "second"}, true })
+		done <- r
+	}()
+	// Let the waiter attach, then fail the leader.
+	for c.stats().Shared == 0 {
+		runtime.Gosched()
+	}
+	close(release)
+	if r := <-done; r.DeviceType != "second" {
+		t.Fatalf("waiter after failed leader got %+v", r)
+	}
+}
+
+func TestServiceCacheBypassOnEnroll(t *testing.T) {
+	svc, ds := testService(t)
+	fp := ds["Aria"][0]
+
+	first := svc.Identify("02:aa:00:00:00:01", fp)
+	if first.Error != "" {
+		t.Fatal(first.Error)
+	}
+	again := svc.Identify("02:aa:00:00:00:02", fp)
+	st := svc.CacheStats()
+	if st.Misses != 1 || st.Hits != 1 {
+		t.Fatalf("warm repeat: %+v", st)
+	}
+	if again.DeviceType != first.DeviceType {
+		t.Fatalf("cached verdict diverged: %q vs %q", again.DeviceType, first.DeviceType)
+	}
+
+	// Enrolling a new type bumps the bank version: the cached verdict
+	// must not be served against the grown bank.
+	traces, err := devices.GenerateRuns("D-LinkCam", devices.DefaultEnv(), 5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prints []*fingerprint.Fingerprint
+	for _, tr := range traces {
+		prints = append(prints, tr.Fingerprint())
+	}
+	if err := svc.bank.Enroll("D-LinkCam", prints); err != nil {
+		t.Fatal(err)
+	}
+	svc.Identify("02:aa:00:00:00:03", fp)
+	st = svc.CacheStats()
+	if st.Misses != 2 {
+		t.Fatalf("post-enroll identify served stale verdict: %+v", st)
+	}
+}
+
+func TestServiceSingleflightAcrossHandleCalls(t *testing.T) {
+	svc, ds := testService(t)
+	fp := ds["HueBridge"][0]
+	report, err := fingerprint.MarshalReportStruct("02:ab:00:00:00:01", fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const callers = 16
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp := svc.Handle(Request{Fingerprint: report})
+			if resp.Error != "" || resp.DeviceType != "HueBridge" {
+				t.Errorf("storm response: %+v", resp)
+			}
+		}()
+	}
+	wg.Wait()
+	st := svc.CacheStats()
+	if st.Misses != 1 {
+		t.Fatalf("concurrent Handle storm computed %d verdicts, want 1 (%+v)", st.Misses, st)
+	}
+	if st.Hits+st.Shared != callers-1 {
+		t.Errorf("storm stats do not add up: %+v", st)
+	}
+}
+
+func TestIdentifyBatchDeduplicatesWithinBatch(t *testing.T) {
+	svc, ds := testService(t)
+	fp := ds["Aria"][0]
+	other := ds["HueBridge"][0]
+	macs := []string{"02:01:00:00:00:01", "02:01:00:00:00:02", "02:01:00:00:00:03", "02:01:00:00:00:04"}
+	fps := []*fingerprint.Fingerprint{fp, other, fp, fp}
+	out := svc.IdentifyBatch(macs, fps, 2)
+	for i, resp := range out {
+		if resp.Error != "" {
+			t.Fatalf("response %d: %s", i, resp.Error)
+		}
+		if resp.MAC != macs[i] {
+			t.Errorf("response %d MAC = %q, want %q", i, resp.MAC, macs[i])
+		}
+	}
+	if out[0].DeviceType != "Aria" || out[2].DeviceType != "Aria" || out[3].DeviceType != "Aria" {
+		t.Errorf("duplicate fingerprints diverged: %+v", out)
+	}
+	if out[1].DeviceType != "HueBridge" {
+		t.Errorf("probe 1 identified as %q", out[1].DeviceType)
+	}
+	st := svc.CacheStats()
+	if st.Misses != 2 {
+		t.Errorf("batch computed %d distinct verdicts, want 2 (%+v)", st.Misses, st)
+	}
+	if st.Shared != 2 {
+		t.Errorf("in-batch duplicates not collapsed: %+v", st)
+	}
+}

@@ -3,21 +3,52 @@
 // Gateways, identifies device-types with the classifier bank, assesses
 // their vulnerability, and returns the isolation level to enforce.
 //
-// The service speaks a JSON-lines protocol over TCP: one request object
-// per line, one response object per line. It is stateless with respect
+// # Wire protocol
+//
+// The service speaks a JSON-lines protocol over TCP: one Request object
+// per line, one Response object per line. It is stateless with respect
 // to its clients — it stores nothing about gateways between requests, so
 // gateways can reach it through an anonymizing transport.
+//
+// Responses are not guaranteed to arrive in request order. Two things
+// reorder them: the read pump answers malformed-request and
+// backpressure errors in place, ahead of earlier well-formed requests
+// still queued for the dispatcher; and verdicts are written as their
+// batch flushes complete. Every response therefore echoes the request's
+// MAC and its 1-based line number on the connection (the "line" field);
+// clients pipelining several requests on one connection must correlate
+// by line (MAC alone is ambiguous once two requests for one device are
+// in flight — the pooled gateway client correlates by line).
+//
+// Two kinds of error response exist:
+//
+//   - Malformed requests (bad JSON, wrong feature dimensionality) get a
+//     response whose "error" names the offending line number. The
+//     connection stays open; subsequent lines are processed normally.
+//   - Backpressure: when the server's request queue or a connection's
+//     response queue is full, or the connection limit is reached, the
+//     server answers {"error": ..., "retryable": true} instead of
+//     queueing unboundedly. Clients should back off with jitter and
+//     retry; the pooled gateway client does this automatically.
+//
+// # Serving architecture
+//
+// The Server runs a bounded accept loop (at most MaxConns live
+// connections) with one read pump and one write pump per connection. A
+// micro-batching dispatcher aggregates decoded requests across all
+// connections and flushes them into Bank.IdentifyBatch when the batch
+// reaches BatchSize or FlushInterval elapses, whichever is first — so
+// one busy gateway or many idle ones both see low latency, and the
+// service amortizes forest inference across the fleet. Verdicts are
+// cached in an LRU keyed by the canonical fingerprint hash
+// (fingerprint.Hash) and tagged with the bank's enrolment version;
+// duplicate in-flight fingerprints collapse to a single computation
+// (singleflight). Repeat setups of the same device model — the common
+// fleet pattern — cost one cache probe instead of a forest pass.
 package iotssp
 
 import (
-	"bufio"
-	"context"
-	"encoding/json"
-	"errors"
 	"fmt"
-	"net"
-	"sync"
-	"time"
 
 	"repro/internal/core"
 	"repro/internal/enforce"
@@ -36,6 +67,11 @@ type Response struct {
 	// MAC echoes the device MAC from the request so the gateway can
 	// correlate concurrent requests.
 	MAC string `json:"mac"`
+	// Line echoes the 1-based request line number on the connection that
+	// carried it (0 for responses not tied to a connection line, e.g.
+	// from Service.Handle directly). With out-of-order responses it
+	// gives clients an exact correlation key.
+	Line uint64 `json:"line,omitempty"`
 	// Known reports whether any classifier accepted the fingerprint.
 	Known bool `json:"known"`
 	// DeviceType is the identified type (empty if unknown).
@@ -59,6 +95,11 @@ type Response struct {
 	UncontrolledChannels []string `json:"uncontrolled_channels,omitempty"`
 	// Error is set when the request could not be processed.
 	Error string `json:"error,omitempty"`
+	// Retryable marks an error as transient server backpressure (request
+	// queue full, connection limit): the request was well-formed and may
+	// be retried after a backoff. Malformed-request errors are never
+	// retryable.
+	Retryable bool `json:"retryable,omitempty"`
 }
 
 // ParseLevel converts a wire level name back to the enforcement type.
@@ -75,25 +116,43 @@ func ParseLevel(s string) (enforce.IsolationLevel, error) {
 	}
 }
 
+// DefaultCacheSize is the verdict cache capacity NewService selects.
+const DefaultCacheSize = 4096
+
 // Service identifies fingerprints and maps device-types to isolation
-// levels. It is safe for concurrent use.
+// levels, caching verdicts by fingerprint hash. It is safe for
+// concurrent use.
 type Service struct {
 	bank *core.Bank
 	db   *vulndb.DB
 	// endpoints maps device-type to the permitted cloud endpoints used
 	// for the Restricted level.
 	endpoints map[string][]string
+	// cache is the LRU+singleflight verdict cache; nil disables caching.
+	cache *verdictCache
 }
 
 // NewService assembles a service from a trained bank, a vulnerability
-// repository and the per-type permitted endpoints.
+// repository and the per-type permitted endpoints, with the default
+// verdict cache.
 func NewService(bank *core.Bank, db *vulndb.DB, endpoints map[string][]string) *Service {
+	return NewServiceCache(bank, db, endpoints, DefaultCacheSize)
+}
+
+// NewServiceCache is NewService with an explicit verdict cache capacity.
+// cacheSize <= 0 disables caching (every request computes a verdict) —
+// the per-request baseline the load experiments compare against.
+func NewServiceCache(bank *core.Bank, db *vulndb.DB, endpoints map[string][]string, cacheSize int) *Service {
 	eps := make(map[string][]string, len(endpoints))
 	for t, list := range endpoints {
 		eps[t] = append([]string(nil), list...)
 	}
-	return &Service{bank: bank, db: db, endpoints: eps}
+	return &Service{bank: bank, db: db, endpoints: eps, cache: newVerdictCache(cacheSize)}
 }
+
+// CacheStats snapshots the verdict cache counters (zero when caching is
+// disabled).
+func (s *Service) CacheStats() CacheStats { return s.cache.stats() }
 
 // Handle processes one request.
 func (s *Service) Handle(req Request) Response {
@@ -101,9 +160,35 @@ func (s *Service) Handle(req Request) Response {
 	if err != nil {
 		return Response{Error: err.Error()}
 	}
-	res := s.bank.Identify(fp)
+	return s.Identify(mac, fp)
+}
+
+// Identify returns the verdict for one decoded fingerprint, consulting
+// the verdict cache. Concurrent calls with the same fingerprint
+// collapse to one bank identification.
+func (s *Service) Identify(mac string, fp *fingerprint.Fingerprint) Response {
+	resp := s.verdict(fp)
+	resp.MAC = mac
+	return resp
+}
+
+// verdict computes or recalls the MAC-less verdict for fp.
+func (s *Service) verdict(fp *fingerprint.Fingerprint) Response {
+	if s.cache == nil {
+		return s.assemble(s.bank.Identify(fp))
+	}
+	resp, _ := s.cache.do(fp.Hash(), s.bank.Version(), func() (Response, bool) {
+		return s.assemble(s.bank.Identify(fp)), true
+	})
+	return resp
+}
+
+// assemble turns an identification result into the wire verdict:
+// vulnerability assessment, isolation level, permitted endpoints and
+// user notification. The slices in the returned Response are shared
+// with the cache and must be treated as immutable.
+func (s *Service) assemble(res core.Result) Response {
 	resp := Response{
-		MAC:   mac,
 		Known: res.Known,
 		Stage: res.Stage.String(),
 	}
@@ -128,188 +213,116 @@ func (s *Service) Handle(req Request) Response {
 	return resp
 }
 
-// Server serves the JSON-lines protocol on a listener.
-type Server struct {
-	svc *Service
-
-	mu     sync.Mutex
-	lis    net.Listener
-	conns  map[net.Conn]struct{}
-	closed bool
-	wg     sync.WaitGroup
-}
-
-// NewServer wraps a service for network serving.
-func NewServer(svc *Service) *Server {
-	return &Server{svc: svc, conns: make(map[net.Conn]struct{})}
-}
-
-// Serve accepts connections on lis until Close is called. It blocks.
-func (s *Server) Serve(lis net.Listener) error {
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
-		return errors.New("iotssp: server closed")
-	}
-	s.lis = lis
-	s.mu.Unlock()
-
-	for {
-		conn, err := lis.Accept()
+// HandleBatch processes a batch of requests and returns responses in
+// input order. Well-formed requests flow through IdentifyBatch (cache,
+// dedup, batched bank inference); malformed ones get per-request error
+// responses without poisoning the rest of the batch.
+func (s *Service) HandleBatch(reqs []Request, workers int) []Response {
+	out := make([]Response, len(reqs))
+	macs := make([]string, 0, len(reqs))
+	fps := make([]*fingerprint.Fingerprint, 0, len(reqs))
+	idx := make([]int, 0, len(reqs))
+	for i, req := range reqs {
+		mac, fp, err := fingerprint.UnmarshalReportStruct(req.Fingerprint)
 		if err != nil {
-			s.mu.Lock()
-			closed := s.closed
-			s.mu.Unlock()
-			if closed {
-				return nil
+			out[i] = Response{Error: err.Error()}
+			continue
+		}
+		macs = append(macs, mac)
+		fps = append(fps, fp)
+		idx = append(idx, i)
+	}
+	for j, resp := range s.IdentifyBatch(macs, fps, workers) {
+		out[idx[j]] = resp
+	}
+	return out
+}
+
+// IdentifyBatch returns verdicts for decoded fingerprints in input
+// order, stamping macs[i] on the i-th response. Repeat fingerprints are
+// served from the verdict cache; the distinct misses are deduplicated
+// and identified in one Bank.IdentifyBatch pass fanned across workers
+// (<= 0 selects GOMAXPROCS); duplicates in flight elsewhere are waited
+// on rather than recomputed.
+func (s *Service) IdentifyBatch(macs []string, fps []*fingerprint.Fingerprint, workers int) []Response {
+	out := make([]Response, len(fps))
+	if len(fps) == 0 {
+		return out
+	}
+	if s.cache == nil {
+		for i, res := range s.bank.IdentifyBatch(fps, workers) {
+			out[i] = s.assemble(res)
+			out[i].MAC = macs[i]
+		}
+		return out
+	}
+
+	version := s.bank.Version()
+	// lead is one distinct fingerprint this batch must compute, and
+	// every batch index waiting on it.
+	type lead struct {
+		key  uint64
+		fp   *fingerprint.Fingerprint
+		f    *flight
+		idxs []int
+	}
+	type waiter struct {
+		idx int
+		fp  *fingerprint.Fingerprint
+		f   *flight
+	}
+	var leads []*lead
+	byKey := make(map[uint64]*lead)
+	var waits []waiter
+	for i, fp := range fps {
+		key := fp.Hash()
+		if l := byKey[key]; l != nil {
+			// In-batch duplicate: ride the leader's computation.
+			l.idxs = append(l.idxs, i)
+			s.cache.noteShared()
+			continue
+		}
+		resp, state, f := s.cache.begin(key, version)
+		switch state {
+		case beginHit:
+			out[i] = resp
+		case beginShared:
+			waits = append(waits, waiter{idx: i, fp: fp, f: f})
+		default: // beginLeader
+			l := &lead{key: key, fp: fp, f: f, idxs: []int{i}}
+			byKey[key] = l
+			leads = append(leads, l)
+		}
+	}
+
+	if len(leads) > 0 {
+		batch := make([]*fingerprint.Fingerprint, len(leads))
+		for j, l := range leads {
+			batch[j] = l.fp
+		}
+		results := s.bank.IdentifyBatch(batch, workers)
+		for j, l := range leads {
+			resp := s.assemble(results[j])
+			s.cache.finish(l.key, l.f, resp, true)
+			for _, i := range l.idxs {
+				out[i] = resp
 			}
-			return fmt.Errorf("iotssp: accept: %w", err)
 		}
-		s.mu.Lock()
-		s.conns[conn] = struct{}{}
-		s.mu.Unlock()
-		s.wg.Add(1)
-		go func() {
-			defer s.wg.Done()
-			defer func() {
-				s.mu.Lock()
-				delete(s.conns, conn)
-				s.mu.Unlock()
-				conn.Close()
-			}()
-			s.handleConn(conn)
-		}()
 	}
-}
 
-// handleConn processes JSON lines until the peer closes.
-func (s *Server) handleConn(conn net.Conn) {
-	scanner := bufio.NewScanner(conn)
-	scanner.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
-	enc := json.NewEncoder(conn)
-	for scanner.Scan() {
-		var req Request
-		resp := Response{}
-		if err := json.Unmarshal(scanner.Bytes(), &req); err != nil {
-			resp.Error = fmt.Sprintf("malformed request: %v", err)
+	// Fingerprints being computed by concurrent callers (Handle or
+	// another batch): wait for their verdicts.
+	for _, w := range waits {
+		<-w.f.done
+		if w.f.ok {
+			out[w.idx] = w.f.resp
 		} else {
-			resp = s.svc.Handle(req)
-		}
-		if err := enc.Encode(resp); err != nil {
-			return
+			out[w.idx] = s.verdict(w.fp)
 		}
 	}
-}
 
-// Close stops the server and waits for in-flight connections.
-func (s *Server) Close() error {
-	s.mu.Lock()
-	s.closed = true
-	lis := s.lis
-	for conn := range s.conns {
-		conn.Close()
+	for i := range out {
+		out[i].MAC = macs[i]
 	}
-	s.mu.Unlock()
-	var err error
-	if lis != nil {
-		err = lis.Close()
-	}
-	s.wg.Wait()
-	return err
-}
-
-// Client is a Security Gateway's connection to the IoT Security Service.
-// Safe for concurrent use; requests are serialized over one connection.
-type Client struct {
-	addr    string
-	timeout time.Duration
-
-	mu   sync.Mutex
-	conn net.Conn
-	br   *bufio.Reader
-}
-
-// NewClient creates a client for the service at addr (host:port).
-func NewClient(addr string) *Client {
-	return &Client{addr: addr, timeout: 10 * time.Second}
-}
-
-// connectLocked dials if needed. Callers hold mu.
-func (c *Client) connectLocked(ctx context.Context) error {
-	if c.conn != nil {
-		return nil
-	}
-	d := net.Dialer{}
-	conn, err := d.DialContext(ctx, "tcp", c.addr)
-	if err != nil {
-		return fmt.Errorf("iotssp: dialing %s: %w", c.addr, err)
-	}
-	c.conn = conn
-	c.br = bufio.NewReader(conn)
-	return nil
-}
-
-// Close closes the client connection.
-func (c *Client) Close() error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.conn == nil {
-		return nil
-	}
-	err := c.conn.Close()
-	c.conn = nil
-	c.br = nil
-	return err
-}
-
-// Identify submits a fingerprint and returns the service's verdict.
-func (c *Client) Identify(ctx context.Context, mac string, fp *fingerprint.Fingerprint) (Response, error) {
-	report, err := fingerprint.MarshalReportStruct(mac, fp)
-	if err != nil {
-		return Response{}, err
-	}
-	body, err := json.Marshal(Request{Fingerprint: report})
-	if err != nil {
-		return Response{}, fmt.Errorf("iotssp: encoding request: %w", err)
-	}
-	body = append(body, '\n')
-
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if err := c.connectLocked(ctx); err != nil {
-		return Response{}, err
-	}
-	deadline := time.Now().Add(c.timeout)
-	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
-		deadline = d
-	}
-	if err := c.conn.SetDeadline(deadline); err != nil {
-		return Response{}, fmt.Errorf("iotssp: setting deadline: %w", err)
-	}
-	if _, err := c.conn.Write(body); err != nil {
-		c.resetLocked()
-		return Response{}, fmt.Errorf("iotssp: sending request: %w", err)
-	}
-	line, err := c.br.ReadBytes('\n')
-	if err != nil {
-		c.resetLocked()
-		return Response{}, fmt.Errorf("iotssp: reading response: %w", err)
-	}
-	var resp Response
-	if err := json.Unmarshal(line, &resp); err != nil {
-		return Response{}, fmt.Errorf("iotssp: decoding response: %w", err)
-	}
-	if resp.Error != "" {
-		return resp, fmt.Errorf("iotssp: service error: %s", resp.Error)
-	}
-	return resp, nil
-}
-
-// resetLocked drops a broken connection so the next call redials.
-func (c *Client) resetLocked() {
-	if c.conn != nil {
-		c.conn.Close()
-		c.conn = nil
-		c.br = nil
-	}
+	return out
 }

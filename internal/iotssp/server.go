@@ -1,0 +1,442 @@
+package iotssp
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/fingerprint"
+)
+
+// ServerConfig tunes the multi-gateway serving loop. The zero value
+// selects load-ready defaults.
+type ServerConfig struct {
+	// MaxConns bounds the number of live connections; connection
+	// attempts beyond it are answered with a retryable error response
+	// and closed. 0 selects 256.
+	MaxConns int
+	// BatchSize is the dispatcher's flush threshold: a batch is handed
+	// to Bank.IdentifyBatch as soon as it holds this many requests.
+	// 1 disables micro-batching (every request is identified alone —
+	// the per-request baseline). 0 selects 32.
+	BatchSize int
+	// FlushInterval is the longest a pending request waits for the
+	// batch to fill before the dispatcher flushes anyway. 0 selects 2ms.
+	FlushInterval time.Duration
+	// QueueCapacity bounds the dispatcher's request queue, summed across
+	// all connections. A request arriving with the queue full is
+	// answered with a retryable "overloaded" error instead of growing an
+	// unbounded backlog. 0 selects 1024.
+	QueueCapacity int
+	// Workers is the worker count handed to Bank.IdentifyBatch per
+	// flush. 0 selects GOMAXPROCS.
+	Workers int
+	// WriteQueue bounds each connection's pending-response queue. A
+	// client that stops reading until it fills is dropped (slow-consumer
+	// protection). 0 selects 256.
+	WriteQueue int
+}
+
+func (c ServerConfig) withDefaults() ServerConfig {
+	if c.MaxConns <= 0 {
+		c.MaxConns = 256
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 32
+	}
+	if c.FlushInterval <= 0 {
+		c.FlushInterval = 2 * time.Millisecond
+	}
+	if c.QueueCapacity <= 0 {
+		c.QueueCapacity = 1024
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.WriteQueue <= 0 {
+		c.WriteQueue = 256
+	}
+	return c
+}
+
+// ServerStats is a snapshot of the server's load counters.
+type ServerStats struct {
+	// ConnsAccepted and ConnsRefused count connections admitted and
+	// turned away at the MaxConns bound.
+	ConnsAccepted uint64
+	ConnsRefused  uint64
+	// Requests counts well-formed requests enqueued to the dispatcher.
+	Requests uint64
+	// Malformed counts request lines rejected at parse/decode time.
+	Malformed uint64
+	// Overloaded counts requests refused with a retryable error because
+	// the dispatcher queue was full.
+	Overloaded uint64
+	// SlowClientDrops counts connections closed because their response
+	// queue filled.
+	SlowClientDrops uint64
+	// Batches and BatchedRequests describe the dispatcher's flushes;
+	// MaxBatch is the largest single flush.
+	Batches         uint64
+	BatchedRequests uint64
+	MaxBatch        uint64
+	// Cache snapshots the service's verdict cache.
+	Cache CacheStats
+}
+
+// MeanBatch is the average flush size.
+func (s ServerStats) MeanBatch() float64 {
+	if s.Batches == 0 {
+		return 0
+	}
+	return float64(s.BatchedRequests) / float64(s.Batches)
+}
+
+// dispatchItem is one decoded request waiting for the dispatcher.
+type dispatchItem struct {
+	mac  string
+	fp   *fingerprint.Fingerprint
+	line uint64
+	out  *connWriter
+}
+
+// Server serves the JSON-lines protocol: a bounded accept loop, one
+// read and one write pump per connection, and a micro-batching
+// dispatcher that aggregates requests across all connections into
+// Bank.IdentifyBatch flushes. Create with NewServer or NewServerConfig;
+// it owns a dispatcher goroutine until Close.
+type Server struct {
+	svc *Service
+	cfg ServerConfig
+
+	queue chan dispatchItem
+
+	mu     sync.Mutex
+	lis    net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup // connection pumps
+	dwg    sync.WaitGroup // dispatcher
+
+	connsAccepted, connsRefused     atomic.Uint64
+	requests, malformed, overloaded atomic.Uint64
+	slowDrops                       atomic.Uint64
+	batches, batchedReqs, maxBatch  atomic.Uint64
+}
+
+// NewServer wraps a service for network serving with default tuning.
+func NewServer(svc *Service) *Server {
+	return NewServerConfig(svc, ServerConfig{})
+}
+
+// NewServerConfig wraps a service for network serving. The returned
+// server runs its dispatcher immediately; call Close to release it.
+func NewServerConfig(svc *Service, cfg ServerConfig) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		svc:   svc,
+		cfg:   cfg,
+		queue: make(chan dispatchItem, cfg.QueueCapacity),
+		conns: make(map[net.Conn]struct{}),
+	}
+	s.dwg.Add(1)
+	go s.dispatch()
+	return s
+}
+
+// Stats snapshots the server's counters.
+func (s *Server) Stats() ServerStats {
+	return ServerStats{
+		ConnsAccepted:   s.connsAccepted.Load(),
+		ConnsRefused:    s.connsRefused.Load(),
+		Requests:        s.requests.Load(),
+		Malformed:       s.malformed.Load(),
+		Overloaded:      s.overloaded.Load(),
+		SlowClientDrops: s.slowDrops.Load(),
+		Batches:         s.batches.Load(),
+		BatchedRequests: s.batchedReqs.Load(),
+		MaxBatch:        s.maxBatch.Load(),
+		Cache:           s.svc.CacheStats(),
+	}
+}
+
+// Serve accepts connections on lis until Close is called. It blocks.
+func (s *Server) Serve(lis net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return errors.New("iotssp: server closed")
+	}
+	s.lis = lis
+	s.mu.Unlock()
+
+	for {
+		conn, err := lis.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return fmt.Errorf("iotssp: accept: %w", err)
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		if len(s.conns) >= s.cfg.MaxConns {
+			s.mu.Unlock()
+			s.connsRefused.Add(1)
+			// Backpressure at the accept loop: tell the client to retry
+			// rather than holding a connection slot hostage.
+			refusal, _ := json.Marshal(Response{
+				Error:     fmt.Sprintf("server at connection capacity (%d)", s.cfg.MaxConns),
+				Retryable: true,
+			})
+			conn.SetWriteDeadline(time.Now().Add(time.Second))
+			conn.Write(append(refusal, '\n'))
+			conn.Close()
+			continue
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.connsAccepted.Add(1)
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer func() {
+				s.mu.Lock()
+				delete(s.conns, conn)
+				s.mu.Unlock()
+				conn.Close()
+			}()
+			s.handleConn(conn)
+		}()
+	}
+}
+
+// connWriter is a connection's write pump: responses are queued on ch
+// and encoded by a dedicated goroutine, so the dispatcher never blocks
+// on a client's socket.
+type connWriter struct {
+	conn net.Conn
+	srv  *Server
+
+	mu     sync.Mutex
+	closed bool
+	ch     chan Response
+}
+
+// send queues a response for the write pump. A full queue means the
+// client stopped reading: the connection is dropped rather than letting
+// its backlog grow without bound.
+func (w *connWriter) send(resp Response) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return false
+	}
+	select {
+	case w.ch <- resp:
+		return true
+	default:
+		w.closed = true
+		close(w.ch)
+		w.conn.Close()
+		w.srv.slowDrops.Add(1)
+		return false
+	}
+}
+
+// shutdown stops the writer once no more sends can arrive from this
+// connection's read pump; late dispatcher responses are discarded.
+func (w *connWriter) shutdown() {
+	w.mu.Lock()
+	if !w.closed {
+		w.closed = true
+		close(w.ch)
+	}
+	w.mu.Unlock()
+}
+
+// pump encodes queued responses until the channel closes or the
+// connection breaks.
+func (w *connWriter) pump() {
+	bw := bufio.NewWriter(w.conn)
+	enc := json.NewEncoder(bw)
+	for resp := range w.ch {
+		if err := enc.Encode(resp); err != nil {
+			w.conn.Close()
+			for range w.ch { // drain so senders never block
+			}
+			return
+		}
+		// Flush eagerly when the queue is empty so single requests are
+		// answered immediately; coalesce writes under load.
+		if len(w.ch) == 0 {
+			if err := bw.Flush(); err != nil {
+				w.conn.Close()
+				for range w.ch {
+				}
+				return
+			}
+		}
+	}
+	bw.Flush()
+}
+
+// handleConn is a connection's read pump: it scans JSON lines, answers
+// malformed ones in place (with the offending line number, keeping the
+// connection alive), and enqueues decoded requests to the dispatcher —
+// or answers with a retryable error when the queue is full.
+func (s *Server) handleConn(conn net.Conn) {
+	w := &connWriter{conn: conn, srv: s, ch: make(chan Response, s.cfg.WriteQueue)}
+	var pumpDone sync.WaitGroup
+	pumpDone.Add(1)
+	go func() {
+		defer pumpDone.Done()
+		w.pump()
+	}()
+	defer pumpDone.Wait()
+	defer w.shutdown()
+
+	scanner := bufio.NewScanner(conn)
+	scanner.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var line uint64
+	for scanner.Scan() {
+		line++
+		var req Request
+		if err := json.Unmarshal(scanner.Bytes(), &req); err != nil {
+			s.malformed.Add(1)
+			if !w.send(Response{Line: line, Error: fmt.Sprintf("line %d: malformed request: %v", line, err)}) {
+				return
+			}
+			continue
+		}
+		mac, fp, err := fingerprint.UnmarshalReportStruct(req.Fingerprint)
+		if err != nil {
+			s.malformed.Add(1)
+			if !w.send(Response{MAC: req.Fingerprint.MAC, Line: line, Error: fmt.Sprintf("line %d: %v", line, err)}) {
+				return
+			}
+			continue
+		}
+		select {
+		case s.queue <- dispatchItem{mac: mac, fp: fp, line: line, out: w}:
+			s.requests.Add(1)
+		default:
+			s.overloaded.Add(1)
+			if !w.send(Response{
+				MAC:       mac,
+				Line:      line,
+				Error:     fmt.Sprintf("line %d: server overloaded: request queue full (capacity %d)", line, s.cfg.QueueCapacity),
+				Retryable: true,
+			}) {
+				return
+			}
+		}
+	}
+}
+
+// dispatch is the micro-batching loop: it blocks for the first pending
+// request, then fills the batch until BatchSize requests are aggregated
+// or FlushInterval elapses, and flushes through the service.
+func (s *Server) dispatch() {
+	defer s.dwg.Done()
+	timer := time.NewTimer(0)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	batch := make([]dispatchItem, 0, s.cfg.BatchSize)
+	for {
+		first, ok := <-s.queue
+		if !ok {
+			return
+		}
+		batch = append(batch[:0], first)
+		timer.Reset(s.cfg.FlushInterval)
+		open := true
+	fill:
+		for len(batch) < s.cfg.BatchSize {
+			select {
+			case item, more := <-s.queue:
+				if !more {
+					open = false
+					break fill
+				}
+				batch = append(batch, item)
+			case <-timer.C:
+				break fill
+			}
+		}
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		s.processBatch(batch)
+		if !open {
+			return
+		}
+	}
+}
+
+// processBatch identifies one flush worth of requests and routes each
+// verdict back to its connection.
+func (s *Server) processBatch(batch []dispatchItem) {
+	s.batches.Add(1)
+	s.batchedReqs.Add(uint64(len(batch)))
+	for {
+		cur := s.maxBatch.Load()
+		if uint64(len(batch)) <= cur || s.maxBatch.CompareAndSwap(cur, uint64(len(batch))) {
+			break
+		}
+	}
+	macs := make([]string, len(batch))
+	fps := make([]*fingerprint.Fingerprint, len(batch))
+	for i, item := range batch {
+		macs[i] = item.mac
+		fps[i] = item.fp
+	}
+	resps := s.svc.IdentifyBatch(macs, fps, s.cfg.Workers)
+	for i, item := range batch {
+		resps[i].Line = item.line
+		item.out.send(resps[i])
+	}
+}
+
+// Close stops the server: it stops accepting, severs live connections,
+// waits for the pumps, and shuts the dispatcher down after the queue
+// drains. Safe to call once.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	lis := s.lis
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
+	var err error
+	if lis != nil {
+		err = lis.Close()
+	}
+	s.wg.Wait()
+	// All read pumps have exited: nothing sends on queue anymore.
+	close(s.queue)
+	s.dwg.Wait()
+	return err
+}

@@ -1,0 +1,324 @@
+package iotssp
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/fingerprint"
+)
+
+// startServer serves svc with cfg on an ephemeral loopback listener and
+// returns its address. Cleanup closes the server.
+func startServer(t *testing.T, svc *Service, cfg ServerConfig) (*Server, string) {
+	t.Helper()
+	srv := NewServerConfig(svc, cfg)
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(lis)
+	t.Cleanup(func() { srv.Close() })
+	return srv, lis.Addr().String()
+}
+
+// requestLine marshals one request line for raw-conn tests.
+func requestLine(t *testing.T, mac string, fp *fingerprint.Fingerprint) []byte {
+	t.Helper()
+	report, err := fingerprint.MarshalReportPacked(mac, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := json.Marshal(Request{Fingerprint: report})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(body, '\n')
+}
+
+// TestServerMalformedLinesKeepConnectionAlive interleaves good and bad
+// request lines on one connection: every bad line must be answered with
+// an error naming its line number, and the good lines around it must
+// still be served on the same connection.
+func TestServerMalformedLinesKeepConnectionAlive(t *testing.T) {
+	svc, ds := testService(t)
+	_, addr := startServer(t, svc, ServerConfig{})
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	var payload []byte
+	payload = append(payload, requestLine(t, "02:00:00:00:00:01", ds["Aria"][0])...)         // line 1: good
+	payload = append(payload, []byte("this is not json\n")...)                               // line 2: bad JSON
+	payload = append(payload, requestLine(t, "02:00:00:00:00:03", ds["HueBridge"][0])...)    // line 3: good
+	payload = append(payload, []byte(`{"fingerprint":{"mac":"x","packed":"gA=="}}`+"\n")...) // line 4: bad matrix
+	payload = append(payload, requestLine(t, "02:00:00:00:00:05", ds["Aria"][1])...)         // line 5: good
+	if _, err := conn.Write(payload); err != nil {
+		t.Fatal(err)
+	}
+
+	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	br := bufio.NewReader(conn)
+	byLine := make(map[uint64]Response)
+	for i := 0; i < 5; i++ {
+		raw, err := br.ReadBytes('\n')
+		if err != nil {
+			t.Fatalf("reading response %d: %v", i, err)
+		}
+		var resp Response
+		if err := json.Unmarshal(raw, &resp); err != nil {
+			t.Fatalf("decoding response %d: %v", i, err)
+		}
+		byLine[resp.Line] = resp
+	}
+
+	for _, line := range []uint64{2, 4} {
+		resp, ok := byLine[line]
+		if !ok {
+			t.Fatalf("no response for bad line %d: %v", line, byLine)
+		}
+		if resp.Error == "" || !strings.Contains(resp.Error, fmt.Sprintf("line %d", line)) {
+			t.Errorf("bad line %d error = %q, want the line number cited", line, resp.Error)
+		}
+		if resp.Retryable {
+			t.Errorf("malformed line %d marked retryable", line)
+		}
+	}
+	for line, wantType := range map[uint64]string{1: "Aria", 3: "HueBridge", 5: "Aria"} {
+		resp, ok := byLine[line]
+		if !ok {
+			t.Fatalf("no response for good line %d", line)
+		}
+		if resp.Error != "" || resp.DeviceType != wantType {
+			t.Errorf("good line %d after bad lines: %+v", line, resp)
+		}
+	}
+}
+
+// TestServerBatchesAcrossConnections drives eight one-shot clients
+// concurrently against a BatchSize-4 server with a generous flush
+// budget: the dispatcher must aggregate requests from different
+// connections into shared flushes.
+func TestServerBatchesAcrossConnections(t *testing.T) {
+	svc, ds := testService(t)
+	srv, addr := startServer(t, svc, ServerConfig{
+		BatchSize:     4,
+		FlushInterval: 500 * time.Millisecond,
+	})
+
+	const clients = 8
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := NewClient(addr)
+			defer c.Close()
+			mac := fmt.Sprintf("02:00:00:00:01:%02x", i)
+			resp, err := c.Identify(context.Background(), mac, ds["Aria"][i%len(ds["Aria"])])
+			if err != nil {
+				t.Errorf("client %d: %v", i, err)
+				return
+			}
+			if resp.MAC != mac {
+				t.Errorf("client %d: MAC echo %q", i, resp.MAC)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	st := srv.Stats()
+	if st.Requests != clients {
+		t.Fatalf("requests = %d, want %d", st.Requests, clients)
+	}
+	if st.MaxBatch < 4 {
+		t.Errorf("max batch = %d, want >= 4 (batches=%d, mean=%.1f)", st.MaxBatch, st.Batches, st.MeanBatch())
+	}
+	if st.ConnsAccepted != clients {
+		t.Errorf("conns accepted = %d", st.ConnsAccepted)
+	}
+}
+
+// TestServerBackpressureQueueFull floods a tiny-queue server with one
+// pipelined burst: the server must answer the overflow with retryable
+// errors instead of queueing it, and still serve what it admitted —
+// with the connection left alive throughout.
+func TestServerBackpressureQueueFull(t *testing.T) {
+	svc, ds := testService(t)
+	srv, addr := startServer(t, svc, ServerConfig{
+		QueueCapacity: 2,
+		BatchSize:     2,
+		WriteQueue:    4096,
+	})
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	const burst = 400
+	var payload []byte
+	for i := 0; i < burst; i++ {
+		payload = append(payload, requestLine(t, fmt.Sprintf("02:00:00:00:02:%02x", i%256), ds["Aria"][i%len(ds["Aria"])])...)
+	}
+	if _, err := conn.Write(payload); err != nil {
+		t.Fatal(err)
+	}
+
+	conn.SetReadDeadline(time.Now().Add(30 * time.Second))
+	br := bufio.NewReaderSize(conn, 1<<20)
+	var served, refused int
+	for i := 0; i < burst; i++ {
+		raw, err := br.ReadBytes('\n')
+		if err != nil {
+			t.Fatalf("response %d/%d: %v", i, burst, err)
+		}
+		var resp Response
+		if err := json.Unmarshal(raw, &resp); err != nil {
+			t.Fatal(err)
+		}
+		switch {
+		case resp.Error == "":
+			served++
+		case resp.Retryable:
+			refused++
+			if !strings.Contains(resp.Error, "overloaded") {
+				t.Errorf("retryable error = %q", resp.Error)
+			}
+		default:
+			t.Errorf("unexpected hard error: %q", resp.Error)
+		}
+	}
+	if served == 0 || refused == 0 {
+		t.Fatalf("served=%d refused=%d: want both under overload", served, refused)
+	}
+	if st := srv.Stats(); st.Overloaded != uint64(refused) {
+		t.Errorf("stats.Overloaded = %d, responses said %d", st.Overloaded, refused)
+	}
+
+	// The connection is still usable after the storm.
+	if _, err := conn.Write(requestLine(t, "02:00:00:00:03:01", ds["HueBridge"][0])); err != nil {
+		t.Fatal(err)
+	}
+	deadlineScan(t, br, func(resp Response) bool { return resp.Error == "" && resp.DeviceType == "HueBridge" })
+}
+
+// deadlineScan reads responses until pred accepts one (overload errors
+// from the tail of a previous storm may still be in flight).
+func deadlineScan(t *testing.T, br *bufio.Reader, pred func(Response) bool) {
+	t.Helper()
+	for {
+		raw, err := br.ReadBytes('\n')
+		if err != nil {
+			t.Fatalf("scanning for response: %v", err)
+		}
+		var resp Response
+		if err := json.Unmarshal(raw, &resp); err != nil {
+			t.Fatal(err)
+		}
+		if pred(resp) {
+			return
+		}
+	}
+}
+
+// TestServerConnectionLimit verifies the bounded accept loop: beyond
+// MaxConns the server answers with a retryable refusal and closes.
+func TestServerConnectionLimit(t *testing.T) {
+	svc, ds := testService(t)
+	srv, addr := startServer(t, svc, ServerConfig{MaxConns: 1})
+
+	first := NewClient(addr)
+	defer first.Close()
+	if _, err := first.Identify(context.Background(), "02:00:00:00:04:01", ds["Aria"][0]); err != nil {
+		t.Fatal(err)
+	}
+
+	second, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer second.Close()
+	second.SetReadDeadline(time.Now().Add(10 * time.Second))
+	raw, err := bufio.NewReader(second).ReadBytes('\n')
+	if err != nil {
+		t.Fatalf("reading refusal: %v", err)
+	}
+	var resp Response
+	if err := json.Unmarshal(raw, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Retryable || !strings.Contains(resp.Error, "connection capacity") {
+		t.Fatalf("refusal = %+v", resp)
+	}
+	if _, err := bufio.NewReader(second).ReadByte(); err == nil {
+		t.Error("refused connection left open")
+	}
+	if st := srv.Stats(); st.ConnsRefused != 1 {
+		t.Errorf("conns refused = %d", st.ConnsRefused)
+	}
+
+	// The admitted connection keeps working.
+	if _, err := first.Identify(context.Background(), "02:00:00:00:04:02", ds["Aria"][1]); err != nil {
+		t.Errorf("admitted connection broken after refusal: %v", err)
+	}
+}
+
+// TestServerOutOfOrderResponsesCarryCorrelation pipelines distinct
+// fingerprints on one connection and checks every response can be
+// matched to its request by MAC and line, whatever the arrival order.
+func TestServerOutOfOrderResponsesCarryCorrelation(t *testing.T) {
+	svc, ds := testService(t)
+	_, addr := startServer(t, svc, ServerConfig{BatchSize: 4, FlushInterval: 20 * time.Millisecond})
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	types := []string{"Aria", "HueBridge", "EdimaxCam", "WeMoSwitch"}
+	var payload []byte
+	want := make(map[uint64]string) // line -> expected MAC
+	for i, typ := range types {
+		mac := fmt.Sprintf("02:00:00:00:05:%02x", i)
+		want[uint64(i+1)] = mac
+		payload = append(payload, requestLine(t, mac, ds[typ][0])...)
+	}
+	if _, err := conn.Write(payload); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	br := bufio.NewReader(conn)
+	for range types {
+		raw, err := br.ReadBytes('\n')
+		if err != nil {
+			t.Fatal(err)
+		}
+		var resp Response
+		if err := json.Unmarshal(raw, &resp); err != nil {
+			t.Fatal(err)
+		}
+		mac, ok := want[resp.Line]
+		if !ok {
+			t.Fatalf("response for unknown line %d", resp.Line)
+		}
+		delete(want, resp.Line)
+		if resp.MAC != mac {
+			t.Errorf("line %d: MAC %q, want %q", resp.Line, resp.MAC, mac)
+		}
+	}
+	if len(want) != 0 {
+		t.Errorf("lines never answered: %v", want)
+	}
+}
