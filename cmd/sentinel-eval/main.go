@@ -1,12 +1,15 @@
 // Command sentinel-eval regenerates the identification experiments of
 // the paper's evaluation (§VI-B): Fig. 5 (per-type accuracy), Table III
 // (confusion matrix of the ten low-accuracy types), Table IV (timing
-// breakdown) and the design-choice ablations.
+// breakdown), the design-choice ablations, and the serving-scale
+// experiments (service: multi-gateway load; fleet: sharded bank behind
+// replicated backends with a mid-run backend kill).
 //
 // Usage:
 //
 //	sentinel-eval -experiment fig5            # default paper protocol
 //	sentinel-eval -experiment all -repeats 2  # faster smoke run
+//	sentinel-eval -experiment fleet -shards 4 -backends 3
 package main
 
 import (
@@ -28,12 +31,15 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("sentinel-eval", flag.ContinueOnError)
 	var (
-		experiment = fs.String("experiment", "all", "fig5|table3|table4|throughput|service|ablations|all")
+		experiment = fs.String("experiment", "all", "fig5|table3|table4|throughput|service|fleet|ablations|all")
 		runs       = fs.Int("runs", 20, "setup captures per device-type")
 		folds      = fs.Int("folds", 10, "cross-validation folds")
 		repeats    = fs.Int("repeats", 10, "cross-validation repetitions")
 		trees      = fs.Int("trees", 100, "random-forest size")
 		seed       = fs.Int64("seed", 1, "experiment seed")
+		shards     = fs.Int("shards", 2, "classifier-bank shards (fleet experiment)")
+		backends   = fs.Int("backends", 2, "service replicas (fleet experiment)")
+		minScaling = fs.Float64("min-scaling", 0, "fail the fleet experiment unless fleet/baseline throughput reaches this ratio (0 = report only)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -100,6 +106,22 @@ func run(args []string) error {
 		fmt.Print(res.RenderService())
 	}
 
+	if *experiment == "fleet" || *experiment == "all" {
+		fmt.Println()
+		res, err := experiments.RunFleet(experiments.FleetConfig{
+			Runs:       *runs / 2,
+			Trees:      *trees,
+			Shards:     *shards,
+			Backends:   *backends,
+			MinScaling: *minScaling,
+			Seed:       *seed,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.RenderFleet())
+	}
+
 	if *experiment == "ablations" || *experiment == "all" {
 		abCfg := cfg
 		if abCfg.Repeats > 2 {
@@ -121,10 +143,10 @@ func run(args []string) error {
 	}
 
 	switch *experiment {
-	case "fig5", "table3", "table4", "throughput", "service", "ablations", "all":
+	case "fig5", "table3", "table4", "throughput", "service", "fleet", "ablations", "all":
 		return nil
 	default:
 		return fmt.Errorf("unknown experiment %q (want %s)", *experiment,
-			strings.Join([]string{"fig5", "table3", "table4", "throughput", "service", "ablations", "all"}, "|"))
+			strings.Join([]string{"fig5", "table3", "table4", "throughput", "service", "fleet", "ablations", "all"}, "|"))
 	}
 }

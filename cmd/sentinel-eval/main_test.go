@@ -23,3 +23,13 @@ func TestEvalQuickFig5(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestEvalQuickFleet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet load run in -short mode")
+	}
+	err := run([]string{"-experiment", "fleet", "-runs", "10", "-trees", "25", "-shards", "2", "-backends", "2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -32,21 +32,40 @@
 // The IoT Security Service itself is built for multi-gateway load. The
 // iotssp.Server runs a bounded accept loop with a read and a write pump
 // per connection; a micro-batching dispatcher aggregates requests
-// across every connection and flushes them into Bank.IdentifyBatch on a
-// size threshold or a small time budget, answering overload with
-// retryable backpressure responses instead of unbounded queues.
-// Verdicts are cached in an LRU keyed by the canonical fingerprint hash
-// (fingerprint.Hash), versioned by the bank's enrolment count so Enroll
-// invalidates stale entries, with singleflight collapsing of duplicate
-// in-flight fingerprints — the fleet's repeat device models cost a
-// cache probe instead of a forest pass. On the client side,
+// across every connection and flushes them into the bank's
+// IdentifyBatch on a size threshold or a small time budget, answering
+// overload with retryable backpressure responses instead of unbounded
+// queues. Verdicts are cached in an LRU keyed by the canonical
+// fingerprint hash (fingerprint.Hash), with singleflight collapsing of
+// duplicate in-flight fingerprints — the fleet's repeat device models
+// cost a cache probe instead of a forest pass. On the client side,
 // gateway.Pool multiplexes pipelined requests over N persistent
 // connections (correlated by MAC and line, reconnecting with jittered
-// backoff), and the compact packed wire form of fingerprint reports
-// keeps protocol CPU out of the hot path. The load experiment
-// (experiments.RunService) replays a multi-gateway fleet workload over
-// TCP and reports throughput against the per-request baseline, cache
-// hit rate and latency percentiles.
+// backoff from a per-pool seeded source), and the compact packed wire
+// form of fingerprint reports keeps protocol CPU out of the hot path.
+// The load experiment (experiments.RunService) replays a multi-gateway
+// fleet workload over TCP and reports throughput against the
+// per-request baseline, cache hit rate, latency percentiles and a
+// single JSON metrics snapshot.
+//
+// The identification path scales horizontally. core.ShardedBank
+// partitions the per-type classifiers across N independent shards —
+// each with its own lock, forests and reference store — so one flush
+// scatters across shards concurrently and Enroll write-locks only the
+// shard a new type routes to (least-loaded routing). Cache entries are
+// tagged with the shard versions they depend on, so an enrolment
+// invalidates exactly the dependent verdicts instead of the whole
+// cache. On the serving side, iotssp.Replica and iotssp.Fleet run
+// several servers over one shared (or several disjoint) services, each
+// replica restartable in place on its own address; gateway.FleetPool
+// consistent-hashes device MACs across the replicas, ejects a backend
+// after consecutive failures, probes it back in with jittered
+// exponential backoff, and transparently fails requests over to
+// healthy replicas — a mid-run backend kill loses no verdicts. The
+// fleet experiment (experiments.RunFleet, sentinel-eval -experiment
+// fleet) drills exactly that: baseline versus replicated throughput, a
+// mid-run kill with zero lost verdicts, and cache-counter-verified
+// shard-scoped invalidation.
 //
 // See README.md for a walkthrough, DESIGN.md for the system inventory
 // and experiment index, and EXPERIMENTS.md for paper-versus-measured

@@ -40,15 +40,7 @@ func (b *Bank) IdentifyBatch(fps []*fingerprint.Fingerprint, workers int) []Resu
 	for i, f := range fps {
 		fixed[i] = f.FixedN(b.cfg.FixedPackets)
 	}
-	accepted := make([][]string, len(fps))
-	for _, tm := range b.types {
-		probs := tm.forest.PredictProbBatch(fixed, workers)
-		for i, p := range probs {
-			if p >= b.cfg.AcceptThreshold {
-				accepted[i] = append(accepted[i], tm.name)
-			}
-		}
-	}
+	accepted := b.classifyBatchLocked(fixed, workers)
 
 	// Stage two: resolve every fingerprint, discriminating multi-accepts.
 	// Work is handed out through an atomic cursor rather than static
@@ -82,4 +74,36 @@ func (b *Bank) IdentifyBatch(fps []*fingerprint.Fingerprint, workers int) []Resu
 	}
 	wg.Wait()
 	return out
+}
+
+// classifyBatchLocked runs stage one over precomputed fixed-size
+// fingerprints, one forest at a time across the whole batch. Callers
+// hold the read lock.
+func (b *Bank) classifyBatchLocked(fixed [][]float64, workers int) [][]string {
+	accepted := make([][]string, len(fixed))
+	for _, tm := range b.types {
+		probs := tm.forest.PredictProbBatch(fixed, workers)
+		for i, p := range probs {
+			if p >= b.cfg.AcceptThreshold {
+				accepted[i] = append(accepted[i], tm.name)
+			}
+		}
+	}
+	return accepted
+}
+
+// ClassifyBatchFixed runs stage one only, over a batch of precomputed
+// fixed-size fingerprints (as returned by Fingerprint.FixedN with the
+// bank's FixedPackets): accepted[i] lists the device-types whose
+// classifier accepts fixed[i], in this bank's enrolment order.
+// workers <= 0 selects GOMAXPROCS. ShardedBank scatters one flush
+// across its shards through this entry point, precomputing the fixed
+// fingerprints once rather than once per shard.
+func (b *Bank) ClassifyBatchFixed(fixed [][]float64, workers int) [][]string {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	b.rw.RLock()
+	defer b.rw.RUnlock()
+	return b.classifyBatchLocked(fixed, workers)
 }

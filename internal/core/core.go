@@ -274,6 +274,25 @@ func (b *Bank) Version() uint64 {
 	return b.version.Load()
 }
 
+// Versions returns the per-shard version vector. A plain Bank is the
+// degenerate single-shard bank, so the vector has one element —
+// Version() itself. Verdict caches that understand shard-scoped
+// invalidation (the IoT Security Service's) work off this vector; with
+// one shard it reduces exactly to the global-version semantics.
+func (b *Bank) Versions() []uint64 {
+	return []uint64{b.version.Load()}
+}
+
+// ShardOf reports which shard owns an enrolled device-type. A plain
+// Bank is one shard, so every enrolled type lives in shard 0; the
+// second result is false for unknown types.
+func (b *Bank) ShardOf(name string) (int, bool) {
+	b.rw.RLock()
+	defer b.rw.RUnlock()
+	_, ok := b.index[name]
+	return 0, ok
+}
+
 // addType registers a device-type's fingerprints without training its
 // classifier.
 func (b *Bank) addType(name string, prints []*fingerprint.Fingerprint) error {

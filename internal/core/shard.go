@@ -1,0 +1,462 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/fingerprint"
+)
+
+// ShardedBank partitions the classifier bank across N independent
+// shards. Each shard is a complete Bank owning a disjoint subset of the
+// enrolled device-types — its own RWMutex, forest slice and
+// reference-fingerprint store — so identifications scatter across
+// shards concurrently and an Enroll write-locks only the shard the new
+// type routes to, never the whole bank. The per-type one-vs-rest
+// classifiers make this sound: a classifier consults nothing outside
+// its own training snapshot, so stage one is a union of per-shard
+// accept sets and stage two a min-merge of per-shard edit-distance
+// scores.
+//
+// Two semantic differences from a single Bank, by design:
+//
+//   - A shard's negative training pool spans only its own types. With
+//     one shard this is exactly Bank; with more, classifiers see fewer
+//     (but still decorrelated) negatives — the trade that buys
+//     write-isolation between shards.
+//   - Identification is not atomic with respect to Enroll across
+//     shards: each shard is observed consistently, but a concurrent
+//     enrolment into another shard may land between the scatter steps.
+//     Verdict caches detect this through the per-shard version vector
+//     (Versions) rather than by locking the world.
+//
+// A ShardedBank is safe for concurrent use. With a single shard its
+// results are bit-identical to the wrapped Bank's.
+type ShardedBank struct {
+	cfg    Config
+	shards []*Bank
+
+	// mu guards the global enrolment bookkeeping: order, pos, owner and
+	// reserved. Shard contents are guarded by each shard's own lock.
+	mu    sync.RWMutex
+	order []string       // global enrolment order across shards
+	pos   map[string]int // type -> index in order
+	owner map[string]int // type -> shard
+	// reserved blocks duplicate concurrent enrolments of one name while
+	// its shard trains outside mu.
+	reserved map[string]struct{}
+}
+
+// NewShardedBank creates an empty bank of n shards (n < 1 selects 1).
+// Every shard shares the same Config — in particular the same Seed, so
+// discrimination reference sampling stays a pure function of (bank,
+// fingerprint) regardless of which shard owns a type.
+func NewShardedBank(cfg Config, n int) *ShardedBank {
+	if n < 1 {
+		n = 1
+	}
+	cfg = cfg.withDefaults()
+	sb := &ShardedBank{
+		cfg:      cfg,
+		shards:   make([]*Bank, n),
+		pos:      make(map[string]int),
+		owner:    make(map[string]int),
+		reserved: make(map[string]struct{}),
+	}
+	for i := range sb.shards {
+		sb.shards[i] = NewBank(cfg)
+	}
+	return sb
+}
+
+// TrainSharded builds an n-shard bank from a training set: types are
+// assigned to shards least-loaded-first in sorted-name order (so the
+// partition is deterministic regardless of map iteration) and every
+// shard trains independently — and concurrently — on its own subset.
+func TrainSharded(cfg Config, n int, trainingSet map[string][]*fingerprint.Fingerprint) (*ShardedBank, error) {
+	sb := NewShardedBank(cfg, n)
+	names := make([]string, 0, len(trainingSet))
+	for name := range trainingSet {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	perShard := make([]map[string][]*fingerprint.Fingerprint, len(sb.shards))
+	for i := range perShard {
+		perShard[i] = make(map[string][]*fingerprint.Fingerprint)
+	}
+	for i, name := range names {
+		s := i % len(sb.shards) // round-robin == least-loaded with sorted arrival
+		perShard[s][name] = trainingSet[name]
+		sb.owner[name] = s
+		sb.pos[name] = i
+	}
+	sb.order = names
+
+	var wg sync.WaitGroup
+	errs := make([]error, len(sb.shards))
+	for s := range sb.shards {
+		if len(perShard[s]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			bank, err := Train(cfg, perShard[s])
+			if err != nil {
+				errs[s] = err
+				return
+			}
+			sb.shards[s] = bank
+		}(s)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return sb, nil
+}
+
+// Shards returns the shard count.
+func (sb *ShardedBank) Shards() int { return len(sb.shards) }
+
+// Len returns the number of enrolled device-types across all shards.
+func (sb *ShardedBank) Len() int {
+	sb.mu.RLock()
+	defer sb.mu.RUnlock()
+	return len(sb.order)
+}
+
+// Types returns the enrolled device-type names in global enrolment
+// order.
+func (sb *ShardedBank) Types() []string {
+	sb.mu.RLock()
+	defer sb.mu.RUnlock()
+	return append([]string(nil), sb.order...)
+}
+
+// ShardTypes returns the types owned by one shard, in that shard's
+// enrolment order.
+func (sb *ShardedBank) ShardTypes(s int) []string {
+	return sb.shards[s].Types()
+}
+
+// ShardOf reports which shard owns an enrolled device-type.
+func (sb *ShardedBank) ShardOf(name string) (int, bool) {
+	sb.mu.RLock()
+	defer sb.mu.RUnlock()
+	s, ok := sb.owner[name]
+	return s, ok
+}
+
+// Versions returns the per-shard enrolment version vector. Each
+// element moves independently: enrolling a type bumps only its shard's
+// version, so a verdict cache can invalidate the verdicts that depend
+// on that shard and keep serving the rest. The snapshot is not atomic
+// across shards — a concurrent Enroll may be visible in one element
+// and not another — which is safe for staleness detection because
+// versions only grow.
+func (sb *ShardedBank) Versions() []uint64 {
+	out := make([]uint64, len(sb.shards))
+	for i, shard := range sb.shards {
+		out[i] = shard.Version()
+	}
+	return out
+}
+
+// Version returns the total enrolment count across shards (the sum of
+// Versions). It is a convenience for display; caches should use the
+// vector.
+func (sb *ShardedBank) Version() uint64 {
+	var sum uint64
+	for _, shard := range sb.shards {
+		sum += shard.Version()
+	}
+	return sum
+}
+
+// Enroll trains a classifier for a new device-type on the least-loaded
+// shard. Only that shard is write-locked — identifications against
+// every other shard proceed concurrently with the training — and only
+// that shard's version is bumped, so shard-aware verdict caches
+// invalidate per-shard instead of globally.
+func (sb *ShardedBank) Enroll(name string, prints []*fingerprint.Fingerprint) error {
+	sb.mu.Lock()
+	if _, dup := sb.owner[name]; dup {
+		sb.mu.Unlock()
+		return fmt.Errorf("core: device-type %q already enrolled", name)
+	}
+	if _, dup := sb.reserved[name]; dup {
+		sb.mu.Unlock()
+		return fmt.Errorf("core: device-type %q already enrolling", name)
+	}
+	s := sb.leastLoadedLocked()
+	sb.reserved[name] = struct{}{}
+	sb.mu.Unlock()
+
+	err := sb.shards[s].Enroll(name, prints)
+
+	sb.mu.Lock()
+	delete(sb.reserved, name)
+	if err == nil {
+		sb.owner[name] = s
+		sb.pos[name] = len(sb.order)
+		sb.order = append(sb.order, name)
+	}
+	sb.mu.Unlock()
+	return err
+}
+
+// leastLoadedLocked picks the shard with the fewest types (including
+// reservations in flight), ties toward the lower index. Callers hold
+// mu.
+func (sb *ShardedBank) leastLoadedLocked() int {
+	load := make([]int, len(sb.shards))
+	for _, s := range sb.owner {
+		load[s]++
+	}
+	// Reservations count toward load so concurrent enrolments spread
+	// out: each reservation was routed to what was then the lightest
+	// shard, so charging the lightest shard per reservation reproduces
+	// the routing.
+	pick := func() int {
+		best := 0
+		for i, l := range load {
+			if l < load[best] {
+				best = i
+			}
+		}
+		return best
+	}
+	for range sb.reserved {
+		load[pick()]++
+	}
+	return pick()
+}
+
+// Identify runs the two-stage pipeline across the shards: every shard
+// classifies the fixed-size fingerprint, the accept sets merge in
+// global enrolment order, and a multi-accept is discriminated by
+// min-merging each owning shard's edit-distance scores.
+func (sb *ShardedBank) Identify(f *fingerprint.Fingerprint) Result {
+	fixed := f.FixedN(sb.cfg.FixedPackets)
+	perShard := make([][]string, len(sb.shards))
+	for s, shard := range sb.shards {
+		perShard[s] = shard.Classify(fixed)
+	}
+	accepted := sb.mergeAccepts(perShard)
+	switch len(accepted) {
+	case 0:
+		return Result{Stage: StageNone}
+	case 1:
+		return Result{Known: true, Type: accepted[0], Accepted: accepted, Stage: StageClassification}
+	}
+	scores := make(map[string]float64, len(accepted))
+	for s, cands := range sb.groupByShard(accepted) {
+		if len(cands) == 0 {
+			continue
+		}
+		_, shardScores := sb.shards[s].Discriminate(f, cands)
+		for name, score := range shardScores {
+			scores[name] = score
+		}
+	}
+	return sb.resolveScores(accepted, scores)
+}
+
+// IdentifyBatch identifies every fingerprint of fps, scattering the
+// whole batch across the shards concurrently — stage one runs each
+// shard's forests over all samples in parallel with the other shards,
+// stage two fans the (fingerprint, shard) discrimination tasks of
+// multi-accept samples across a worker pool — and gathers results in
+// input order. With one shard, results are bit-identical to
+// Bank.IdentifyBatch (and so to sequential Identify): accept merging
+// preserves enrolment order and reference sampling stays a pure
+// function of (bank, fingerprint).
+func (sb *ShardedBank) IdentifyBatch(fps []*fingerprint.Fingerprint, workers int) []Result {
+	out := make([]Result, len(fps))
+	if len(fps) == 0 {
+		return out
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	// The fixed-size fingerprints are shard-independent: compute them
+	// once, not once per shard.
+	fixed := make([][]float64, len(fps))
+	for i, f := range fps {
+		fixed[i] = f.FixedN(sb.cfg.FixedPackets)
+	}
+
+	// Scatter stage one: every shard classifies the whole batch
+	// concurrently. The worker budget is split across the shards (each
+	// gets ~workers/shards for its internal sample fan-out, minimum 1)
+	// so the scatter's total goroutine count stays near the requested
+	// budget rather than multiplying by the shard count.
+	perShardWorkers := workers/len(sb.shards) + 1
+	perShard := make([][][]string, len(sb.shards))
+	var wg sync.WaitGroup
+	for s := range sb.shards {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			perShard[s] = sb.shards[s].ClassifyBatchFixed(fixed, perShardWorkers)
+		}(s)
+	}
+	wg.Wait()
+
+	// Gather: merge each fingerprint's accept sets in global enrolment
+	// order and collect the multi-accept discrimination tasks.
+	type task struct {
+		fp    int
+		shard int
+		cands []string
+	}
+	var tasks []task
+	scores := make([]map[string]float64, len(fps))
+	accepted := make([][]string, len(fps))
+	for i := range fps {
+		shardAccepts := make([][]string, len(sb.shards))
+		for s := range sb.shards {
+			shardAccepts[s] = perShard[s][i]
+		}
+		accepted[i] = sb.mergeAccepts(shardAccepts)
+		if len(accepted[i]) > 1 {
+			scores[i] = make(map[string]float64, len(accepted[i]))
+			for s, cands := range sb.groupByShard(accepted[i]) {
+				if len(cands) > 0 {
+					tasks = append(tasks, task{fp: i, shard: s, cands: cands})
+				}
+			}
+		}
+	}
+
+	// Scatter stage two: discrimination tasks through an atomic cursor
+	// (cost varies wildly per task), each shard scoring only its own
+	// candidates against its own reference store.
+	if len(tasks) > 0 {
+		tw := workers
+		if tw > len(tasks) {
+			tw = len(tasks)
+		}
+		var mu sync.Mutex
+		var next atomic.Int64
+		var twg sync.WaitGroup
+		for w := 0; w < tw; w++ {
+			twg.Add(1)
+			go func() {
+				defer twg.Done()
+				for {
+					j := int(next.Add(1)) - 1
+					if j >= len(tasks) {
+						return
+					}
+					t := tasks[j]
+					_, shardScores := sb.shards[t.shard].Discriminate(fps[t.fp], t.cands)
+					mu.Lock()
+					for name, score := range shardScores {
+						scores[t.fp][name] = score
+					}
+					mu.Unlock()
+				}
+			}()
+		}
+		twg.Wait()
+	}
+
+	// Resolve in input order.
+	for i := range fps {
+		switch len(accepted[i]) {
+		case 0:
+			out[i] = Result{Stage: StageNone}
+		case 1:
+			out[i] = Result{Known: true, Type: accepted[i][0], Accepted: accepted[i], Stage: StageClassification}
+		default:
+			out[i] = sb.resolveScores(accepted[i], scores[i])
+		}
+	}
+	return out
+}
+
+// mergeAccepts merges per-shard accept lists into one list in global
+// enrolment order. Types enrolled concurrently with the scatter (absent
+// from pos) keep shard-local order after the known ones.
+func (sb *ShardedBank) mergeAccepts(perShard [][]string) []string {
+	n := 0
+	for _, a := range perShard {
+		n += len(a)
+	}
+	if n == 0 {
+		return nil
+	}
+	merged := make([]string, 0, n)
+	for _, a := range perShard {
+		merged = append(merged, a...)
+	}
+	sb.mu.RLock()
+	sort.SliceStable(merged, func(i, j int) bool {
+		pi, iok := sb.pos[merged[i]]
+		pj, jok := sb.pos[merged[j]]
+		if iok && jok {
+			return pi < pj
+		}
+		return iok && !jok
+	})
+	sb.mu.RUnlock()
+	return merged
+}
+
+// groupByShard splits a candidate list by owning shard, preserving
+// order within each group.
+func (sb *ShardedBank) groupByShard(candidates []string) map[int][]string {
+	sb.mu.RLock()
+	defer sb.mu.RUnlock()
+	groups := make(map[int][]string, len(sb.shards))
+	for _, name := range candidates {
+		if s, ok := sb.owner[name]; ok {
+			groups[s] = append(groups[s], name)
+		}
+	}
+	return groups
+}
+
+// resolveScores picks the discrimination winner from merged per-shard
+// scores: lowest dissimilarity wins, ties break toward the
+// earlier-enrolled type (candidates arrive in global enrolment order).
+func (sb *ShardedBank) resolveScores(candidates []string, scores map[string]float64) Result {
+	best := ""
+	bestScore := 0.0
+	for _, name := range candidates {
+		s, ok := scores[name]
+		if !ok {
+			continue
+		}
+		if best == "" || s < bestScore {
+			best = name
+			bestScore = s
+		}
+	}
+	return Result{
+		Known:    true,
+		Type:     best,
+		Accepted: candidates,
+		Scores:   scores,
+		Stage:    StageDiscrimination,
+	}
+}
+
+// DistanceComputations sums the per-shard edit-distance computation
+// counts for a discrimination among the given candidates.
+func (sb *ShardedBank) DistanceComputations(candidates []string) int {
+	total := 0
+	for s, cands := range sb.groupByShard(candidates) {
+		total += sb.shards[s].DistanceComputations(cands)
+	}
+	return total
+}

@@ -1,0 +1,214 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/fingerprint"
+)
+
+// shardTrainingSet builds a deterministic multi-type training set plus
+// held-out probes.
+func shardTrainingSet(t *testing.T, types, perType int) (map[string][]*fingerprint.Fingerprint, []*fingerprint.Fingerprint) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(41))
+	train := make(map[string][]*fingerprint.Fingerprint, types)
+	var probes []*fingerprint.Fingerprint
+	for i := 0; i < types; i++ {
+		name := fmt.Sprintf("type-%02d", i)
+		all := synthType(int64(1000+i*100), perType+2, rng)
+		train[name] = all[:perType]
+		probes = append(probes, all[perType:]...)
+	}
+	return train, probes
+}
+
+// TestShardedSingleShardMatchesBank: a one-shard ShardedBank must be
+// bit-identical to a plain Bank — same accepts, same winner, same
+// scores, same stage — on every probe, batched or not.
+func TestShardedSingleShardMatchesBank(t *testing.T) {
+	train, probes := shardTrainingSet(t, 5, 10)
+	bank, err := Train(smallConfig(), train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := TrainSharded(smallConfig(), 1, train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := bank.IdentifyBatch(probes, 4)
+	got := sharded.IdentifyBatch(probes, 4)
+	for i := range probes {
+		if !reflect.DeepEqual(want[i], got[i]) {
+			t.Errorf("probe %d diverged:\n bank:    %+v\n sharded: %+v", i, want[i], got[i])
+		}
+		one := sharded.Identify(probes[i])
+		if !reflect.DeepEqual(one, got[i]) {
+			t.Errorf("probe %d: Identify diverged from IdentifyBatch:\n %+v\n %+v", i, one, got[i])
+		}
+	}
+}
+
+// TestShardedPartitionAndVersions: types spread deterministically across
+// shards, the version vector tracks per-shard enrolment counts, and the
+// global order is the sorted training order.
+func TestShardedPartitionAndVersions(t *testing.T) {
+	train, _ := shardTrainingSet(t, 7, 8)
+	sb, err := TrainSharded(smallConfig(), 3, train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sb.Shards() != 3 || sb.Len() != 7 {
+		t.Fatalf("shards=%d len=%d", sb.Shards(), sb.Len())
+	}
+	// 7 types round-robin over 3 shards: loads 3/2/2.
+	if got := sb.Versions(); !reflect.DeepEqual(got, []uint64{3, 2, 2}) {
+		t.Fatalf("version vector = %v, want [3 2 2]", got)
+	}
+	if sb.Version() != 7 {
+		t.Fatalf("total version = %d", sb.Version())
+	}
+	for i, name := range sb.Types() {
+		s, ok := sb.ShardOf(name)
+		if !ok || s != i%3 {
+			t.Errorf("type %s: shard %d ok=%v, want %d", name, s, ok, i%3)
+		}
+	}
+	// Rebuilding yields the identical partition (determinism).
+	sb2, err := TrainSharded(smallConfig(), 3, train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sb.Types(), sb2.Types()) {
+		t.Errorf("type order differs across rebuilds")
+	}
+}
+
+// TestShardedIdentifyAcrossShards: probes of every type identify
+// correctly even though their classifiers live on different shards.
+func TestShardedIdentifyAcrossShards(t *testing.T) {
+	train, _ := shardTrainingSet(t, 6, 12)
+	sb, err := TrainSharded(smallConfig(), 3, train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(43))
+	correct := 0
+	total := 0
+	for i := 0; i < 6; i++ {
+		name := fmt.Sprintf("type-%02d", i)
+		for _, fp := range synthType(int64(1000+i*100), 4, rng) {
+			res := sb.Identify(fp)
+			total++
+			if res.Known && res.Type == name {
+				correct++
+			}
+		}
+	}
+	// Synthetic types are well-separated; cross-shard identification
+	// must not wreck accuracy.
+	if correct*10 < total*8 {
+		t.Errorf("cross-shard accuracy %d/%d below 80%%", correct, total)
+	}
+}
+
+// TestShardedEnrollRoutesLeastLoadedAndBumpsOneVersion: Enroll lands on
+// the lightest shard and bumps exactly that shard's version.
+func TestShardedEnrollRoutesLeastLoadedAndBumpsOneVersion(t *testing.T) {
+	train, _ := shardTrainingSet(t, 5, 8)
+	sb, err := TrainSharded(smallConfig(), 3, train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := sb.Versions() // loads 2/2/1 -> shard 2 is lightest
+	rng := rand.New(rand.NewSource(47))
+	prints := synthType(7777, 8, rng)
+	if err := sb.Enroll("late-device", prints); err != nil {
+		t.Fatal(err)
+	}
+	s, ok := sb.ShardOf("late-device")
+	if !ok || s != 2 {
+		t.Fatalf("enrolled on shard %d (ok=%v), want least-loaded shard 2", s, ok)
+	}
+	after := sb.Versions()
+	for i := range after {
+		want := before[i]
+		if i == 2 {
+			want++
+		}
+		if after[i] != want {
+			t.Errorf("shard %d version %d -> %d, want %d", i, before[i], after[i], want)
+		}
+	}
+	if types := sb.Types(); types[len(types)-1] != "late-device" {
+		t.Errorf("global order does not end with the new type: %v", types)
+	}
+	if err := sb.Enroll("late-device", prints); err == nil {
+		t.Error("duplicate enrolment accepted")
+	}
+}
+
+// TestShardedEnrollRacesIdentifyBatch: concurrent enrolments and batch
+// identifications must be data-race free and every identification must
+// see a consistent bank (run under -race).
+func TestShardedEnrollRacesIdentifyBatch(t *testing.T) {
+	train, probes := shardTrainingSet(t, 4, 8)
+	cfg := smallConfig()
+	cfg.Forest.Trees = 10
+	sb, err := TrainSharded(cfg, 2, train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(53))
+	extra := make([][]*fingerprint.Fingerprint, 4)
+	for i := range extra {
+		extra[i] = synthType(int64(9000+i*111), 6, rng)
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i, prints := range extra {
+			if err := sb.Enroll(fmt.Sprintf("race-%d", i), prints); err != nil {
+				t.Errorf("Enroll race-%d: %v", i, err)
+			}
+		}
+	}()
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < 10; r++ {
+				for _, res := range sb.IdentifyBatch(probes, 2) {
+					if res.Known && res.Type == "" {
+						t.Error("known result with empty type")
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if sb.Len() != 8 {
+		t.Errorf("len = %d after 4 enrolments over 4 types", sb.Len())
+	}
+}
+
+// TestShardedBatchMatchesSequential: batched identification over a
+// multi-shard bank equals one-at-a-time Identify.
+func TestShardedBatchMatchesSequential(t *testing.T) {
+	train, probes := shardTrainingSet(t, 6, 10)
+	sb, err := TrainSharded(smallConfig(), 3, train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := sb.IdentifyBatch(probes, 4)
+	for i, fp := range probes {
+		if one := sb.Identify(fp); !reflect.DeepEqual(one, batch[i]) {
+			t.Errorf("probe %d: sequential %+v != batch %+v", i, one, batch[i])
+		}
+	}
+}

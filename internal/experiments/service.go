@@ -125,6 +125,9 @@ type ServiceResult struct {
 	P50, P99 time.Duration
 	// Stats snapshots the service-mode server after the run.
 	Stats iotssp.ServerStats
+	// Metrics is the run's single JSON stats snapshot (server counters,
+	// verdict cache, per-gateway client pools).
+	Metrics *MetricsSnapshot
 }
 
 // serviceWorkload is the shared fleet replay: request i carries MAC
@@ -176,7 +179,7 @@ func buildServiceBank(cfg ServiceConfig) (*core.Bank, *serviceWorkload, error) {
 // returns the elapsed wall time with per-request latencies. Each of
 // gateways clients drives inFlight concurrent requests through its own
 // connection pool; request indices are handed out via a shared cursor.
-func runServicePhase(addr string, w *serviceWorkload, gateways, conns, inFlight int, seed int64) (time.Duration, []time.Duration, error) {
+func runServicePhase(addr string, w *serviceWorkload, gateways, conns, inFlight int, seed int64) (time.Duration, []time.Duration, []gateway.PoolStats, error) {
 	pools := make([]*gateway.Pool, gateways)
 	for g := range pools {
 		pools[g] = gateway.NewPool(addr, gateway.PoolConfig{Conns: conns, Seed: seed + int64(g)})
@@ -222,13 +225,17 @@ func runServicePhase(addr string, w *serviceWorkload, gateways, conns, inFlight 
 	elapsed := time.Since(start)
 	close(errs)
 	for err := range errs {
-		return 0, nil, err
+		return 0, nil, nil, err
 	}
 	var all []time.Duration
 	for _, l := range lats {
 		all = append(all, l...)
 	}
-	return elapsed, all, nil
+	poolStats := make([]gateway.PoolStats, len(pools))
+	for g, p := range pools {
+		poolStats[g] = p.Stats()
+	}
+	return elapsed, all, poolStats, nil
 }
 
 // runBaselinePhase replays the workload one request at a time per
@@ -338,7 +345,7 @@ func RunService(cfg ServiceConfig) (*ServiceResult, error) {
 	warm.Close()
 	warmStats := srv.Stats()
 
-	elapsed, lats, err := runServicePhase(addr, w, cfg.Gateways, cfg.ConnsPerGateway, cfg.InFlight, cfg.Seed)
+	elapsed, lats, poolStats, err := runServicePhase(addr, w, cfg.Gateways, cfg.ConnsPerGateway, cfg.InFlight, cfg.Seed)
 	if err != nil {
 		return nil, err
 	}
@@ -346,6 +353,11 @@ func RunService(cfg ServiceConfig) (*ServiceResult, error) {
 	res.Speedup = res.ServicePerSec / res.BaselinePerSec
 
 	res.Stats = srv.Stats()
+	res.Metrics = &MetricsSnapshot{
+		Experiment:   "service",
+		Servers:      []iotssp.ServerStats{res.Stats},
+		GatewayPools: poolStats,
+	}
 	c := res.Stats.Cache
 	warmed := warmStats.Cache
 	served := (c.Hits + c.Shared) - (warmed.Hits + warmed.Shared)
@@ -374,5 +386,8 @@ func (r *ServiceResult) RenderService() string {
 		100*r.CacheHitRate, r.P50, r.P99)
 	fmt.Fprintf(&sb, "dispatcher: %d batches, mean %.1f, max %d; overloaded %d, malformed %d\n",
 		r.Stats.Batches, r.Stats.MeanBatch(), r.Stats.MaxBatch, r.Stats.Overloaded, r.Stats.Malformed)
+	if r.Metrics != nil {
+		fmt.Fprintf(&sb, "metrics: %s\n", r.Metrics.JSON())
+	}
 	return sb.String()
 }

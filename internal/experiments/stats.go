@@ -1,0 +1,36 @@
+package experiments
+
+import (
+	"encoding/json"
+
+	"repro/internal/gateway"
+	"repro/internal/iotssp"
+)
+
+// MetricsSnapshot is the single JSON stats blob a serving experiment
+// reports: every backend's server counters (dispatcher, admission,
+// verdict-cache hit/shared/miss/eviction/invalidation), and every
+// gateway-side client pool with its per-backend health. One coherent
+// snapshot instead of counters scattered through the prose output, so
+// runs can be diffed and scraped.
+type MetricsSnapshot struct {
+	// Experiment names the producing experiment ("service", "fleet").
+	Experiment string `json:"experiment"`
+	// Servers holds one entry per service backend, in backend order.
+	Servers []iotssp.ServerStats `json:"servers"`
+	// FleetPools holds one entry per fleet-routing gateway client
+	// (multi-backend experiments).
+	FleetPools []gateway.FleetPoolStats `json:"fleet_pools,omitempty"`
+	// GatewayPools holds one entry per single-backend gateway client
+	// pool.
+	GatewayPools []gateway.PoolStats `json:"gateway_pools,omitempty"`
+}
+
+// JSON renders the snapshot as a single indented JSON object.
+func (m *MetricsSnapshot) JSON() string {
+	b, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return "{}" // the snapshot is plain data; this cannot happen
+	}
+	return string(b)
+}

@@ -26,3 +26,33 @@ func (f *Fingerprint) Hash() uint64 {
 	}
 	return h.Sum64()
 }
+
+// Mix64 finalizes a 64-bit value with the splitmix64 avalanche function:
+// every input bit flips each output bit with probability ~1/2. Hash
+// consumers that derive keys from structured values (ring points for
+// consistent hashing, shard-version stamps on cached verdicts) mix them
+// so that near-identical inputs land far apart.
+func Mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// CombineHash folds b into the running hash a. It is the canonical way
+// to extend Hash-derived keys with extra dimensions (a backend's
+// virtual-node index, a shard version) without inventing ad-hoc mixing
+// at every call site.
+func CombineHash(a, b uint64) uint64 {
+	return Mix64(a ^ Mix64(b))
+}
+
+// HashString hashes an arbitrary string (device MACs, backend
+// addresses) into the same 64-bit FNV-1a space as Hash.
+func HashString(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}

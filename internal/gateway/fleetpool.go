@@ -1,0 +1,366 @@
+package gateway
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/fingerprint"
+	"repro/internal/iotssp"
+)
+
+// FleetPoolConfig tunes a FleetPool. The zero value selects sensible
+// defaults.
+type FleetPoolConfig struct {
+	// Pool tunes the per-backend connection pool (conns, timeout,
+	// retries, backoff). Pool.Seed seeds the fleet's jitter source;
+	// each backend pool derives its own decorrelated seed from it.
+	Pool PoolConfig
+	// VirtualNodes is the number of consistent-hash ring points per
+	// backend. More points smooth the MAC distribution and the
+	// rebalance when a backend is ejected. 0 selects 64.
+	VirtualNodes int
+	// FailureThreshold is the number of consecutive failed requests
+	// after which a backend is ejected from routing. 0 selects 3.
+	FailureThreshold int
+	// ProbeBackoff is the delay before an ejected backend is probed for
+	// re-admission; every failed probe doubles it (jittered to 50–150%)
+	// up to MaxProbeBackoff. 0 selects 100ms.
+	ProbeBackoff time.Duration
+	// MaxProbeBackoff caps the probe backoff. 0 selects 2s.
+	MaxProbeBackoff time.Duration
+}
+
+func (c FleetPoolConfig) withDefaults() FleetPoolConfig {
+	c.Pool = c.Pool.withDefaults()
+	if c.VirtualNodes <= 0 {
+		c.VirtualNodes = 64
+	}
+	if c.FailureThreshold <= 0 {
+		c.FailureThreshold = 3
+	}
+	if c.ProbeBackoff <= 0 {
+		c.ProbeBackoff = 100 * time.Millisecond
+	}
+	if c.MaxProbeBackoff <= 0 {
+		c.MaxProbeBackoff = 2 * time.Second
+	}
+	return c
+}
+
+// BackendStats is one backend's health and traffic snapshot.
+type BackendStats struct {
+	// Addr is the backend's address.
+	Addr string `json:"addr"`
+	// Healthy reports whether the backend is currently admitted to
+	// routing.
+	Healthy bool `json:"healthy"`
+	// ConsecutiveFailures is the current failure streak (reset by any
+	// success).
+	ConsecutiveFailures int `json:"consecutive_failures"`
+	// Ejections and Readmissions count health-state transitions.
+	Ejections    uint64 `json:"ejections"`
+	Readmissions uint64 `json:"readmissions"`
+	// Requests and Failures count attempts routed at this backend and
+	// the ones that failed.
+	Requests uint64 `json:"requests"`
+	Failures uint64 `json:"failures"`
+	// Pool snapshots the backend's connection-pool counters.
+	Pool PoolStats `json:"pool"`
+}
+
+// FleetPoolStats is a snapshot of a FleetPool's counters.
+type FleetPoolStats struct {
+	// Requests counts Identify calls; Failovers counts attempts
+	// re-routed to another backend after a retryable failure; Failures
+	// counts Identify calls that exhausted every admitted backend.
+	Requests  uint64 `json:"requests"`
+	Failovers uint64 `json:"failovers"`
+	Failures  uint64 `json:"failures"`
+	// Backends holds per-backend health and traffic.
+	Backends []BackendStats `json:"backends"`
+}
+
+// fleetBackend is one replica endpoint: its connection pool plus
+// mutable health state.
+type fleetBackend struct {
+	addr string
+	pool *Pool
+
+	mu sync.Mutex
+	// healthy: admitted to routing. When false, nextProbe is the
+	// earliest time one request may be let through as a re-admission
+	// probe, and backoff the current probe interval.
+	healthy     bool
+	consecFails int
+	probing     bool
+	nextProbe   time.Time
+	backoff     time.Duration
+
+	ejections, readmissions, requests, failures atomic.Uint64
+}
+
+// ringPoint is one consistent-hash ring position.
+type ringPoint struct {
+	hash    uint64
+	backend int
+}
+
+// FleetPool routes identifications across a replicated IoT Security
+// Service fleet. Device MACs are consistent-hashed onto a ring of
+// virtual nodes, so each MAC has a stable home backend, the MAC→backend
+// map is identical across gateway restarts, and ejecting a backend
+// moves only that backend's MACs (to the next point on the ring) while
+// everyone else stays put.
+//
+// Health is tracked per backend: FailureThreshold consecutive failures
+// eject it from routing; after a jittered, exponentially growing
+// probe backoff a single request is let through as a probe, and a
+// success re-admits the backend (its MACs return home). A request
+// whose backend fails mid-flight transparently fails over to the next
+// healthy backend on the ring — retryable failures (transport errors,
+// service backpressure) never surface to the caller while any replica
+// can still answer.
+//
+// FleetPool implements Identifier and is safe for concurrent use.
+type FleetPool struct {
+	cfg      FleetPoolConfig
+	backends []*fleetBackend
+	ring     []ringPoint
+	jitter   *jitterSource
+
+	requests, failovers, failures atomic.Uint64
+}
+
+// NewFleetPool creates a pool over the fleet's backend addresses. No
+// connection is made until the first Identify. The ring layout depends
+// only on the addresses and VirtualNodes, so a restarted gateway
+// routes every MAC to the same backend as before.
+func NewFleetPool(addrs []string, cfg FleetPoolConfig) *FleetPool {
+	cfg = cfg.withDefaults()
+	f := &FleetPool{cfg: cfg, jitter: newJitterSource(cfg.Pool.Seed)}
+	f.backends = make([]*fleetBackend, len(addrs))
+	for i, addr := range addrs {
+		pcfg := cfg.Pool
+		pcfg.Seed = f.jitter.derive()
+		f.backends[i] = &fleetBackend{
+			addr:    addr,
+			pool:    NewPool(addr, pcfg),
+			healthy: true,
+		}
+	}
+	f.ring = make([]ringPoint, 0, len(addrs)*cfg.VirtualNodes)
+	for i, addr := range addrs {
+		base := fingerprint.HashString(addr)
+		for vn := 0; vn < cfg.VirtualNodes; vn++ {
+			f.ring = append(f.ring, ringPoint{
+				hash:    fingerprint.CombineHash(base, uint64(vn)),
+				backend: i,
+			})
+		}
+	}
+	sort.Slice(f.ring, func(i, j int) bool { return f.ring[i].hash < f.ring[j].hash })
+	return f
+}
+
+// Stats snapshots the fleet counters and per-backend health.
+func (f *FleetPool) Stats() FleetPoolStats {
+	st := FleetPoolStats{
+		Requests:  f.requests.Load(),
+		Failovers: f.failovers.Load(),
+		Failures:  f.failures.Load(),
+		Backends:  make([]BackendStats, len(f.backends)),
+	}
+	for i, b := range f.backends {
+		b.mu.Lock()
+		healthy, fails := b.healthy, b.consecFails
+		b.mu.Unlock()
+		st.Backends[i] = BackendStats{
+			Addr:                b.addr,
+			Healthy:             healthy,
+			ConsecutiveFailures: fails,
+			Ejections:           b.ejections.Load(),
+			Readmissions:        b.readmissions.Load(),
+			Requests:            b.requests.Load(),
+			Failures:            b.failures.Load(),
+			Pool:                b.pool.Stats(),
+		}
+	}
+	return st
+}
+
+// order returns the distinct backends to try for a MAC: the home
+// backend (first ring point at or after the MAC's hash), then the
+// remaining backends in ring order — the same walk an ejection-time
+// rebalance takes, so failover lands requests exactly where the ring
+// would re-home them.
+func (f *FleetPool) order(mac string) []int {
+	h := fingerprint.Mix64(fingerprint.HashString(mac))
+	i := sort.Search(len(f.ring), func(j int) bool { return f.ring[j].hash >= h })
+	out := make([]int, 0, len(f.backends))
+	seen := make([]bool, len(f.backends))
+	for k := 0; k < len(f.ring) && len(out) < len(f.backends); k++ {
+		p := f.ring[(i+k)%len(f.ring)]
+		if !seen[p.backend] {
+			seen[p.backend] = true
+			out = append(out, p.backend)
+		}
+	}
+	return out
+}
+
+// home returns the MAC's home backend index (the routing target when
+// every backend is healthy).
+func (f *FleetPool) home(mac string) int {
+	return f.order(mac)[0]
+}
+
+// admit decides whether a request may be routed at b right now: yes
+// when healthy; when ejected, yes once per elapsed probe backoff (the
+// caller's request doubles as the probe).
+func (b *fleetBackend) admit(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.healthy {
+		return true
+	}
+	if !b.probing && now.After(b.nextProbe) {
+		b.probing = true
+		return true
+	}
+	return false
+}
+
+// admitProbe lets exactly one caller through as a full-outage recovery
+// probe: it ignores the backoff window (every backend is down and
+// someone must look for signs of life) but never admits concurrent
+// probes, so an outage storm cannot herd onto a struggling backend.
+func (b *fleetBackend) admitProbe() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.healthy {
+		return true
+	}
+	if b.probing {
+		return false
+	}
+	b.probing = true
+	return true
+}
+
+// noteSuccess records a successful round-trip: the failure streak
+// resets and an ejected backend is re-admitted (its MACs route home
+// again).
+func (b *fleetBackend) noteSuccess() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.consecFails = 0
+	b.probing = false
+	if !b.healthy {
+		b.healthy = true
+		b.readmissions.Add(1)
+	}
+}
+
+// noteFailure records a failed round-trip, ejecting the backend after
+// threshold consecutive failures or pushing an ejected backend's next
+// probe out by the (jittered, doubling, capped) backoff.
+func (b *fleetBackend) noteFailure(cfg FleetPoolConfig, jitter *jitterSource, now time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.consecFails++
+	if b.healthy {
+		if b.consecFails >= cfg.FailureThreshold {
+			b.healthy = false
+			b.ejections.Add(1)
+			b.backoff = cfg.ProbeBackoff
+			b.nextProbe = now.Add(jitter.scale(b.backoff))
+		}
+		return
+	}
+	// A failed probe: back off further before the next one.
+	b.probing = false
+	b.backoff *= 2
+	if b.backoff > cfg.MaxProbeBackoff {
+		b.backoff = cfg.MaxProbeBackoff
+	}
+	b.nextProbe = now.Add(jitter.scale(b.backoff))
+}
+
+// Identify implements Identifier: it routes the fingerprint to the
+// MAC's home backend and, when that fails retryably (transport error
+// or exhausted backpressure retries), transparently fails over along
+// the ring to the next admitted backend. Non-retryable service errors
+// (malformed requests) surface immediately and do not count against
+// backend health.
+func (f *FleetPool) Identify(ctx context.Context, mac string, fp *fingerprint.Fingerprint) (iotssp.Response, error) {
+	f.requests.Add(1)
+	if len(f.backends) == 0 {
+		return iotssp.Response{}, fmt.Errorf("gateway: fleet pool has no backends")
+	}
+	order := f.order(mac)
+	var lastErr error
+	attempted := false
+	for _, idx := range order {
+		b := f.backends[idx]
+		if !b.admit(time.Now()) {
+			continue
+		}
+		if attempted {
+			f.failovers.Add(1)
+		}
+		attempted = true
+		b.requests.Add(1)
+		resp, err := b.pool.Identify(ctx, mac, fp)
+		if err == nil {
+			b.noteSuccess()
+			return resp, nil
+		}
+		if resp.Error != "" && !resp.Retryable {
+			// The service rejected the request itself; the backend is
+			// fine and another replica would answer the same.
+			b.noteSuccess()
+			return resp, err
+		}
+		b.failures.Add(1)
+		b.noteFailure(f.cfg, f.jitter, time.Now())
+		lastErr = err
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	if !attempted {
+		// Every backend is ejected and none is due for a scheduled
+		// probe: push one paced probe at the home backend rather than
+		// failing without trying (the full-outage recovery path). At
+		// most one probe is in flight per backend; concurrent callers
+		// fail fast instead of herding onto a down service.
+		b := f.backends[order[0]]
+		if !b.admitProbe() {
+			f.failures.Add(1)
+			return iotssp.Response{}, fmt.Errorf("gateway: identify %s: all %d backends ejected, recovery probe in flight", mac, len(f.backends))
+		}
+		b.requests.Add(1)
+		resp, err := b.pool.Identify(ctx, mac, fp)
+		if err == nil {
+			b.noteSuccess()
+			return resp, nil
+		}
+		b.failures.Add(1)
+		b.noteFailure(f.cfg, f.jitter, time.Now())
+		lastErr = err
+	}
+	f.failures.Add(1)
+	return iotssp.Response{}, fmt.Errorf("gateway: identify %s: all %d backends failed: %w", mac, len(f.backends), lastErr)
+}
+
+// Close severs every backend pool.
+func (f *FleetPool) Close() error {
+	for _, b := range f.backends {
+		b.pool.Close()
+	}
+	return nil
+}

@@ -61,13 +61,43 @@ func (c PoolConfig) withDefaults() PoolConfig {
 type PoolStats struct {
 	// Requests counts Identify calls; Retries counts extra attempts
 	// after transport failures or backpressure responses.
-	Requests uint64
-	Retries  uint64
+	Requests uint64 `json:"requests"`
+	Retries  uint64 `json:"retries"`
 	// Dials counts connection (re-)establishments across the pool.
-	Dials uint64
+	Dials uint64 `json:"dials"`
 	// Failures counts Identify calls that returned an error after
 	// exhausting their retries.
-	Failures uint64
+	Failures uint64 `json:"failures"`
+}
+
+// jitterSource is a seeded, mutex-guarded random stream for backoff
+// jitter. Every reconnect/backoff path draws from a per-pool source
+// rather than math/rand's global one, so a hot redial storm across
+// many pools never contends on the global rand lock — and tests can
+// seed a pool for deterministic jitter.
+type jitterSource struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+func newJitterSource(seed int64) *jitterSource {
+	return &jitterSource{rng: rand.New(rand.NewSource(seed))}
+}
+
+// scale jitters d to 50–150% of its value.
+func (j *jitterSource) scale(d time.Duration) time.Duration {
+	j.mu.Lock()
+	f := 0.5 + j.rng.Float64()
+	j.mu.Unlock()
+	return time.Duration(float64(d) * f)
+}
+
+// derive draws a seed for a child source (decorrelating per-backend
+// pools inside a FleetPool).
+func (j *jitterSource) derive() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.rng.Int63()
 }
 
 // Pool is a pooled TCP client for the IoT Security Service: N
@@ -79,11 +109,9 @@ type PoolStats struct {
 // exponential backoff. Pool implements Identifier and is safe for
 // concurrent use by the gateway's identification workers.
 type Pool struct {
-	cfg   PoolConfig
-	conns []*poolConn
-
-	jmu sync.Mutex
-	rng *rand.Rand
+	cfg    PoolConfig
+	conns  []*poolConn
+	jitter *jitterSource
 
 	requests, retries, dials, failures atomic.Uint64
 }
@@ -92,7 +120,7 @@ type Pool struct {
 // connection is made until the first Identify.
 func NewPool(addr string, cfg PoolConfig) *Pool {
 	cfg = cfg.withDefaults()
-	p := &Pool{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	p := &Pool{cfg: cfg, jitter: newJitterSource(cfg.Seed)}
 	p.conns = make([]*poolConn, cfg.Conns)
 	for i := range p.conns {
 		p.conns[i] = &poolConn{addr: addr, pool: p, waiters: make(map[uint64]*poolCall)}
@@ -120,10 +148,7 @@ func (p *Pool) pick(mac string) *poolConn {
 // sleepJitter blocks for the attempt's jittered exponential backoff or
 // until ctx is done.
 func (p *Pool) sleepJitter(ctx context.Context, attempt int) error {
-	d := p.cfg.RetryBackoff << (attempt - 1)
-	p.jmu.Lock()
-	jittered := time.Duration(float64(d) * (0.5 + p.rng.Float64()))
-	p.jmu.Unlock()
+	jittered := p.jitter.scale(p.cfg.RetryBackoff << (attempt - 1))
 	t := time.NewTimer(jittered)
 	defer t.Stop()
 	select {
@@ -241,6 +266,15 @@ func (pc *poolConn) roundTrip(ctx context.Context, mac string, body []byte, time
 		if err != nil {
 			pc.mu.Unlock()
 			return iotssp.Response{}, fmt.Errorf("gateway: dialing %s: %w", pc.addr, err)
+		}
+		if conn.LocalAddr().String() == conn.RemoteAddr().String() {
+			// TCP simultaneous-connect on loopback: dialing a just-freed
+			// ephemeral port can self-connect, and the pool would then
+			// read back its own request lines as responses. Treat it as
+			// a failed dial.
+			conn.Close()
+			pc.mu.Unlock()
+			return iotssp.Response{}, fmt.Errorf("gateway: dialing %s: self-connection", pc.addr)
 		}
 		pc.conn = conn
 		pc.lines = 0

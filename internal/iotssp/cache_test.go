@@ -5,54 +5,152 @@ import (
 	"sync"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/devices"
 	"repro/internal/fingerprint"
+	"repro/internal/vulndb"
 )
+
+// v is shorthand for a version-vector snapshot.
+func v(versions ...uint64) []uint64 { return versions }
+
+// computeAll returns a compute func whose verdict depends on every
+// shard of the snapshot (the single-shard common case).
+func computeAll(typ string, snapshot []uint64) func() (Response, verdictDeps, bool) {
+	return func() (Response, verdictDeps, bool) {
+		return Response{DeviceType: typ}, depsAll(snapshot), true
+	}
+}
 
 func TestCacheHitAndLRUEviction(t *testing.T) {
 	c := newVerdictCache(2)
-	compute := func(typ string) func() (Response, bool) {
-		return func() (Response, bool) { return Response{DeviceType: typ}, true }
-	}
+	s := v(1)
 
-	if r, fromCache := c.do(1, 1, compute("a")); fromCache || r.DeviceType != "a" {
+	if r, fromCache := c.do(1, s, computeAll("a", s)); fromCache || r.DeviceType != "a" {
 		t.Fatalf("first lookup: %+v fromCache=%v", r, fromCache)
 	}
-	if r, fromCache := c.do(1, 1, compute("WRONG")); !fromCache || r.DeviceType != "a" {
+	if r, fromCache := c.do(1, s, computeAll("WRONG", s)); !fromCache || r.DeviceType != "a" {
 		t.Fatalf("second lookup should hit: %+v fromCache=%v", r, fromCache)
 	}
 
-	c.do(2, 1, compute("b"))
-	c.do(3, 1, compute("c")) // capacity 2: key 1 is the LRU victim
+	c.do(2, s, computeAll("b", s))
+	c.do(3, s, computeAll("c", s)) // capacity 2: key 1 is the LRU victim
 	st := c.stats()
 	if st.Evictions != 1 || st.Entries != 2 {
 		t.Fatalf("after overflow: %+v", st)
 	}
-	if _, fromCache := c.do(1, 1, compute("a2")); fromCache {
+	if _, fromCache := c.do(1, s, computeAll("a2", s)); fromCache {
 		t.Error("evicted key served from cache")
 	}
 
 	// Recency: touching key 3 must make key 1's re-insert evict key 2.
-	c.do(3, 1, compute("WRONG"))
-	c.do(1, 1, compute("WRONG")) // hit (re-inserted above)
-	if _, fromCache := c.do(2, 1, compute("b2")); fromCache {
+	c.do(3, s, computeAll("WRONG", s))
+	c.do(1, s, computeAll("WRONG", s)) // hit (re-inserted above)
+	if _, fromCache := c.do(2, s, computeAll("b2", s)); fromCache {
 		t.Error("LRU victim (key 2) still cached")
 	}
 }
 
 func TestCacheVersionInvalidatesEntry(t *testing.T) {
 	c := newVerdictCache(4)
-	c.do(7, 1, func() (Response, bool) { return Response{DeviceType: "old"}, true })
-	r, fromCache := c.do(7, 2, func() (Response, bool) { return Response{DeviceType: "new"}, true })
+	old := v(1)
+	c.do(7, old, computeAll("old", old))
+	grown := v(2)
+	r, fromCache := c.do(7, grown, computeAll("new", grown))
 	if fromCache || r.DeviceType != "new" {
 		t.Fatalf("stale-version entry served: %+v fromCache=%v", r, fromCache)
 	}
 	// The recompute replaced the stale entry at the new version.
-	if r, fromCache := c.do(7, 2, func() (Response, bool) { return Response{}, true }); !fromCache || r.DeviceType != "new" {
+	if r, fromCache := c.do(7, grown, computeAll("", grown)); !fromCache || r.DeviceType != "new" {
 		t.Fatalf("recomputed entry not cached: %+v fromCache=%v", r, fromCache)
 	}
-	if st := c.stats(); st.Evictions != 0 {
+	st := c.stats()
+	if st.Evictions != 0 {
 		t.Errorf("version replacement counted as eviction: %+v", st)
+	}
+	if st.Invalidations != 1 {
+		t.Errorf("stale drop not counted as invalidation: %+v", st)
+	}
+}
+
+// TestCacheShardScopedInvalidation is the heart of the sharded design:
+// entries depending only on shard 0 survive a version bump of shard 1,
+// entries depending on shard 1 (and unknown-verdict entries, which
+// depend on every shard) turn stale.
+func TestCacheShardScopedInvalidation(t *testing.T) {
+	c := newVerdictCache(8)
+	before := v(3, 5)
+	// Entry 10 depends on shard 0 only; entry 11 on shard 1 only;
+	// entry 12 is an unknown verdict (depends on both).
+	c.do(10, before, func() (Response, verdictDeps, bool) {
+		return Response{DeviceType: "s0"}, depsOn(before, []int{0}), true
+	})
+	c.do(11, before, func() (Response, verdictDeps, bool) {
+		return Response{DeviceType: "s1"}, depsOn(before, []int{1}), true
+	})
+	c.do(12, before, func() (Response, verdictDeps, bool) {
+		return Response{}, depsAll(before), true
+	})
+
+	// Enrolment into shard 1: its version moves, shard 0's does not.
+	after := v(3, 6)
+	if r, fromCache := c.do(10, after, computeAll("RECOMPUTED", after)); !fromCache || r.DeviceType != "s0" {
+		t.Errorf("shard-0 entry invalidated by shard-1 enrolment: %+v fromCache=%v", r, fromCache)
+	}
+	if _, fromCache := c.do(11, after, computeAll("s1b", after)); fromCache {
+		t.Error("shard-1 entry survived shard-1 enrolment")
+	}
+	if _, fromCache := c.do(12, after, computeAll("", after)); fromCache {
+		t.Error("unknown-verdict entry survived enrolment")
+	}
+	st := c.stats()
+	if st.Invalidations != 2 {
+		t.Errorf("want exactly 2 shard-scoped invalidations: %+v", st)
+	}
+	if st.Hits != 1 {
+		t.Errorf("want the shard-0 entry to keep hitting: %+v", st)
+	}
+}
+
+// TestCacheMultiShardDeps: an entry depending on two shards goes stale
+// when either moves, and stays fresh when a third does.
+func TestCacheMultiShardDeps(t *testing.T) {
+	c := newVerdictCache(8)
+	base := v(1, 1, 1)
+	insert := func() {
+		c.do(20, base, func() (Response, verdictDeps, bool) {
+			return Response{DeviceType: "multi"}, depsOn(base, []int{0, 2}), true
+		})
+	}
+	insert()
+	if _, fromCache := c.do(20, v(1, 9, 1), computeAll("x", v(1, 9, 1))); !fromCache {
+		t.Error("entry depending on shards {0,2} invalidated by shard 1")
+	}
+	c = newVerdictCache(8)
+	insert()
+	if _, fromCache := c.do(20, v(2, 1, 1), computeAll("x", v(2, 1, 1))); fromCache {
+		t.Error("entry depending on shard 0 survived shard-0 bump")
+	}
+	c = newVerdictCache(8)
+	insert()
+	if _, fromCache := c.do(20, v(1, 1, 2), computeAll("x", v(1, 1, 2))); fromCache {
+		t.Error("entry depending on shard 2 survived shard-2 bump")
+	}
+}
+
+// TestCacheNewerEntryWinsInsertRace: a leader that computed against an
+// older bank must not clobber an entry computed against a newer one.
+func TestCacheNewerEntryWinsInsertRace(t *testing.T) {
+	c := newVerdictCache(4)
+	oldSnap := v(1)
+	newSnap := v(2)
+	// Old leader starts first but finishes last.
+	_, _, fOld := c.begin(30, oldSnap)
+	_, _, fNew := c.begin(30, newSnap) // different snapshot: a second flight
+	c.finish(30, fNew, Response{DeviceType: "fresh"}, depsAll(newSnap), true)
+	c.finish(30, fOld, Response{DeviceType: "stale"}, depsAll(oldSnap), true)
+	if r, fromCache := c.do(30, newSnap, computeAll("x", newSnap)); !fromCache || r.DeviceType != "fresh" {
+		t.Fatalf("stale leader clobbered fresh entry: %+v fromCache=%v", r, fromCache)
 	}
 }
 
@@ -62,18 +160,19 @@ func TestCacheSingleflightCollapsesStorm(t *testing.T) {
 	gate := make(chan struct{})
 	var computes int
 	var mu sync.Mutex
+	s := v(1)
 
 	var wg sync.WaitGroup
 	for i := 0; i < callers; i++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			r, _ := c.do(42, 1, func() (Response, bool) {
+			r, _ := c.do(42, s, func() (Response, verdictDeps, bool) {
 				<-gate // hold the flight open until every caller has piled in
 				mu.Lock()
 				computes++
 				mu.Unlock()
-				return Response{DeviceType: "t"}, true
+				return Response{DeviceType: "t"}, depsAll(s), true
 			})
 			if r.DeviceType != "t" {
 				t.Errorf("storm caller got %+v", r)
@@ -102,11 +201,14 @@ func TestCacheSingleflightCollapsesStorm(t *testing.T) {
 
 func TestCacheFailedFlightNotCached(t *testing.T) {
 	c := newVerdictCache(4)
-	c.do(9, 1, func() (Response, bool) { return Response{Error: "transient"}, false })
+	s := v(1)
+	c.do(9, s, func() (Response, verdictDeps, bool) {
+		return Response{Error: "transient"}, verdictDeps{}, false
+	})
 	if st := c.stats(); st.Entries != 0 {
 		t.Fatalf("uncacheable verdict cached: %+v", st)
 	}
-	r, fromCache := c.do(9, 1, func() (Response, bool) { return Response{DeviceType: "ok"}, true })
+	r, fromCache := c.do(9, s, computeAll("ok", s))
 	if fromCache || r.DeviceType != "ok" {
 		t.Fatalf("after failed flight: %+v fromCache=%v", r, fromCache)
 	}
@@ -117,17 +219,18 @@ func TestCacheSharedWaiterRetriesAfterFailedLeader(t *testing.T) {
 	leaderIn := make(chan struct{})
 	release := make(chan struct{})
 	done := make(chan Response, 1)
+	s := v(1)
 
 	go func() {
-		c.do(5, 1, func() (Response, bool) {
+		c.do(5, s, func() (Response, verdictDeps, bool) {
 			close(leaderIn)
 			<-release
-			return Response{}, false // leader fails; nothing cached
+			return Response{}, verdictDeps{}, false // leader fails; nothing cached
 		})
 	}()
 	<-leaderIn
 	go func() {
-		r, _ := c.do(5, 1, func() (Response, bool) { return Response{DeviceType: "second"}, true })
+		r, _ := c.do(5, s, computeAll("second", s))
 		done <- r
 	}()
 	// Let the waiter attach, then fail the leader.
@@ -158,7 +261,8 @@ func TestServiceCacheBypassOnEnroll(t *testing.T) {
 	}
 
 	// Enrolling a new type bumps the bank version: the cached verdict
-	// must not be served against the grown bank.
+	// must not be served against the grown bank (a single-shard bank
+	// depends every verdict on its one shard).
 	traces, err := devices.GenerateRuns("D-LinkCam", devices.DefaultEnv(), 5, 5)
 	if err != nil {
 		t.Fatal(err)
@@ -167,13 +271,121 @@ func TestServiceCacheBypassOnEnroll(t *testing.T) {
 	for _, tr := range traces {
 		prints = append(prints, tr.Fingerprint())
 	}
-	if err := svc.bank.Enroll("D-LinkCam", prints); err != nil {
+	if err := svc.Bank().(*core.Bank).Enroll("D-LinkCam", prints); err != nil {
 		t.Fatal(err)
 	}
 	svc.Identify("02:aa:00:00:00:03", fp)
 	st = svc.CacheStats()
 	if st.Misses != 2 {
 		t.Fatalf("post-enroll identify served stale verdict: %+v", st)
+	}
+}
+
+// TestServiceShardScopedEnrollKeepsOtherShardVerdicts is the
+// end-to-end shard-scoped invalidation property over a real
+// ShardedBank: enrolling into one shard invalidates only the cached
+// verdicts that depend on it.
+func TestServiceShardScopedEnrollKeepsOtherShardVerdicts(t *testing.T) {
+	env := devices.DefaultEnv()
+	// Nine types round-robin across two shards (5 on shard 0, 4 on
+	// shard 1), so the canary enrolment below routes to the
+	// less-loaded shard 1 and shard-0-only verdicts must survive it.
+	names := []string{
+		"Aria", "D-LinkCam", "D-LinkSiren", "EdimaxCam", "HueBridge",
+		"Lightify", "MAXGateway", "SmarterCoffee", "Withings",
+	}
+	train := make(map[string][]*fingerprint.Fingerprint)
+	probes := make(map[string]*fingerprint.Fingerprint)
+	for _, name := range names {
+		traces, err := devices.GenerateRuns(name, env, 5, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var prints []*fingerprint.Fingerprint
+		for _, tr := range traces {
+			prints = append(prints, tr.Fingerprint())
+		}
+		train[name] = prints[:8]
+		probes[name] = prints[8]
+	}
+	cfg := core.Default()
+	cfg.Forest.Trees = 25
+	cfg.Seed = 3
+	bank, err := core.TrainSharded(cfg, 2, train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := NewService(bank, vulndb.Seeded(), nil)
+
+	// Warm the cache and record which shard each probe's verdict
+	// depends on (single-accept verdicts depend on one shard).
+	dep := make(map[string][]int)
+	for name, fp := range probes {
+		resp := svc.Identify("02:cc:00:00:00:01", fp)
+		if resp.Error != "" {
+			t.Fatalf("%s: %s", name, resp.Error)
+		}
+		res := bank.Identify(fp)
+		if !res.Known {
+			dep[name] = []int{0, 1}
+			continue
+		}
+		var shards []int
+		seen := map[int]bool{}
+		for _, accepted := range res.Accepted {
+			if s, ok := bank.ShardOf(accepted); ok && !seen[s] {
+				seen[s] = true
+				shards = append(shards, s)
+			}
+		}
+		dep[name] = shards
+	}
+	st0 := svc.CacheStats()
+
+	// Enroll a new type; it routes to one shard.
+	traces, err := devices.GenerateRuns("WeMoSwitch", env, 7, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prints []*fingerprint.Fingerprint
+	for _, tr := range traces {
+		prints = append(prints, tr.Fingerprint())
+	}
+	if err := bank.Enroll("WeMoSwitch", prints); err != nil {
+		t.Fatal(err)
+	}
+	enrolledShard, ok := bank.ShardOf("WeMoSwitch")
+	if !ok {
+		t.Fatal("enrolled type has no shard")
+	}
+
+	wantHits, wantMisses := 0, 0
+	for name, fp := range probes {
+		dependent := false
+		for _, s := range dep[name] {
+			if s == enrolledShard {
+				dependent = true
+			}
+		}
+		if dependent {
+			wantMisses++
+		} else {
+			wantHits++
+		}
+		svc.Identify("02:cc:00:00:00:02", fp)
+	}
+	if wantHits == 0 {
+		t.Fatal("degenerate partition: every probe depends on the enrolled shard")
+	}
+	st1 := svc.CacheStats()
+	if got := st1.Hits - st0.Hits; got != uint64(wantHits) {
+		t.Errorf("hits after shard-scoped enroll = %d, want %d (other-shard verdicts must survive)", got, wantHits)
+	}
+	if got := st1.Misses - st0.Misses; got != uint64(wantMisses) {
+		t.Errorf("misses after shard-scoped enroll = %d, want %d", got, wantMisses)
+	}
+	if got := st1.Invalidations - st0.Invalidations; got != uint64(wantMisses) {
+		t.Errorf("invalidations = %d, want %d (exactly the dependent verdicts)", got, wantMisses)
 	}
 }
 

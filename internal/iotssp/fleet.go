@@ -1,0 +1,229 @@
+package iotssp
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// Replica is one IoT Security Service backend: a Server behind the
+// replica's own listener, restartable in place. The listener is bound
+// once, at the first Start, and held until Close — across Stop/Start
+// cycles the port never returns to the ephemeral pool (where a
+// concurrent outgoing dial could steal it, or self-connect to it), so
+// health-aware clients that probe an ejected backend find the revived
+// replica exactly where they left it. While stopped, the replica's
+// accept loop closes incoming connections immediately: to a client the
+// backend looks like a dead service behind a live address, which is
+// precisely the failure the FleetPool health tracker is built to
+// detect.
+//
+// Replicas sharing one Service share its bank and verdict cache (the
+// replicated-fleet topology); replicas with distinct Services form
+// disjoint banks. Both compose into a Fleet.
+type Replica struct {
+	svc  *Service
+	scfg ServerConfig
+
+	mu   sync.Mutex
+	srv  *Server
+	lis  net.Listener
+	addr string
+	// base accumulates the stats of previous incarnations so Stats stays
+	// cumulative across restarts.
+	base   ServerStats
+	closed bool
+}
+
+// NewReplica wraps a service as a restartable backend. Call Start to
+// begin serving.
+func NewReplica(svc *Service, cfg ServerConfig) *Replica {
+	return &Replica{svc: svc, scfg: cfg}
+}
+
+// Addr returns the replica's listen address ("" before the first
+// Start).
+func (r *Replica) Addr() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.addr
+}
+
+// Running reports whether the replica is currently serving.
+func (r *Replica) Running() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.srv != nil
+}
+
+// Start begins (or resumes) serving. The first Start binds the
+// replica's listener on an ephemeral loopback port and launches the
+// accept loop that outlives server incarnations; every Start installs
+// a fresh Server behind it. Starting a running or closed replica is an
+// error.
+func (r *Replica) Start() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return errors.New("iotssp: replica closed")
+	}
+	if r.srv != nil {
+		return errors.New("iotssp: replica already running")
+	}
+	if r.lis == nil {
+		lis, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return fmt.Errorf("iotssp: replica listen: %w", err)
+		}
+		r.lis = lis
+		r.addr = lis.Addr().String()
+		go r.acceptLoop(lis)
+	}
+	r.srv = NewServerConfig(r.svc, r.scfg)
+	return nil
+}
+
+// acceptLoop feeds the listener's connections to whichever server
+// incarnation is current, and closes them outright while the replica
+// is stopped. It exits when Close closes the listener.
+func (r *Replica) acceptLoop(lis net.Listener) {
+	for {
+		conn, err := lis.Accept()
+		if err != nil {
+			return
+		}
+		r.mu.Lock()
+		srv := r.srv
+		r.mu.Unlock()
+		if srv == nil {
+			// Stopped incarnation: a dead service behind a live address.
+			conn.Close()
+			continue
+		}
+		srv.ServeConn(conn)
+	}
+}
+
+// Stop kills the replica mid-flight: live connections are severed and
+// in-flight requests on them are lost from the client's point of view
+// (clients recover by failing over to a healthy replica). The listener
+// stays bound — new connections are accepted and instantly closed — so
+// Start can revive the replica in place.
+func (r *Replica) Stop() error {
+	r.mu.Lock()
+	srv := r.srv
+	r.srv = nil
+	r.mu.Unlock()
+	if srv == nil {
+		return nil
+	}
+	stats := srv.Stats()
+	err := srv.Close()
+	r.mu.Lock()
+	r.base = r.base.add(stats)
+	r.mu.Unlock()
+	return err
+}
+
+// Stats returns the replica's cumulative serving counters across all
+// incarnations.
+func (r *Replica) Stats() ServerStats {
+	r.mu.Lock()
+	base := r.base
+	srv := r.srv
+	r.mu.Unlock()
+	if srv == nil {
+		return base
+	}
+	return base.add(srv.Stats())
+}
+
+// Close stops the replica permanently and releases its listener.
+func (r *Replica) Close() error {
+	err := r.Stop()
+	r.mu.Lock()
+	r.closed = true
+	lis := r.lis
+	r.lis = nil
+	r.mu.Unlock()
+	if lis != nil {
+		if cerr := lis.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// Fleet is a replicated IoT Security Service: several Replicas serving
+// one logical service behind a health-aware client (gateway.FleetPool).
+// The fleet itself is deliberately thin — replicas are independent
+// failure domains; coordination lives client-side in consistent-hash
+// routing and failover — so killing or reviving one replica never
+// touches the others.
+type Fleet struct {
+	replicas []*Replica
+}
+
+// NewFleet builds a fleet of one replica per service. Passing the same
+// *Service n times yields n listeners over one shared bank and verdict
+// cache; passing distinct services yields disjoint backends.
+func NewFleet(svcs []*Service, cfg ServerConfig) *Fleet {
+	f := &Fleet{replicas: make([]*Replica, len(svcs))}
+	for i, svc := range svcs {
+		f.replicas[i] = NewReplica(svc, cfg)
+	}
+	return f
+}
+
+// Start brings every replica up. On error the already-started replicas
+// are closed.
+func (f *Fleet) Start() error {
+	for i, r := range f.replicas {
+		if err := r.Start(); err != nil {
+			for _, started := range f.replicas[:i] {
+				started.Close()
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+// Size returns the number of replicas.
+func (f *Fleet) Size() int { return len(f.replicas) }
+
+// Replica returns the i-th replica (for targeted kill/revive in
+// failover drills).
+func (f *Fleet) Replica(i int) *Replica { return f.replicas[i] }
+
+// Addrs lists every replica's address in replica order.
+func (f *Fleet) Addrs() []string {
+	out := make([]string, len(f.replicas))
+	for i, r := range f.replicas {
+		out[i] = r.Addr()
+	}
+	return out
+}
+
+// Stats snapshots every replica's cumulative counters in replica
+// order.
+func (f *Fleet) Stats() []ServerStats {
+	out := make([]ServerStats, len(f.replicas))
+	for i, r := range f.replicas {
+		out[i] = r.Stats()
+	}
+	return out
+}
+
+// Close stops every replica. The first error wins; all replicas are
+// closed regardless.
+func (f *Fleet) Close() error {
+	var first error
+	for _, r := range f.replicas {
+		if err := r.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

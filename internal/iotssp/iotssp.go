@@ -36,15 +36,43 @@
 // The Server runs a bounded accept loop (at most MaxConns live
 // connections) with one read pump and one write pump per connection. A
 // micro-batching dispatcher aggregates decoded requests across all
-// connections and flushes them into Bank.IdentifyBatch when the batch
-// reaches BatchSize or FlushInterval elapses, whichever is first — so
-// one busy gateway or many idle ones both see low latency, and the
-// service amortizes forest inference across the fleet. Verdicts are
-// cached in an LRU keyed by the canonical fingerprint hash
-// (fingerprint.Hash) and tagged with the bank's enrolment version;
-// duplicate in-flight fingerprints collapse to a single computation
-// (singleflight). Repeat setups of the same device model — the common
-// fleet pattern — cost one cache probe instead of a forest pass.
+// connections and flushes them into the bank's IdentifyBatch when the
+// batch reaches BatchSize or FlushInterval elapses, whichever is first
+// — so one busy gateway or many idle ones both see low latency, and
+// the service amortizes forest inference across the fleet. Served from
+// a core.ShardedBank, each flush scatters across the bank's shards
+// concurrently and gathers the merged verdicts. Duplicate in-flight
+// fingerprints collapse to a single computation (singleflight); repeat
+// setups of the same device model — the common fleet pattern — cost
+// one cache probe instead of a forest pass.
+//
+// # Shard-versioned verdict cache
+//
+// Verdicts are cached in an LRU keyed by the canonical fingerprint
+// hash (fingerprint.Hash). Each entry is tagged with the shard
+// versions it depends on — the shards owning the device-types whose
+// classifiers accepted the fingerprint, or every shard for an
+// unknown-type verdict, since any future enrolment could claim it.
+// Enrolling a new type bumps only the owning shard's version, so
+// exactly the dependent entries turn stale (counted as Invalidations)
+// while verdicts owned by other shards keep serving. With a
+// single-shard bank the vector degenerates to one element and the
+// cache behaves like a globally version-tagged one.
+//
+// # Replicated fleet topology
+//
+// One logical service can be served by several replicas — independent
+// Servers on distinct listeners, composed by Fleet. Replicas sharing
+// one Service share its bank and verdict cache (scale the serving
+// spine: more accept loops, dispatchers and write pumps over one
+// model); replicas with distinct Services form disjoint banks.
+// Replicas are independent failure domains: coordination lives
+// client-side in gateway.FleetPool, which consistent-hashes device
+// MACs across replicas, ejects backends after consecutive failures,
+// probes them back in with jittered backoff, and transparently fails
+// retryable requests over to a healthy replica. A stopped Replica
+// keeps its address so a revived one is found where the client's
+// health probes left it.
 package iotssp
 
 import (
@@ -119,11 +147,26 @@ func ParseLevel(s string) (enforce.IsolationLevel, error) {
 // DefaultCacheSize is the verdict cache capacity NewService selects.
 const DefaultCacheSize = 4096
 
+// Bank is the identification backend a Service serves from: the plain
+// single-shard core.Bank or the scatter/gather core.ShardedBank.
+// Implementations must be safe for concurrent use; Versions exposes the
+// per-shard enrolment version vector the verdict cache tags entries
+// with, and ShardOf maps an enrolled type to its owning shard so a
+// verdict's cache entry depends only on the shards that produced it.
+type Bank interface {
+	Identify(fp *fingerprint.Fingerprint) core.Result
+	IdentifyBatch(fps []*fingerprint.Fingerprint, workers int) []core.Result
+	Versions() []uint64
+	ShardOf(name string) (int, bool)
+}
+
 // Service identifies fingerprints and maps device-types to isolation
 // levels, caching verdicts by fingerprint hash. It is safe for
-// concurrent use.
+// concurrent use — including concurrent use from several Servers, the
+// replicated-fleet topology where multiple listeners share one bank
+// and one verdict cache.
 type Service struct {
-	bank *core.Bank
+	bank Bank
 	db   *vulndb.DB
 	// endpoints maps device-type to the permitted cloud endpoints used
 	// for the Restricted level.
@@ -135,14 +178,14 @@ type Service struct {
 // NewService assembles a service from a trained bank, a vulnerability
 // repository and the per-type permitted endpoints, with the default
 // verdict cache.
-func NewService(bank *core.Bank, db *vulndb.DB, endpoints map[string][]string) *Service {
+func NewService(bank Bank, db *vulndb.DB, endpoints map[string][]string) *Service {
 	return NewServiceCache(bank, db, endpoints, DefaultCacheSize)
 }
 
 // NewServiceCache is NewService with an explicit verdict cache capacity.
 // cacheSize <= 0 disables caching (every request computes a verdict) —
 // the per-request baseline the load experiments compare against.
-func NewServiceCache(bank *core.Bank, db *vulndb.DB, endpoints map[string][]string, cacheSize int) *Service {
+func NewServiceCache(bank Bank, db *vulndb.DB, endpoints map[string][]string, cacheSize int) *Service {
 	eps := make(map[string][]string, len(endpoints))
 	for t, list := range endpoints {
 		eps[t] = append([]string(nil), list...)
@@ -150,9 +193,34 @@ func NewServiceCache(bank *core.Bank, db *vulndb.DB, endpoints map[string][]stri
 	return &Service{bank: bank, db: db, endpoints: eps, cache: newVerdictCache(cacheSize)}
 }
 
+// Bank returns the identification backend the service serves from.
+func (s *Service) Bank() Bank { return s.bank }
+
 // CacheStats snapshots the verdict cache counters (zero when caching is
 // disabled).
 func (s *Service) CacheStats() CacheStats { return s.cache.stats() }
+
+// depsFor derives the cache dependencies of a verdict computed against
+// the given version snapshot: the shards owning the accepted types, or
+// every shard for an unknown verdict (any future enrolment could claim
+// it).
+func (s *Service) depsFor(res core.Result, snapshot []uint64) verdictDeps {
+	if !res.Known || len(res.Accepted) == 0 {
+		return depsAll(snapshot)
+	}
+	shards := make([]int, 0, len(res.Accepted))
+	for _, name := range res.Accepted {
+		if sh, ok := s.bank.ShardOf(name); ok {
+			shards = append(shards, sh)
+		}
+	}
+	if len(shards) < len(res.Accepted) {
+		// An accepted type has no owner on record (it raced an Enroll
+		// rollback); be conservative.
+		return depsAll(snapshot)
+	}
+	return depsOn(snapshot, shards)
+}
 
 // Handle processes one request.
 func (s *Service) Handle(req Request) Response {
@@ -172,13 +240,19 @@ func (s *Service) Identify(mac string, fp *fingerprint.Fingerprint) Response {
 	return resp
 }
 
-// verdict computes or recalls the MAC-less verdict for fp.
+// verdict computes or recalls the MAC-less verdict for fp. The
+// version-vector snapshot is taken per request — a few atomic loads
+// and one small allocation, noise next to the JSON encode every
+// response pays, and the vector must outlive the call anyway when a
+// miss registers it on the singleflight flight.
 func (s *Service) verdict(fp *fingerprint.Fingerprint) Response {
 	if s.cache == nil {
 		return s.assemble(s.bank.Identify(fp))
 	}
-	resp, _ := s.cache.do(fp.Hash(), s.bank.Version(), func() (Response, bool) {
-		return s.assemble(s.bank.Identify(fp)), true
+	snapshot := s.bank.Versions()
+	resp, _ := s.cache.do(fp.Hash(), snapshot, func() (Response, verdictDeps, bool) {
+		res := s.bank.Identify(fp)
+		return s.assemble(res), s.depsFor(res, snapshot), true
 	})
 	return resp
 }
@@ -257,7 +331,7 @@ func (s *Service) IdentifyBatch(macs []string, fps []*fingerprint.Fingerprint, w
 		return out
 	}
 
-	version := s.bank.Version()
+	snapshot := s.bank.Versions()
 	// lead is one distinct fingerprint this batch must compute, and
 	// every batch index waiting on it.
 	type lead struct {
@@ -282,7 +356,7 @@ func (s *Service) IdentifyBatch(macs []string, fps []*fingerprint.Fingerprint, w
 			s.cache.noteShared()
 			continue
 		}
-		resp, state, f := s.cache.begin(key, version)
+		resp, state, f := s.cache.begin(key, snapshot)
 		switch state {
 		case beginHit:
 			out[i] = resp
@@ -303,7 +377,7 @@ func (s *Service) IdentifyBatch(macs []string, fps []*fingerprint.Fingerprint, w
 		results := s.bank.IdentifyBatch(batch, workers)
 		for j, l := range leads {
 			resp := s.assemble(results[j])
-			s.cache.finish(l.key, l.f, resp, true)
+			s.cache.finish(l.key, l.f, resp, s.depsFor(results[j], snapshot), true)
 			for _, i := range l.idxs {
 				out[i] = resp
 			}

@@ -65,29 +65,51 @@ func (c ServerConfig) withDefaults() ServerConfig {
 	return c
 }
 
-// ServerStats is a snapshot of the server's load counters.
+// ServerStats is a snapshot of the server's load counters. The JSON
+// field names feed the experiments' single metrics blob.
 type ServerStats struct {
 	// ConnsAccepted and ConnsRefused count connections admitted and
 	// turned away at the MaxConns bound.
-	ConnsAccepted uint64
-	ConnsRefused  uint64
+	ConnsAccepted uint64 `json:"conns_accepted"`
+	ConnsRefused  uint64 `json:"conns_refused"`
 	// Requests counts well-formed requests enqueued to the dispatcher.
-	Requests uint64
+	Requests uint64 `json:"requests"`
 	// Malformed counts request lines rejected at parse/decode time.
-	Malformed uint64
+	Malformed uint64 `json:"malformed"`
 	// Overloaded counts requests refused with a retryable error because
 	// the dispatcher queue was full.
-	Overloaded uint64
+	Overloaded uint64 `json:"overloaded"`
 	// SlowClientDrops counts connections closed because their response
 	// queue filled.
-	SlowClientDrops uint64
+	SlowClientDrops uint64 `json:"slow_client_drops"`
 	// Batches and BatchedRequests describe the dispatcher's flushes;
 	// MaxBatch is the largest single flush.
-	Batches         uint64
-	BatchedRequests uint64
-	MaxBatch        uint64
+	Batches         uint64 `json:"batches"`
+	BatchedRequests uint64 `json:"batched_requests"`
+	MaxBatch        uint64 `json:"max_batch"`
 	// Cache snapshots the service's verdict cache.
-	Cache CacheStats
+	Cache CacheStats `json:"cache"`
+}
+
+// add accumulates another snapshot into s (used by Fleet to keep
+// cumulative per-replica stats across restarts). MaxBatch takes the
+// max; everything else sums.
+func (s ServerStats) add(o ServerStats) ServerStats {
+	s.ConnsAccepted += o.ConnsAccepted
+	s.ConnsRefused += o.ConnsRefused
+	s.Requests += o.Requests
+	s.Malformed += o.Malformed
+	s.Overloaded += o.Overloaded
+	s.SlowClientDrops += o.SlowClientDrops
+	s.Batches += o.Batches
+	s.BatchedRequests += o.BatchedRequests
+	if o.MaxBatch > s.MaxBatch {
+		s.MaxBatch = o.MaxBatch
+	}
+	// Cache counters come from the shared service cache: keep the newer
+	// snapshot rather than summing a shared counter twice.
+	s.Cache = o.Cache
+	return s
 }
 
 // MeanBatch is the average flush size.
@@ -187,41 +209,54 @@ func (s *Server) Serve(lis net.Listener) error {
 			}
 			return fmt.Errorf("iotssp: accept: %w", err)
 		}
-		s.mu.Lock()
-		if s.closed {
-			s.mu.Unlock()
-			conn.Close()
-			return nil
-		}
-		if len(s.conns) >= s.cfg.MaxConns {
-			s.mu.Unlock()
-			s.connsRefused.Add(1)
-			// Backpressure at the accept loop: tell the client to retry
-			// rather than holding a connection slot hostage.
-			refusal, _ := json.Marshal(Response{
-				Error:     fmt.Sprintf("server at connection capacity (%d)", s.cfg.MaxConns),
-				Retryable: true,
-			})
-			conn.SetWriteDeadline(time.Now().Add(time.Second))
-			conn.Write(append(refusal, '\n'))
-			conn.Close()
-			continue
-		}
-		s.conns[conn] = struct{}{}
-		s.mu.Unlock()
-		s.connsAccepted.Add(1)
-		s.wg.Add(1)
-		go func() {
-			defer s.wg.Done()
-			defer func() {
-				s.mu.Lock()
-				delete(s.conns, conn)
-				s.mu.Unlock()
-				conn.Close()
-			}()
-			s.handleConn(conn)
-		}()
+		s.ServeConn(conn)
 	}
+}
+
+// ServeConn serves one pre-accepted connection, applying the same
+// admission policy as Serve's accept loop: a closed server drops it, a
+// server at MaxConns answers with a retryable refusal, and an admitted
+// connection gets its read/write pumps. ServeConn returns immediately
+// (the pumps run asynchronously); the result reports whether the
+// connection was admitted. It exists for callers that own their accept
+// loop — a Replica keeps accepting on its listener across server
+// incarnations so a restarted backend keeps its address.
+func (s *Server) ServeConn(conn net.Conn) bool {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		conn.Close()
+		return false
+	}
+	if len(s.conns) >= s.cfg.MaxConns {
+		s.mu.Unlock()
+		s.connsRefused.Add(1)
+		// Backpressure at the accept loop: tell the client to retry
+		// rather than holding a connection slot hostage.
+		refusal, _ := json.Marshal(Response{
+			Error:     fmt.Sprintf("server at connection capacity (%d)", s.cfg.MaxConns),
+			Retryable: true,
+		})
+		conn.SetWriteDeadline(time.Now().Add(time.Second))
+		conn.Write(append(refusal, '\n'))
+		conn.Close()
+		return false
+	}
+	s.conns[conn] = struct{}{}
+	s.wg.Add(1)
+	s.mu.Unlock()
+	s.connsAccepted.Add(1)
+	go func() {
+		defer s.wg.Done()
+		defer func() {
+			s.mu.Lock()
+			delete(s.conns, conn)
+			s.mu.Unlock()
+			conn.Close()
+		}()
+		s.handleConn(conn)
+	}()
+	return true
 }
 
 // connWriter is a connection's write pump: responses are queued on ch
