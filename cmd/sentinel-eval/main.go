@@ -3,13 +3,16 @@
 // (confusion matrix of the ten low-accuracy types), Table IV (timing
 // breakdown), the design-choice ablations, and the serving-scale
 // experiments (service: multi-gateway load; fleet: sharded bank behind
-// replicated backends with a mid-run backend kill).
+// replicated backends with a mid-run backend kill; distributed: one
+// logical bank with a shard served across the wire, bit-equal to the
+// all-local baseline through a mid-run shard restart).
 //
 // Usage:
 //
 //	sentinel-eval -experiment fig5            # default paper protocol
 //	sentinel-eval -experiment all -repeats 2  # faster smoke run
 //	sentinel-eval -experiment fleet -shards 4 -backends 3
+//	sentinel-eval -experiment distributed -shards 2
 package main
 
 import (
@@ -31,7 +34,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("sentinel-eval", flag.ContinueOnError)
 	var (
-		experiment = fs.String("experiment", "all", "fig5|table3|table4|throughput|service|fleet|ablations|all")
+		experiment = fs.String("experiment", "all", "fig5|table3|table4|throughput|service|fleet|distributed|ablations|all")
 		runs       = fs.Int("runs", 20, "setup captures per device-type")
 		folds      = fs.Int("folds", 10, "cross-validation folds")
 		repeats    = fs.Int("repeats", 10, "cross-validation repetitions")
@@ -122,6 +125,20 @@ func run(args []string) error {
 		fmt.Print(res.RenderFleet())
 	}
 
+	if *experiment == "distributed" || *experiment == "all" {
+		fmt.Println()
+		res, err := experiments.RunDistributed(experiments.DistributedConfig{
+			Runs:   *runs / 2,
+			Trees:  *trees,
+			Shards: *shards,
+			Seed:   *seed,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.RenderDistributed())
+	}
+
 	if *experiment == "ablations" || *experiment == "all" {
 		abCfg := cfg
 		if abCfg.Repeats > 2 {
@@ -143,10 +160,10 @@ func run(args []string) error {
 	}
 
 	switch *experiment {
-	case "fig5", "table3", "table4", "throughput", "service", "fleet", "ablations", "all":
+	case "fig5", "table3", "table4", "throughput", "service", "fleet", "distributed", "ablations", "all":
 		return nil
 	default:
 		return fmt.Errorf("unknown experiment %q (want %s)", *experiment,
-			strings.Join([]string{"fig5", "table3", "table4", "throughput", "service", "fleet", "ablations", "all"}, "|"))
+			strings.Join([]string{"fig5", "table3", "table4", "throughput", "service", "fleet", "distributed", "ablations", "all"}, "|"))
 	}
 }

@@ -33,3 +33,15 @@ func TestEvalQuickFleet(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestRunDistributedExperimentSmoke drives the distributed-bank
+// experiment end to end through the CLI entry point at a reduced size.
+func TestRunDistributedExperimentSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("distributed experiment in -short mode")
+	}
+	err := run([]string{"-experiment", "distributed", "-runs", "10", "-trees", "25", "-shards", "2"})
+	if err != nil {
+		t.Fatalf("distributed experiment: %v", err)
+	}
+}

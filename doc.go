@@ -67,6 +67,28 @@
 // mid-run kill with zero lost verdicts, and cache-counter-verified
 // shard-scoped invalidation.
 //
+// The bank's shards themselves cross process boundaries. core.Shard
+// abstracts one partition of the logical bank
+// (ClassifyBatch/Discriminate/Enroll/Version/Types); the in-process
+// core.Bank satisfies it directly, and iotssp.RemoteShard satisfies it
+// over an extended IoTSSP wire protocol (protocol v2: hello negotiation
+// plus classify/discriminate/enroll/meta verbs carrying packed F
+// matrices) against a shard-serving iotssp.Server — so one logical
+// core.ShardedBank spans machines while scatter/gather, least-loaded
+// enroll routing and per-shard cache versioning work unchanged. Remote
+// version bumps ride every shard response into the client's cached
+// version vector, driving the same shard-scoped cache invalidation as
+// a local enrolment; reconnect/retry with jittered backoff carries
+// requests across a shard-server restart. Gateways stream too:
+// gateway.Pool.IdentifyBatch sends queued captures as one pipelined
+// burst per connection, and the gateway's identifier workers drain
+// their queue into such bursts. The distributed experiment
+// (experiments.RunDistributed, sentinel-eval -experiment distributed)
+// asserts the mixed local/remote bank is bit-equal to the all-local
+// baseline, survives a mid-run remote-shard restart with zero lost
+// verdicts, and invalidates exactly the dependent cache entries on a
+// remote enrolment.
+//
 // See README.md for a walkthrough, DESIGN.md for the system inventory
 // and experiment index, and EXPERIMENTS.md for paper-versus-measured
 // results.

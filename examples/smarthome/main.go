@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"sort"
 	"time"
 
 	"repro/internal/core"
@@ -98,7 +99,16 @@ func main() {
 	gw.Tick(n.Now().Add(time.Minute)) // setup phases end
 	gw.Drain()                        // wait for the async identifications
 
-	for _, ev := range gw.Events {
+	// Events arrive in verdict-apply order, which depends on network
+	// timing; print them in capture order so runs are comparable.
+	events := append([]gateway.Event(nil), gw.Events...)
+	sort.Slice(events, func(i, j int) bool {
+		if !events[i].At.Equal(events[j].At) {
+			return events[i].At.Before(events[j].At)
+		}
+		return events[i].MAC.String() < events[j].MAC.String()
+	})
+	for _, ev := range events {
 		status := "identified as " + ev.DeviceType
 		if !ev.Known {
 			status = "UNKNOWN device-type"

@@ -1,0 +1,42 @@
+// Package backoff provides the seeded jitter source shared by every
+// reconnect/retry path in the serving stack: the pooled gateway client,
+// the health-aware fleet router, and the remote-shard client all draw
+// their backoff jitter from a per-client Jitter rather than math/rand's
+// global stream, so a hot redial storm across many clients never
+// contends on the global rand lock — and tests can seed a client for
+// deterministic jitter.
+package backoff
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Jitter is a seeded, mutex-guarded random stream for backoff jitter.
+type Jitter struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewJitter creates a jitter source from a seed.
+func NewJitter(seed int64) *Jitter {
+	return &Jitter{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Scale jitters d to 50–150% of its value, so a fleet of clients backing
+// off from one incident never retries in lockstep.
+func (j *Jitter) Scale(d time.Duration) time.Duration {
+	j.mu.Lock()
+	f := 0.5 + j.rng.Float64()
+	j.mu.Unlock()
+	return time.Duration(float64(d) * f)
+}
+
+// Derive draws a seed for a child source (decorrelating per-backend
+// pools inside a fleet-routing client).
+func (j *Jitter) Derive() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.rng.Int63()
+}

@@ -1,0 +1,56 @@
+package backoff
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestScaleStaysWithinJitterBand(t *testing.T) {
+	j := NewJitter(1)
+	base := 100 * time.Millisecond
+	for i := 0; i < 1000; i++ {
+		d := j.Scale(base)
+		if d < base/2 || d > base*3/2 {
+			t.Fatalf("Scale(%v) = %v outside the 50-150%% band", base, d)
+		}
+	}
+}
+
+func TestSeededStreamsAreDeterministicAndDeriveDecorrelates(t *testing.T) {
+	a, b := NewJitter(7), NewJitter(7)
+	for i := 0; i < 100; i++ {
+		if a.Scale(time.Second) != b.Scale(time.Second) {
+			t.Fatal("same seed diverged")
+		}
+	}
+	if a.Derive() != b.Derive() {
+		t.Fatal("Derive not deterministic for one seed")
+	}
+	c := NewJitter(8)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Scale(time.Second) == c.Scale(time.Second) {
+			same++
+		}
+	}
+	if same > 5 {
+		t.Fatalf("different seeds coincided %d/100 times", same)
+	}
+}
+
+func TestJitterIsConcurrencySafe(t *testing.T) {
+	j := NewJitter(3)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < 500; k++ {
+				j.Scale(time.Millisecond)
+				j.Derive()
+			}
+		}()
+	}
+	wg.Wait()
+}

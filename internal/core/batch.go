@@ -96,9 +96,7 @@ func (b *Bank) classifyBatchLocked(fixed [][]float64, workers int) [][]string {
 // fixed-size fingerprints (as returned by Fingerprint.FixedN with the
 // bank's FixedPackets): accepted[i] lists the device-types whose
 // classifier accepts fixed[i], in this bank's enrolment order.
-// workers <= 0 selects GOMAXPROCS. ShardedBank scatters one flush
-// across its shards through this entry point, precomputing the fixed
-// fingerprints once rather than once per shard.
+// workers <= 0 selects GOMAXPROCS.
 func (b *Bank) ClassifyBatchFixed(fixed [][]float64, workers int) [][]string {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -106,4 +104,20 @@ func (b *Bank) ClassifyBatchFixed(fixed [][]float64, workers int) [][]string {
 	b.rw.RLock()
 	defer b.rw.RUnlock()
 	return b.classifyBatchLocked(fixed, workers)
+}
+
+// ClassifyBatch runs stage one only, over a batch of full fingerprints:
+// the bank computes each fingerprint's fixed-size form itself and
+// accepted[i] lists the device-types whose classifier accepts fps[i],
+// in this bank's enrolment order. workers <= 0 selects GOMAXPROCS.
+// This is the Shard entry point ShardedBank scatters a flush through —
+// taking full fingerprints (rather than precomputed F′ vectors) is what
+// lets a remote shard ship the batch over the packed wire codec and
+// derive F′ on its own side of the connection.
+func (b *Bank) ClassifyBatch(fps []*fingerprint.Fingerprint, workers int) [][]string {
+	fixed := make([][]float64, len(fps))
+	for i, f := range fps {
+		fixed[i] = f.FixedN(b.cfg.FixedPackets)
+	}
+	return b.ClassifyBatchFixed(fixed, workers)
 }

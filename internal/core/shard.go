@@ -10,6 +10,56 @@ import (
 	"repro/internal/fingerprint"
 )
 
+// Shard is one partition of a logical classifier bank: the view
+// ShardedBank scatters identifications through and routes enrolments
+// to. A plain in-process *Bank satisfies it directly; the iotssp
+// package's RemoteShard satisfies it over the shard wire protocol, so
+// one logical bank can mix in-process and cross-process shards without
+// the scatter/gather, enroll routing or cache versioning noticing.
+//
+// The contract mirrors Bank's concurrency guarantees: every method must
+// be safe for concurrent use, ClassifyBatch returns each fingerprint's
+// accepted types in the shard's own enrolment order, Discriminate's
+// reference sampling must be a pure function of (shard, fingerprint)
+// so results never depend on call interleaving, Version moves only
+// forward and bumps exactly when an enrolment lands, and Types lists
+// the shard's device-types in its enrolment order. Remote
+// implementations are expected to absorb transient transport failures
+// internally (reconnect + retry); a shard that ultimately cannot answer
+// reports empty accept sets, which fails open to "unknown device"
+// rather than wedging the bank.
+type Shard interface {
+	// ClassifyBatch runs stage one over full fingerprints: accepted[i]
+	// lists the shard's device-types whose classifier accepts fps[i], in
+	// shard enrolment order. workers <= 0 selects GOMAXPROCS.
+	ClassifyBatch(fps []*fingerprint.Fingerprint, workers int) [][]string
+	// Discriminate runs stage two among candidate types this shard owns,
+	// returning the best match and every candidate's dissimilarity score.
+	Discriminate(f *fingerprint.Fingerprint, candidates []string) (string, map[string]float64)
+	// Enroll trains a classifier for a new device-type on this shard.
+	Enroll(name string, prints []*fingerprint.Fingerprint) error
+	// Version is the shard's enrolment version (grows by one per Enroll).
+	Version() uint64
+	// Types lists the enrolled device-types in shard enrolment order.
+	Types() []string
+}
+
+// distanceCounter is the optional Shard refinement the timing
+// experiments use; remote shards may not implement it (their edit
+// distances run out-of-process) and then count as zero.
+type distanceCounter interface {
+	DistanceComputations(candidates []string) int
+}
+
+// fixedClassifier is the optional Shard fast path for in-process
+// shards: they classify a precomputed fixed-size batch, shared across
+// every local shard of a flush, instead of re-deriving F′ per shard.
+// Implementations must use the same FixedPackets as the ShardedBank's
+// Config (local Banks built by NewShardedBank/TrainSharded do).
+type fixedClassifier interface {
+	ClassifyBatchFixed(fixed [][]float64, workers int) [][]string
+}
+
 // ShardedBank partitions the classifier bank across N independent
 // shards. Each shard is a complete Bank owning a disjoint subset of the
 // enrolled device-types — its own RWMutex, forest slice and
@@ -19,7 +69,9 @@ import (
 // classifiers make this sound: a classifier consults nothing outside
 // its own training snapshot, so stage one is a union of per-shard
 // accept sets and stage two a min-merge of per-shard edit-distance
-// scores.
+// scores. Shards are addressed through the Shard interface, so a shard
+// may equally be an in-process *Bank or an iotssp.RemoteShard speaking
+// the shard wire protocol to a bank hosted in another process.
 //
 // Two semantic differences from a single Bank, by design:
 //
@@ -37,7 +89,7 @@ import (
 // results are bit-identical to the wrapped Bank's.
 type ShardedBank struct {
 	cfg    Config
-	shards []*Bank
+	shards []Shard
 
 	// mu guards the global enrolment bookkeeping: order, pos, owner and
 	// reserved. Shard contents are guarded by each shard's own lock.
@@ -61,7 +113,7 @@ func NewShardedBank(cfg Config, n int) *ShardedBank {
 	cfg = cfg.withDefaults()
 	sb := &ShardedBank{
 		cfg:      cfg,
-		shards:   make([]*Bank, n),
+		shards:   make([]Shard, n),
 		pos:      make(map[string]int),
 		owner:    make(map[string]int),
 		reserved: make(map[string]struct{}),
@@ -71,6 +123,63 @@ func NewShardedBank(cfg Config, n int) *ShardedBank {
 	}
 	return sb
 }
+
+// NewShardedBankFrom assembles a logical bank over pre-built shards —
+// typically a mix of in-process *Bank shards and remote-shard clients
+// hosting the rest of the partition in other processes. The shards must
+// carry a disjoint type partition produced the way TrainSharded deals
+// types out (round-robin over the sorted type names), because the
+// global enrolment order is reconstructed by interleaving the shards'
+// own enrolment orders round-robin; with that partition the assembled
+// bank's verdicts are bit-equal to the all-local TrainSharded bank's.
+func NewShardedBankFrom(cfg Config, shards []Shard) (*ShardedBank, error) {
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("core: assembling sharded bank from zero shards")
+	}
+	cfg = cfg.withDefaults()
+	sb := &ShardedBank{
+		cfg:      cfg,
+		shards:   append([]Shard(nil), shards...),
+		pos:      make(map[string]int),
+		owner:    make(map[string]int),
+		reserved: make(map[string]struct{}),
+	}
+	perShard := make([][]string, len(shards))
+	for s, shard := range shards {
+		perShard[s] = shard.Types()
+		if len(perShard[s]) == 0 {
+			// A trained partition never has an empty shard; a remote shard
+			// reporting zero types is almost certainly unreachable, and
+			// assembling without its partition would silently fix a global
+			// order that excludes every type it owns.
+			return nil, fmt.Errorf("core: shard %d reports no enrolled types (unreachable or untrained?)", s)
+		}
+	}
+	for k := 0; ; k++ {
+		added := false
+		for s := range perShard {
+			if k >= len(perShard[s]) {
+				continue
+			}
+			added = true
+			name := perShard[s][k]
+			if _, dup := sb.owner[name]; dup {
+				return nil, fmt.Errorf("core: device-type %q enrolled on two shards", name)
+			}
+			sb.owner[name] = s
+			sb.pos[name] = len(sb.order)
+			sb.order = append(sb.order, name)
+		}
+		if !added {
+			break
+		}
+	}
+	return sb, nil
+}
+
+// Shard returns the s-th shard (for serving an in-process shard behind
+// a wire endpoint, or inspecting a partition).
+func (sb *ShardedBank) Shard(s int) Shard { return sb.shards[s] }
 
 // TrainSharded builds an n-shard bank from a training set: types are
 // assigned to shards least-loaded-first in sorted-name order (so the
@@ -200,6 +309,22 @@ func (sb *ShardedBank) Enroll(name string, prints []*fingerprint.Fingerprint) er
 	sb.mu.Unlock()
 
 	err := sb.shards[s].Enroll(name, prints)
+	if err != nil {
+		// Reconcile against the shard's authoritative state. A remote
+		// enrolment whose response was lost to a transport failure may
+		// have landed on the shard anyway — the client's retry then
+		// reports "already enrolled" even though no owner is on record,
+		// and without reconciliation the logical bank would diverge from
+		// its own shard forever (the type classifies but never
+		// discriminates). If the shard lists the type, the enrolment
+		// succeeded.
+		for _, have := range sb.shards[s].Types() {
+			if have == name {
+				err = nil
+				break
+			}
+		}
+	}
 
 	sb.mu.Lock()
 	delete(sb.reserved, name)
@@ -244,10 +369,23 @@ func (sb *ShardedBank) leastLoadedLocked() int {
 // global enrolment order, and a multi-accept is discriminated by
 // min-merging each owning shard's edit-distance scores.
 func (sb *ShardedBank) Identify(f *fingerprint.Fingerprint) Result {
-	fixed := f.FixedN(sb.cfg.FixedPackets)
+	// Scatter concurrently even for one fingerprint: with remote shards
+	// a sequential loop would pay one wire round-trip per shard in
+	// series.
+	one := []*fingerprint.Fingerprint{f}
 	perShard := make([][]string, len(sb.shards))
-	for s, shard := range sb.shards {
-		perShard[s] = shard.Classify(fixed)
+	if len(sb.shards) == 1 {
+		perShard[0] = sb.shards[0].ClassifyBatch(one, 1)[0]
+	} else {
+		var wg sync.WaitGroup
+		for s := range sb.shards {
+			wg.Add(1)
+			go func(s int) {
+				defer wg.Done()
+				perShard[s] = sb.shards[s].ClassifyBatch(one, 1)[0]
+			}(s)
+		}
+		wg.Wait()
 	}
 	accepted := sb.mergeAccepts(perShard)
 	switch len(accepted) {
@@ -257,15 +395,25 @@ func (sb *ShardedBank) Identify(f *fingerprint.Fingerprint) Result {
 		return Result{Known: true, Type: accepted[0], Accepted: accepted, Stage: StageClassification}
 	}
 	scores := make(map[string]float64, len(accepted))
-	for s, cands := range sb.groupByShard(accepted) {
+	groups := sb.groupByShard(accepted)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for s, cands := range groups {
 		if len(cands) == 0 {
 			continue
 		}
-		_, shardScores := sb.shards[s].Discriminate(f, cands)
-		for name, score := range shardScores {
-			scores[name] = score
-		}
+		wg.Add(1)
+		go func(s int, cands []string) {
+			defer wg.Done()
+			_, shardScores := sb.shards[s].Discriminate(f, cands)
+			mu.Lock()
+			for name, score := range shardScores {
+				scores[name] = score
+			}
+			mu.Unlock()
+		}(s, cands)
 	}
+	wg.Wait()
 	return sb.resolveScores(accepted, scores)
 }
 
@@ -287,18 +435,25 @@ func (sb *ShardedBank) IdentifyBatch(fps []*fingerprint.Fingerprint, workers int
 		workers = runtime.GOMAXPROCS(0)
 	}
 
-	// The fixed-size fingerprints are shard-independent: compute them
-	// once, not once per shard.
-	fixed := make([][]float64, len(fps))
-	for i, f := range fps {
-		fixed[i] = f.FixedN(sb.cfg.FixedPackets)
-	}
-
 	// Scatter stage one: every shard classifies the whole batch
 	// concurrently. The worker budget is split across the shards (each
 	// gets ~workers/shards for its internal sample fan-out, minimum 1)
 	// so the scatter's total goroutine count stays near the requested
-	// budget rather than multiplying by the shard count.
+	// budget rather than multiplying by the shard count. Local shards
+	// share one precomputed fixed-size batch (compute it once, not once
+	// per shard — they share the bank's FixedPackets); remote shards
+	// take the full fingerprints, which is what lets them ship the
+	// batch over the packed wire codec and derive F′ on their side.
+	var fixed [][]float64
+	for _, shard := range sb.shards {
+		if _, ok := shard.(fixedClassifier); ok {
+			fixed = make([][]float64, len(fps))
+			for i, f := range fps {
+				fixed[i] = f.FixedN(sb.cfg.FixedPackets)
+			}
+			break
+		}
+	}
 	perShardWorkers := workers/len(sb.shards) + 1
 	perShard := make([][][]string, len(sb.shards))
 	var wg sync.WaitGroup
@@ -306,7 +461,11 @@ func (sb *ShardedBank) IdentifyBatch(fps []*fingerprint.Fingerprint, workers int
 		wg.Add(1)
 		go func(s int) {
 			defer wg.Done()
-			perShard[s] = sb.shards[s].ClassifyBatchFixed(fixed, perShardWorkers)
+			if fc, ok := sb.shards[s].(fixedClassifier); ok {
+				perShard[s] = fc.ClassifyBatchFixed(fixed, perShardWorkers)
+			} else {
+				perShard[s] = sb.shards[s].ClassifyBatch(fps, perShardWorkers)
+			}
 		}(s)
 	}
 	wg.Wait()
@@ -452,11 +611,19 @@ func (sb *ShardedBank) resolveScores(candidates []string, scores map[string]floa
 }
 
 // DistanceComputations sums the per-shard edit-distance computation
-// counts for a discrimination among the given candidates.
+// counts for a discrimination among the given candidates. Shards that
+// do not expose the count (remote shards run their edit distances
+// out-of-process) contribute zero.
 func (sb *ShardedBank) DistanceComputations(candidates []string) int {
 	total := 0
 	for s, cands := range sb.groupByShard(candidates) {
-		total += sb.shards[s].DistanceComputations(cands)
+		if dc, ok := sb.shards[s].(distanceCounter); ok {
+			total += dc.DistanceComputations(cands)
+		}
 	}
 	return total
 }
+
+// The in-process Bank is the canonical Shard implementation.
+var _ Shard = (*Bank)(nil)
+var _ distanceCounter = (*Bank)(nil)

@@ -212,3 +212,131 @@ func TestShardedBatchMatchesSequential(t *testing.T) {
 		}
 	}
 }
+
+// TestShardedBankFromReassemblesPartition: a logical bank assembled
+// from a trained bank's own shards (through the Shard interface, the
+// way a mixed local/remote deployment assembles one) must reproduce the
+// original global enrolment order and bit-equal verdicts.
+func TestShardedBankFromReassemblesPartition(t *testing.T) {
+	train, probes := shardTrainingSet(t, 7, 8)
+	sb, err := TrainSharded(smallConfig(), 3, train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards := make([]Shard, sb.Shards())
+	for s := range shards {
+		shards[s] = sb.Shard(s)
+	}
+	re, err := NewShardedBankFrom(smallConfig(), shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := re.Types(), sb.Types(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("reassembled order %v, want %v", got, want)
+	}
+	for name := range train {
+		gs, gok := re.ShardOf(name)
+		ws, wok := sb.ShardOf(name)
+		if gs != ws || gok != wok {
+			t.Fatalf("ShardOf(%q) = (%d,%v), want (%d,%v)", name, gs, gok, ws, wok)
+		}
+	}
+	if got, want := re.IdentifyBatch(probes, 4), sb.IdentifyBatch(probes, 4); !reflect.DeepEqual(got, want) {
+		t.Fatalf("reassembled bank verdicts diverged")
+	}
+	if got, want := re.Versions(), sb.Versions(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("versions %v, want %v", got, want)
+	}
+
+	// Duplicate ownership is rejected.
+	if _, err := NewShardedBankFrom(smallConfig(), []Shard{sb.Shard(0), sb.Shard(0)}); err == nil {
+		t.Fatal("bank assembled from overlapping shards")
+	}
+	if _, err := NewShardedBankFrom(smallConfig(), nil); err == nil {
+		t.Fatal("bank assembled from zero shards")
+	}
+}
+
+// opaqueShard wraps a Bank exposing only the Shard interface — the
+// shape of a remote shard, which cannot count edit-distance
+// computations locally.
+type opaqueShard struct{ b *Bank }
+
+func (o opaqueShard) ClassifyBatch(fps []*fingerprint.Fingerprint, workers int) [][]string {
+	return o.b.ClassifyBatch(fps, workers)
+}
+func (o opaqueShard) Discriminate(f *fingerprint.Fingerprint, candidates []string) (string, map[string]float64) {
+	return o.b.Discriminate(f, candidates)
+}
+func (o opaqueShard) Enroll(name string, prints []*fingerprint.Fingerprint) error {
+	return o.b.Enroll(name, prints)
+}
+func (o opaqueShard) Version() uint64 { return o.b.Version() }
+func (o opaqueShard) Types() []string { return o.b.Types() }
+
+// TestShardedDistanceComputationsSkipsOpaqueShards: shards that cannot
+// report edit-distance counts (remote ones) contribute zero, the rest
+// keep counting.
+func TestShardedDistanceComputationsSkipsOpaqueShards(t *testing.T) {
+	train, _ := shardTrainingSet(t, 4, 8)
+	sb, err := TrainSharded(smallConfig(), 2, train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := sb.Types()
+	full := sb.DistanceComputations(all)
+	if full == 0 {
+		t.Fatal("local sharded bank counts no distance computations")
+	}
+	if got, want := len(sb.ShardTypes(0))+len(sb.ShardTypes(1)), len(all); got != want {
+		t.Fatalf("shard type lists cover %d types, want %d", got, want)
+	}
+
+	mixed, err := NewShardedBankFrom(smallConfig(), []Shard{sb.Shard(0), opaqueShard{sb.Shard(1).(*Bank)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := mixed.DistanceComputations(all)
+	want := sb.Shard(0).(*Bank).DistanceComputations(mixed.ShardTypes(0))
+	if got != want {
+		t.Fatalf("mixed DistanceComputations = %d, want the local shard's %d (opaque shard contributes zero)", got, want)
+	}
+}
+
+// TestShardedEnrollReconcilesLostAck: when the shard already holds the
+// type (the remote case of an enrolment whose ack was lost in a
+// transport failure and whose retry reports "already enrolled"),
+// ShardedBank.Enroll must adopt the shard's authoritative state instead
+// of leaving an owned-by-nobody type that classifies but never
+// discriminates.
+func TestShardedEnrollReconcilesLostAck(t *testing.T) {
+	train, _ := shardTrainingSet(t, 4, 8)
+	sb, err := TrainSharded(smallConfig(), 2, train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	extra, _ := shardTrainingSet(t, 5, 8)
+	name := "type-04"
+	prints := extra[name]
+
+	// The enrolment "landed" on the least-loaded shard behind the
+	// logical bank's back — exactly what a lost enroll ack looks like.
+	target := 4 % sb.Shards() // least-loaded routing for the 5th type
+	if err := sb.Shard(target).(*Bank).Enroll(name, prints); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := sb.Enroll(name, prints); err != nil {
+		t.Fatalf("Enroll after lost ack = %v, want reconciliation with the shard", err)
+	}
+	if s, ok := sb.ShardOf(name); !ok || s != target {
+		t.Fatalf("ShardOf(%q) = (%d, %v), want (%d, true)", name, s, ok, target)
+	}
+	if got := sb.Types(); got[len(got)-1] != name {
+		t.Fatalf("global order %v does not end with reconciled %q", got, name)
+	}
+	// A second logical enrolment is still a duplicate.
+	if err := sb.Enroll(name, prints); err == nil {
+		t.Fatal("duplicate enrolment accepted after reconciliation")
+	}
+}

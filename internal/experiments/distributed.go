@@ -1,0 +1,474 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/devices"
+	"repro/internal/fingerprint"
+	"repro/internal/gateway"
+	"repro/internal/iotssp"
+	"repro/internal/ml"
+	"repro/internal/vulndb"
+)
+
+// DistributedConfig parameterizes the distributed classifier-bank
+// experiment: one logical ShardedBank whose shards are split between
+// the service process and a shard server reached over the IoTSSP wire
+// protocol, validated against an all-local twin.
+type DistributedConfig struct {
+	// Types is the number of enrolled device-types (0 means 9). It must
+	// stay below the full catalog: the next catalog type is the canary
+	// enrolment for the remote-invalidation check.
+	Types int
+	// Runs is the number of training fingerprints per type (0 means 8).
+	Runs int
+	// Trees is the per-type forest size (0 means 100).
+	Trees int
+	// ProbeModels is the number of distinct probe fingerprints per type
+	// the workload draws from (0 means 2).
+	ProbeModels int
+	// Requests is the total identification requests replayed per phase
+	// (0 means 384).
+	Requests int
+	// Gateways is the number of concurrent gateway clients (0 means 2),
+	// InFlight each gateway's concurrent requests (0 means 8).
+	Gateways int
+	InFlight int
+	// Shards is the logical bank's shard count (0 means 2). One shard —
+	// the one the least-loaded router will hand the canary enrolment,
+	// index Types mod Shards — is served remotely; the rest stay
+	// in-process.
+	Shards int
+	// BatchSize, FlushInterval and Workers tune the front server's
+	// dispatcher as in ServiceConfig. CacheSize sizes the verdict cache
+	// of the invalidation phase (0 selects the default); the two timed
+	// phases always run uncached so every request exercises the bank —
+	// and therefore the wire — rather than the front cache.
+	BatchSize     int
+	FlushInterval time.Duration
+	CacheSize     int
+	Workers       int
+	// NoKill disables the mid-run remote-shard restart drill; NoRestart
+	// leaves the killed shard down (which also skips the enrolment
+	// phase — the canary's shard would be unreachable).
+	NoKill    bool
+	NoRestart bool
+	// Seed drives dataset generation, training and workload sampling.
+	Seed int64
+}
+
+func (c DistributedConfig) withDefaults() (DistributedConfig, error) {
+	if c.Types == 0 {
+		c.Types = 9
+	}
+	if c.Types < 2 || c.Types >= len(devices.Names()) {
+		return c, fmt.Errorf("experiments: distributed Types must be in [2, %d) to leave a canary type", len(devices.Names()))
+	}
+	if c.Runs == 0 {
+		c.Runs = 8
+	}
+	if c.Trees == 0 {
+		c.Trees = 100
+	}
+	if c.ProbeModels == 0 {
+		c.ProbeModels = 2
+	}
+	if c.Requests == 0 {
+		c.Requests = 384
+	}
+	if c.Gateways == 0 {
+		c.Gateways = 2
+	}
+	if c.InFlight == 0 {
+		c.InFlight = 8
+	}
+	if c.Shards == 0 {
+		c.Shards = 2
+	}
+	if c.Shards < 1 || c.Shards > c.Types {
+		return c, fmt.Errorf("experiments: distributed Shards must be in [1, Types]")
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 16
+	}
+	if c.FlushInterval == 0 {
+		c.FlushInterval = 500 * time.Microsecond
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = iotssp.DefaultCacheSize
+	}
+	return c, nil
+}
+
+// DistributedResult is the outcome of the distributed-bank experiment.
+type DistributedResult struct {
+	EnrolledTypes int
+	Shards        int
+	// RemoteShard is the shard index served across the wire.
+	RemoteShard int
+	Requests    int
+	Gateways    int
+
+	// BaselinePerSec is the all-local sharded bank; DistributedPerSec
+	// the same workload with one shard behind the wire (including the
+	// mid-run shard restart). Overhead is baseline/distributed — how
+	// much the wire hop costs on one machine (on real fleets the remote
+	// shard brings its own cores).
+	BaselinePerSec    float64
+	DistributedPerSec float64
+	Overhead          float64
+
+	// Mismatches counts verdicts that differed from the all-local
+	// baseline (the bit-equality assertion fails unless zero). Lost
+	// counts requests that returned no verdict.
+	Mismatches int
+	Lost       int
+
+	// ShardKilled reports whether the remote shard was stopped mid-run;
+	// Restarted whether it came back.
+	ShardKilled bool
+	Restarted   bool
+
+	// P50/P99 are the distributed phase's request latencies.
+	P50, P99 time.Duration
+
+	// Remote-enrolment invalidation check: enrolling the canary through
+	// the logical bank must route it to the remote shard (CanaryShard ==
+	// RemoteShard), and its version bump — observed over the wire — must
+	// invalidate exactly the dependent verdicts.
+	CanaryType        string
+	CanaryShard       int
+	DependentProbes   int
+	IndependentProbes int
+
+	// Metrics is the run's single JSON stats snapshot.
+	Metrics *MetricsSnapshot
+}
+
+// buildDistributedWorkload generates the dataset, training partition
+// and replay workload (the fleet experiment's shapes, reused).
+func buildDistributedWorkload(cfg DistributedConfig) (map[string][]*fingerprint.Fingerprint, *serviceWorkload, string, []*fingerprint.Fingerprint, error) {
+	env := devices.DefaultEnv()
+	ds, err := devices.GenerateDataset(env, cfg.Seed, cfg.Runs+cfg.ProbeModels)
+	if err != nil {
+		return nil, nil, "", nil, err
+	}
+	names := devices.Names()[:cfg.Types]
+	canary := devices.Names()[cfg.Types]
+	train := make(map[string][]*fingerprint.Fingerprint, len(names))
+	var probes []*fingerprint.Fingerprint
+	for _, name := range names {
+		prints := ds[name]
+		train[name] = prints[:cfg.Runs]
+		probes = append(probes, prints[cfg.Runs:]...)
+	}
+	w := &serviceWorkload{probes: probes}
+	w.model = make([]int, cfg.Requests)
+	w.macs = make([]string, cfg.Requests)
+	state := uint64(cfg.Seed)*6364136223846793005 + 1442695040888963407
+	for i := range w.model {
+		state = state*6364136223846793005 + 1442695040888963407
+		w.model[i] = int(state>>33) % len(probes)
+		w.macs[i] = fmt.Sprintf("02:f5:%02x:%02x:%02x:%02x", (i>>24)&0xff, (i>>16)&0xff, (i>>8)&0xff, i&0xff)
+	}
+	return train, w, canary, ds[canary][:cfg.Runs], nil
+}
+
+// runDistributedPhase replays the workload against one verdict server,
+// recording every request's verdict in request order, and optionally
+// running the shard kill drill a third of the way in.
+func runDistributedPhase(addr string, w *serviceWorkload, cfg DistributedConfig, drill func()) (time.Duration, []time.Duration, []iotssp.Response, []gateway.PoolStats, int) {
+	pools := make([]*gateway.Pool, cfg.Gateways)
+	for g := range pools {
+		pools[g] = gateway.NewPool(addr, gateway.PoolConfig{
+			Conns:        2,
+			Timeout:      30 * time.Second,
+			MaxRetries:   3,
+			RetryBackoff: 2 * time.Millisecond,
+			Seed:         cfg.Seed + int64(g),
+		})
+	}
+	defer func() {
+		for _, p := range pools {
+			p.Close()
+		}
+	}()
+
+	var cursor atomic.Int64
+	var lost atomic.Int64
+	verdicts := make([]iotssp.Response, cfg.Requests)
+	drillDone := make(chan struct{})
+	if drill != nil {
+		go func() {
+			defer close(drillDone)
+			killAt := int64(cfg.Requests / 3)
+			for cursor.Load() < killAt {
+				time.Sleep(200 * time.Microsecond)
+			}
+			drill()
+		}()
+	} else {
+		close(drillDone)
+	}
+
+	lats := make([][]time.Duration, cfg.Gateways*cfg.InFlight)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for g := 0; g < cfg.Gateways; g++ {
+		for k := 0; k < cfg.InFlight; k++ {
+			wg.Add(1)
+			go func(g, slot int) {
+				defer wg.Done()
+				pool := pools[g]
+				for {
+					i := int(cursor.Add(1)) - 1
+					if i >= len(w.model) {
+						return
+					}
+					t0 := time.Now()
+					resp, err := pool.Identify(context.Background(), w.macs[i], w.probes[w.model[i]])
+					if err != nil || resp.MAC != w.macs[i] {
+						lost.Add(1)
+						continue
+					}
+					verdicts[i] = resp
+					lats[slot] = append(lats[slot], time.Since(t0))
+				}
+			}(g, g*cfg.InFlight+k)
+		}
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	<-drillDone
+
+	var all []time.Duration
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	stats := make([]gateway.PoolStats, len(pools))
+	for g, p := range pools {
+		stats[g] = p.Stats()
+	}
+	return elapsed, all, verdicts, stats, int(lost.Load())
+}
+
+// RunDistributed validates and measures the cross-process classifier
+// bank:
+//
+//   - Baseline: the all-local ShardedBank behind one verdict server —
+//     the PR 3 configuration.
+//   - Distributed: an identically trained partition where one shard
+//     (index Types mod Shards) lives behind a shard-serving IoTSSP
+//     replica and is reached through a RemoteShard client. The same
+//     workload must produce bit-equal verdicts. A third of the way in,
+//     the shard server is killed and revived; the remote shard's
+//     reconnect/retry machinery must carry every request across the
+//     restart — zero lost verdicts, still bit-equal.
+//   - Remote invalidation: a fresh verdict cache is warmed over the
+//     mixed bank, the canary type is enrolled through the logical bank
+//     (least-loaded routing hands it to the remote shard), and the
+//     version bump observed over the wire must invalidate exactly the
+//     dependent cache entries, counted by the Invalidations counter.
+//
+// Both timed phases run with the verdict cache disabled so every
+// request crosses the bank (and the wire), not the front cache.
+func RunDistributed(cfg DistributedConfig) (*DistributedResult, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	train, w, canary, canaryPrints, err := buildDistributedWorkload(cfg)
+	if err != nil {
+		return nil, err
+	}
+	coreCfg := core.Config{
+		Forest: ml.ForestConfig{Trees: cfg.Trees},
+		Seed:   cfg.Seed,
+	}
+
+	// Two identically trained partitions: one stays whole (the
+	// baseline), the other donates a shard to the wire. Training is
+	// deterministic in (config, data), so their verdicts must agree
+	// bit-for-bit.
+	localBank, err := core.TrainSharded(coreCfg, cfg.Shards, train)
+	if err != nil {
+		return nil, err
+	}
+	servedBank, err := core.TrainSharded(coreCfg, cfg.Shards, train)
+	if err != nil {
+		return nil, err
+	}
+
+	remoteIdx := cfg.Types % cfg.Shards
+	res := &DistributedResult{
+		EnrolledTypes: cfg.Types,
+		Shards:        cfg.Shards,
+		RemoteShard:   remoteIdx,
+		Requests:      cfg.Requests,
+		Gateways:      cfg.Gateways,
+		CanaryType:    canary,
+		CanaryShard:   -1,
+	}
+	scfg := iotssp.ServerConfig{
+		BatchSize:     cfg.BatchSize,
+		FlushInterval: cfg.FlushInterval,
+		Workers:       cfg.Workers,
+	}
+
+	// Phase 1 — all-local baseline.
+	baseSvc := iotssp.NewServiceCache(localBank, vulndb.Seeded(), nil, 0)
+	baseRep := iotssp.NewReplica(baseSvc, scfg)
+	if err := baseRep.Start(); err != nil {
+		return nil, err
+	}
+	baseElapsed, _, baseVerdicts, _, baseLost := runDistributedPhase(baseRep.Addr(), w, cfg, nil)
+	baseRep.Close()
+	if baseLost > 0 {
+		return nil, fmt.Errorf("baseline phase lost %d verdicts with no failure injected", baseLost)
+	}
+	res.BaselinePerSec = float64(cfg.Requests) / baseElapsed.Seconds()
+
+	// Phase 2 — the mixed local/remote bank, with the shard restart
+	// drill.
+	shardRep := iotssp.NewShardReplica(servedBank.Shard(remoteIdx).(*core.Bank), scfg)
+	if err := shardRep.Start(); err != nil {
+		return nil, err
+	}
+	defer shardRep.Close()
+	remote := iotssp.NewRemoteShard(shardRep.Addr(), iotssp.RemoteShardConfig{
+		RetryBackoff: 2 * time.Millisecond,
+		MaxBackoff:   50 * time.Millisecond,
+		MaxRetries:   40,
+		Seed:         cfg.Seed + 101,
+	})
+	defer remote.Close()
+	shards := make([]core.Shard, cfg.Shards)
+	for s := range shards {
+		if s == remoteIdx {
+			shards[s] = remote
+		} else {
+			shards[s] = servedBank.Shard(s)
+		}
+	}
+	mixed, err := core.NewShardedBankFrom(coreCfg, shards)
+	if err != nil {
+		return nil, err
+	}
+	if got, want := mixed.Types(), localBank.Types(); !reflect.DeepEqual(got, want) {
+		return nil, fmt.Errorf("mixed bank reassembled order %v, want %v", got, want)
+	}
+
+	distSvc := iotssp.NewServiceCache(mixed, vulndb.Seeded(), nil, 0)
+	distRep := iotssp.NewReplica(distSvc, scfg)
+	if err := distRep.Start(); err != nil {
+		return nil, err
+	}
+	defer distRep.Close()
+
+	var drill func()
+	if !cfg.NoKill {
+		drill = func() {
+			res.ShardKilled = true
+			shardRep.Stop()
+			if cfg.NoRestart {
+				return
+			}
+			time.Sleep(100 * time.Millisecond)
+			if err := shardRep.Start(); err == nil {
+				res.Restarted = true
+			}
+		}
+	}
+	elapsed, lats, verdicts, poolStats, lost := runDistributedPhase(distRep.Addr(), w, cfg, drill)
+	res.DistributedPerSec = float64(cfg.Requests) / elapsed.Seconds()
+	if res.DistributedPerSec > 0 {
+		res.Overhead = res.BaselinePerSec / res.DistributedPerSec
+	}
+	res.Lost = lost
+
+	for i := range verdicts {
+		a, b := baseVerdicts[i], verdicts[i]
+		a.Line, b.Line = 0, 0
+		if !reflect.DeepEqual(a, b) {
+			res.Mismatches++
+		}
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	if len(lats) > 0 {
+		res.P50 = lats[len(lats)/2]
+		res.P99 = lats[len(lats)*99/100]
+	}
+	res.Metrics = &MetricsSnapshot{
+		Experiment:   "distributed",
+		Servers:      []iotssp.ServerStats{distRep.Stats(), shardRep.Stats()},
+		GatewayPools: poolStats,
+		RemoteShards: []iotssp.RemoteShardStats{remote.Stats()},
+	}
+
+	if lost > 0 {
+		return res, fmt.Errorf("distributed bank lost %d of %d verdicts across the shard restart (want zero: the remote shard must retry through it)", lost, cfg.Requests)
+	}
+	if res.Mismatches > 0 {
+		return res, fmt.Errorf("%d of %d distributed verdicts differ from the all-local baseline (want bit-equal)", res.Mismatches, cfg.Requests)
+	}
+	if res.ShardKilled && !cfg.NoRestart && !res.Restarted {
+		return res, fmt.Errorf("killed shard server failed to restart")
+	}
+
+	// Phase 3 — remote enrolment drives shard-scoped cache
+	// invalidation. Skipped when the drill left the remote shard down.
+	if res.ShardKilled && cfg.NoRestart {
+		return res, nil
+	}
+	invSvc := iotssp.NewServiceCache(mixed, vulndb.Seeded(), nil, cfg.CacheSize)
+	shard, dependent, independent, err := checkShardScopedInvalidation(invSvc, mixed, w, canary, canaryPrints)
+	res.CanaryShard = shard
+	res.DependentProbes = dependent
+	res.IndependentProbes = independent
+	if err != nil {
+		return res, err
+	}
+	if shard != remoteIdx {
+		return res, fmt.Errorf("canary %q enrolled into shard %d, want the remote shard %d (least-loaded routing)", canary, shard, remoteIdx)
+	}
+	if got := servedBank.Shard(remoteIdx).(*core.Bank).Version(); got != mixed.Versions()[remoteIdx] {
+		return res, fmt.Errorf("remote version cache (%d) diverged from the served shard (%d)", mixed.Versions()[remoteIdx], got)
+	}
+	return res, nil
+}
+
+// RenderDistributed formats the distributed-bank experiment for the
+// terminal.
+func (r *DistributedResult) RenderDistributed() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Distributed classifier bank — %d types over %d shards (shard %d remote), %d requests, %d gateways\n",
+		r.EnrolledTypes, r.Shards, r.RemoteShard, r.Requests, r.Gateways)
+	fmt.Fprintf(&sb, "%-36s %12s\n", "mode", "requests/s")
+	fmt.Fprintf(&sb, "%-36s %12.1f\n", "all-local sharded bank", r.BaselinePerSec)
+	fmt.Fprintf(&sb, "%-36s %12.1f  (%.2fx wire overhead)\n", "one shard across the wire", r.DistributedPerSec, r.Overhead)
+	fmt.Fprintf(&sb, "verdicts: %d mismatches vs baseline (bit-equal), %d lost\n", r.Mismatches, r.Lost)
+	if r.ShardKilled {
+		revived := "left down"
+		if r.Restarted {
+			revived = "revived; retries carried every request across the outage"
+		}
+		fmt.Fprintf(&sb, "failure drill: remote shard killed mid-run (%s)\n", revived)
+	}
+	fmt.Fprintf(&sb, "latency p50 %s  p99 %s\n", r.P50, r.P99)
+	if r.CanaryShard >= 0 {
+		fmt.Fprintf(&sb, "remote invalidation: enrolling %q landed on remote shard %d and invalidated %d dependent verdicts, kept %d\n",
+			r.CanaryType, r.CanaryShard, r.DependentProbes, r.IndependentProbes)
+	}
+	if r.Metrics != nil {
+		fmt.Fprintf(&sb, "metrics: %s\n", r.Metrics.JSON())
+	}
+	return sb.String()
+}

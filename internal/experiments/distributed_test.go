@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunDistributedTinyConfig exercises the whole distributed-bank
+// drill at minimal cost: bit-equal verdicts against the all-local
+// baseline, the mid-run remote-shard restart with zero lost verdicts,
+// and the remote-enrolment invalidation counters (RunDistributed itself
+// errors if any of those properties fail).
+func TestRunDistributedTinyConfig(t *testing.T) {
+	res, err := RunDistributed(DistributedConfig{
+		Types:       5,
+		Runs:        5,
+		Trees:       15,
+		ProbeModels: 1,
+		Requests:    96,
+		Gateways:    2,
+		InFlight:    4,
+		Shards:      2,
+		BatchSize:   8,
+		Seed:        13,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mismatches != 0 || res.Lost != 0 {
+		t.Fatalf("mismatches=%d lost=%d", res.Mismatches, res.Lost)
+	}
+	if !res.ShardKilled || !res.Restarted {
+		t.Errorf("shard restart drill did not run: killed=%v restarted=%v", res.ShardKilled, res.Restarted)
+	}
+	if res.RemoteShard != 5%2 {
+		t.Errorf("remote shard index = %d, want %d", res.RemoteShard, 5%2)
+	}
+	if res.CanaryShard != res.RemoteShard {
+		t.Errorf("canary enrolled into shard %d, want the remote shard %d", res.CanaryShard, res.RemoteShard)
+	}
+	covered := res.DependentProbes + res.IndependentProbes
+	if covered == 0 || covered > res.EnrolledTypes {
+		t.Errorf("invalidation check covered %d+%d distinct probes, want (0, %d]",
+			res.DependentProbes, res.IndependentProbes, res.EnrolledTypes)
+	}
+	if res.BaselinePerSec <= 0 || res.DistributedPerSec <= 0 {
+		t.Fatalf("degenerate rates: %+v", res)
+	}
+	if res.Metrics == nil || len(res.Metrics.Servers) != 2 || len(res.Metrics.RemoteShards) != 1 {
+		t.Fatalf("metrics snapshot incomplete: %+v", res.Metrics)
+	}
+	if rs := res.Metrics.RemoteShards[0]; rs.Requests == 0 || rs.Retries == 0 {
+		t.Errorf("remote shard saw no traffic or no restart retries: %+v", rs)
+	}
+
+	out := res.RenderDistributed()
+	for _, want := range []string{"all-local sharded bank", "across the wire", "failure drill", "remote invalidation", "metrics:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRunDistributedRejectsFullCatalog: the canary type must exist
+// beyond the enrolled set.
+func TestRunDistributedRejectsFullCatalog(t *testing.T) {
+	if _, err := RunDistributed(DistributedConfig{Types: 27}); err == nil {
+		t.Error("full-catalog distributed config accepted despite having no canary type left")
+	}
+}

@@ -24,6 +24,9 @@ type MetricsSnapshot struct {
 	// GatewayPools holds one entry per single-backend gateway client
 	// pool.
 	GatewayPools []gateway.PoolStats `json:"gateway_pools,omitempty"`
+	// RemoteShards holds one entry per remote-shard client of a
+	// distributed classifier bank (distributed experiment).
+	RemoteShards []iotssp.RemoteShardStats `json:"remote_shards,omitempty"`
 }
 
 // JSON renders the snapshot as a single indented JSON object.

@@ -46,8 +46,21 @@ func MarshalReportStruct(mac string, f *Fingerprint) (Report, error) {
 // MarshalReportPacked builds the compact wire struct for a fingerprint
 // (the form the pooled gateway clients send).
 func MarshalReportPacked(mac string, f *Fingerprint) (Report, error) {
+	packed, err := Pack(f)
+	if err != nil {
+		return Report{}, err
+	}
+	return Report{MAC: mac, Packed: packed}, nil
+}
+
+// Pack encodes a fingerprint's F matrix into the compact packed wire
+// form: the row-major int32 values as zigzag varints, base64-encoded.
+// It is the matrix codec under MarshalReportPacked, exposed on its own
+// for wire forms that ship bare matrices (the shard protocol's CLASSIFY
+// batches and ENROLL training sets).
+func Pack(f *Fingerprint) (string, error) {
 	if f == nil {
-		return Report{}, fmt.Errorf("encoding fingerprint report: nil fingerprint")
+		return "", fmt.Errorf("encoding fingerprint report: nil fingerprint")
 	}
 	buf := make([]byte, 0, f.Len()*features.NumFeatures*2)
 	for _, v := range f.vectors {
@@ -56,7 +69,19 @@ func MarshalReportPacked(mac string, f *Fingerprint) (Report, error) {
 			buf = binary.AppendUvarint(buf, uint64(uint32(c<<1)^uint32(c>>31)))
 		}
 	}
-	return Report{MAC: mac, Packed: base64.StdEncoding.EncodeToString(buf)}, nil
+	return base64.StdEncoding.EncodeToString(buf), nil
+}
+
+// Unpack decodes a packed F matrix back into a fingerprint. Truncated
+// varints, bad base64, overflowing values and partial rows all return
+// errors; Unpack never panics on hostile input (the fuzz harness holds
+// it to that).
+func Unpack(packed string) (*Fingerprint, error) {
+	vs, err := unpackVectors(packed)
+	if err != nil {
+		return nil, err
+	}
+	return FromVectors(vs), nil
 }
 
 // UnmarshalReportStruct validates and decodes a wire struct, accepting

@@ -1,0 +1,142 @@
+package fingerprint
+
+import (
+	"encoding/base64"
+	"math/rand"
+	"testing"
+
+	"repro/internal/features"
+)
+
+// randomMatrix builds a pseudo-random F matrix: rows rows of full-range
+// int32 features (negative values exercise the zigzag path).
+func randomMatrix(rng *rand.Rand, rows int) *Fingerprint {
+	vs := make([]features.Vector, rows)
+	for i := range vs {
+		for j := range vs[i] {
+			switch rng.Intn(4) {
+			case 0:
+				vs[i][j] = int32(rng.Intn(3)) // the common small values
+			case 1:
+				vs[i][j] = -int32(rng.Intn(128))
+			default:
+				vs[i][j] = int32(rng.Uint32()) // full range, either sign
+			}
+		}
+	}
+	return FromVectors(vs)
+}
+
+// TestPackedRoundTripRandomMatrices drives Pack/Unpack over many random
+// F matrices: the decode must reproduce the matrix bit-for-bit.
+func TestPackedRoundTripRandomMatrices(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 300; i++ {
+		fp := randomMatrix(rng, rng.Intn(40))
+		packed, err := Pack(fp)
+		if err != nil {
+			t.Fatalf("matrix %d: Pack: %v", i, err)
+		}
+		got, err := Unpack(packed)
+		if err != nil {
+			t.Fatalf("matrix %d: Unpack: %v", i, err)
+		}
+		if !got.Equal(fp) {
+			t.Fatalf("matrix %d (%d rows): round-trip mismatch", i, fp.Len())
+		}
+	}
+}
+
+// TestUnpackRejectsCorruptInputs holds Unpack to its error contract on
+// hand-built hostile inputs: every one must error, none may panic.
+func TestUnpackRejectsCorruptInputs(t *testing.T) {
+	valid, err := Pack(randomMatrix(rand.New(rand.NewSource(9)), 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := base64.StdEncoding.DecodeString(valid)
+	cases := map[string]string{
+		"bad base64":          "!!!not-base64!!!",
+		"truncated base64":    valid[:len(valid)-2] + "=",
+		"truncated varint":    base64.StdEncoding.EncodeToString([]byte{0x80}),
+		"partial row":         base64.StdEncoding.EncodeToString(raw[:3]),
+		"overflowing varint":  base64.StdEncoding.EncodeToString([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01}),
+		"varint past 5 bytes": base64.StdEncoding.EncodeToString([]byte{0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x7f}),
+	}
+	for name, in := range cases {
+		if _, err := Unpack(in); err == nil {
+			t.Errorf("%s: Unpack accepted corrupt input %q", name, in)
+		}
+	}
+}
+
+// FuzzUnpack feeds arbitrary strings to the packed-matrix decoder. The
+// invariant is panic-freedom plus decode/encode closure: whatever
+// Unpack accepts must survive a Pack/Unpack round trip unchanged.
+func FuzzUnpack(f *testing.F) {
+	rng := rand.New(rand.NewSource(11))
+	for _, rows := range []int{0, 1, 5, 30} {
+		packed, err := Pack(randomMatrix(rng, rows))
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(packed)
+		if len(packed) > 4 {
+			f.Add(packed[:len(packed)/2]) // truncation mid-stream
+		}
+	}
+	f.Add("")
+	f.Add("not base64 at all")
+	f.Add(base64.StdEncoding.EncodeToString([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0x0f}))
+	f.Fuzz(func(t *testing.T, packed string) {
+		fp, err := Unpack(packed)
+		if err != nil {
+			return // rejected is fine; panicking is not
+		}
+		re, err := Pack(fp)
+		if err != nil {
+			t.Fatalf("Pack of just-unpacked matrix failed: %v", err)
+		}
+		again, err := Unpack(re)
+		if err != nil {
+			t.Fatalf("re-Unpack failed: %v", err)
+		}
+		if !again.Equal(fp) {
+			t.Fatal("Pack/Unpack not a fixpoint on accepted input")
+		}
+	})
+}
+
+// FuzzPackRoundTrip builds F matrices from raw fuzz bytes and checks
+// the encode side: every well-formed matrix must round-trip exactly.
+func FuzzPackRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3, 4, 250, 251, 252, 253})
+	f.Add(make([]byte, 4*features.NumFeatures))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rows := len(data) / (4 * features.NumFeatures)
+		if rows > 64 {
+			rows = 64
+		}
+		vs := make([]features.Vector, rows)
+		for i := range vs {
+			for j := range vs[i] {
+				off := (i*features.NumFeatures + j) * 4
+				vs[i][j] = int32(uint32(data[off]) | uint32(data[off+1])<<8 |
+					uint32(data[off+2])<<16 | uint32(data[off+3])<<24)
+			}
+		}
+		fp := FromVectors(vs)
+		packed, err := Pack(fp)
+		if err != nil {
+			t.Fatalf("Pack: %v", err)
+		}
+		got, err := Unpack(packed)
+		if err != nil {
+			t.Fatalf("Unpack of freshly packed matrix: %v", err)
+		}
+		if !got.Equal(fp) {
+			t.Fatal("round-trip mismatch")
+		}
+	})
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 	"testing"
 	"time"
 
@@ -256,5 +257,110 @@ func TestAsyncManyDevicesConcurrently(t *testing.T) {
 			t.Errorf("duplicate event for %s", ev.MAC)
 		}
 		seen[ev.MAC] = true
+	}
+}
+
+// batchRecorder records every IdentifyBatch call; the first call blocks
+// on the gate so subsequent captures pile up in the queue and must
+// arrive as one streamed batch.
+type batchRecorder struct {
+	gate chan struct{}
+
+	mu    sync.Mutex
+	calls [][]string
+}
+
+func (br *batchRecorder) respond(macs []string) ([]iotssp.Response, []error) {
+	resps := make([]iotssp.Response, len(macs))
+	for i, mac := range macs {
+		resps[i] = iotssp.Response{MAC: mac, Known: true, DeviceType: "Aria", Stage: "classification", Level: "trusted"}
+	}
+	return resps, make([]error, len(macs))
+}
+
+func (br *batchRecorder) Identify(ctx context.Context, mac string, fp *fingerprint.Fingerprint) (iotssp.Response, error) {
+	resps, _ := br.IdentifyBatch(ctx, []string{mac}, []*fingerprint.Fingerprint{fp})
+	return resps[0], nil
+}
+
+func (br *batchRecorder) IdentifyBatch(ctx context.Context, macs []string, fps []*fingerprint.Fingerprint) ([]iotssp.Response, []error) {
+	br.mu.Lock()
+	br.calls = append(br.calls, macs)
+	first := len(br.calls) == 1
+	br.mu.Unlock()
+	if first {
+		select {
+		case <-br.gate:
+		case <-ctx.Done():
+		}
+	}
+	return br.respond(macs)
+}
+
+func (br *batchRecorder) snapshot() [][]string {
+	br.mu.Lock()
+	defer br.mu.Unlock()
+	out := make([][]string, len(br.calls))
+	copy(out, br.calls)
+	return out
+}
+
+// TestGatewayStreamsQueuedCapturesAsBatches: captures completing while
+// an identification is in flight are drained into one streamed batch
+// per worker wakeup instead of one round-trip each.
+func TestGatewayStreamsQueuedCapturesAsBatches(t *testing.T) {
+	br := &batchRecorder{gate: make(chan struct{})}
+	cfg := gatewayConfig(true)
+	cfg.IdentWorkers = 1
+	cfg.IdentBatch = 16
+	g := New(cfg, br)
+	defer g.Close()
+
+	const devicesN = 9
+	macs := make([]packet.MAC, devicesN)
+	for i := range macs {
+		macs[i] = packet.MustParseMAC(fmt.Sprintf("02:de:ad:00:00:%02x", i+1))
+	}
+	g.onSetupComplete(synthCapture(macs[0], t0))
+	// Wait until the lone worker is parked inside the first (gated)
+	// identification, then queue the rest behind it.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if len(br.snapshot()) == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("first identification never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	for _, mac := range macs[1:] {
+		g.onSetupComplete(synthCapture(mac, t0))
+	}
+	close(br.gate)
+	g.Drain()
+
+	if len(g.Events) != devicesN {
+		t.Fatalf("events = %d, want %d", len(g.Events), devicesN)
+	}
+	for _, ev := range g.Events {
+		if ev.Err != nil || !ev.Known || ev.Level != enforce.Trusted {
+			t.Fatalf("event = %+v", ev)
+		}
+	}
+	calls := br.snapshot()
+	total := 0
+	maxBatch := 0
+	for _, c := range calls {
+		total += len(c)
+		if len(c) > maxBatch {
+			maxBatch = len(c)
+		}
+	}
+	if total != devicesN {
+		t.Fatalf("identifier saw %d captures across %d calls, want %d", total, len(calls), devicesN)
+	}
+	if len(calls) >= devicesN || maxBatch < 2 {
+		t.Fatalf("captures were not streamed: %d calls, largest batch %d (want fewer calls than captures)", len(calls), maxBatch)
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/backoff"
 	"repro/internal/fingerprint"
 	"repro/internal/iotssp"
 )
@@ -130,7 +131,7 @@ type FleetPool struct {
 	cfg      FleetPoolConfig
 	backends []*fleetBackend
 	ring     []ringPoint
-	jitter   *jitterSource
+	jitter   *backoff.Jitter
 
 	requests, failovers, failures atomic.Uint64
 }
@@ -141,11 +142,11 @@ type FleetPool struct {
 // routes every MAC to the same backend as before.
 func NewFleetPool(addrs []string, cfg FleetPoolConfig) *FleetPool {
 	cfg = cfg.withDefaults()
-	f := &FleetPool{cfg: cfg, jitter: newJitterSource(cfg.Pool.Seed)}
+	f := &FleetPool{cfg: cfg, jitter: backoff.NewJitter(cfg.Pool.Seed)}
 	f.backends = make([]*fleetBackend, len(addrs))
 	for i, addr := range addrs {
 		pcfg := cfg.Pool
-		pcfg.Seed = f.jitter.derive()
+		pcfg.Seed = f.jitter.Derive()
 		f.backends[i] = &fleetBackend{
 			addr:    addr,
 			pool:    NewPool(addr, pcfg),
@@ -268,7 +269,7 @@ func (b *fleetBackend) noteSuccess() {
 // noteFailure records a failed round-trip, ejecting the backend after
 // threshold consecutive failures or pushing an ejected backend's next
 // probe out by the (jittered, doubling, capped) backoff.
-func (b *fleetBackend) noteFailure(cfg FleetPoolConfig, jitter *jitterSource, now time.Time) {
+func (b *fleetBackend) noteFailure(cfg FleetPoolConfig, jitter *backoff.Jitter, now time.Time) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.consecFails++
@@ -277,7 +278,7 @@ func (b *fleetBackend) noteFailure(cfg FleetPoolConfig, jitter *jitterSource, no
 			b.healthy = false
 			b.ejections.Add(1)
 			b.backoff = cfg.ProbeBackoff
-			b.nextProbe = now.Add(jitter.scale(b.backoff))
+			b.nextProbe = now.Add(jitter.Scale(b.backoff))
 		}
 		return
 	}
@@ -287,7 +288,7 @@ func (b *fleetBackend) noteFailure(cfg FleetPoolConfig, jitter *jitterSource, no
 	if b.backoff > cfg.MaxProbeBackoff {
 		b.backoff = cfg.MaxProbeBackoff
 	}
-	b.nextProbe = now.Add(jitter.scale(b.backoff))
+	b.nextProbe = now.Add(jitter.Scale(b.backoff))
 }
 
 // Identify implements Identifier: it routes the fingerprint to the

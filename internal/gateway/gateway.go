@@ -39,6 +39,18 @@ type Identifier interface {
 	Identify(ctx context.Context, mac string, fp *fingerprint.Fingerprint) (iotssp.Response, error)
 }
 
+// BatchIdentifier is the streamed-batch refinement of Identifier: the
+// gateway's identification workers aggregate queued setup captures and
+// submit them as one call instead of one round-trip per capture. The
+// pooled TCP client answers it with a single pipelined burst per
+// connection; the in-process adapter feeds the service's batch path
+// directly. Results and errors are positional: errs[i] reports the
+// fate of (macs[i], fps[i]) and resps[i] is only meaningful when
+// errs[i] is nil. Implementations must be safe for concurrent use.
+type BatchIdentifier interface {
+	IdentifyBatch(ctx context.Context, macs []string, fps []*fingerprint.Fingerprint) ([]iotssp.Response, []error)
+}
+
 // LocalService adapts an in-process iotssp.Service to the Identifier
 // interface (for simulations that do not need the TCP hop).
 type LocalService struct {
@@ -56,6 +68,19 @@ func (l LocalService) Identify(_ context.Context, mac string, fp *fingerprint.Fi
 		return resp, fmt.Errorf("gateway: service error: %s", resp.Error)
 	}
 	return resp, nil
+}
+
+// IdentifyBatch implements BatchIdentifier straight onto the service's
+// batched verdict path (cache, dedup, one bank inference pass).
+func (l LocalService) IdentifyBatch(_ context.Context, macs []string, fps []*fingerprint.Fingerprint) ([]iotssp.Response, []error) {
+	resps := l.Svc.IdentifyBatch(macs, fps, 0)
+	errs := make([]error, len(resps))
+	for i, resp := range resps {
+		if resp.Error != "" {
+			errs[i] = fmt.Errorf("gateway: service error: %s", resp.Error)
+		}
+	}
+	return resps, errs
 }
 
 // Config configures a Security Gateway.
@@ -98,6 +123,12 @@ type Config struct {
 	// Security Service; the context handed to the Identifier carries
 	// this deadline. Zero selects 10s.
 	IdentTimeout time.Duration
+	// IdentBatch caps how many queued captures one worker drains into a
+	// single streamed batch when the Identifier also implements
+	// BatchIdentifier: a burst of devices joining at once (a smart-home
+	// power-up) then costs one pipelined round-trip per flush instead of
+	// one per capture. 1 disables batching. Zero selects 8.
+	IdentBatch int
 }
 
 // withDefaults fills zero-valued knobs.
@@ -119,6 +150,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.IdentTimeout <= 0 {
 		c.IdentTimeout = 10 * time.Second
+	}
+	if c.IdentBatch <= 0 {
+		c.IdentBatch = 8
 	}
 	return c
 }
@@ -329,19 +363,75 @@ func (g *Gateway) startWorkers() {
 	}
 }
 
-// identWorker services the identification queue: each job gets a
-// deadline-bounded round-trip to the IoT Security Service, and the
-// outcome is parked until the gateway goroutine applies it.
+// identWorker services the identification queue. When the identifier
+// supports streamed batches, each wakeup drains up to IdentBatch queued
+// captures and submits them as one burst — the gateway-side half of the
+// ROADMAP's "stream batches through the gateway" item (the server's
+// dispatcher already batches across connections; now a burst of local
+// captures arrives there as one pipelined flush too). Otherwise each
+// job gets its own deadline-bounded round-trip. Outcomes are parked
+// until the gateway goroutine applies them.
 func (g *Gateway) identWorker() {
-	for job := range g.jobs {
-		ctx, cancel := context.WithTimeout(context.Background(), g.cfg.IdentTimeout)
-		resp, err := g.ident.Identify(ctx, job.mac.String(), job.fp)
-		cancel()
-		g.doneMu.Lock()
-		g.done = append(g.done, identDone{job: job, resp: resp, err: err})
-		g.doneMu.Unlock()
-		g.inFlight.Done()
+	batcher, streamed := g.ident.(BatchIdentifier)
+	if !streamed || g.cfg.IdentBatch <= 1 {
+		for job := range g.jobs {
+			ctx, cancel := context.WithTimeout(context.Background(), g.cfg.IdentTimeout)
+			resp, err := g.ident.Identify(ctx, job.mac.String(), job.fp)
+			cancel()
+			g.park(identDone{job: job, resp: resp, err: err})
+			g.inFlight.Done()
+		}
+		return
 	}
+	for job := range g.jobs {
+		batch := []identJob{job}
+	drain:
+		for len(batch) < g.cfg.IdentBatch {
+			select {
+			case next, more := <-g.jobs:
+				if !more {
+					break drain
+				}
+				batch = append(batch, next)
+			default:
+				break drain
+			}
+		}
+		macs := make([]string, len(batch))
+		fps := make([]*fingerprint.Fingerprint, len(batch))
+		for i, j := range batch {
+			macs[i] = j.mac.String()
+			fps[i] = j.fp
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), g.cfg.IdentTimeout)
+		resps, errs := batcher.IdentifyBatch(ctx, macs, fps)
+		cancel()
+		for i, j := range batch {
+			d := identDone{job: j}
+			ok := i < len(resps) && (i >= len(errs) || errs[i] == nil)
+			if ok {
+				d.resp = resps[i]
+			} else {
+				// The entry failed inside the shared-deadline burst (or the
+				// batch came back short): give it the same private deadline
+				// an unbatched capture would have had, so a transient
+				// outage mid-burst cannot cost verdicts the per-request
+				// path would have absorbed.
+				jctx, jcancel := context.WithTimeout(context.Background(), g.cfg.IdentTimeout)
+				d.resp, d.err = g.ident.Identify(jctx, macs[i], fps[i])
+				jcancel()
+			}
+			g.park(d)
+			g.inFlight.Done()
+		}
+	}
+}
+
+// park queues a finished identification for the gateway goroutine.
+func (g *Gateway) park(d identDone) {
+	g.doneMu.Lock()
+	g.done = append(g.done, d)
+	g.doneMu.Unlock()
 }
 
 // applyCompleted installs the results of finished identifications. It

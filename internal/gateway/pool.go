@@ -6,12 +6,12 @@ import (
 	"encoding/json"
 	"fmt"
 	"hash/fnv"
-	"math/rand"
 	"net"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/backoff"
 	"repro/internal/fingerprint"
 	"repro/internal/iotssp"
 )
@@ -68,36 +68,11 @@ type PoolStats struct {
 	// Failures counts Identify calls that returned an error after
 	// exhausting their retries.
 	Failures uint64 `json:"failures"`
-}
-
-// jitterSource is a seeded, mutex-guarded random stream for backoff
-// jitter. Every reconnect/backoff path draws from a per-pool source
-// rather than math/rand's global one, so a hot redial storm across
-// many pools never contends on the global rand lock — and tests can
-// seed a pool for deterministic jitter.
-type jitterSource struct {
-	mu  sync.Mutex
-	rng *rand.Rand
-}
-
-func newJitterSource(seed int64) *jitterSource {
-	return &jitterSource{rng: rand.New(rand.NewSource(seed))}
-}
-
-// scale jitters d to 50–150% of its value.
-func (j *jitterSource) scale(d time.Duration) time.Duration {
-	j.mu.Lock()
-	f := 0.5 + j.rng.Float64()
-	j.mu.Unlock()
-	return time.Duration(float64(d) * f)
-}
-
-// derive draws a seed for a child source (decorrelating per-backend
-// pools inside a FleetPool).
-func (j *jitterSource) derive() int64 {
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	return j.rng.Int63()
+	// Bursts counts pipelined multi-request writes (IdentifyBatch
+	// flushes, one per connection touched); BurstRequests counts the
+	// requests they carried.
+	Bursts        uint64 `json:"bursts"`
+	BurstRequests uint64 `json:"burst_requests"`
 }
 
 // Pool is a pooled TCP client for the IoT Security Service: N
@@ -111,16 +86,17 @@ func (j *jitterSource) derive() int64 {
 type Pool struct {
 	cfg    PoolConfig
 	conns  []*poolConn
-	jitter *jitterSource
+	jitter *backoff.Jitter
 
 	requests, retries, dials, failures atomic.Uint64
+	bursts, burstReqs                  atomic.Uint64
 }
 
 // NewPool creates a pool for the service at addr (host:port). No
 // connection is made until the first Identify.
 func NewPool(addr string, cfg PoolConfig) *Pool {
 	cfg = cfg.withDefaults()
-	p := &Pool{cfg: cfg, jitter: newJitterSource(cfg.Seed)}
+	p := &Pool{cfg: cfg, jitter: backoff.NewJitter(cfg.Seed)}
 	p.conns = make([]*poolConn, cfg.Conns)
 	for i := range p.conns {
 		p.conns[i] = &poolConn{addr: addr, pool: p, waiters: make(map[uint64]*poolCall)}
@@ -131,10 +107,12 @@ func NewPool(addr string, cfg PoolConfig) *Pool {
 // Stats snapshots the pool counters.
 func (p *Pool) Stats() PoolStats {
 	return PoolStats{
-		Requests: p.requests.Load(),
-		Retries:  p.retries.Load(),
-		Dials:    p.dials.Load(),
-		Failures: p.failures.Load(),
+		Requests:      p.requests.Load(),
+		Retries:       p.retries.Load(),
+		Dials:         p.dials.Load(),
+		Failures:      p.failures.Load(),
+		Bursts:        p.bursts.Load(),
+		BurstRequests: p.burstReqs.Load(),
 	}
 }
 
@@ -148,7 +126,7 @@ func (p *Pool) pick(mac string) *poolConn {
 // sleepJitter blocks for the attempt's jittered exponential backoff or
 // until ctx is done.
 func (p *Pool) sleepJitter(ctx context.Context, attempt int) error {
-	jittered := p.jitter.scale(p.cfg.RetryBackoff << (attempt - 1))
+	jittered := p.jitter.Scale(p.cfg.RetryBackoff << (attempt - 1))
 	t := time.NewTimer(jittered)
 	defer t.Stop()
 	select {
@@ -165,6 +143,12 @@ func (p *Pool) sleepJitter(ctx context.Context, attempt int) error {
 // backoff.
 func (p *Pool) Identify(ctx context.Context, mac string, fp *fingerprint.Fingerprint) (iotssp.Response, error) {
 	p.requests.Add(1)
+	return p.identify(ctx, mac, fp)
+}
+
+// identify is Identify without the request accounting, so batch-path
+// fallbacks (already counted by IdentifyBatch) do not double-count.
+func (p *Pool) identify(ctx context.Context, mac string, fp *fingerprint.Fingerprint) (iotssp.Response, error) {
 	report, err := fingerprint.MarshalReportPacked(mac, fp)
 	if err != nil {
 		return iotssp.Response{}, err
@@ -209,6 +193,83 @@ func (p *Pool) Identify(ctx context.Context, mac string, fp *fingerprint.Fingerp
 	return iotssp.Response{}, fmt.Errorf("gateway: identify %s: %w", mac, lastErr)
 }
 
+// IdentifyBatch implements BatchIdentifier: the batch is grouped by
+// each MAC's home connection and every group goes out as one pipelined
+// burst — a single write carrying all the group's request lines — with
+// the multiplexed responses correlated by line echo as usual. Entries
+// that fail retryably (transport errors, service backpressure) fall
+// back to the single-request path, which carries the jittered-backoff
+// retry loop; non-retryable service errors surface positionally.
+// resps[i]/errs[i] describe (macs[i], fps[i]).
+func (p *Pool) IdentifyBatch(ctx context.Context, macs []string, fps []*fingerprint.Fingerprint) ([]iotssp.Response, []error) {
+	resps := make([]iotssp.Response, len(macs))
+	errs := make([]error, len(macs))
+	if len(macs) == 0 {
+		return resps, errs
+	}
+
+	// Group the batch by home connection, preserving batch order within
+	// each group, and marshal each request once.
+	groups := make(map[*poolConn][]int, len(p.conns))
+	bodies := make([][]byte, len(macs))
+	for i, mac := range macs {
+		p.requests.Add(1)
+		report, err := fingerprint.MarshalReportPacked(mac, fps[i])
+		if err != nil {
+			errs[i] = err
+			continue
+		}
+		body, err := json.Marshal(iotssp.Request{Fingerprint: report})
+		if err != nil {
+			errs[i] = fmt.Errorf("gateway: encoding request: %w", err)
+			continue
+		}
+		bodies[i] = append(body, '\n')
+		pc := p.pick(mac)
+		groups[pc] = append(groups[pc], i)
+	}
+
+	// Burst each group over its connection concurrently.
+	var wg sync.WaitGroup
+	for pc, idxs := range groups {
+		wg.Add(1)
+		go func(pc *poolConn, idxs []int) {
+			defer wg.Done()
+			p.bursts.Add(1)
+			p.burstReqs.Add(uint64(len(idxs)))
+			burst := make([][]byte, len(idxs))
+			for j, i := range idxs {
+				burst[j] = bodies[i]
+			}
+			got, gerrs := pc.roundTripBatch(ctx, burst, p.cfg.Timeout)
+			for j, i := range idxs {
+				resps[i], errs[i] = got[j], gerrs[j]
+			}
+		}(pc, idxs)
+	}
+	wg.Wait()
+
+	// Retry the retryable leftovers individually: Identify owns the
+	// backoff/redial loop, so a dropped connection or backpressure reply
+	// costs one slow path instead of failing the whole flush.
+	for i := range macs {
+		if errs[i] == nil {
+			if resps[i].Error == "" {
+				continue
+			}
+			if !resps[i].Retryable {
+				errs[i] = fmt.Errorf("gateway: service error: %s", resps[i].Error)
+				continue
+			}
+		} else if bodies[i] == nil {
+			continue // marshal failures cannot be retried
+		}
+		p.retries.Add(1)
+		resps[i], errs[i] = p.identify(ctx, macs[i], fps[i])
+	}
+	return resps, errs
+}
+
 // Close severs every pooled connection and fails their outstanding
 // requests.
 func (p *Pool) Close() error {
@@ -241,11 +302,43 @@ type poolConn struct {
 
 	mu   sync.Mutex
 	conn net.Conn
+	// gen counts connection incarnations. The line counter resets on
+	// every redial, so a response still buffered in a dead pump could
+	// otherwise correlate — by line number alone — to a waiter
+	// registered on the replacement connection; pumps carry their
+	// generation and stale deliveries are discarded.
+	gen uint64
 	// lines counts request lines written on the current connection;
 	// waiters holds the in-flight call for each line.
 	lines   uint64
 	waiters map[uint64]*poolCall
 	closed  bool
+}
+
+// ensureConnLocked dials the connection if needed. Callers hold mu.
+func (pc *poolConn) ensureConnLocked(ctx context.Context, deadline time.Time) error {
+	if pc.conn != nil {
+		return nil
+	}
+	d := net.Dialer{Deadline: deadline}
+	conn, err := d.DialContext(ctx, "tcp", pc.addr)
+	if err != nil {
+		return fmt.Errorf("gateway: dialing %s: %w", pc.addr, err)
+	}
+	if conn.LocalAddr().String() == conn.RemoteAddr().String() {
+		// TCP simultaneous-connect on loopback: dialing a just-freed
+		// ephemeral port can self-connect, and the pool would then
+		// read back its own request lines as responses. Treat it as
+		// a failed dial.
+		conn.Close()
+		return fmt.Errorf("gateway: dialing %s: self-connection", pc.addr)
+	}
+	pc.conn = conn
+	pc.gen++
+	pc.lines = 0
+	pc.pool.dials.Add(1)
+	go pc.readPump(conn, pc.gen)
+	return nil
 }
 
 // roundTrip sends one request and waits for its multiplexed response.
@@ -260,26 +353,9 @@ func (pc *poolConn) roundTrip(ctx context.Context, mac string, body []byte, time
 		pc.mu.Unlock()
 		return iotssp.Response{}, fmt.Errorf("gateway: pool closed")
 	}
-	if pc.conn == nil {
-		d := net.Dialer{Deadline: deadline}
-		conn, err := d.DialContext(ctx, "tcp", pc.addr)
-		if err != nil {
-			pc.mu.Unlock()
-			return iotssp.Response{}, fmt.Errorf("gateway: dialing %s: %w", pc.addr, err)
-		}
-		if conn.LocalAddr().String() == conn.RemoteAddr().String() {
-			// TCP simultaneous-connect on loopback: dialing a just-freed
-			// ephemeral port can self-connect, and the pool would then
-			// read back its own request lines as responses. Treat it as
-			// a failed dial.
-			conn.Close()
-			pc.mu.Unlock()
-			return iotssp.Response{}, fmt.Errorf("gateway: dialing %s: self-connection", pc.addr)
-		}
-		pc.conn = conn
-		pc.lines = 0
-		pc.pool.dials.Add(1)
-		go pc.readPump(conn)
+	if err := pc.ensureConnLocked(ctx, deadline); err != nil {
+		pc.mu.Unlock()
+		return iotssp.Response{}, err
 	}
 	conn := pc.conn
 	call := &poolCall{ch: make(chan poolResult, 1)}
@@ -311,9 +387,81 @@ func (pc *poolConn) roundTrip(ctx context.Context, mac string, body []byte, time
 	}
 }
 
+// roundTripBatch writes a burst of request lines in one pipelined
+// write and waits for all their multiplexed responses. resps[j]/errs[j]
+// describe bodies[j]; a transport failure mid-burst fails the affected
+// entries (the caller decides whether to retry them individually).
+func (pc *poolConn) roundTripBatch(ctx context.Context, bodies [][]byte, timeout time.Duration) ([]iotssp.Response, []error) {
+	resps := make([]iotssp.Response, len(bodies))
+	errs := make([]error, len(bodies))
+	deadline := time.Now().Add(timeout)
+	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+		deadline = d
+	}
+
+	pc.mu.Lock()
+	if pc.closed {
+		pc.mu.Unlock()
+		for j := range errs {
+			errs[j] = fmt.Errorf("gateway: pool closed")
+		}
+		return resps, errs
+	}
+	if err := pc.ensureConnLocked(ctx, deadline); err != nil {
+		pc.mu.Unlock()
+		for j := range errs {
+			errs[j] = err
+		}
+		return resps, errs
+	}
+	conn := pc.conn
+	calls := make([]*poolCall, len(bodies))
+	var burst []byte
+	for j, body := range bodies {
+		calls[j] = &poolCall{ch: make(chan poolResult, 1)}
+		pc.lines++
+		pc.waiters[pc.lines] = calls[j]
+		burst = append(burst, body...)
+	}
+	conn.SetWriteDeadline(deadline)
+	if _, err := conn.Write(burst); err != nil {
+		// dropLocked fails every registered waiter, ours included; the
+		// wait loop below collects those failures positionally.
+		pc.dropLocked(conn, fmt.Errorf("gateway: sending burst: %w", err))
+	}
+	pc.mu.Unlock()
+
+	timer := time.NewTimer(time.Until(deadline))
+	defer timer.Stop()
+	severed := false
+	for j, call := range calls {
+		select {
+		case res := <-call.ch:
+			resps[j], errs[j] = res.resp, res.err
+		case <-ctx.Done():
+			if !severed {
+				severed = true
+				pc.fail(conn, ctx.Err())
+			}
+			res := <-call.ch // fail delivered an error to every waiter
+			resps[j], errs[j] = res.resp, res.err
+		case <-timer.C:
+			if !severed {
+				severed = true
+				pc.fail(conn, fmt.Errorf("gateway: burst: deadline exceeded"))
+			}
+			res := <-call.ch
+			resps[j], errs[j] = res.resp, res.err
+		}
+	}
+	return resps, errs
+}
+
 // readPump decodes response lines and hands each to its waiter until
-// the connection breaks.
-func (pc *poolConn) readPump(conn net.Conn) {
+// the connection breaks or a younger incarnation takes over (buffered
+// lines can outlive the socket close; they must not resolve the new
+// connection's waiters).
+func (pc *poolConn) readPump(conn net.Conn, gen uint64) {
 	br := bufio.NewReader(conn)
 	for {
 		line, err := br.ReadBytes('\n')
@@ -326,23 +474,31 @@ func (pc *poolConn) readPump(conn net.Conn) {
 			pc.fail(conn, fmt.Errorf("gateway: decoding response: %w", err))
 			return
 		}
-		pc.deliver(resp)
+		if !pc.deliver(resp, gen) {
+			return
+		}
 	}
 }
 
-// deliver routes a response to the waiter for its echoed line number.
-// Responses without a waiter (after a local timeout, or lacking the
-// line echo) are dropped.
-func (pc *poolConn) deliver(resp iotssp.Response) {
+// deliver routes a response to the waiter for its echoed line number,
+// reporting whether the pump's connection is still current. Responses
+// without a waiter (after a local timeout, or lacking the line echo)
+// are dropped.
+func (pc *poolConn) deliver(resp iotssp.Response, gen uint64) bool {
 	pc.mu.Lock()
+	if pc.gen != gen {
+		pc.mu.Unlock()
+		return false
+	}
 	call := pc.waiters[resp.Line]
 	if call == nil {
 		pc.mu.Unlock()
-		return
+		return true
 	}
 	delete(pc.waiters, resp.Line)
 	pc.mu.Unlock()
 	call.ch <- poolResult{resp: resp}
+	return true
 }
 
 // fail severs conn and fails every outstanding request, so the next

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net"
+	"reflect"
 	"strings"
 	"sync"
 	"testing"
@@ -308,5 +309,103 @@ func TestPoolMACAffinity(t *testing.T) {
 				t.Fatalf("MAC %s not pinned to one connection", mac)
 			}
 		}
+	}
+}
+
+func TestPoolIdentifyBatchSingleBurst(t *testing.T) {
+	names := []string{"Aria", "HueBridge", "EdimaxCam", "WeMoSwitch"}
+	svc := trainedService(t, names...)
+	addr := startTestServer(t, svc)
+
+	var macs []string
+	var fps []*fingerprint.Fingerprint
+	for i, name := range names {
+		probe := probeFor(t, name)
+		for k := 0; k < 4; k++ {
+			macs = append(macs, fmt.Sprintf("02:78:%02x:00:00:%02x", i, k))
+			fps = append(fps, probe.fp)
+		}
+	}
+
+	pool := NewPool(addr, PoolConfig{Conns: 2, Seed: 21})
+	defer pool.Close()
+	resps, errs := pool.IdentifyBatch(context.Background(), macs, fps)
+	for i := range macs {
+		if errs[i] != nil {
+			t.Fatalf("entry %d: %v", i, errs[i])
+		}
+		if resps[i].MAC != macs[i] {
+			t.Errorf("entry %d: MAC echo %q, want %q", i, resps[i].MAC, macs[i])
+		}
+		if resps[i].DeviceType != names[i/4] {
+			t.Errorf("entry %d: identified as %q, want %q", i, resps[i].DeviceType, names[i/4])
+		}
+	}
+	st := pool.Stats()
+	if st.Bursts == 0 || st.Bursts > 2 {
+		t.Errorf("bursts = %d, want 1..2 (one per touched connection)", st.Bursts)
+	}
+	if st.BurstRequests != uint64(len(macs)) {
+		t.Errorf("burst requests = %d, want %d", st.BurstRequests, len(macs))
+	}
+	if st.Dials > 2 {
+		t.Errorf("dials = %d, want <= 2", st.Dials)
+	}
+
+	// A batched identification must agree with the single-request path.
+	single, err := pool.Identify(context.Background(), macs[0], fps[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	single.Line = 0
+	batched := resps[0]
+	batched.Line = 0
+	if !reflect.DeepEqual(single, batched) {
+		t.Errorf("batched verdict %+v != single verdict %+v", batched, single)
+	}
+}
+
+func TestPoolIdentifyBatchFallsBackOnBackpressure(t *testing.T) {
+	probe := probeFor(t, "Aria")
+	var mu sync.Mutex
+	rejected := false
+	addr := fakeService(t, func(conn net.Conn, count int, req iotssp.Request) bool {
+		mu.Lock()
+		first := !rejected
+		if first {
+			rejected = true
+		}
+		mu.Unlock()
+		if first {
+			respondJSON(t, conn, iotssp.Response{
+				MAC: req.Fingerprint.MAC, Line: uint64(count),
+				Error: "overloaded", Retryable: true,
+			})
+			return true
+		}
+		respondJSON(t, conn, iotssp.Response{
+			MAC: req.Fingerprint.MAC, Line: uint64(count), Known: true,
+			DeviceType: "Aria", Stage: "classification", Level: "trusted",
+		})
+		return true
+	})
+
+	pool := NewPool(addr, PoolConfig{Conns: 1, RetryBackoff: time.Millisecond, Seed: 23})
+	defer pool.Close()
+	macs := []string{"02:79:00:00:00:01", "02:79:00:00:00:02", "02:79:00:00:00:03"}
+	fps := []*fingerprint.Fingerprint{probe.fp, probe.fp, probe.fp}
+	resps, errs := pool.IdentifyBatch(context.Background(), macs, fps)
+	for i := range macs {
+		if errs[i] != nil {
+			t.Fatalf("entry %d not recovered from backpressure: %v", i, errs[i])
+		}
+		if resps[i].DeviceType != "Aria" || resps[i].MAC != macs[i] {
+			t.Errorf("entry %d: %+v", i, resps[i])
+		}
+	}
+	if st := pool.Stats(); st.Retries == 0 {
+		t.Errorf("backpressured entry retried nowhere: %+v", st)
+	} else if st.Requests != uint64(len(macs)) {
+		t.Errorf("requests = %d, want %d (fallback retries must not double-count)", st.Requests, len(macs))
 	}
 }

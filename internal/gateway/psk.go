@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"sync"
 
+	"repro/internal/fingerprint"
 	"repro/internal/packet"
 )
 
@@ -15,6 +16,7 @@ import (
 // re-keying flow used to migrate legacy installations (§VIII-A).
 type PSKManager struct {
 	mu   sync.Mutex
+	seed int64
 	rng  *rand.Rand
 	keys map[packet.MAC]string
 	// networkPSK is the legacy WPA2-Personal network key; Deprecate
@@ -29,6 +31,7 @@ type PSKManager struct {
 // real cryptography is exercised by the paper's evaluation).
 func NewPSKManager(seed int64) *PSKManager {
 	m := &PSKManager{
+		seed: seed,
 		rng:  rand.New(rand.NewSource(seed)),
 		keys: make(map[packet.MAC]string),
 	}
@@ -36,25 +39,34 @@ func NewPSKManager(seed int64) *PSKManager {
 	return m
 }
 
-// newKey generates a fresh 16-byte hex key. Callers hold mu or own m.
+// newKey generates a fresh 16-byte hex key from the shared stream
+// (network key and rotations). Callers hold mu or own m.
 func (m *PSKManager) newKey() string {
 	m.generation++
+	return keyFrom(m.rng)
+}
+
+func keyFrom(rng *rand.Rand) string {
 	buf := make([]byte, 16)
 	for i := range buf {
-		buf[i] = byte(m.rng.Intn(256))
+		buf[i] = byte(rng.Intn(256))
 	}
 	return fmt.Sprintf("%x", buf)
 }
 
 // Issue returns the device-specific PSK for mac, creating one on first
-// use.
+// use. A device's first key is a pure function of (manager seed, MAC) —
+// not of issue order — so the key a device ends up with cannot depend
+// on which asynchronous identification verdict happened to apply
+// first.
 func (m *PSKManager) Issue(mac packet.MAC) string {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if k, ok := m.keys[mac]; ok {
 		return k
 	}
-	k := m.newKey()
+	m.generation++
+	k := keyFrom(rand.New(rand.NewSource(m.seed ^ int64(fingerprint.HashString(mac.String())))))
 	m.keys[mac] = k
 	return k
 }

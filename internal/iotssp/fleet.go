@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"net"
 	"sync"
+
+	"repro/internal/core"
 )
 
 // Replica is one IoT Security Service backend: a Server behind the
@@ -21,10 +23,13 @@ import (
 //
 // Replicas sharing one Service share its bank and verdict cache (the
 // replicated-fleet topology); replicas with distinct Services form
-// disjoint banks. Both compose into a Fleet.
+// disjoint banks. Both compose into a Fleet. A replica can equally
+// host a shard-serving backend (NewShardReplica): the held listener
+// and restart-in-place semantics are exactly what a remote-shard
+// client's reconnect machinery probes for after a shard process dies.
 type Replica struct {
-	svc  *Service
-	scfg ServerConfig
+	// mk builds one server incarnation (verdict or shard mode).
+	mk func() *Server
 
 	mu   sync.Mutex
 	srv  *Server
@@ -39,7 +44,16 @@ type Replica struct {
 // NewReplica wraps a service as a restartable backend. Call Start to
 // begin serving.
 func NewReplica(svc *Service, cfg ServerConfig) *Replica {
-	return &Replica{svc: svc, scfg: cfg}
+	return &Replica{mk: func() *Server { return NewServerConfig(svc, cfg) }}
+}
+
+// NewShardReplica wraps one in-process classifier-bank shard as a
+// restartable shard-serving backend: every Start installs a fresh
+// shard-mode Server over the same bank, so a revived shard keeps its
+// enrolled types, its version counter and its address — a restart is
+// invisible to the logical bank beyond the retried requests.
+func NewShardReplica(bank *core.Bank, cfg ServerConfig) *Replica {
+	return &Replica{mk: func() *Server { return NewShardServer(bank, cfg) }}
 }
 
 // Addr returns the replica's listen address ("" before the first
@@ -80,7 +94,7 @@ func (r *Replica) Start() error {
 		r.addr = lis.Addr().String()
 		go r.acceptLoop(lis)
 	}
-	r.srv = NewServerConfig(r.svc, r.scfg)
+	r.srv = r.mk()
 	return nil
 }
 

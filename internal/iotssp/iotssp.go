@@ -73,6 +73,40 @@
 // retryable requests over to a healthy replica. A stopped Replica
 // keeps its address so a revived one is found where the client's
 // health probes left it.
+//
+// # Shard-serving mode and the v2 wire verbs
+//
+// The wire protocol's second generation distributes the classifier
+// bank itself. A Server created with NewShardServer hosts one
+// core.Bank shard of a logical core.ShardedBank and, instead of
+// identify requests, answers the shard verbs — each a JSON line with
+// an "op" field:
+//
+//   - "hello" negotiates: both server modes reply with their mode
+//     ("verdict" or "shard") and protocol version, so a client learns
+//     what it dialed before pipelining work. A RemoteShard sends it as
+//     the first line of every fresh connection and aborts cleanly on a
+//     mode or version mismatch.
+//   - "classify" carries a whole scatter flush as packed F matrices
+//     (the same codec the gateway clients use) and returns each
+//     fingerprint's accepted types in shard enrolment order.
+//   - "discriminate" runs stage two among this shard's candidates.
+//   - "enroll" ships packed training fingerprints; the shard trains
+//     the new classifier off the read pump and answers out of order
+//     (line-echo correlation keeps pipelined classifies unaffected).
+//   - "meta" returns the shard's type list and version.
+//
+// Every shard response is stamped with the shard's enrolment version.
+// RemoteShard — the client side, implementing core.Shard — folds those
+// stamps into a local version cache so Versions() on the logical bank
+// stays a handful of atomic loads, and a remote enrolment invalidates
+// exactly the dependent verdict-cache entries without polling.
+// Version-1 clients that reach a shard endpoint get a clean retryable
+// error naming the mode (never a malformed-line reply); shard verbs
+// against a verdict endpoint fail non-retryably the same way. A shard
+// served behind a Replica (NewShardReplica) restarts in place, and
+// RemoteShard's reconnect/retry with jittered backoff carries
+// in-flight scatters across the outage.
 package iotssp
 
 import (
@@ -84,8 +118,39 @@ import (
 	"repro/internal/vulndb"
 )
 
+// ProtocolVersion is the wire protocol generation this build speaks.
+// Version 1 is the original identify-only JSON-lines protocol (every
+// line is a Request, every reply a Response). Version 2 adds the shard
+// verbs (OpHello, OpMeta, OpClassify, OpDiscriminate, OpEnroll) spoken
+// to a shard-serving Server, plus the OpHello negotiation both server
+// modes answer so a client can discover what it is talking to before
+// pipelining work onto the connection.
+const ProtocolVersion = 2
+
+// Wire operations (the Request/shardRequest "op" field). An empty op is
+// a version-1 identify request.
+const (
+	// OpHello negotiates: both server modes answer with their mode
+	// ("verdict" or "shard") and protocol version, so mismatched clients
+	// fail cleanly at connect instead of mid-pipeline.
+	OpHello = "hello"
+	// OpMeta asks a shard server for its type list and version.
+	OpMeta = "meta"
+	// OpClassify runs stage one over a batch of packed fingerprints.
+	OpClassify = "classify"
+	// OpDiscriminate runs stage two among candidate types.
+	OpDiscriminate = "discriminate"
+	// OpEnroll trains a new device-type classifier on the shard.
+	OpEnroll = "enroll"
+)
+
 // Request is one identification request from a Security Gateway.
 type Request struct {
+	// Op selects the wire operation. Empty means identify (the version-1
+	// protocol); OpHello asks the server to introduce itself. The shard
+	// verbs are only valid against a shard-serving server — a verdict
+	// server answers them with a non-retryable error naming its mode.
+	Op string `json:"op,omitempty"`
 	// Fingerprint is the device's fingerprint report (MAC + F matrix).
 	Fingerprint fingerprint.Report `json:"fingerprint"`
 }

@@ -1,0 +1,486 @@
+package iotssp
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/backoff"
+	"repro/internal/core"
+	"repro/internal/fingerprint"
+)
+
+// RemoteShardConfig tunes a RemoteShard client. The zero value selects
+// defaults sized for an intra-fleet link.
+type RemoteShardConfig struct {
+	// Conns is the number of persistent pipelined connections to the
+	// shard server. 0 selects 2.
+	Conns int
+	// Timeout bounds one classify/discriminate/meta round-trip. 0
+	// selects 10s.
+	Timeout time.Duration
+	// EnrollTimeout bounds one enrolment round-trip — training a forest
+	// takes seconds, not microseconds. 0 selects 2m.
+	EnrollTimeout time.Duration
+	// MaxRetries is how many times a request is retried after transport
+	// failures or retryable errors, with jittered exponential backoff. A
+	// shard is load-bearing state, not a stateless replica — crossing a
+	// shard restart matters more than failing fast — so the default is a
+	// deep 20 (with the backoff cap that rides out multi-second
+	// restarts).
+	MaxRetries int
+	// RetryBackoff is the base backoff before the first retry; doubled
+	// (and jittered to 50–150%) each further retry up to MaxBackoff.
+	// 0 selects 10ms.
+	RetryBackoff time.Duration
+	// MaxBackoff caps the doubling. 0 selects 500ms.
+	MaxBackoff time.Duration
+	// Seed seeds the jitter generator (0 selects 1).
+	Seed int64
+}
+
+func (c RemoteShardConfig) withDefaults() RemoteShardConfig {
+	if c.Conns <= 0 {
+		c.Conns = 2
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 10 * time.Second
+	}
+	if c.EnrollTimeout <= 0 {
+		c.EnrollTimeout = 2 * time.Minute
+	}
+	if c.MaxRetries <= 0 {
+		c.MaxRetries = 20
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 10 * time.Millisecond
+	}
+	if c.MaxBackoff <= 0 {
+		c.MaxBackoff = 500 * time.Millisecond
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// RemoteShardStats is a snapshot of a RemoteShard's counters.
+type RemoteShardStats struct {
+	// Requests counts shard operations issued; Retries counts extra
+	// attempts after transport failures or retryable errors.
+	Requests uint64 `json:"requests"`
+	Retries  uint64 `json:"retries"`
+	// Dials counts connection (re-)establishments (each includes a
+	// hello handshake).
+	Dials uint64 `json:"dials"`
+	// Failures counts operations that exhausted their retries.
+	Failures uint64 `json:"failures"`
+	// Version is the last shard enrolment version observed on the wire.
+	Version uint64 `json:"version"`
+}
+
+// RemoteShard is the client side of the shard wire protocol: it
+// implements core.Shard against a bank shard hosted by a shard-serving
+// Server in another process, so a core.ShardedBank can mix it freely
+// with in-process shards. The transport reuses the pooled gateway
+// client's machinery — N persistent connections with pipelined
+// requests correlated by line echo, lazy dials with a hello handshake
+// that verifies the peer's mode and protocol version, and jittered
+// exponential backoff around reconnects and retryable errors.
+//
+// Version is served from a local cache, refreshed from the version
+// stamp every shard response carries — Versions() runs on the verdict
+// cache's per-request path and must not cost a round-trip. A remote
+// enrolment (this client's or anybody else's, observed on any reply)
+// therefore bumps the cached version and invalidates exactly the
+// dependent verdict-cache entries, the same contract an in-process
+// shard's atomic version counter provides.
+//
+// Failure semantics: transient failures (including a shard-server
+// restart) are absorbed by reconnect + retry. An operation that
+// exhausts its retries fails open — ClassifyBatch reports empty accept
+// sets and Discriminate no scores — so the logical bank degrades to
+// "unknown device" on the lost partition instead of wedging; Enroll
+// surfaces its error. RemoteShard is safe for concurrent use.
+type RemoteShard struct {
+	addr   string
+	cfg    RemoteShardConfig
+	conns  []*shardConn
+	jitter *backoff.Jitter
+	next   atomic.Uint64 // round-robin connection cursor
+
+	version atomic.Uint64
+
+	// typesMu guards the cached type list (refreshed by Types).
+	typesMu sync.Mutex
+	types   []string
+
+	requests, retries, dials, failures atomic.Uint64
+}
+
+// NewRemoteShard creates a client for the shard served at addr
+// (host:port). No connection is made until the first operation.
+func NewRemoteShard(addr string, cfg RemoteShardConfig) *RemoteShard {
+	cfg = cfg.withDefaults()
+	rs := &RemoteShard{addr: addr, cfg: cfg, jitter: backoff.NewJitter(cfg.Seed)}
+	rs.conns = make([]*shardConn, cfg.Conns)
+	for i := range rs.conns {
+		rs.conns[i] = &shardConn{addr: addr, rs: rs, waiters: make(map[uint64]chan shardResult)}
+	}
+	return rs
+}
+
+// Stats snapshots the client counters.
+func (rs *RemoteShard) Stats() RemoteShardStats {
+	return RemoteShardStats{
+		Requests: rs.requests.Load(),
+		Retries:  rs.retries.Load(),
+		Dials:    rs.dials.Load(),
+		Failures: rs.failures.Load(),
+		Version:  rs.version.Load(),
+	}
+}
+
+// Addr returns the shard server's address.
+func (rs *RemoteShard) Addr() string { return rs.addr }
+
+// observeVersion folds a version stamp from the wire into the cache.
+// Versions only grow, so the maximum observed is the freshest.
+func (rs *RemoteShard) observeVersion(v uint64) {
+	for {
+		cur := rs.version.Load()
+		if v <= cur || rs.version.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// do runs one shard operation with reconnect + jittered retry, spreading
+// attempts over the connection pool.
+func (rs *RemoteShard) do(req shardRequest, timeout time.Duration) (shardResponse, error) {
+	rs.requests.Add(1)
+	body, err := json.Marshal(req)
+	if err != nil {
+		return shardResponse{}, fmt.Errorf("iotssp: encoding shard request: %w", err)
+	}
+	body = append(body, '\n')
+
+	var lastErr error
+	for attempt := 0; attempt <= rs.cfg.MaxRetries; attempt++ {
+		if attempt > 0 {
+			rs.retries.Add(1)
+			d := rs.cfg.RetryBackoff << (attempt - 1)
+			if d > rs.cfg.MaxBackoff || d <= 0 {
+				d = rs.cfg.MaxBackoff
+			}
+			time.Sleep(rs.jitter.Scale(d))
+		}
+		sc := rs.conns[rs.next.Add(1)%uint64(len(rs.conns))]
+		resp, err := sc.roundTrip(body, timeout)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		rs.observeVersion(resp.Version)
+		if resp.Error != "" {
+			if resp.Retryable {
+				lastErr = fmt.Errorf("iotssp: shard backpressure: %s", resp.Error)
+				continue
+			}
+			return resp, fmt.Errorf("iotssp: shard error: %s", resp.Error)
+		}
+		return resp, nil
+	}
+	rs.failures.Add(1)
+	return shardResponse{}, fmt.Errorf("iotssp: shard %s unreachable: %w", rs.addr, lastErr)
+}
+
+// ClassifyBatch implements core.Shard: the batch ships as packed F
+// matrices in one pipelined request, and the reply carries each
+// fingerprint's accepted types in shard enrolment order. The workers
+// budget is the scatter's local concern and does not travel — the shard
+// server fans the batch across its own cores. On exhausted retries the
+// batch fails open to all-reject (see the type comment).
+func (rs *RemoteShard) ClassifyBatch(fps []*fingerprint.Fingerprint, workers int) [][]string {
+	_ = workers
+	out := make([][]string, len(fps))
+	if len(fps) == 0 {
+		return out
+	}
+	batch := make([]string, len(fps))
+	for i, f := range fps {
+		packed, err := fingerprint.Pack(f)
+		if err != nil {
+			return out
+		}
+		batch[i] = packed
+	}
+	resp, err := rs.do(shardRequest{Op: OpClassify, Batch: batch}, rs.cfg.Timeout)
+	if err != nil || len(resp.Accepts) != len(fps) {
+		return out
+	}
+	return resp.Accepts
+}
+
+// Discriminate implements core.Shard. On exhausted retries it reports
+// no scores, which concedes the discrimination to the other shards'
+// candidates.
+func (rs *RemoteShard) Discriminate(f *fingerprint.Fingerprint, candidates []string) (string, map[string]float64) {
+	packed, err := fingerprint.Pack(f)
+	if err != nil {
+		return "", nil
+	}
+	resp, err := rs.do(shardRequest{Op: OpDiscriminate, Fingerprint: packed, Candidates: candidates}, rs.cfg.Timeout)
+	if err != nil {
+		return "", nil
+	}
+	return resp.Best, resp.Scores
+}
+
+// Enroll implements core.Shard: the training fingerprints ship packed,
+// the shard server trains the classifier, and the reply's version stamp
+// lands in the local cache — which is exactly what lets a verdict cache
+// fronting the logical bank invalidate the entries that depended on
+// this shard.
+func (rs *RemoteShard) Enroll(name string, prints []*fingerprint.Fingerprint) error {
+	packed := make([]string, len(prints))
+	for i, f := range prints {
+		p, err := fingerprint.Pack(f)
+		if err != nil {
+			return err
+		}
+		packed[i] = p
+	}
+	_, err := rs.do(shardRequest{Op: OpEnroll, Type: name, Prints: packed}, rs.cfg.EnrollTimeout)
+	return err
+}
+
+// Version implements core.Shard from the local cache of the last
+// version stamp observed on the wire (every shard response carries
+// one). It never blocks on the network: verdict caches call it per
+// request.
+func (rs *RemoteShard) Version() uint64 { return rs.version.Load() }
+
+// Types implements core.Shard: it asks the shard server for its type
+// list (OpMeta), falling back to the last successfully fetched list
+// when the shard is unreachable.
+func (rs *RemoteShard) Types() []string {
+	resp, err := rs.do(shardRequest{Op: OpMeta}, rs.cfg.Timeout)
+	rs.typesMu.Lock()
+	defer rs.typesMu.Unlock()
+	if err == nil {
+		rs.types = append([]string(nil), resp.Types...)
+	}
+	return append([]string(nil), rs.types...)
+}
+
+// Close severs every connection and fails outstanding requests.
+func (rs *RemoteShard) Close() error {
+	for _, sc := range rs.conns {
+		sc.close()
+	}
+	return nil
+}
+
+// RemoteShard implements core.Shard over the wire.
+var _ core.Shard = (*RemoteShard)(nil)
+
+// shardResult is one completed shard round-trip.
+type shardResult struct {
+	resp shardResponse
+	err  error
+}
+
+// shardConn is one persistent pipelined connection to a shard server,
+// correlated by line echo exactly like the pooled gateway client's
+// poolConn. The first line on every fresh connection is the hello
+// handshake; the dial fails — and the next attempt redials — unless the
+// peer announces ModeShard at a compatible protocol version.
+type shardConn struct {
+	addr string
+	rs   *RemoteShard
+
+	mu   sync.Mutex
+	conn net.Conn
+	// gen counts connection incarnations. The line counter resets on
+	// every redial, so a response still sitting in a dead pump's read
+	// buffer could otherwise correlate to a waiter registered on the
+	// replacement connection; each pump carries its generation and
+	// deliveries from past generations are discarded.
+	gen     uint64
+	lines   uint64
+	waiters map[uint64]chan shardResult
+	closed  bool
+}
+
+// roundTrip sends one request line and waits for its response.
+func (sc *shardConn) roundTrip(body []byte, timeout time.Duration) (shardResponse, error) {
+	deadline := time.Now().Add(timeout)
+
+	sc.mu.Lock()
+	if sc.closed {
+		sc.mu.Unlock()
+		return shardResponse{}, fmt.Errorf("iotssp: remote shard closed")
+	}
+	if sc.conn == nil {
+		if err := sc.dialLocked(deadline); err != nil {
+			sc.mu.Unlock()
+			return shardResponse{}, err
+		}
+	}
+	conn := sc.conn
+	sc.lines++
+	ch := make(chan shardResult, 1)
+	sc.waiters[sc.lines] = ch
+	conn.SetWriteDeadline(deadline)
+	if _, err := conn.Write(body); err != nil {
+		sc.dropLocked(conn, fmt.Errorf("iotssp: sending shard request: %w", err))
+		sc.mu.Unlock()
+		return shardResponse{}, fmt.Errorf("iotssp: sending shard request: %w", err)
+	}
+	sc.mu.Unlock()
+
+	timer := time.NewTimer(time.Until(deadline))
+	defer timer.Stop()
+	select {
+	case res := <-ch:
+		return res.resp, res.err
+	case <-timer.C:
+		// A missed deadline means the connection or the shard is wedged;
+		// sever it so pipelined requests fail fast and the next attempt
+		// redials.
+		sc.fail(conn, fmt.Errorf("iotssp: shard %s: deadline exceeded", sc.addr))
+		return shardResponse{}, fmt.Errorf("iotssp: shard %s: deadline exceeded", sc.addr)
+	}
+}
+
+// dialLocked establishes the connection and performs the hello
+// handshake as line 1. Callers hold mu; the handshake itself waits
+// outside the lock (the read pump needs mu to deliver the reply).
+func (sc *shardConn) dialLocked(deadline time.Time) error {
+	d := net.Dialer{Deadline: deadline}
+	conn, err := d.Dial("tcp", sc.addr)
+	if err != nil {
+		return fmt.Errorf("iotssp: dialing shard %s: %w", sc.addr, err)
+	}
+	if conn.LocalAddr().String() == conn.RemoteAddr().String() {
+		// Loopback self-connect guard, as in the gateway pool.
+		conn.Close()
+		return fmt.Errorf("iotssp: dialing shard %s: self-connection", sc.addr)
+	}
+	sc.conn = conn
+	sc.gen++
+	sc.lines = 1
+	helloCh := make(chan shardResult, 1)
+	sc.waiters[1] = helloCh
+	sc.rs.dials.Add(1)
+	go sc.readPump(conn, sc.gen)
+
+	hello, _ := json.Marshal(shardRequest{Op: OpHello, V: ProtocolVersion})
+	conn.SetWriteDeadline(deadline)
+	if _, err := conn.Write(append(hello, '\n')); err != nil {
+		sc.dropLocked(conn, err)
+		return fmt.Errorf("iotssp: shard hello to %s: %w", sc.addr, err)
+	}
+
+	// Wait for the hello reply outside the lock.
+	sc.mu.Unlock()
+	var res shardResult
+	timer := time.NewTimer(time.Until(deadline))
+	select {
+	case res = <-helloCh:
+	case <-timer.C:
+		res = shardResult{err: fmt.Errorf("iotssp: shard hello to %s: deadline exceeded", sc.addr)}
+	}
+	timer.Stop()
+	sc.mu.Lock()
+
+	if res.err != nil {
+		sc.dropLocked(conn, res.err)
+		return res.err
+	}
+	if res.resp.Mode != ModeShard {
+		err := fmt.Errorf("iotssp: %s is not a shard server (mode %q, protocol v%d)", sc.addr, res.resp.Mode, res.resp.V)
+		sc.dropLocked(conn, err)
+		return err
+	}
+	if res.resp.V != ProtocolVersion {
+		err := fmt.Errorf("iotssp: shard %s speaks protocol v%d, want v%d", sc.addr, res.resp.V, ProtocolVersion)
+		sc.dropLocked(conn, err)
+		return err
+	}
+	sc.rs.observeVersion(res.resp.Version)
+	if sc.conn != conn {
+		// The connection died while we were waiting on the handshake.
+		return fmt.Errorf("iotssp: shard %s: connection lost during handshake", sc.addr)
+	}
+	return nil
+}
+
+// readPump decodes response lines and hands each to its waiter until
+// the connection breaks. A pump that outlives its connection (buffered
+// lines survive the socket close) must not deliver into a younger
+// incarnation's waiters — its generation no longer matches and the
+// response is dropped.
+func (sc *shardConn) readPump(conn net.Conn, gen uint64) {
+	br := bufio.NewReader(conn)
+	for {
+		line, err := br.ReadBytes('\n')
+		if err != nil {
+			sc.fail(conn, fmt.Errorf("iotssp: reading shard response: %w", err))
+			return
+		}
+		var resp shardResponse
+		if err := json.Unmarshal(line, &resp); err != nil {
+			sc.fail(conn, fmt.Errorf("iotssp: decoding shard response: %w", err))
+			return
+		}
+		sc.mu.Lock()
+		if sc.gen != gen {
+			sc.mu.Unlock()
+			return
+		}
+		ch := sc.waiters[resp.Line]
+		delete(sc.waiters, resp.Line)
+		sc.mu.Unlock()
+		if ch != nil {
+			ch <- shardResult{resp: resp}
+		}
+	}
+}
+
+// fail severs conn and fails every outstanding request.
+func (sc *shardConn) fail(conn net.Conn, err error) {
+	sc.mu.Lock()
+	sc.dropLocked(conn, err)
+	sc.mu.Unlock()
+}
+
+// dropLocked severs conn (if still current) and fails its waiters.
+// Callers hold mu.
+func (sc *shardConn) dropLocked(conn net.Conn, err error) {
+	if sc.conn != conn {
+		return
+	}
+	conn.Close()
+	sc.conn = nil
+	waiters := sc.waiters
+	sc.waiters = make(map[uint64]chan shardResult)
+	for _, ch := range waiters {
+		ch <- shardResult{err: err}
+	}
+}
+
+// close permanently severs the connection.
+func (sc *shardConn) close() {
+	sc.mu.Lock()
+	sc.closed = true
+	if sc.conn != nil {
+		sc.dropLocked(sc.conn, fmt.Errorf("iotssp: remote shard closed"))
+	}
+	sc.mu.Unlock()
+}

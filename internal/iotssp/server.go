@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/fingerprint"
 )
 
@@ -128,16 +129,24 @@ type dispatchItem struct {
 	out  *connWriter
 }
 
-// Server serves the JSON-lines protocol: a bounded accept loop, one
-// read and one write pump per connection, and a micro-batching
-// dispatcher that aggregates requests across all connections into
-// Bank.IdentifyBatch flushes. Create with NewServer or NewServerConfig;
-// it owns a dispatcher goroutine until Close.
+// Server serves the JSON-lines protocol in one of two modes. In
+// verdict mode (NewServer/NewServerConfig) it fronts a Service: a
+// bounded accept loop, one read and one write pump per connection, and
+// a micro-batching dispatcher that aggregates requests across all
+// connections into Bank.IdentifyBatch flushes; it owns a dispatcher
+// goroutine until Close. In shard-serving mode (NewShardServer) it
+// hosts one core.Bank shard of a distributed logical bank and answers
+// the shard verbs (classify/discriminate/enroll/meta) instead — see
+// shardserver.go.
 type Server struct {
-	svc *Service
-	cfg ServerConfig
+	svc   *Service
+	shard *core.Bank // non-nil selects shard-serving mode
+	cfg   ServerConfig
 
 	queue chan dispatchItem
+	// enrollSem bounds concurrent shard-mode enrolments (nil in verdict
+	// mode).
+	enrollSem chan struct{}
 
 	mu     sync.Mutex
 	lis    net.Listener
@@ -174,7 +183,7 @@ func NewServerConfig(svc *Service, cfg ServerConfig) *Server {
 
 // Stats snapshots the server's counters.
 func (s *Server) Stats() ServerStats {
-	return ServerStats{
+	st := ServerStats{
 		ConnsAccepted:   s.connsAccepted.Load(),
 		ConnsRefused:    s.connsRefused.Load(),
 		Requests:        s.requests.Load(),
@@ -184,8 +193,11 @@ func (s *Server) Stats() ServerStats {
 		Batches:         s.batches.Load(),
 		BatchedRequests: s.batchedReqs.Load(),
 		MaxBatch:        s.maxBatch.Load(),
-		Cache:           s.svc.CacheStats(),
 	}
+	if s.svc != nil {
+		st.Cache = s.svc.CacheStats()
+	}
+	return st
 }
 
 // Serve accepts connections on lis until Close is called. It blocks.
@@ -268,13 +280,15 @@ type connWriter struct {
 
 	mu     sync.Mutex
 	closed bool
-	ch     chan Response
+	// ch carries whatever JSON-lines message the serving mode answers
+	// with: Response in verdict mode, shardResponse in shard mode.
+	ch chan any
 }
 
 // send queues a response for the write pump. A full queue means the
 // client stopped reading: the connection is dropped rather than letting
 // its backlog grow without bound.
-func (w *connWriter) send(resp Response) bool {
+func (w *connWriter) send(resp any) bool {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.closed {
@@ -334,7 +348,7 @@ func (w *connWriter) pump() {
 // connection alive), and enqueues decoded requests to the dispatcher —
 // or answers with a retryable error when the queue is full.
 func (s *Server) handleConn(conn net.Conn) {
-	w := &connWriter{conn: conn, srv: s, ch: make(chan Response, s.cfg.WriteQueue)}
+	w := &connWriter{conn: conn, srv: s, ch: make(chan any, s.cfg.WriteQueue)}
 	var pumpDone sync.WaitGroup
 	pumpDone.Add(1)
 	go func() {
@@ -343,6 +357,11 @@ func (s *Server) handleConn(conn net.Conn) {
 	}()
 	defer pumpDone.Wait()
 	defer w.shutdown()
+
+	if s.shard != nil {
+		s.handleShardConn(conn, w)
+		return
+	}
 
 	scanner := bufio.NewScanner(conn)
 	scanner.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
@@ -353,6 +372,20 @@ func (s *Server) handleConn(conn net.Conn) {
 		if err := json.Unmarshal(scanner.Bytes(), &req); err != nil {
 			s.malformed.Add(1)
 			if !w.send(Response{Line: line, Error: fmt.Sprintf("line %d: malformed request: %v", line, err)}) {
+				return
+			}
+			continue
+		}
+		if req.Op != "" {
+			// Version-2 verbs against the verdict endpoint: introduce
+			// ourselves to a hello, reject shard verbs cleanly (the client
+			// dialed the wrong kind of server; retrying here cannot help).
+			if req.Op == OpHello {
+				if !w.send(shardResponse{Op: OpHello, Line: line, Mode: ModeVerdict, V: ProtocolVersion}) {
+					return
+				}
+			} else if !w.send(Response{Line: line, Error: fmt.Sprintf(
+				"line %d: this server speaks the identify protocol (%s mode); shard op %q is not served here", line, ModeVerdict, req.Op)}) {
 				return
 			}
 			continue

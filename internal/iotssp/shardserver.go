@@ -1,0 +1,260 @@
+package iotssp
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+
+	"repro/internal/core"
+	"repro/internal/fingerprint"
+)
+
+// Server modes, as announced in the OpHello negotiation.
+const (
+	// ModeVerdict is the identify-protocol front end (a Service behind
+	// the micro-batching dispatcher).
+	ModeVerdict = "verdict"
+	// ModeShard is the shard-serving mode: the server hosts one
+	// core.Bank shard of a distributed logical bank.
+	ModeShard = "shard"
+)
+
+// shardRequest is one line of the shard wire protocol (version 2): an
+// op plus the fields that op consumes. F matrices always travel in the
+// packed codec (base64 zigzag varints) — the shard protocol is a
+// high-volume inter-node path and never pays the readable JSON form.
+type shardRequest struct {
+	// Op is the verb: OpHello, OpMeta, OpClassify, OpDiscriminate or
+	// OpEnroll. Empty means the line is a version-1 identify request
+	// that reached a shard endpoint by mistake.
+	Op string `json:"op"`
+	// V is the client's protocol version (OpHello).
+	V int `json:"v,omitempty"`
+	// Batch is the packed F matrix of every fingerprint to classify
+	// (OpClassify), batch order preserved in the reply.
+	Batch []string `json:"batch,omitempty"`
+	// Fingerprint is one packed F matrix (OpDiscriminate).
+	Fingerprint string `json:"fingerprint,omitempty"`
+	// Candidates are the device-types to discriminate among
+	// (OpDiscriminate).
+	Candidates []string `json:"candidates,omitempty"`
+	// Type and Prints are the device-type and its packed training
+	// fingerprints (OpEnroll).
+	Type   string   `json:"type,omitempty"`
+	Prints []string `json:"prints,omitempty"`
+}
+
+// shardResponse is the shard protocol's reply line. Every reply echoes
+// the request's 1-based connection line number (clients pipeline and
+// correlate by line, exactly as in the identify protocol) and carries
+// the shard's current enrolment version, so a remote-shard client
+// observes version bumps — its own enrolments and everybody else's —
+// without polling.
+type shardResponse struct {
+	Op   string `json:"op,omitempty"`
+	Line uint64 `json:"line,omitempty"`
+	// Mode and V answer OpHello ("shard"/"verdict", ProtocolVersion).
+	Mode string `json:"mode,omitempty"`
+	V    int    `json:"v,omitempty"`
+	// Version is the shard's enrolment version after handling the
+	// request.
+	Version uint64 `json:"version,omitempty"`
+	// Types lists the shard's device-types (OpMeta).
+	Types []string `json:"types,omitempty"`
+	// Accepts carries OpClassify results: accepts[i] lists the types
+	// whose classifier accepted batch entry i, in shard enrolment order.
+	Accepts [][]string `json:"accepts,omitempty"`
+	// Best and Scores carry OpDiscriminate results.
+	Best   string             `json:"best,omitempty"`
+	Scores map[string]float64 `json:"scores,omitempty"`
+	// Error/Retryable follow the identify protocol's error contract:
+	// malformed shard requests are never retryable, backpressure and
+	// mode mismatches a failover can fix are.
+	Error     string `json:"error,omitempty"`
+	Retryable bool   `json:"retryable,omitempty"`
+}
+
+// NewShardServer wraps one in-process classifier-bank shard for network
+// serving: the returned server speaks the shard verbs of the version-2
+// wire protocol (hello/meta/classify/discriminate/enroll) so a
+// core.ShardedBank in another process can address this bank through an
+// iotssp.RemoteShard. The admission spine is shared with verdict mode —
+// bounded accept loop, MaxConns refusals, per-connection read/write
+// pumps, slow-client drops — but there is no micro-batching dispatcher:
+// shard clients already batch (a whole scatter flush arrives as one
+// OpClassify), so requests are answered straight off the read pump.
+// Version-1 identify requests are answered with a clean retryable
+// error naming the mode, so an old gateway pointed at a shard endpoint
+// backs off and fails over instead of choking on a malformed-line
+// reply.
+func NewShardServer(bank *core.Bank, cfg ServerConfig) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		shard: bank,
+		cfg:   cfg,
+		queue: make(chan dispatchItem, cfg.QueueCapacity),
+		conns: make(map[net.Conn]struct{}),
+		// Enrolments train forests off the read pumps; bound how many may
+		// be queued or training at once so a misbehaving client cannot
+		// pile up goroutines each pinning a decoded training set.
+		enrollSem: make(chan struct{}, maxConcurrentEnrolls),
+	}
+	// No dispatcher: shard verbs are served inline per connection.
+	return s
+}
+
+// maxConcurrentEnrolls bounds in-flight enrolments per shard server.
+// Training serializes on the bank's write lock anyway; the bound only
+// caps the waiting room before overload answers take over.
+const maxConcurrentEnrolls = 4
+
+// ShardBank returns the hosted shard in shard-serving mode (nil in
+// verdict mode).
+func (s *Server) ShardBank() *core.Bank { return s.shard }
+
+// handleShardConn is the shard-mode read pump: it scans JSON lines,
+// answers malformed ones in place, and serves each shard verb against
+// the hosted bank. Enrolments train a forest — seconds, not
+// microseconds — so they run on their own goroutine and answer out of
+// order through the write pump; classify/discriminate stay inline, and
+// the pipelined line echo keeps correlation exact either way.
+func (s *Server) handleShardConn(conn net.Conn, w *connWriter) {
+	scanner := bufio.NewScanner(conn)
+	scanner.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var line uint64
+	for scanner.Scan() {
+		line++
+		var req shardRequest
+		err := json.Unmarshal(scanner.Bytes(), &req)
+		if err != nil || req.Op == "" {
+			// Not a shard verb. A version-1 identify request decodes as a
+			// Request (its "fingerprint" field is an object, which fails
+			// the shardRequest decode above): refuse it cleanly and
+			// retryably, echoing the fields its correlator needs, so the
+			// old client backs off and fails over instead of parsing a
+			// surprise. Anything else is malformed.
+			var v1 Request
+			if verr := json.Unmarshal(scanner.Bytes(), &v1); verr == nil && (err == nil || v1.Fingerprint.MAC != "" || v1.Fingerprint.Packed != "" || len(v1.Fingerprint.Vectors) > 0) {
+				s.malformed.Add(1)
+				if !w.send(Response{
+					MAC:       v1.Fingerprint.MAC,
+					Line:      line,
+					Error:     fmt.Sprintf("line %d: this server hosts a classifier-bank shard (%s mode, protocol v%d); identify requests are not served here", line, ModeShard, ProtocolVersion),
+					Retryable: true,
+				}) {
+					return
+				}
+				continue
+			}
+			s.malformed.Add(1)
+			if !w.send(shardResponse{Line: line, Error: fmt.Sprintf("line %d: malformed shard request: %v", line, err)}) {
+				return
+			}
+			continue
+		}
+		if req.Op == OpEnroll {
+			s.requests.Add(1)
+			select {
+			case s.enrollSem <- struct{}{}:
+				req := req
+				reqLine := line
+				go func() {
+					defer func() { <-s.enrollSem }()
+					w.send(s.serveEnroll(req, reqLine))
+				}()
+			default:
+				// The enrolment waiting room is full: answer with the same
+				// retryable backpressure contract the verdict mode's queue
+				// uses instead of growing an unbounded goroutine pile.
+				s.overloaded.Add(1)
+				if !w.send(shardResponse{
+					Line:      line,
+					Error:     fmt.Sprintf("line %d: shard overloaded: %d enrolments already in flight", line, maxConcurrentEnrolls),
+					Retryable: true,
+					Version:   s.shard.Version(),
+				}) {
+					return
+				}
+			}
+			continue
+		}
+		if !w.send(s.serveShardOp(req, line)) {
+			return
+		}
+	}
+}
+
+// serveShardOp answers one inline shard verb.
+func (s *Server) serveShardOp(req shardRequest, line uint64) shardResponse {
+	switch req.Op {
+	case OpHello:
+		return shardResponse{Op: OpHello, Line: line, Mode: ModeShard, V: ProtocolVersion, Version: s.shard.Version()}
+	case OpMeta:
+		s.requests.Add(1)
+		return shardResponse{Op: OpMeta, Line: line, Types: s.shard.Types(), Version: s.shard.Version()}
+	case OpClassify:
+		s.requests.Add(1)
+		fps := make([]*fingerprint.Fingerprint, len(req.Batch))
+		for i, packed := range req.Batch {
+			fp, err := fingerprint.Unpack(packed)
+			if err != nil {
+				s.malformed.Add(1)
+				return shardResponse{Line: line, Error: fmt.Sprintf("line %d: classify batch entry %d: %v", line, i, err)}
+			}
+			fps[i] = fp
+		}
+		accepts := s.shard.ClassifyBatch(fps, s.cfg.Workers)
+		s.noteBatch(len(fps))
+		return shardResponse{Op: OpClassify, Line: line, Accepts: accepts, Version: s.shard.Version()}
+	case OpDiscriminate:
+		s.requests.Add(1)
+		fp, err := fingerprint.Unpack(req.Fingerprint)
+		if err != nil {
+			s.malformed.Add(1)
+			return shardResponse{Line: line, Error: fmt.Sprintf("line %d: discriminate fingerprint: %v", line, err)}
+		}
+		best, scores := s.shard.Discriminate(fp, req.Candidates)
+		return shardResponse{Op: OpDiscriminate, Line: line, Best: best, Scores: scores, Version: s.shard.Version()}
+	default:
+		s.malformed.Add(1)
+		return shardResponse{Line: line, Error: fmt.Sprintf("line %d: unknown shard op %q (protocol v%d)", line, req.Op, ProtocolVersion)}
+	}
+}
+
+// serveEnroll trains the requested type on the hosted shard. It runs
+// off the read pump (training takes seconds) and reports the shard
+// version after the attempt either way, so the client's cached version
+// tracks concurrent enrolments it lost the race to.
+func (s *Server) serveEnroll(req shardRequest, line uint64) shardResponse {
+	if req.Type == "" {
+		s.malformed.Add(1)
+		return shardResponse{Line: line, Error: fmt.Sprintf("line %d: enroll with empty type name", line)}
+	}
+	prints := make([]*fingerprint.Fingerprint, len(req.Prints))
+	for i, packed := range req.Prints {
+		fp, err := fingerprint.Unpack(packed)
+		if err != nil {
+			s.malformed.Add(1)
+			return shardResponse{Line: line, Error: fmt.Sprintf("line %d: enroll print %d: %v", line, i, err)}
+		}
+		prints[i] = fp
+	}
+	if err := s.shard.Enroll(req.Type, prints); err != nil {
+		return shardResponse{Line: line, Error: fmt.Sprintf("line %d: %v", line, err), Version: s.shard.Version()}
+	}
+	return shardResponse{Op: OpEnroll, Line: line, Version: s.shard.Version()}
+}
+
+// noteBatch accounts one classify flush in the dispatcher counters, so
+// shard servers report batch shapes the same way verdict servers do.
+func (s *Server) noteBatch(n int) {
+	s.batches.Add(1)
+	s.batchedReqs.Add(uint64(n))
+	for {
+		cur := s.maxBatch.Load()
+		if uint64(n) <= cur || s.maxBatch.CompareAndSwap(cur, uint64(n)) {
+			break
+		}
+	}
+}
