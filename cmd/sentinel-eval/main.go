@@ -5,7 +5,9 @@
 // experiments (service: multi-gateway load; fleet: sharded bank behind
 // replicated backends with a mid-run backend kill; distributed: one
 // logical bank with a shard served across the wire, bit-equal to the
-// all-local baseline through a mid-run shard restart).
+// all-local baseline through a mid-run shard restart; replicated: the
+// remote partition behind a 2+-member shard group whose mid-run member
+// kill+revive costs zero verdicts and no retry-latency spike).
 //
 // Usage:
 //
@@ -13,12 +15,14 @@
 //	sentinel-eval -experiment all -repeats 2  # faster smoke run
 //	sentinel-eval -experiment fleet -shards 4 -backends 3
 //	sentinel-eval -experiment distributed -shards 2
+//	sentinel-eval -experiment replicated -replicas 2
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"repro/internal/experiments"
@@ -34,15 +38,17 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("sentinel-eval", flag.ContinueOnError)
 	var (
-		experiment = fs.String("experiment", "all", "fig5|table3|table4|throughput|service|fleet|distributed|ablations|all")
-		runs       = fs.Int("runs", 20, "setup captures per device-type")
-		folds      = fs.Int("folds", 10, "cross-validation folds")
-		repeats    = fs.Int("repeats", 10, "cross-validation repetitions")
-		trees      = fs.Int("trees", 100, "random-forest size")
-		seed       = fs.Int64("seed", 1, "experiment seed")
-		shards     = fs.Int("shards", 2, "classifier-bank shards (fleet experiment)")
-		backends   = fs.Int("backends", 2, "service replicas (fleet experiment)")
-		minScaling = fs.Float64("min-scaling", 0, "fail the fleet experiment unless fleet/baseline throughput reaches this ratio (0 = report only)")
+		experiment  = fs.String("experiment", "all", "fig5|table3|table4|throughput|service|fleet|distributed|replicated|ablations|all")
+		runs        = fs.Int("runs", 20, "setup captures per device-type")
+		folds       = fs.Int("folds", 10, "cross-validation folds")
+		repeats     = fs.Int("repeats", 10, "cross-validation repetitions")
+		trees       = fs.Int("trees", 100, "random-forest size")
+		seed        = fs.Int64("seed", 1, "experiment seed")
+		shards      = fs.Int("shards", 2, "classifier-bank shards (fleet experiment)")
+		backends    = fs.Int("backends", 2, "service replicas (fleet experiment)")
+		replicas    = fs.Int("replicas", 2, "shard-group members (replicated experiment)")
+		minScaling  = fs.Float64("min-scaling", 0, "fail the fleet experiment unless fleet/baseline throughput reaches this ratio (0 = report only)")
+		maxP99Ratio = fs.Float64("max-p99-ratio", -1, "fail the replicated experiment unless the kill run's p99 stays within this multiple of the no-kill run's (0 = report only; -1 = 2.0 when GOMAXPROCS >= 4, else report only)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -139,6 +145,32 @@ func run(args []string) error {
 		fmt.Print(res.RenderDistributed())
 	}
 
+	if *experiment == "replicated" || *experiment == "all" {
+		fmt.Println()
+		ratio := *maxP99Ratio
+		if ratio < 0 {
+			// The latency assertion needs parallel hardware (like the fleet
+			// experiment's scaling gate): on a starved box scheduler noise
+			// dwarfs the failover cost being measured.
+			ratio = 0
+			if runtime.GOMAXPROCS(0) >= 4 {
+				ratio = 2.0
+			}
+		}
+		res, err := experiments.RunReplicatedShards(experiments.ReplicatedConfig{
+			Runs:        *runs / 2,
+			Trees:       *trees,
+			Shards:      *shards,
+			Replicas:    *replicas,
+			MaxP99Ratio: ratio,
+			Seed:        *seed,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.RenderReplicated())
+	}
+
 	if *experiment == "ablations" || *experiment == "all" {
 		abCfg := cfg
 		if abCfg.Repeats > 2 {
@@ -160,10 +192,10 @@ func run(args []string) error {
 	}
 
 	switch *experiment {
-	case "fig5", "table3", "table4", "throughput", "service", "fleet", "distributed", "ablations", "all":
+	case "fig5", "table3", "table4", "throughput", "service", "fleet", "distributed", "replicated", "ablations", "all":
 		return nil
 	default:
 		return fmt.Errorf("unknown experiment %q (want %s)", *experiment,
-			strings.Join([]string{"fig5", "table3", "table4", "throughput", "service", "fleet", "distributed", "ablations", "all"}, "|"))
+			strings.Join([]string{"fig5", "table3", "table4", "throughput", "service", "fleet", "distributed", "replicated", "ablations", "all"}, "|"))
 	}
 }

@@ -45,3 +45,16 @@ func TestRunDistributedExperimentSmoke(t *testing.T) {
 		t.Fatalf("distributed experiment: %v", err)
 	}
 }
+
+// TestRunReplicatedExperimentSmoke drives the replicated-shard-group
+// experiment end to end through the CLI entry point at a reduced size,
+// including the GOMAXPROCS-gated p99 assertion default.
+func TestRunReplicatedExperimentSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replicated experiment in -short mode")
+	}
+	err := run([]string{"-experiment", "replicated", "-runs", "10", "-trees", "25", "-shards", "2", "-replicas", "2"})
+	if err != nil {
+		t.Fatalf("replicated experiment: %v", err)
+	}
+}

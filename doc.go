@@ -67,6 +67,22 @@
 // mid-run kill with zero lost verdicts, and cache-counter-verified
 // shard-scoped invalidation.
 //
+// Every wire client rides one transport. internal/lineconn owns the
+// pipelined line-correlated connection that gateway.Pool (and so
+// FleetPool), iotssp.RemoteShard, iotssp.ShardGroup and the legacy
+// iotssp.Client all used to hand-roll: request lines are counted per
+// connection, responses correlate to waiters by the server's line echo,
+// a generation guard keeps responses buffered from a severed connection
+// from resolving waiters on its replacement, and any transport failure
+// fails every pending waiter fast and redials lazily. Protocols with an
+// opening negotiation (the shard hello) plug in through a handshake
+// hook that owns line 1 of every fresh connection. The transport
+// exposes one canonical counter block — dials, reconnects, bursts,
+// dropped correlations — surfaced verbatim through PoolStats,
+// RemoteShardStats and ShardGroupStats into the experiments' metrics
+// snapshot, and one Retry policy drives every client's jittered
+// exponential backoff from the shared internal/backoff source.
+//
 // The bank's shards themselves cross process boundaries. core.Shard
 // abstracts one partition of the logical bank
 // (ClassifyBatch/Discriminate/Enroll/Version/Types); the in-process
@@ -88,6 +104,23 @@
 // baseline, survives a mid-run remote-shard restart with zero lost
 // verdicts, and invalidates exactly the dependent cache entries on a
 // remote enrolment.
+//
+// Remote shards replicate. iotssp.ShardGroup serves one partition from
+// N identically trained shard servers behind a single health-aware
+// core.Shard — the FleetPool machinery one layer down, built on the
+// same backoff.Breaker: reads round-robin across admitted members and
+// fail over transparently, consecutive failures eject a member,
+// probing re-admission brings a revived one back — so a shard-server
+// restart costs zero added latency instead of stalling every in-flight
+// scatter in a retry burst. Enrolments fan out to every member and the
+// group's version reconciles to the maximum observed, so the verdict
+// cache sees exactly one bump and invalidates the dependent entries
+// exactly once. The replicated experiment
+// (experiments.RunReplicatedShards, sentinel-eval -experiment
+// replicated) drills it: bit-equal verdicts against the single-replica
+// reference, a mid-run member kill+revive with zero lost verdicts and
+// p99 within 2x of the no-kill run (gated on GOMAXPROCS), and the
+// counter-verified fan-out invalidation.
 //
 // See README.md for a walkthrough, DESIGN.md for the system inventory
 // and experiment index, and EXPERIMENTS.md for paper-versus-measured

@@ -1,0 +1,104 @@
+package backoff
+
+import (
+	"testing"
+	"time"
+)
+
+func testBreaker(threshold int) *Breaker {
+	return NewBreaker(BreakerConfig{
+		FailureThreshold: threshold,
+		ProbeBackoff:     50 * time.Millisecond,
+		MaxProbeBackoff:  200 * time.Millisecond,
+	}, NewJitter(1))
+}
+
+func TestBreakerEjectsAfterThresholdAndProbesBackIn(t *testing.T) {
+	b := testBreaker(3)
+	now := time.Now()
+	if !b.Admit(now) {
+		t.Fatal("fresh breaker refused admission")
+	}
+
+	// Two failures keep it admitted; the third ejects.
+	b.NoteFailure(now)
+	b.NoteFailure(now)
+	if st := b.State(); !st.Healthy || st.ConsecutiveFailures != 2 {
+		t.Fatalf("state before threshold = %+v", st)
+	}
+	b.NoteFailure(now)
+	st := b.State()
+	if st.Healthy || st.Ejections != 1 {
+		t.Fatalf("state after threshold = %+v, want ejected once", st)
+	}
+
+	// Ejected: no admission before the probe backoff elapses, exactly
+	// one probe after it (concurrent callers are refused until the probe
+	// resolves).
+	if b.Admit(now) {
+		t.Fatal("ejected breaker admitted before the probe backoff")
+	}
+	probeTime := now.Add(time.Second) // well past the jittered 50ms
+	if !b.Admit(probeTime) {
+		t.Fatal("elapsed probe backoff did not admit a probe")
+	}
+	if b.Admit(probeTime) {
+		t.Fatal("second concurrent probe admitted")
+	}
+
+	// A failed probe doubles the backoff; a successful one re-admits.
+	b.NoteFailure(probeTime)
+	if b.Admit(probeTime.Add(60 * time.Millisecond)) {
+		t.Fatal("probe admitted inside the doubled backoff")
+	}
+	if !b.Admit(probeTime.Add(time.Second)) {
+		t.Fatal("doubled backoff never elapsed")
+	}
+	b.NoteSuccess()
+	st = b.State()
+	if !st.Healthy || st.Readmissions != 1 || st.ConsecutiveFailures != 0 {
+		t.Fatalf("state after successful probe = %+v, want re-admitted", st)
+	}
+	if !b.Admit(probeTime) {
+		t.Fatal("re-admitted breaker refused admission")
+	}
+}
+
+func TestBreakerSuccessResetsStreak(t *testing.T) {
+	b := testBreaker(2)
+	now := time.Now()
+	b.NoteFailure(now)
+	b.NoteSuccess()
+	b.NoteFailure(now)
+	if st := b.State(); !st.Healthy {
+		t.Fatalf("interleaved successes did not reset the streak: %+v", st)
+	}
+}
+
+func TestBreakerAdmitProbeIgnoresBackoffButNotConcurrency(t *testing.T) {
+	b := testBreaker(1)
+	now := time.Now()
+	if !b.AdmitProbe() {
+		t.Fatal("healthy breaker refused AdmitProbe")
+	}
+	b.NoteFailure(now)
+	if b.State().Healthy {
+		t.Fatal("threshold-1 breaker survived a failure")
+	}
+	// The recovery probe ignores the backoff window but never doubles
+	// up.
+	if !b.AdmitProbe() {
+		t.Fatal("full-outage recovery probe refused")
+	}
+	if b.AdmitProbe() {
+		t.Fatal("concurrent recovery probe admitted")
+	}
+	// The probe's backoff caps at MaxProbeBackoff across repeated
+	// failures.
+	for i := 0; i < 10; i++ {
+		b.NoteFailure(now)
+	}
+	if !b.Admit(now.Add(400 * time.Millisecond)) {
+		t.Fatal("capped backoff (200ms max, 1.5x jitter ceiling) did not elapse by 400ms")
+	}
+}

@@ -4,7 +4,6 @@ import (
 	"context"
 	"fmt"
 	"reflect"
-	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -108,6 +107,11 @@ func (c DistributedConfig) withDefaults() (DistributedConfig, error) {
 	return c, nil
 }
 
+// phase shapes the experiment's replay phases.
+func (c DistributedConfig) phase() wirePhase {
+	return wirePhase{Requests: c.Requests, Gateways: c.Gateways, InFlight: c.InFlight, Seed: c.Seed}
+}
+
 // DistributedResult is the outcome of the distributed-bank experiment.
 type DistributedResult struct {
 	EnrolledTypes int
@@ -153,39 +157,50 @@ type DistributedResult struct {
 	Metrics *MetricsSnapshot
 }
 
-// buildDistributedWorkload generates the dataset, training partition
-// and replay workload (the fleet experiment's shapes, reused).
-func buildDistributedWorkload(cfg DistributedConfig) (map[string][]*fingerprint.Fingerprint, *serviceWorkload, string, []*fingerprint.Fingerprint, error) {
+// buildWireWorkload generates the dataset, training partition and
+// replay workload shared by the distributed and replicated experiments
+// (the fleet experiment's shapes, reused): `types` enrolled types with
+// `runs` training prints each, `probeModels` held-out probes per type,
+// a `requests`-long replay schedule, and the next catalog type as the
+// canary enrolment.
+func buildWireWorkload(types, runs, probeModels, requests int, seed int64) (map[string][]*fingerprint.Fingerprint, *serviceWorkload, string, []*fingerprint.Fingerprint, error) {
 	env := devices.DefaultEnv()
-	ds, err := devices.GenerateDataset(env, cfg.Seed, cfg.Runs+cfg.ProbeModels)
+	ds, err := devices.GenerateDataset(env, seed, runs+probeModels)
 	if err != nil {
 		return nil, nil, "", nil, err
 	}
-	names := devices.Names()[:cfg.Types]
-	canary := devices.Names()[cfg.Types]
+	names := devices.Names()[:types]
+	canary := devices.Names()[types]
 	train := make(map[string][]*fingerprint.Fingerprint, len(names))
 	var probes []*fingerprint.Fingerprint
 	for _, name := range names {
 		prints := ds[name]
-		train[name] = prints[:cfg.Runs]
-		probes = append(probes, prints[cfg.Runs:]...)
+		train[name] = prints[:runs]
+		probes = append(probes, prints[runs:]...)
 	}
 	w := &serviceWorkload{probes: probes}
-	w.model = make([]int, cfg.Requests)
-	w.macs = make([]string, cfg.Requests)
-	state := uint64(cfg.Seed)*6364136223846793005 + 1442695040888963407
+	w.model = make([]int, requests)
+	w.macs = make([]string, requests)
+	state := uint64(seed)*6364136223846793005 + 1442695040888963407
 	for i := range w.model {
 		state = state*6364136223846793005 + 1442695040888963407
 		w.model[i] = int(state>>33) % len(probes)
 		w.macs[i] = fmt.Sprintf("02:f5:%02x:%02x:%02x:%02x", (i>>24)&0xff, (i>>16)&0xff, (i>>8)&0xff, i&0xff)
 	}
-	return train, w, canary, ds[canary][:cfg.Runs], nil
+	return train, w, canary, ds[canary][:runs], nil
 }
 
-// runDistributedPhase replays the workload against one verdict server,
+// wirePhase shapes one replayed load phase: how many requests, over how
+// many gateway clients with how many in-flight slots each.
+type wirePhase struct {
+	Requests, Gateways, InFlight int
+	Seed                         int64
+}
+
+// runWirePhase replays the workload against one verdict server,
 // recording every request's verdict in request order, and optionally
-// running the shard kill drill a third of the way in.
-func runDistributedPhase(addr string, w *serviceWorkload, cfg DistributedConfig, drill func()) (time.Duration, []time.Duration, []iotssp.Response, []gateway.PoolStats, int) {
+// running the kill drill a third of the way in.
+func runWirePhase(addr string, w *serviceWorkload, cfg wirePhase, drill func()) (time.Duration, []time.Duration, []iotssp.Response, []gateway.PoolStats, int) {
 	pools := make([]*gateway.Pool, cfg.Gateways)
 	for g := range pools {
 		pools[g] = gateway.NewPool(addr, gateway.PoolConfig{
@@ -285,7 +300,7 @@ func RunDistributed(cfg DistributedConfig) (*DistributedResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	train, w, canary, canaryPrints, err := buildDistributedWorkload(cfg)
+	train, w, canary, canaryPrints, err := buildWireWorkload(cfg.Types, cfg.Runs, cfg.ProbeModels, cfg.Requests, cfg.Seed)
 	if err != nil {
 		return nil, err
 	}
@@ -329,7 +344,7 @@ func RunDistributed(cfg DistributedConfig) (*DistributedResult, error) {
 	if err := baseRep.Start(); err != nil {
 		return nil, err
 	}
-	baseElapsed, _, baseVerdicts, _, baseLost := runDistributedPhase(baseRep.Addr(), w, cfg, nil)
+	baseElapsed, _, baseVerdicts, _, baseLost := runWirePhase(baseRep.Addr(), w, cfg.phase(), nil)
 	baseRep.Close()
 	if baseLost > 0 {
 		return nil, fmt.Errorf("baseline phase lost %d verdicts with no failure injected", baseLost)
@@ -387,7 +402,7 @@ func RunDistributed(cfg DistributedConfig) (*DistributedResult, error) {
 			}
 		}
 	}
-	elapsed, lats, verdicts, poolStats, lost := runDistributedPhase(distRep.Addr(), w, cfg, drill)
+	elapsed, lats, verdicts, poolStats, lost := runWirePhase(distRep.Addr(), w, cfg.phase(), drill)
 	res.DistributedPerSec = float64(cfg.Requests) / elapsed.Seconds()
 	if res.DistributedPerSec > 0 {
 		res.Overhead = res.BaselinePerSec / res.DistributedPerSec
@@ -395,17 +410,11 @@ func RunDistributed(cfg DistributedConfig) (*DistributedResult, error) {
 	res.Lost = lost
 
 	for i := range verdicts {
-		a, b := baseVerdicts[i], verdicts[i]
-		a.Line, b.Line = 0, 0
-		if !reflect.DeepEqual(a, b) {
+		if !verdictsEqual(baseVerdicts[i], verdicts[i]) {
 			res.Mismatches++
 		}
 	}
-	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
-	if len(lats) > 0 {
-		res.P50 = lats[len(lats)/2]
-		res.P99 = lats[len(lats)*99/100]
-	}
+	res.P50, res.P99 = latPercentiles(lats)
 	res.Metrics = &MetricsSnapshot{
 		Experiment:   "distributed",
 		Servers:      []iotssp.ServerStats{distRep.Stats(), shardRep.Stats()},

@@ -27,6 +27,10 @@ type MetricsSnapshot struct {
 	// RemoteShards holds one entry per remote-shard client of a
 	// distributed classifier bank (distributed experiment).
 	RemoteShards []iotssp.RemoteShardStats `json:"remote_shards,omitempty"`
+	// ShardGroups holds one entry per replicated shard group of a
+	// distributed classifier bank (replicated experiment), including
+	// per-member health and transport counters.
+	ShardGroups []iotssp.ShardGroupStats `json:"shard_groups,omitempty"`
 }
 
 // JSON renders the snapshot as a single indented JSON object.

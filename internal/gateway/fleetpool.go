@@ -4,7 +4,6 @@ import (
 	"context"
 	"fmt"
 	"sort"
-	"sync"
 	"sync/atomic"
 	"time"
 
@@ -56,15 +55,9 @@ func (c FleetPoolConfig) withDefaults() FleetPoolConfig {
 type BackendStats struct {
 	// Addr is the backend's address.
 	Addr string `json:"addr"`
-	// Healthy reports whether the backend is currently admitted to
-	// routing.
-	Healthy bool `json:"healthy"`
-	// ConsecutiveFailures is the current failure streak (reset by any
-	// success).
-	ConsecutiveFailures int `json:"consecutive_failures"`
-	// Ejections and Readmissions count health-state transitions.
-	Ejections    uint64 `json:"ejections"`
-	Readmissions uint64 `json:"readmissions"`
+	// BreakerState is the backend's health: admission, failure streak,
+	// ejection/re-admission transitions.
+	backoff.BreakerState
 	// Requests and Failures count attempts routed at this backend and
 	// the ones that failed.
 	Requests uint64 `json:"requests"`
@@ -85,23 +78,16 @@ type FleetPoolStats struct {
 	Backends []BackendStats `json:"backends"`
 }
 
-// fleetBackend is one replica endpoint: its connection pool plus
-// mutable health state.
+// fleetBackend is one replica endpoint: its connection pool plus its
+// health breaker (the consecutive-failure ejection / probing
+// re-admission machinery shared with iotssp.ShardGroup through
+// internal/backoff).
 type fleetBackend struct {
-	addr string
-	pool *Pool
+	addr    string
+	pool    *Pool
+	breaker *backoff.Breaker
 
-	mu sync.Mutex
-	// healthy: admitted to routing. When false, nextProbe is the
-	// earliest time one request may be let through as a re-admission
-	// probe, and backoff the current probe interval.
-	healthy     bool
-	consecFails int
-	probing     bool
-	nextProbe   time.Time
-	backoff     time.Duration
-
-	ejections, readmissions, requests, failures atomic.Uint64
+	requests, failures atomic.Uint64
 }
 
 // ringPoint is one consistent-hash ring position.
@@ -143,6 +129,11 @@ type FleetPool struct {
 func NewFleetPool(addrs []string, cfg FleetPoolConfig) *FleetPool {
 	cfg = cfg.withDefaults()
 	f := &FleetPool{cfg: cfg, jitter: backoff.NewJitter(cfg.Pool.Seed)}
+	bcfg := backoff.BreakerConfig{
+		FailureThreshold: cfg.FailureThreshold,
+		ProbeBackoff:     cfg.ProbeBackoff,
+		MaxProbeBackoff:  cfg.MaxProbeBackoff,
+	}
 	f.backends = make([]*fleetBackend, len(addrs))
 	for i, addr := range addrs {
 		pcfg := cfg.Pool
@@ -150,7 +141,7 @@ func NewFleetPool(addrs []string, cfg FleetPoolConfig) *FleetPool {
 		f.backends[i] = &fleetBackend{
 			addr:    addr,
 			pool:    NewPool(addr, pcfg),
-			healthy: true,
+			breaker: backoff.NewBreaker(bcfg, f.jitter),
 		}
 	}
 	f.ring = make([]ringPoint, 0, len(addrs)*cfg.VirtualNodes)
@@ -176,18 +167,12 @@ func (f *FleetPool) Stats() FleetPoolStats {
 		Backends:  make([]BackendStats, len(f.backends)),
 	}
 	for i, b := range f.backends {
-		b.mu.Lock()
-		healthy, fails := b.healthy, b.consecFails
-		b.mu.Unlock()
 		st.Backends[i] = BackendStats{
-			Addr:                b.addr,
-			Healthy:             healthy,
-			ConsecutiveFailures: fails,
-			Ejections:           b.ejections.Load(),
-			Readmissions:        b.readmissions.Load(),
-			Requests:            b.requests.Load(),
-			Failures:            b.failures.Load(),
-			Pool:                b.pool.Stats(),
+			Addr:         b.addr,
+			BreakerState: b.breaker.State(),
+			Requests:     b.requests.Load(),
+			Failures:     b.failures.Load(),
+			Pool:         b.pool.Stats(),
 		}
 	}
 	return st
@@ -219,78 +204,6 @@ func (f *FleetPool) home(mac string) int {
 	return f.order(mac)[0]
 }
 
-// admit decides whether a request may be routed at b right now: yes
-// when healthy; when ejected, yes once per elapsed probe backoff (the
-// caller's request doubles as the probe).
-func (b *fleetBackend) admit(now time.Time) bool {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if b.healthy {
-		return true
-	}
-	if !b.probing && now.After(b.nextProbe) {
-		b.probing = true
-		return true
-	}
-	return false
-}
-
-// admitProbe lets exactly one caller through as a full-outage recovery
-// probe: it ignores the backoff window (every backend is down and
-// someone must look for signs of life) but never admits concurrent
-// probes, so an outage storm cannot herd onto a struggling backend.
-func (b *fleetBackend) admitProbe() bool {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if b.healthy {
-		return true
-	}
-	if b.probing {
-		return false
-	}
-	b.probing = true
-	return true
-}
-
-// noteSuccess records a successful round-trip: the failure streak
-// resets and an ejected backend is re-admitted (its MACs route home
-// again).
-func (b *fleetBackend) noteSuccess() {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	b.consecFails = 0
-	b.probing = false
-	if !b.healthy {
-		b.healthy = true
-		b.readmissions.Add(1)
-	}
-}
-
-// noteFailure records a failed round-trip, ejecting the backend after
-// threshold consecutive failures or pushing an ejected backend's next
-// probe out by the (jittered, doubling, capped) backoff.
-func (b *fleetBackend) noteFailure(cfg FleetPoolConfig, jitter *backoff.Jitter, now time.Time) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	b.consecFails++
-	if b.healthy {
-		if b.consecFails >= cfg.FailureThreshold {
-			b.healthy = false
-			b.ejections.Add(1)
-			b.backoff = cfg.ProbeBackoff
-			b.nextProbe = now.Add(jitter.Scale(b.backoff))
-		}
-		return
-	}
-	// A failed probe: back off further before the next one.
-	b.probing = false
-	b.backoff *= 2
-	if b.backoff > cfg.MaxProbeBackoff {
-		b.backoff = cfg.MaxProbeBackoff
-	}
-	b.nextProbe = now.Add(jitter.Scale(b.backoff))
-}
-
 // Identify implements Identifier: it routes the fingerprint to the
 // MAC's home backend and, when that fails retryably (transport error
 // or exhausted backpressure retries), transparently fails over along
@@ -307,7 +220,7 @@ func (f *FleetPool) Identify(ctx context.Context, mac string, fp *fingerprint.Fi
 	attempted := false
 	for _, idx := range order {
 		b := f.backends[idx]
-		if !b.admit(time.Now()) {
+		if !b.breaker.Admit(time.Now()) {
 			continue
 		}
 		if attempted {
@@ -317,17 +230,17 @@ func (f *FleetPool) Identify(ctx context.Context, mac string, fp *fingerprint.Fi
 		b.requests.Add(1)
 		resp, err := b.pool.Identify(ctx, mac, fp)
 		if err == nil {
-			b.noteSuccess()
+			b.breaker.NoteSuccess()
 			return resp, nil
 		}
 		if resp.Error != "" && !resp.Retryable {
 			// The service rejected the request itself; the backend is
 			// fine and another replica would answer the same.
-			b.noteSuccess()
+			b.breaker.NoteSuccess()
 			return resp, err
 		}
 		b.failures.Add(1)
-		b.noteFailure(f.cfg, f.jitter, time.Now())
+		b.breaker.NoteFailure(time.Now())
 		lastErr = err
 		if ctx.Err() != nil {
 			break
@@ -340,18 +253,18 @@ func (f *FleetPool) Identify(ctx context.Context, mac string, fp *fingerprint.Fi
 		// most one probe is in flight per backend; concurrent callers
 		// fail fast instead of herding onto a down service.
 		b := f.backends[order[0]]
-		if !b.admitProbe() {
+		if !b.breaker.AdmitProbe() {
 			f.failures.Add(1)
 			return iotssp.Response{}, fmt.Errorf("gateway: identify %s: all %d backends ejected, recovery probe in flight", mac, len(f.backends))
 		}
 		b.requests.Add(1)
 		resp, err := b.pool.Identify(ctx, mac, fp)
 		if err == nil {
-			b.noteSuccess()
+			b.breaker.NoteSuccess()
 			return resp, nil
 		}
 		b.failures.Add(1)
-		b.noteFailure(f.cfg, f.jitter, time.Now())
+		b.breaker.NoteFailure(time.Now())
 		lastErr = err
 	}
 	f.failures.Add(1)

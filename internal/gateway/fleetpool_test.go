@@ -59,7 +59,9 @@ func TestFleetPoolDeterministicRoutingAcrossRestarts(t *testing.T) {
 // moves them home again.
 func TestFleetPoolRebalanceOnEjection(t *testing.T) {
 	addrs := []string{"10.0.0.1:7001", "10.0.0.2:7001", "10.0.0.3:7001"}
-	f := NewFleetPool(addrs, FleetPoolConfig{})
+	// A probe backoff of an hour keeps the ejected backend out of
+	// routing for the whole test.
+	f := NewFleetPool(addrs, FleetPoolConfig{ProbeBackoff: time.Hour, MaxProbeBackoff: time.Hour})
 	defer f.Close()
 
 	macs := fleetMACs(600)
@@ -68,15 +70,18 @@ func TestFleetPoolRebalanceOnEjection(t *testing.T) {
 		before[mac] = f.order(mac)
 	}
 
-	// Eject backend 1 (as FailureThreshold consecutive failures would).
-	f.backends[1].mu.Lock()
-	f.backends[1].healthy = false
-	f.backends[1].nextProbe = time.Now().Add(time.Hour)
-	f.backends[1].mu.Unlock()
+	// Eject backend 1 through its breaker, as FailureThreshold
+	// consecutive failures would.
+	for i := 0; i < f.cfg.FailureThreshold; i++ {
+		f.backends[1].breaker.NoteFailure(time.Now())
+	}
+	if f.backends[1].breaker.State().Healthy {
+		t.Fatal("backend 1 still healthy after threshold failures")
+	}
 
 	routed := func(mac string) int {
 		for _, idx := range f.order(mac) {
-			if f.backends[idx].admit(time.Now()) {
+			if f.backends[idx].breaker.Admit(time.Now()) {
 				return idx
 			}
 		}
@@ -100,7 +105,7 @@ func TestFleetPoolRebalanceOnEjection(t *testing.T) {
 	}
 
 	// Re-admission: everything routes home again.
-	f.backends[1].noteSuccess()
+	f.backends[1].breaker.NoteSuccess()
 	for _, mac := range macs {
 		if got := routed(mac); got != before[mac][0] {
 			t.Fatalf("MAC %s routes to %d after re-admission, want home %d", mac, got, before[mac][0])

@@ -1,12 +1,10 @@
 package gateway
 
 import (
-	"bufio"
 	"context"
 	"encoding/json"
 	"fmt"
 	"hash/fnv"
-	"net"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -14,6 +12,7 @@ import (
 	"repro/internal/backoff"
 	"repro/internal/fingerprint"
 	"repro/internal/iotssp"
+	"repro/internal/lineconn"
 )
 
 // PoolConfig tunes a Pool. The zero value selects sensible defaults.
@@ -63,43 +62,46 @@ type PoolStats struct {
 	// after transport failures or backpressure responses.
 	Requests uint64 `json:"requests"`
 	Retries  uint64 `json:"retries"`
-	// Dials counts connection (re-)establishments across the pool.
-	Dials uint64 `json:"dials"`
 	// Failures counts Identify calls that returned an error after
 	// exhausting their retries.
 	Failures uint64 `json:"failures"`
-	// Bursts counts pipelined multi-request writes (IdentifyBatch
-	// flushes, one per connection touched); BurstRequests counts the
-	// requests they carried.
-	Bursts        uint64 `json:"bursts"`
-	BurstRequests uint64 `json:"burst_requests"`
+	// Transport is the pooled connections' shared lineconn counter
+	// block (dials, reconnects, bursts, dropped correlations).
+	Transport lineconn.Stats `json:"transport"`
 }
 
 // Pool is a pooled TCP client for the IoT Security Service: N
-// persistent connections with pipelined request multiplexing. Each
-// device MAC maps to a fixed connection (spreading the fleet across
-// the pool while keeping a device's requests together), many requests
-// ride each connection at once with responses matched by the service's
-// line echo, and broken connections redial lazily with jittered
-// exponential backoff. Pool implements Identifier and is safe for
-// concurrent use by the gateway's identification workers.
+// persistent connections with pipelined request multiplexing over
+// internal/lineconn. Each device MAC maps to a fixed connection
+// (spreading the fleet across the pool while keeping a device's
+// requests together), many requests ride each connection at once with
+// responses matched by the service's line echo, and broken connections
+// redial lazily with jittered exponential backoff. Pool implements
+// Identifier and is safe for concurrent use by the gateway's
+// identification workers.
 type Pool struct {
-	cfg    PoolConfig
-	conns  []*poolConn
-	jitter *backoff.Jitter
+	cfg       PoolConfig
+	conns     []*lineconn.Conn[iotssp.Response]
+	retry     lineconn.Retry
+	transport *lineconn.Counters
 
-	requests, retries, dials, failures atomic.Uint64
-	bursts, burstReqs                  atomic.Uint64
+	requests, retries, failures atomic.Uint64
 }
 
 // NewPool creates a pool for the service at addr (host:port). No
 // connection is made until the first Identify.
 func NewPool(addr string, cfg PoolConfig) *Pool {
 	cfg = cfg.withDefaults()
-	p := &Pool{cfg: cfg, jitter: backoff.NewJitter(cfg.Seed)}
-	p.conns = make([]*poolConn, cfg.Conns)
+	p := &Pool{
+		cfg:       cfg,
+		transport: lineconn.NewCounters(),
+	}
+	p.retry = lineconn.Retry{Base: cfg.RetryBackoff, Jitter: backoff.NewJitter(cfg.Seed)}
+	p.conns = make([]*lineconn.Conn[iotssp.Response], cfg.Conns)
 	for i := range p.conns {
-		p.conns[i] = &poolConn{addr: addr, pool: p, waiters: make(map[uint64]*poolCall)}
+		p.conns[i] = lineconn.New[iotssp.Response](addr, lineconn.Options[iotssp.Response]{
+			Counters: p.transport,
+		})
 	}
 	return p
 }
@@ -107,34 +109,18 @@ func NewPool(addr string, cfg PoolConfig) *Pool {
 // Stats snapshots the pool counters.
 func (p *Pool) Stats() PoolStats {
 	return PoolStats{
-		Requests:      p.requests.Load(),
-		Retries:       p.retries.Load(),
-		Dials:         p.dials.Load(),
-		Failures:      p.failures.Load(),
-		Bursts:        p.bursts.Load(),
-		BurstRequests: p.burstReqs.Load(),
+		Requests:  p.requests.Load(),
+		Retries:   p.retries.Load(),
+		Failures:  p.failures.Load(),
+		Transport: p.transport.Snapshot(),
 	}
 }
 
 // pick maps a MAC to its home connection.
-func (p *Pool) pick(mac string) *poolConn {
+func (p *Pool) pick(mac string) *lineconn.Conn[iotssp.Response] {
 	h := fnv.New32a()
 	h.Write([]byte(mac))
 	return p.conns[h.Sum32()%uint32(len(p.conns))]
-}
-
-// sleepJitter blocks for the attempt's jittered exponential backoff or
-// until ctx is done.
-func (p *Pool) sleepJitter(ctx context.Context, attempt int) error {
-	jittered := p.jitter.Scale(p.cfg.RetryBackoff << (attempt - 1))
-	t := time.NewTimer(jittered)
-	defer t.Stop()
-	select {
-	case <-t.C:
-		return nil
-	case <-ctx.Done():
-		return ctx.Err()
-	}
 }
 
 // Identify implements Identifier: it submits the fingerprint over the
@@ -149,27 +135,22 @@ func (p *Pool) Identify(ctx context.Context, mac string, fp *fingerprint.Fingerp
 // identify is Identify without the request accounting, so batch-path
 // fallbacks (already counted by IdentifyBatch) do not double-count.
 func (p *Pool) identify(ctx context.Context, mac string, fp *fingerprint.Fingerprint) (iotssp.Response, error) {
-	report, err := fingerprint.MarshalReportPacked(mac, fp)
+	body, err := marshalIdentify(mac, fp)
 	if err != nil {
 		return iotssp.Response{}, err
 	}
-	body, err := json.Marshal(iotssp.Request{Fingerprint: report})
-	if err != nil {
-		return iotssp.Response{}, fmt.Errorf("gateway: encoding request: %w", err)
-	}
-	body = append(body, '\n')
 
 	pc := p.pick(mac)
 	var lastErr error
 	for attempt := 0; attempt <= p.cfg.MaxRetries; attempt++ {
 		if attempt > 0 {
 			p.retries.Add(1)
-			if err := p.sleepJitter(ctx, attempt); err != nil {
+			if err := p.retry.Sleep(ctx, attempt); err != nil {
 				p.failures.Add(1)
 				return iotssp.Response{}, fmt.Errorf("gateway: identify %s: %w (last error: %v)", mac, err, lastErr)
 			}
 		}
-		resp, err := pc.roundTrip(ctx, mac, body, p.cfg.Timeout)
+		resp, err := pc.RoundTrip(ctx, body, p.cfg.Timeout)
 		if err != nil {
 			lastErr = err
 			if ctx.Err() != nil {
@@ -193,6 +174,20 @@ func (p *Pool) identify(ctx context.Context, mac string, fp *fingerprint.Fingerp
 	return iotssp.Response{}, fmt.Errorf("gateway: identify %s: %w", mac, lastErr)
 }
 
+// marshalIdentify encodes one identify request line (packed fingerprint
+// report plus trailing newline).
+func marshalIdentify(mac string, fp *fingerprint.Fingerprint) ([]byte, error) {
+	report, err := fingerprint.MarshalReportPacked(mac, fp)
+	if err != nil {
+		return nil, err
+	}
+	body, err := json.Marshal(iotssp.Request{Fingerprint: report})
+	if err != nil {
+		return nil, fmt.Errorf("gateway: encoding request: %w", err)
+	}
+	return append(body, '\n'), nil
+}
+
 // IdentifyBatch implements BatchIdentifier: the batch is grouped by
 // each MAC's home connection and every group goes out as one pipelined
 // burst — a single write carrying all the group's request lines — with
@@ -210,21 +205,16 @@ func (p *Pool) IdentifyBatch(ctx context.Context, macs []string, fps []*fingerpr
 
 	// Group the batch by home connection, preserving batch order within
 	// each group, and marshal each request once.
-	groups := make(map[*poolConn][]int, len(p.conns))
+	groups := make(map[*lineconn.Conn[iotssp.Response]][]int, len(p.conns))
 	bodies := make([][]byte, len(macs))
 	for i, mac := range macs {
 		p.requests.Add(1)
-		report, err := fingerprint.MarshalReportPacked(mac, fps[i])
+		body, err := marshalIdentify(mac, fps[i])
 		if err != nil {
 			errs[i] = err
 			continue
 		}
-		body, err := json.Marshal(iotssp.Request{Fingerprint: report})
-		if err != nil {
-			errs[i] = fmt.Errorf("gateway: encoding request: %w", err)
-			continue
-		}
-		bodies[i] = append(body, '\n')
+		bodies[i] = body
 		pc := p.pick(mac)
 		groups[pc] = append(groups[pc], i)
 	}
@@ -233,15 +223,13 @@ func (p *Pool) IdentifyBatch(ctx context.Context, macs []string, fps []*fingerpr
 	var wg sync.WaitGroup
 	for pc, idxs := range groups {
 		wg.Add(1)
-		go func(pc *poolConn, idxs []int) {
+		go func(pc *lineconn.Conn[iotssp.Response], idxs []int) {
 			defer wg.Done()
-			p.bursts.Add(1)
-			p.burstReqs.Add(uint64(len(idxs)))
 			burst := make([][]byte, len(idxs))
 			for j, i := range idxs {
 				burst[j] = bodies[i]
 			}
-			got, gerrs := pc.roundTripBatch(ctx, burst, p.cfg.Timeout)
+			got, gerrs := pc.RoundTripBatch(ctx, burst, p.cfg.Timeout)
 			for j, i := range idxs {
 				resps[i], errs[i] = got[j], gerrs[j]
 			}
@@ -274,262 +262,7 @@ func (p *Pool) IdentifyBatch(ctx context.Context, macs []string, fps []*fingerpr
 // requests.
 func (p *Pool) Close() error {
 	for _, pc := range p.conns {
-		pc.close()
+		pc.Close()
 	}
 	return nil
-}
-
-// poolResult is a completed round-trip.
-type poolResult struct {
-	resp iotssp.Response
-	err  error
-}
-
-// poolCall is one in-flight request waiting for its response.
-type poolCall struct {
-	ch chan poolResult
-}
-
-// poolConn is one persistent connection with pipelined requests.
-// Responses are correlated to waiters by the request's line number on
-// the connection, which the service echoes in every response (the
-// "line" field): the pool counts the lines it writes, so the match is
-// exact however the server reorders verdicts, overload errors and
-// cache hits — including two in-flight requests for the same MAC.
-type poolConn struct {
-	addr string
-	pool *Pool
-
-	mu   sync.Mutex
-	conn net.Conn
-	// gen counts connection incarnations. The line counter resets on
-	// every redial, so a response still buffered in a dead pump could
-	// otherwise correlate — by line number alone — to a waiter
-	// registered on the replacement connection; pumps carry their
-	// generation and stale deliveries are discarded.
-	gen uint64
-	// lines counts request lines written on the current connection;
-	// waiters holds the in-flight call for each line.
-	lines   uint64
-	waiters map[uint64]*poolCall
-	closed  bool
-}
-
-// ensureConnLocked dials the connection if needed. Callers hold mu.
-func (pc *poolConn) ensureConnLocked(ctx context.Context, deadline time.Time) error {
-	if pc.conn != nil {
-		return nil
-	}
-	d := net.Dialer{Deadline: deadline}
-	conn, err := d.DialContext(ctx, "tcp", pc.addr)
-	if err != nil {
-		return fmt.Errorf("gateway: dialing %s: %w", pc.addr, err)
-	}
-	if conn.LocalAddr().String() == conn.RemoteAddr().String() {
-		// TCP simultaneous-connect on loopback: dialing a just-freed
-		// ephemeral port can self-connect, and the pool would then
-		// read back its own request lines as responses. Treat it as
-		// a failed dial.
-		conn.Close()
-		return fmt.Errorf("gateway: dialing %s: self-connection", pc.addr)
-	}
-	pc.conn = conn
-	pc.gen++
-	pc.lines = 0
-	pc.pool.dials.Add(1)
-	go pc.readPump(conn, pc.gen)
-	return nil
-}
-
-// roundTrip sends one request and waits for its multiplexed response.
-func (pc *poolConn) roundTrip(ctx context.Context, mac string, body []byte, timeout time.Duration) (iotssp.Response, error) {
-	deadline := time.Now().Add(timeout)
-	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
-		deadline = d
-	}
-
-	pc.mu.Lock()
-	if pc.closed {
-		pc.mu.Unlock()
-		return iotssp.Response{}, fmt.Errorf("gateway: pool closed")
-	}
-	if err := pc.ensureConnLocked(ctx, deadline); err != nil {
-		pc.mu.Unlock()
-		return iotssp.Response{}, err
-	}
-	conn := pc.conn
-	call := &poolCall{ch: make(chan poolResult, 1)}
-	pc.lines++
-	line := pc.lines
-	pc.waiters[line] = call
-	conn.SetWriteDeadline(deadline)
-	if _, err := conn.Write(body); err != nil {
-		pc.dropLocked(conn, fmt.Errorf("gateway: sending request: %w", err))
-		pc.mu.Unlock()
-		return iotssp.Response{}, fmt.Errorf("gateway: sending request: %w", err)
-	}
-	pc.mu.Unlock()
-
-	timer := time.NewTimer(time.Until(deadline))
-	defer timer.Stop()
-	select {
-	case res := <-call.ch:
-		return res.resp, res.err
-	case <-ctx.Done():
-		// A missed deadline usually means the connection or the service
-		// is wedged; sever it so every pipelined request fails fast and
-		// the next call redials.
-		pc.fail(conn, ctx.Err())
-		return iotssp.Response{}, ctx.Err()
-	case <-timer.C:
-		pc.fail(conn, fmt.Errorf("gateway: identify %s: deadline exceeded", mac))
-		return iotssp.Response{}, fmt.Errorf("gateway: identify %s: deadline exceeded", mac)
-	}
-}
-
-// roundTripBatch writes a burst of request lines in one pipelined
-// write and waits for all their multiplexed responses. resps[j]/errs[j]
-// describe bodies[j]; a transport failure mid-burst fails the affected
-// entries (the caller decides whether to retry them individually).
-func (pc *poolConn) roundTripBatch(ctx context.Context, bodies [][]byte, timeout time.Duration) ([]iotssp.Response, []error) {
-	resps := make([]iotssp.Response, len(bodies))
-	errs := make([]error, len(bodies))
-	deadline := time.Now().Add(timeout)
-	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
-		deadline = d
-	}
-
-	pc.mu.Lock()
-	if pc.closed {
-		pc.mu.Unlock()
-		for j := range errs {
-			errs[j] = fmt.Errorf("gateway: pool closed")
-		}
-		return resps, errs
-	}
-	if err := pc.ensureConnLocked(ctx, deadline); err != nil {
-		pc.mu.Unlock()
-		for j := range errs {
-			errs[j] = err
-		}
-		return resps, errs
-	}
-	conn := pc.conn
-	calls := make([]*poolCall, len(bodies))
-	var burst []byte
-	for j, body := range bodies {
-		calls[j] = &poolCall{ch: make(chan poolResult, 1)}
-		pc.lines++
-		pc.waiters[pc.lines] = calls[j]
-		burst = append(burst, body...)
-	}
-	conn.SetWriteDeadline(deadline)
-	if _, err := conn.Write(burst); err != nil {
-		// dropLocked fails every registered waiter, ours included; the
-		// wait loop below collects those failures positionally.
-		pc.dropLocked(conn, fmt.Errorf("gateway: sending burst: %w", err))
-	}
-	pc.mu.Unlock()
-
-	timer := time.NewTimer(time.Until(deadline))
-	defer timer.Stop()
-	severed := false
-	for j, call := range calls {
-		select {
-		case res := <-call.ch:
-			resps[j], errs[j] = res.resp, res.err
-		case <-ctx.Done():
-			if !severed {
-				severed = true
-				pc.fail(conn, ctx.Err())
-			}
-			res := <-call.ch // fail delivered an error to every waiter
-			resps[j], errs[j] = res.resp, res.err
-		case <-timer.C:
-			if !severed {
-				severed = true
-				pc.fail(conn, fmt.Errorf("gateway: burst: deadline exceeded"))
-			}
-			res := <-call.ch
-			resps[j], errs[j] = res.resp, res.err
-		}
-	}
-	return resps, errs
-}
-
-// readPump decodes response lines and hands each to its waiter until
-// the connection breaks or a younger incarnation takes over (buffered
-// lines can outlive the socket close; they must not resolve the new
-// connection's waiters).
-func (pc *poolConn) readPump(conn net.Conn, gen uint64) {
-	br := bufio.NewReader(conn)
-	for {
-		line, err := br.ReadBytes('\n')
-		if err != nil {
-			pc.fail(conn, fmt.Errorf("gateway: reading response: %w", err))
-			return
-		}
-		var resp iotssp.Response
-		if err := json.Unmarshal(line, &resp); err != nil {
-			pc.fail(conn, fmt.Errorf("gateway: decoding response: %w", err))
-			return
-		}
-		if !pc.deliver(resp, gen) {
-			return
-		}
-	}
-}
-
-// deliver routes a response to the waiter for its echoed line number,
-// reporting whether the pump's connection is still current. Responses
-// without a waiter (after a local timeout, or lacking the line echo)
-// are dropped.
-func (pc *poolConn) deliver(resp iotssp.Response, gen uint64) bool {
-	pc.mu.Lock()
-	if pc.gen != gen {
-		pc.mu.Unlock()
-		return false
-	}
-	call := pc.waiters[resp.Line]
-	if call == nil {
-		pc.mu.Unlock()
-		return true
-	}
-	delete(pc.waiters, resp.Line)
-	pc.mu.Unlock()
-	call.ch <- poolResult{resp: resp}
-	return true
-}
-
-// fail severs conn and fails every outstanding request, so the next
-// round-trip redials.
-func (pc *poolConn) fail(conn net.Conn, err error) {
-	pc.mu.Lock()
-	pc.dropLocked(conn, err)
-	pc.mu.Unlock()
-}
-
-// dropLocked severs conn (if still current) and fails its waiters.
-// Callers hold mu.
-func (pc *poolConn) dropLocked(conn net.Conn, err error) {
-	if pc.conn != conn {
-		return
-	}
-	conn.Close()
-	pc.conn = nil
-	waiters := pc.waiters
-	pc.waiters = make(map[uint64]*poolCall)
-	for _, call := range waiters {
-		call.ch <- poolResult{err: err}
-	}
-}
-
-// close permanently severs the connection.
-func (pc *poolConn) close() {
-	pc.mu.Lock()
-	pc.closed = true
-	if pc.conn != nil {
-		pc.dropLocked(pc.conn, fmt.Errorf("gateway: pool closed"))
-	}
-	pc.mu.Unlock()
 }

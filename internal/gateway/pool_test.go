@@ -70,8 +70,8 @@ func TestPoolConcurrentIdentifications(t *testing.T) {
 	if st.Requests != 4*perType {
 		t.Errorf("requests = %d", st.Requests)
 	}
-	if st.Dials > 3 {
-		t.Errorf("dials = %d, want <= pool size 3 (connections must persist)", st.Dials)
+	if st.Transport.Dials > 3 {
+		t.Errorf("dials = %d, want <= pool size 3 (connections must persist)", st.Transport.Dials)
 	}
 	if st.Failures != 0 {
 		t.Errorf("failures = %d", st.Failures)
@@ -196,7 +196,7 @@ func TestPoolReconnectsAfterConnDrop(t *testing.T) {
 			t.Fatalf("Identify %d: %v", i, err)
 		}
 	}
-	if st := pool.Stats(); st.Dials < 2 {
+	if st := pool.Stats(); st.Transport.Dials < 2 {
 		t.Errorf("pool never redialed: %+v", st)
 	}
 }
@@ -342,14 +342,14 @@ func TestPoolIdentifyBatchSingleBurst(t *testing.T) {
 		}
 	}
 	st := pool.Stats()
-	if st.Bursts == 0 || st.Bursts > 2 {
-		t.Errorf("bursts = %d, want 1..2 (one per touched connection)", st.Bursts)
+	if st.Transport.Bursts == 0 || st.Transport.Bursts > 2 {
+		t.Errorf("bursts = %d, want 1..2 (one per touched connection)", st.Transport.Bursts)
 	}
-	if st.BurstRequests != uint64(len(macs)) {
-		t.Errorf("burst requests = %d, want %d", st.BurstRequests, len(macs))
+	if st.Transport.BurstRequests != uint64(len(macs)) {
+		t.Errorf("burst requests = %d, want %d", st.Transport.BurstRequests, len(macs))
 	}
-	if st.Dials > 2 {
-		t.Errorf("dials = %d, want <= 2", st.Dials)
+	if st.Transport.Dials > 2 {
+		t.Errorf("dials = %d, want <= 2", st.Transport.Dials)
 	}
 
 	// A batched identification must agree with the single-request path.

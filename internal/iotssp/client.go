@@ -1,62 +1,42 @@
 package iotssp
 
 import (
-	"bufio"
 	"context"
 	"encoding/json"
 	"fmt"
-	"net"
-	"sync"
 	"time"
 
 	"repro/internal/fingerprint"
+	"repro/internal/lineconn"
 )
 
-// Client is a Security Gateway's connection to the IoT Security Service.
-// Safe for concurrent use; requests are serialized over one connection,
-// so at most one request is in flight and responses cannot be
-// reordered. For pipelined multi-connection serving, use the gateway
+// Client is a Security Gateway's connection to the IoT Security
+// Service: one persistent internal/lineconn connection, so the
+// reconnect and line-echo correlation logic is the same implementation
+// the pooled gateway client and the remote-shard client ride, not a
+// third copy. Safe for concurrent use — concurrent Identify calls
+// pipeline on the single connection and correlate by line echo. For
+// multi-connection serving with retries and failover, use the gateway
 // package's connection pool.
 type Client struct {
-	addr    string
 	timeout time.Duration
-
-	mu   sync.Mutex
-	conn net.Conn
-	br   *bufio.Reader
+	conn    *lineconn.Conn[Response]
 }
 
 // NewClient creates a client for the service at addr (host:port).
+// Nothing is dialed until the first Identify; a broken connection
+// redials lazily on the next call.
 func NewClient(addr string) *Client {
-	return &Client{addr: addr, timeout: 10 * time.Second}
-}
-
-// connectLocked dials if needed. Callers hold mu.
-func (c *Client) connectLocked(ctx context.Context) error {
-	if c.conn != nil {
-		return nil
+	return &Client{
+		timeout: 10 * time.Second,
+		conn:    lineconn.New[Response](addr, lineconn.Options[Response]{}),
 	}
-	d := net.Dialer{}
-	conn, err := d.DialContext(ctx, "tcp", c.addr)
-	if err != nil {
-		return fmt.Errorf("iotssp: dialing %s: %w", c.addr, err)
-	}
-	c.conn = conn
-	c.br = bufio.NewReader(conn)
-	return nil
 }
 
 // Close closes the client connection.
 func (c *Client) Close() error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.conn == nil {
-		return nil
-	}
-	err := c.conn.Close()
-	c.conn = nil
-	c.br = nil
-	return err
+	c.conn.Close()
+	return nil
 }
 
 // Identify submits a fingerprint and returns the service's verdict.
@@ -71,42 +51,12 @@ func (c *Client) Identify(ctx context.Context, mac string, fp *fingerprint.Finge
 	}
 	body = append(body, '\n')
 
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if err := c.connectLocked(ctx); err != nil {
-		return Response{}, err
-	}
-	deadline := time.Now().Add(c.timeout)
-	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
-		deadline = d
-	}
-	if err := c.conn.SetDeadline(deadline); err != nil {
-		return Response{}, fmt.Errorf("iotssp: setting deadline: %w", err)
-	}
-	if _, err := c.conn.Write(body); err != nil {
-		c.resetLocked()
-		return Response{}, fmt.Errorf("iotssp: sending request: %w", err)
-	}
-	line, err := c.br.ReadBytes('\n')
+	resp, err := c.conn.RoundTrip(ctx, body, c.timeout)
 	if err != nil {
-		c.resetLocked()
-		return Response{}, fmt.Errorf("iotssp: reading response: %w", err)
-	}
-	var resp Response
-	if err := json.Unmarshal(line, &resp); err != nil {
-		return Response{}, fmt.Errorf("iotssp: decoding response: %w", err)
+		return Response{}, fmt.Errorf("iotssp: identify %s: %w", mac, err)
 	}
 	if resp.Error != "" {
 		return resp, fmt.Errorf("iotssp: service error: %s", resp.Error)
 	}
 	return resp, nil
-}
-
-// resetLocked drops a broken connection so the next call redials.
-func (c *Client) resetLocked() {
-	if c.conn != nil {
-		c.conn.Close()
-		c.conn = nil
-		c.br = nil
-	}
 }

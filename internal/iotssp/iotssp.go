@@ -107,6 +107,32 @@
 // served behind a Replica (NewShardReplica) restarts in place, and
 // RemoteShard's reconnect/retry with jittered backoff carries
 // in-flight scatters across the outage.
+//
+// Every client in this package — the legacy single-connection Client
+// and RemoteShard's pipelined links alike — rides internal/lineconn,
+// the shared line-correlated transport (line-echo correlation,
+// connection-generation guard, fail-fast waiter semantics, lazy
+// reconnect); RemoteShard plugs the hello negotiation in through the
+// transport's handshake hook, so a mode or version mismatch fails the
+// dial instead of surfacing mid-pipeline.
+//
+// # Replicated shard groups
+//
+// One partition can be served by several shard servers hosting
+// bit-identical banks. ShardGroup composes N such members into a
+// single health-aware core.Shard: reads (classify/discriminate/meta)
+// round-robin across admitted members and fail over transparently when
+// one dies mid-flight; consecutive failures eject a member from
+// routing and a probing re-admission with jittered doubling backoff
+// brings a revived one back — so a shard-server restart costs zero
+// added latency for the logical bank above, instead of every in-flight
+// scatter riding a single RemoteShard's deep retry loop until the
+// server returns. Enrolments fan out to every member (each replica
+// trains the type, keeping reads equivalent wherever they land) and
+// the group's Version reconciles to the maximum member stamp, so a
+// fan-out enrolment bumps the logical shard's version exactly once and
+// the verdict cache invalidates its dependents exactly once, never
+// once per replica.
 package iotssp
 
 import (
@@ -194,6 +220,10 @@ type Response struct {
 	// retryable.
 	Retryable bool `json:"retryable,omitempty"`
 }
+
+// CorrelationLine implements lineconn.Message: pipelined clients
+// correlate responses to request lines by the echoed line number.
+func (r Response) CorrelationLine() uint64 { return r.Line }
 
 // ParseLevel converts a wire level name back to the enforcement type.
 func ParseLevel(s string) (enforce.IsolationLevel, error) {

@@ -1,10 +1,9 @@
 package iotssp
 
 import (
-	"bufio"
+	"context"
 	"encoding/json"
 	"fmt"
-	"net"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -12,6 +11,7 @@ import (
 	"repro/internal/backoff"
 	"repro/internal/core"
 	"repro/internal/fingerprint"
+	"repro/internal/lineconn"
 )
 
 // RemoteShardConfig tunes a RemoteShard client. The zero value selects
@@ -31,7 +31,8 @@ type RemoteShardConfig struct {
 	// shard is load-bearing state, not a stateless replica — crossing a
 	// shard restart matters more than failing fast — so the default is a
 	// deep 20 (with the backoff cap that rides out multi-second
-	// restarts).
+	// restarts). A ShardGroup member overrides this down: the group
+	// fails over to a healthy replica instead of riding the outage.
 	MaxRetries int
 	// RetryBackoff is the base backoff before the first retry; doubled
 	// (and jittered to 50–150%) each further retry up to MaxBackoff.
@@ -74,23 +75,26 @@ type RemoteShardStats struct {
 	// attempts after transport failures or retryable errors.
 	Requests uint64 `json:"requests"`
 	Retries  uint64 `json:"retries"`
-	// Dials counts connection (re-)establishments (each includes a
-	// hello handshake).
-	Dials uint64 `json:"dials"`
 	// Failures counts operations that exhausted their retries.
 	Failures uint64 `json:"failures"`
 	// Version is the last shard enrolment version observed on the wire.
 	Version uint64 `json:"version"`
+	// Transport is the pipelined connections' shared lineconn counter
+	// block (dials — each including a hello handshake — reconnects and
+	// dropped correlations).
+	Transport lineconn.Stats `json:"transport"`
 }
 
 // RemoteShard is the client side of the shard wire protocol: it
 // implements core.Shard against a bank shard hosted by a shard-serving
 // Server in another process, so a core.ShardedBank can mix it freely
-// with in-process shards. The transport reuses the pooled gateway
-// client's machinery — N persistent connections with pipelined
-// requests correlated by line echo, lazy dials with a hello handshake
-// that verifies the peer's mode and protocol version, and jittered
-// exponential backoff around reconnects and retryable errors.
+// with in-process shards. The transport is internal/lineconn — the same
+// pipelined line-correlated connection the pooled gateway client rides
+// — with the shard hello as the handshake hook: every fresh connection
+// opens with a hello line whose reply must announce ModeShard at a
+// compatible protocol version before the connection serves traffic.
+// Retries around reconnects and retryable errors back off with jitter
+// from the shared internal/backoff source.
 //
 // Version is served from a local cache, refreshed from the version
 // stamp every shard response carries — Versions() runs on the verdict
@@ -107,11 +111,12 @@ type RemoteShardStats struct {
 // "unknown device" on the lost partition instead of wedging; Enroll
 // surfaces its error. RemoteShard is safe for concurrent use.
 type RemoteShard struct {
-	addr   string
-	cfg    RemoteShardConfig
-	conns  []*shardConn
-	jitter *backoff.Jitter
-	next   atomic.Uint64 // round-robin connection cursor
+	addr      string
+	cfg       RemoteShardConfig
+	conns     []*lineconn.Conn[shardResponse]
+	retry     lineconn.Retry
+	transport *lineconn.Counters
+	next      atomic.Uint64 // round-robin connection cursor
 
 	version atomic.Uint64
 
@@ -119,29 +124,61 @@ type RemoteShard struct {
 	typesMu sync.Mutex
 	types   []string
 
-	requests, retries, dials, failures atomic.Uint64
+	requests, retries, failures atomic.Uint64
 }
 
 // NewRemoteShard creates a client for the shard served at addr
 // (host:port). No connection is made until the first operation.
 func NewRemoteShard(addr string, cfg RemoteShardConfig) *RemoteShard {
 	cfg = cfg.withDefaults()
-	rs := &RemoteShard{addr: addr, cfg: cfg, jitter: backoff.NewJitter(cfg.Seed)}
-	rs.conns = make([]*shardConn, cfg.Conns)
+	rs := &RemoteShard{
+		addr:      addr,
+		cfg:       cfg,
+		transport: lineconn.NewCounters(),
+	}
+	rs.retry = lineconn.Retry{
+		Base:   cfg.RetryBackoff,
+		Max:    cfg.MaxBackoff,
+		Jitter: backoff.NewJitter(cfg.Seed),
+	}
+	hello, _ := json.Marshal(shardRequest{Op: OpHello, V: ProtocolVersion})
+	hello = append(hello, '\n')
+	rs.conns = make([]*lineconn.Conn[shardResponse], cfg.Conns)
 	for i := range rs.conns {
-		rs.conns[i] = &shardConn{addr: addr, rs: rs, waiters: make(map[uint64]chan shardResult)}
+		rs.conns[i] = lineconn.New[shardResponse](addr, lineconn.Options[shardResponse]{
+			Counters:   rs.transport,
+			Hello:      hello,
+			CheckHello: rs.checkHello,
+		})
 	}
 	return rs
+}
+
+// checkHello validates a fresh connection's hello reply: the peer must
+// be a shard server speaking our protocol version. A valid reply's
+// version stamp seeds the local version cache.
+func (rs *RemoteShard) checkHello(resp shardResponse) error {
+	if resp.Error != "" {
+		return fmt.Errorf("iotssp: shard hello to %s: %s", rs.addr, resp.Error)
+	}
+	if resp.Mode != ModeShard {
+		return fmt.Errorf("iotssp: %s is not a shard server (mode %q, protocol v%d)", rs.addr, resp.Mode, resp.V)
+	}
+	if resp.V != ProtocolVersion {
+		return fmt.Errorf("iotssp: shard %s speaks protocol v%d, want v%d", rs.addr, resp.V, ProtocolVersion)
+	}
+	rs.observeVersion(resp.Version)
+	return nil
 }
 
 // Stats snapshots the client counters.
 func (rs *RemoteShard) Stats() RemoteShardStats {
 	return RemoteShardStats{
-		Requests: rs.requests.Load(),
-		Retries:  rs.retries.Load(),
-		Dials:    rs.dials.Load(),
-		Failures: rs.failures.Load(),
-		Version:  rs.version.Load(),
+		Requests:  rs.requests.Load(),
+		Retries:   rs.retries.Load(),
+		Failures:  rs.failures.Load(),
+		Version:   rs.version.Load(),
+		Transport: rs.transport.Snapshot(),
 	}
 }
 
@@ -173,14 +210,10 @@ func (rs *RemoteShard) do(req shardRequest, timeout time.Duration) (shardRespons
 	for attempt := 0; attempt <= rs.cfg.MaxRetries; attempt++ {
 		if attempt > 0 {
 			rs.retries.Add(1)
-			d := rs.cfg.RetryBackoff << (attempt - 1)
-			if d > rs.cfg.MaxBackoff || d <= 0 {
-				d = rs.cfg.MaxBackoff
-			}
-			time.Sleep(rs.jitter.Scale(d))
+			rs.retry.Sleep(context.Background(), attempt)
 		}
 		sc := rs.conns[rs.next.Add(1)%uint64(len(rs.conns))]
-		resp, err := sc.roundTrip(body, timeout)
+		resp, err := sc.RoundTrip(context.Background(), body, timeout)
 		if err != nil {
 			lastErr = err
 			continue
@@ -281,206 +314,10 @@ func (rs *RemoteShard) Types() []string {
 // Close severs every connection and fails outstanding requests.
 func (rs *RemoteShard) Close() error {
 	for _, sc := range rs.conns {
-		sc.close()
+		sc.Close()
 	}
 	return nil
 }
 
 // RemoteShard implements core.Shard over the wire.
 var _ core.Shard = (*RemoteShard)(nil)
-
-// shardResult is one completed shard round-trip.
-type shardResult struct {
-	resp shardResponse
-	err  error
-}
-
-// shardConn is one persistent pipelined connection to a shard server,
-// correlated by line echo exactly like the pooled gateway client's
-// poolConn. The first line on every fresh connection is the hello
-// handshake; the dial fails — and the next attempt redials — unless the
-// peer announces ModeShard at a compatible protocol version.
-type shardConn struct {
-	addr string
-	rs   *RemoteShard
-
-	mu   sync.Mutex
-	conn net.Conn
-	// gen counts connection incarnations. The line counter resets on
-	// every redial, so a response still sitting in a dead pump's read
-	// buffer could otherwise correlate to a waiter registered on the
-	// replacement connection; each pump carries its generation and
-	// deliveries from past generations are discarded.
-	gen     uint64
-	lines   uint64
-	waiters map[uint64]chan shardResult
-	closed  bool
-}
-
-// roundTrip sends one request line and waits for its response.
-func (sc *shardConn) roundTrip(body []byte, timeout time.Duration) (shardResponse, error) {
-	deadline := time.Now().Add(timeout)
-
-	sc.mu.Lock()
-	if sc.closed {
-		sc.mu.Unlock()
-		return shardResponse{}, fmt.Errorf("iotssp: remote shard closed")
-	}
-	if sc.conn == nil {
-		if err := sc.dialLocked(deadline); err != nil {
-			sc.mu.Unlock()
-			return shardResponse{}, err
-		}
-	}
-	conn := sc.conn
-	sc.lines++
-	ch := make(chan shardResult, 1)
-	sc.waiters[sc.lines] = ch
-	conn.SetWriteDeadline(deadline)
-	if _, err := conn.Write(body); err != nil {
-		sc.dropLocked(conn, fmt.Errorf("iotssp: sending shard request: %w", err))
-		sc.mu.Unlock()
-		return shardResponse{}, fmt.Errorf("iotssp: sending shard request: %w", err)
-	}
-	sc.mu.Unlock()
-
-	timer := time.NewTimer(time.Until(deadline))
-	defer timer.Stop()
-	select {
-	case res := <-ch:
-		return res.resp, res.err
-	case <-timer.C:
-		// A missed deadline means the connection or the shard is wedged;
-		// sever it so pipelined requests fail fast and the next attempt
-		// redials.
-		sc.fail(conn, fmt.Errorf("iotssp: shard %s: deadline exceeded", sc.addr))
-		return shardResponse{}, fmt.Errorf("iotssp: shard %s: deadline exceeded", sc.addr)
-	}
-}
-
-// dialLocked establishes the connection and performs the hello
-// handshake as line 1. Callers hold mu; the handshake itself waits
-// outside the lock (the read pump needs mu to deliver the reply).
-func (sc *shardConn) dialLocked(deadline time.Time) error {
-	d := net.Dialer{Deadline: deadline}
-	conn, err := d.Dial("tcp", sc.addr)
-	if err != nil {
-		return fmt.Errorf("iotssp: dialing shard %s: %w", sc.addr, err)
-	}
-	if conn.LocalAddr().String() == conn.RemoteAddr().String() {
-		// Loopback self-connect guard, as in the gateway pool.
-		conn.Close()
-		return fmt.Errorf("iotssp: dialing shard %s: self-connection", sc.addr)
-	}
-	sc.conn = conn
-	sc.gen++
-	sc.lines = 1
-	helloCh := make(chan shardResult, 1)
-	sc.waiters[1] = helloCh
-	sc.rs.dials.Add(1)
-	go sc.readPump(conn, sc.gen)
-
-	hello, _ := json.Marshal(shardRequest{Op: OpHello, V: ProtocolVersion})
-	conn.SetWriteDeadline(deadline)
-	if _, err := conn.Write(append(hello, '\n')); err != nil {
-		sc.dropLocked(conn, err)
-		return fmt.Errorf("iotssp: shard hello to %s: %w", sc.addr, err)
-	}
-
-	// Wait for the hello reply outside the lock.
-	sc.mu.Unlock()
-	var res shardResult
-	timer := time.NewTimer(time.Until(deadline))
-	select {
-	case res = <-helloCh:
-	case <-timer.C:
-		res = shardResult{err: fmt.Errorf("iotssp: shard hello to %s: deadline exceeded", sc.addr)}
-	}
-	timer.Stop()
-	sc.mu.Lock()
-
-	if res.err != nil {
-		sc.dropLocked(conn, res.err)
-		return res.err
-	}
-	if res.resp.Mode != ModeShard {
-		err := fmt.Errorf("iotssp: %s is not a shard server (mode %q, protocol v%d)", sc.addr, res.resp.Mode, res.resp.V)
-		sc.dropLocked(conn, err)
-		return err
-	}
-	if res.resp.V != ProtocolVersion {
-		err := fmt.Errorf("iotssp: shard %s speaks protocol v%d, want v%d", sc.addr, res.resp.V, ProtocolVersion)
-		sc.dropLocked(conn, err)
-		return err
-	}
-	sc.rs.observeVersion(res.resp.Version)
-	if sc.conn != conn {
-		// The connection died while we were waiting on the handshake.
-		return fmt.Errorf("iotssp: shard %s: connection lost during handshake", sc.addr)
-	}
-	return nil
-}
-
-// readPump decodes response lines and hands each to its waiter until
-// the connection breaks. A pump that outlives its connection (buffered
-// lines survive the socket close) must not deliver into a younger
-// incarnation's waiters — its generation no longer matches and the
-// response is dropped.
-func (sc *shardConn) readPump(conn net.Conn, gen uint64) {
-	br := bufio.NewReader(conn)
-	for {
-		line, err := br.ReadBytes('\n')
-		if err != nil {
-			sc.fail(conn, fmt.Errorf("iotssp: reading shard response: %w", err))
-			return
-		}
-		var resp shardResponse
-		if err := json.Unmarshal(line, &resp); err != nil {
-			sc.fail(conn, fmt.Errorf("iotssp: decoding shard response: %w", err))
-			return
-		}
-		sc.mu.Lock()
-		if sc.gen != gen {
-			sc.mu.Unlock()
-			return
-		}
-		ch := sc.waiters[resp.Line]
-		delete(sc.waiters, resp.Line)
-		sc.mu.Unlock()
-		if ch != nil {
-			ch <- shardResult{resp: resp}
-		}
-	}
-}
-
-// fail severs conn and fails every outstanding request.
-func (sc *shardConn) fail(conn net.Conn, err error) {
-	sc.mu.Lock()
-	sc.dropLocked(conn, err)
-	sc.mu.Unlock()
-}
-
-// dropLocked severs conn (if still current) and fails its waiters.
-// Callers hold mu.
-func (sc *shardConn) dropLocked(conn net.Conn, err error) {
-	if sc.conn != conn {
-		return
-	}
-	conn.Close()
-	sc.conn = nil
-	waiters := sc.waiters
-	sc.waiters = make(map[uint64]chan shardResult)
-	for _, ch := range waiters {
-		ch <- shardResult{err: err}
-	}
-}
-
-// close permanently severs the connection.
-func (sc *shardConn) close() {
-	sc.mu.Lock()
-	sc.closed = true
-	if sc.conn != nil {
-		sc.dropLocked(sc.conn, fmt.Errorf("iotssp: remote shard closed"))
-	}
-	sc.mu.Unlock()
-}

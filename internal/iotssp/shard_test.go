@@ -140,7 +140,7 @@ func TestRemoteShardMirrorsLocalShard(t *testing.T) {
 				i, gotBest, gotScores, wantBest, wantScores)
 		}
 	}
-	if st := remote.Stats(); st.Failures != 0 || st.Dials == 0 {
+	if st := remote.Stats(); st.Failures != 0 || st.Transport.Dials == 0 {
 		t.Errorf("remote shard stats: %+v", st)
 	}
 }
@@ -244,7 +244,7 @@ func TestRemoteShardSurvivesShardRestart(t *testing.T) {
 	case <-time.After(20 * time.Second):
 		t.Fatal("classify never recovered after shard restart")
 	}
-	if st := remote.Stats(); st.Retries == 0 || st.Dials < 2 {
+	if st := remote.Stats(); st.Retries == 0 || st.Transport.Dials < 2 {
 		t.Errorf("restart left no retry/redial trace: %+v", st)
 	}
 }

@@ -1,0 +1,370 @@
+package iotssp
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/backoff"
+	"repro/internal/core"
+	"repro/internal/fingerprint"
+)
+
+// ShardGroupConfig tunes a ShardGroup. The zero value selects defaults
+// sized for fast failover between co-located replicas.
+type ShardGroupConfig struct {
+	// Shard tunes each member's RemoteShard client. Zero fields take the
+	// RemoteShard defaults except the retry depth: a group member fails
+	// over to a healthy replica instead of riding out a restart, so
+	// MaxRetries defaults to a shallow 2 (with RetryBackoff 5ms and
+	// MaxBackoff 25ms) rather than RemoteShard's deep 20. Shard.Seed
+	// seeds the group's jitter source; each member derives its own
+	// decorrelated seed from it.
+	Shard RemoteShardConfig
+	// FailureThreshold is the number of consecutive failed operations
+	// after which a member is ejected from routing (each operation
+	// already carries the member client's own shallow retries, so the
+	// streak is debounced). 0 selects 1.
+	FailureThreshold int
+	// ProbeBackoff is the delay before an ejected member is probed for
+	// re-admission; every failed probe doubles it (jittered to 50–150%)
+	// up to MaxProbeBackoff. 0 selects 50ms.
+	ProbeBackoff time.Duration
+	// MaxProbeBackoff caps the probe backoff. 0 selects 2s.
+	MaxProbeBackoff time.Duration
+}
+
+func (c ShardGroupConfig) withDefaults() ShardGroupConfig {
+	if c.Shard.MaxRetries == 0 {
+		c.Shard.MaxRetries = 2
+		if c.Shard.RetryBackoff == 0 {
+			c.Shard.RetryBackoff = 5 * time.Millisecond
+		}
+		if c.Shard.MaxBackoff == 0 {
+			c.Shard.MaxBackoff = 25 * time.Millisecond
+		}
+	}
+	c.Shard = c.Shard.withDefaults()
+	if c.FailureThreshold <= 0 {
+		c.FailureThreshold = 1
+	}
+	if c.ProbeBackoff <= 0 {
+		c.ProbeBackoff = 50 * time.Millisecond
+	}
+	if c.MaxProbeBackoff <= 0 {
+		c.MaxProbeBackoff = 2 * time.Second
+	}
+	return c
+}
+
+// ShardMemberStats is one group member's health and traffic snapshot.
+type ShardMemberStats struct {
+	// Addr is the member's address.
+	Addr string `json:"addr"`
+	// BreakerState is the member's health: admission, failure streak,
+	// ejection/re-admission transitions.
+	backoff.BreakerState
+	// Requests and Failures count operations routed at this member and
+	// the ones that failed at the transport level.
+	Requests uint64 `json:"requests"`
+	Failures uint64 `json:"failures"`
+	// Shard snapshots the member's RemoteShard client counters
+	// (including its lineconn transport block).
+	Shard RemoteShardStats `json:"shard"`
+}
+
+// ShardGroupStats is a snapshot of a ShardGroup's counters.
+type ShardGroupStats struct {
+	// Requests counts shard operations issued to the group; Failovers
+	// counts operations re-routed to another member after a retryable
+	// failure; Failures counts operations that exhausted every member.
+	Requests  uint64 `json:"requests"`
+	Failovers uint64 `json:"failovers"`
+	Failures  uint64 `json:"failures"`
+	// Version is the group's reconciled enrolment version (the maximum
+	// observed across members).
+	Version uint64 `json:"version"`
+	// Members holds per-member health and traffic in member order.
+	Members []ShardMemberStats `json:"members"`
+}
+
+// groupMember is one replicated shard server: its RemoteShard client
+// plus its health breaker.
+type groupMember struct {
+	rs      *RemoteShard
+	breaker *backoff.Breaker
+
+	requests, failures atomic.Uint64
+}
+
+// ShardGroup is a replicated shard: N shard servers hosting identical
+// copies of one partition behind a single health-aware core.Shard, so a
+// core.ShardedBank (assembled through core.NewShardedBankFrom) sees one
+// logical shard whose restarts cost zero added latency. It is the
+// FleetPool machinery one layer down: read operations
+// (classify/discriminate/meta) round-robin across admitted members for
+// load spread, a member failing an operation is retried transparently
+// on the next member, FailureThreshold consecutive failures eject a
+// member from routing, and an ejected member is probed back in with
+// jittered doubling backoff — so a mid-run member restart is absorbed
+// by failover instead of every in-flight request riding a deep retry
+// loop against the dead server (the retry burst a single-replica
+// RemoteShard pays).
+//
+// Enrolments fan out to every member — each replica must train the new
+// type so reads stay equivalent wherever they land — and the group's
+// Version reconciles to the maximum observed across members: replicas
+// that start at the same version move in lockstep through a fan-out
+// enrolment, so the verdict cache above sees exactly one version bump
+// and invalidates the dependent entries exactly once, never once per
+// replica. An enrolment that fails on any member is surfaced as an
+// error (the replicas may have diverged and the group refuses to hide
+// it); "already enrolled" answers reconcile against the member's
+// authoritative type list the way core.ShardedBank.Enroll does, so a
+// retried fan-out whose first attempt partially landed converges.
+//
+// The members must host bit-identical banks (same training data,
+// config and seed): the group load-spreads reads on the assumption that
+// any member's answer is the answer. ShardGroup is safe for concurrent
+// use.
+type ShardGroup struct {
+	cfg     ShardGroupConfig
+	members []*groupMember
+	cursor  atomic.Uint64 // round-robin member cursor
+
+	// typesMu guards the cached type list (refreshed by Types).
+	typesMu sync.Mutex
+	types   []string
+
+	requests, failovers, failures atomic.Uint64
+}
+
+// NewShardGroup creates a group over the member shard-server addresses.
+// No connection is made until the first operation.
+func NewShardGroup(addrs []string, cfg ShardGroupConfig) *ShardGroup {
+	cfg = cfg.withDefaults()
+	jitter := backoff.NewJitter(cfg.Shard.Seed)
+	bcfg := backoff.BreakerConfig{
+		FailureThreshold: cfg.FailureThreshold,
+		ProbeBackoff:     cfg.ProbeBackoff,
+		MaxProbeBackoff:  cfg.MaxProbeBackoff,
+	}
+	g := &ShardGroup{cfg: cfg, members: make([]*groupMember, len(addrs))}
+	for i, addr := range addrs {
+		mcfg := cfg.Shard
+		mcfg.Seed = jitter.Derive()
+		g.members[i] = &groupMember{
+			rs:      NewRemoteShard(addr, mcfg),
+			breaker: backoff.NewBreaker(bcfg, jitter),
+		}
+	}
+	return g
+}
+
+// Stats snapshots the group counters and per-member health.
+func (g *ShardGroup) Stats() ShardGroupStats {
+	st := ShardGroupStats{
+		Requests:  g.requests.Load(),
+		Failovers: g.failovers.Load(),
+		Failures:  g.failures.Load(),
+		Version:   g.Version(),
+		Members:   make([]ShardMemberStats, len(g.members)),
+	}
+	for i, m := range g.members {
+		st.Members[i] = ShardMemberStats{
+			Addr:         m.rs.Addr(),
+			BreakerState: m.breaker.State(),
+			Requests:     m.requests.Load(),
+			Failures:     m.failures.Load(),
+			Shard:        m.rs.Stats(),
+		}
+	}
+	return st
+}
+
+// Members returns the group size.
+func (g *ShardGroup) Members() int { return len(g.members) }
+
+// Member returns the i-th member's RemoteShard client (for targeted
+// inspection in failover drills).
+func (g *ShardGroup) Member(i int) *RemoteShard { return g.members[i].rs }
+
+// do runs one read operation with health-aware member failover: members
+// are tried in round-robin order starting from the rotating cursor,
+// skipping ejected ones, and a transport-level failure moves on to the
+// next admitted member. When every member is ejected, one caller is let
+// through as a full-outage recovery probe.
+func (g *ShardGroup) do(req shardRequest, timeout time.Duration) (shardResponse, error) {
+	g.requests.Add(1)
+	start := int(g.cursor.Add(1) % uint64(len(g.members)))
+	var lastErr error
+	attempted := false
+	for k := 0; k < len(g.members); k++ {
+		m := g.members[(start+k)%len(g.members)]
+		if !m.breaker.Admit(time.Now()) {
+			continue
+		}
+		if attempted {
+			g.failovers.Add(1)
+		}
+		attempted = true
+		resp, err := g.tryMember(m, req, timeout)
+		if err == nil || (resp.Error != "" && !resp.Retryable) {
+			return resp, err
+		}
+		lastErr = err
+	}
+	if !attempted {
+		// Every member is ejected and none is due for a scheduled probe:
+		// push one paced probe rather than failing without trying. At
+		// most one probe is in flight per member; concurrent callers fail
+		// fast instead of herding onto a down shard.
+		m := g.members[start]
+		if !m.breaker.AdmitProbe() {
+			g.failures.Add(1)
+			return shardResponse{}, fmt.Errorf("iotssp: shard group: all %d members ejected, recovery probe in flight", len(g.members))
+		}
+		resp, err := g.tryMember(m, req, timeout)
+		if err == nil || (resp.Error != "" && !resp.Retryable) {
+			return resp, err
+		}
+		lastErr = err
+	}
+	g.failures.Add(1)
+	return shardResponse{}, fmt.Errorf("iotssp: shard group: all %d members failed: %w", len(g.members), lastErr)
+}
+
+// tryMember runs one operation against one member and folds the outcome
+// into its breaker. A non-retryable service error (malformed request,
+// duplicate enrolment) counts as member health: the shard itself
+// answered, and another replica would answer the same.
+func (g *ShardGroup) tryMember(m *groupMember, req shardRequest, timeout time.Duration) (shardResponse, error) {
+	m.requests.Add(1)
+	resp, err := m.rs.do(req, timeout)
+	if err == nil || (resp.Error != "" && !resp.Retryable) {
+		m.breaker.NoteSuccess()
+		return resp, err
+	}
+	m.failures.Add(1)
+	m.breaker.NoteFailure(time.Now())
+	return resp, err
+}
+
+// ClassifyBatch implements core.Shard: the batch ships to one healthy
+// member (any replica's answer is the answer), failing over
+// transparently if that member dies mid-flight. On a full group outage
+// it fails open to all-reject, like RemoteShard.
+func (g *ShardGroup) ClassifyBatch(fps []*fingerprint.Fingerprint, workers int) [][]string {
+	_ = workers // the member server fans the batch across its own cores
+	out := make([][]string, len(fps))
+	if len(fps) == 0 {
+		return out
+	}
+	batch := make([]string, len(fps))
+	for i, f := range fps {
+		packed, err := fingerprint.Pack(f)
+		if err != nil {
+			return out
+		}
+		batch[i] = packed
+	}
+	resp, err := g.do(shardRequest{Op: OpClassify, Batch: batch}, g.cfg.Shard.Timeout)
+	if err != nil || len(resp.Accepts) != len(fps) {
+		return out
+	}
+	return resp.Accepts
+}
+
+// Discriminate implements core.Shard with the same member failover. On
+// a full group outage it reports no scores, conceding the
+// discrimination to the other shards' candidates.
+func (g *ShardGroup) Discriminate(f *fingerprint.Fingerprint, candidates []string) (string, map[string]float64) {
+	packed, err := fingerprint.Pack(f)
+	if err != nil {
+		return "", nil
+	}
+	resp, err := g.do(shardRequest{Op: OpDiscriminate, Fingerprint: packed, Candidates: candidates}, g.cfg.Shard.Timeout)
+	if err != nil {
+		return "", nil
+	}
+	return resp.Best, resp.Scores
+}
+
+// Enroll implements core.Shard by fanning the enrolment out to every
+// member concurrently: each replica trains the new type so reads stay
+// equivalent wherever the group routes them, and because members that
+// start at the same version all move one step, the reconciled group
+// Version bumps exactly once. A member answering "already enrolled" is
+// reconciled against its authoritative type list (a lost enrolment ack
+// retried through the fan-out must converge, not fail). Any other
+// member error is surfaced: the replicas may have diverged and hiding
+// it would quietly break the bit-equality contract.
+func (g *ShardGroup) Enroll(name string, prints []*fingerprint.Fingerprint) error {
+	errs := make([]error, len(g.members))
+	var wg sync.WaitGroup
+	for i, m := range g.members {
+		wg.Add(1)
+		go func(i int, m *groupMember) {
+			defer wg.Done()
+			err := m.rs.Enroll(name, prints)
+			if err != nil {
+				// Reconcile against the member's authoritative state, the
+				// way core.ShardedBank.Enroll does: if the member lists the
+				// type, this enrolment (or a lost-ack predecessor) landed.
+				for _, have := range m.rs.Types() {
+					if have == name {
+						err = nil
+						break
+					}
+				}
+			}
+			if err != nil {
+				errs[i] = fmt.Errorf("iotssp: shard group member %s: %w", m.rs.Addr(), err)
+			}
+		}(i, m)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// Version implements core.Shard as the maximum enrolment version
+// observed across members — the group's reconciled version. It never
+// blocks on the network: each member serves its locally cached stamp,
+// and versions only grow, so the maximum is monotonic even while a
+// fan-out enrolment is mid-flight across the replicas.
+func (g *ShardGroup) Version() uint64 {
+	var v uint64
+	for _, m := range g.members {
+		if mv := m.rs.Version(); mv > v {
+			v = mv
+		}
+	}
+	return v
+}
+
+// Types implements core.Shard: it asks a healthy member for the
+// replicated partition's type list, falling back to the last
+// successfully fetched list when the whole group is unreachable.
+func (g *ShardGroup) Types() []string {
+	resp, err := g.do(shardRequest{Op: OpMeta}, g.cfg.Shard.Timeout)
+	g.typesMu.Lock()
+	defer g.typesMu.Unlock()
+	if err == nil {
+		g.types = append([]string(nil), resp.Types...)
+	}
+	return append([]string(nil), g.types...)
+}
+
+// Close severs every member's connections and fails outstanding
+// requests.
+func (g *ShardGroup) Close() error {
+	for _, m := range g.members {
+		m.rs.Close()
+	}
+	return nil
+}
+
+// ShardGroup implements core.Shard over replicated shard servers.
+var _ core.Shard = (*ShardGroup)(nil)

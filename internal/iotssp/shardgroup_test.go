@@ -1,0 +1,251 @@
+package iotssp
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// startShardGroupHarness serves n identically trained copies of the
+// fixture's shard 1 behind restartable replicas and a ShardGroup over
+// them.
+func startShardGroupHarness(t *testing.T, n int, cfg ShardGroupConfig) ([]*Replica, []*core.Bank, *ShardGroup) {
+	t.Helper()
+	replicas := make([]*Replica, n)
+	banks := make([]*core.Bank, n)
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		// Training is deterministic in (config, data): every copy is
+		// bit-identical, which is the replication contract.
+		banks[i] = freshShardedBank(t).Shard(1).(*core.Bank)
+		replicas[i] = startShardReplica(t, banks[i])
+		addrs[i] = replicas[i].Addr()
+	}
+	g := NewShardGroup(addrs, cfg)
+	t.Cleanup(func() { g.Close() })
+	return replicas, banks, g
+}
+
+func TestShardGroupMirrorsSingleReplica(t *testing.T) {
+	fix := getShardFixture(t)
+	local := fix.sharded.Shard(1).(*core.Bank)
+	_, _, group := startShardGroupHarness(t, 2, ShardGroupConfig{Shard: RemoteShardConfig{Seed: 31}})
+
+	if got, want := group.Types(), local.Types(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("group Types = %v, want %v", got, want)
+	}
+	if got, want := group.Version(), local.Version(); got != want {
+		t.Fatalf("group Version = %d, want %d", got, want)
+	}
+	gotAccepts := group.ClassifyBatch(fix.probes, 0)
+	wantAccepts := local.ClassifyBatch(fix.probes, 0)
+	if !reflect.DeepEqual(gotAccepts, wantAccepts) {
+		t.Fatalf("group ClassifyBatch = %v, want %v", gotAccepts, wantAccepts)
+	}
+	types := local.Types()
+	for i, fp := range fix.probes {
+		gotBest, gotScores := group.Discriminate(fp, types)
+		wantBest, wantScores := local.Discriminate(fp, types)
+		if gotBest != wantBest || !reflect.DeepEqual(gotScores, wantScores) {
+			t.Fatalf("probe %d: group Discriminate = (%q, %v), want (%q, %v)",
+				i, gotBest, gotScores, wantBest, wantScores)
+		}
+	}
+	st := group.Stats()
+	if st.Failures != 0 {
+		t.Errorf("group failures = %d, want 0", st.Failures)
+	}
+	if group.Members() != 2 {
+		t.Errorf("Members = %d, want 2", group.Members())
+	}
+	for i := range st.Members {
+		if got := group.Member(i).Addr(); got != st.Members[i].Addr {
+			t.Errorf("member %d addr %q != stats addr %q", i, got, st.Members[i].Addr)
+		}
+	}
+	// Round-robin read routing: both members saw traffic.
+	for i, m := range st.Members {
+		if m.Requests == 0 {
+			t.Errorf("member %d saw no traffic: %+v", i, m)
+		}
+		if !m.Healthy {
+			t.Errorf("member %d unhealthy with no failure injected", i)
+		}
+	}
+}
+
+func TestShardGroupFailsOverOnMemberKill(t *testing.T) {
+	fix := getShardFixture(t)
+	local := fix.sharded.Shard(1).(*core.Bank)
+	replicas, _, group := startShardGroupHarness(t, 2, ShardGroupConfig{
+		Shard:        RemoteShardConfig{Seed: 37, RetryBackoff: 2 * time.Millisecond, MaxBackoff: 10 * time.Millisecond, Timeout: 5 * time.Second},
+		ProbeBackoff: 20 * time.Millisecond,
+	})
+	want := local.ClassifyBatch(fix.probes, 0)
+	if got := group.ClassifyBatch(fix.probes, 0); !reflect.DeepEqual(got, want) {
+		t.Fatal("pre-kill classify mismatch")
+	}
+
+	// Kill member 0. Every subsequent operation must keep answering
+	// correctly — failover, not a retry burst against the dead server.
+	if err := replicas[0].Stop(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if got := group.ClassifyBatch(fix.probes, 0); !reflect.DeepEqual(got, want) {
+			t.Fatalf("classify %d with member 0 down: mismatch", i)
+		}
+	}
+	st := group.Stats()
+	if st.Failures != 0 {
+		t.Errorf("group-level failures = %d during single-member outage, want 0", st.Failures)
+	}
+	if st.Failovers == 0 && st.Members[0].Ejections == 0 {
+		t.Errorf("outage left no failover/ejection trace: %+v", st)
+	}
+	if st.Members[0].Healthy {
+		t.Errorf("dead member still admitted after %d operations: %+v", 7, st.Members[0])
+	}
+
+	// Revive member 0: the probing re-admission must bring it back.
+	if err := replicas[0].Start(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		group.Types() // traffic doubles as the re-admission probe
+		if group.Stats().Members[0].Healthy {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("member 0 never re-admitted after revival: %+v", group.Stats())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if st := group.Stats(); st.Members[0].Readmissions == 0 {
+		t.Errorf("re-admission not counted: %+v", st.Members[0])
+	}
+	if got := group.ClassifyBatch(fix.probes, 0); !reflect.DeepEqual(got, want) {
+		t.Fatal("post-revival classify mismatch")
+	}
+}
+
+func TestShardGroupEnrollFansOutWithVersionReconciliation(t *testing.T) {
+	fix := getShardFixture(t)
+	_, banks, group := startShardGroupHarness(t, 2, ShardGroupConfig{Shard: RemoteShardConfig{Seed: 41}})
+
+	group.Types() // warm the version cache (Version is the max observed stamp)
+	v0 := group.Version()
+	if got := banks[0].Version(); v0 != got {
+		t.Fatalf("warmed group version = %d, want the banks' %d", v0, got)
+	}
+	if err := group.Enroll(fix.spareName, fix.sparePrints); err != nil {
+		t.Fatalf("group Enroll: %v", err)
+	}
+	// Every member trained the type, every member moved one version, and
+	// the reconciled group version bumped exactly once — the verdict
+	// cache above sees one invalidation, not one per replica.
+	if got := group.Version(); got != v0+1 {
+		t.Fatalf("group Version after fan-out enroll = %d, want %d (exactly one bump)", got, v0+1)
+	}
+	for i, bank := range banks {
+		if got := bank.Version(); got != v0+1 {
+			t.Errorf("member %d bank version = %d, want %d", i, got, v0+1)
+		}
+		types := bank.Types()
+		if types[len(types)-1] != fix.spareName {
+			t.Errorf("member %d missing the enrolled type: %v", i, types)
+		}
+	}
+	types := group.Types()
+	if types[len(types)-1] != fix.spareName {
+		t.Errorf("group Types missing the enrolled type: %v", types)
+	}
+
+	// A duplicate fan-out enrolment reconciles against the members'
+	// authoritative type lists and reports success (the type is there),
+	// with no further version bump.
+	if err := group.Enroll(fix.spareName, fix.sparePrints); err != nil {
+		t.Fatalf("duplicate fan-out enroll did not reconcile: %v", err)
+	}
+	if got := group.Version(); got != v0+1 {
+		t.Errorf("reconciled duplicate enroll bumped the version to %d", got)
+	}
+}
+
+func TestShardGroupEnrollSurfacesMemberOutage(t *testing.T) {
+	fix := getShardFixture(t)
+	replicas, _, group := startShardGroupHarness(t, 2, ShardGroupConfig{
+		Shard: RemoteShardConfig{Seed: 43, RetryBackoff: 2 * time.Millisecond, MaxBackoff: 10 * time.Millisecond},
+	})
+	if err := replicas[1].Stop(); err != nil {
+		t.Fatal(err)
+	}
+	err := group.Enroll(fix.spareName, fix.sparePrints)
+	if err == nil {
+		t.Fatal("fan-out enroll with a dead member succeeded (replicas silently diverged)")
+	}
+	if !strings.Contains(err.Error(), "member") {
+		t.Errorf("error does not name the member: %v", err)
+	}
+}
+
+func TestShardGroupFailsOpenOnFullOutage(t *testing.T) {
+	fix := getShardFixture(t)
+	replicas, _, group := startShardGroupHarness(t, 2, ShardGroupConfig{
+		Shard:        RemoteShardConfig{Seed: 47, RetryBackoff: time.Millisecond, MaxBackoff: 5 * time.Millisecond, Timeout: 2 * time.Second},
+		ProbeBackoff: 10 * time.Millisecond,
+	})
+	for _, r := range replicas {
+		if err := r.Stop(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Both members down: classify fails open to all-reject (the logical
+	// bank degrades to "unknown device", it does not wedge).
+	got := group.ClassifyBatch(fix.probes[:2], 0)
+	if len(got) != 2 || got[0] != nil || got[1] != nil {
+		t.Fatalf("full-outage classify = %v, want all-reject", got)
+	}
+	if st := group.Stats(); st.Failures == 0 {
+		t.Errorf("full outage not counted as a group failure: %+v", st)
+	}
+
+	// Revive one member: the full-outage recovery probe must find it.
+	if err := replicas[1].Start(); err != nil {
+		t.Fatal(err)
+	}
+	want := fix.sharded.Shard(1).(*core.Bank).ClassifyBatch(fix.probes[:2], 0)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if got := group.ClassifyBatch(fix.probes[:2], 0); reflect.DeepEqual(got, want) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("group never recovered from full outage: %+v", group.Stats())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestShardedBankOverShardGroupBitEqual(t *testing.T) {
+	fix := getShardFixture(t)
+	served := freshShardedBank(t)
+	_, _, group := startShardGroupHarness(t, 2, ShardGroupConfig{Shard: RemoteShardConfig{Seed: 53}})
+
+	mixed, err := core.NewShardedBankFrom(fix.cfg, []core.Shard{served.Shard(0), group})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := mixed.Types(), fix.sharded.Types(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("mixed bank type order %v, want %v", got, want)
+	}
+	wantRes := fix.sharded.IdentifyBatch(fix.probes, 0)
+	gotRes := mixed.IdentifyBatch(fix.probes, 0)
+	if !reflect.DeepEqual(gotRes, wantRes) {
+		t.Fatalf("bank-over-group verdicts differ from all-local:\n got %+v\nwant %+v", gotRes, wantRes)
+	}
+}

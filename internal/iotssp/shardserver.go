@@ -75,6 +75,10 @@ type shardResponse struct {
 	Retryable bool   `json:"retryable,omitempty"`
 }
 
+// CorrelationLine implements lineconn.Message: shard clients pipeline
+// and correlate replies by the echoed line number.
+func (r shardResponse) CorrelationLine() uint64 { return r.Line }
+
 // NewShardServer wraps one in-process classifier-bank shard for network
 // serving: the returned server speaks the shard verbs of the version-2
 // wire protocol (hello/meta/classify/discriminate/enroll) so a

@@ -1,0 +1,499 @@
+// Package lineconn is the pipelined line-correlated transport shared by
+// every client in the serving stack: the pooled gateway client
+// (gateway.Pool/FleetPool), the remote-shard client (iotssp.RemoteShard
+// and the replicated iotssp.ShardGroup) and the legacy single-connection
+// iotssp.Client all speak a JSON-lines protocol whose responses may
+// arrive out of order, and all of them used to carry their own copy of
+// the same subtle connection core. This package owns that core once.
+//
+// # The correlation contract
+//
+// A Conn writes request lines onto one persistent TCP connection and
+// counts them: the first line written on a fresh connection is line 1,
+// the next line 2, and so on. The peer echoes each request's line
+// number in its response (the Message constraint's CorrelationLine),
+// and a dedicated read pump routes every decoded response line to the
+// waiter registered under that number — so many requests ride the
+// connection at once and the match stays exact however the peer
+// reorders verdicts, overload errors and cache hits, including two
+// in-flight requests for the same logical key.
+//
+// # The generation guard
+//
+// The line counter resets on every redial. A response still buffered in
+// a dead connection's read pump could therefore correlate — by line
+// number alone — to a waiter registered on the replacement connection.
+// Each connection incarnation carries a generation number; a pump that
+// outlives its socket delivers nothing into a younger incarnation's
+// waiter table (the delivery is counted as a dropped correlation and
+// the stale pump exits).
+//
+// # Drop/fail semantics
+//
+// A transport failure — write error, read error, undecodable response
+// line, local deadline — severs the connection and fails every pending
+// waiter with the same error, so pipelined callers fail fast instead of
+// waiting out their own deadlines, and the next round-trip redials
+// lazily. Responses arriving with no registered waiter (after a local
+// timeout took the waiter away, or lacking the line echo entirely) are
+// dropped and counted, never misdelivered.
+//
+// # Handshake hook
+//
+// A client whose protocol opens with a negotiation (the shard
+// protocol's hello) supplies the handshake line and a check for its
+// reply: the hello is written as line 1 of every fresh connection and
+// its correlated response must pass the check before the connection
+// serves traffic, so a mode or version mismatch fails the dial cleanly
+// instead of surfacing mid-pipeline.
+//
+// Reconnects are lazy (the next round-trip redials) and the jittered
+// exponential backoff between retry attempts comes from the shared
+// internal/backoff source via Retry, so a fleet of clients backing off
+// from one incident never retries in lockstep.
+package lineconn
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/backoff"
+)
+
+// Message is the decoded response-line type a Conn correlates: one JSON
+// object per line, echoing the request's 1-based connection line number.
+type Message interface {
+	// CorrelationLine returns the echoed line number (0 means the
+	// response is not tied to a request line and is dropped).
+	CorrelationLine() uint64
+}
+
+// ErrClosed is returned by round-trips on a permanently closed Conn.
+var ErrClosed = errors.New("lineconn: connection closed")
+
+// Stats is a snapshot of a transport's canonical counters. Every client
+// built on lineconn surfaces exactly this block (json-tagged for the
+// experiments' metrics snapshot), so dials, reconnects, bursts and
+// dropped correlations mean the same thing in PoolStats,
+// RemoteShardStats and ShardGroupStats.
+type Stats struct {
+	// Dials counts connection establishments, first dials and redials
+	// alike (each includes the handshake when one is configured).
+	Dials uint64 `json:"dials"`
+	// Reconnects counts the subset of Dials that replaced a previously
+	// established connection.
+	Reconnects uint64 `json:"reconnects"`
+	// Bursts counts pipelined multi-request writes (RoundTripBatch
+	// calls that reached the socket); BurstRequests the request lines
+	// they carried.
+	Bursts        uint64 `json:"bursts"`
+	BurstRequests uint64 `json:"burst_requests"`
+	// DroppedCorrelations counts response lines discarded instead of
+	// delivered: stale-generation deliveries and responses with no
+	// registered waiter.
+	DroppedCorrelations uint64 `json:"dropped_correlations"`
+}
+
+// Counters accumulates transport counters. One Counters is typically
+// shared by every Conn of a client (a pool's connections, a remote
+// shard's pipelined links) so the client's stats describe its whole
+// transport.
+type Counters struct {
+	dials, reconnects, bursts, burstReqs, dropped atomic.Uint64
+}
+
+// NewCounters creates an empty counter set.
+func NewCounters() *Counters { return &Counters{} }
+
+// Snapshot returns the current counter values.
+func (c *Counters) Snapshot() Stats {
+	return Stats{
+		Dials:               c.dials.Load(),
+		Reconnects:          c.reconnects.Load(),
+		Bursts:              c.bursts.Load(),
+		BurstRequests:       c.burstReqs.Load(),
+		DroppedCorrelations: c.dropped.Load(),
+	}
+}
+
+// Retry is the jittered-exponential backoff policy every lineconn-based
+// client sleeps on between retry attempts: Base doubled per attempt,
+// capped at Max (0 means uncapped), each sleep jittered to 50–150% by
+// the shared seeded source.
+type Retry struct {
+	Base, Max time.Duration
+	Jitter    *backoff.Jitter
+}
+
+// Sleep blocks for attempt's backoff (attempt counts from 1) or until
+// ctx is done, returning ctx's error in that case.
+func (r Retry) Sleep(ctx context.Context, attempt int) error {
+	d := r.Base << (attempt - 1)
+	if d <= 0 || (r.Max > 0 && d > r.Max) {
+		// Overflowed shifts land on the cap too (or back on Base when
+		// uncapped).
+		d = r.Max
+		if d <= 0 {
+			d = r.Base
+		}
+	}
+	jittered := r.Jitter.Scale(d)
+	if ctx.Done() == nil {
+		time.Sleep(jittered)
+		return nil
+	}
+	t := time.NewTimer(jittered)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Options configures a Conn beyond its address.
+type Options[M Message] struct {
+	// Counters receives the connection's transport counters; pass one
+	// shared set for every Conn of a client. nil allocates a private set.
+	Counters *Counters
+	// Hello, when non-empty, is the handshake line (including its
+	// trailing newline) written as line 1 of every fresh connection.
+	// CheckHello validates the handshake's correlated reply; an error
+	// fails the dial and the connection never serves traffic.
+	Hello      []byte
+	CheckHello func(M) error
+}
+
+// result is one completed round-trip.
+type result[M Message] struct {
+	msg M
+	err error
+}
+
+// Conn is one persistent pipelined connection with line-echo
+// correlation. It dials lazily on the first round-trip, redials lazily
+// after any failure, and is safe for concurrent use — many goroutines
+// may have round-trips in flight at once.
+type Conn[M Message] struct {
+	addr     string
+	counters *Counters
+	hello    []byte
+	check    func(M) error
+
+	mu   sync.Mutex
+	conn net.Conn
+	// gen counts connection incarnations (the generation guard: pumps
+	// carry their generation and stale deliveries are discarded).
+	gen uint64
+	// lines counts request lines written on the current connection;
+	// waiters holds the in-flight round-trip for each line.
+	lines   uint64
+	waiters map[uint64]chan result[M]
+	closed  bool
+}
+
+// New creates a connection to addr (host:port). Nothing is dialed until
+// the first round-trip.
+func New[M Message](addr string, opts Options[M]) *Conn[M] {
+	if opts.Counters == nil {
+		opts.Counters = NewCounters()
+	}
+	return &Conn[M]{
+		addr:     addr,
+		counters: opts.Counters,
+		hello:    opts.Hello,
+		check:    opts.CheckHello,
+		waiters:  make(map[uint64]chan result[M]),
+	}
+}
+
+// Addr returns the peer address.
+func (c *Conn[M]) Addr() string { return c.addr }
+
+// deadlineFor folds the per-call timeout with ctx's deadline.
+func deadlineFor(ctx context.Context, timeout time.Duration) time.Time {
+	deadline := time.Now().Add(timeout)
+	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+		deadline = d
+	}
+	return deadline
+}
+
+// ensureConnLocked dials and (when configured) handshakes the
+// connection if needed. Callers hold mu; the handshake reply is awaited
+// with mu released (the read pump needs it to deliver), and the method
+// returns with mu held either way.
+func (c *Conn[M]) ensureConnLocked(ctx context.Context, deadline time.Time) error {
+	if c.conn != nil {
+		return nil
+	}
+	d := net.Dialer{Deadline: deadline}
+	conn, err := d.DialContext(ctx, "tcp", c.addr)
+	if err != nil {
+		return fmt.Errorf("lineconn: dialing %s: %w", c.addr, err)
+	}
+	if conn.LocalAddr().String() == conn.RemoteAddr().String() {
+		// TCP simultaneous-connect on loopback: dialing a just-freed
+		// ephemeral port can self-connect, and the pump would then read
+		// back our own request lines as responses. Treat it as a failed
+		// dial.
+		conn.Close()
+		return fmt.Errorf("lineconn: dialing %s: self-connection", c.addr)
+	}
+	if c.gen > 0 {
+		c.counters.reconnects.Add(1)
+	}
+	c.conn = conn
+	c.gen++
+	c.lines = 0
+	c.counters.dials.Add(1)
+	gen := c.gen
+	if len(c.hello) == 0 {
+		go c.readPump(conn, gen)
+		return nil
+	}
+
+	// The handshake consumes line 1 of the fresh connection.
+	c.lines = 1
+	helloCh := make(chan result[M], 1)
+	c.waiters[1] = helloCh
+	go c.readPump(conn, gen)
+	conn.SetWriteDeadline(deadline)
+	if _, err := conn.Write(c.hello); err != nil {
+		c.dropLocked(conn, err)
+		return fmt.Errorf("lineconn: handshake with %s: %w", c.addr, err)
+	}
+
+	// Wait for the handshake reply outside the lock.
+	c.mu.Unlock()
+	var res result[M]
+	timer := time.NewTimer(time.Until(deadline))
+	select {
+	case res = <-helloCh:
+	case <-ctx.Done():
+		res = result[M]{err: ctx.Err()}
+	case <-timer.C:
+		res = result[M]{err: fmt.Errorf("lineconn: handshake with %s: deadline exceeded", c.addr)}
+	}
+	timer.Stop()
+	c.mu.Lock()
+
+	if res.err != nil {
+		c.dropLocked(conn, res.err)
+		return res.err
+	}
+	if c.check != nil {
+		if err := c.check(res.msg); err != nil {
+			c.dropLocked(conn, err)
+			return err
+		}
+	}
+	if c.conn != conn {
+		// The connection died while the lock was released.
+		return fmt.Errorf("lineconn: %s: connection lost during handshake", c.addr)
+	}
+	return nil
+}
+
+// RoundTrip writes one request line (body must include its trailing
+// newline) and waits for the correlated response, at most timeout (or
+// ctx's earlier deadline). A missed deadline severs the connection —
+// the peer or the link is wedged, and every pipelined request should
+// fail fast rather than each waiting out its own timer.
+func (c *Conn[M]) RoundTrip(ctx context.Context, body []byte, timeout time.Duration) (M, error) {
+	var zero M
+	deadline := deadlineFor(ctx, timeout)
+
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return zero, ErrClosed
+	}
+	if err := c.ensureConnLocked(ctx, deadline); err != nil {
+		c.mu.Unlock()
+		return zero, err
+	}
+	conn := c.conn
+	ch := make(chan result[M], 1)
+	c.lines++
+	c.waiters[c.lines] = ch
+	conn.SetWriteDeadline(deadline)
+	if _, err := conn.Write(body); err != nil {
+		werr := fmt.Errorf("lineconn: writing to %s: %w", c.addr, err)
+		c.dropLocked(conn, werr)
+		c.mu.Unlock()
+		return zero, werr
+	}
+	c.mu.Unlock()
+
+	timer := time.NewTimer(time.Until(deadline))
+	defer timer.Stop()
+	select {
+	case res := <-ch:
+		return res.msg, res.err
+	case <-ctx.Done():
+		c.fail(conn, ctx.Err())
+		return zero, ctx.Err()
+	case <-timer.C:
+		err := fmt.Errorf("lineconn: %s: deadline exceeded", c.addr)
+		c.fail(conn, err)
+		return zero, err
+	}
+}
+
+// RoundTripBatch writes a burst of request lines in one pipelined write
+// and waits for all their correlated responses. msgs[j]/errs[j]
+// describe bodies[j]; a transport failure mid-burst fails the affected
+// entries (the caller decides whether to retry them individually).
+func (c *Conn[M]) RoundTripBatch(ctx context.Context, bodies [][]byte, timeout time.Duration) ([]M, []error) {
+	msgs := make([]M, len(bodies))
+	errs := make([]error, len(bodies))
+	deadline := deadlineFor(ctx, timeout)
+
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		for j := range errs {
+			errs[j] = ErrClosed
+		}
+		return msgs, errs
+	}
+	if err := c.ensureConnLocked(ctx, deadline); err != nil {
+		c.mu.Unlock()
+		for j := range errs {
+			errs[j] = err
+		}
+		return msgs, errs
+	}
+	conn := c.conn
+	c.counters.bursts.Add(1)
+	c.counters.burstReqs.Add(uint64(len(bodies)))
+	chans := make([]chan result[M], len(bodies))
+	var burst []byte
+	for j, body := range bodies {
+		chans[j] = make(chan result[M], 1)
+		c.lines++
+		c.waiters[c.lines] = chans[j]
+		burst = append(burst, body...)
+	}
+	conn.SetWriteDeadline(deadline)
+	if _, err := conn.Write(burst); err != nil {
+		// dropLocked fails every registered waiter, ours included; the
+		// wait loop below collects those failures positionally.
+		c.dropLocked(conn, fmt.Errorf("lineconn: writing burst to %s: %w", c.addr, err))
+	}
+	c.mu.Unlock()
+
+	timer := time.NewTimer(time.Until(deadline))
+	defer timer.Stop()
+	severed := false
+	for j, ch := range chans {
+		select {
+		case res := <-ch:
+			msgs[j], errs[j] = res.msg, res.err
+		case <-ctx.Done():
+			if !severed {
+				severed = true
+				c.fail(conn, ctx.Err())
+			}
+			res := <-ch // fail delivered an error to every waiter
+			msgs[j], errs[j] = res.msg, res.err
+		case <-timer.C:
+			if !severed {
+				severed = true
+				c.fail(conn, fmt.Errorf("lineconn: %s: burst deadline exceeded", c.addr))
+			}
+			res := <-ch
+			msgs[j], errs[j] = res.msg, res.err
+		}
+	}
+	return msgs, errs
+}
+
+// readPump decodes response lines and hands each to its waiter until
+// the connection breaks or a younger incarnation takes over (buffered
+// lines can outlive the socket close; they must not resolve the new
+// connection's waiters).
+func (c *Conn[M]) readPump(conn net.Conn, gen uint64) {
+	br := bufio.NewReader(conn)
+	for {
+		line, err := br.ReadBytes('\n')
+		if err != nil {
+			c.fail(conn, fmt.Errorf("lineconn: reading from %s: %w", c.addr, err))
+			return
+		}
+		var msg M
+		if err := json.Unmarshal(line, &msg); err != nil {
+			c.fail(conn, fmt.Errorf("lineconn: decoding response from %s: %w", c.addr, err))
+			return
+		}
+		if !c.deliver(msg, gen) {
+			return
+		}
+	}
+}
+
+// deliver routes a response to the waiter for its echoed line number,
+// reporting whether the pump's connection is still current. Stale
+// generations and responses without a waiter (after a local timeout, or
+// lacking the line echo) are dropped and counted.
+func (c *Conn[M]) deliver(msg M, gen uint64) bool {
+	c.mu.Lock()
+	if c.gen != gen {
+		c.mu.Unlock()
+		c.counters.dropped.Add(1)
+		return false
+	}
+	ch := c.waiters[msg.CorrelationLine()]
+	if ch == nil {
+		c.mu.Unlock()
+		c.counters.dropped.Add(1)
+		return true
+	}
+	delete(c.waiters, msg.CorrelationLine())
+	c.mu.Unlock()
+	ch <- result[M]{msg: msg}
+	return true
+}
+
+// fail severs conn and fails every outstanding round-trip, so the next
+// call redials.
+func (c *Conn[M]) fail(conn net.Conn, err error) {
+	c.mu.Lock()
+	c.dropLocked(conn, err)
+	c.mu.Unlock()
+}
+
+// dropLocked severs conn (if still current) and fails its waiters.
+// Callers hold mu.
+func (c *Conn[M]) dropLocked(conn net.Conn, err error) {
+	if c.conn != conn {
+		return
+	}
+	conn.Close()
+	c.conn = nil
+	waiters := c.waiters
+	c.waiters = make(map[uint64]chan result[M])
+	for _, ch := range waiters {
+		ch <- result[M]{err: err}
+	}
+}
+
+// Close permanently severs the connection and fails its outstanding
+// round-trips; further round-trips return ErrClosed.
+func (c *Conn[M]) Close() {
+	c.mu.Lock()
+	c.closed = true
+	if c.conn != nil {
+		c.dropLocked(c.conn, ErrClosed)
+	}
+	c.mu.Unlock()
+}
