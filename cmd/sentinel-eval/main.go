@@ -7,7 +7,10 @@
 // logical bank with a shard served across the wire, bit-equal to the
 // all-local baseline through a mid-run shard restart; replicated: the
 // remote partition behind a 2+-member shard group whose mid-run member
-// kill+revive costs zero verdicts and no retry-latency spike).
+// kill+revive costs zero verdicts and no retry-latency spike;
+// dataplane: end-to-end capture-to-verdict packets/sec through the
+// worker-per-core ingestion pipeline versus the serial monitor, with
+// verdicts asserted equal and the hot path's allocations measured).
 //
 // Usage:
 //
@@ -16,6 +19,7 @@
 //	sentinel-eval -experiment fleet -shards 4 -backends 3
 //	sentinel-eval -experiment distributed -shards 2
 //	sentinel-eval -experiment replicated -replicas 2
+//	sentinel-eval -experiment dataplane -workers 8
 package main
 
 import (
@@ -38,7 +42,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("sentinel-eval", flag.ContinueOnError)
 	var (
-		experiment  = fs.String("experiment", "all", "fig5|table3|table4|throughput|service|fleet|distributed|replicated|ablations|all")
+		experiment  = fs.String("experiment", "all", "fig5|table3|table4|throughput|service|fleet|distributed|replicated|dataplane|ablations|all")
 		runs        = fs.Int("runs", 20, "setup captures per device-type")
 		folds       = fs.Int("folds", 10, "cross-validation folds")
 		repeats     = fs.Int("repeats", 10, "cross-validation repetitions")
@@ -48,6 +52,8 @@ func run(args []string) error {
 		backends    = fs.Int("backends", 2, "service replicas (fleet experiment)")
 		replicas    = fs.Int("replicas", 2, "shard-group members (replicated experiment)")
 		minScaling  = fs.Float64("min-scaling", 0, "fail the fleet experiment unless fleet/baseline throughput reaches this ratio (0 = report only)")
+		workers     = fs.Int("workers", 0, "dataplane pipeline workers (0 = GOMAXPROCS)")
+		minSpeedup  = fs.Float64("min-speedup", -1, "fail the dataplane experiment unless pipeline/serial packets/sec reaches this ratio (0 = report only; -1 = 2.0 when GOMAXPROCS >= 4, else report only)")
 		maxP99Ratio = fs.Float64("max-p99-ratio", -1, "fail the replicated experiment unless the kill run's p99 stays within this multiple of the no-kill run's (0 = report only; -1 = 2.0 when GOMAXPROCS >= 4, else report only)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -171,6 +177,31 @@ func run(args []string) error {
 		fmt.Print(res.RenderReplicated())
 	}
 
+	if *experiment == "dataplane" || *experiment == "all" {
+		fmt.Println()
+		speedup := *minSpeedup
+		if speedup < 0 {
+			// Like the replicated experiment's latency gate: asserting a
+			// parallel speedup needs parallel hardware.
+			speedup = 0
+			if runtime.GOMAXPROCS(0) >= 4 {
+				speedup = 2.0
+			}
+		}
+		res, err := experiments.RunDataplane(experiments.DataplaneConfig{
+			DeviceRuns: *runs / 5,
+			TrainRuns:  *runs / 2,
+			Trees:      *trees,
+			Workers:    *workers,
+			MinSpeedup: speedup,
+			Seed:       *seed,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.RenderDataplane())
+	}
+
 	if *experiment == "ablations" || *experiment == "all" {
 		abCfg := cfg
 		if abCfg.Repeats > 2 {
@@ -192,10 +223,10 @@ func run(args []string) error {
 	}
 
 	switch *experiment {
-	case "fig5", "table3", "table4", "throughput", "service", "fleet", "distributed", "replicated", "ablations", "all":
+	case "fig5", "table3", "table4", "throughput", "service", "fleet", "distributed", "replicated", "dataplane", "ablations", "all":
 		return nil
 	default:
 		return fmt.Errorf("unknown experiment %q (want %s)", *experiment,
-			strings.Join([]string{"fig5", "table3", "table4", "throughput", "service", "fleet", "distributed", "replicated", "ablations", "all"}, "|"))
+			strings.Join([]string{"fig5", "table3", "table4", "throughput", "service", "fleet", "distributed", "replicated", "dataplane", "ablations", "all"}, "|"))
 	}
 }

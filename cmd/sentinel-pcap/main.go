@@ -4,16 +4,28 @@
 // corpus — the offline equivalent of what the Security Gateway does
 // online.
 //
+// Captures flow through the internal/dataplane worker-per-core pipeline
+// (streaming decode, per-device fingerprint assembly, batched
+// identification through the IoTSSP service), so a multi-gigabyte
+// capture is processed at in-memory pipeline speed. Output order is
+// deterministic regardless of worker count: captures are reported in
+// completion order (the frame that ended each device's setup phase).
+//
 //	sentinel-pcap -pcap dataset/HueBridge/run00.pcap
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/dataplane"
 	"repro/internal/devices"
+	"repro/internal/gateway"
+	"repro/internal/iotssp"
 	"repro/internal/ml"
 	"repro/internal/packet"
 	"repro/internal/sniff"
@@ -56,6 +68,27 @@ func appDetail(p *packet.Packet) string {
 	return ""
 }
 
+// verbosePackets re-reads the capture serially and groups the retained
+// packets per device, for the -v per-packet listing. The dataplane
+// pipeline itself never retains packets (it assembles fingerprints
+// streaming), so the listing costs a second pass only when asked for.
+func verbosePackets(path string) (map[packet.MAC][]*packet.Packet, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	captures, err := sniff.ReadPcap(f, sniff.GatewayConfig())
+	if err != nil {
+		return nil, err
+	}
+	byMAC := make(map[packet.MAC][]*packet.Packet, len(captures))
+	for _, c := range captures {
+		byMAC[c.MAC] = c.Packets
+	}
+	return byMAC, nil
+}
+
 func main() {
 	if err := run(os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "sentinel-pcap:", err)
@@ -70,6 +103,7 @@ func run(args []string) error {
 		runs     = fs.Int("runs", 20, "training captures per device-type")
 		trees    = fs.Int("trees", 100, "random-forest size")
 		seed     = fs.Int64("seed", 99, "training corpus seed (must differ from the capture's)")
+		workers  = fs.Int("workers", 0, "pipeline workers (0 = GOMAXPROCS)")
 		verbose  = fs.Bool("v", false, "print per-packet summaries")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -79,17 +113,16 @@ func run(args []string) error {
 		return fmt.Errorf("missing -pcap argument")
 	}
 
+	// Open the capture before paying for training, so a bad file fails
+	// fast.
 	f, err := os.Open(*pcapPath)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	captures, err := sniff.ReadPcap(f, sniff.GatewayConfig())
+	src, err := dataplane.NewPcapSource(f)
 	if err != nil {
 		return err
-	}
-	if len(captures) == 0 {
-		return fmt.Errorf("%s contains no device setup captures", *pcapPath)
 	}
 
 	fmt.Printf("training %d classifiers on %d runs/type (trees=%d)…\n", devices.Count(), *runs, *trees)
@@ -105,27 +138,55 @@ func run(args []string) error {
 		return err
 	}
 	db := vulndb.Seeded()
+	ident := gateway.LocalService{Svc: iotssp.NewService(bank, db, nil)}
+	t0 := time.Now()
+	verdicts, res, err := dataplane.RunIdentify(context.Background(),
+		dataplane.Config{Workers: *workers}, src, ident, 0)
+	if err != nil {
+		return err
+	}
+	dur := time.Since(t0)
+	if len(verdicts) == 0 {
+		return fmt.Errorf("%s contains no device setup captures", *pcapPath)
+	}
+	fmt.Printf("pipeline: %d frames (%.1f MB) -> %d captures in %v (%.0f pkt/s)\n",
+		res.Stats.Frames, float64(res.Stats.Bytes)/1e6, res.Stats.Captures, dur.Round(time.Millisecond),
+		float64(res.Stats.Frames)/dur.Seconds())
 
-	for _, c := range captures {
-		fp := c.Fingerprint()
+	var pktsByMAC map[packet.MAC][]*packet.Packet
+	if *verbose {
+		if pktsByMAC, err = verbosePackets(*pcapPath); err != nil {
+			return err
+		}
+	}
+
+	for _, v := range verdicts {
+		c := v.Capture
 		if *verbose {
-			for i, pkt := range c.Packets {
+			for i, pkt := range pktsByMAC[c.MAC] {
 				fmt.Printf("  %3d %s %s%s\n", i, pkt.Timestamp.Format("15:04:05.000"),
 					pkt.Summary(), appDetail(pkt))
 			}
 		}
-		res := bank.Identify(fp)
-		fmt.Printf("\ndevice %s: %d packets, fingerprint %s\n", c.MAC, len(c.Packets), fp)
-		if !res.Known {
+		fmt.Printf("\ndevice %s: %d packets, fingerprint %s\n", c.MAC, c.Packets, c.Fingerprint)
+		if v.Err != nil {
+			fmt.Printf("  verdict: identification error: %v\n", v.Err)
+			continue
+		}
+		if !v.Response.Known {
 			fmt.Println("  verdict: UNKNOWN device-type -> isolation level strict")
 			continue
 		}
-		assessment := db.Assess(res.Type)
-		fmt.Printf("  identified as %s (stage: %s, candidates: %v)\n", res.Type, res.Stage, res.Accepted)
+		assessment := db.Assess(v.Response.DeviceType)
+		fmt.Printf("  identified as %s (stage: %s)\n", v.Response.DeviceType, v.Response.Stage)
 		fmt.Printf("  vulnerability assessment: %d advisories -> isolation level %s\n",
-			len(assessment.Vulns), assessment.Level())
-		for _, v := range assessment.Vulns {
-			fmt.Printf("    %s (CVSS %.1f, %d): %s\n", v.ID, v.CVSS, v.Year, v.Summary)
+			len(assessment.Vulns), v.Response.Level)
+		for _, vuln := range assessment.Vulns {
+			fmt.Printf("    %s (CVSS %.1f, %d): %s\n", vuln.ID, vuln.CVSS, vuln.Year, vuln.Summary)
+		}
+		if v.Response.NotifyUser {
+			fmt.Printf("  NOTIFY USER: vulnerabilities reachable over %v cannot be filtered\n",
+				v.Response.UncontrolledChannels)
 		}
 	}
 	return nil

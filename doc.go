@@ -122,6 +122,31 @@
 // p99 within 2x of the no-kill run (gated on GOMAXPROCS), and the
 // counter-verified fan-out invalidation.
 //
+// Ingestion is a dataplane. internal/dataplane is the worker-per-core
+// capture-to-verdict pipeline that feeds raw frames (a pcap file via
+// dataplane.PcapSource, or an in-memory stream via dataplane.FrameSource)
+// into the batched identification engine: one reader goroutine shards
+// frames by source MAC — so each device's setup state (stateful Table-I
+// feature extractor, setup-end detector, streaming fingerprint assembly)
+// lives lock-free on exactly one worker — and hands them over in
+// recycled batch arenas across bounded channels, applying backpressure
+// instead of queue growth. The steady-state per-frame path allocates
+// nothing: packet.DecodeBuf reuses layer structs and a payload arena,
+// pcap.Reader.NextBuf reuses the record buffer, and the extractor's
+// destination-IP counter is keyed by binary address identity
+// (packet.IPKey). Captures complete in a deterministic order regardless
+// of worker count and dataplane.RunIdentify flushes them into any
+// gateway batch identifier as they stream out, overlapping
+// identification with decode. The serial sniff.Monitor remains the
+// reference semantics — pipeline captures are asserted bit-equal to it —
+// and both bound their per-MAC state (sniff.Limits) with
+// least-recently-active eviction, so MAC churn cannot grow either
+// without bound. The dataplane experiment (experiments.RunDataplane,
+// sentinel-eval -experiment dataplane) measures end-to-end packets/sec
+// capture-to-verdict against the serial baseline, asserting verdict
+// equality and a zero-allocation hot path; BenchmarkDecode,
+// BenchmarkExtract and BenchmarkDataplane hold the regression line.
+//
 // See README.md for a walkthrough, DESIGN.md for the system inventory
 // and experiment index, and EXPERIMENTS.md for paper-versus-measured
 // results.

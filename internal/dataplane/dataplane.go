@@ -1,0 +1,497 @@
+// Package dataplane is the capture-to-verdict ingestion pipeline: a
+// worker-per-core packet path that takes raw frames from a Source (a
+// pcap file, or an in-memory frame stream tapped off the netsim
+// medium), runs streaming decode → feature extraction → per-device
+// fingerprint assembly, and completes setup captures into batched
+// identification — the multi-core successor of the serial
+// sniff.Monitor/sniff.ReadPcap path, producing bit-identical captures.
+//
+// # Shard-by-MAC contract
+//
+// One reader goroutine demultiplexes frames by source MAC: the MAC is
+// hashed to pick a worker, so every frame of one device lands on the
+// same worker, in arrival order. All per-device state — the stateful
+// features.Extractor (destination-IP counter), the setup-end detector,
+// the accumulating fingerprint vectors and the finished set — therefore
+// lives in exactly one worker and is accessed lock-free. Frames travel
+// from the reader to the workers in batches (Config.BatchFrames) over
+// bounded channels; the batch buffers are recycled through a per-worker
+// free list, so a full pipeline applies backpressure to the reader
+// instead of growing queues.
+//
+// # Buffer-reuse contract
+//
+// The steady-state per-frame path performs no heap allocations: frame
+// bytes are copied into the batch's reusable arena, each worker decodes
+// through its own packet.DecodeBuf (reused layer structs and payload
+// arena), and feature extraction appends no per-packet state beyond the
+// device's vector buffer. Allocations that remain are per-device (state
+// creation, fingerprint assembly at capture completion) and per-batch
+// (none after the arenas reach their high-water mark). The
+// BenchmarkDataplane/BenchmarkDecode/BenchmarkExtract allocation
+// regressions and the TestDecodeExtractZeroAlloc AllocsPerRun gate hold
+// the path to that contract.
+//
+// Like sniff.Monitor, per-device state is bounded (sniff.Limits shared
+// across the workers) with least-recently-active eviction, so MAC churn
+// cannot grow a worker without bound.
+package dataplane
+
+import (
+	"container/list"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/features"
+	"repro/internal/fingerprint"
+	"repro/internal/packet"
+	"repro/internal/sniff"
+)
+
+// Config parameterizes a pipeline run.
+type Config struct {
+	// Workers is the number of decode/extract workers. Zero selects
+	// GOMAXPROCS.
+	Workers int
+	// SetupEnd tunes the setup-phase end detector. The zero value
+	// selects sniff.GatewayConfig(), matching the serial monitor.
+	SetupEnd fingerprint.SetupEndConfig
+	// IgnoreMACs filters frames from infrastructure hosts before they
+	// are dispatched to a worker.
+	IgnoreMACs map[packet.MAC]bool
+	// Limits bounds the pipeline-wide per-device state, divided evenly
+	// across the workers. The zero value selects sniff.DefaultLimits.
+	Limits sniff.Limits
+	// BatchFrames is the number of frames handed from the reader to a
+	// worker in one batch. Zero selects 128.
+	BatchFrames int
+	// QueueBatches bounds the number of filled batches queued to each
+	// worker before the reader blocks. Zero selects 4.
+	QueueBatches int
+	// OnCapture, when set, streams completed captures to the caller
+	// from a single collector goroutine (calls are never concurrent)
+	// instead of accumulating them in Result.Captures. A slow consumer
+	// backpressures the pipeline.
+	OnCapture func(Capture)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.SetupEnd == (fingerprint.SetupEndConfig{}) {
+		c.SetupEnd = sniff.GatewayConfig()
+	}
+	if c.BatchFrames <= 0 {
+		c.BatchFrames = 128
+	}
+	if c.QueueBatches <= 0 {
+		c.QueueBatches = 4
+	}
+	def := sniff.DefaultLimits()
+	if c.Limits.MaxActive == 0 {
+		c.Limits.MaxActive = def.MaxActive
+	}
+	if c.Limits.MaxFinished == 0 {
+		c.Limits.MaxFinished = def.MaxFinished
+	}
+	return c
+}
+
+// perWorkerLimits divides the pipeline-wide caps across n workers.
+func perWorkerLimits(l sniff.Limits, n int) sniff.Limits {
+	div := func(v int) int {
+		if v < 0 {
+			return -1
+		}
+		if v = v / n; v < 1 {
+			v = 1
+		}
+		return v
+	}
+	return sniff.Limits{MaxActive: div(l.MaxActive), MaxFinished: div(l.MaxFinished)}
+}
+
+// Capture is one device's completed setup capture, reduced to its
+// fingerprint: the dataplane never retains packets.
+type Capture struct {
+	MAC packet.MAC
+	// Fingerprint is the variable-length fingerprint F assembled
+	// streaming, identical to fingerprint.New over the serial monitor's
+	// capture of the same frames.
+	Fingerprint *fingerprint.Fingerprint
+	// Packets is the number of packets in the underlying capture
+	// (before consecutive-duplicate vector removal).
+	Packets int
+
+	// seq is the global index of the frame that completed the capture
+	// (the total frame count for end-of-stream flushes); firstSeen is
+	// the global index of the device's first frame. Together they give
+	// captures a deterministic order independent of worker scheduling.
+	seq       uint64
+	firstSeen uint64
+}
+
+// less orders captures by completion frame, then by first appearance —
+// deterministic for a given frame stream regardless of worker timing.
+func (c Capture) less(o Capture) bool {
+	if c.seq != o.seq {
+		return c.seq < o.seq
+	}
+	return c.firstSeen < o.firstSeen
+}
+
+// WorkerStats counts one worker's hot-path activity. Counters are
+// maintained without atomics (each is written by exactly one goroutine)
+// and snapshotted after the worker has joined.
+type WorkerStats struct {
+	Frames          uint64 `json:"frames"`
+	Bytes           uint64 `json:"bytes"`
+	DecodeErrors    uint64 `json:"decode_errors"`
+	Devices         uint64 `json:"devices"`
+	Captures        uint64 `json:"captures"`
+	EvictedActive   uint64 `json:"evicted_active"`
+	EvictedFinished uint64 `json:"evicted_finished"`
+}
+
+// Stats aggregates a pipeline run.
+type Stats struct {
+	// Frames and Bytes count every frame the source yielded, including
+	// ignored and undecodable ones.
+	Frames uint64 `json:"frames"`
+	Bytes  uint64 `json:"bytes"`
+	// Ignored counts frames filtered by IgnoreMACs; Runts counts frames
+	// too short to carry a source MAC (never dispatched).
+	Ignored uint64 `json:"ignored"`
+	Runts   uint64 `json:"runts"`
+	// DecodeErrors, Devices, Captures and the eviction counters sum the
+	// per-worker numbers.
+	DecodeErrors    uint64        `json:"decode_errors"`
+	Devices         uint64        `json:"devices"`
+	Captures        uint64        `json:"captures"`
+	EvictedActive   uint64        `json:"evicted_active"`
+	EvictedFinished uint64        `json:"evicted_finished"`
+	Workers         []WorkerStats `json:"workers"`
+}
+
+// Result is the outcome of a pipeline run.
+type Result struct {
+	// Captures holds the completed setup captures in deterministic
+	// order (completion frame, then first appearance), nil when
+	// Config.OnCapture consumed them.
+	Captures []Capture
+	Stats    Stats
+}
+
+// frameDesc locates one frame inside a batch arena.
+type frameDesc struct {
+	off, n int
+	seq    uint64
+	ts     time.Time
+}
+
+// frameBatch is the unit of reader→worker hand-off. Batches are
+// recycled through each worker's free list; arena and frames keep their
+// capacity across reuse.
+type frameBatch struct {
+	arena  []byte
+	frames []frameDesc
+}
+
+func (b *frameBatch) reset() {
+	b.arena = b.arena[:0]
+	b.frames = b.frames[:0]
+}
+
+// Run drives the pipeline over src until io.EOF, then flushes the
+// in-progress captures (last-activity order per worker) and returns the
+// result. Any source error aborts the run.
+func Run(cfg Config, src Source) (*Result, error) {
+	cfg = cfg.withDefaults()
+	nw := cfg.Workers
+	wl := perWorkerLimits(cfg.Limits, nw)
+
+	out := make(chan Capture, 64*nw)
+	workers := make([]*worker, nw)
+	var wg sync.WaitGroup
+	for i := range workers {
+		workers[i] = newWorker(cfg, wl, out)
+		wg.Add(1)
+		go func(w *worker) {
+			defer wg.Done()
+			w.run()
+		}(workers[i])
+	}
+
+	// Collector: single goroutine owning capture delivery, so
+	// OnCapture needs no locking.
+	var captures []Capture
+	collectorDone := make(chan struct{})
+	go func() {
+		defer close(collectorDone)
+		for c := range out {
+			if cfg.OnCapture != nil {
+				cfg.OnCapture(c)
+			} else {
+				captures = append(captures, c)
+			}
+		}
+	}()
+
+	stats, srcErr := dispatch(cfg, src, workers)
+
+	for _, w := range workers {
+		w.flushSeq = stats.Frames
+		close(w.in)
+	}
+	wg.Wait()
+	close(out)
+	<-collectorDone
+
+	if srcErr != nil {
+		return nil, srcErr
+	}
+
+	for _, w := range workers {
+		stats.DecodeErrors += w.stats.DecodeErrors
+		stats.Devices += w.stats.Devices
+		stats.Captures += w.stats.Captures
+		stats.EvictedActive += w.stats.EvictedActive
+		stats.EvictedFinished += w.stats.EvictedFinished
+		stats.Workers = append(stats.Workers, w.stats)
+	}
+	sort.Slice(captures, func(i, j int) bool { return captures[i].less(captures[j]) })
+	return &Result{Captures: captures, Stats: stats}, nil
+}
+
+// dispatch is the reader loop: pull frames from the source, shard by
+// source MAC, copy into the target worker's pending batch and hand
+// filled batches off. Returns the reader-side stats and the source
+// error, if any (io.EOF is a clean end).
+func dispatch(cfg Config, src Source, workers []*worker) (Stats, error) {
+	var stats Stats
+	nw := len(workers)
+	pend := make([]*frameBatch, nw)
+
+	flush := func(i int) {
+		if pend[i] != nil {
+			workers[i].in <- pend[i]
+			pend[i] = nil
+		}
+	}
+
+	for {
+		data, ts, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			// Abort: hand what we have to the workers so shutdown can
+			// proceed, then report.
+			for i := range pend {
+				flush(i)
+			}
+			return stats, fmt.Errorf("dataplane: reading source: %w", err)
+		}
+		seq := stats.Frames
+		stats.Frames++
+		stats.Bytes += uint64(len(data))
+		if len(data) < 14 {
+			stats.Runts++
+			continue
+		}
+		if len(cfg.IgnoreMACs) > 0 {
+			var mac packet.MAC
+			copy(mac[:], data[6:12])
+			if cfg.IgnoreMACs[mac] {
+				stats.Ignored++
+				continue
+			}
+		}
+		i := shardOf(data, nw)
+		b := pend[i]
+		if b == nil {
+			b = <-workers[i].free
+			b.reset()
+			pend[i] = b
+		}
+		off := len(b.arena)
+		b.arena = append(b.arena, data...)
+		b.frames = append(b.frames, frameDesc{off: off, n: len(data), seq: seq, ts: ts})
+		if len(b.frames) >= cfg.BatchFrames {
+			flush(i)
+		}
+	}
+	for i := range pend {
+		flush(i)
+	}
+	return stats, nil
+}
+
+// shardOf hashes the frame's source MAC (bytes 6..12) to a worker.
+// FNV-1a over the six MAC bytes: cheap, and uniform enough that
+// randomized-MAC churn spreads across the pool.
+func shardOf(frame []byte, n int) int {
+	h := uint64(0xcbf29ce484222325)
+	for _, c := range frame[6:12] {
+		h = (h ^ uint64(c)) * 0x100000001b3
+	}
+	return int(h % uint64(n))
+}
+
+// devState is one device's in-progress capture on its owning worker.
+type devState struct {
+	mac       packet.MAC
+	detector  *fingerprint.SetupEndDetector
+	ex        features.Extractor
+	vectors   []features.Vector
+	pkts      int
+	firstSeen uint64
+}
+
+// worker owns the per-device state of its MAC shard.
+type worker struct {
+	cfg    Config
+	limits sniff.Limits
+	in     chan *frameBatch
+	free   chan *frameBatch
+	out    chan<- Capture
+
+	dec    packet.DecodeBuf
+	active map[packet.MAC]*list.Element
+	lru    *list.List
+	// finished mirrors sniff.Monitor's bounded completed-MAC set.
+	finished      map[packet.MAC]bool
+	finishedOrder []packet.MAC
+	finishedHead  int
+
+	// flushSeq is the completion key for end-of-stream flushes (the
+	// total frame count); set by the driver before closing in.
+	flushSeq uint64
+	stats    WorkerStats
+}
+
+func newWorker(cfg Config, limits sniff.Limits, out chan<- Capture) *worker {
+	w := &worker{
+		cfg:      cfg,
+		limits:   limits,
+		in:       make(chan *frameBatch, cfg.QueueBatches),
+		free:     make(chan *frameBatch, cfg.QueueBatches+2),
+		out:      out,
+		active:   make(map[packet.MAC]*list.Element),
+		lru:      list.New(),
+		finished: make(map[packet.MAC]bool),
+	}
+	for i := 0; i < cfg.QueueBatches+2; i++ {
+		w.free <- &frameBatch{}
+	}
+	return w
+}
+
+func (w *worker) run() {
+	for b := range w.in {
+		for _, fd := range b.frames {
+			w.frame(b.arena[fd.off:fd.off+fd.n], fd.ts, fd.seq)
+		}
+		w.free <- b
+	}
+	// End of stream: force-complete in last-activity order, mirroring
+	// the serial monitor's Flush.
+	for el := w.lru.Front(); el != nil; {
+		next := el.Next()
+		w.complete(el.Value.(*devState), el, w.flushSeq)
+		el = next
+	}
+}
+
+// frame is the per-frame hot path: allocation-free in steady state.
+func (w *worker) frame(data []byte, ts time.Time, seq uint64) {
+	w.stats.Frames++
+	w.stats.Bytes += uint64(len(data))
+	var mac packet.MAC
+	copy(mac[:], data[6:12])
+	if w.finished[mac] {
+		return
+	}
+	p, err := w.dec.Decode(data, ts)
+	if err != nil {
+		w.stats.DecodeErrors++
+		return
+	}
+	el, ok := w.active[mac]
+	if !ok {
+		if max := w.limits.MaxActive; max > 0 {
+			for w.lru.Len() >= max {
+				front := w.lru.Front()
+				w.stats.EvictedActive++
+				w.complete(front.Value.(*devState), front, seq)
+			}
+		}
+		st := &devState{
+			mac:       mac,
+			detector:  fingerprint.NewSetupEndDetector(w.cfg.SetupEnd),
+			firstSeen: seq,
+		}
+		el = w.lru.PushBack(st)
+		w.active[mac] = el
+		w.stats.Devices++
+	} else {
+		w.lru.MoveToBack(el)
+	}
+	st := el.Value.(*devState)
+	// Mirror sniff.Monitor.Observe: an idle gap (or the packet cap)
+	// ends the phase *before* this packet — it belongs to standby, not
+	// to the setup capture.
+	if done := st.detector.Observe(ts); done {
+		w.complete(st, el, seq)
+		return
+	}
+	st.pkts++
+	v := st.ex.Extract(p)
+	// Streaming consecutive-duplicate removal: extraction state still
+	// advances for dropped packets, exactly as fingerprint.New over the
+	// full packet list.
+	if n := len(st.vectors); n == 0 || v != st.vectors[n-1] {
+		st.vectors = append(st.vectors, v)
+	}
+}
+
+func (w *worker) complete(st *devState, el *list.Element, seq uint64) {
+	w.lru.Remove(el)
+	delete(w.active, st.mac)
+	if st.pkts == 0 {
+		return
+	}
+	w.markFinished(st.mac)
+	w.stats.Captures++
+	w.out <- Capture{
+		MAC:         st.mac,
+		Fingerprint: fingerprint.FromVectors(st.vectors),
+		Packets:     st.pkts,
+		seq:         seq,
+		firstSeen:   st.firstSeen,
+	}
+}
+
+func (w *worker) markFinished(mac packet.MAC) {
+	w.finished[mac] = true
+	w.finishedOrder = append(w.finishedOrder, mac)
+	if max := w.limits.MaxFinished; max > 0 {
+		for len(w.finished) > max && w.finishedHead < len(w.finishedOrder) {
+			old := w.finishedOrder[w.finishedHead]
+			w.finishedHead++
+			if w.finished[old] {
+				delete(w.finished, old)
+				w.stats.EvictedFinished++
+			}
+		}
+	}
+	if w.finishedHead > 1024 && w.finishedHead > len(w.finishedOrder)/2 {
+		w.finishedOrder = append(w.finishedOrder[:0], w.finishedOrder[w.finishedHead:]...)
+		w.finishedHead = 0
+	}
+}

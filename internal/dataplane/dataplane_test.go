@@ -1,0 +1,363 @@
+package dataplane
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/devices"
+	"repro/internal/features"
+	"repro/internal/fingerprint"
+	"repro/internal/iotssp"
+	"repro/internal/packet"
+	"repro/internal/pcap"
+	"repro/internal/sniff"
+)
+
+// buildWorkload serializes `runs` setup runs of the first `types`
+// device profiles, gives every (type, run) instance a distinct MAC, and
+// interleaves all frames by timestamp — a busy medium with many devices
+// joining at once.
+func buildWorkload(t testing.TB, types, runs int) []Frame {
+	t.Helper()
+	env := devices.DefaultEnv()
+	names := devices.Names()
+	if types > len(names) {
+		types = len(names)
+	}
+	var frames []Frame
+	for ti, name := range names[:types] {
+		traces, err := devices.GenerateRuns(name, env, 7, runs)
+		if err != nil {
+			t.Fatalf("generating %s: %v", name, err)
+		}
+		for run, tr := range traces {
+			mac := packet.MAC{0x02, 0x77, byte(ti), byte(run), 0x00, 0x01}
+			for _, p := range tr.Packets {
+				wire, err := p.Serialize()
+				if err != nil {
+					t.Fatalf("serializing %s packet: %v", name, err)
+				}
+				copy(wire[6:12], mac[:])
+				frames = append(frames, Frame{TS: p.Timestamp, Data: wire})
+			}
+		}
+	}
+	sort.SliceStable(frames, func(i, j int) bool { return frames[i].TS.Before(frames[j].TS) })
+	return frames
+}
+
+// framesToPcap writes the frame stream as an in-memory libpcap file.
+func framesToPcap(t testing.TB, frames []Frame) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := pcap.NewWriter(&buf, pcap.WithNanosecondResolution())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range frames {
+		if err := w.WritePacket(f.TS, f.Data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+// serialCaptures is the serial-monitor baseline over the same stream.
+func serialCaptures(t testing.TB, frames []Frame) []sniff.Capture {
+	t.Helper()
+	caps, err := sniff.ReadPcap(bytes.NewReader(framesToPcap(t, frames)), sniff.GatewayConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return caps
+}
+
+// TestPipelineMatchesSerialMonitor is the dataplane's core guarantee:
+// for any frame stream, the concurrent pipeline produces exactly the
+// captures the serial sniff.Monitor produces — same devices, same
+// packet counts, bit-equal fingerprints.
+func TestPipelineMatchesSerialMonitor(t *testing.T) {
+	frames := buildWorkload(t, 12, 3)
+	want := serialCaptures(t, frames)
+	if len(want) == 0 {
+		t.Fatal("workload produced no serial captures")
+	}
+	wantByMAC := make(map[packet.MAC]sniff.Capture, len(want))
+	for _, c := range want {
+		wantByMAC[c.MAC] = c
+	}
+
+	for _, workers := range []int{1, 2, 4} {
+		res, err := Run(Config{Workers: workers, BatchFrames: 32}, NewFrameSource(frames))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(res.Captures) != len(want) {
+			t.Fatalf("workers=%d: %d captures, serial produced %d", workers, len(res.Captures), len(want))
+		}
+		for _, c := range res.Captures {
+			ref, ok := wantByMAC[c.MAC]
+			if !ok {
+				t.Fatalf("workers=%d: capture for %s absent from serial baseline", workers, c.MAC)
+			}
+			if c.Packets != len(ref.Packets) {
+				t.Errorf("workers=%d %s: %d packets, serial %d", workers, c.MAC, c.Packets, len(ref.Packets))
+			}
+			if !c.Fingerprint.Equal(ref.Fingerprint()) {
+				t.Errorf("workers=%d %s: fingerprint diverged from serial monitor", workers, c.MAC)
+			}
+		}
+		if res.Stats.Frames != uint64(len(frames)) {
+			t.Errorf("workers=%d: stats counted %d frames, want %d", workers, res.Stats.Frames, len(frames))
+		}
+		if res.Stats.Captures != uint64(len(want)) {
+			t.Errorf("workers=%d: stats counted %d captures, want %d", workers, res.Stats.Captures, len(want))
+		}
+	}
+}
+
+// TestPipelineDeterministicOrder asserts the capture order is stable
+// across runs and worker counts (completion frame, then first seen).
+func TestPipelineDeterministicOrder(t *testing.T) {
+	frames := buildWorkload(t, 8, 2)
+	var ref []packet.MAC
+	for run := 0; run < 3; run++ {
+		res, err := Run(Config{Workers: 1 + run, BatchFrames: 16}, NewFrameSource(frames))
+		if err != nil {
+			t.Fatal(err)
+		}
+		order := make([]packet.MAC, len(res.Captures))
+		for i, c := range res.Captures {
+			order[i] = c.MAC
+		}
+		if run == 0 {
+			ref = order
+			continue
+		}
+		if len(order) != len(ref) {
+			t.Fatalf("run %d: %d captures, want %d", run, len(order), len(ref))
+		}
+		for i := range order {
+			if order[i] != ref[i] {
+				t.Fatalf("run %d: capture %d is %s, want %s", run, i, order[i], ref[i])
+			}
+		}
+	}
+}
+
+// TestPipelinePcapSource runs the pipeline straight off pcap bytes.
+func TestPipelinePcapSource(t *testing.T) {
+	frames := buildWorkload(t, 6, 2)
+	want := serialCaptures(t, frames)
+	src, err := NewPcapSource(bytes.NewReader(framesToPcap(t, frames)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Config{Workers: 4}, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Captures) != len(want) {
+		t.Fatalf("%d captures, serial produced %d", len(res.Captures), len(want))
+	}
+}
+
+// TestPipelineIgnoreMACs verifies the reader-side infrastructure filter.
+func TestPipelineIgnoreMACs(t *testing.T) {
+	frames := buildWorkload(t, 4, 1)
+	drop := packet.MAC{0x02, 0x77, 0x00, 0x00, 0x00, 0x01}
+	res, err := Run(Config{
+		Workers:    2,
+		IgnoreMACs: map[packet.MAC]bool{drop: true},
+	}, NewFrameSource(frames))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Ignored == 0 {
+		t.Fatal("no frames ignored")
+	}
+	for _, c := range res.Captures {
+		if c.MAC == drop {
+			t.Fatalf("ignored MAC %s produced a capture", drop)
+		}
+	}
+}
+
+// errSource fails after a few frames.
+type errSource struct {
+	n   int
+	err error
+}
+
+func (s *errSource) Next() ([]byte, time.Time, error) {
+	if s.n == 0 {
+		return nil, time.Time{}, s.err
+	}
+	s.n--
+	return make([]byte, 60), time.Unix(0, int64(s.n)), nil
+}
+
+// TestPipelineSourceError asserts a mid-stream source error aborts the
+// run cleanly (no hang, no partial result).
+func TestPipelineSourceError(t *testing.T) {
+	boom := errors.New("boom")
+	res, err := Run(Config{Workers: 2}, &errSource{n: 500, err: boom})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	if res != nil {
+		t.Fatal("got a result alongside the error")
+	}
+}
+
+// TestWorkerEviction floods the pipeline with single-frame MAC churn
+// and asserts worker state stays bounded — the dataplane mirror of the
+// sniff.Monitor regression.
+func TestWorkerEviction(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	base := time.Unix(1700000000, 0)
+	env := devices.DefaultEnv()
+	tr, err := devices.GenerateRuns(devices.Names()[0], env, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire, err := tr[0].Packets[0].Serialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const churn = 6000
+	frames := make([]Frame, 0, churn)
+	for i := 0; i < churn; i++ {
+		f := append([]byte(nil), wire...)
+		f[6], f[7] = 0x02, 0xee
+		f[8], f[9], f[10], f[11] = byte(rng.Intn(256)), byte(rng.Intn(256)), byte(i>>8), byte(i)
+		frames = append(frames, Frame{TS: base.Add(time.Duration(i) * time.Millisecond), Data: f})
+	}
+	limits := sniff.Limits{MaxActive: 64, MaxFinished: 128}
+	res, err := Run(Config{Workers: 2, Limits: limits}, NewFrameSource(frames))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.EvictedActive == 0 {
+		t.Fatal("active-state eviction never fired under MAC churn")
+	}
+	// Every evicted single-packet device still produced its capture.
+	if res.Stats.Captures != churn {
+		t.Fatalf("%d captures, want %d (evictions must complete, not drop)", res.Stats.Captures, churn)
+	}
+	if got := res.Stats.EvictedFinished; got == 0 {
+		t.Fatal("finished-set eviction never fired under MAC churn")
+	}
+}
+
+// TestDecodeExtractZeroAlloc is the allocation gate on the steady-state
+// hot path: decoding a frame through a warmed DecodeBuf and extracting
+// its features must not allocate.
+func TestDecodeExtractZeroAlloc(t *testing.T) {
+	frames := buildWorkload(t, 6, 1)
+	var dec packet.DecodeBuf
+	var ex features.Extractor
+	warm := func() {
+		for _, f := range frames {
+			p, err := dec.Decode(f.Data, f.TS)
+			if err != nil {
+				continue
+			}
+			ex.Extract(p)
+		}
+	}
+	warm() // populate arenas and the dst-IP counter map
+	var sink features.Vector
+	allocs := testing.AllocsPerRun(10, func() {
+		for _, f := range frames {
+			p, err := dec.Decode(f.Data, f.TS)
+			if err != nil {
+				continue
+			}
+			sink = ex.Extract(p)
+		}
+	})
+	_ = sink
+	if allocs != 0 {
+		t.Fatalf("decode+extract allocated %.1f times per run over %d frames; want 0", allocs, len(frames))
+	}
+}
+
+// TestDecodeBufMatchesDecode cross-checks the reusing decoder against
+// the allocating one over a real workload (the fuzz harness does the
+// adversarial version).
+func TestDecodeBufMatchesDecode(t *testing.T) {
+	frames := buildWorkload(t, 8, 1)
+	var dec packet.DecodeBuf
+	var exA, exB features.Extractor
+	for i, f := range frames {
+		pa, errA := packet.Decode(f.Data, f.TS)
+		pb, errB := dec.Decode(f.Data, f.TS)
+		if (errA == nil) != (errB == nil) {
+			t.Fatalf("frame %d: Decode err=%v, DecodeBuf err=%v", i, errA, errB)
+		}
+		if errA != nil {
+			continue
+		}
+		va, vb := exA.Extract(pa), exB.Extract(pb)
+		if va != vb {
+			t.Fatalf("frame %d: feature vectors diverge:\n  Decode:    %s\n  DecodeBuf: %s", i, va, vb)
+		}
+	}
+}
+
+// TestRunIdentifyBatches exercises the capture→verdict glue with a stub
+// identifier and checks batching plus deterministic verdict order.
+func TestRunIdentifyBatches(t *testing.T) {
+	frames := buildWorkload(t, 8, 2)
+	ident := &stubIdentifier{}
+	verdicts, res, err := RunIdentify(context.Background(), Config{Workers: 4}, NewFrameSource(frames), ident, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(verdicts) != int(res.Stats.Captures) {
+		t.Fatalf("%d verdicts for %d captures", len(verdicts), res.Stats.Captures)
+	}
+	if ident.batches == 0 {
+		t.Fatal("identifier never called")
+	}
+	for i, v := range verdicts {
+		if v.Err != nil {
+			t.Fatalf("verdict %d: %v", i, v.Err)
+		}
+		if v.Response.MAC != v.Capture.MAC.String() {
+			t.Fatalf("verdict %d: response MAC %s for capture %s", i, v.Response.MAC, v.Capture.MAC)
+		}
+	}
+	// Deterministic order: matches the plain pipeline's capture order.
+	ref, err := Run(Config{Workers: 1}, NewFrameSource(frames))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range verdicts {
+		if verdicts[i].Capture.MAC != ref.Captures[i].MAC {
+			t.Fatalf("verdict %d is %s, pipeline capture order says %s", i, verdicts[i].Capture.MAC, ref.Captures[i].MAC)
+		}
+	}
+}
+
+// stubIdentifier echoes each MAC back as a known-device response.
+type stubIdentifier struct {
+	batches int
+}
+
+func (s *stubIdentifier) IdentifyBatch(_ context.Context, macs []string, fps []*fingerprint.Fingerprint) ([]iotssp.Response, []error) {
+	s.batches++
+	resps := make([]iotssp.Response, len(macs))
+	errs := make([]error, len(macs))
+	for i, mac := range macs {
+		resps[i] = iotssp.Response{MAC: mac, Known: true, DeviceType: "stub"}
+	}
+	_ = fps
+	return resps, errs
+}

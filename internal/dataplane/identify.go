@@ -1,0 +1,81 @@
+package dataplane
+
+import (
+	"context"
+	"sort"
+
+	"repro/internal/fingerprint"
+	"repro/internal/iotssp"
+)
+
+// BatchIdentifier is the identification backend the pipeline completes
+// captures into. It is structurally identical to gateway.BatchIdentifier,
+// so gateway.LocalService (in-process service), gateway.Pool and
+// gateway.FleetPool (wire clients) all satisfy it.
+type BatchIdentifier interface {
+	IdentifyBatch(ctx context.Context, macs []string, fps []*fingerprint.Fingerprint) ([]iotssp.Response, []error)
+}
+
+// Verdict pairs one completed capture with its identification outcome.
+type Verdict struct {
+	Capture  Capture
+	Response iotssp.Response
+	// Err is the per-capture identification error, nil on success.
+	Err error
+}
+
+// DefaultIdentifyBatch is the capture batch size RunIdentify flushes at.
+const DefaultIdentifyBatch = 32
+
+// RunIdentify drives the pipeline over src and completes each setup
+// capture into ident: captures are flushed in batches of batchSize
+// (DefaultIdentifyBatch when <= 0) as they stream out of the workers,
+// so identification overlaps decode instead of trailing it. The
+// returned verdicts are in the pipeline's deterministic capture order.
+// cfg.OnCapture must be unset — RunIdentify owns capture delivery.
+func RunIdentify(ctx context.Context, cfg Config, src Source, ident BatchIdentifier, batchSize int) ([]Verdict, *Result, error) {
+	if batchSize <= 0 {
+		batchSize = DefaultIdentifyBatch
+	}
+	var (
+		verdicts []Verdict
+		pending  []Capture
+	)
+	flush := func() {
+		if len(pending) == 0 {
+			return
+		}
+		macs := make([]string, len(pending))
+		fps := make([]*fingerprint.Fingerprint, len(pending))
+		for i, c := range pending {
+			macs[i] = c.MAC.String()
+			fps[i] = c.Fingerprint
+		}
+		resps, errs := ident.IdentifyBatch(ctx, macs, fps)
+		for i, c := range pending {
+			v := Verdict{Capture: c}
+			if i < len(resps) {
+				v.Response = resps[i]
+			}
+			if i < len(errs) {
+				v.Err = errs[i]
+			}
+			verdicts = append(verdicts, v)
+		}
+		pending = pending[:0]
+	}
+
+	cfg.OnCapture = func(c Capture) {
+		pending = append(pending, c)
+		if len(pending) >= batchSize {
+			flush()
+		}
+	}
+	res, err := Run(cfg, src)
+	if err != nil {
+		return nil, nil, err
+	}
+	flush()
+	sort.Slice(verdicts, func(i, j int) bool { return verdicts[i].Capture.less(verdicts[j].Capture) })
+	return verdicts, res, nil
+}

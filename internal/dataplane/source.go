@@ -1,0 +1,77 @@
+package dataplane
+
+import (
+	"io"
+	"time"
+
+	"repro/internal/pcap"
+)
+
+// Source yields raw Ethernet frames in capture order. Next returns
+// io.EOF at end of stream; the returned data is only valid until the
+// following Next call (the pipeline copies it into a batch arena
+// immediately).
+type Source interface {
+	Next() (data []byte, ts time.Time, err error)
+}
+
+// PcapSource streams frames out of a libpcap file through one reused
+// record buffer — reading a multi-gigabyte capture allocates nothing
+// per record once the buffer reaches the largest frame.
+type PcapSource struct {
+	r   *pcap.Reader
+	buf []byte
+}
+
+// NewPcapSource parses the pcap global header and returns a streaming
+// source over the file's records.
+func NewPcapSource(r io.Reader) (*PcapSource, error) {
+	pr, err := pcap.NewReader(r)
+	if err != nil {
+		return nil, err
+	}
+	return &PcapSource{r: pr}, nil
+}
+
+// Next implements Source.
+func (s *PcapSource) Next() ([]byte, time.Time, error) {
+	rec, err := s.r.NextBuf(s.buf)
+	if err != nil {
+		return nil, time.Time{}, err
+	}
+	s.buf = rec.Data
+	return rec.Data, rec.Timestamp, nil
+}
+
+// Frame is one in-memory frame for a FrameSource.
+type Frame struct {
+	TS   time.Time
+	Data []byte
+}
+
+// FrameSource replays an in-memory frame stream — the adapter between
+// the netsim medium (or a pre-serialized trace mix) and the pipeline.
+// The frames are borrowed, not copied; the slice must stay unmodified
+// for the duration of the run.
+type FrameSource struct {
+	frames []Frame
+	i      int
+}
+
+// NewFrameSource returns a source replaying frames in order.
+func NewFrameSource(frames []Frame) *FrameSource {
+	return &FrameSource{frames: frames}
+}
+
+// Reset rewinds the source so the same stream can be replayed.
+func (s *FrameSource) Reset() { s.i = 0 }
+
+// Next implements Source.
+func (s *FrameSource) Next() ([]byte, time.Time, error) {
+	if s.i >= len(s.frames) {
+		return nil, time.Time{}, io.EOF
+	}
+	f := s.frames[s.i]
+	s.i++
+	return f.Data, f.TS, nil
+}

@@ -1,0 +1,274 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"reflect"
+	"runtime"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataplane"
+	"repro/internal/devices"
+	"repro/internal/features"
+	"repro/internal/fingerprint"
+	"repro/internal/gateway"
+	"repro/internal/iotssp"
+	"repro/internal/ml"
+	"repro/internal/packet"
+	"repro/internal/pcap"
+	"repro/internal/sniff"
+	"repro/internal/vulndb"
+)
+
+// DataplaneConfig parameterizes the capture-to-verdict dataplane
+// experiment: the worker-per-core ingestion pipeline against the serial
+// sniff.Monitor baseline, over one interleaved multi-device capture.
+type DataplaneConfig struct {
+	// Types is the number of device-types in the workload (0 means all
+	// 27). The classifier bank always enrolls all types.
+	Types int
+	// DeviceRuns is the number of device instances per type joining the
+	// network (0 means 4). Each instance gets its own MAC.
+	DeviceRuns int
+	// TrainRuns is the number of training fingerprints per type (0
+	// means 12).
+	TrainRuns int
+	// Trees is the per-type forest size (0 means 100).
+	Trees int
+	// Workers is the pipeline worker count (0 means GOMAXPROCS).
+	Workers int
+	// MinSpeedup, when positive, makes RunDataplane fail unless the
+	// pipeline's end-to-end packets/sec reaches MinSpeedup × the serial
+	// baseline. Callers gate it on GOMAXPROCS (like the fleet
+	// experiment's MinScaling): on a starved box there is no
+	// parallelism to measure.
+	MinSpeedup float64
+	// Seed drives dataset generation, training and workload synthesis.
+	Seed int64
+}
+
+func (c DataplaneConfig) withDefaults() DataplaneConfig {
+	if c.Types <= 0 || c.Types > len(devices.Names()) {
+		c.Types = len(devices.Names())
+	}
+	if c.DeviceRuns == 0 {
+		c.DeviceRuns = 4
+	}
+	if c.TrainRuns == 0 {
+		c.TrainRuns = 12
+	}
+	if c.Trees == 0 {
+		c.Trees = 100
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	return c
+}
+
+// DataplaneResult is the outcome of the dataplane experiment.
+type DataplaneResult struct {
+	// Devices is the number of device instances in the workload; Frames
+	// and Bytes are the size of the merged capture.
+	Devices int
+	Frames  int
+	Bytes   uint64
+	// Captures is the number of completed setup captures (identical in
+	// both arms, asserted).
+	Captures int
+	// SerialPerSec is capture-to-verdict packets/sec through the serial
+	// path (pcap read → packet.Decode → sniff.Monitor → one
+	// identification per capture).
+	SerialPerSec float64
+	// PipelinePerSec is the same stream through the worker-per-core
+	// pipeline with batched identification overlapping decode.
+	PipelinePerSec float64
+	// Speedup is PipelinePerSec over SerialPerSec.
+	Speedup float64
+	// Workers is the pipeline worker count used.
+	Workers int
+	// AllocsPerPacket is the measured steady-state heap allocations per
+	// packet of the decode+extract hot path (testing.AllocsPerRun); the
+	// pipeline's contract is 0.
+	AllocsPerPacket float64
+	// Stats is the pipeline run's counter snapshot.
+	Stats dataplane.Stats
+}
+
+// dataplaneWorkload builds the interleaved multi-device frame stream:
+// DeviceRuns setup captures of each of the first Types device profiles,
+// each instance under its own MAC, merged by timestamp. It returns the
+// stream both as raw frames and as an in-memory pcap file so both arms
+// consume identical bytes.
+func dataplaneWorkload(cfg DataplaneConfig, env devices.Env) ([]dataplane.Frame, []byte, int, error) {
+	var frames []dataplane.Frame
+	names := devices.Names()[:cfg.Types]
+	for ti, name := range names {
+		traces, err := devices.GenerateRuns(name, env, cfg.Seed+100, cfg.DeviceRuns)
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		for run, tr := range traces {
+			// Distinct MAC per instance; the Ethernet header is not
+			// covered by any checksum, so rewriting it is safe.
+			mac := packet.MAC{0x02, 0x9d, byte(ti), byte(run), 0x00, 0x01}
+			for _, p := range tr.Packets {
+				wire, err := p.Serialize()
+				if err != nil {
+					return nil, nil, 0, err
+				}
+				copy(wire[6:12], mac[:])
+				frames = append(frames, dataplane.Frame{TS: p.Timestamp, Data: wire})
+			}
+		}
+	}
+	sort.SliceStable(frames, func(i, j int) bool { return frames[i].TS.Before(frames[j].TS) })
+	var buf bytes.Buffer
+	w, err := pcap.NewWriter(&buf, pcap.WithNanosecondResolution())
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	for _, f := range frames {
+		if err := w.WritePacket(f.TS, f.Data); err != nil {
+			return nil, nil, 0, err
+		}
+	}
+	return frames, buf.Bytes(), len(names) * cfg.DeviceRuns, nil
+}
+
+// RunDataplane measures end-to-end capture-to-verdict throughput: the
+// serial monitor path versus the worker-per-core pipeline over the same
+// pcap bytes and the same trained bank, with caching disabled in both
+// arms so every capture pays a full identification. It asserts on the
+// way that the pipeline's verdicts are equal to the serial baseline's
+// for every device, and measures the hot path's allocations per packet.
+func RunDataplane(cfg DataplaneConfig) (*DataplaneResult, error) {
+	cfg = cfg.withDefaults()
+	env := devices.DefaultEnv()
+
+	// Train the bank on all types (the workload may use a subset).
+	ds, err := devices.GenerateDataset(env, cfg.Seed, cfg.TrainRuns)
+	if err != nil {
+		return nil, err
+	}
+	train := make(map[string][]*fingerprint.Fingerprint, len(ds))
+	for _, name := range devices.Names() {
+		train[name] = ds[name]
+	}
+	bank, err := core.Train(core.Config{Forest: ml.ForestConfig{Trees: cfg.Trees}, Seed: cfg.Seed}, train)
+	if err != nil {
+		return nil, err
+	}
+	// Cache disabled: both arms pay full identification per capture.
+	ident := gateway.LocalService{Svc: iotssp.NewServiceCache(bank, vulndb.Seeded(), nil, 0)}
+
+	frames, pcapBytes, nDevices, err := dataplaneWorkload(cfg, env)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &DataplaneResult{Devices: nDevices, Frames: len(frames), Workers: cfg.Workers}
+	for _, f := range frames {
+		res.Bytes += uint64(len(f.Data))
+	}
+	ctx := context.Background()
+
+	// Serial arm: the paper's operating mode — read, decode and monitor
+	// one packet at a time, then identify each completed capture
+	// individually.
+	t0 := time.Now()
+	caps, err := sniff.ReadPcap(bytes.NewReader(pcapBytes), sniff.GatewayConfig())
+	if err != nil {
+		return nil, fmt.Errorf("experiments: serial arm: %w", err)
+	}
+	serial := make(map[string]iotssp.Response, len(caps))
+	for _, c := range caps {
+		mac := c.MAC.String()
+		resps, errs := ident.IdentifyBatch(ctx, []string{mac}, []*fingerprint.Fingerprint{c.Fingerprint()})
+		if errs[0] != nil {
+			return nil, fmt.Errorf("experiments: serial identification of %s: %w", mac, errs[0])
+		}
+		serial[mac] = resps[0]
+	}
+	serialDur := time.Since(t0)
+	res.SerialPerSec = float64(len(frames)) / serialDur.Seconds()
+	res.Captures = len(caps)
+
+	// Pipeline arm: same pcap bytes through the worker-per-core
+	// pipeline, captures batch-identified as they stream out.
+	src, err := dataplane.NewPcapSource(bytes.NewReader(pcapBytes))
+	if err != nil {
+		return nil, err
+	}
+	t1 := time.Now()
+	verdicts, runRes, err := dataplane.RunIdentify(ctx, dataplane.Config{Workers: cfg.Workers}, src, ident, 0)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: pipeline arm: %w", err)
+	}
+	pipeDur := time.Since(t1)
+	res.PipelinePerSec = float64(len(frames)) / pipeDur.Seconds()
+	res.Speedup = res.PipelinePerSec / res.SerialPerSec
+	res.Stats = runRes.Stats
+
+	// Verdict equivalence: every serial capture has a pipeline verdict
+	// and the responses are equal field for field.
+	if len(verdicts) != len(caps) {
+		return nil, fmt.Errorf("experiments: pipeline produced %d verdicts, serial produced %d captures",
+			len(verdicts), len(caps))
+	}
+	for _, v := range verdicts {
+		if v.Err != nil {
+			return nil, fmt.Errorf("experiments: pipeline identification of %s: %w", v.Capture.MAC, v.Err)
+		}
+		want, ok := serial[v.Response.MAC]
+		if !ok {
+			return nil, fmt.Errorf("experiments: pipeline capture for %s absent from serial baseline", v.Response.MAC)
+		}
+		if !reflect.DeepEqual(v.Response, want) {
+			return nil, fmt.Errorf("experiments: verdict for %s diverged from serial baseline:\npipeline: %+v\nserial:   %+v",
+				v.Response.MAC, v.Response, want)
+		}
+	}
+
+	// Steady-state allocation measurement over the decode+extract hot
+	// path (warmed buffers, exactly what a pipeline worker runs per
+	// frame).
+	var dec packet.DecodeBuf
+	var ex features.Extractor
+	hot := func() {
+		for _, f := range frames {
+			p, err := dec.Decode(f.Data, f.TS)
+			if err != nil {
+				continue
+			}
+			ex.Extract(p)
+		}
+	}
+	hot() // warm arenas and counter map
+	res.AllocsPerPacket = testing.AllocsPerRun(5, hot) / float64(len(frames))
+
+	if cfg.MinSpeedup > 0 && res.Speedup < cfg.MinSpeedup {
+		return res, fmt.Errorf("experiments: pipeline %.0f pkt/s is %.2fx the serial baseline %.0f pkt/s, want >= %.2fx",
+			res.PipelinePerSec, res.Speedup, res.SerialPerSec, cfg.MinSpeedup)
+	}
+	return res, nil
+}
+
+// RenderDataplane formats the experiment for the terminal.
+func (r *DataplaneResult) RenderDataplane() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Capture-to-verdict dataplane — %d devices, %d frames (%.1f MB), %d captures\n",
+		r.Devices, r.Frames, float64(r.Bytes)/1e6, r.Captures)
+	fmt.Fprintf(&sb, "%-22s %14s %9s\n", "arm", "packets/s", "speedup")
+	fmt.Fprintf(&sb, "%-22s %14.0f %9s\n", "serial monitor", r.SerialPerSec, "1.00x")
+	fmt.Fprintf(&sb, "pipeline w=%-11d %14.0f %8.2fx\n", r.Workers, r.PipelinePerSec, r.Speedup)
+	fmt.Fprintf(&sb, "hot-path allocations: %.2f per packet (contract: 0)\n", r.AllocsPerPacket)
+	fmt.Fprintf(&sb, "pipeline state: %d devices tracked, %d decode errors, %d evictions\n",
+		r.Stats.Devices, r.Stats.DecodeErrors, r.Stats.EvictedActive+r.Stats.EvictedFinished)
+	return sb.String()
+}

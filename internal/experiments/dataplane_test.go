@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestRunDataplane runs a reduced capture-to-verdict experiment and
+// checks its built-in assertions held: verdict equivalence with the
+// serial monitor, a zero-allocation hot path, and a sane speedup
+// measurement.
+func TestRunDataplane(t *testing.T) {
+	cfg := DataplaneConfig{
+		Types: 6, DeviceRuns: 2, TrainRuns: 4, Trees: 15, Seed: 5,
+	}
+	res, err := RunDataplane(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Captures == 0 {
+		t.Fatal("workload produced no captures")
+	}
+	if res.Captures != res.Devices {
+		t.Errorf("%d captures for %d devices", res.Captures, res.Devices)
+	}
+	if res.AllocsPerPacket != 0 {
+		t.Errorf("hot path allocated %.3f times per packet; contract is 0", res.AllocsPerPacket)
+	}
+	if res.SerialPerSec <= 0 || res.PipelinePerSec <= 0 {
+		t.Errorf("non-positive throughput: serial %.0f, pipeline %.0f", res.SerialPerSec, res.PipelinePerSec)
+	}
+	if out := res.RenderDataplane(); out == "" {
+		t.Error("empty render")
+	}
+}
+
+// TestRunDataplaneSpeedup asserts the pipeline's ≥2x end-to-end speedup
+// on parallel hardware (the perf target of the dataplane work). Like
+// the fleet experiment's scaling gate it is skipped on starved boxes,
+// where there are no cores to scale across.
+func TestRunDataplaneSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	if runtime.GOMAXPROCS(0) < 4 {
+		t.Skipf("GOMAXPROCS=%d; need >= 4 to measure scaling", runtime.GOMAXPROCS(0))
+	}
+	cfg := DataplaneConfig{
+		Types: 12, DeviceRuns: 3, TrainRuns: 8, Trees: 50, Seed: 6,
+		MinSpeedup: 2.0,
+	}
+	res, err := RunDataplane(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("serial %.0f pkt/s, pipeline %.0f pkt/s (%.2fx, %d workers)",
+		res.SerialPerSec, res.PipelinePerSec, res.Speedup, res.Workers)
+}

@@ -110,18 +110,22 @@ func (v Vector) Floats(dst []float64) []float64 {
 // use; do not reuse an Extractor across captures (create a new one per
 // device setup observation).
 type Extractor struct {
-	dstIPs map[string]int32
+	// dstIPs is keyed by the binary address identity rather than the
+	// string form so the steady-state Extract path performs no
+	// per-packet allocations (the dataplane's zero-alloc contract).
+	dstIPs map[packet.IPKey]int32
 }
 
 // Reset clears the destination-IP counter state so the Extractor can be
-// reused for a new capture.
-func (e *Extractor) Reset() { e.dstIPs = nil }
+// reused for a new capture. The counter map is retained (emptied, not
+// dropped) so a reused Extractor stays allocation-free.
+func (e *Extractor) Reset() { clear(e.dstIPs) }
 
 // dstCounter returns the counter value for dst, assigning the next value
 // on first sight.
-func (e *Extractor) dstCounter(dst string) int32 {
+func (e *Extractor) dstCounter(dst packet.IPKey) int32 {
 	if e.dstIPs == nil {
-		e.dstIPs = make(map[string]int32, 8)
+		e.dstIPs = make(map[packet.IPKey]int32, 8)
 	}
 	if c, ok := e.dstIPs[dst]; ok {
 		return c
@@ -175,7 +179,7 @@ func (e *Extractor) Extract(p *packet.Packet) Vector {
 	// payload such as an IGMP report.
 	b(RawData, len(p.Payload) > 0)
 
-	if dst, ok := p.DstIP(); ok {
+	if dst, ok := p.DstIPKey(); ok {
 		v[DstIPCounter] = e.dstCounter(dst)
 	}
 

@@ -10,66 +10,166 @@ import (
 // payloads are copied. Checksums of fixed-size headers (IPv4) are
 // verified; transport checksums are verified when the full segment is
 // present.
+//
+// Decode allocates the Packet and every layer struct fresh. Hot paths
+// that decode millions of frames should use DecodeBuf.Decode, which
+// reuses one set of buffers across calls.
 func Decode(b []byte, ts time.Time) (*Packet, error) {
-	if len(b) < 14 {
-		return nil, fmt.Errorf("decoding Ethernet header: %w", ErrTruncated)
+	d := decoder{p: &Packet{Timestamp: ts, raw: append([]byte(nil), b...)}}
+	if err := d.decode(b); err != nil {
+		return nil, err
 	}
-	p := &Packet{Timestamp: ts, raw: append([]byte(nil), b...)}
-	eth := &Ethernet{}
+	return d.p, nil
+}
+
+// DecodeBuf is a reusable decode buffer: a Packet, one instance of every
+// layer struct, and a byte arena for payload/option copies. Decoding
+// into a DecodeBuf performs no per-packet heap allocations once the
+// arena has grown to the largest frame seen.
+//
+// The Packet returned by Decode aliases the DecodeBuf's storage and the
+// input slice (the cached wire bytes borrow b rather than copying it):
+// it is valid only until the next Decode call on the same DecodeBuf, and
+// only while the caller keeps b unmodified. Callers that need the packet
+// to outlive the next frame must use the allocating Decode instead. The
+// zero value is ready to use. A DecodeBuf must not be used concurrently;
+// give each worker its own.
+type DecodeBuf struct {
+	pkt   Packet
+	eth   Ethernet
+	llc   LLC
+	arp   ARP
+	ip4   IPv4
+	ip6   IPv6
+	hbh   HopByHop
+	eapol EAPOL
+	icmp  ICMP
+	icmp6 ICMPv6
+	tcp   TCP
+	udp   UDP
+	arena []byte
+}
+
+// Decode parses wire bytes into the buffer's Packet, reusing layer
+// structs and the byte arena. See the type comment for the aliasing
+// contract.
+func (d *DecodeBuf) Decode(b []byte, ts time.Time) (*Packet, error) {
+	// Reserve arena capacity up front: every grab copies a disjoint
+	// subrange of b, so the total can never exceed len(b) and the arena
+	// never reallocates mid-decode (which would invalidate earlier
+	// sub-slices).
+	if cap(d.arena) < len(b) {
+		d.arena = make([]byte, 0, len(b)+64)
+	} else {
+		d.arena = d.arena[:0]
+	}
+	d.pkt = Packet{Timestamp: ts, raw: b}
+	dec := decoder{p: &d.pkt, buf: d}
+	if err := dec.decode(b); err != nil {
+		return nil, err
+	}
+	return &d.pkt, nil
+}
+
+// decoder parses one frame into p. With buf == nil every layer struct
+// and byte copy is freshly allocated (the Decode contract); with buf set
+// they come from the DecodeBuf's reusable storage.
+type decoder struct {
+	p   *Packet
+	buf *DecodeBuf
+}
+
+// grab copies src for retention beyond the input slice's lifetime: into
+// the arena when reusing, freshly allocated otherwise. Empty input stays
+// nil, matching append([]byte(nil), src...).
+func (d decoder) grab(src []byte) []byte {
+	if len(src) == 0 {
+		return nil
+	}
+	if d.buf == nil {
+		return append([]byte(nil), src...)
+	}
+	off := len(d.buf.arena)
+	d.buf.arena = append(d.buf.arena, src...)
+	return d.buf.arena[off : off+len(src) : off+len(src)]
+}
+
+func (d decoder) decode(b []byte) error {
+	if len(b) < 14 {
+		return fmt.Errorf("decoding Ethernet header: %w", ErrTruncated)
+	}
+	var eth *Ethernet
+	if d.buf != nil {
+		d.buf.eth = Ethernet{}
+		eth = &d.buf.eth
+	} else {
+		eth = &Ethernet{}
+	}
 	copy(eth.Dst[:], b[0:6])
 	copy(eth.Src[:], b[6:12])
 	tl := binary.BigEndian.Uint16(b[12:14])
-	p.Eth = eth
+	d.p.Eth = eth
 	rest := b[14:]
 
 	if tl <= 1500 {
 		eth.Length802 = true
 		if int(tl) > len(rest) {
-			return nil, fmt.Errorf("decoding 802.3 frame: %w", ErrTruncated)
+			return fmt.Errorf("decoding 802.3 frame: %w", ErrTruncated)
 		}
 		rest = rest[:tl]
 		if len(rest) < 3 {
-			return nil, fmt.Errorf("decoding LLC header: %w", ErrTruncated)
+			return fmt.Errorf("decoding LLC header: %w", ErrTruncated)
 		}
-		p.LLC = &LLC{DSAP: rest[0], SSAP: rest[1], Control: rest[2]}
-		p.Payload = append([]byte(nil), rest[3:]...)
-		return p, nil
+		var llc *LLC
+		if d.buf != nil {
+			d.buf.llc = LLC{}
+			llc = &d.buf.llc
+		} else {
+			llc = &LLC{}
+		}
+		llc.DSAP, llc.SSAP, llc.Control = rest[0], rest[1], rest[2]
+		d.p.LLC = llc
+		d.p.Payload = d.grab(rest[3:])
+		return nil
 	}
 
 	eth.Type = EtherType(tl)
-	var err error
 	switch eth.Type {
 	case EtherTypeARP:
-		err = p.decodeARP(rest)
+		return d.decodeARP(rest)
 	case EtherTypeEAPoL:
-		err = p.decodeEAPOL(rest)
+		return d.decodeEAPOL(rest)
 	case EtherTypeIPv4:
-		err = p.decodeIPv4(rest)
+		return d.decodeIPv4(rest)
 	case EtherTypeIPv6:
-		err = p.decodeIPv6(rest)
+		return d.decodeIPv6(rest)
 	default:
-		p.Payload = append([]byte(nil), rest...)
+		d.p.Payload = d.grab(rest)
+		return nil
 	}
-	if err != nil {
-		return nil, err
-	}
-	return p, nil
 }
 
-func (p *Packet) decodeARP(b []byte) error {
+func (d decoder) decodeARP(b []byte) error {
 	if len(b) < 28 {
 		return fmt.Errorf("decoding ARP: %w", ErrTruncated)
 	}
-	a := &ARP{Op: binary.BigEndian.Uint16(b[6:8])}
+	var a *ARP
+	if d.buf != nil {
+		d.buf.arp = ARP{}
+		a = &d.buf.arp
+	} else {
+		a = &ARP{}
+	}
+	a.Op = binary.BigEndian.Uint16(b[6:8])
 	copy(a.SenderHW[:], b[8:14])
 	copy(a.SenderIP[:], b[14:18])
 	copy(a.TargetHW[:], b[18:24])
 	copy(a.TargetIP[:], b[24:28])
-	p.ARP = a
+	d.p.ARP = a
 	return nil
 }
 
-func (p *Packet) decodeEAPOL(b []byte) error {
+func (d decoder) decodeEAPOL(b []byte) error {
 	if len(b) < 4 {
 		return fmt.Errorf("decoding EAPoL: %w", ErrTruncated)
 	}
@@ -77,11 +177,20 @@ func (p *Packet) decodeEAPOL(b []byte) error {
 	if 4+n > len(b) {
 		return fmt.Errorf("decoding EAPoL body: %w", ErrTruncated)
 	}
-	p.EAPOL = &EAPOL{Version: b[0], Type: b[1], Body: append([]byte(nil), b[4:4+n]...)}
+	var e *EAPOL
+	if d.buf != nil {
+		d.buf.eapol = EAPOL{}
+		e = &d.buf.eapol
+	} else {
+		e = &EAPOL{}
+	}
+	e.Version, e.Type = b[0], b[1]
+	e.Body = d.grab(b[4 : 4+n])
+	d.p.EAPOL = e
 	return nil
 }
 
-func (p *Packet) decodeIPv4(b []byte) error {
+func (d decoder) decodeIPv4(b []byte) error {
 	if len(b) < 20 {
 		return fmt.Errorf("decoding IPv4 header: %w", ErrTruncated)
 	}
@@ -96,38 +205,45 @@ func (p *Packet) decodeIPv4(b []byte) error {
 	if Checksum(b[:hdrLen]) != 0 {
 		return fmt.Errorf("decoding IPv4 header: %w", ErrBadChecksum)
 	}
-	h := &IPv4{
-		TOS:      b[1],
-		ID:       binary.BigEndian.Uint16(b[4:6]),
-		DontFrag: b[6]&0x40 != 0,
-		TTL:      b[8],
-		Proto:    IPProto(b[9]),
+	var h *IPv4
+	if d.buf != nil {
+		d.buf.ip4 = IPv4{}
+		h = &d.buf.ip4
+	} else {
+		h = &IPv4{}
 	}
+	h.TOS = b[1]
+	h.ID = binary.BigEndian.Uint16(b[4:6])
+	h.DontFrag = b[6]&0x40 != 0
+	h.TTL = b[8]
+	h.Proto = IPProto(b[9])
 	copy(h.Src[:], b[12:16])
 	copy(h.Dst[:], b[16:20])
 	if hdrLen > 20 {
-		h.Options = append([]byte(nil), b[20:hdrLen]...)
+		h.Options = d.grab(b[20:hdrLen])
 	}
-	p.IPv4 = h
-	pseudo := func(proto IPProto, length int) uint32 {
-		return pseudoHeaderSum4(h.Src, h.Dst, proto, length)
-	}
-	return p.decodeTransport(h.Proto, b[hdrLen:total], pseudo)
+	d.p.IPv4 = h
+	return d.decodeTransport(h.Proto, b[hdrLen:total], pseudoSum{v4: true, src4: h.Src, dst4: h.Dst})
 }
 
-func (p *Packet) decodeIPv6(b []byte) error {
+func (d decoder) decodeIPv6(b []byte) error {
 	if len(b) < 40 {
 		return fmt.Errorf("decoding IPv6 header: %w", ErrTruncated)
 	}
 	if b[0]>>4 != 6 {
 		return fmt.Errorf("decoding IPv6: version %d: %w", b[0]>>4, ErrBadVersion)
 	}
-	h := &IPv6{
-		TrafficClass: b[0]<<4 | b[1]>>4,
-		FlowLabel:    uint32(b[1]&0x0f)<<16 | uint32(binary.BigEndian.Uint16(b[2:4])),
-		NextHeader:   IPProto(b[6]),
-		HopLimit:     b[7],
+	var h *IPv6
+	if d.buf != nil {
+		d.buf.ip6 = IPv6{}
+		h = &d.buf.ip6
+	} else {
+		h = &IPv6{}
 	}
+	h.TrafficClass = b[0]<<4 | b[1]>>4
+	h.FlowLabel = uint32(b[1]&0x0f)<<16 | uint32(binary.BigEndian.Uint16(b[2:4]))
+	h.NextHeader = IPProto(b[6])
+	h.HopLimit = b[7]
 	copy(h.Src[:], b[8:24])
 	copy(h.Dst[:], b[24:40])
 	payloadLen := int(binary.BigEndian.Uint16(b[4:6]))
@@ -135,7 +251,7 @@ func (p *Packet) decodeIPv6(b []byte) error {
 		return fmt.Errorf("decoding IPv6 payload: %w", ErrTruncated)
 	}
 	rest := b[40 : 40+payloadLen]
-	p.IPv6 = h
+	d.p.IPv6 = h
 
 	next := h.NextHeader
 	if next == IPProtoHopByHop {
@@ -147,33 +263,56 @@ func (p *Packet) decodeIPv6(b []byte) error {
 			return fmt.Errorf("decoding IPv6 hop-by-hop options: %w", ErrTruncated)
 		}
 		next = IPProto(rest[0])
-		h.HopByHop = &HopByHop{Options: append([]byte(nil), rest[2:extLen]...)}
+		var hbh *HopByHop
+		if d.buf != nil {
+			d.buf.hbh = HopByHop{}
+			hbh = &d.buf.hbh
+		} else {
+			hbh = &HopByHop{}
+		}
+		hbh.Options = d.grab(rest[2:extLen])
+		h.HopByHop = hbh
 		h.NextHeader = next
 		rest = rest[extLen:]
 	}
-	pseudo := func(proto IPProto, length int) uint32 {
-		return pseudoHeaderSum6(h.Src, h.Dst, proto, length)
-	}
-	return p.decodeTransport(next, rest, pseudo)
+	return d.decodeTransport(next, rest, pseudoSum{src6: h.Src, dst6: h.Dst})
 }
 
-func (p *Packet) decodeTransport(proto IPProto, b []byte, pseudo func(IPProto, int) uint32) error {
+// pseudoSum computes the IPv4/IPv6 pseudo-header checksum contribution.
+// It is a value type (not a closure) so the reusing decode path stays
+// allocation-free.
+type pseudoSum struct {
+	v4   bool
+	src4 IP4
+	dst4 IP4
+	src6 IP6
+	dst6 IP6
+}
+
+func (s pseudoSum) sum(proto IPProto, length int) uint32 {
+	if s.v4 {
+		return pseudoHeaderSum4(s.src4, s.dst4, proto, length)
+	}
+	return pseudoHeaderSum6(s.src6, s.dst6, proto, length)
+}
+
+func (d decoder) decodeTransport(proto IPProto, b []byte, pseudo pseudoSum) error {
 	switch proto {
 	case IPProtoTCP:
-		return p.decodeTCP(b, pseudo)
+		return d.decodeTCP(b, pseudo)
 	case IPProtoUDP:
-		return p.decodeUDP(b, pseudo)
+		return d.decodeUDP(b, pseudo)
 	case IPProtoICMP:
-		return p.decodeICMP(b)
+		return d.decodeICMP(b)
 	case IPProtoICMPv6:
-		return p.decodeICMPv6(b, pseudo)
+		return d.decodeICMPv6(b, pseudo)
 	default:
-		p.Payload = append([]byte(nil), b...)
+		d.p.Payload = d.grab(b)
 		return nil
 	}
 }
 
-func (p *Packet) decodeTCP(b []byte, pseudo func(IPProto, int) uint32) error {
+func (d decoder) decodeTCP(b []byte, pseudo pseudoSum) error {
 	if len(b) < 20 {
 		return fmt.Errorf("decoding TCP header: %w", ErrTruncated)
 	}
@@ -181,26 +320,31 @@ func (p *Packet) decodeTCP(b []byte, pseudo func(IPProto, int) uint32) error {
 	if hdrLen < 20 || hdrLen > len(b) {
 		return fmt.Errorf("decoding TCP options (doff=%d): %w", hdrLen, ErrTruncated)
 	}
-	if onesFold(onesSum(pseudo(IPProtoTCP, len(b)), b)) != 0 {
+	if onesFold(onesSum(pseudo.sum(IPProtoTCP, len(b)), b)) != 0 {
 		return fmt.Errorf("decoding TCP: %w", ErrBadChecksum)
 	}
-	t := &TCP{
-		SrcPort: binary.BigEndian.Uint16(b[0:2]),
-		DstPort: binary.BigEndian.Uint16(b[2:4]),
-		Seq:     binary.BigEndian.Uint32(b[4:8]),
-		Ack:     binary.BigEndian.Uint32(b[8:12]),
-		Flags:   b[13],
-		Window:  binary.BigEndian.Uint16(b[14:16]),
+	var t *TCP
+	if d.buf != nil {
+		d.buf.tcp = TCP{}
+		t = &d.buf.tcp
+	} else {
+		t = &TCP{}
 	}
+	t.SrcPort = binary.BigEndian.Uint16(b[0:2])
+	t.DstPort = binary.BigEndian.Uint16(b[2:4])
+	t.Seq = binary.BigEndian.Uint32(b[4:8])
+	t.Ack = binary.BigEndian.Uint32(b[8:12])
+	t.Flags = b[13]
+	t.Window = binary.BigEndian.Uint16(b[14:16])
 	if hdrLen > 20 {
-		t.Options = append([]byte(nil), b[20:hdrLen]...)
+		t.Options = d.grab(b[20:hdrLen])
 	}
-	p.TCP = t
-	p.Payload = append([]byte(nil), b[hdrLen:]...)
+	d.p.TCP = t
+	d.p.Payload = d.grab(b[hdrLen:])
 	return nil
 }
 
-func (p *Packet) decodeUDP(b []byte, pseudo func(IPProto, int) uint32) error {
+func (d decoder) decodeUDP(b []byte, pseudo pseudoSum) error {
 	if len(b) < 8 {
 		return fmt.Errorf("decoding UDP header: %w", ErrTruncated)
 	}
@@ -209,39 +353,61 @@ func (p *Packet) decodeUDP(b []byte, pseudo func(IPProto, int) uint32) error {
 		return fmt.Errorf("decoding UDP length %d: %w", length, ErrTruncated)
 	}
 	if binary.BigEndian.Uint16(b[6:8]) != 0 {
-		if onesFold(onesSum(pseudo(IPProtoUDP, length), b[:length])) != 0 {
+		if onesFold(onesSum(pseudo.sum(IPProtoUDP, length), b[:length])) != 0 {
 			return fmt.Errorf("decoding UDP: %w", ErrBadChecksum)
 		}
 	}
-	p.UDP = &UDP{
-		SrcPort: binary.BigEndian.Uint16(b[0:2]),
-		DstPort: binary.BigEndian.Uint16(b[2:4]),
+	var u *UDP
+	if d.buf != nil {
+		d.buf.udp = UDP{}
+		u = &d.buf.udp
+	} else {
+		u = &UDP{}
 	}
-	p.Payload = append([]byte(nil), b[8:length]...)
+	u.SrcPort = binary.BigEndian.Uint16(b[0:2])
+	u.DstPort = binary.BigEndian.Uint16(b[2:4])
+	d.p.UDP = u
+	d.p.Payload = d.grab(b[8:length])
 	return nil
 }
 
-func (p *Packet) decodeICMP(b []byte) error {
+func (d decoder) decodeICMP(b []byte) error {
 	if len(b) < 8 {
 		return fmt.Errorf("decoding ICMP header: %w", ErrTruncated)
 	}
 	if Checksum(b) != 0 {
 		return fmt.Errorf("decoding ICMP: %w", ErrBadChecksum)
 	}
-	m := &ICMP{Type: b[0], Code: b[1]}
+	var m *ICMP
+	if d.buf != nil {
+		d.buf.icmp = ICMP{}
+		m = &d.buf.icmp
+	} else {
+		m = &ICMP{}
+	}
+	m.Type, m.Code = b[0], b[1]
 	copy(m.Rest[:], b[4:8])
-	m.Data = append([]byte(nil), b[8:]...)
-	p.ICMP = m
+	m.Data = d.grab(b[8:])
+	d.p.ICMP = m
 	return nil
 }
 
-func (p *Packet) decodeICMPv6(b []byte, pseudo func(IPProto, int) uint32) error {
+func (d decoder) decodeICMPv6(b []byte, pseudo pseudoSum) error {
 	if len(b) < 4 {
 		return fmt.Errorf("decoding ICMPv6 header: %w", ErrTruncated)
 	}
-	if onesFold(onesSum(pseudo(IPProtoICMPv6, len(b)), b)) != 0 {
+	if onesFold(onesSum(pseudo.sum(IPProtoICMPv6, len(b)), b)) != 0 {
 		return fmt.Errorf("decoding ICMPv6: %w", ErrBadChecksum)
 	}
-	p.ICMPv6 = &ICMPv6{Type: b[0], Code: b[1], Body: append([]byte(nil), b[4:]...)}
+	var m *ICMPv6
+	if d.buf != nil {
+		d.buf.icmp6 = ICMPv6{}
+		m = &d.buf.icmp6
+	} else {
+		m = &ICMPv6{}
+	}
+	m.Type, m.Code = b[0], b[1]
+	m.Body = d.grab(b[4:])
+	d.p.ICMPv6 = m
 	return nil
 }

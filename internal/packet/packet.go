@@ -189,6 +189,30 @@ func (p *Packet) DstIP() (string, bool) {
 	return "", false
 }
 
+// IPKey is a comparable binary identity of an IP address: 16 address
+// bytes (IPv4 occupies the first four) plus a version tag so v4 and v6
+// addresses never collide. It exists for hot paths that would otherwise
+// key maps by the allocated string form of DstIP; two packets have equal
+// keys exactly when DstIP returns equal strings of the same IP version.
+type IPKey struct {
+	Addr    [16]byte
+	Version uint8
+}
+
+// DstIPKey returns the destination IP as an allocation-free map key and
+// true, or the zero key and false when the packet has no IP layer.
+func (p *Packet) DstIPKey() (IPKey, bool) {
+	switch {
+	case p.IPv4 != nil:
+		k := IPKey{Version: 4}
+		copy(k.Addr[:], p.IPv4.Dst[:])
+		return k, true
+	case p.IPv6 != nil:
+		return IPKey{Addr: p.IPv6.Dst, Version: 6}, true
+	}
+	return IPKey{}, false
+}
+
 // HasTransportPayload reports whether the packet carries application
 // payload bytes above the transport layer.
 func (p *Packet) HasTransportPayload() bool {

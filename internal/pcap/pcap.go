@@ -28,10 +28,17 @@ const LinkTypeEthernet uint32 = 1
 // tcpdump's modern default.
 const DefaultSnapLen uint32 = 262144
 
+// MaxRecordLen bounds the capture length of a single record. A corrupt
+// record header (or a hostile file) could otherwise demand a multi-GB
+// allocation before the truncated read is even attempted; no real
+// Ethernet capture approaches this.
+const MaxRecordLen = 1 << 26 // 64 MiB
+
 // Errors returned by the reader.
 var (
-	ErrBadMagic    = errors.New("pcap: bad magic number")
-	ErrBadLinkType = errors.New("pcap: unsupported link type")
+	ErrBadMagic     = errors.New("pcap: bad magic number")
+	ErrBadLinkType  = errors.New("pcap: unsupported link type")
+	ErrRecordTooBig = errors.New("pcap: record capture length exceeds limit")
 )
 
 // Record is one captured packet record.
@@ -161,8 +168,18 @@ func (r *Reader) SnapLen() uint32 { return r.snapLen }
 // NanosecondResolution reports whether timestamps carry nanoseconds.
 func (r *Reader) NanosecondResolution() bool { return r.nanos }
 
-// Next returns the next packet record, or io.EOF at end of file.
-func (r *Reader) Next() (Record, error) {
+// Next returns the next packet record, or io.EOF at end of file. The
+// record's Data is freshly allocated; streaming hot paths should use
+// NextBuf to reuse one buffer across records.
+func (r *Reader) Next() (Record, error) { return r.NextBuf(nil) }
+
+// NextBuf is Next with a caller-provided scratch buffer: the returned
+// record's Data reuses buf's capacity when it suffices (growing it
+// otherwise), so a loop that feeds the previous record's Data back in
+// reads arbitrarily long captures with no per-record allocation in
+// steady state. The returned Data is only valid until the caller reuses
+// the buffer it handed in.
+func (r *Reader) NextBuf(buf []byte) (Record, error) {
 	if _, err := io.ReadFull(r.r, r.hdrBuf[:]); err != nil {
 		if errors.Is(err, io.EOF) {
 			return Record{}, io.EOF
@@ -176,7 +193,15 @@ func (r *Reader) Next() (Record, error) {
 	if capLen > r.snapLen && r.snapLen > 0 {
 		return Record{}, fmt.Errorf("pcap: record capture length %d exceeds snap length %d", capLen, r.snapLen)
 	}
-	data := make([]byte, capLen)
+	if capLen > MaxRecordLen {
+		return Record{}, fmt.Errorf("record capture length %d: %w", capLen, ErrRecordTooBig)
+	}
+	var data []byte
+	if uint32(cap(buf)) >= capLen {
+		data = buf[:capLen]
+	} else {
+		data = make([]byte, capLen)
+	}
 	if _, err := io.ReadFull(r.r, data); err != nil {
 		return Record{}, fmt.Errorf("reading pcap record data: %w", err)
 	}

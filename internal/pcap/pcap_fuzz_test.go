@@ -1,0 +1,84 @@
+package pcap
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"time"
+)
+
+// fuzzSeedCapture builds a small valid capture file in each timestamp
+// resolution.
+func fuzzSeedCapture(f *testing.F, nanos bool) []byte {
+	f.Helper()
+	var buf bytes.Buffer
+	var opts []WriterOption
+	if nanos {
+		opts = append(opts, WithNanosecondResolution())
+	}
+	w, err := NewWriter(&buf, opts...)
+	if err != nil {
+		f.Fatal(err)
+	}
+	ts := time.Unix(1456826400, 123456789)
+	for i := 0; i < 3; i++ {
+		frame := bytes.Repeat([]byte{byte(i + 1)}, 24+i*40)
+		if err := w.WritePacket(ts.Add(time.Duration(i)*time.Second), frame); err != nil {
+			f.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+// FuzzReaderNext feeds arbitrary bytes through the pcap reader and
+// asserts the robustness contract: corrupt or hostile input (including
+// record headers announcing multi-gigabyte lengths) yields an error,
+// never a panic or an unbounded allocation, and the buffer-reusing
+// NextBuf path sees exactly the same records as Next.
+func FuzzReaderNext(f *testing.F) {
+	for _, nanos := range []bool{false, true} {
+		seed := fuzzSeedCapture(f, nanos)
+		f.Add(seed)
+		f.Add(seed[:len(seed)-7]) // truncated mid-record
+		f.Add(seed[:24+3])        // truncated record header (global header is 24 bytes)
+		huge := append([]byte(nil), seed...)
+		// Claim a ~4 GiB record (incl_len at offset 8 of the first record
+		// header): MaxRecordLen must reject it.
+		huge[24+8], huge[24+9], huge[24+10], huge[24+11] = 0xff, 0xff, 0xff, 0xff
+		f.Add(huge)
+	}
+	f.Add([]byte{})
+	f.Add([]byte("not a pcap file at all, just text"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ra, errA := NewReader(bytes.NewReader(data))
+		rb, errB := NewReader(bytes.NewReader(data))
+		if (errA == nil) != (errB == nil) {
+			t.Fatalf("NewReader nondeterministic: %v vs %v", errA, errB)
+		}
+		if errA != nil {
+			return
+		}
+		var buf []byte
+		for i := 0; ; i++ {
+			recA, errA := ra.Next()
+			recB, errB := rb.NextBuf(buf)
+			if (errA == nil) != (errB == nil) {
+				t.Fatalf("record %d: Next err=%v, NextBuf err=%v", i, errA, errB)
+			}
+			if errA != nil {
+				if errors.Is(errA, io.EOF) != errors.Is(errB, io.EOF) {
+					t.Fatalf("record %d: EOF disagreement: %v vs %v", i, errA, errB)
+				}
+				return
+			}
+			if len(recA.Data) > MaxRecordLen {
+				t.Fatalf("record %d: %d bytes exceeds MaxRecordLen", i, len(recA.Data))
+			}
+			if !recA.Timestamp.Equal(recB.Timestamp) || !bytes.Equal(recA.Data, recB.Data) {
+				t.Fatalf("record %d: Next and NextBuf disagree", i)
+			}
+			buf = recB.Data
+		}
+	})
+}

@@ -4,9 +4,17 @@
 // newly appearing device with a rate-based end detector, and hands
 // completed setup captures to a callback, mirroring the paper's
 // tcpdump-fed device monitoring module (§VI-A).
+//
+// Monitor memory is bounded: the set of in-progress setup phases and the
+// set of completed MACs are both capped (Limits), with least-recently
+// -active eviction, so MAC churn — randomized MACs, spoofing floods —
+// cannot grow the monitor without bound. For the multi-core streaming
+// version of this module see internal/dataplane, which shards the same
+// per-device state machine across a worker pool.
 package sniff
 
 import (
+	"container/list"
 	"errors"
 	"fmt"
 	"io"
@@ -28,6 +36,50 @@ func (c Capture) Fingerprint() *fingerprint.Fingerprint {
 	return fingerprint.New(c.Packets)
 }
 
+// Limits bounds the monitor's per-MAC state. Zero values select the
+// defaults; negative values disable the corresponding cap.
+type Limits struct {
+	// MaxActive caps the number of concurrently tracked setup phases.
+	// When a new device appears at the cap, the least-recently-active
+	// device's capture is force-completed to make room (it would have
+	// completed on the next idle-gap tick anyway).
+	MaxActive int
+	// MaxFinished caps the completed-MAC set that suppresses
+	// re-fingerprinting. Oldest completions are evicted first; an
+	// evicted device that re-appears is simply fingerprinted again.
+	MaxFinished int
+}
+
+// DefaultLimits returns the monitor's default state caps: generous
+// enough that a real home network never hits them, small enough that a
+// MAC-spoofing flood tops out at tens of megabytes instead of eating
+// the gateway.
+func DefaultLimits() Limits {
+	return Limits{MaxActive: 16384, MaxFinished: 65536}
+}
+
+func (l Limits) withDefaults() Limits {
+	if l.MaxActive == 0 {
+		l.MaxActive = DefaultLimits().MaxActive
+	}
+	if l.MaxFinished == 0 {
+		l.MaxFinished = DefaultLimits().MaxFinished
+	}
+	return l
+}
+
+// Stats counts the monitor's state and evictions.
+type Stats struct {
+	// Active and Finished are the current tracked-state sizes.
+	Active   int
+	Finished int
+	// EvictedActive counts in-progress captures force-completed by the
+	// MaxActive cap; EvictedFinished counts completed MACs dropped by
+	// the MaxFinished cap.
+	EvictedActive   uint64
+	EvictedFinished uint64
+}
+
 // Monitor watches a frame stream for new devices. Feed frames with
 // Observe; when a device's setup phase ends (packet-rate decrease or
 // idle gap), the OnSetupComplete callback fires once for that device.
@@ -42,11 +94,28 @@ type Monitor struct {
 	// measurement hosts).
 	IgnoreMACs map[packet.MAC]bool
 
-	active   map[packet.MAC]*deviceState
+	// Limits bounds the active and finished maps; set before the first
+	// Observe. The zero value selects DefaultLimits.
+	Limits Limits
+
+	active map[packet.MAC]*list.Element
+	// lru orders active devices by last observed frame, least recent at
+	// the front: eviction takes the front, and Tick/Flush walk it so
+	// completion order is deterministic (last-activity order) instead of
+	// map-iteration order.
+	lru      *list.List
 	finished map[packet.MAC]bool
+	// finishedOrder is the completion order of finished MACs (oldest at
+	// finishedHead), driving MaxFinished eviction.
+	finishedOrder []packet.MAC
+	finishedHead  int
+
+	evictedActive   uint64
+	evictedFinished uint64
 }
 
 type deviceState struct {
+	mac      packet.MAC
 	detector *fingerprint.SetupEndDetector
 	packets  []*packet.Packet
 }
@@ -56,7 +125,8 @@ func NewMonitor(cfg fingerprint.SetupEndConfig) *Monitor {
 	return &Monitor{
 		cfg:        cfg,
 		IgnoreMACs: make(map[packet.MAC]bool),
-		active:     make(map[packet.MAC]*deviceState),
+		active:     make(map[packet.MAC]*list.Element),
+		lru:        list.New(),
 		finished:   make(map[packet.MAC]bool),
 	}
 }
@@ -80,52 +150,106 @@ func (m *Monitor) Seen(mac packet.MAC) bool { return m.finished[mac] }
 // Active returns the number of devices currently in their setup phase.
 func (m *Monitor) Active() int { return len(m.active) }
 
+// Stats snapshots the monitor's state sizes and eviction counters.
+func (m *Monitor) Stats() Stats {
+	return Stats{
+		Active:          len(m.active),
+		Finished:        len(m.finished),
+		EvictedActive:   m.evictedActive,
+		EvictedFinished: m.evictedFinished,
+	}
+}
+
 // Observe feeds one frame to the monitor.
 func (m *Monitor) Observe(p *packet.Packet) {
 	src := p.Eth.Src
 	if m.IgnoreMACs[src] || m.finished[src] {
 		return
 	}
-	st, ok := m.active[src]
+	el, ok := m.active[src]
 	if !ok {
-		st = &deviceState{detector: fingerprint.NewSetupEndDetector(m.cfg)}
-		m.active[src] = st
+		if max := m.Limits.withDefaults().MaxActive; max > 0 {
+			for m.lru.Len() >= max {
+				front := m.lru.Front()
+				m.evictedActive++
+				m.complete(front.Value.(*deviceState), front)
+			}
+		}
+		st := &deviceState{mac: src, detector: fingerprint.NewSetupEndDetector(m.cfg)}
+		el = m.lru.PushBack(st)
+		m.active[src] = el
+	} else {
+		m.lru.MoveToBack(el)
 	}
+	st := el.Value.(*deviceState)
 	// The idle-gap check inside Observe may declare the phase over
 	// *before* this packet: the packet then belongs to the standby phase,
 	// not the setup capture.
 	if done := st.detector.Observe(p.Timestamp); done {
-		m.complete(src, st)
+		m.complete(st, el)
 		return
 	}
 	st.packets = append(st.packets, p)
 }
 
 // Tick advances the monitor's clock, completing captures whose devices
-// have gone quiet.
+// have gone quiet. Devices complete in last-activity order.
 func (m *Monitor) Tick(now time.Time) {
-	for mac, st := range m.active {
-		if st.detector.Expire(now) {
-			m.complete(mac, st)
+	for el := m.lru.Front(); el != nil; {
+		st := el.Value.(*deviceState)
+		if !st.detector.Expire(now) {
+			// The list is ordered by last observation and every active
+			// detector shares one idle gap: nothing behind this device
+			// has expired either.
+			break
 		}
+		next := el.Next()
+		m.complete(st, el)
+		el = next
 	}
 }
 
-// Flush force-completes all in-progress captures (end of a pcap).
+// Flush force-completes all in-progress captures (end of a pcap), in
+// last-activity order.
 func (m *Monitor) Flush() {
-	for mac, st := range m.active {
-		m.complete(mac, st)
+	for el := m.lru.Front(); el != nil; {
+		next := el.Next()
+		m.complete(el.Value.(*deviceState), el)
+		el = next
 	}
 }
 
-func (m *Monitor) complete(mac packet.MAC, st *deviceState) {
-	delete(m.active, mac)
+func (m *Monitor) complete(st *deviceState, el *list.Element) {
+	m.lru.Remove(el)
+	delete(m.active, st.mac)
 	if len(st.packets) == 0 {
 		return
 	}
-	m.finished[mac] = true
+	m.markFinished(st.mac)
 	if m.OnSetupComplete != nil {
-		m.OnSetupComplete(Capture{MAC: mac, Packets: st.packets})
+		m.OnSetupComplete(Capture{MAC: st.mac, Packets: st.packets})
+	}
+}
+
+func (m *Monitor) markFinished(mac packet.MAC) {
+	m.finished[mac] = true
+	m.finishedOrder = append(m.finishedOrder, mac)
+	if max := m.Limits.withDefaults().MaxFinished; max > 0 {
+		for len(m.finished) > max && m.finishedHead < len(m.finishedOrder) {
+			old := m.finishedOrder[m.finishedHead]
+			m.finishedHead++
+			// Entries whose MAC was already dropped by Forget are stale;
+			// only count evictions that remove live state.
+			if m.finished[old] {
+				delete(m.finished, old)
+				m.evictedFinished++
+			}
+		}
+	}
+	// Compact the order queue once the dead prefix dominates it.
+	if m.finishedHead > 1024 && m.finishedHead > len(m.finishedOrder)/2 {
+		m.finishedOrder = append(m.finishedOrder[:0], m.finishedOrder[m.finishedHead:]...)
+		m.finishedHead = 0
 	}
 }
 

@@ -209,3 +209,122 @@ func TestReadPcapRejectsGarbage(t *testing.T) {
 		t.Error("ReadPcap accepted garbage")
 	}
 }
+
+// TestMonitorBoundedActiveState is the MAC-churn regression: a flood of
+// single-appearance MACs must not grow the active map past its cap —
+// the least-recently-active device is force-completed to make room.
+func TestMonitorBoundedActiveState(t *testing.T) {
+	m := NewMonitor(fastConfig())
+	m.Limits = Limits{MaxActive: 32, MaxFinished: 64}
+	completed := 0
+	m.OnSetupComplete = func(Capture) { completed++ }
+
+	ip := packet.MustParseIP4("192.168.1.5")
+	ts := t0
+	const churn = 500
+	for i := 0; i < churn; i++ {
+		mac := packet.MAC{0x02, 0xaa, byte(i >> 8), byte(i), 0x00, 0x01}
+		m.Observe(packet.NewBuilder(mac).ARPProbe(ip, ts))
+		ts = ts.Add(50 * time.Millisecond)
+		if m.Active() > 32 {
+			t.Fatalf("after %d MACs: Active = %d, cap is 32", i+1, m.Active())
+		}
+	}
+	st := m.Stats()
+	if st.EvictedActive == 0 {
+		t.Fatal("no active-state evictions under MAC churn")
+	}
+	if st.Finished > 64 {
+		t.Fatalf("Finished = %d, cap is 64", st.Finished)
+	}
+	if st.EvictedFinished == 0 {
+		t.Fatal("no finished-set evictions under MAC churn")
+	}
+	m.Flush()
+	// Eviction completes captures instead of dropping them: every MAC's
+	// single-packet capture must have been delivered.
+	if completed != churn {
+		t.Fatalf("completed %d captures, want %d (evictions must complete, not drop)", completed, churn)
+	}
+}
+
+// TestMonitorEvictionPrefersLeastRecentlyActive pins the eviction
+// order: at the cap, the device that has been silent longest goes
+// first, and activity refreshes a device's position.
+func TestMonitorEvictionPrefersLeastRecentlyActive(t *testing.T) {
+	m := NewMonitor(fastConfig())
+	m.Limits = Limits{MaxActive: 2, MaxFinished: -1}
+	var order []packet.MAC
+	m.OnSetupComplete = func(c Capture) { order = append(order, c.MAC) }
+
+	macA := packet.MustParseMAC("02:00:00:00:00:a1")
+	macB := packet.MustParseMAC("02:00:00:00:00:b1")
+	macC := packet.MustParseMAC("02:00:00:00:00:c1")
+	ip := packet.MustParseIP4("192.168.1.5")
+	ts := t0
+	m.Observe(packet.NewBuilder(macA).ARPProbe(ip, ts))
+	m.Observe(packet.NewBuilder(macB).ARPProbe(ip, ts.Add(time.Second)))
+	// A is refreshed, making B the least recently active.
+	m.Observe(packet.NewBuilder(macA).ARPProbe(ip, ts.Add(2*time.Second)))
+	// C's arrival at the cap must evict B, not A.
+	m.Observe(packet.NewBuilder(macC).ARPProbe(ip, ts.Add(3*time.Second)))
+	if len(order) != 1 || order[0] != macB {
+		t.Fatalf("evicted %v, want [%s]", order, macB)
+	}
+	if m.Active() != 2 {
+		t.Fatalf("Active = %d, want 2", m.Active())
+	}
+}
+
+// TestMonitorUnlimitedStateWithNegativeLimits verifies the escape
+// hatch: negative caps disable eviction entirely.
+func TestMonitorUnlimitedStateWithNegativeLimits(t *testing.T) {
+	m := NewMonitor(fastConfig())
+	m.Limits = Limits{MaxActive: -1, MaxFinished: -1}
+	m.OnSetupComplete = func(Capture) {}
+
+	ip := packet.MustParseIP4("192.168.1.5")
+	for i := 0; i < 100; i++ {
+		mac := packet.MAC{0x02, 0xab, 0x00, 0x00, byte(i >> 8), byte(i)}
+		m.Observe(packet.NewBuilder(mac).ARPProbe(ip, t0))
+	}
+	st := m.Stats()
+	if st.Active != 100 || st.EvictedActive != 0 {
+		t.Fatalf("Active = %d evicted = %d; negative limits must not evict", st.Active, st.EvictedActive)
+	}
+}
+
+// TestMonitorFinishedEvictionAllowsRefingerprinting verifies the
+// finished-set contract: once a completed MAC is evicted by the cap, a
+// re-appearing device is simply fingerprinted again.
+func TestMonitorFinishedEvictionAllowsRefingerprinting(t *testing.T) {
+	m := NewMonitor(fastConfig())
+	m.Limits = Limits{MaxActive: -1, MaxFinished: 4}
+	captures := make(map[packet.MAC]int)
+	m.OnSetupComplete = func(c Capture) { captures[c.MAC]++ }
+
+	ip := packet.MustParseIP4("192.168.1.5")
+	first := packet.MAC{0x02, 0xac, 0x00, 0x00, 0x00, 0x00}
+	ts := t0
+	observe := func(mac packet.MAC) {
+		m.Observe(packet.NewBuilder(mac).ARPProbe(ip, ts))
+		ts = ts.Add(time.Second)
+		m.Tick(ts.Add(time.Minute)) // complete immediately via idle gap
+		ts = ts.Add(2 * time.Minute)
+	}
+	observe(first)
+	if !m.Seen(first) {
+		t.Fatal("first device not marked finished")
+	}
+	// Eight more completions push the first MAC out of the finished set.
+	for i := 1; i <= 8; i++ {
+		observe(packet.MAC{0x02, 0xac, 0x00, 0x00, 0x00, byte(i)})
+	}
+	if m.Seen(first) {
+		t.Fatal("first device still finished after cap evictions")
+	}
+	observe(first)
+	if captures[first] != 2 {
+		t.Fatalf("first device captured %d times, want 2 (re-fingerprinted after eviction)", captures[first])
+	}
+}
