@@ -8,6 +8,10 @@
 // all-local baseline through a mid-run shard restart; replicated: the
 // remote partition behind a 2+-member shard group whose mid-run member
 // kill+revive costs zero verdicts and no retry-latency spike;
+// rebalance: live topology changes through the control plane — two
+// device types migrated between shards and a shard-group member
+// replaced mid-run, with zero lost verdicts, every verdict bit-equal
+// to a steady-topology twin, and exactly-once cache invalidation;
 // dataplane: end-to-end capture-to-verdict packets/sec through the
 // worker-per-core ingestion pipeline versus the serial monitor, with
 // verdicts asserted equal and the hot path's allocations measured).
@@ -19,6 +23,7 @@
 //	sentinel-eval -experiment fleet -shards 4 -backends 3
 //	sentinel-eval -experiment distributed -shards 2
 //	sentinel-eval -experiment replicated -replicas 2
+//	sentinel-eval -experiment rebalance -replicas 2
 //	sentinel-eval -experiment dataplane -workers 8
 package main
 
@@ -42,7 +47,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("sentinel-eval", flag.ContinueOnError)
 	var (
-		experiment  = fs.String("experiment", "all", "fig5|table3|table4|throughput|service|fleet|distributed|replicated|dataplane|ablations|all")
+		experiment  = fs.String("experiment", "all", "fig5|table3|table4|throughput|service|fleet|distributed|replicated|rebalance|dataplane|ablations|all")
 		runs        = fs.Int("runs", 20, "setup captures per device-type")
 		folds       = fs.Int("folds", 10, "cross-validation folds")
 		repeats     = fs.Int("repeats", 10, "cross-validation repetitions")
@@ -54,7 +59,7 @@ func run(args []string) error {
 		minScaling  = fs.Float64("min-scaling", 0, "fail the fleet experiment unless fleet/baseline throughput reaches this ratio (0 = report only)")
 		workers     = fs.Int("workers", 0, "dataplane pipeline workers (0 = GOMAXPROCS)")
 		minSpeedup  = fs.Float64("min-speedup", -1, "fail the dataplane experiment unless pipeline/serial packets/sec reaches this ratio (0 = report only; -1 = 2.0 when GOMAXPROCS >= 4, else report only)")
-		maxP99Ratio = fs.Float64("max-p99-ratio", -1, "fail the replicated experiment unless the kill run's p99 stays within this multiple of the no-kill run's (0 = report only; -1 = 2.0 when GOMAXPROCS >= 4, else report only)")
+		maxP99Ratio = fs.Float64("max-p99-ratio", -1, "fail the replicated/rebalance experiments unless the drill run's p99 stays within this multiple of the steady run's (0 = report only; -1 = 2.0 when GOMAXPROCS >= 4, else report only)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -177,6 +182,29 @@ func run(args []string) error {
 		fmt.Print(res.RenderReplicated())
 	}
 
+	if *experiment == "rebalance" || *experiment == "all" {
+		fmt.Println()
+		ratio := *maxP99Ratio
+		if ratio < 0 {
+			// Same parallel-hardware gate as the replicated experiment.
+			ratio = 0
+			if runtime.GOMAXPROCS(0) >= 4 {
+				ratio = 2.0
+			}
+		}
+		res, err := experiments.RunRebalance(experiments.RebalanceConfig{
+			Runs:        *runs / 2,
+			Trees:       *trees,
+			Replicas:    *replicas,
+			MaxP99Ratio: ratio,
+			Seed:        *seed,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.RenderRebalance())
+	}
+
 	if *experiment == "dataplane" || *experiment == "all" {
 		fmt.Println()
 		speedup := *minSpeedup
@@ -223,10 +251,10 @@ func run(args []string) error {
 	}
 
 	switch *experiment {
-	case "fig5", "table3", "table4", "throughput", "service", "fleet", "distributed", "replicated", "dataplane", "ablations", "all":
+	case "fig5", "table3", "table4", "throughput", "service", "fleet", "distributed", "replicated", "rebalance", "dataplane", "ablations", "all":
 		return nil
 	default:
 		return fmt.Errorf("unknown experiment %q (want %s)", *experiment,
-			strings.Join([]string{"fig5", "table3", "table4", "throughput", "service", "fleet", "distributed", "replicated", "dataplane", "ablations", "all"}, "|"))
+			strings.Join([]string{"fig5", "table3", "table4", "throughput", "service", "fleet", "distributed", "replicated", "rebalance", "dataplane", "ablations", "all"}, "|"))
 	}
 }

@@ -130,7 +130,7 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	bank, err := core.Train(core.Config{
+	bank, err := core.Train(core.BankConfig{
 		Forest: ml.ForestConfig{Trees: *trees},
 		Seed:   *seed,
 	}, ds)
@@ -138,10 +138,10 @@ func run(args []string) error {
 		return err
 	}
 	db := vulndb.Seeded()
-	ident := gateway.LocalService{Svc: iotssp.NewService(bank, db, nil)}
+	ident := gateway.LocalService{Svc: iotssp.NewService(bank, iotssp.ServiceConfig{DB: db})}
 	t0 := time.Now()
 	verdicts, res, err := dataplane.RunIdentify(context.Background(),
-		dataplane.Config{Workers: *workers}, src, ident, 0)
+		dataplane.PipelineConfig{Workers: *workers}, src, ident, 0)
 	if err != nil {
 		return err
 	}

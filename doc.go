@@ -122,6 +122,37 @@
 // p99 within 2x of the no-kill run (gated on GOMAXPROCS), and the
 // counter-verified fan-out invalidation.
 //
+// The serving topology is owned by a control plane. A
+// controlplane.Topology is a declarative spec — partitions of the
+// device-type universe, each local or remote with a replica count —
+// and controlplane.Assemble turns it plus a training set into a
+// running Cluster: trained partition banks behind shard replicas,
+// RemoteShard clients or ShardGroups, one logical ShardedBank, and the
+// verdict frontends. Every managed piece satisfies the same Component
+// contract (Stats() json.RawMessage, Healthy() bool, Close() error),
+// so cluster health is a conjunction and metrics snapshots are a
+// uniform []stats.Snapshot of tagged counter blocks rather than
+// per-kind struct fields. Topology changes are staged rollouts that
+// never drop a verdict: MigrateType relocates a device-type through
+// train-on-target, health-gate, flip-route (ShardedBank.SetOwner keeps
+// the type's global enrolment position) and drain-source, whose single
+// version bump invalidates exactly the dependent cached verdicts once;
+// ReplaceMember rolls a ShardGroup member by replaying the partition's
+// recorded enrolment history into a bit-identical replacement, gating
+// it on the group's served types and reconciled version before the old
+// member detaches. Constructors across the stack are uniform —
+// iotssp.NewServer(svc, ServerConfig) and iotssp.NewService(bank,
+// ServiceConfig) subsume the former config-less/cache variants — and
+// the layer configs carry intention-revealing aliases
+// (core.BankConfig, gateway.GatewayConfig, dataplane.PipelineConfig)
+// so call sites composing several layers stay readable. The rebalance
+// experiment (experiments.RunRebalance, sentinel-eval -experiment
+// rebalance) drills a live mid-run rebalance: two type migrations and
+// a rolling member replacement under load, zero lost verdicts, every
+// verdict bit-equal to the initial- or final-topology baseline, p99
+// within 2x of the steady run (GOMAXPROCS-gated), and the
+// counter-verified exactly-once invalidation audit.
+//
 // Ingestion is a dataplane. internal/dataplane is the worker-per-core
 // capture-to-verdict pipeline that feeds raw frames (a pcap file via
 // dataplane.PcapSource, or an in-memory stream via dataplane.FrameSource)

@@ -43,14 +43,14 @@ func main() {
 			train[name] = prints
 		}
 	}
-	bank, err := core.Train(core.Config{Forest: ml.ForestConfig{Trees: 50}, Seed: 7}, train)
+	bank, err := core.Train(core.BankConfig{Forest: ml.ForestConfig{Trees: 50}, Seed: 7}, train)
 	if err != nil {
 		log.Fatal(err)
 	}
-	svc := iotssp.NewService(bank, vulndb.Seeded(), nil)
+	svc := iotssp.NewService(bank, iotssp.ServiceConfig{DB: vulndb.Seeded()})
 
 	// Gateway + medium.
-	gw := gateway.New(gateway.Config{
+	gw := gateway.New(gateway.GatewayConfig{
 		MAC:       packet.MustParseMAC("02:53:47:57:00:01"),
 		IP:        packet.MustParseIP4("192.168.1.1"),
 		LocalNet:  packet.MustParseIP4("192.168.1.0"),

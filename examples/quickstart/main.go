@@ -26,7 +26,7 @@ func main() {
 
 	// 2. Train one Random Forest classifier per device-type.
 	fmt.Println("training one classifier per device-type…")
-	bank, err := core.Train(core.Config{
+	bank, err := core.Train(core.BankConfig{
 		Forest: ml.ForestConfig{Trees: 50},
 		Seed:   7,
 	}, corpus)

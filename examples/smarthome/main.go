@@ -33,7 +33,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	bank, err := core.Train(core.Config{Forest: ml.ForestConfig{Trees: 50}, Seed: 7}, corpus)
+	bank, err := core.Train(core.BankConfig{Forest: ml.ForestConfig{Trees: 50}, Seed: 7}, corpus)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -41,12 +41,12 @@ func main() {
 	for _, name := range devices.Names() {
 		endpoints[name] = []string{devices.CloudIP(name + ".cloud.example.com").String()}
 	}
-	svc := iotssp.NewService(bank, vulndb.Seeded(), endpoints)
+	svc := iotssp.NewService(bank, iotssp.ServiceConfig{DB: vulndb.Seeded(), Endpoints: endpoints})
 	lis, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		log.Fatal(err)
 	}
-	server := iotssp.NewServer(svc)
+	server := iotssp.NewServer(svc, iotssp.ServerConfig{})
 	go func() {
 		if err := server.Serve(lis); err != nil {
 			log.Fatal(err)
@@ -56,7 +56,7 @@ func main() {
 	fmt.Printf("[iotssp] serving on %s\n", lis.Addr())
 
 	// --- Security Gateway bridging the home network.
-	gwCfg := gateway.Config{
+	gwCfg := gateway.GatewayConfig{
 		MAC:       packet.MustParseMAC("02:53:47:57:00:01"),
 		IP:        packet.MustParseIP4("192.168.1.1"),
 		LocalNet:  packet.MustParseIP4("192.168.1.0"),

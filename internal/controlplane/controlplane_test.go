@@ -1,0 +1,354 @@
+package controlplane
+
+import (
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/devices"
+	"repro/internal/fingerprint"
+	"repro/internal/ml"
+	"repro/internal/vulndb"
+)
+
+// topologyData generates a tiny dataset: training prints for the first
+// nTypes device-types plus one held-out probe per type (including types
+// beyond nTypes, usable as canaries and unknown-device probes).
+func topologyData(t *testing.T, nTypes, runs int) (train map[string][]*fingerprint.Fingerprint, probes map[string]*fingerprint.Fingerprint, names []string) {
+	t.Helper()
+	all := devices.Names()
+	if nTypes+1 > len(all) {
+		t.Fatalf("dataset has only %d types", len(all))
+	}
+	ds, err := devices.GenerateDataset(devices.DefaultEnv(), 7, runs+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train = make(map[string][]*fingerprint.Fingerprint, nTypes)
+	probes = make(map[string]*fingerprint.Fingerprint, nTypes+1)
+	for i, name := range all {
+		probes[name] = ds[name][runs]
+		if i < nTypes {
+			train[name] = ds[name][:runs]
+		}
+	}
+	return train, probes, all[:nTypes]
+}
+
+func tinyCoreConfig() core.BankConfig {
+	return core.BankConfig{Forest: ml.ForestConfig{Trees: 10}, Seed: 3}
+}
+
+// warmAndClassify caches every probe's verdict and records, per probe,
+// the pre-mutation shard dependencies (nil = unknown verdict, which
+// depends on every shard).
+func warmAndClassify(t *testing.T, cl *Cluster, probes []*fingerprint.Fingerprint) [][]int {
+	t.Helper()
+	deps := make([][]int, len(probes))
+	for i, fp := range probes {
+		res := cl.Bank().Identify(fp)
+		if res.Known {
+			seen := make(map[int]bool)
+			for _, name := range res.Accepted {
+				if s, ok := cl.Bank().ShardOf(name); ok && !seen[s] {
+					seen[s] = true
+					deps[i] = append(deps[i], s)
+				}
+			}
+		}
+		if resp := cl.Service().Identify("02:aa:00:00:00:01", fp); resp.Error != "" {
+			t.Fatalf("warming probe %d: %s", i, resp.Error)
+		}
+	}
+	return deps
+}
+
+// splitDeps counts probes into (dependent, independent) of the given
+// shards, per the recorded dependency sets.
+func splitDeps(deps [][]int, shards ...int) (dependent, independent int) {
+	hit := make(map[int]bool, len(shards))
+	for _, s := range shards {
+		hit[s] = true
+	}
+	for _, d := range deps {
+		dep := d == nil
+		for _, s := range d {
+			if hit[s] {
+				dep = true
+			}
+		}
+		if dep {
+			dependent++
+		} else {
+			independent++
+		}
+	}
+	return dependent, independent
+}
+
+// TestTopologyMigrateAckLostReplay drills the ack-lost replay path of a
+// staged migration: the train-on-target step was delivered but its ack
+// was lost, so the control plane replays the whole rollout against a
+// destination that already serves the type. The replay must converge —
+// not fail, not double-enroll — and the cache must still see exactly
+// one invalidation signal: the source drain. The pre-delivered target
+// enrolment bumped the target's version before any verdict was cached,
+// so only source-dependent entries may drop.
+func TestTopologyMigrateAckLostReplay(t *testing.T) {
+	train, probeByType, names := topologyData(t, 6, 5)
+	cl, err := Assemble(ClusterConfig{Core: tinyCoreConfig(), CacheSize: 64, DB: vulndb.Seeded()}, Topology{Partitions: []PartitionSpec{
+		{Types: names[0:2], Local: true},
+		{Types: names[2:4], Members: 1},
+		{Types: names[4:6], Local: true},
+	}}, train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	moved := names[0]
+	// First delivery of train-on-target: the wire call landed, the ack
+	// did not, so the coordinator never recorded it.
+	if err := cl.parts[1].shard.Enroll(moved, cl.prints[moved]); err != nil {
+		t.Fatalf("pre-delivering train-on-target: %v", err)
+	}
+
+	probes := make([]*fingerprint.Fingerprint, 0, 7)
+	for _, name := range names {
+		probes = append(probes, probeByType[name])
+	}
+	probes = append(probes, probeByType[devices.Names()[6]]) // unknown device
+	deps := warmAndClassify(t, cl, probes)
+	st0 := cl.Service().CacheStats()
+
+	if err := cl.MigrateType(moved, 1); err != nil {
+		t.Fatalf("replayed migration did not converge: %v", err)
+	}
+	if s, ok := cl.Bank().ShardOf(moved); !ok || s != 1 {
+		t.Fatalf("ShardOf(%q) = %d,%v after migration, want 1,true", moved, s, ok)
+	}
+	for _, typ := range cl.parts[0].shard.Types() {
+		if typ == moved {
+			t.Fatalf("source shard still serves %q after drain", moved)
+		}
+	}
+	served := 0
+	for _, typ := range cl.parts[1].shard.Types() {
+		if typ == moved {
+			served++
+		}
+	}
+	if served != 1 {
+		t.Fatalf("target serves %q %d times, want exactly once", moved, served)
+	}
+
+	// Only the source drain bumped a version: exactly the shard-0
+	// dependent entries (and unknown verdicts) recompute, once.
+	dependent, independent := splitDeps(deps, 0)
+	for _, fp := range probes {
+		cl.Service().Identify("02:aa:00:00:00:02", fp)
+	}
+	st1 := cl.Service().CacheStats()
+	if got := st1.Invalidations - st0.Invalidations; got != uint64(dependent) {
+		t.Errorf("invalidations = %d, want exactly %d (one drain bump)", got, dependent)
+	}
+	if got := st1.Misses - st0.Misses; got != uint64(dependent) {
+		t.Errorf("misses = %d, want %d", got, dependent)
+	}
+	if got := st1.Hits - st0.Hits; got != uint64(independent) {
+		t.Errorf("hits = %d, want %d (bystander verdicts must survive)", got, independent)
+	}
+}
+
+// TestTopologyMigrateLastTypeOff migrates a partition's only type away:
+// the emptied shard must keep serving (empty classification answers,
+// verdicts still flow) and, being least loaded, must be the landing
+// spot of the next enrolment.
+func TestTopologyMigrateLastTypeOff(t *testing.T) {
+	train, probeByType, names := topologyData(t, 4, 5)
+	cl, err := Assemble(ClusterConfig{Core: tinyCoreConfig(), CacheSize: 64, DB: vulndb.Seeded()}, Topology{Partitions: []PartitionSpec{
+		{Types: names[0:1], Local: true},
+		{Types: names[1:4], Local: true},
+	}}, train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	moved := names[0]
+	if err := cl.MigrateType(moved, 1); err != nil {
+		t.Fatalf("migrating the last type off: %v", err)
+	}
+	if got := cl.Bank().ShardTypes(0); len(got) != 0 {
+		t.Fatalf("emptied shard still owns %v", got)
+	}
+
+	// The emptied shard keeps serving: known and unknown probes resolve.
+	if resp := cl.Service().Identify("02:aa:00:00:01:01", probeByType[moved]); resp.Error != "" || !resp.Known {
+		t.Fatalf("moved type no longer identifies: known=%v err=%q", resp.Known, resp.Error)
+	}
+	if resp := cl.Service().Identify("02:aa:00:00:01:02", probeByType[devices.Names()[5]]); resp.Error != "" {
+		t.Fatalf("out-of-catalog probe through the emptied topology: %q", resp.Error)
+	}
+
+	// Least-loaded placement: the next enrolment refills the empty shard.
+	canary := devices.Names()[4]
+	ds, err := devices.GenerateDataset(devices.DefaultEnv(), 7, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Enroll(canary, ds[canary]); err != nil {
+		t.Fatal(err)
+	}
+	if s, ok := cl.Bank().ShardOf(canary); !ok || s != 0 {
+		t.Fatalf("canary enrolled into shard %d,%v, want the emptied shard 0", s, ok)
+	}
+}
+
+// TestTopologyReplaceRacingEnroll races a rolling member replacement
+// against a concurrent enrolment into the same replicated partition.
+// The two serialize on the topology lock in either order: the enrolment
+// lands in the minted replay or fans out to the joined member, the
+// group's members converge to identical type lists and versions, and a
+// second replacement afterwards (replaying the enrolment from history)
+// is invisible to the verdict cache — zero extra invalidations.
+func TestTopologyReplaceRacingEnroll(t *testing.T) {
+	train, probeByType, names := topologyData(t, 6, 5)
+	cl, err := Assemble(ClusterConfig{Core: tinyCoreConfig(), CacheSize: 64, DB: vulndb.Seeded()}, Topology{Partitions: []PartitionSpec{
+		{Types: names[0:4], Local: true},
+		{Types: names[4:6], Members: 2},
+	}}, train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if cl.Group(1) == nil {
+		t.Fatal("partition 1 is not a shard group")
+	}
+
+	probes := make([]*fingerprint.Fingerprint, 0, 7)
+	for _, name := range names {
+		probes = append(probes, probeByType[name])
+	}
+	probes = append(probes, probeByType[devices.Names()[7]]) // unknown device
+	deps := warmAndClassify(t, cl, probes)
+	st0 := cl.Service().CacheStats()
+
+	canary := devices.Names()[6] // partition 1 is least loaded: 2 < 4 types
+	ds, err := devices.GenerateDataset(devices.DefaultEnv(), 7, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	var enrollErr, replaceErr error
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		enrollErr = cl.Enroll(canary, ds[canary][:5])
+	}()
+	go func() {
+		defer wg.Done()
+		replaceErr = cl.ReplaceMember(1, 0)
+	}()
+	wg.Wait()
+	if enrollErr != nil || replaceErr != nil {
+		t.Fatalf("racing rollouts failed: enroll=%v replace=%v", enrollErr, replaceErr)
+	}
+	if s, ok := cl.Bank().ShardOf(canary); !ok || s != 1 {
+		t.Fatalf("canary enrolled into shard %d,%v, want the group partition 1", s, ok)
+	}
+
+	// Both members converge: identical type lists, identical versions,
+	// matching the group's reconciled view.
+	var lists [][]string
+	for j := 0; j < cl.Members(1); j++ {
+		types := cl.MemberBank(1, j).Types()
+		sort.Strings(types)
+		lists = append(lists, types)
+		if got, want := cl.MemberBank(1, j).Version(), cl.Bank().Versions()[1]; got != want {
+			t.Errorf("member %d version = %d, want the group's reconciled %d", j, got, want)
+		}
+	}
+	if !reflect.DeepEqual(lists[0], lists[1]) {
+		t.Fatalf("members diverged: %v vs %v", lists[0], lists[1])
+	}
+	if !cl.Healthy() {
+		t.Fatal("cluster unhealthy after the race")
+	}
+
+	// Exactly one invalidation signal: the enrolment's version bump on
+	// partition 1. The member replacement minted a bit-equal bank, so it
+	// adds nothing.
+	dependent, independent := splitDeps(deps, 1)
+	for _, fp := range probes {
+		cl.Service().Identify("02:aa:00:00:02:01", fp)
+	}
+	st1 := cl.Service().CacheStats()
+	if got := st1.Invalidations - st0.Invalidations; got != uint64(dependent) {
+		t.Errorf("invalidations = %d, want exactly %d (one enrolment bump)", got, dependent)
+	}
+	if got := st1.Hits - st0.Hits; got != uint64(independent) {
+		t.Errorf("hits = %d, want %d (bystander verdicts must survive)", got, independent)
+	}
+
+	// A second replacement replays history (now including the canary)
+	// and must be cache-invisible.
+	if err := cl.ReplaceMember(1, 1); err != nil {
+		t.Fatalf("post-race replacement: %v", err)
+	}
+	st2pre := cl.Service().CacheStats()
+	for _, fp := range probes {
+		cl.Service().Identify("02:aa:00:00:02:02", fp)
+	}
+	st2 := cl.Service().CacheStats()
+	if st2.Invalidations != st2pre.Invalidations || st2.Misses != st2pre.Misses {
+		t.Errorf("member replacement disturbed the cache: %+v -> %+v", st2pre, st2)
+	}
+}
+
+// TestComponentContract pins the structural Component conformance of a
+// live cluster's snapshot surface: every managed component reports
+// under a known stats kind with non-empty payload, and Healthy is the
+// conjunction of the members'.
+func TestComponentContract(t *testing.T) {
+	train, _, names := topologyData(t, 4, 4)
+	cl, err := Assemble(ClusterConfig{Core: tinyCoreConfig(), CacheSize: -1, DB: vulndb.Seeded()}, Topology{Partitions: []PartitionSpec{
+		{Types: names[0:2], Local: true},
+		{Types: names[2:3], Members: 1},
+		{Types: names[3:4], Members: 2},
+	}}, train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	kinds := make(map[string]int)
+	for _, snap := range cl.Snapshots() {
+		if len(snap.Data) == 0 {
+			t.Errorf("component kind %q reported empty stats", snap.Kind)
+		}
+		kinds[snap.Kind]++
+	}
+	// 3 shard replicas + 1 frontend, one remote-shard client, one group.
+	if kinds["server"] != 4 || kinds["remote_shard"] != 1 || kinds["shard_group"] != 1 {
+		t.Fatalf("snapshot kinds = %v", kinds)
+	}
+	if !cl.Healthy() {
+		t.Fatal("assembled cluster reports unhealthy")
+	}
+	if err := cl.Member(1, 0).Stop(); err != nil {
+		t.Fatal(err)
+	}
+	if cl.Healthy() {
+		t.Fatal("cluster healthy with a stopped shard replica")
+	}
+	if err := cl.Member(1, 0).Start(); err != nil {
+		t.Fatal(err)
+	}
+	var comp Component = cl.Group(2)
+	if !comp.Healthy() {
+		t.Fatal("shard group unhealthy through the Component interface")
+	}
+}

@@ -30,6 +30,12 @@ import (
 	"repro/internal/ml"
 )
 
+// BankConfig is the intention-revealing name for this package's Config:
+// the experiments and examples assemble banks, gateways and dataplanes
+// side by side, and three bare `Config`s at one call site read as
+// nothing. New code should say core.BankConfig.
+type BankConfig = Config
+
 // Config tunes the identification pipeline. The zero value selects the
 // paper's parameters via Default.
 type Config struct {
@@ -154,11 +160,18 @@ type typeModel struct {
 type Bank struct {
 	cfg Config
 
-	// rw guards types and index: held shared by the identification
-	// paths, exclusively by Enroll.
+	// rw guards types, index and retired: held shared by the
+	// identification paths, exclusively by Enroll and Remove.
 	rw    sync.RWMutex
 	types []*typeModel
 	index map[string]*typeModel
+	// retired holds tombstones of removed types: the classifier is
+	// dropped (the type no longer accepts fingerprints and leaves the
+	// negative pool) but the reference prints stay, so an in-flight
+	// discrimination that accepted the type just before its removal
+	// still scores it identically. Re-enrolling the name replaces the
+	// tombstone.
+	retired map[string]*typeModel
 
 	// version counts successful enrolments. Verdict caches key their
 	// entries by it so enrolling a new type invalidates every verdict
@@ -183,9 +196,10 @@ type identScratch struct {
 func NewBank(cfg Config) *Bank {
 	cfg = cfg.withDefaults()
 	return &Bank{
-		cfg:   cfg,
-		index: make(map[string]*typeModel),
-		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		cfg:     cfg,
+		index:   make(map[string]*typeModel),
+		retired: make(map[string]*typeModel),
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
 	}
 }
 
@@ -264,6 +278,39 @@ func (b *Bank) Enroll(name string, prints []*fingerprint.Fingerprint) error {
 	return nil
 }
 
+// Remove retires an enrolled device-type: its classifier is dropped —
+// the type stops accepting fingerprints, leaves Types() and leaves the
+// negative pool of later enrolments — and the version bumps so verdict
+// caches invalidate every entry that depended on this shard. The
+// reference prints are retained as a tombstone: a discrimination racing
+// the removal (it accepted the type against the pre-removal bank)
+// still scores the candidate identically instead of silently skipping
+// it — the drain-source step of a live migration depends on exactly
+// that window being seamless. Re-enrolling the name replaces the
+// tombstone; removing it again is an error.
+func (b *Bank) Remove(name string) error {
+	b.rw.Lock()
+	defer b.rw.Unlock()
+	tm, ok := b.index[name]
+	if !ok {
+		return fmt.Errorf("core: device-type %q not enrolled", name)
+	}
+	for i, cur := range b.types {
+		if cur == tm {
+			b.types = append(b.types[:i], b.types[i+1:]...)
+			break
+		}
+	}
+	delete(b.index, name)
+	// Drop the classifier and the fixed-size matrix; keep the prints for
+	// drain-window discrimination.
+	tm.forest = nil
+	tm.fixed = nil
+	b.retired[name] = tm
+	b.version.Add(1)
+	return nil
+}
+
 // Version returns the bank's enrolment version: it starts at the number
 // of types Train enrolled and increments on every successful Enroll.
 // A verdict computed at version v is stale once Version() > v — repeat
@@ -302,6 +349,8 @@ func (b *Bank) addType(name string, prints []*fingerprint.Fingerprint) error {
 	if _, dup := b.index[name]; dup {
 		return fmt.Errorf("core: device-type %q already enrolled", name)
 	}
+	// A re-enrolment replaces any tombstone left by Remove.
+	delete(b.retired, name)
 	tm := &typeModel{
 		name:   name,
 		prints: append([]*fingerprint.Fingerprint(nil), prints...),
@@ -433,6 +482,11 @@ func (b *Bank) discriminateLocked(f *fingerprint.Fingerprint, candidates []strin
 	for _, name := range candidates {
 		tm := b.index[name]
 		if tm == nil {
+			// A candidate retired mid-identification scores from its
+			// tombstone prints, exactly as before the removal.
+			tm = b.retired[name]
+		}
+		if tm == nil {
 			continue
 		}
 		refs := b.sampleRefs(tm, rng, scratch)
@@ -484,7 +538,11 @@ func (b *Bank) DistanceComputations(candidates []string) int {
 	defer b.rw.RUnlock()
 	total := 0
 	for _, name := range candidates {
-		if tm := b.index[name]; tm != nil {
+		tm := b.index[name]
+		if tm == nil {
+			tm = b.retired[name]
+		}
+		if tm != nil {
 			k := b.cfg.DiscriminationRefs
 			if k > len(tm.prints) {
 				k = len(tm.prints)

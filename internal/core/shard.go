@@ -38,7 +38,14 @@ type Shard interface {
 	Discriminate(f *fingerprint.Fingerprint, candidates []string) (string, map[string]float64)
 	// Enroll trains a classifier for a new device-type on this shard.
 	Enroll(name string, prints []*fingerprint.Fingerprint) error
-	// Version is the shard's enrolment version (grows by one per Enroll).
+	// Remove retires a device-type from this shard: it stops accepting
+	// fingerprints and leaves Types, but its reference prints stay as a
+	// drain tombstone so an in-flight discrimination that accepted the
+	// type still scores it (Bank.Remove's semantics — the control
+	// plane's drain-source step depends on this window being seamless).
+	Remove(name string) error
+	// Version is the shard's enrolment version (grows by one per Enroll
+	// or Remove).
 	Version() uint64
 	// Types lists the enrolled device-types in shard enrolment order.
 	Types() []string
@@ -261,6 +268,27 @@ func (sb *ShardedBank) ShardOf(name string) (int, bool) {
 	defer sb.mu.RUnlock()
 	s, ok := sb.owner[name]
 	return s, ok
+}
+
+// SetOwner atomically re-routes an enrolled device-type to another
+// shard: discrimination and cache-dependency tagging follow the new
+// owner from this call on, while the type keeps its global enrolment
+// position (the merge order the bit-equality contract rests on). This
+// is the flip-route step of a live migration — the caller (the control
+// plane) must have enrolled the type on the destination shard first and
+// drains the source afterwards; SetOwner itself only moves the routing
+// metadata.
+func (sb *ShardedBank) SetOwner(name string, dst int) error {
+	if dst < 0 || dst >= len(sb.shards) {
+		return fmt.Errorf("core: shard %d out of range (have %d shards)", dst, len(sb.shards))
+	}
+	sb.mu.Lock()
+	defer sb.mu.Unlock()
+	if _, ok := sb.owner[name]; !ok {
+		return fmt.Errorf("core: device-type %q not enrolled", name)
+	}
+	sb.owner[name] = dst
+	return nil
 }
 
 // Versions returns the per-shard enrolment version vector. Each
@@ -545,7 +573,13 @@ func (sb *ShardedBank) IdentifyBatch(fps []*fingerprint.Fingerprint, workers int
 
 // mergeAccepts merges per-shard accept lists into one list in global
 // enrolment order. Types enrolled concurrently with the scatter (absent
-// from pos) keep shard-local order after the known ones.
+// from pos) keep shard-local order after the known ones. A type
+// accepted by two shards at once — the train-on-target window of a live
+// migration, when source and target both hold its classifier — merges
+// to a single occurrence, so the migration window cannot turn a clean
+// single-accept into a spurious discrimination. The accept sets are
+// tiny (almost always 0–3 names), so duplicate detection is a linear
+// scan of the merged list rather than a map allocation on the hot path.
 func (sb *ShardedBank) mergeAccepts(perShard [][]string) []string {
 	n := 0
 	for _, a := range perShard {
@@ -556,7 +590,15 @@ func (sb *ShardedBank) mergeAccepts(perShard [][]string) []string {
 	}
 	merged := make([]string, 0, n)
 	for _, a := range perShard {
-		merged = append(merged, a...)
+	next:
+		for _, name := range a {
+			for _, have := range merged {
+				if have == name {
+					continue next
+				}
+			}
+			merged = append(merged, name)
+		}
 	}
 	sb.mu.RLock()
 	sort.SliceStable(merged, func(i, j int) bool {

@@ -52,6 +52,12 @@ import (
 	"repro/internal/sniff"
 )
 
+// PipelineConfig is the intention-revealing name for this package's
+// Config: core, gateway and dataplane each export a Config, and
+// deployment-assembly call sites read better when each names its
+// layer. New code should prefer PipelineConfig.
+type PipelineConfig = Config
+
 // Config parameterizes a pipeline run.
 type Config struct {
 	// Workers is the number of decode/extract workers. Zero selects

@@ -165,7 +165,7 @@ func RunDataplane(cfg DataplaneConfig) (*DataplaneResult, error) {
 		return nil, err
 	}
 	// Cache disabled: both arms pay full identification per capture.
-	ident := gateway.LocalService{Svc: iotssp.NewServiceCache(bank, vulndb.Seeded(), nil, 0)}
+	ident := gateway.LocalService{Svc: iotssp.NewService(bank, iotssp.ServiceConfig{DB: vulndb.Seeded(), CacheSize: -1})}
 
 	frames, pcapBytes, nDevices, err := dataplaneWorkload(cfg, env)
 	if err != nil {

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/controlplane"
 	"repro/internal/core"
 	"repro/internal/devices"
 	"repro/internal/fingerprint"
@@ -197,10 +198,24 @@ type wirePhase struct {
 	Seed                         int64
 }
 
+// wireDrill is one mid-run intervention: Fn fires once the request
+// cursor crosses After. Drills run in order on one goroutine, so a
+// later drill never overtakes an earlier one.
+type wireDrill struct {
+	After int64
+	Fn    func()
+}
+
+// third returns the conventional single-drill schedule: fire a third of
+// the way into the phase.
+func (c wirePhase) third(fn func()) []wireDrill {
+	return []wireDrill{{After: int64(c.Requests / 3), Fn: fn}}
+}
+
 // runWirePhase replays the workload against one verdict server,
-// recording every request's verdict in request order, and optionally
-// running the kill drill a third of the way in.
-func runWirePhase(addr string, w *serviceWorkload, cfg wirePhase, drill func()) (time.Duration, []time.Duration, []iotssp.Response, []gateway.PoolStats, int) {
+// recording every request's verdict in request order, and running each
+// drill as the cursor crosses its threshold.
+func runWirePhase(addr string, w *serviceWorkload, cfg wirePhase, drills []wireDrill) (time.Duration, []time.Duration, []iotssp.Response, []gateway.PoolStats, int) {
 	pools := make([]*gateway.Pool, cfg.Gateways)
 	for g := range pools {
 		pools[g] = gateway.NewPool(addr, gateway.PoolConfig{
@@ -221,14 +236,15 @@ func runWirePhase(addr string, w *serviceWorkload, cfg wirePhase, drill func()) 
 	var lost atomic.Int64
 	verdicts := make([]iotssp.Response, cfg.Requests)
 	drillDone := make(chan struct{})
-	if drill != nil {
+	if len(drills) > 0 {
 		go func() {
 			defer close(drillDone)
-			killAt := int64(cfg.Requests / 3)
-			for cursor.Load() < killAt {
-				time.Sleep(200 * time.Microsecond)
+			for _, d := range drills {
+				for cursor.Load() < d.After {
+					time.Sleep(200 * time.Microsecond)
+				}
+				d.Fn()
 			}
-			drill()
 		}()
 	} else {
 		close(drillDone)
@@ -268,11 +284,30 @@ func runWirePhase(addr string, w *serviceWorkload, cfg wirePhase, drill func()) 
 	for _, l := range lats {
 		all = append(all, l...)
 	}
-	stats := make([]gateway.PoolStats, len(pools))
+	poolStats := make([]gateway.PoolStats, len(pools))
 	for g, p := range pools {
-		stats[g] = p.Stats()
+		poolStats[g] = p.Counters()
 	}
-	return elapsed, all, verdicts, stats, int(lost.Load())
+	return elapsed, all, verdicts, poolStats, int(lost.Load())
+}
+
+// mixedTopology deals the training set round-robin over shards
+// partitions and serves exactly one — remoteIdx, with members replicas —
+// across the wire.
+func mixedTopology(train map[string][]*fingerprint.Fingerprint, shards, remoteIdx, members int) controlplane.Topology {
+	names := make([]string, 0, len(train))
+	for name := range train {
+		names = append(names, name)
+	}
+	parts := make([]controlplane.PartitionSpec, 0, shards)
+	for s, types := range controlplane.RoundRobin(names, shards) {
+		spec := controlplane.PartitionSpec{Types: types, Local: s != remoteIdx}
+		if s == remoteIdx {
+			spec.Members = members
+		}
+		parts = append(parts, spec)
+	}
+	return controlplane.Topology{Partitions: parts}
 }
 
 // RunDistributed validates and measures the cross-process classifier
@@ -288,12 +323,14 @@ func runWirePhase(addr string, w *serviceWorkload, cfg wirePhase, drill func()) 
 //     reconnect/retry machinery must carry every request across the
 //     restart — zero lost verdicts, still bit-equal.
 //   - Remote invalidation: a fresh verdict cache is warmed over the
-//     mixed bank, the canary type is enrolled through the logical bank
-//     (least-loaded routing hands it to the remote shard), and the
-//     version bump observed over the wire must invalidate exactly the
-//     dependent cache entries, counted by the Invalidations counter.
+//     mixed bank, the canary type is enrolled through the cluster's
+//     control plane (least-loaded routing hands it to the remote
+//     shard), and the version bump observed over the wire must
+//     invalidate exactly the dependent cache entries, counted by the
+//     Invalidations counter.
 //
-// Both timed phases run with the verdict cache disabled so every
+// Both serving stacks are assembled through controlplane.Cluster, and
+// both timed phases run with the verdict cache disabled so every
 // request crosses the bank (and the wire), not the front cache.
 func RunDistributed(cfg DistributedConfig) (*DistributedResult, error) {
 	cfg, err := cfg.withDefaults()
@@ -304,22 +341,9 @@ func RunDistributed(cfg DistributedConfig) (*DistributedResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	coreCfg := core.Config{
+	coreCfg := core.BankConfig{
 		Forest: ml.ForestConfig{Trees: cfg.Trees},
 		Seed:   cfg.Seed,
-	}
-
-	// Two identically trained partitions: one stays whole (the
-	// baseline), the other donates a shard to the wire. Training is
-	// deterministic in (config, data), so their verdicts must agree
-	// bit-for-bit.
-	localBank, err := core.TrainSharded(coreCfg, cfg.Shards, train)
-	if err != nil {
-		return nil, err
-	}
-	servedBank, err := core.TrainSharded(coreCfg, cfg.Shards, train)
-	if err != nil {
-		return nil, err
 	}
 
 	remoteIdx := cfg.Types % cfg.Shards
@@ -338,59 +362,52 @@ func RunDistributed(cfg DistributedConfig) (*DistributedResult, error) {
 		Workers:       cfg.Workers,
 	}
 
-	// Phase 1 — all-local baseline.
-	baseSvc := iotssp.NewServiceCache(localBank, vulndb.Seeded(), nil, 0)
-	baseRep := iotssp.NewReplica(baseSvc, scfg)
-	if err := baseRep.Start(); err != nil {
+	// Phase 1 — all-local baseline. Training is deterministic in
+	// (config, data), so the two clusters' verdicts must agree
+	// bit-for-bit.
+	baseCl, err := controlplane.Assemble(controlplane.ClusterConfig{
+		Core:      coreCfg,
+		Server:    scfg,
+		CacheSize: -1,
+		DB:        vulndb.Seeded(),
+	}, localTopology(train, cfg.Shards), train)
+	if err != nil {
 		return nil, err
 	}
-	baseElapsed, _, baseVerdicts, _, baseLost := runWirePhase(baseRep.Addr(), w, cfg.phase(), nil)
-	baseRep.Close()
+	baseTypes := baseCl.Bank().Types()
+	baseElapsed, _, baseVerdicts, _, baseLost := runWirePhase(baseCl.Addr(), w, cfg.phase(), nil)
+	baseCl.Close()
 	if baseLost > 0 {
 		return nil, fmt.Errorf("baseline phase lost %d verdicts with no failure injected", baseLost)
 	}
 	res.BaselinePerSec = float64(cfg.Requests) / baseElapsed.Seconds()
 
-	// Phase 2 — the mixed local/remote bank, with the shard restart
+	// Phase 2 — the mixed local/remote cluster, with the shard restart
 	// drill.
-	shardRep := iotssp.NewShardReplica(servedBank.Shard(remoteIdx).(*core.Bank), scfg)
-	if err := shardRep.Start(); err != nil {
-		return nil, err
-	}
-	defer shardRep.Close()
-	remote := iotssp.NewRemoteShard(shardRep.Addr(), iotssp.RemoteShardConfig{
-		RetryBackoff: 2 * time.Millisecond,
-		MaxBackoff:   50 * time.Millisecond,
-		MaxRetries:   40,
-		Seed:         cfg.Seed + 101,
-	})
-	defer remote.Close()
-	shards := make([]core.Shard, cfg.Shards)
-	for s := range shards {
-		if s == remoteIdx {
-			shards[s] = remote
-		} else {
-			shards[s] = servedBank.Shard(s)
-		}
-	}
-	mixed, err := core.NewShardedBankFrom(coreCfg, shards)
+	cl, err := controlplane.Assemble(controlplane.ClusterConfig{
+		Core:   coreCfg,
+		Server: scfg,
+		Shard: iotssp.RemoteShardConfig{
+			RetryBackoff: 2 * time.Millisecond,
+			MaxBackoff:   50 * time.Millisecond,
+			MaxRetries:   40,
+			Seed:         cfg.Seed + 101,
+		},
+		CacheSize: -1,
+		DB:        vulndb.Seeded(),
+	}, mixedTopology(train, cfg.Shards, remoteIdx, 1), train)
 	if err != nil {
 		return nil, err
 	}
-	if got, want := mixed.Types(), localBank.Types(); !reflect.DeepEqual(got, want) {
-		return nil, fmt.Errorf("mixed bank reassembled order %v, want %v", got, want)
+	defer cl.Close()
+	if got := cl.Bank().Types(); !reflect.DeepEqual(got, baseTypes) {
+		return nil, fmt.Errorf("mixed bank reassembled order %v, want %v", got, baseTypes)
 	}
 
-	distSvc := iotssp.NewServiceCache(mixed, vulndb.Seeded(), nil, 0)
-	distRep := iotssp.NewReplica(distSvc, scfg)
-	if err := distRep.Start(); err != nil {
-		return nil, err
-	}
-	defer distRep.Close()
-
-	var drill func()
+	var drills []wireDrill
 	if !cfg.NoKill {
-		drill = func() {
+		shardRep := cl.Member(remoteIdx, 0)
+		drills = cfg.phase().third(func() {
 			res.ShardKilled = true
 			shardRep.Stop()
 			if cfg.NoRestart {
@@ -400,9 +417,9 @@ func RunDistributed(cfg DistributedConfig) (*DistributedResult, error) {
 			if err := shardRep.Start(); err == nil {
 				res.Restarted = true
 			}
-		}
+		})
 	}
-	elapsed, lats, verdicts, poolStats, lost := runWirePhase(distRep.Addr(), w, cfg.phase(), drill)
+	elapsed, lats, verdicts, poolStats, lost := runWirePhase(cl.Addr(), w, cfg.phase(), drills)
 	res.DistributedPerSec = float64(cfg.Requests) / elapsed.Seconds()
 	if res.DistributedPerSec > 0 {
 		res.Overhead = res.BaselinePerSec / res.DistributedPerSec
@@ -415,11 +432,9 @@ func RunDistributed(cfg DistributedConfig) (*DistributedResult, error) {
 		}
 	}
 	res.P50, res.P99 = latPercentiles(lats)
-	res.Metrics = &MetricsSnapshot{
-		Experiment:   "distributed",
-		Servers:      []iotssp.ServerStats{distRep.Stats(), shardRep.Stats()},
-		GatewayPools: poolStats,
-		RemoteShards: []iotssp.RemoteShardStats{remote.Stats()},
+	res.Metrics = &MetricsSnapshot{Experiment: "distributed", Components: cl.Snapshots()}
+	for _, ps := range poolStats {
+		res.Metrics.Components = append(res.Metrics.Components, ps.Snapshot())
 	}
 
 	if lost > 0 {
@@ -437,8 +452,8 @@ func RunDistributed(cfg DistributedConfig) (*DistributedResult, error) {
 	if res.ShardKilled && cfg.NoRestart {
 		return res, nil
 	}
-	invSvc := iotssp.NewServiceCache(mixed, vulndb.Seeded(), nil, cfg.CacheSize)
-	shard, dependent, independent, err := checkShardScopedInvalidation(invSvc, mixed, w, canary, canaryPrints)
+	invSvc := cl.AuxService(cfg.CacheSize)
+	shard, dependent, independent, err := checkShardScopedInvalidation(invSvc, cl, w, canary, canaryPrints)
 	res.CanaryShard = shard
 	res.DependentProbes = dependent
 	res.IndependentProbes = independent
@@ -448,8 +463,8 @@ func RunDistributed(cfg DistributedConfig) (*DistributedResult, error) {
 	if shard != remoteIdx {
 		return res, fmt.Errorf("canary %q enrolled into shard %d, want the remote shard %d (least-loaded routing)", canary, shard, remoteIdx)
 	}
-	if got := servedBank.Shard(remoteIdx).(*core.Bank).Version(); got != mixed.Versions()[remoteIdx] {
-		return res, fmt.Errorf("remote version cache (%d) diverged from the served shard (%d)", mixed.Versions()[remoteIdx], got)
+	if got := cl.MemberBank(remoteIdx, 0).Version(); got != cl.Bank().Versions()[remoteIdx] {
+		return res, fmt.Errorf("remote version cache (%d) diverged from the served shard (%d)", cl.Bank().Versions()[remoteIdx], got)
 	}
 	return res, nil
 }

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"repro/internal/iotssp"
+
 	"strings"
 	"testing"
 )
@@ -46,10 +48,10 @@ func TestRunDistributedTinyConfig(t *testing.T) {
 	if res.BaselinePerSec <= 0 || res.DistributedPerSec <= 0 {
 		t.Fatalf("degenerate rates: %+v", res)
 	}
-	if res.Metrics == nil || len(res.Metrics.Servers) != 2 || len(res.Metrics.RemoteShards) != 1 {
+	if res.Metrics == nil || countKind(res.Metrics, "server") != 2 || countKind(res.Metrics, "remote_shard") != 1 {
 		t.Fatalf("metrics snapshot incomplete: %+v", res.Metrics)
 	}
-	if rs := res.Metrics.RemoteShards[0]; rs.Requests == 0 || rs.Retries == 0 {
+	if rs := unmarshalKind[iotssp.RemoteShardStats](t, res.Metrics, "remote_shard")[0]; rs.Requests == 0 || rs.Retries == 0 {
 		t.Errorf("remote shard saw no traffic or no restart retries: %+v", rs)
 	}
 

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/controlplane"
 	"repro/internal/core"
 	"repro/internal/devices"
 	"repro/internal/fingerprint"
@@ -156,14 +157,14 @@ type FleetResult struct {
 	Metrics *MetricsSnapshot
 }
 
-// buildFleetBanks trains the sharded fleet bank, the unsharded
-// baseline bank, and the shared workload; it also returns the canary
-// type's training prints for the invalidation check.
-func buildFleetBanks(cfg FleetConfig) (*core.ShardedBank, *core.Bank, *serviceWorkload, string, []*fingerprint.Fingerprint, error) {
+// buildFleetWorkload samples the training corpus and the shared
+// workload; it also returns the canary type's training prints for the
+// invalidation check.
+func buildFleetWorkload(cfg FleetConfig) (map[string][]*fingerprint.Fingerprint, *serviceWorkload, string, []*fingerprint.Fingerprint, error) {
 	env := devices.DefaultEnv()
 	ds, err := devices.GenerateDataset(env, cfg.Seed, cfg.Runs+cfg.ProbeModels)
 	if err != nil {
-		return nil, nil, nil, "", nil, err
+		return nil, nil, "", nil, err
 	}
 	names := devices.Names()[:cfg.Types]
 	canary := devices.Names()[cfg.Types]
@@ -173,18 +174,6 @@ func buildFleetBanks(cfg FleetConfig) (*core.ShardedBank, *core.Bank, *serviceWo
 		prints := ds[name]
 		train[name] = prints[:cfg.Runs]
 		probes = append(probes, prints[cfg.Runs:]...)
-	}
-	coreCfg := core.Config{
-		Forest: ml.ForestConfig{Trees: cfg.Trees},
-		Seed:   cfg.Seed,
-	}
-	sharded, err := core.TrainSharded(coreCfg, cfg.Shards, train)
-	if err != nil {
-		return nil, nil, nil, "", nil, err
-	}
-	baseline, err := core.Train(coreCfg, train)
-	if err != nil {
-		return nil, nil, nil, "", nil, err
 	}
 
 	w := &serviceWorkload{probes: probes}
@@ -196,17 +185,31 @@ func buildFleetBanks(cfg FleetConfig) (*core.ShardedBank, *core.Bank, *serviceWo
 		w.model[i] = int(state>>33) % len(probes)
 		w.macs[i] = fmt.Sprintf("02:f2:%02x:%02x:%02x:%02x", (i>>24)&0xff, (i>>16)&0xff, (i>>8)&0xff, i&0xff)
 	}
-	return sharded, baseline, w, canary, ds[canary][:cfg.Runs], nil
+	return train, w, canary, ds[canary][:cfg.Runs], nil
+}
+
+// localTopology deals the training set's types round-robin over shards
+// local partitions — the TrainSharded placement, assembled declaratively.
+func localTopology(train map[string][]*fingerprint.Fingerprint, shards int) controlplane.Topology {
+	names := make([]string, 0, len(train))
+	for name := range train {
+		names = append(names, name)
+	}
+	parts := make([]controlplane.PartitionSpec, 0, shards)
+	for _, types := range controlplane.RoundRobin(names, shards) {
+		parts = append(parts, controlplane.PartitionSpec{Types: types, Local: true})
+	}
+	return controlplane.Topology{Partitions: parts}
 }
 
 // runFleetPhase replays the workload through per-gateway FleetPools
-// against the fleet's backends, optionally killing (and reviving) one
-// replica as the request cursor crosses a third (two-thirds) of the
-// run. It returns the elapsed wall time, per-request latencies, each
+// against the cluster's frontends, optionally killing (and reviving)
+// one as the request cursor crosses a third (two-thirds) of the run.
+// It returns the elapsed wall time, per-request latencies, each
 // gateway's fleet-pool stats, the number of lost requests, and whether
-// the killed replica was revived.
-func runFleetPhase(fleet *iotssp.Fleet, w *serviceWorkload, cfg FleetConfig, kill int) (time.Duration, []time.Duration, []gateway.FleetPoolStats, int, bool) {
-	addrs := fleet.Addrs()
+// the killed frontend was revived.
+func runFleetPhase(cl *controlplane.Cluster, w *serviceWorkload, cfg FleetConfig, kill int) (time.Duration, []time.Duration, []gateway.FleetPoolStats, int, bool) {
+	addrs := cl.Addrs()
 	pools := make([]*gateway.FleetPool, cfg.Gateways)
 	for g := range pools {
 		pools[g] = gateway.NewFleetPool(addrs, gateway.FleetPoolConfig{
@@ -239,14 +242,14 @@ func runFleetPhase(fleet *iotssp.Fleet, w *serviceWorkload, cfg FleetConfig, kil
 			for cursor.Load() < killAt {
 				time.Sleep(200 * time.Microsecond)
 			}
-			fleet.Replica(kill).Stop()
+			cl.Frontend(kill).Stop()
 			if cfg.NoRestart {
 				return
 			}
 			for cursor.Load() < reviveAt {
 				time.Sleep(200 * time.Microsecond)
 			}
-			if err := fleet.Replica(kill).Start(); err == nil {
+			if err := cl.Frontend(kill).Start(); err == nil {
 				restarted = true
 			}
 		}()
@@ -287,11 +290,11 @@ func runFleetPhase(fleet *iotssp.Fleet, w *serviceWorkload, cfg FleetConfig, kil
 	for _, l := range lats {
 		all = append(all, l...)
 	}
-	stats := make([]gateway.FleetPoolStats, len(pools))
+	poolStats := make([]gateway.FleetPoolStats, len(pools))
 	for g, p := range pools {
-		stats[g] = p.Stats()
+		poolStats[g] = p.Counters()
 	}
-	return elapsed, all, stats, int(lost.Load()), restarted
+	return elapsed, all, poolStats, int(lost.Load()), restarted
 }
 
 // warmFleetCache pushes every distinct probe model through one backend
@@ -307,11 +310,12 @@ func warmFleetCache(addr string, w *serviceWorkload, seed int64) error {
 	return nil
 }
 
-// checkShardScopedInvalidation enrolls the canary type and verifies
-// with cache counters that exactly the cached verdicts depending on
-// the enrolled shard were invalidated. Returns (shard, dependent,
-// independent).
-func checkShardScopedInvalidation(svc *iotssp.Service, bank *core.ShardedBank, w *serviceWorkload, canary string, prints []*fingerprint.Fingerprint) (int, int, int, error) {
+// checkShardScopedInvalidation enrolls the canary type through the
+// cluster's control plane and verifies with cache counters that exactly
+// the cached verdicts depending on the enrolled shard were invalidated.
+// Returns (shard, dependent, independent).
+func checkShardScopedInvalidation(svc *iotssp.Service, cl *controlplane.Cluster, w *serviceWorkload, canary string, prints []*fingerprint.Fingerprint) (int, int, int, error) {
+	bank := cl.Bank()
 	// Distinct probe fingerprints only: device setup runs can repeat
 	// bit-identically, and duplicates would share one cache entry and
 	// double-count in the expectations below.
@@ -346,7 +350,7 @@ func checkShardScopedInvalidation(svc *iotssp.Service, bank *core.ShardedBank, w
 	}
 	st0 := svc.CacheStats()
 
-	if err := bank.Enroll(canary, prints); err != nil {
+	if err := cl.Enroll(canary, prints); err != nil {
 		return 0, 0, 0, fmt.Errorf("enrolling canary %q: %w", canary, err)
 	}
 	shard, ok := bank.ShardOf(canary)
@@ -390,9 +394,9 @@ func checkShardScopedInvalidation(svc *iotssp.Service, bank *core.ShardedBank, w
 // RunFleet measures the replicated, sharded IoT Security Service under
 // the fleet workload and drills its failure story:
 //
-//   - Baseline: the PR 2 single-backend service mode — one replica over
+//   - Baseline: the PR 2 single-backend service mode — one frontend over
 //     an unsharded bank, micro-batching dispatcher, warm verdict cache.
-//   - Fleet: the same workload against Backends replicas of one shared
+//   - Fleet: the same workload against Backends frontends of one shared
 //     service over a Shards-shard bank, routed by per-gateway
 //     consistent-hashing FleetPools. A third of the way in, one backend
 //     is killed; two-thirds in, it is revived and probed back into
@@ -402,6 +406,7 @@ func checkShardScopedInvalidation(svc *iotssp.Service, bank *core.ShardedBank, w
 //     enrolled into one shard and cache counters must show exactly the
 //     dependent verdicts invalidated.
 //
+// Both serving stacks are assembled through controlplane.Cluster.
 // RunFleet returns an error if verdicts were lost, if the invalidation
 // counters do not match, or if MinScaling > 0 and the fleet failed to
 // scale past it.
@@ -410,7 +415,7 @@ func RunFleet(cfg FleetConfig) (*FleetResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	sharded, baseBank, w, canary, canaryPrints, err := buildFleetBanks(cfg)
+	train, w, canary, canaryPrints, err := buildFleetWorkload(cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -424,6 +429,7 @@ func RunFleet(cfg FleetConfig) (*FleetResult, error) {
 		KilledBackend: -1,
 		CanaryType:    canary,
 	}
+	coreCfg := core.BankConfig{Forest: ml.ForestConfig{Trees: cfg.Trees}, Seed: cfg.Seed}
 	scfg := iotssp.ServerConfig{
 		BatchSize:     cfg.BatchSize,
 		FlushInterval: cfg.FlushInterval,
@@ -431,17 +437,21 @@ func RunFleet(cfg FleetConfig) (*FleetResult, error) {
 	}
 
 	// Phase 1 — single-backend baseline (PR 2 service mode).
-	baseSvc := iotssp.NewServiceCache(baseBank, vulndb.Seeded(), nil, cfg.CacheSize)
-	baseFleet := iotssp.NewFleet([]*iotssp.Service{baseSvc}, scfg)
-	if err := baseFleet.Start(); err != nil {
+	baseCl, err := controlplane.Assemble(controlplane.ClusterConfig{
+		Core:      coreCfg,
+		Server:    scfg,
+		CacheSize: cfg.CacheSize,
+		DB:        vulndb.Seeded(),
+	}, localTopology(train, 1), train)
+	if err != nil {
 		return nil, err
 	}
-	if err := warmFleetCache(baseFleet.Addrs()[0], w, cfg.Seed); err != nil {
-		baseFleet.Close()
+	if err := warmFleetCache(baseCl.Addr(), w, cfg.Seed); err != nil {
+		baseCl.Close()
 		return nil, err
 	}
-	baseElapsed, _, _, baseLost, _ := runFleetPhase(baseFleet, w, cfg, -1)
-	baseFleet.Close()
+	baseElapsed, _, _, baseLost, _ := runFleetPhase(baseCl, w, cfg, -1)
+	baseCl.Close()
 	if baseLost > 0 {
 		return nil, fmt.Errorf("baseline phase lost %d verdicts with no failure injected", baseLost)
 	}
@@ -449,17 +459,19 @@ func RunFleet(cfg FleetConfig) (*FleetResult, error) {
 
 	// Phase 2 — the replicated fleet over the sharded bank, with the
 	// mid-run kill.
-	svc := iotssp.NewServiceCache(sharded, vulndb.Seeded(), nil, cfg.CacheSize)
-	svcs := make([]*iotssp.Service, cfg.Backends)
-	for i := range svcs {
-		svcs[i] = svc
-	}
-	fleet := iotssp.NewFleet(svcs, scfg)
-	if err := fleet.Start(); err != nil {
+	cl, err := controlplane.Assemble(controlplane.ClusterConfig{
+		Core:      coreCfg,
+		Server:    scfg,
+		CacheSize: cfg.CacheSize,
+		Frontends: cfg.Backends,
+		DB:        vulndb.Seeded(),
+	}, localTopology(train, cfg.Shards), train)
+	if err != nil {
 		return nil, err
 	}
-	defer fleet.Close()
-	if err := warmFleetCache(fleet.Addrs()[0], w, cfg.Seed); err != nil {
+	defer cl.Close()
+	svc := cl.Service()
+	if err := warmFleetCache(cl.Addr(), w, cfg.Seed); err != nil {
 		return nil, err
 	}
 	warmStats := svc.CacheStats()
@@ -468,7 +480,7 @@ func RunFleet(cfg FleetConfig) (*FleetResult, error) {
 	if !cfg.NoKill && cfg.Backends > 1 {
 		kill = cfg.Backends - 1
 	}
-	elapsed, lats, poolStats, lost, restarted := runFleetPhase(fleet, w, cfg, kill)
+	elapsed, lats, poolStats, lost, restarted := runFleetPhase(cl, w, cfg, kill)
 	res.FleetPerSec = float64(cfg.Requests) / elapsed.Seconds()
 	res.Scaling = res.FleetPerSec / res.BaselinePerSec
 	res.KilledBackend = kill
@@ -489,10 +501,9 @@ func RunFleet(cfg FleetConfig) (*FleetResult, error) {
 		res.P50 = lats[len(lats)/2]
 		res.P99 = lats[len(lats)*99/100]
 	}
-	res.Metrics = &MetricsSnapshot{
-		Experiment: "fleet",
-		Servers:    fleet.Stats(),
-		FleetPools: poolStats,
+	res.Metrics = &MetricsSnapshot{Experiment: "fleet", Components: cl.Snapshots()}
+	for _, ps := range poolStats {
+		res.Metrics.Components = append(res.Metrics.Components, ps.Snapshot())
 	}
 
 	if lost > 0 {
@@ -504,7 +515,7 @@ func RunFleet(cfg FleetConfig) (*FleetResult, error) {
 
 	// Phase 3 — shard-scoped cache invalidation via the canary
 	// enrolment.
-	shard, dependent, independent, err := checkShardScopedInvalidation(svc, sharded, w, canary, canaryPrints)
+	shard, dependent, independent, err := checkShardScopedInvalidation(svc, cl, w, canary, canaryPrints)
 	res.CanaryShard = shard
 	res.DependentProbes = dependent
 	res.IndependentProbes = independent

@@ -45,7 +45,7 @@ func TestRunFleetTinyConfig(t *testing.T) {
 		t.Errorf("invalidation check covered %d+%d distinct probes, want (0, %d]",
 			res.DependentProbes, res.IndependentProbes, res.EnrolledTypes)
 	}
-	if res.Metrics == nil || len(res.Metrics.Servers) != 2 || len(res.Metrics.FleetPools) != 2 {
+	if res.Metrics == nil || countKind(res.Metrics, "server") != 2 || countKind(res.Metrics, "fleet_pool") != 2 {
 		t.Fatalf("metrics snapshot incomplete: %+v", res.Metrics)
 	}
 

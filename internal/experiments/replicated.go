@@ -7,9 +7,9 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/controlplane"
 	"repro/internal/core"
 	"repro/internal/devices"
-	"repro/internal/fingerprint"
 	"repro/internal/iotssp"
 	"repro/internal/ml"
 	"repro/internal/vulndb"
@@ -196,14 +196,18 @@ type ReplicatedResult struct {
 //     returns).
 //   - Fan-out invalidation: a fresh verdict cache is warmed over the
 //     group-backed bank, the canary type is enrolled through the
-//     logical bank (least-loaded routing hands it to the group shard,
-//     the group fans it out to every member), and the reconciled
-//     version bump must invalidate exactly the dependent cache entries
-//     exactly once — counted by the Invalidations counter — with every
-//     member trained and version-aligned afterwards.
+//     cluster's control plane (least-loaded routing hands it to the
+//     group shard, the group fans it out to every member), and the
+//     reconciled version bump must invalidate exactly the dependent
+//     cache entries exactly once — counted by the Invalidations counter
+//     — with every member trained and version-aligned afterwards.
 //
-// The timed phases run with the verdict cache disabled so every request
-// crosses the bank (and the group), not the front cache.
+// Both serving stacks are assembled through controlplane.Cluster: the
+// reference as a Members-1 remote partition, the group as the same
+// partition with Members = Replicas (identical training history, so
+// bit-equal by construction). The timed phases run with the verdict
+// cache disabled so every request crosses the bank (and the group), not
+// the front cache.
 func RunReplicatedShards(cfg ReplicatedConfig) (*ReplicatedResult, error) {
 	cfg, err := cfg.withDefaults()
 	if err != nil {
@@ -213,42 +217,11 @@ func RunReplicatedShards(cfg ReplicatedConfig) (*ReplicatedResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	coreCfg := core.Config{
+	coreCfg := core.BankConfig{
 		Forest: ml.ForestConfig{Trees: cfg.Trees},
 		Seed:   cfg.Seed,
 	}
-
-	// The partition: TrainSharded deals the sorted type names round-robin
-	// across shards, so the replicated shard's training subset is exactly
-	// the names whose sorted index lands on it — training that subset
-	// alone reproduces the shard's bank bit-for-bit (TrainSharded trains
-	// each shard the same way), which is how the group's member replicas
-	// are minted without retraining whole partitions.
-	servedBank, err := core.TrainSharded(coreCfg, cfg.Shards, train)
-	if err != nil {
-		return nil, err
-	}
 	groupIdx := cfg.Types % cfg.Shards
-	names := make([]string, 0, len(train))
-	for name := range train {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	subset := make(map[string][]*fingerprint.Fingerprint)
-	for i, name := range names {
-		if i%cfg.Shards == groupIdx {
-			subset[name] = train[name]
-		}
-	}
-	memberBanks := make([]*core.Bank, cfg.Replicas)
-	for j := range memberBanks {
-		if memberBanks[j], err = core.Train(coreCfg, subset); err != nil {
-			return nil, err
-		}
-		if got, want := memberBanks[j].Types(), servedBank.ShardTypes(groupIdx); !reflect.DeepEqual(got, want) {
-			return nil, fmt.Errorf("member replica %d trained types %v, want the partition's %v", j, got, want)
-		}
-	}
 
 	res := &ReplicatedResult{
 		EnrolledTypes:   cfg.Types,
@@ -268,95 +241,57 @@ func RunReplicatedShards(cfg ReplicatedConfig) (*ReplicatedResult, error) {
 
 	// Phase 1 — single-replica reference: the remote partition behind
 	// one shard server and one deep-retry RemoteShard.
-	singleRep := iotssp.NewShardReplica(servedBank.Shard(groupIdx).(*core.Bank), scfg)
-	if err := singleRep.Start(); err != nil {
-		return nil, err
-	}
-	// Phase 1's stack is torn down explicitly before phase 2 starts; the
-	// defers (Close is idempotent) only cover the error returns between
-	// here and there.
-	defer singleRep.Close()
-	single := iotssp.NewRemoteShard(singleRep.Addr(), iotssp.RemoteShardConfig{
-		RetryBackoff: 2 * time.Millisecond,
-		MaxBackoff:   50 * time.Millisecond,
-		Seed:         cfg.Seed + 101,
-	})
-	defer single.Close()
-	singleShards := make([]core.Shard, cfg.Shards)
-	for s := range singleShards {
-		if s == groupIdx {
-			singleShards[s] = single
-		} else {
-			singleShards[s] = servedBank.Shard(s)
-		}
-	}
-	singleBank, err := core.NewShardedBankFrom(coreCfg, singleShards)
+	singleCl, err := controlplane.Assemble(controlplane.ClusterConfig{
+		Core:   coreCfg,
+		Server: scfg,
+		Shard: iotssp.RemoteShardConfig{
+			RetryBackoff: 2 * time.Millisecond,
+			MaxBackoff:   50 * time.Millisecond,
+			Seed:         cfg.Seed + 101,
+		},
+		CacheSize: -1,
+		DB:        vulndb.Seeded(),
+	}, mixedTopology(train, cfg.Shards, groupIdx, 1), train)
 	if err != nil {
 		return nil, err
 	}
-	singleSvc := iotssp.NewServiceCache(singleBank, vulndb.Seeded(), nil, 0)
-	singleFront := iotssp.NewReplica(singleSvc, scfg)
-	if err := singleFront.Start(); err != nil {
-		return nil, err
-	}
-	defer singleFront.Close()
-	refElapsed, _, refVerdicts, _, refLost := runWirePhase(singleFront.Addr(), w, cfg.phase(), nil)
-	singleFront.Close()
-	single.Close()
-	singleRep.Close()
+	refTypes := singleCl.Bank().Types()
+	refElapsed, _, refVerdicts, _, refLost := runWirePhase(singleCl.Addr(), w, cfg.phase(), nil)
+	singleCl.Close()
 	if refLost > 0 {
 		return nil, fmt.Errorf("single-replica phase lost %d verdicts with no failure injected", refLost)
 	}
 	res.SinglePerSec = float64(cfg.Requests) / refElapsed.Seconds()
 
 	// Phase 2 — the shard group, no kill: the latency profile the kill
-	// run is held against.
-	memberReps := make([]*iotssp.Replica, cfg.Replicas)
-	addrs := make([]string, cfg.Replicas)
-	for j := range memberReps {
-		memberReps[j] = iotssp.NewShardReplica(memberBanks[j], scfg)
-		if err := memberReps[j].Start(); err != nil {
-			return nil, err
-		}
-		defer memberReps[j].Close()
-		addrs[j] = memberReps[j].Addr()
-	}
-	// Group members fail over, they don't ride outages: one cheap local
-	// retry per member, then the next replica answers. The probe backoff
-	// is short so the revived member rejoins within the run.
-	group := iotssp.NewShardGroup(addrs, iotssp.ShardGroupConfig{
-		Shard: iotssp.RemoteShardConfig{
-			MaxRetries:   1,
-			RetryBackoff: 200 * time.Microsecond,
-			MaxBackoff:   time.Millisecond,
-			Seed:         cfg.Seed + 211,
+	// run is held against. Group members fail over, they don't ride
+	// outages: one cheap local retry per member, then the next replica
+	// answers. The probe backoff is short so a revived member rejoins
+	// within the run.
+	cl, err := controlplane.Assemble(controlplane.ClusterConfig{
+		Core:   coreCfg,
+		Server: scfg,
+		Group: iotssp.ShardGroupConfig{
+			Shard: iotssp.RemoteShardConfig{
+				MaxRetries:   1,
+				RetryBackoff: 200 * time.Microsecond,
+				MaxBackoff:   time.Millisecond,
+				Seed:         cfg.Seed + 211,
+			},
+			ProbeBackoff: 20 * time.Millisecond,
 		},
-		ProbeBackoff: 20 * time.Millisecond,
-	})
-	defer group.Close()
-	groupShards := make([]core.Shard, cfg.Shards)
-	for s := range groupShards {
-		if s == groupIdx {
-			groupShards[s] = group
-		} else {
-			groupShards[s] = servedBank.Shard(s)
-		}
-	}
-	groupBank, err := core.NewShardedBankFrom(coreCfg, groupShards)
+		CacheSize: -1,
+		DB:        vulndb.Seeded(),
+	}, mixedTopology(train, cfg.Shards, groupIdx, cfg.Replicas), train)
 	if err != nil {
 		return nil, err
 	}
-	if got, want := groupBank.Types(), singleBank.Types(); !reflect.DeepEqual(got, want) {
-		return nil, fmt.Errorf("group-backed bank reassembled order %v, want %v", got, want)
+	defer cl.Close()
+	if got := cl.Bank().Types(); !reflect.DeepEqual(got, refTypes) {
+		return nil, fmt.Errorf("group-backed bank reassembled order %v, want %v", got, refTypes)
 	}
-	groupSvc := iotssp.NewServiceCache(groupBank, vulndb.Seeded(), nil, 0)
-	groupFront := iotssp.NewReplica(groupSvc, scfg)
-	if err := groupFront.Start(); err != nil {
-		return nil, err
-	}
-	defer groupFront.Close()
 
-	noKillElapsed, noKillLats, noKillVerdicts, _, noKillLost := runWirePhase(groupFront.Addr(), w, cfg.phase(), nil)
+	noKillElapsed, noKillLats, noKillVerdicts, _, noKillLost := runWirePhase(cl.Addr(), w, cfg.phase(), nil)
 	if noKillLost > 0 {
 		return nil, fmt.Errorf("group no-kill phase lost %d verdicts with no failure injected", noKillLost)
 	}
@@ -372,18 +307,19 @@ func RunReplicatedShards(cfg ReplicatedConfig) (*ReplicatedResult, error) {
 	}
 
 	// Phase 3 — the shard group with a mid-run member restart.
-	var drill func()
+	var drills []wireDrill
 	if !cfg.NoKill {
-		drill = func() {
+		member := cl.Member(groupIdx, 0)
+		drills = cfg.phase().third(func() {
 			res.MemberKilled = true
-			memberReps[0].Stop()
+			member.Stop()
 			time.Sleep(100 * time.Millisecond)
-			if err := memberReps[0].Start(); err == nil {
+			if err := member.Start(); err == nil {
 				res.Restarted = true
 			}
-		}
+		})
 	}
-	killElapsed, killLats, killVerdicts, poolStats, killLost := runWirePhase(groupFront.Addr(), w, cfg.phase(), drill)
+	killElapsed, killLats, killVerdicts, poolStats, killLost := runWirePhase(cl.Addr(), w, cfg.phase(), drills)
 	res.KillPerSec = float64(cfg.Requests) / killElapsed.Seconds()
 	res.KillP50, res.KillP99 = latPercentiles(killLats)
 	res.Lost = killLost
@@ -395,21 +331,15 @@ func RunReplicatedShards(cfg ReplicatedConfig) (*ReplicatedResult, error) {
 	if res.NoKillP99 > 0 {
 		res.P99Ratio = float64(res.KillP99) / float64(res.NoKillP99)
 	}
-	gst := group.Stats()
+	gst := cl.Group(groupIdx).Counters()
 	res.Failovers = gst.Failovers
 	for _, m := range gst.Members {
 		res.Ejections += m.Ejections
 		res.Readmissions += m.Readmissions
 	}
-	servers := []iotssp.ServerStats{groupFront.Stats()}
-	for _, rep := range memberReps {
-		servers = append(servers, rep.Stats())
-	}
-	res.Metrics = &MetricsSnapshot{
-		Experiment:   "replicated",
-		Servers:      servers,
-		GatewayPools: poolStats,
-		ShardGroups:  []iotssp.ShardGroupStats{gst},
+	res.Metrics = &MetricsSnapshot{Experiment: "replicated", Components: cl.Snapshots()}
+	for _, ps := range poolStats {
+		res.Metrics.Components = append(res.Metrics.Components, ps.Snapshot())
 	}
 
 	if killLost > 0 {
@@ -433,8 +363,8 @@ func RunReplicatedShards(cfg ReplicatedConfig) (*ReplicatedResult, error) {
 
 	// Phase 4 — fan-out enrolment drives shard-scoped invalidation
 	// exactly once.
-	invSvc := iotssp.NewServiceCache(groupBank, vulndb.Seeded(), nil, cfg.CacheSize)
-	shard, dependent, independent, err := checkShardScopedInvalidation(invSvc, groupBank, w, canary, canaryPrints)
+	invSvc := cl.AuxService(cfg.CacheSize)
+	shard, dependent, independent, err := checkShardScopedInvalidation(invSvc, cl, w, canary, canaryPrints)
 	res.CanaryShard = shard
 	res.DependentProbes = dependent
 	res.IndependentProbes = independent
@@ -446,8 +376,9 @@ func RunReplicatedShards(cfg ReplicatedConfig) (*ReplicatedResult, error) {
 	}
 	// Every member must have trained the canary and agree on the
 	// reconciled version the cache invalidated against.
-	wantVersion := groupBank.Versions()[groupIdx]
-	for j, bank := range memberBanks {
+	wantVersion := cl.Bank().Versions()[groupIdx]
+	for j := 0; j < cfg.Replicas; j++ {
+		bank := cl.MemberBank(groupIdx, j)
 		if got := bank.Version(); got != wantVersion {
 			return res, fmt.Errorf("member %d version %d diverged from the reconciled group version %d after the fan-out enrolment", j, got, wantVersion)
 		}

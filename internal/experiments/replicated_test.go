@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"repro/internal/iotssp"
+
 	"runtime"
 	"strings"
 	"testing"
@@ -60,10 +62,11 @@ func TestRunReplicatedShardsTinyConfig(t *testing.T) {
 	if res.SinglePerSec <= 0 || res.GroupPerSec <= 0 || res.KillPerSec <= 0 {
 		t.Fatalf("degenerate rates: %+v", res)
 	}
-	if res.Metrics == nil || len(res.Metrics.ShardGroups) != 1 || len(res.Metrics.ShardGroups[0].Members) != 2 {
+	groups := unmarshalKind[iotssp.ShardGroupStats](t, res.Metrics, "shard_group")
+	if res.Metrics == nil || len(groups) != 1 || len(groups[0].Members) != 2 {
 		t.Fatalf("metrics snapshot incomplete: %+v", res.Metrics)
 	}
-	for i, m := range res.Metrics.ShardGroups[0].Members {
+	for i, m := range groups[0].Members {
 		if m.Requests == 0 {
 			t.Errorf("group member %d saw no traffic: %+v", i, m)
 		}

@@ -3,13 +3,13 @@ package experiments
 import (
 	"context"
 	"fmt"
-	"net"
 	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/controlplane"
 	"repro/internal/core"
 	"repro/internal/devices"
 	"repro/internal/fingerprint"
@@ -123,10 +123,10 @@ type ServiceResult struct {
 	CacheHitRate float64
 	// P50 and P99 are service-mode request latencies.
 	P50, P99 time.Duration
-	// Stats snapshots the service-mode server after the run.
+	// Stats snapshots the service-mode frontend after the run.
 	Stats iotssp.ServerStats
-	// Metrics is the run's single JSON stats snapshot (server counters,
-	// verdict cache, per-gateway client pools).
+	// Metrics is the run's single JSON stats snapshot (every managed
+	// component plus the gateway client pools, uniformly tagged).
 	Metrics *MetricsSnapshot
 }
 
@@ -138,8 +138,8 @@ type serviceWorkload struct {
 	macs   []string
 }
 
-// buildServiceBank trains the bank and samples the fleet workload.
-func buildServiceBank(cfg ServiceConfig) (*core.Bank, *serviceWorkload, error) {
+// buildServiceWorkload samples the training set and the fleet replay.
+func buildServiceWorkload(cfg ServiceConfig) (map[string][]*fingerprint.Fingerprint, *serviceWorkload, error) {
 	env := devices.DefaultEnv()
 	ds, err := devices.GenerateDataset(env, cfg.Seed, cfg.Runs+cfg.ProbeModels)
 	if err != nil {
@@ -153,13 +153,6 @@ func buildServiceBank(cfg ServiceConfig) (*core.Bank, *serviceWorkload, error) {
 		train[name] = prints[:cfg.Runs]
 		probes = append(probes, prints[cfg.Runs:]...)
 	}
-	bank, err := core.Train(core.Config{
-		Forest: ml.ForestConfig{Trees: cfg.Trees},
-		Seed:   cfg.Seed,
-	}, train)
-	if err != nil {
-		return nil, nil, err
-	}
 
 	w := &serviceWorkload{probes: probes}
 	w.model = make([]int, cfg.Requests)
@@ -172,7 +165,7 @@ func buildServiceBank(cfg ServiceConfig) (*core.Bank, *serviceWorkload, error) {
 		w.model[i] = int(state>>33) % len(probes)
 		w.macs[i] = fmt.Sprintf("02:f1:%02x:%02x:%02x:%02x", (i>>24)&0xff, (i>>16)&0xff, (i>>8)&0xff, i&0xff)
 	}
-	return bank, w, nil
+	return train, w, nil
 }
 
 // runServicePhase replays the workload against a served address and
@@ -233,7 +226,7 @@ func runServicePhase(addr string, w *serviceWorkload, gateways, conns, inFlight 
 	}
 	poolStats := make([]gateway.PoolStats, len(pools))
 	for g, p := range pools {
-		poolStats[g] = p.Stats()
+		poolStats[g] = p.Counters()
 	}
 	return elapsed, all, poolStats, nil
 }
@@ -272,18 +265,21 @@ func runBaselinePhase(addr string, w *serviceWorkload, gateways int) (time.Durat
 	return elapsed, nil
 }
 
-// serveOnLoopback starts srv on an ephemeral loopback listener.
-func serveOnLoopback(srv *iotssp.Server) (string, error) {
-	lis, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		return "", err
+// serviceTopology is the load experiment's trivial topology: one local
+// partition owning every type, served by one frontend.
+func serviceTopology(train map[string][]*fingerprint.Fingerprint) controlplane.Topology {
+	names := make([]string, 0, len(train))
+	for name := range train {
+		names = append(names, name)
 	}
-	go srv.Serve(lis)
-	return lis.Addr().String(), nil
+	return controlplane.Topology{Partitions: []controlplane.PartitionSpec{
+		{Types: controlplane.RoundRobin(names, 1)[0], Local: true},
+	}}
 }
 
 // RunService measures the multi-gateway IoT Security Service under a
-// fleet replay: the same trained bank served two ways over TCP.
+// fleet replay: the same training corpus served two ways over TCP,
+// each assembled as a one-partition controlplane.Cluster.
 //
 // The per-request baseline disables batching and caching — every
 // request pays a full bank identification, one fingerprint at a time,
@@ -295,10 +291,12 @@ func serveOnLoopback(srv *iotssp.Server) (string, error) {
 // and service-mode latency percentiles.
 func RunService(cfg ServiceConfig) (*ServiceResult, error) {
 	cfg = cfg.withDefaults()
-	bank, w, err := buildServiceBank(cfg)
+	train, w, err := buildServiceWorkload(cfg)
 	if err != nil {
 		return nil, err
 	}
+	topo := serviceTopology(train)
+	coreCfg := core.BankConfig{Forest: ml.ForestConfig{Trees: cfg.Trees}, Seed: cfg.Seed}
 
 	res := &ServiceResult{
 		EnrolledTypes: cfg.Types,
@@ -307,32 +305,41 @@ func RunService(cfg ServiceConfig) (*ServiceResult, error) {
 		BatchSize:     cfg.BatchSize,
 	}
 
-	// Per-request baseline: no cache, no batching.
-	baseSvc := iotssp.NewServiceCache(bank, vulndb.Seeded(), nil, 0)
-	baseSrv := iotssp.NewServerConfig(baseSvc, iotssp.ServerConfig{BatchSize: 1})
-	baseAddr, err := serveOnLoopback(baseSrv)
+	// Per-request baseline: no cache, no batching. Training is a pure
+	// function of (config, corpus), so the baseline cluster's bank is
+	// bit-identical to the service cluster's.
+	baseCl, err := controlplane.Assemble(controlplane.ClusterConfig{
+		Core:      coreCfg,
+		Server:    iotssp.ServerConfig{BatchSize: 1},
+		CacheSize: -1,
+		DB:        vulndb.Seeded(),
+	}, topo, train)
 	if err != nil {
 		return nil, err
 	}
-	baseElapsed, err := runBaselinePhase(baseAddr, w, cfg.Gateways)
-	baseSrv.Close()
+	baseElapsed, err := runBaselinePhase(baseCl.Addr(), w, cfg.Gateways)
+	baseCl.Close()
 	if err != nil {
 		return nil, err
 	}
 	res.BaselinePerSec = float64(cfg.Requests) / baseElapsed.Seconds()
 
 	// Load-ready service: micro-batching + verdict cache.
-	svc := iotssp.NewServiceCache(bank, vulndb.Seeded(), nil, cfg.CacheSize)
-	srv := iotssp.NewServerConfig(svc, iotssp.ServerConfig{
-		BatchSize:     cfg.BatchSize,
-		FlushInterval: cfg.FlushInterval,
-		Workers:       cfg.Workers,
-	})
-	defer srv.Close()
-	addr, err := serveOnLoopback(srv)
+	cl, err := controlplane.Assemble(controlplane.ClusterConfig{
+		Core: coreCfg,
+		Server: iotssp.ServerConfig{
+			BatchSize:     cfg.BatchSize,
+			FlushInterval: cfg.FlushInterval,
+			Workers:       cfg.Workers,
+		},
+		CacheSize: cfg.CacheSize,
+		DB:        vulndb.Seeded(),
+	}, topo, train)
 	if err != nil {
 		return nil, err
 	}
+	defer cl.Close()
+	addr := cl.Addr()
 
 	// Warm the verdict cache: one pass over the distinct probe models.
 	warm := gateway.NewPool(addr, gateway.PoolConfig{Conns: cfg.ConnsPerGateway, Seed: cfg.Seed})
@@ -343,7 +350,7 @@ func RunService(cfg ServiceConfig) (*ServiceResult, error) {
 		}
 	}
 	warm.Close()
-	warmStats := srv.Stats()
+	warmStats := cl.Frontend(0).Counters()
 
 	elapsed, lats, poolStats, err := runServicePhase(addr, w, cfg.Gateways, cfg.ConnsPerGateway, cfg.InFlight, cfg.Seed)
 	if err != nil {
@@ -352,11 +359,10 @@ func RunService(cfg ServiceConfig) (*ServiceResult, error) {
 	res.ServicePerSec = float64(cfg.Requests) / elapsed.Seconds()
 	res.Speedup = res.ServicePerSec / res.BaselinePerSec
 
-	res.Stats = srv.Stats()
-	res.Metrics = &MetricsSnapshot{
-		Experiment:   "service",
-		Servers:      []iotssp.ServerStats{res.Stats},
-		GatewayPools: poolStats,
+	res.Stats = cl.Frontend(0).Counters()
+	res.Metrics = &MetricsSnapshot{Experiment: "service", Components: cl.Snapshots()}
+	for _, ps := range poolStats {
+		res.Metrics.Components = append(res.Metrics.Components, ps.Snapshot())
 	}
 	c := res.Stats.Cache
 	warmed := warmStats.Cache

@@ -3,34 +3,24 @@ package experiments
 import (
 	"encoding/json"
 
-	"repro/internal/gateway"
-	"repro/internal/iotssp"
+	"repro/internal/stats"
 )
 
 // MetricsSnapshot is the single JSON stats blob a serving experiment
-// reports: every backend's server counters (dispatcher, admission,
-// verdict-cache hit/shared/miss/eviction/invalidation), and every
-// gateway-side client pool with its per-backend health. One coherent
-// snapshot instead of counters scattered through the prose output, so
-// runs can be diffed and scraped.
+// reports: every managed component's counters — servers, caches,
+// gateway pools, remote shards, shard groups — as uniformly tagged
+// snapshots in assembly order. Experiments append whatever Components
+// they ran (via controlplane.Cluster.Snapshots and each client pool's
+// Snapshot) instead of hand-assembling per-kind slices, so a new
+// component kind needs no new field here. One coherent snapshot instead
+// of counters scattered through the prose output, so runs can be diffed
+// and scraped.
 type MetricsSnapshot struct {
 	// Experiment names the producing experiment ("service", "fleet").
 	Experiment string `json:"experiment"`
-	// Servers holds one entry per service backend, in backend order.
-	Servers []iotssp.ServerStats `json:"servers"`
-	// FleetPools holds one entry per fleet-routing gateway client
-	// (multi-backend experiments).
-	FleetPools []gateway.FleetPoolStats `json:"fleet_pools,omitempty"`
-	// GatewayPools holds one entry per single-backend gateway client
-	// pool.
-	GatewayPools []gateway.PoolStats `json:"gateway_pools,omitempty"`
-	// RemoteShards holds one entry per remote-shard client of a
-	// distributed classifier bank (distributed experiment).
-	RemoteShards []iotssp.RemoteShardStats `json:"remote_shards,omitempty"`
-	// ShardGroups holds one entry per replicated shard group of a
-	// distributed classifier bank (replicated experiment), including
-	// per-member health and transport counters.
-	ShardGroups []iotssp.ShardGroupStats `json:"shard_groups,omitempty"`
+	// Components holds one tagged counter snapshot per managed
+	// component, in assembly order.
+	Components []stats.Snapshot `json:"components"`
 }
 
 // JSON renders the snapshot as a single indented JSON object.

@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// unmarshalKind decodes every component snapshot of the given kind into
+// T, in component order.
+func unmarshalKind[T any](t *testing.T, m *MetricsSnapshot, kind string) []T {
+	t.Helper()
+	var out []T
+	for _, s := range m.Components {
+		if s.Kind != kind {
+			continue
+		}
+		var v T
+		if err := json.Unmarshal(s.Data, &v); err != nil {
+			t.Fatalf("unmarshalling %q component: %v", kind, err)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// countKind counts the component snapshots carrying the given kind tag.
+func countKind(m *MetricsSnapshot, kind string) int {
+	n := 0
+	for _, s := range m.Components {
+		if s.Kind == kind {
+			n++
+		}
+	}
+	return n
+}
+
+// TestMetricsSnapshotJSON: the uniform snapshot marshals each component
+// under its kind tag and round-trips through unmarshalKind.
+func TestMetricsSnapshotJSON(t *testing.T) {
+	type fake struct {
+		Requests uint64 `json:"requests"`
+	}
+	m := &MetricsSnapshot{
+		Experiment: "probe",
+		Components: []stats.Snapshot{
+			stats.New("server", fake{Requests: 7}),
+			stats.New("gateway_pool", fake{Requests: 3}),
+		},
+	}
+	out := m.JSON()
+	for _, want := range []string{`"experiment": "probe"`, `"kind": "server"`, `"kind": "gateway_pool"`, `"requests": 7`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("snapshot JSON missing %q:\n%s", want, out)
+		}
+	}
+	if got := unmarshalKind[fake](t, m, "server"); len(got) != 1 || got[0].Requests != 7 {
+		t.Errorf("unmarshalKind(server) = %+v, want one entry with 7 requests", got)
+	}
+	if got := countKind(m, "gateway_pool"); got != 1 {
+		t.Errorf("countKind(gateway_pool) = %d, want 1", got)
+	}
+}

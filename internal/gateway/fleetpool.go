@@ -2,6 +2,7 @@ package gateway
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"sort"
 	"sync/atomic"
@@ -10,6 +11,7 @@ import (
 	"repro/internal/backoff"
 	"repro/internal/fingerprint"
 	"repro/internal/iotssp"
+	"repro/internal/stats"
 )
 
 // FleetPoolConfig tunes a FleetPool. The zero value selects sensible
@@ -76,6 +78,11 @@ type FleetPoolStats struct {
 	Failures  uint64 `json:"failures"`
 	// Backends holds per-backend health and traffic.
 	Backends []BackendStats `json:"backends"`
+}
+
+// Snapshot converts the counters into the uniform stats currency.
+func (s FleetPoolStats) Snapshot() stats.Snapshot {
+	return stats.New("fleet_pool", s)
 }
 
 // fleetBackend is one replica endpoint: its connection pool plus its
@@ -158,8 +165,9 @@ func NewFleetPool(addrs []string, cfg FleetPoolConfig) *FleetPool {
 	return f
 }
 
-// Stats snapshots the fleet counters and per-backend health.
-func (f *FleetPool) Stats() FleetPoolStats {
+// Counters snapshots the fleet's typed counters and per-backend
+// health.
+func (f *FleetPool) Counters() FleetPoolStats {
 	st := FleetPoolStats{
 		Requests:  f.requests.Load(),
 		Failovers: f.failovers.Load(),
@@ -172,10 +180,27 @@ func (f *FleetPool) Stats() FleetPoolStats {
 			BreakerState: b.breaker.State(),
 			Requests:     b.requests.Load(),
 			Failures:     b.failures.Load(),
-			Pool:         b.pool.Stats(),
+			Pool:         b.pool.Counters(),
 		}
 	}
 	return st
+}
+
+// Stats implements the control plane's Component contract: the typed
+// counters marshalled as raw JSON.
+func (f *FleetPool) Stats() json.RawMessage {
+	return f.Counters().Snapshot().Data
+}
+
+// Healthy implements the Component contract: the fleet is healthy while
+// at least one backend is admitted for routing.
+func (f *FleetPool) Healthy() bool {
+	for _, b := range f.backends {
+		if b.breaker.State().Healthy {
+			return true
+		}
+	}
+	return false
 }
 
 // order returns the distinct backends to try for a MAC: the home

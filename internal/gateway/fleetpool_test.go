@@ -149,7 +149,7 @@ func TestFleetPoolServesAcrossReplicas(t *testing.T) {
 		}
 		served[pool.home(mac)]++
 	}
-	st := pool.Stats()
+	st := pool.Counters()
 	if st.Failovers != 0 || st.Failures != 0 {
 		t.Errorf("healthy fleet saw failovers/failures: %+v", st)
 	}
@@ -204,7 +204,7 @@ func TestFleetPoolFailoverOnBackendKill(t *testing.T) {
 			t.Fatalf("%s: %+v", mac, resp)
 		}
 	}
-	st := pool.Stats()
+	st := pool.Counters()
 	if st.Failovers == 0 {
 		t.Error("no failovers recorded after backend kill")
 	}
@@ -229,15 +229,15 @@ func TestFleetPoolFailoverOnBackendKill(t *testing.T) {
 				t.Fatalf("verdict lost during re-admission: %v", err)
 			}
 		}
-		if pool.Stats().Backends[1].Healthy {
+		if pool.Counters().Backends[1].Healthy {
 			break
 		}
 		if time.Now().After(deadline) {
-			t.Fatalf("revived backend never re-admitted: %+v", pool.Stats().Backends[1])
+			t.Fatalf("revived backend never re-admitted: %+v", pool.Counters().Backends[1])
 		}
 		time.Sleep(5 * time.Millisecond)
 	}
-	if st := pool.Stats(); st.Backends[1].Readmissions == 0 {
+	if st := pool.Counters(); st.Backends[1].Readmissions == 0 {
 		t.Errorf("re-admission not recorded: %+v", st.Backends[1])
 	}
 }
@@ -258,7 +258,7 @@ func TestFleetPoolFullOutageRecovers(t *testing.T) {
 	if _, err := pool.Identify(context.Background(), mac, probe.fp); err == nil {
 		t.Fatal("identify succeeded against a dead fleet")
 	}
-	if st := pool.Stats(); st.Backends[0].Healthy {
+	if st := pool.Counters(); st.Backends[0].Healthy {
 		t.Fatalf("backend not ejected: %+v", st.Backends[0])
 	}
 	if err := fleet.Replica(0).Start(); err != nil {

@@ -83,6 +83,13 @@ func (l LocalService) IdentifyBatch(_ context.Context, macs []string, fps []*fin
 	return resps, errs
 }
 
+// GatewayConfig is the intention-revealing name for this package's
+// Config: three packages (core, gateway, dataplane) each export a
+// Config, and call sites that assemble a whole deployment read better
+// when each one names its layer. New code should prefer GatewayConfig;
+// Config remains as the canonical declaration.
+type GatewayConfig = Config
+
 // Config configures a Security Gateway.
 type Config struct {
 	// MAC and IP identify the gateway itself on the local segment.

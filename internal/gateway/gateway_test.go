@@ -50,7 +50,7 @@ func trainedService(t *testing.T, names ...string) *iotssp.Service {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return iotssp.NewService(bank, vulndb.Seeded(), endpoints)
+	return iotssp.NewService(bank, iotssp.ServiceConfig{DB: vulndb.Seeded(), Endpoints: endpoints})
 }
 
 func gatewayConfig(filtering bool) Config {

@@ -13,6 +13,7 @@ import (
 	"repro/internal/fingerprint"
 	"repro/internal/iotssp"
 	"repro/internal/lineconn"
+	"repro/internal/stats"
 )
 
 // PoolConfig tunes a Pool. The zero value selects sensible defaults.
@@ -70,6 +71,11 @@ type PoolStats struct {
 	Transport lineconn.Stats `json:"transport"`
 }
 
+// Snapshot converts the counters into the uniform stats currency.
+func (s PoolStats) Snapshot() stats.Snapshot {
+	return stats.New("gateway_pool", s)
+}
+
 // Pool is a pooled TCP client for the IoT Security Service: N
 // persistent connections with pipelined request multiplexing over
 // internal/lineconn. Each device MAC maps to a fixed connection
@@ -86,6 +92,9 @@ type Pool struct {
 	transport *lineconn.Counters
 
 	requests, retries, failures atomic.Uint64
+	// unhealthy latches after an Identify exhausts its retries and
+	// clears on the next success (Healthy's signal).
+	unhealthy atomic.Bool
 }
 
 // NewPool creates a pool for the service at addr (host:port). No
@@ -106,14 +115,26 @@ func NewPool(addr string, cfg PoolConfig) *Pool {
 	return p
 }
 
-// Stats snapshots the pool counters.
-func (p *Pool) Stats() PoolStats {
+// Counters snapshots the pool's typed counters.
+func (p *Pool) Counters() PoolStats {
 	return PoolStats{
 		Requests:  p.requests.Load(),
 		Retries:   p.retries.Load(),
 		Failures:  p.failures.Load(),
 		Transport: p.transport.Snapshot(),
 	}
+}
+
+// Stats implements the control plane's Component contract: the typed
+// counters marshalled as raw JSON.
+func (p *Pool) Stats() json.RawMessage {
+	return p.Counters().Snapshot().Data
+}
+
+// Healthy implements the Component contract: the pool is healthy until
+// an Identify exhausts its retries, and recovers on the next success.
+func (p *Pool) Healthy() bool {
+	return !p.unhealthy.Load()
 }
 
 // pick maps a MAC to its home connection.
@@ -166,11 +187,15 @@ func (p *Pool) identify(ctx context.Context, mac string, fp *fingerprint.Fingerp
 				continue
 			}
 			p.failures.Add(1)
+			// The service answered; the request itself was rejected.
+			p.unhealthy.Store(false)
 			return resp, fmt.Errorf("gateway: service error: %s", resp.Error)
 		}
+		p.unhealthy.Store(false)
 		return resp, nil
 	}
 	p.failures.Add(1)
+	p.unhealthy.Store(true)
 	return iotssp.Response{}, fmt.Errorf("gateway: identify %s: %w", mac, lastErr)
 }
 

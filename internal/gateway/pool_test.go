@@ -20,7 +20,7 @@ import (
 // startTestServer serves an in-process IoTSSP over TCP for pool tests.
 func startTestServer(t *testing.T, svc *iotssp.Service) string {
 	t.Helper()
-	srv := iotssp.NewServer(svc)
+	srv := iotssp.NewServer(svc, iotssp.ServerConfig{})
 	lis, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -66,7 +66,7 @@ func TestPoolConcurrentIdentifications(t *testing.T) {
 	}
 	wg.Wait()
 
-	st := pool.Stats()
+	st := pool.Counters()
 	if st.Requests != 4*perType {
 		t.Errorf("requests = %d", st.Requests)
 	}
@@ -177,7 +177,7 @@ func TestPoolRetriesBackpressure(t *testing.T) {
 	if resp.DeviceType != "Aria" {
 		t.Errorf("resp = %+v", resp)
 	}
-	if st := pool.Stats(); st.Retries == 0 {
+	if st := pool.Counters(); st.Retries == 0 {
 		t.Errorf("no retry recorded: %+v", st)
 	}
 }
@@ -196,7 +196,7 @@ func TestPoolReconnectsAfterConnDrop(t *testing.T) {
 			t.Fatalf("Identify %d: %v", i, err)
 		}
 	}
-	if st := pool.Stats(); st.Transport.Dials < 2 {
+	if st := pool.Counters(); st.Transport.Dials < 2 {
 		t.Errorf("pool never redialed: %+v", st)
 	}
 }
@@ -341,7 +341,7 @@ func TestPoolIdentifyBatchSingleBurst(t *testing.T) {
 			t.Errorf("entry %d: identified as %q, want %q", i, resps[i].DeviceType, names[i/4])
 		}
 	}
-	st := pool.Stats()
+	st := pool.Counters()
 	if st.Transport.Bursts == 0 || st.Transport.Bursts > 2 {
 		t.Errorf("bursts = %d, want 1..2 (one per touched connection)", st.Transport.Bursts)
 	}
@@ -403,7 +403,7 @@ func TestPoolIdentifyBatchFallsBackOnBackpressure(t *testing.T) {
 			t.Errorf("entry %d: %+v", i, resps[i])
 		}
 	}
-	if st := pool.Stats(); st.Retries == 0 {
+	if st := pool.Counters(); st.Retries == 0 {
 		t.Errorf("backpressured entry retried nowhere: %+v", st)
 	} else if st.Requests != uint64(len(macs)) {
 		t.Errorf("requests = %d, want %d (fallback retries must not double-count)", st.Requests, len(macs))

@@ -4,6 +4,8 @@ import (
 	"container/list"
 	"sort"
 	"sync"
+
+	"repro/internal/stats"
 )
 
 // CacheStats is a snapshot of the verdict cache counters.
@@ -35,6 +37,11 @@ func (s CacheStats) HitRate() float64 {
 		return 0
 	}
 	return float64(s.Hits+s.Shared) / float64(total)
+}
+
+// Snapshot converts the counters into the uniform stats currency.
+func (s CacheStats) Snapshot() stats.Snapshot {
+	return stats.New("cache", s)
 }
 
 // shardDep is one (shard, version) pair a cached verdict depends on.

@@ -315,7 +315,7 @@ func TestServiceShardScopedEnrollKeepsOtherShardVerdicts(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	svc := NewService(bank, vulndb.Seeded(), nil)
+	svc := NewService(bank, ServiceConfig{DB: vulndb.Seeded()})
 
 	// Warm the cache and record which shard each probe's verdict
 	// depends on (single-accept verdicts depend on one shard).

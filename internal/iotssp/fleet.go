@@ -1,6 +1,7 @@
 package iotssp
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"net"
@@ -44,7 +45,7 @@ type Replica struct {
 // NewReplica wraps a service as a restartable backend. Call Start to
 // begin serving.
 func NewReplica(svc *Service, cfg ServerConfig) *Replica {
-	return &Replica{mk: func() *Server { return NewServerConfig(svc, cfg) }}
+	return &Replica{mk: func() *Server { return NewServer(svc, cfg) }}
 }
 
 // NewShardReplica wraps one in-process classifier-bank shard as a
@@ -132,17 +133,17 @@ func (r *Replica) Stop() error {
 	if srv == nil {
 		return nil
 	}
-	stats := srv.Stats()
+	counters := srv.Counters()
 	err := srv.Close()
 	r.mu.Lock()
-	r.base = r.base.add(stats)
+	r.base = r.base.add(counters)
 	r.mu.Unlock()
 	return err
 }
 
-// Stats returns the replica's cumulative serving counters across all
+// Counters returns the replica's cumulative serving counters across all
 // incarnations.
-func (r *Replica) Stats() ServerStats {
+func (r *Replica) Counters() ServerStats {
 	r.mu.Lock()
 	base := r.base
 	srv := r.srv
@@ -150,7 +151,19 @@ func (r *Replica) Stats() ServerStats {
 	if srv == nil {
 		return base
 	}
-	return base.add(srv.Stats())
+	return base.add(srv.Counters())
+}
+
+// Stats implements the control plane's Component contract: the
+// cumulative counters marshalled as raw JSON.
+func (r *Replica) Stats() json.RawMessage {
+	return r.Counters().Snapshot().Data
+}
+
+// Healthy implements the Component contract: a replica is healthy while
+// it is serving.
+func (r *Replica) Healthy() bool {
+	return r.Running()
 }
 
 // Close stops the replica permanently and releases its listener.
@@ -220,12 +233,12 @@ func (f *Fleet) Addrs() []string {
 	return out
 }
 
-// Stats snapshots every replica's cumulative counters in replica
+// Counters snapshots every replica's cumulative counters in replica
 // order.
-func (f *Fleet) Stats() []ServerStats {
+func (f *Fleet) Counters() []ServerStats {
 	out := make([]ServerStats, len(f.replicas))
 	for i, r := range f.replicas {
-		out[i] = r.Stats()
+		out[i] = r.Counters()
 	}
 	return out
 }

@@ -58,7 +58,7 @@ func TestReplicaStopStartKeepsAddress(t *testing.T) {
 	}
 
 	// Stats accumulate across incarnations.
-	if st := r.Stats(); st.Requests < 2 {
+	if st := r.Counters(); st.Requests < 2 {
 		t.Errorf("cumulative stats lost across restart: %+v", st)
 	}
 }
@@ -102,7 +102,7 @@ func TestFleetSharedServiceServesAllReplicas(t *testing.T) {
 	if st.Misses != 1 || st.Hits != 2 {
 		t.Errorf("shared-cache counters across replicas: %+v", st)
 	}
-	stats := fleet.Stats()
+	stats := fleet.Counters()
 	var reqs uint64
 	for _, s := range stats {
 		reqs += s.Requests

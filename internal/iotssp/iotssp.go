@@ -168,6 +168,10 @@ const (
 	OpDiscriminate = "discriminate"
 	// OpEnroll trains a new device-type classifier on the shard.
 	OpEnroll = "enroll"
+	// OpRemove retires a device-type from the shard (tombstone drain:
+	// the classifier is dropped, the prints stay for racing
+	// discriminations, the version bumps once).
+	OpRemove = "remove"
 )
 
 // Request is one identification request from a Security Gateway.
@@ -270,22 +274,33 @@ type Service struct {
 	cache *verdictCache
 }
 
-// NewService assembles a service from a trained bank, a vulnerability
-// repository and the per-type permitted endpoints, with the default
-// verdict cache.
-func NewService(bank Bank, db *vulndb.DB, endpoints map[string][]string) *Service {
-	return NewServiceCache(bank, db, endpoints, DefaultCacheSize)
+// ServiceConfig configures a Service. The zero value selects the
+// defaults: no vulnerability repository, no per-type endpoints, and the
+// default verdict cache.
+type ServiceConfig struct {
+	// DB is the vulnerability repository consulted per verdict; nil
+	// serves without one.
+	DB *vulndb.DB
+	// Endpoints maps device-type to the permitted cloud endpoints used
+	// for the Restricted level.
+	Endpoints map[string][]string
+	// CacheSize is the verdict cache capacity. 0 selects
+	// DefaultCacheSize; a negative value disables caching (every request
+	// computes a verdict) — the per-request baseline the load
+	// experiments compare against.
+	CacheSize int
 }
 
-// NewServiceCache is NewService with an explicit verdict cache capacity.
-// cacheSize <= 0 disables caching (every request computes a verdict) —
-// the per-request baseline the load experiments compare against.
-func NewServiceCache(bank Bank, db *vulndb.DB, endpoints map[string][]string, cacheSize int) *Service {
-	eps := make(map[string][]string, len(endpoints))
-	for t, list := range endpoints {
+// NewService assembles a service over a trained bank.
+func NewService(bank Bank, cfg ServiceConfig) *Service {
+	if cfg.CacheSize == 0 {
+		cfg.CacheSize = DefaultCacheSize
+	}
+	eps := make(map[string][]string, len(cfg.Endpoints))
+	for t, list := range cfg.Endpoints {
 		eps[t] = append([]string(nil), list...)
 	}
-	return &Service{bank: bank, db: db, endpoints: eps, cache: newVerdictCache(cacheSize)}
+	return &Service{bank: bank, db: cfg.DB, endpoints: eps, cache: newVerdictCache(cfg.CacheSize)}
 }
 
 // Bank returns the identification backend the service serves from.

@@ -50,7 +50,7 @@ func testService(t *testing.T) (*Service, devices.Dataset) {
 		"EdimaxCam":     {devices.CloudIP("relay.edimax.example.com").String()},
 		"SmarterCoffee": {},
 	}
-	return NewService(bank, vulndb.Seeded(), endpoints), ds
+	return NewService(bank, ServiceConfig{DB: vulndb.Seeded(), Endpoints: endpoints}), ds
 }
 
 func TestHandleIdentifiesAndAssignsLevels(t *testing.T) {
@@ -148,7 +148,7 @@ func TestParseLevel(t *testing.T) {
 
 func TestServerClientOverTCP(t *testing.T) {
 	svc, ds := testService(t)
-	srv := NewServer(svc)
+	srv := NewServer(svc, ServerConfig{})
 	lis, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -180,7 +180,7 @@ func TestServerClientOverTCP(t *testing.T) {
 
 func TestServerConcurrentClients(t *testing.T) {
 	svc, ds := testService(t)
-	srv := NewServer(svc)
+	srv := NewServer(svc, ServerConfig{})
 	lis, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -218,7 +218,7 @@ func TestServerConcurrentClients(t *testing.T) {
 
 func TestClientReconnects(t *testing.T) {
 	svc, ds := testService(t)
-	srv := NewServer(svc)
+	srv := NewServer(svc, ServerConfig{})
 	lis, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -241,7 +241,7 @@ func TestClientReconnects(t *testing.T) {
 	if err != nil {
 		t.Skipf("cannot rebind %s: %v", lis.Addr(), err)
 	}
-	srv2 := NewServer(svc)
+	srv2 := NewServer(svc, ServerConfig{})
 	go srv2.Serve(lis2)
 	defer srv2.Close()
 	if _, err := client.Identify(context.Background(), "02:00:00:00:00:01", ds["Aria"][0]); err != nil {

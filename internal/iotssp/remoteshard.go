@@ -12,6 +12,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/fingerprint"
 	"repro/internal/lineconn"
+	"repro/internal/stats"
 )
 
 // RemoteShardConfig tunes a RemoteShard client. The zero value selects
@@ -85,6 +86,11 @@ type RemoteShardStats struct {
 	Transport lineconn.Stats `json:"transport"`
 }
 
+// Snapshot converts the counters into the uniform stats currency.
+func (s RemoteShardStats) Snapshot() stats.Snapshot {
+	return stats.New("remote_shard", s)
+}
+
 // RemoteShard is the client side of the shard wire protocol: it
 // implements core.Shard against a bank shard hosted by a shard-serving
 // Server in another process, so a core.ShardedBank can mix it freely
@@ -125,6 +131,9 @@ type RemoteShard struct {
 	types   []string
 
 	requests, retries, failures atomic.Uint64
+	// unhealthy latches after an operation exhausts its retries and
+	// clears on the next wire success (Healthy's signal).
+	unhealthy atomic.Bool
 }
 
 // NewRemoteShard creates a client for the shard served at addr
@@ -171,8 +180,8 @@ func (rs *RemoteShard) checkHello(resp shardResponse) error {
 	return nil
 }
 
-// Stats snapshots the client counters.
-func (rs *RemoteShard) Stats() RemoteShardStats {
+// Counters snapshots the client's typed counters.
+func (rs *RemoteShard) Counters() RemoteShardStats {
 	return RemoteShardStats{
 		Requests:  rs.requests.Load(),
 		Retries:   rs.retries.Load(),
@@ -180,6 +189,19 @@ func (rs *RemoteShard) Stats() RemoteShardStats {
 		Version:   rs.version.Load(),
 		Transport: rs.transport.Snapshot(),
 	}
+}
+
+// Stats implements the control plane's Component contract: the typed
+// counters marshalled as raw JSON.
+func (rs *RemoteShard) Stats() json.RawMessage {
+	return rs.Counters().Snapshot().Data
+}
+
+// Healthy implements the Component contract: the client is healthy
+// until an operation exhausts its retries, and recovers on the next
+// successful round-trip.
+func (rs *RemoteShard) Healthy() bool {
+	return !rs.unhealthy.Load()
 }
 
 // Addr returns the shard server's address.
@@ -224,11 +246,15 @@ func (rs *RemoteShard) do(req shardRequest, timeout time.Duration) (shardRespons
 				lastErr = fmt.Errorf("iotssp: shard backpressure: %s", resp.Error)
 				continue
 			}
+			// The shard answered; the request was just rejected.
+			rs.unhealthy.Store(false)
 			return resp, fmt.Errorf("iotssp: shard error: %s", resp.Error)
 		}
+		rs.unhealthy.Store(false)
 		return resp, nil
 	}
 	rs.failures.Add(1)
+	rs.unhealthy.Store(true)
 	return shardResponse{}, fmt.Errorf("iotssp: shard %s unreachable: %w", rs.addr, lastErr)
 }
 
@@ -289,6 +315,15 @@ func (rs *RemoteShard) Enroll(name string, prints []*fingerprint.Fingerprint) er
 		packed[i] = p
 	}
 	_, err := rs.do(shardRequest{Op: OpEnroll, Type: name, Prints: packed}, rs.cfg.EnrollTimeout)
+	return err
+}
+
+// Remove implements core.Shard: the shard server retires the type's
+// classifier (keeping its reference prints as a drain tombstone, the
+// core.Bank.Remove semantics) and the reply's bumped version stamp
+// lands in the local cache, invalidating the dependent verdicts.
+func (rs *RemoteShard) Remove(name string) error {
+	_, err := rs.do(shardRequest{Op: OpRemove, Type: name}, rs.cfg.Timeout)
 	return err
 }
 

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/fingerprint"
+	"repro/internal/stats"
 )
 
 // ServerConfig tunes the multi-gateway serving loop. The zero value
@@ -121,6 +122,11 @@ func (s ServerStats) MeanBatch() float64 {
 	return float64(s.BatchedRequests) / float64(s.Batches)
 }
 
+// Snapshot converts the counters into the uniform stats currency.
+func (s ServerStats) Snapshot() stats.Snapshot {
+	return stats.New("server", s)
+}
+
 // dispatchItem is one decoded request waiting for the dispatcher.
 type dispatchItem struct {
 	mac  string
@@ -130,7 +136,7 @@ type dispatchItem struct {
 }
 
 // Server serves the JSON-lines protocol in one of two modes. In
-// verdict mode (NewServer/NewServerConfig) it fronts a Service: a
+// verdict mode (NewServer) it fronts a Service: a
 // bounded accept loop, one read and one write pump per connection, and
 // a micro-batching dispatcher that aggregates requests across all
 // connections into Bank.IdentifyBatch flushes; it owns a dispatcher
@@ -161,14 +167,10 @@ type Server struct {
 	batches, batchedReqs, maxBatch  atomic.Uint64
 }
 
-// NewServer wraps a service for network serving with default tuning.
-func NewServer(svc *Service) *Server {
-	return NewServerConfig(svc, ServerConfig{})
-}
-
-// NewServerConfig wraps a service for network serving. The returned
-// server runs its dispatcher immediately; call Close to release it.
-func NewServerConfig(svc *Service, cfg ServerConfig) *Server {
+// NewServer wraps a service for network serving; the zero-value cfg
+// selects the load-ready defaults. The returned server runs its
+// dispatcher immediately; call Close to release it.
+func NewServer(svc *Service, cfg ServerConfig) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		svc:   svc,
@@ -181,8 +183,8 @@ func NewServerConfig(svc *Service, cfg ServerConfig) *Server {
 	return s
 }
 
-// Stats snapshots the server's counters.
-func (s *Server) Stats() ServerStats {
+// Counters snapshots the server's typed counters.
+func (s *Server) Counters() ServerStats {
 	st := ServerStats{
 		ConnsAccepted:   s.connsAccepted.Load(),
 		ConnsRefused:    s.connsRefused.Load(),
@@ -198,6 +200,20 @@ func (s *Server) Stats() ServerStats {
 		st.Cache = s.svc.CacheStats()
 	}
 	return st
+}
+
+// Stats implements the control plane's Component contract: the typed
+// counters marshalled as raw JSON.
+func (s *Server) Stats() json.RawMessage {
+	return s.Counters().Snapshot().Data
+}
+
+// Healthy implements the Component contract: a server is healthy until
+// it is closed.
+func (s *Server) Healthy() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return !s.closed
 }
 
 // Serve accepts connections on lis until Close is called. It blocks.

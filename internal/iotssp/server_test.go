@@ -18,7 +18,7 @@ import (
 // returns its address. Cleanup closes the server.
 func startServer(t *testing.T, svc *Service, cfg ServerConfig) (*Server, string) {
 	t.Helper()
-	srv := NewServerConfig(svc, cfg)
+	srv := NewServer(svc, cfg)
 	lis, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -136,7 +136,7 @@ func TestServerBatchesAcrossConnections(t *testing.T) {
 	}
 	wg.Wait()
 
-	st := srv.Stats()
+	st := srv.Counters()
 	if st.Requests != clients {
 		t.Fatalf("requests = %d, want %d", st.Requests, clients)
 	}
@@ -202,7 +202,7 @@ func TestServerBackpressureQueueFull(t *testing.T) {
 	if served == 0 || refused == 0 {
 		t.Fatalf("served=%d refused=%d: want both under overload", served, refused)
 	}
-	if st := srv.Stats(); st.Overloaded != uint64(refused) {
+	if st := srv.Counters(); st.Overloaded != uint64(refused) {
 		t.Errorf("stats.Overloaded = %d, responses said %d", st.Overloaded, refused)
 	}
 
@@ -264,7 +264,7 @@ func TestServerConnectionLimit(t *testing.T) {
 	if _, err := bufio.NewReader(second).ReadByte(); err == nil {
 		t.Error("refused connection left open")
 	}
-	if st := srv.Stats(); st.ConnsRefused != 1 {
+	if st := srv.Counters(); st.ConnsRefused != 1 {
 		t.Errorf("conns refused = %d", st.ConnsRefused)
 	}
 

@@ -140,7 +140,7 @@ func TestRemoteShardMirrorsLocalShard(t *testing.T) {
 				i, gotBest, gotScores, wantBest, wantScores)
 		}
 	}
-	if st := remote.Stats(); st.Failures != 0 || st.Transport.Dials == 0 {
+	if st := remote.Counters(); st.Failures != 0 || st.Transport.Dials == 0 {
 		t.Errorf("remote shard stats: %+v", st)
 	}
 }
@@ -244,7 +244,7 @@ func TestRemoteShardSurvivesShardRestart(t *testing.T) {
 	case <-time.After(20 * time.Second):
 		t.Fatal("classify never recovered after shard restart")
 	}
-	if st := remote.Stats(); st.Retries == 0 || st.Transport.Dials < 2 {
+	if st := remote.Counters(); st.Retries == 0 || st.Transport.Dials < 2 {
 		t.Errorf("restart left no retry/redial trace: %+v", st)
 	}
 }
@@ -273,7 +273,7 @@ func TestOldClientAgainstShardServerGetsRetryableError(t *testing.T) {
 func TestRemoteShardAgainstVerdictServerFailsCleanly(t *testing.T) {
 	fix := getShardFixture(t)
 	svc, _ := testService(t)
-	srv := NewServer(svc)
+	srv := NewServer(svc, ServerConfig{})
 	lis, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -330,7 +330,7 @@ func TestHelloNegotiationBothModes(t *testing.T) {
 	}
 
 	svc, _ := testService(t)
-	srv := NewServer(svc)
+	srv := NewServer(svc, ServerConfig{})
 	lis, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -399,7 +399,7 @@ func TestShardServerErrorPaths(t *testing.T) {
 		srv.Close()
 	}
 	svc, _ := testService(t)
-	srv := NewServer(svc)
+	srv := NewServer(svc, ServerConfig{})
 	if srv.ShardBank() != nil {
 		t.Error("verdict server claims a shard bank")
 	}

@@ -1,6 +1,7 @@
 package iotssp
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"sync"
@@ -10,6 +11,7 @@ import (
 	"repro/internal/backoff"
 	"repro/internal/core"
 	"repro/internal/fingerprint"
+	"repro/internal/stats"
 )
 
 // ShardGroupConfig tunes a ShardGroup. The zero value selects defaults
@@ -90,6 +92,11 @@ type ShardGroupStats struct {
 	Members []ShardMemberStats `json:"members"`
 }
 
+// Snapshot converts the counters into the uniform stats currency.
+func (s ShardGroupStats) Snapshot() stats.Snapshot {
+	return stats.New("shard_group", s)
+}
+
 // groupMember is one replicated shard server: its RemoteShard client
 // plus its health breaker.
 type groupMember struct {
@@ -129,10 +136,27 @@ type groupMember struct {
 // config and seed): the group load-spreads reads on the assumption that
 // any member's answer is the answer. ShardGroup is safe for concurrent
 // use.
+//
+// Membership is mutable: the control plane rolls a member replacement
+// through AddMember/RemoveMember while reads keep flowing — every
+// operation snapshots the member list, so in-flight scatters finish
+// against the members they started with.
 type ShardGroup struct {
-	cfg     ShardGroupConfig
-	members []*groupMember
-	cursor  atomic.Uint64 // round-robin member cursor
+	cfg    ShardGroupConfig
+	jitter *backoff.Jitter
+	bcfg   backoff.BreakerConfig
+	cursor atomic.Uint64 // round-robin member cursor
+
+	// memberMu guards the member list; operations snapshot it and run
+	// lock-free against the snapshot.
+	memberMu sync.RWMutex
+	members  []*groupMember
+
+	// versionFloor keeps Version monotonic across membership changes:
+	// removing the member carrying the maximum stamp must not roll the
+	// group's reconciled version back (the verdict cache above depends
+	// on versions only growing).
+	versionFloor atomic.Uint64
 
 	// typesMu guards the cached type list (refreshed by Types).
 	typesMu sync.Mutex
@@ -145,51 +169,129 @@ type ShardGroup struct {
 // No connection is made until the first operation.
 func NewShardGroup(addrs []string, cfg ShardGroupConfig) *ShardGroup {
 	cfg = cfg.withDefaults()
-	jitter := backoff.NewJitter(cfg.Shard.Seed)
-	bcfg := backoff.BreakerConfig{
-		FailureThreshold: cfg.FailureThreshold,
-		ProbeBackoff:     cfg.ProbeBackoff,
-		MaxProbeBackoff:  cfg.MaxProbeBackoff,
+	g := &ShardGroup{
+		cfg:    cfg,
+		jitter: backoff.NewJitter(cfg.Shard.Seed),
+		bcfg: backoff.BreakerConfig{
+			FailureThreshold: cfg.FailureThreshold,
+			ProbeBackoff:     cfg.ProbeBackoff,
+			MaxProbeBackoff:  cfg.MaxProbeBackoff,
+		},
+		members: make([]*groupMember, len(addrs)),
 	}
-	g := &ShardGroup{cfg: cfg, members: make([]*groupMember, len(addrs))}
 	for i, addr := range addrs {
-		mcfg := cfg.Shard
-		mcfg.Seed = jitter.Derive()
-		g.members[i] = &groupMember{
-			rs:      NewRemoteShard(addr, mcfg),
-			breaker: backoff.NewBreaker(bcfg, jitter),
-		}
+		g.members[i] = g.newMember(addr)
 	}
 	return g
 }
 
-// Stats snapshots the group counters and per-member health.
-func (g *ShardGroup) Stats() ShardGroupStats {
+// newMember mints one member client with its own decorrelated jitter
+// seed and a fresh breaker.
+func (g *ShardGroup) newMember(addr string) *groupMember {
+	mcfg := g.cfg.Shard
+	mcfg.Seed = g.jitter.Derive()
+	return &groupMember{
+		rs:      NewRemoteShard(addr, mcfg),
+		breaker: backoff.NewBreaker(g.bcfg, g.jitter),
+	}
+}
+
+// snapshot returns the current member list for one operation's
+// lifetime.
+func (g *ShardGroup) snapshot() []*groupMember {
+	g.memberMu.RLock()
+	defer g.memberMu.RUnlock()
+	return g.members
+}
+
+// AddMember joins a new shard server to the group. The caller owns the
+// bit-equality contract: the new member must host a bank identical to
+// the incumbents' (the control plane mints one by replaying the
+// partition's enrolment history) — the group starts routing reads to it
+// as soon as its breaker admits it.
+func (g *ShardGroup) AddMember(addr string) {
+	m := g.newMember(addr)
+	g.memberMu.Lock()
+	g.members = append(append([]*groupMember(nil), g.members...), m)
+	g.memberMu.Unlock()
+}
+
+// RemoveMember detaches the member at addr and severs its connections.
+// The group's reconciled Version never regresses: the departing
+// member's stamp is folded into the monotonic floor first. Removing the
+// last member is refused — a group with no members could serve nothing.
+func (g *ShardGroup) RemoveMember(addr string) error {
+	g.memberMu.Lock()
+	idx := -1
+	for i, m := range g.members {
+		if m.rs.Addr() == addr {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		g.memberMu.Unlock()
+		return fmt.Errorf("iotssp: shard group: no member at %s", addr)
+	}
+	if len(g.members) == 1 {
+		g.memberMu.Unlock()
+		return errors.New("iotssp: shard group: refusing to remove the last member")
+	}
+	m := g.members[idx]
+	rest := make([]*groupMember, 0, len(g.members)-1)
+	rest = append(rest, g.members[:idx]...)
+	rest = append(rest, g.members[idx+1:]...)
+	g.members = rest
+	g.memberMu.Unlock()
+	g.foldVersion(m.rs.Version())
+	return m.rs.Close()
+}
+
+// Counters snapshots the group's typed counters and per-member health.
+func (g *ShardGroup) Counters() ShardGroupStats {
+	members := g.snapshot()
 	st := ShardGroupStats{
 		Requests:  g.requests.Load(),
 		Failovers: g.failovers.Load(),
 		Failures:  g.failures.Load(),
 		Version:   g.Version(),
-		Members:   make([]ShardMemberStats, len(g.members)),
+		Members:   make([]ShardMemberStats, len(members)),
 	}
-	for i, m := range g.members {
+	for i, m := range members {
 		st.Members[i] = ShardMemberStats{
 			Addr:         m.rs.Addr(),
 			BreakerState: m.breaker.State(),
 			Requests:     m.requests.Load(),
 			Failures:     m.failures.Load(),
-			Shard:        m.rs.Stats(),
+			Shard:        m.rs.Counters(),
 		}
 	}
 	return st
 }
 
+// Stats implements the control plane's Component contract: the typed
+// counters marshalled as raw JSON.
+func (g *ShardGroup) Stats() json.RawMessage {
+	return g.Counters().Snapshot().Data
+}
+
+// Healthy implements the Component contract: the group is healthy while
+// at least one member is admitted for routing.
+func (g *ShardGroup) Healthy() bool {
+	for _, m := range g.snapshot() {
+		if m.breaker.State().Healthy {
+			return true
+		}
+	}
+	return false
+}
+
 // Members returns the group size.
-func (g *ShardGroup) Members() int { return len(g.members) }
+func (g *ShardGroup) Members() int { return len(g.snapshot()) }
 
 // Member returns the i-th member's RemoteShard client (for targeted
 // inspection in failover drills).
-func (g *ShardGroup) Member(i int) *RemoteShard { return g.members[i].rs }
+func (g *ShardGroup) Member(i int) *RemoteShard { return g.snapshot()[i].rs }
 
 // do runs one read operation with health-aware member failover: members
 // are tried in round-robin order starting from the rotating cursor,
@@ -198,11 +300,12 @@ func (g *ShardGroup) Member(i int) *RemoteShard { return g.members[i].rs }
 // through as a full-outage recovery probe.
 func (g *ShardGroup) do(req shardRequest, timeout time.Duration) (shardResponse, error) {
 	g.requests.Add(1)
-	start := int(g.cursor.Add(1) % uint64(len(g.members)))
+	members := g.snapshot()
+	start := int(g.cursor.Add(1) % uint64(len(members)))
 	var lastErr error
 	attempted := false
-	for k := 0; k < len(g.members); k++ {
-		m := g.members[(start+k)%len(g.members)]
+	for k := 0; k < len(members); k++ {
+		m := members[(start+k)%len(members)]
 		if !m.breaker.Admit(time.Now()) {
 			continue
 		}
@@ -221,10 +324,10 @@ func (g *ShardGroup) do(req shardRequest, timeout time.Duration) (shardResponse,
 		// push one paced probe rather than failing without trying. At
 		// most one probe is in flight per member; concurrent callers fail
 		// fast instead of herding onto a down shard.
-		m := g.members[start]
+		m := members[start]
 		if !m.breaker.AdmitProbe() {
 			g.failures.Add(1)
-			return shardResponse{}, fmt.Errorf("iotssp: shard group: all %d members ejected, recovery probe in flight", len(g.members))
+			return shardResponse{}, fmt.Errorf("iotssp: shard group: all %d members ejected, recovery probe in flight", len(members))
 		}
 		resp, err := g.tryMember(m, req, timeout)
 		if err == nil || (resp.Error != "" && !resp.Retryable) {
@@ -233,7 +336,7 @@ func (g *ShardGroup) do(req shardRequest, timeout time.Duration) (shardResponse,
 		lastErr = err
 	}
 	g.failures.Add(1)
-	return shardResponse{}, fmt.Errorf("iotssp: shard group: all %d members failed: %w", len(g.members), lastErr)
+	return shardResponse{}, fmt.Errorf("iotssp: shard group: all %d members failed: %w", len(members), lastErr)
 }
 
 // tryMember runs one operation against one member and folds the outcome
@@ -302,9 +405,10 @@ func (g *ShardGroup) Discriminate(f *fingerprint.Fingerprint, candidates []strin
 // member error is surfaced: the replicas may have diverged and hiding
 // it would quietly break the bit-equality contract.
 func (g *ShardGroup) Enroll(name string, prints []*fingerprint.Fingerprint) error {
-	errs := make([]error, len(g.members))
+	members := g.snapshot()
+	errs := make([]error, len(members))
 	var wg sync.WaitGroup
-	for i, m := range g.members {
+	for i, m := range members {
 		wg.Add(1)
 		go func(i int, m *groupMember) {
 			defer wg.Done()
@@ -330,18 +434,33 @@ func (g *ShardGroup) Enroll(name string, prints []*fingerprint.Fingerprint) erro
 }
 
 // Version implements core.Shard as the maximum enrolment version
-// observed across members — the group's reconciled version. It never
+// observed across members — the group's reconciled version — kept
+// monotonic across membership changes by the version floor. It never
 // blocks on the network: each member serves its locally cached stamp,
 // and versions only grow, so the maximum is monotonic even while a
 // fan-out enrolment is mid-flight across the replicas.
 func (g *ShardGroup) Version() uint64 {
 	var v uint64
-	for _, m := range g.members {
+	for _, m := range g.snapshot() {
 		if mv := m.rs.Version(); mv > v {
 			v = mv
 		}
 	}
-	return v
+	return g.foldVersion(v)
+}
+
+// foldVersion folds an observed version into the monotonic floor and
+// returns the floor's new value.
+func (g *ShardGroup) foldVersion(v uint64) uint64 {
+	for {
+		cur := g.versionFloor.Load()
+		if v <= cur {
+			return cur
+		}
+		if g.versionFloor.CompareAndSwap(cur, v) {
+			return v
+		}
+	}
 }
 
 // Types implements core.Shard: it asks a healthy member for the
@@ -357,10 +476,50 @@ func (g *ShardGroup) Types() []string {
 	return append([]string(nil), g.types...)
 }
 
+// Remove implements core.Shard by fanning the removal out to every
+// member concurrently — each replica retires the type so reads stay
+// equivalent wherever the group routes them, and members in lockstep
+// bump the reconciled Version exactly once. A member that no longer
+// lists the type reconciles to success (a retried fan-out whose first
+// attempt partially landed must converge); any other member error is
+// surfaced.
+func (g *ShardGroup) Remove(name string) error {
+	members := g.snapshot()
+	errs := make([]error, len(members))
+	var wg sync.WaitGroup
+	for i, m := range members {
+		wg.Add(1)
+		go func(i int, m *groupMember) {
+			defer wg.Done()
+			err := m.rs.Remove(name)
+			if err != nil {
+				// Reconcile against the member's authoritative state: if
+				// the member no longer lists the type, this removal (or a
+				// lost-ack predecessor) landed.
+				present := false
+				for _, have := range m.rs.Types() {
+					if have == name {
+						present = true
+						break
+					}
+				}
+				if !present {
+					err = nil
+				}
+			}
+			if err != nil {
+				errs[i] = fmt.Errorf("iotssp: shard group member %s: %w", m.rs.Addr(), err)
+			}
+		}(i, m)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
 // Close severs every member's connections and fails outstanding
 // requests.
 func (g *ShardGroup) Close() error {
-	for _, m := range g.members {
+	for _, m := range g.snapshot() {
 		m.rs.Close()
 	}
 	return nil

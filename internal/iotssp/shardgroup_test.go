@@ -54,7 +54,7 @@ func TestShardGroupMirrorsSingleReplica(t *testing.T) {
 				i, gotBest, gotScores, wantBest, wantScores)
 		}
 	}
-	st := group.Stats()
+	st := group.Counters()
 	if st.Failures != 0 {
 		t.Errorf("group failures = %d, want 0", st.Failures)
 	}
@@ -99,7 +99,7 @@ func TestShardGroupFailsOverOnMemberKill(t *testing.T) {
 			t.Fatalf("classify %d with member 0 down: mismatch", i)
 		}
 	}
-	st := group.Stats()
+	st := group.Counters()
 	if st.Failures != 0 {
 		t.Errorf("group-level failures = %d during single-member outage, want 0", st.Failures)
 	}
@@ -117,15 +117,15 @@ func TestShardGroupFailsOverOnMemberKill(t *testing.T) {
 	deadline := time.Now().Add(10 * time.Second)
 	for {
 		group.Types() // traffic doubles as the re-admission probe
-		if group.Stats().Members[0].Healthy {
+		if group.Counters().Members[0].Healthy {
 			break
 		}
 		if time.Now().After(deadline) {
-			t.Fatalf("member 0 never re-admitted after revival: %+v", group.Stats())
+			t.Fatalf("member 0 never re-admitted after revival: %+v", group.Counters())
 		}
 		time.Sleep(10 * time.Millisecond)
 	}
-	if st := group.Stats(); st.Members[0].Readmissions == 0 {
+	if st := group.Counters(); st.Members[0].Readmissions == 0 {
 		t.Errorf("re-admission not counted: %+v", st.Members[0])
 	}
 	if got := group.ClassifyBatch(fix.probes, 0); !reflect.DeepEqual(got, want) {
@@ -210,7 +210,7 @@ func TestShardGroupFailsOpenOnFullOutage(t *testing.T) {
 	if len(got) != 2 || got[0] != nil || got[1] != nil {
 		t.Fatalf("full-outage classify = %v, want all-reject", got)
 	}
-	if st := group.Stats(); st.Failures == 0 {
+	if st := group.Counters(); st.Failures == 0 {
 		t.Errorf("full outage not counted as a group failure: %+v", st)
 	}
 
@@ -225,7 +225,7 @@ func TestShardGroupFailsOpenOnFullOutage(t *testing.T) {
 			break
 		}
 		if time.Now().After(deadline) {
-			t.Fatalf("group never recovered from full outage: %+v", group.Stats())
+			t.Fatalf("group never recovered from full outage: %+v", group.Counters())
 		}
 		time.Sleep(10 * time.Millisecond)
 	}

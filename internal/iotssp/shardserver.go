@@ -25,9 +25,9 @@ const (
 // packed codec (base64 zigzag varints) — the shard protocol is a
 // high-volume inter-node path and never pays the readable JSON form.
 type shardRequest struct {
-	// Op is the verb: OpHello, OpMeta, OpClassify, OpDiscriminate or
-	// OpEnroll. Empty means the line is a version-1 identify request
-	// that reached a shard endpoint by mistake.
+	// Op is the verb: OpHello, OpMeta, OpClassify, OpDiscriminate,
+	// OpEnroll or OpRemove. Empty means the line is a version-1 identify
+	// request that reached a shard endpoint by mistake.
 	Op string `json:"op"`
 	// V is the client's protocol version (OpHello).
 	V int `json:"v,omitempty"`
@@ -40,7 +40,7 @@ type shardRequest struct {
 	// (OpDiscriminate).
 	Candidates []string `json:"candidates,omitempty"`
 	// Type and Prints are the device-type and its packed training
-	// fingerprints (OpEnroll).
+	// fingerprints (OpEnroll). OpRemove sends Type alone.
 	Type   string   `json:"type,omitempty"`
 	Prints []string `json:"prints,omitempty"`
 }
@@ -220,6 +220,18 @@ func (s *Server) serveShardOp(req shardRequest, line uint64) shardResponse {
 		}
 		best, scores := s.shard.Discriminate(fp, req.Candidates)
 		return shardResponse{Op: OpDiscriminate, Line: line, Best: best, Scores: scores, Version: s.shard.Version()}
+	case OpRemove:
+		s.requests.Add(1)
+		if req.Type == "" {
+			s.malformed.Add(1)
+			return shardResponse{Line: line, Error: fmt.Sprintf("line %d: remove with empty type name", line)}
+		}
+		// Removal only drops the classifier and tombstones the prints —
+		// microseconds, not a training run — so it answers inline.
+		if err := s.shard.Remove(req.Type); err != nil {
+			return shardResponse{Line: line, Error: fmt.Sprintf("line %d: %v", line, err), Version: s.shard.Version()}
+		}
+		return shardResponse{Op: OpRemove, Line: line, Version: s.shard.Version()}
 	default:
 		s.malformed.Add(1)
 		return shardResponse{Line: line, Error: fmt.Sprintf("line %d: unknown shard op %q (protocol v%d)", line, req.Op, ProtocolVersion)}
