@@ -23,7 +23,7 @@
 //	sentinel-eval -experiment fleet -shards 4 -backends 3
 //	sentinel-eval -experiment distributed -shards 2
 //	sentinel-eval -experiment replicated -replicas 2
-//	sentinel-eval -experiment rebalance -replicas 2
+//	sentinel-eval -experiment rebalance -replicas 2 -mint snapshot
 //	sentinel-eval -experiment dataplane -workers 8
 package main
 
@@ -34,6 +34,7 @@ import (
 	"runtime"
 	"strings"
 
+	"repro/internal/controlplane"
 	"repro/internal/experiments"
 )
 
@@ -60,9 +61,21 @@ func run(args []string) error {
 		workers     = fs.Int("workers", 0, "dataplane pipeline workers (0 = GOMAXPROCS)")
 		minSpeedup  = fs.Float64("min-speedup", -1, "fail the dataplane experiment unless pipeline/serial packets/sec reaches this ratio (0 = report only; -1 = 2.0 when GOMAXPROCS >= 4, else report only)")
 		maxP99Ratio = fs.Float64("max-p99-ratio", -1, "fail the replicated/rebalance experiments unless the drill run's p99 stays within this multiple of the steady run's (0 = report only; -1 = 2.0 when GOMAXPROCS >= 4, else report only)")
+		mint        = fs.String("mint", "auto", "member-replacement minting strategy for the rebalance experiment: auto|snapshot|replay")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	var mintStrategy controlplane.MintStrategy
+	switch *mint {
+	case "auto":
+		mintStrategy = controlplane.MintAuto
+	case "snapshot":
+		mintStrategy = controlplane.MintSnapshot
+	case "replay":
+		mintStrategy = controlplane.MintReplay
+	default:
+		return fmt.Errorf("unknown mint strategy %q (want auto|snapshot|replay)", *mint)
 	}
 
 	cfg := experiments.IdentConfig{
@@ -197,6 +210,7 @@ func run(args []string) error {
 			Trees:       *trees,
 			Replicas:    *replicas,
 			MaxP99Ratio: ratio,
+			Mint:        mintStrategy,
 			Seed:        *seed,
 		})
 		if err != nil {

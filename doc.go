@@ -137,10 +137,12 @@
 // train-on-target, health-gate, flip-route (ShardedBank.SetOwner keeps
 // the type's global enrolment position) and drain-source, whose single
 // version bump invalidates exactly the dependent cached verdicts once;
-// ReplaceMember rolls a ShardGroup member by replaying the partition's
-// recorded enrolment history into a bit-identical replacement, gating
-// it on the group's served types and reconciled version before the old
-// member detaches. Constructors across the stack are uniform —
+// ReplaceMember rolls a ShardGroup member by minting a bit-identical
+// replacement — by default a state-transfer snapshot from a live
+// member, falling back to replaying the partition's recorded enrolment
+// history when a peer predates the snapshot verbs — gating it on the
+// group's served types and reconciled version before the old member
+// detaches. Constructors across the stack are uniform —
 // iotssp.NewServer(svc, ServerConfig) and iotssp.NewService(bank,
 // ServiceConfig) subsume the former config-less/cache variants — and
 // the layer configs carry intention-revealing aliases
@@ -152,6 +154,32 @@
 // verdict bit-equal to the initial- or final-topology baseline, p99
 // within 2x of the steady run (GOMAXPROCS-gated), and the
 // counter-verified exactly-once invalidation audit.
+//
+// Trained forests are compact, serializable state. The flattened
+// serving layout optionally quantizes (ml.FlatConfig: float32
+// thresholds and leaf probabilities, bottom-up leaf-count pruning) —
+// off by default and bit-identical to the trained trees, with the
+// accuracy drift measured when on — and every trained bank serializes
+// to one canonical versioned blob (core.Bank.Snapshot/Restore,
+// core.RestoreBank) whose byte equality is bank bit-identity
+// (core.SnapshotsEqual): restore rejects config mismatches and
+// truncation, never disturbs state on error, and restored banks enroll
+// future types bit-identically to the original (per-enrolment derived
+// training seeds). The wire rides it as protocol v3: OpSnapshot/
+// OpRestore state transfer, delta-packed classify batches, and a
+// hello-negotiated subscription under which shard servers push OpDelta
+// version bumps to fronts — version caches and shard-scoped cache
+// invalidation move with zero polling round-trips, old peers degrade
+// to the v2 wire cost. The control plane mints ShardGroup replacement
+// members by snapshot transfer instead of replay (MintStrategy;
+// RepairMember replays a diverged member's missing types back in), the
+// transports count bytes on the wire (lineconn.Stats.BytesWritten/
+// BytesRead), and the serving experiments report measured
+// bytes/verdict (MetricsSnapshot.ComputeBytesPerVerdict) —
+// BenchmarkSnapshotMint, BenchmarkQuantizedClassify and
+// BenchmarkBytesPerVerdict hold the regression line in BENCH_ci.json,
+// and a CI fuzz-smoke job hammers every serialization codec's decoder
+// with corrupt bytes.
 //
 // Ingestion is a dataplane. internal/dataplane is the worker-per-core
 // capture-to-verdict pipeline that feeds raw frames (a pcap file via

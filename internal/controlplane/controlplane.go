@@ -201,9 +201,13 @@ type partition struct {
 	// with their banks (for divergence checks and drills).
 	members     []*iotssp.Replica
 	memberBanks []*core.Bank
-	// base and events are the partition's enrolment history.
-	base   map[string][]*fingerprint.Fingerprint
-	events []bankEvent
+	// base and events are the partition's enrolment history. baseOrder
+	// is the initial training's enrolment order (the sorted base names),
+	// computed once at assembly: every mint replays the same cached
+	// order instead of re-deriving it per roll.
+	base      map[string][]*fingerprint.Fingerprint
+	baseOrder []string
+	events    []bankEvent
 }
 
 // managed is one Component registered for Snapshots/Healthy, with the
@@ -268,6 +272,8 @@ func Assemble(cfg ClusterConfig, topo Topology, training map[string][]*fingerpri
 			part.base[name] = prints
 			c.prints[name] = append([]*fingerprint.Fingerprint(nil), prints...)
 		}
+		part.baseOrder = append([]string(nil), spec.Types...)
+		sort.Strings(part.baseOrder)
 		c.parts = append(c.parts, part)
 	}
 
@@ -301,7 +307,7 @@ func Assemble(cfg ClusterConfig, topo Topology, training map[string][]*fingerpri
 		wg.Add(1)
 		go func(i int, job *trainJob) {
 			defer wg.Done()
-			bank, err := core.Train(cfg.Core, job.part.base)
+			bank, err := core.TrainOrdered(cfg.Core, job.part.baseOrder, job.part.base)
 			if err != nil {
 				errs[i] = err
 				return

@@ -137,15 +137,45 @@ func (c *Cluster) MigrateType(name string, dst int) error {
 	return nil
 }
 
-// mintReplacementLocked replays a partition's enrolment history —
-// initial training plus every recorded enroll/remove, in order — into a
-// fresh bank. Because removal never consumes the training RNG and
-// enrolment consumes it deterministically, the replay is bit-identical
-// to the partition's incumbent members; a retrain over the surviving
-// type union would not be (the forests depend on enrolment order and
-// the co-resident negative pools).
-func (c *Cluster) mintReplacementLocked(part *partition) (*core.Bank, error) {
-	bank, err := core.Train(c.cfg.Core, part.base)
+// MintStrategy selects how ReplaceMember mints a replacement bank.
+type MintStrategy int
+
+const (
+	// MintAuto transfers an incumbent member's snapshot — O(transfer),
+	// no training — and falls back to history replay when the snapshot
+	// path fails (the peer predates the snapshot verbs, or the transfer
+	// itself broke). The default.
+	MintAuto MintStrategy = iota
+	// MintSnapshot requires the state-transfer path; an old peer is an
+	// error instead of a silent retrain.
+	MintSnapshot
+	// MintReplay forces the history-replay path: initial training plus
+	// every recorded enroll/remove, in order.
+	MintReplay
+)
+
+// String names the strategy for error and metrics rendering.
+func (m MintStrategy) String() string {
+	switch m {
+	case MintSnapshot:
+		return "snapshot"
+	case MintReplay:
+		return "replay"
+	default:
+		return "auto"
+	}
+}
+
+// mintReplayLocked replays a partition's enrolment history — initial
+// training in the cached base order plus every recorded enroll/remove,
+// in order — into a fresh bank. Because removal never consumes the
+// training RNG and enrolment derives its randomness from the training
+// ordinal, the replay is bit-identical to the partition's incumbent
+// members; a retrain over the surviving type union would not be (the
+// forests depend on enrolment order and the co-resident negative
+// pools).
+func (c *Cluster) mintReplayLocked(part *partition) (*core.Bank, error) {
+	bank, err := core.TrainOrdered(c.cfg.Core, part.baseOrder, part.base)
 	if err != nil {
 		return nil, err
 	}
@@ -162,12 +192,65 @@ func (c *Cluster) mintReplacementLocked(part *partition) (*core.Bank, error) {
 	return bank, nil
 }
 
-// ReplaceMember rolls partition p's member-th shard replica: mint a
-// replacement bank by history replay, host it, gate it against the
-// group's served types and reconciled version, join it to the group,
-// and only then detach and close the old member. The group's version
-// floor keeps the reconciled version monotonic across the swap.
+// mintSnapshotLocked mints a replacement bank by state transfer: an
+// incumbent member's serialized state (fetched over the snapshot wire
+// verb) decoded into a fresh bank. O(transfer) instead of O(train) —
+// no forest is induced — and bit-identical to the incumbents because
+// the snapshot is their exact trained state.
+func (c *Cluster) mintSnapshotLocked(part *partition) (*core.Bank, error) {
+	snap, err := part.shard.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	return core.RestoreBank(c.cfg.Core, snap)
+}
+
+// mintLocked mints a replacement bank under the given strategy.
+func (c *Cluster) mintLocked(part *partition, mint MintStrategy) (*core.Bank, error) {
+	switch mint {
+	case MintReplay:
+		return c.mintReplayLocked(part)
+	case MintSnapshot:
+		return c.mintSnapshotLocked(part)
+	default:
+		bank, err := c.mintSnapshotLocked(part)
+		if err == nil {
+			return bank, nil
+		}
+		// Old peer (unknown snapshot verb) or broken transfer: replay the
+		// history the way pre-snapshot builds always did.
+		return c.mintReplayLocked(part)
+	}
+}
+
+// MintReplacement mints — but does not host or join — a replacement
+// bank for partition p under the given strategy. It exists for the
+// rebalance experiment, which mints through both paths, times them, and
+// asserts the snapshot-minted bank bit-identical to the replay-minted
+// one before rolling the real membership.
+func (c *Cluster) MintReplacement(p int, mint MintStrategy) (*core.Bank, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if p < 0 || p >= len(c.parts) {
+		return nil, fmt.Errorf("controlplane: mint replacement: no partition %d", p)
+	}
+	return c.mintLocked(c.parts[p], mint)
+}
+
+// ReplaceMember rolls partition p's member-th shard replica with the
+// default MintAuto strategy: snapshot state transfer, history replay as
+// the old-peer fallback.
 func (c *Cluster) ReplaceMember(p, member int) error {
+	return c.ReplaceMemberWith(p, member, MintAuto)
+}
+
+// ReplaceMemberWith rolls partition p's member-th shard replica: mint a
+// replacement bank (state transfer or history replay per the
+// strategy), host it, gate it against the group's served types and
+// reconciled version, join it to the group, and only then detach and
+// close the old member. The group's version floor keeps the reconciled
+// version monotonic across the swap.
+func (c *Cluster) ReplaceMemberWith(p, member int, mint MintStrategy) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if p < 0 || p >= len(c.parts) {
@@ -181,10 +264,10 @@ func (c *Cluster) ReplaceMember(p, member int) error {
 		return fmt.Errorf("controlplane: replace member: partition %d has no member %d", p, member)
 	}
 
-	// Mint: replay the partition's enrolment history.
-	bank, err := c.mintReplacementLocked(part)
+	// Mint the replacement.
+	bank, err := c.mintLocked(part, mint)
 	if err != nil {
-		return fmt.Errorf("controlplane: replace member %d of partition %d: minting: %w", member, p, err)
+		return fmt.Errorf("controlplane: replace member %d of partition %d: minting (%s): %w", member, p, mint, err)
 	}
 
 	// Start: host the replacement on its own shard replica.
@@ -229,4 +312,77 @@ func (c *Cluster) ReplaceMember(p, member int) error {
 		}
 	}
 	return nil
+}
+
+// RepairMember reconciles a diverged member of partition p's shard
+// group against the partition's recorded enrolment history: types the
+// history says are enrolled but the member does not serve are replayed
+// to it (enroll, with the recorded prints, in global history order),
+// and types the member serves that the history has removed are retired.
+// It returns the names repaired in the order they were applied. The
+// repair speaks the shard wire protocol straight at the lagging member
+// — the group would route around it — so a member that missed a
+// fan-out (severed mid-enrolment, revived from a stale snapshot)
+// converges without a full replacement roll.
+func (c *Cluster) RepairMember(p, member int) ([]string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if p < 0 || p >= len(c.parts) {
+		return nil, fmt.Errorf("controlplane: repair member: no partition %d", p)
+	}
+	part := c.parts[p]
+	if part.spec.Local || len(part.members) == 0 {
+		return nil, fmt.Errorf("controlplane: repair member: partition %d has no remote members", p)
+	}
+	if member < 0 || member >= len(part.members) {
+		return nil, fmt.Errorf("controlplane: repair member: partition %d has no member %d", p, member)
+	}
+
+	// The authoritative state: base order, then events, tracking final
+	// presence and preserving enrolment order.
+	var order []string
+	expected := make(map[string]bool, len(part.baseOrder))
+	for _, name := range part.baseOrder {
+		order = append(order, name)
+		expected[name] = true
+	}
+	for _, ev := range part.events {
+		if ev.remove {
+			expected[ev.name] = false
+			continue
+		}
+		if !expected[ev.name] {
+			order = append(order, ev.name)
+		}
+		expected[ev.name] = true
+	}
+
+	// The member's served state, straight off its own wire endpoint.
+	rs := iotssp.NewRemoteShard(part.members[member].Addr(), c.cfg.Shard)
+	defer rs.Close()
+	have := make(map[string]bool)
+	for _, name := range rs.Types() {
+		have[name] = true
+	}
+
+	var repaired []string
+	for _, name := range order {
+		switch {
+		case expected[name] && !have[name]:
+			prints, ok := c.prints[name]
+			if !ok {
+				return repaired, fmt.Errorf("controlplane: repair member %d of partition %d: no recorded prints for %q", member, p, name)
+			}
+			if err := enrollReconciled(rs, name, prints); err != nil {
+				return repaired, fmt.Errorf("controlplane: repair member %d of partition %d: replaying %q: %w", member, p, name, err)
+			}
+			repaired = append(repaired, name)
+		case !expected[name] && have[name]:
+			if err := removeReconciled(rs, name); err != nil {
+				return repaired, fmt.Errorf("controlplane: repair member %d of partition %d: retiring %q: %w", member, p, name, err)
+			}
+			repaired = append(repaired, name)
+		}
+	}
+	return repaired, nil
 }

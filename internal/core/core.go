@@ -178,10 +178,13 @@ type Bank struct {
 	// computed against the smaller bank.
 	version atomic.Uint64
 
-	// mu guards rng, which drives negative sampling during training
-	// (the only remaining consumer of the shared stream).
-	mu  sync.Mutex
-	rng *rand.Rand
+	// enrolls counts classifier trainings (guarded by rw alongside
+	// types). Each training derives its negative-sampling and forest
+	// seeds from (cfg.Seed, enrolls), so the training stream is a pure
+	// function of the enrolment ordinal rather than a shared consumed
+	// RNG — which is what lets Snapshot/Restore transfer a bank whose
+	// future enrolments stay bit-identical to the incumbent's.
+	enrolls uint64
 }
 
 // identScratch is per-goroutine scratch reused across an identification
@@ -199,7 +202,6 @@ func NewBank(cfg Config) *Bank {
 		cfg:     cfg,
 		index:   make(map[string]*typeModel),
 		retired: make(map[string]*typeModel),
-		rng:     rand.New(rand.NewSource(cfg.Seed)),
 	}
 }
 
@@ -209,14 +211,27 @@ func NewBank(cfg Config) *Bank {
 // sorted-name order so training is deterministic regardless of map
 // iteration.
 func Train(cfg Config, trainingSet map[string][]*fingerprint.Fingerprint) (*Bank, error) {
-	b := NewBank(cfg)
 	names := make([]string, 0, len(trainingSet))
 	for name := range trainingSet {
 		names = append(names, name)
 	}
 	sort.Strings(names)
+	return TrainOrdered(cfg, names, trainingSet)
+}
+
+// TrainOrdered is Train with the enrolment order given explicitly:
+// types enroll in the order of names (each of which must key
+// trainingSet). Callers that replay a recorded enrolment history — the
+// control plane minting a replacement shard member — pass their cached
+// order instead of paying a re-sort per replay.
+func TrainOrdered(cfg Config, names []string, trainingSet map[string][]*fingerprint.Fingerprint) (*Bank, error) {
+	b := NewBank(cfg)
 	for _, name := range names {
-		if err := b.addType(name, trainingSet[name]); err != nil {
+		prints, ok := trainingSet[name]
+		if !ok {
+			return nil, fmt.Errorf("core: training order names %q but the training set lacks it", name)
+		}
+		if err := b.addType(name, prints); err != nil {
 			return nil, err
 		}
 	}
@@ -268,9 +283,11 @@ func (b *Bank) Enroll(name string, prints []*fingerprint.Fingerprint) error {
 	tm := b.types[len(b.types)-1]
 	forest, err := b.trainClassifier(tm)
 	if err != nil {
-		// Roll back the registration so the bank stays consistent.
+		// Roll back the registration (and the consumed training ordinal)
+		// so the bank stays consistent.
 		b.types = b.types[:len(b.types)-1]
 		delete(b.index, name)
+		b.enrolls--
 		return fmt.Errorf("core: training classifier for %q: %w", name, err)
 	}
 	tm.forest = forest
@@ -390,10 +407,14 @@ func (b *Bank) trainClassifier(tm *typeModel) (*ml.Forest, error) {
 		x = append(x, fx)
 		y = append(y, 1)
 	}
-	b.mu.Lock()
-	negIdx := ml.SampleWithoutReplacement(len(pool), wantNeg, b.rng)
-	seed := b.rng.Int63()
-	b.mu.Unlock()
+	// The training randomness is derived from the enrolment ordinal, not
+	// drawn from a shared stream: enrolment N of a bank trains the same
+	// classifier whether the bank got there by batch training, by
+	// incremental enrolment, by history replay or by snapshot restore.
+	rng := rand.New(rand.NewSource(deriveSeed(b.cfg.Seed, b.enrolls)))
+	b.enrolls++
+	negIdx := ml.SampleWithoutReplacement(len(pool), wantNeg, rng)
+	seed := rng.Int63()
 	for _, i := range negIdx {
 		x = append(x, pool[i])
 		y = append(y, 0)
@@ -406,6 +427,18 @@ func (b *Bank) trainClassifier(tm *typeModel) (*ml.Forest, error) {
 	cfg := b.cfg.Forest
 	cfg.Seed = seed
 	return ml.NewForest(ds, cfg)
+}
+
+// deriveSeed mixes the bank seed with a training ordinal (splitmix64
+// finalizer) into the seed of one classifier training's generator.
+func deriveSeed(seed int64, ordinal uint64) int64 {
+	z := uint64(seed) ^ (0x9e3779b97f4a7c15 * (ordinal + 1))
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4b9b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z)
 }
 
 // Classify runs stage one only: it returns the names of every device-type

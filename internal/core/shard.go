@@ -49,6 +49,20 @@ type Shard interface {
 	Version() uint64
 	// Types lists the enrolled device-types in shard enrolment order.
 	Types() []string
+	// Snapshot serializes the shard's full trained state (classifiers,
+	// reference stores, tombstones, version) into the versioned bank
+	// snapshot encoding. The encoding is canonical: shards with identical
+	// state produce identical bytes.
+	Snapshot() ([]byte, error)
+	// Restore replaces the shard's entire state with a snapshot's,
+	// atomically with respect to concurrent identifications. Restoring a
+	// snapshot taken under a different identification config is an error
+	// (it would silently fork the replica). Remote implementations speak
+	// the snapshot wire verbs, which ride the protocol hello: a peer too
+	// old to negotiate them fails Restore with a non-retryable error and
+	// the caller (the control plane's member minting) falls back to
+	// history replay.
+	Restore(snapshot []byte) error
 }
 
 // distanceCounter is the optional Shard refinement the timing

@@ -1,0 +1,254 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/fingerprint"
+)
+
+// TestSnapshotRoundTripBitIdentical: a restored bank must identify
+// bit-identically to the source and re-encode to the same bytes (the
+// canonical-encoding contract SnapshotsEqual rests on).
+func TestSnapshotRoundTripBitIdentical(t *testing.T) {
+	seeds := map[string]int64{"camA": 100, "plugB": 200, "hubC": 300}
+	bank, test := trainedBank(t, seeds, 12)
+
+	snap, err := bank.Snapshot()
+	if err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	restored, err := RestoreBank(smallConfig(), snap)
+	if err != nil {
+		t.Fatalf("RestoreBank: %v", err)
+	}
+	if got, want := restored.Types(), bank.Types(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("restored types %v, want %v", got, want)
+	}
+	if got, want := restored.Version(), bank.Version(); got != want {
+		t.Fatalf("restored version %d, want %d", got, want)
+	}
+	for name, prints := range test {
+		for i, fp := range prints {
+			a, b := bank.Identify(fp), restored.Identify(fp)
+			if !reflect.DeepEqual(a, b) {
+				t.Fatalf("%s probe %d: restored verdict %+v, original %+v", name, i, b, a)
+			}
+		}
+	}
+	again, err := restored.Snapshot()
+	if err != nil {
+		t.Fatalf("re-snapshot: %v", err)
+	}
+	if !SnapshotsEqual(snap, again) {
+		t.Fatalf("restored bank re-encodes to different bytes (%d vs %d): the encoding is not canonical", len(again), len(snap))
+	}
+}
+
+// TestSnapshotFutureEnrollmentsBitIdentical: because training derives
+// its randomness from (seed, enrolment ordinal), a restored bank's
+// future enrolments train the same forests as the source's — the
+// property that lets state transfer replace history replay without
+// forking the replica.
+func TestSnapshotFutureEnrollmentsBitIdentical(t *testing.T) {
+	seeds := map[string]int64{"camA": 100, "plugB": 200}
+	bank, _ := trainedBank(t, seeds, 12)
+	snap, err := bank.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := RestoreBank(smallConfig(), snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(7))
+	newPrints := synthType(400, 12, rng)
+	if err := bank.Enroll("lockD", newPrints); err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.Enroll("lockD", newPrints); err != nil {
+		t.Fatal(err)
+	}
+	a, err := bank.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := restored.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !SnapshotsEqual(a, b) {
+		t.Fatal("post-restore enrolment diverged from the source bank's (want bit-identical forests from the derived training seed)")
+	}
+}
+
+// TestSnapshotCarriesTombstones: removal tombstones survive the round
+// trip — a restored bank keeps scoring retired types in discrimination
+// — and the enrolment ordinal keeps advancing identically afterwards.
+func TestSnapshotCarriesTombstones(t *testing.T) {
+	seeds := map[string]int64{"camA": 100, "plugB": 200, "hubC": 300}
+	bank, _ := trainedBank(t, seeds, 12)
+	if err := bank.Remove("plugB"); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := bank.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := RestoreBank(smallConfig(), snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := restored.Types(), bank.Types(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("restored types %v, want %v", got, want)
+	}
+
+	rng := rand.New(rand.NewSource(8))
+	newPrints := synthType(500, 12, rng)
+	if err := bank.Enroll("lockD", newPrints); err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.Enroll("lockD", newPrints); err != nil {
+		t.Fatal(err)
+	}
+	a, _ := bank.Snapshot()
+	b, _ := restored.Snapshot()
+	if !SnapshotsEqual(a, b) {
+		t.Fatal("enrolment after a tombstoned restore diverged from the source bank's")
+	}
+}
+
+// TestRestoreRejectsConfigMismatch: a snapshot must not load under a
+// different identification config — that would silently fork the
+// replica.
+func TestRestoreRejectsConfigMismatch(t *testing.T) {
+	seeds := map[string]int64{"camA": 100, "plugB": 200}
+	bank, _ := trainedBank(t, seeds, 10)
+	snap, err := bank.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"Seed", func(c *Config) { c.Seed++ }},
+		{"Forest.Trees", func(c *Config) { c.Forest.Trees++ }},
+		{"FixedPackets", func(c *Config) { c.FixedPackets++ }},
+	} {
+		cfg := smallConfig()
+		tc.mutate(&cfg)
+		_, err := RestoreBank(cfg, snap)
+		if err == nil {
+			t.Fatalf("%s mismatch restored cleanly, want a refusal", tc.name)
+		}
+		if !strings.Contains(err.Error(), tc.name) {
+			t.Fatalf("%s mismatch error does not name the knob: %v", tc.name, err)
+		}
+	}
+}
+
+// TestRestoreRejectsTruncation: every proper prefix of a valid snapshot
+// must be refused (the trailing-bytes check makes the framing exact).
+func TestRestoreRejectsTruncation(t *testing.T) {
+	seeds := map[string]int64{"camA": 100, "plugB": 200}
+	bank, _ := trainedBank(t, seeds, 8)
+	snap, err := bank.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	step := len(snap)/200 + 1
+	for cut := 0; cut < len(snap); cut += step {
+		if _, err := RestoreBank(smallConfig(), snap[:cut]); err == nil {
+			t.Fatalf("truncation at %d of %d restored cleanly", cut, len(snap))
+		}
+	}
+	if _, err := RestoreBank(smallConfig(), append(append([]byte(nil), snap...), 0)); err == nil {
+		t.Fatal("snapshot with a trailing byte restored cleanly")
+	}
+}
+
+// TestRestoreDoesNotDisturbOnError: a failed Restore must leave the
+// bank's existing state untouched (parse-then-swap).
+func TestRestoreDoesNotDisturbOnError(t *testing.T) {
+	seeds := map[string]int64{"camA": 100, "plugB": 200}
+	bank, test := trainedBank(t, seeds, 10)
+	before, _ := bank.Snapshot()
+	if err := bank.Restore(before[:len(before)/2]); err == nil {
+		t.Fatal("truncated restore succeeded")
+	}
+	after, _ := bank.Snapshot()
+	if !SnapshotsEqual(before, after) {
+		t.Fatal("failed restore disturbed the bank's state")
+	}
+	for _, fp := range test["camA"] {
+		bank.Identify(fp) // must not panic on a half-swapped bank
+	}
+}
+
+// fuzzSeed caches one small trained bank's snapshot for the fuzz
+// harness (training is seconds-scale; the fuzz executions must only pay
+// for decoding).
+var fuzzSeed struct {
+	once sync.Once
+	cfg  Config
+	snap []byte
+	fp   *fingerprint.Fingerprint
+}
+
+func fuzzSnapshotSeed() ([]byte, Config, *fingerprint.Fingerprint) {
+	fuzzSeed.once.Do(func() {
+		rng := rand.New(rand.NewSource(42))
+		train := map[string][]*fingerprint.Fingerprint{
+			"camA":  synthType(100, 6, rng),
+			"plugB": synthType(200, 6, rng),
+		}
+		cfg := smallConfig()
+		cfg.Forest.Trees = 5
+		bank, err := Train(cfg, train)
+		if err != nil {
+			panic(err)
+		}
+		if err := bank.Remove("plugB"); err != nil {
+			panic(err)
+		}
+		snap, err := bank.Snapshot()
+		if err != nil {
+			panic(err)
+		}
+		fuzzSeed.cfg, fuzzSeed.snap = cfg, snap
+		fuzzSeed.fp = synthType(100, 1, rng)[0]
+	})
+	return fuzzSeed.snap, fuzzSeed.cfg, fuzzSeed.fp
+}
+
+// FuzzSnapshotRestore holds the bank codec to the fuzz contract:
+// corrupt or truncated snapshots error, never panic, and a snapshot
+// that survives decoding yields a usable bank whose re-encoding is
+// itself restorable.
+func FuzzSnapshotRestore(f *testing.F) {
+	snap, _, _ := fuzzSnapshotSeed()
+	f.Add(snap)
+	f.Add(snap[:len(snap)/2])
+	f.Add([]byte("SNTB"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, cfg, fp := fuzzSnapshotSeed()
+		bank, err := RestoreBank(cfg, data)
+		if err != nil {
+			return
+		}
+		bank.Identify(fp)
+		again, err := bank.Snapshot()
+		if err != nil {
+			t.Fatalf("restored bank failed to re-snapshot: %v", err)
+		}
+		if _, err := RestoreBank(cfg, again); err != nil {
+			t.Fatalf("re-encoded snapshot failed to restore: %v", err)
+		}
+	})
+}

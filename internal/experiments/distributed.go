@@ -145,6 +145,11 @@ type DistributedResult struct {
 	// P50/P99 are the distributed phase's request latencies.
 	P50, P99 time.Duration
 
+	// BytesPerVerdict is the distributed phase's measured shard-plane
+	// wire cost per verdict (both directions of the remote shard's
+	// transport, off the lineconn byte counters).
+	BytesPerVerdict float64
+
 	// Remote-enrolment invalidation check: enrolling the canary through
 	// the logical bank must route it to the remote shard (CanaryShard ==
 	// RemoteShard), and its version bump — observed over the wire — must
@@ -436,6 +441,7 @@ func RunDistributed(cfg DistributedConfig) (*DistributedResult, error) {
 	for _, ps := range poolStats {
 		res.Metrics.Components = append(res.Metrics.Components, ps.Snapshot())
 	}
+	res.BytesPerVerdict = res.Metrics.ComputeBytesPerVerdict(cfg.Requests)
 
 	if lost > 0 {
 		return res, fmt.Errorf("distributed bank lost %d of %d verdicts across the shard restart (want zero: the remote shard must retry through it)", lost, cfg.Requests)
@@ -487,6 +493,9 @@ func (r *DistributedResult) RenderDistributed() string {
 		fmt.Fprintf(&sb, "failure drill: remote shard killed mid-run (%s)\n", revived)
 	}
 	fmt.Fprintf(&sb, "latency p50 %s  p99 %s\n", r.P50, r.P99)
+	if r.BytesPerVerdict > 0 {
+		fmt.Fprintf(&sb, "shard wire cost: %.1f bytes/verdict\n", r.BytesPerVerdict)
+	}
 	if r.CanaryShard >= 0 {
 		fmt.Fprintf(&sb, "remote invalidation: enrolling %q landed on remote shard %d and invalidated %d dependent verdicts, kept %d\n",
 			r.CanaryType, r.CanaryShard, r.DependentProbes, r.IndependentProbes)

@@ -11,6 +11,7 @@ import (
 	"repro/internal/fingerprint"
 	"repro/internal/iotssp"
 	"repro/internal/ml"
+	"repro/internal/stats"
 	"repro/internal/vulndb"
 )
 
@@ -48,6 +49,12 @@ type RebalanceConfig struct {
 	FlushInterval time.Duration
 	CacheSize     int
 	Workers       int
+	// Mint selects the minting strategy of every member replacement the
+	// experiment runs (controlplane.MintAuto, MintSnapshot or
+	// MintReplay); sentinel-eval's -mint flag maps onto it. Whatever the
+	// roll uses, the mint audit times both paths and asserts them
+	// bit-identical.
+	Mint controlplane.MintStrategy
 	// NoRebalance replays the live phase without any topology change
 	// (debug escape hatch; the headline assertions are skipped).
 	NoRebalance bool
@@ -154,6 +161,16 @@ type RebalanceResult struct {
 	Rebalanced bool
 	Replaced   bool
 
+	// Mint audit, run on the live cluster after its rebalance: the
+	// replacement-minting strategy the rolls used, the measured duration
+	// of each minting path — snapshot state transfer vs history replay —
+	// their ratio, and the bit-identity of the two minted banks.
+	MintStrategy     string
+	SnapshotMint     time.Duration
+	ReplayMint       time.Duration
+	MintSpeedup      float64
+	MintBitIdentical bool
+
 	// Invalidation audit on a warmed cache: exactly the verdicts
 	// depending on the two migrated types' partitions recompute, and the
 	// Invalidations counter moves by exactly Dependent — one stale drop
@@ -206,8 +223,9 @@ func assembleRebalance(cfg RebalanceConfig, coreCfg core.BankConfig, scfg iotssp
 // applyRebalance runs the experiment's scripted topology change on a
 // cluster: migrate the source partition's first type to the group
 // (local→remote), migrate the group's first type to the source
-// (remote→local), then roll the group's first member.
-func applyRebalance(cl *controlplane.Cluster, out, in string, replace bool) error {
+// (remote→local), then roll the group's first member under the given
+// minting strategy.
+func applyRebalance(cl *controlplane.Cluster, out, in string, replace bool, mint controlplane.MintStrategy) error {
 	if err := cl.MigrateType(out, 1); err != nil {
 		return err
 	}
@@ -217,7 +235,7 @@ func applyRebalance(cl *controlplane.Cluster, out, in string, replace bool) erro
 	if !replace {
 		return nil
 	}
-	return cl.ReplaceMember(1, 0)
+	return cl.ReplaceMemberWith(1, 0, mint)
 }
 
 // RunRebalance proves the control plane's staged rollouts on a live
@@ -294,7 +312,7 @@ func RunRebalance(cfg RebalanceConfig) (*RebalanceResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := applyRebalance(finalCl, res.MigratedOut, res.MigratedIn, true); err != nil {
+	if err := applyRebalance(finalCl, res.MigratedOut, res.MigratedIn, true, cfg.Mint); err != nil {
 		finalCl.Close()
 		return nil, fmt.Errorf("pre-applying the rebalance: %w", err)
 	}
@@ -316,7 +334,7 @@ func RunRebalance(cfg RebalanceConfig) (*RebalanceResult, error) {
 	if !cfg.NoRebalance {
 		drills = []wireDrill{
 			{After: int64(cfg.Requests / 3), Fn: func() {
-				if err := applyRebalance(liveCl, res.MigratedOut, res.MigratedIn, false); err != nil {
+				if err := applyRebalance(liveCl, res.MigratedOut, res.MigratedIn, false, cfg.Mint); err != nil {
 					rebalanceErr = err
 					return
 				}
@@ -326,7 +344,7 @@ func RunRebalance(cfg RebalanceConfig) (*RebalanceResult, error) {
 				if rebalanceErr != nil {
 					return
 				}
-				if err := liveCl.ReplaceMember(1, 0); err != nil {
+				if err := liveCl.ReplaceMemberWith(1, 0, cfg.Mint); err != nil {
 					rebalanceErr = err
 					return
 				}
@@ -344,10 +362,52 @@ func RunRebalance(cfg RebalanceConfig) (*RebalanceResult, error) {
 	if res.SteadyP99 > 0 {
 		res.P99Ratio = float64(res.LiveP99) / float64(res.SteadyP99)
 	}
+
+	// Mint audit: on the just-rebalanced live cluster (its history now
+	// holds both migrations), time each replacement-minting path and
+	// hold the two banks bit-identical — the state transfer must be a
+	// pure speedup, never a different replica.
+	res.MintStrategy = cfg.Mint.String()
+	t0 := time.Now()
+	viaSnap, err := liveCl.MintReplacement(1, controlplane.MintSnapshot)
+	if err != nil {
+		return res, fmt.Errorf("mint audit: snapshot mint: %w", err)
+	}
+	res.SnapshotMint = time.Since(t0)
+	t0 = time.Now()
+	viaReplay, err := liveCl.MintReplacement(1, controlplane.MintReplay)
+	if err != nil {
+		return res, fmt.Errorf("mint audit: replay mint: %w", err)
+	}
+	res.ReplayMint = time.Since(t0)
+	snapA, err := viaSnap.Snapshot()
+	if err != nil {
+		return res, fmt.Errorf("mint audit: %w", err)
+	}
+	snapB, err := viaReplay.Snapshot()
+	if err != nil {
+		return res, fmt.Errorf("mint audit: %w", err)
+	}
+	res.MintBitIdentical = core.SnapshotsEqual(snapA, snapB)
+	if !res.MintBitIdentical {
+		return res, fmt.Errorf("mint audit: snapshot-minted member is not bit-identical to the replay-minted one")
+	}
+	if res.SnapshotMint > 0 {
+		res.MintSpeedup = float64(res.ReplayMint) / float64(res.SnapshotMint)
+	}
+
 	res.Metrics = &MetricsSnapshot{Experiment: "rebalance", Components: liveCl.Snapshots()}
 	for _, ps := range poolStats {
 		res.Metrics.Components = append(res.Metrics.Components, ps.Snapshot())
 	}
+	res.Metrics.Components = append(res.Metrics.Components, stats.New("mint", struct {
+		Strategy     string  `json:"strategy"`
+		SnapshotNs   int64   `json:"snapshot_ns"`
+		ReplayNs     int64   `json:"replay_ns"`
+		Speedup      float64 `json:"speedup"`
+		BitIdentical bool    `json:"bit_identical"`
+	}{res.MintStrategy, res.SnapshotMint.Nanoseconds(), res.ReplayMint.Nanoseconds(), res.MintSpeedup, res.MintBitIdentical}))
+	res.Metrics.ComputeBytesPerVerdict(cfg.Requests)
 
 	// Dual-baseline bit-equality: each live verdict ran either before
 	// its flip (steady baseline) or after it (final baseline).
@@ -428,7 +488,7 @@ func (r *RebalanceResult) auditInvalidation(cl *controlplane.Cluster, w *service
 		}
 	}
 	st0 := svc.CacheStats()
-	if err := applyRebalance(cl, r.MigratedOut, r.MigratedIn, false); err != nil {
+	if err := applyRebalance(cl, r.MigratedOut, r.MigratedIn, false, controlplane.MintAuto); err != nil {
 		return fmt.Errorf("audit rebalance: %w", err)
 	}
 	for i, fp := range append(append([]*fingerprint.Fingerprint(nil), dependents...), independents...) {
@@ -465,9 +525,13 @@ func (r *RebalanceResult) RenderRebalance() string {
 	if r.Rebalanced {
 		replaced := "member replacement skipped"
 		if r.Replaced {
-			replaced = "group member 0 rolled"
+			replaced = fmt.Sprintf("group member 0 rolled (mint %s)", r.MintStrategy)
 		}
 		fmt.Fprintf(&sb, "rollout: both migrations staged mid-run (train-on-target -> health-gate -> flip-route -> drain-source); %s\n", replaced)
+	}
+	if r.SnapshotMint > 0 || r.ReplayMint > 0 {
+		fmt.Fprintf(&sb, "mint audit: snapshot transfer %s vs history replay %s (%.1fx), banks bit-identical: %v\n",
+			r.SnapshotMint, r.ReplayMint, r.MintSpeedup, r.MintBitIdentical)
 	}
 	if r.DependentProbes > 0 {
 		fmt.Fprintf(&sb, "invalidation audit: %d dependent verdicts dropped exactly once (%d invalidations), %d bystander verdicts survived\n",

@@ -173,6 +173,11 @@ type ReplicatedResult struct {
 	DependentProbes   int
 	IndependentProbes int
 
+	// BytesPerVerdict is the measured shard-plane wire cost per verdict
+	// across the two group phases (every member transport's bytes in
+	// both directions, off the lineconn byte counters).
+	BytesPerVerdict float64
+
 	// Metrics is the run's single JSON stats snapshot.
 	Metrics *MetricsSnapshot
 }
@@ -341,6 +346,8 @@ func RunReplicatedShards(cfg ReplicatedConfig) (*ReplicatedResult, error) {
 	for _, ps := range poolStats {
 		res.Metrics.Components = append(res.Metrics.Components, ps.Snapshot())
 	}
+	// The group cluster served both timed phases (no-kill and kill).
+	res.BytesPerVerdict = res.Metrics.ComputeBytesPerVerdict(2 * cfg.Requests)
 
 	if killLost > 0 {
 		return res, fmt.Errorf("shard group lost %d of %d verdicts across the member restart (want zero: failover must carry every request)", killLost, cfg.Requests)
@@ -429,6 +436,9 @@ func (r *ReplicatedResult) RenderReplicated() string {
 	if r.CanaryShard >= 0 {
 		fmt.Fprintf(&sb, "fan-out invalidation: enrolling %q landed on group shard %d across every replica and invalidated %d dependent verdicts exactly once, kept %d\n",
 			r.CanaryType, r.CanaryShard, r.DependentProbes, r.IndependentProbes)
+	}
+	if r.BytesPerVerdict > 0 {
+		fmt.Fprintf(&sb, "shard wire cost: %.1f bytes/verdict\n", r.BytesPerVerdict)
 	}
 	if r.Metrics != nil {
 		fmt.Fprintf(&sb, "metrics: %s\n", r.Metrics.JSON())

@@ -3,6 +3,7 @@ package experiments
 import (
 	"encoding/json"
 
+	"repro/internal/iotssp"
 	"repro/internal/stats"
 )
 
@@ -21,6 +22,44 @@ type MetricsSnapshot struct {
 	// Components holds one tagged counter snapshot per managed
 	// component, in assembly order.
 	Components []stats.Snapshot `json:"components"`
+	// ShardWireBytes is the shard-plane wire traffic the run recorded —
+	// both directions of every remote-shard client transport, standalone
+	// and inside shard groups — and BytesPerVerdict that traffic divided
+	// by the verdicts served. Both are filled by ComputeBytesPerVerdict;
+	// they are measured off the lineconn byte counters, so codec changes
+	// (delta-packed batches, quantized layouts) move a reported number
+	// rather than an estimate.
+	ShardWireBytes  uint64  `json:"shard_wire_bytes,omitempty"`
+	BytesPerVerdict float64 `json:"bytes_per_verdict,omitempty"`
+}
+
+// ComputeBytesPerVerdict folds the shard-plane transports' byte
+// counters out of the captured components into a per-verdict wire
+// cost, records it on the snapshot, and returns it. Zero verdicts (or
+// a run with no shard-plane components) reports zero.
+func (m *MetricsSnapshot) ComputeBytesPerVerdict(verdicts int) float64 {
+	var total uint64
+	for _, c := range m.Components {
+		switch c.Kind {
+		case "remote_shard":
+			var rs iotssp.RemoteShardStats
+			if json.Unmarshal(c.Data, &rs) == nil {
+				total += rs.Transport.BytesWritten + rs.Transport.BytesRead
+			}
+		case "shard_group":
+			var g iotssp.ShardGroupStats
+			if json.Unmarshal(c.Data, &g) == nil {
+				for _, mem := range g.Members {
+					total += mem.Shard.Transport.BytesWritten + mem.Shard.Transport.BytesRead
+				}
+			}
+		}
+	}
+	m.ShardWireBytes = total
+	if verdicts > 0 {
+		m.BytesPerVerdict = float64(total) / float64(verdicts)
+	}
+	return m.BytesPerVerdict
 }
 
 // JSON renders the snapshot as a single indented JSON object.

@@ -84,6 +84,105 @@ func Unpack(packed string) (*Fingerprint, error) {
 	return FromVectors(vs), nil
 }
 
+// AppendBinary appends the raw binary form of the F matrix to buf — the
+// same row-major zigzag varints as Pack, without the base64 shell. It
+// is the fingerprint encoding inside bank snapshots, where the
+// container is already binary and length-prefixed.
+func AppendBinary(buf []byte, f *Fingerprint) []byte {
+	for _, v := range f.vectors {
+		for _, c := range v {
+			buf = binary.AppendUvarint(buf, uint64(uint32(c<<1)^uint32(c>>31)))
+		}
+	}
+	return buf
+}
+
+// DecodeBinary decodes an AppendBinary encoding. The whole of data must
+// be consumed; corrupt or truncated input returns an error, never
+// panics (the snapshot fuzz harness holds the codec to that).
+func DecodeBinary(data []byte) (*Fingerprint, error) {
+	var flat []int32
+	for len(data) > 0 {
+		u, n := binary.Uvarint(data)
+		if n <= 0 {
+			return nil, fmt.Errorf("decoding fingerprint snapshot: truncated matrix")
+		}
+		data = data[n:]
+		if u > 0xffffffff {
+			return nil, fmt.Errorf("decoding fingerprint snapshot: value overflows int32")
+		}
+		flat = append(flat, int32(uint32(u)>>1)^-int32(u&1))
+	}
+	if len(flat) == 0 || len(flat)%features.NumFeatures != 0 {
+		return nil, fmt.Errorf("decoding fingerprint snapshot: matrix holds %d values, want a positive multiple of %d",
+			len(flat), features.NumFeatures)
+	}
+	vs := make([]features.Vector, len(flat)/features.NumFeatures)
+	for i := range vs {
+		copy(vs[i][:], flat[i*features.NumFeatures:(i+1)*features.NumFeatures])
+	}
+	return FromVectors(vs), nil
+}
+
+// PackDelta encodes a fingerprint's F matrix into the delta-packed wire
+// form: the first row as zigzag varints, every later row as per-column
+// differences from its predecessor, base64-encoded. Consecutive setup
+// packets share most feature values, so the deltas are overwhelmingly
+// zero and encode in one byte each — a lossless shrink of classify
+// batches by roughly a third against Pack. Peers negotiate the codec
+// through the shard hello (protocol >= 3); UnpackDelta inverts it
+// exactly.
+func PackDelta(f *Fingerprint) (string, error) {
+	if f == nil {
+		return "", fmt.Errorf("encoding fingerprint report: nil fingerprint")
+	}
+	buf := make([]byte, 0, f.Len()*features.NumFeatures)
+	var prev features.Vector
+	for _, v := range f.vectors {
+		for j, c := range v {
+			d := c - prev[j]
+			buf = binary.AppendUvarint(buf, uint64(uint32(d<<1)^uint32(d>>31)))
+		}
+		prev = v
+	}
+	return base64.StdEncoding.EncodeToString(buf), nil
+}
+
+// UnpackDelta decodes a delta-packed F matrix back into a fingerprint.
+// Like Unpack it errors — never panics — on truncated varints, bad
+// base64, overflow and partial rows.
+func UnpackDelta(packed string) (*Fingerprint, error) {
+	raw, err := base64.StdEncoding.DecodeString(packed)
+	if err != nil {
+		return nil, fmt.Errorf("decoding fingerprint report: bad delta matrix: %w", err)
+	}
+	var flat []int32
+	for len(raw) > 0 {
+		u, n := binary.Uvarint(raw)
+		if n <= 0 {
+			return nil, fmt.Errorf("decoding fingerprint report: truncated delta matrix")
+		}
+		raw = raw[n:]
+		if u > 0xffffffff {
+			return nil, fmt.Errorf("decoding fingerprint report: delta value overflows int32")
+		}
+		flat = append(flat, int32(uint32(u)>>1)^-int32(u&1))
+	}
+	if len(flat)%features.NumFeatures != 0 {
+		return nil, fmt.Errorf("decoding fingerprint report: delta matrix holds %d values, not a multiple of %d",
+			len(flat), features.NumFeatures)
+	}
+	vs := make([]features.Vector, len(flat)/features.NumFeatures)
+	var prev features.Vector
+	for i := range vs {
+		for j := 0; j < features.NumFeatures; j++ {
+			prev[j] += flat[i*features.NumFeatures+j]
+		}
+		vs[i] = prev
+	}
+	return FromVectors(vs), nil
+}
+
 // UnmarshalReportStruct validates and decodes a wire struct, accepting
 // either matrix shape.
 func UnmarshalReportStruct(r Report) (string, *Fingerprint, error) {

@@ -133,6 +133,28 @@
 // fan-out enrolment bumps the logical shard's version exactly once and
 // the verdict cache invalidates its dependents exactly once, never
 // once per replica.
+//
+// # The v3 compaction generation
+//
+// Protocol version 3 collapses the shard plane's wire cost in three
+// ways, each negotiated at hello so mixed-version fleets degrade to
+// the v2 cost instead of failing. OpSnapshot/OpRestore transfer a
+// shard bank's whole trained state as one canonical blob
+// (core.Bank.Snapshot): the control plane mints replacement group
+// members by state transfer — O(snapshot bytes) instead of replaying
+// and retraining the partition's enrolment history — and the blob's
+// canonical encoding makes bit-identity a byte compare
+// (core.SnapshotsEqual). Classify batches may carry delta-packed F
+// matrices ("enc":"delta", fingerprint.PackDelta), shrinking rows that
+// repeat within a fingerprint. And a client's hello may subscribe to
+// the shard's delta stream: the server pushes OpDelta version bumps
+// (uncorrelated lines, carried to the client by the transport's push
+// hook) whenever the shard's state changes, so a subscribed front's
+// version cache — and with it the verdict cache's shard-scoped
+// invalidation — moves without any polling round-trip. A v2 peer
+// answers the v3 verbs with a non-retryable unknown-op error and
+// refuses delta-encoded batches; clients therefore keep every v3
+// feature off unless the negotiated version reaches 3.
 package iotssp
 
 import (
@@ -150,8 +172,16 @@ import (
 // verbs (OpHello, OpMeta, OpClassify, OpDiscriminate, OpEnroll) spoken
 // to a shard-serving Server, plus the OpHello negotiation both server
 // modes answer so a client can discover what it is talking to before
-// pipelining work onto the connection.
-const ProtocolVersion = 2
+// pipelining work onto the connection. Version 3 adds the compaction
+// generation: the snapshot verbs (OpSnapshot, OpRestore — whole-shard
+// state transfer), delta-packed classify batches (the "enc":"delta"
+// encoding) and the hello's delta-stream subscription (the server
+// pushes OpDelta version bumps to subscribers instead of clients
+// learning of remote enrolments only from response stamps). Clients
+// accept any peer >= 2 and simply keep the version-3 features off
+// against an older one, so mixed-version fleets degrade to the v2 wire
+// cost rather than failing.
+const ProtocolVersion = 3
 
 // Wire operations (the Request/shardRequest "op" field). An empty op is
 // a version-1 identify request.
@@ -172,7 +202,24 @@ const (
 	// the classifier is dropped, the prints stay for racing
 	// discriminations, the version bumps once).
 	OpRemove = "remove"
+	// OpSnapshot asks a shard server for its bank's serialized trained
+	// state (protocol >= 3). The control plane mints replacement group
+	// members by transferring it instead of replaying enrolment history.
+	OpSnapshot = "snapshot"
+	// OpRestore replaces a shard server's bank state with a transferred
+	// snapshot (protocol >= 3).
+	OpRestore = "restore"
+	// OpDelta is a server-initiated push (no line echo), sent to hello
+	// subscribers when the shard's state changes: it carries the new
+	// version and the changed type names, so a subscribed client's
+	// version cache moves without a classify round-trip.
+	OpDelta = "delta"
 )
+
+// deltaEncoding is the shardRequest Enc value selecting delta-packed F
+// matrices (fingerprint.PackDelta) in classify batches, negotiated at
+// protocol >= 3.
+const deltaEncoding = "delta"
 
 // Request is one identification request from a Security Gateway.
 type Request struct {

@@ -80,6 +80,13 @@ type RemoteShardStats struct {
 	Failures uint64 `json:"failures"`
 	// Version is the last shard enrolment version observed on the wire.
 	Version uint64 `json:"version"`
+	// Proto is the negotiated protocol version (the smaller of ours and
+	// the peer's; 0 before the first handshake).
+	Proto int `json:"proto"`
+	// DeltasReceived counts server-pushed OpDelta version bumps folded
+	// into the version cache — remote state changes this client learned
+	// of without a round-trip.
+	DeltasReceived uint64 `json:"deltas_received"`
 	// Transport is the pipelined connections' shared lineconn counter
 	// block (dials — each including a hello handshake — reconnects and
 	// dropped correlations).
@@ -125,6 +132,14 @@ type RemoteShard struct {
 	next      atomic.Uint64 // round-robin connection cursor
 
 	version atomic.Uint64
+	// proto is the negotiated protocol version (min of ours and the
+	// peer's), set by every hello. The version-3 features — delta-packed
+	// batches, snapshot transfer — stay off until a handshake proves the
+	// peer speaks them, so a mixed-version fleet degrades to the v2 wire
+	// cost instead of failing.
+	proto atomic.Int64
+	// deltas counts server-pushed version bumps (the delta stream).
+	deltas atomic.Uint64
 
 	// typesMu guards the cached type list (refreshed by Types).
 	typesMu sync.Mutex
@@ -150,7 +165,9 @@ func NewRemoteShard(addr string, cfg RemoteShardConfig) *RemoteShard {
 		Max:    cfg.MaxBackoff,
 		Jitter: backoff.NewJitter(cfg.Seed),
 	}
-	hello, _ := json.Marshal(shardRequest{Op: OpHello, V: ProtocolVersion})
+	// The hello subscribes to the delta stream; a version-2 peer simply
+	// ignores the flag (and never pushes).
+	hello, _ := json.Marshal(shardRequest{Op: OpHello, V: ProtocolVersion, Sub: true})
 	hello = append(hello, '\n')
 	rs.conns = make([]*lineconn.Conn[shardResponse], cfg.Conns)
 	for i := range rs.conns {
@@ -158,14 +175,17 @@ func NewRemoteShard(addr string, cfg RemoteShardConfig) *RemoteShard {
 			Counters:   rs.transport,
 			Hello:      hello,
 			CheckHello: rs.checkHello,
+			Push:       rs.handlePush,
 		})
 	}
 	return rs
 }
 
 // checkHello validates a fresh connection's hello reply: the peer must
-// be a shard server speaking our protocol version. A valid reply's
-// version stamp seeds the local version cache.
+// be a shard server speaking a compatible protocol generation (v2 or
+// later — the shard verbs this client depends on). The negotiated
+// version (the smaller of the two) gates the version-3 features, and a
+// valid reply's version stamp seeds the local version cache.
 func (rs *RemoteShard) checkHello(resp shardResponse) error {
 	if resp.Error != "" {
 		return fmt.Errorf("iotssp: shard hello to %s: %s", rs.addr, resp.Error)
@@ -173,21 +193,47 @@ func (rs *RemoteShard) checkHello(resp shardResponse) error {
 	if resp.Mode != ModeShard {
 		return fmt.Errorf("iotssp: %s is not a shard server (mode %q, protocol v%d)", rs.addr, resp.Mode, resp.V)
 	}
-	if resp.V != ProtocolVersion {
-		return fmt.Errorf("iotssp: shard %s speaks protocol v%d, want v%d", rs.addr, resp.V, ProtocolVersion)
+	if resp.V < 2 {
+		return fmt.Errorf("iotssp: shard %s speaks protocol v%d, want v2 or later", rs.addr, resp.V)
 	}
+	negotiated := resp.V
+	if negotiated > ProtocolVersion {
+		negotiated = ProtocolVersion
+	}
+	rs.proto.Store(int64(negotiated))
 	rs.observeVersion(resp.Version)
 	return nil
 }
 
+// handlePush folds a server-initiated delta-stream line into the local
+// caches: the version stamp moves the version cache (invalidating
+// dependent verdict-cache entries above) without any round-trip having
+// carried it. It runs on a connection's read pump and must not block.
+func (rs *RemoteShard) handlePush(resp shardResponse) {
+	if resp.Op != OpDelta {
+		return
+	}
+	rs.deltas.Add(1)
+	rs.observeVersion(resp.Version)
+}
+
+// Proto returns the negotiated protocol version (0 before the first
+// handshake).
+func (rs *RemoteShard) Proto() int { return int(rs.proto.Load()) }
+
+// DeltasReceived returns the count of server-pushed version bumps.
+func (rs *RemoteShard) DeltasReceived() uint64 { return rs.deltas.Load() }
+
 // Counters snapshots the client's typed counters.
 func (rs *RemoteShard) Counters() RemoteShardStats {
 	return RemoteShardStats{
-		Requests:  rs.requests.Load(),
-		Retries:   rs.retries.Load(),
-		Failures:  rs.failures.Load(),
-		Version:   rs.version.Load(),
-		Transport: rs.transport.Snapshot(),
+		Requests:       rs.requests.Load(),
+		Retries:        rs.retries.Load(),
+		Failures:       rs.failures.Load(),
+		Version:        rs.version.Load(),
+		Proto:          int(rs.proto.Load()),
+		DeltasReceived: rs.deltas.Load(),
+		Transport:      rs.transport.Snapshot(),
 	}
 }
 
@@ -270,15 +316,26 @@ func (rs *RemoteShard) ClassifyBatch(fps []*fingerprint.Fingerprint, workers int
 	if len(fps) == 0 {
 		return out
 	}
+	// Against a version-3 peer the batch ships delta-packed: consecutive
+	// setup packets share most feature values, so per-column deltas are
+	// mostly zero and the batch shrinks by roughly a third. Before the
+	// first handshake (proto 0) and against v2 peers, the plain packed
+	// codec keeps the wire compatible.
+	enc := ""
+	pack := fingerprint.Pack
+	if rs.proto.Load() >= 3 {
+		enc = deltaEncoding
+		pack = fingerprint.PackDelta
+	}
 	batch := make([]string, len(fps))
 	for i, f := range fps {
-		packed, err := fingerprint.Pack(f)
+		packed, err := pack(f)
 		if err != nil {
 			return out
 		}
 		batch[i] = packed
 	}
-	resp, err := rs.do(shardRequest{Op: OpClassify, Batch: batch}, rs.cfg.Timeout)
+	resp, err := rs.do(shardRequest{Op: OpClassify, Batch: batch, Enc: enc}, rs.cfg.Timeout)
 	if err != nil || len(resp.Accepts) != len(fps) {
 		return out
 	}
@@ -327,10 +384,39 @@ func (rs *RemoteShard) Remove(name string) error {
 	return err
 }
 
+// Snapshot implements core.Shard: it asks the shard server for its
+// bank's serialized trained state (OpSnapshot, protocol >= 3). Against
+// an older peer the verb is unknown and the call fails with a
+// non-retryable error — the signal the control plane's member minting
+// takes to fall back to history replay.
+func (rs *RemoteShard) Snapshot() ([]byte, error) {
+	resp, err := rs.do(shardRequest{Op: OpSnapshot}, rs.cfg.EnrollTimeout)
+	if err != nil {
+		return nil, err
+	}
+	return resp.Snapshot, nil
+}
+
+// Restore implements core.Shard: the snapshot ships to the shard server
+// (OpRestore, protocol >= 3), which swaps its bank's state atomically.
+// The enrolment timeout applies — a snapshot is the big transfer of the
+// protocol, though still orders of magnitude cheaper than the training
+// it replaces.
+func (rs *RemoteShard) Restore(snapshot []byte) error {
+	resp, err := rs.do(shardRequest{Op: OpRestore, Snapshot: snapshot}, rs.cfg.EnrollTimeout)
+	if err != nil {
+		return err
+	}
+	// A restore is the one operation that can rewind the shard's version;
+	// the otherwise-monotonic cache must follow the authoritative reset.
+	rs.version.Store(resp.Version)
+	return nil
+}
+
 // Version implements core.Shard from the local cache of the last
 // version stamp observed on the wire (every shard response carries
-// one). It never blocks on the network: verdict caches call it per
-// request.
+// one, and delta-stream pushes move it between round-trips). It never
+// blocks on the network: verdict caches call it per request.
 func (rs *RemoteShard) Version() uint64 { return rs.version.Load() }
 
 // Types implements core.Shard: it asks the shard server for its type

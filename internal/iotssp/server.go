@@ -43,6 +43,13 @@ type ServerConfig struct {
 	// client that stops reading until it fills is dropped (slow-consumer
 	// protection). 0 selects 256.
 	WriteQueue int
+	// ProtocolCap caps the wire protocol generation the server announces
+	// and serves (0 or anything above ProtocolVersion selects
+	// ProtocolVersion). Capping to 2 makes the server behave exactly like
+	// a pre-compaction build — version-3 verbs answer "unknown shard op",
+	// delta-encoded batches are refused, subscriptions are ignored —
+	// which is how tests exercise clients' old-peer fallback paths.
+	ProtocolCap int
 }
 
 func (c ServerConfig) withDefaults() ServerConfig {
@@ -63,6 +70,9 @@ func (c ServerConfig) withDefaults() ServerConfig {
 	}
 	if c.WriteQueue <= 0 {
 		c.WriteQueue = 256
+	}
+	if c.ProtocolCap <= 0 || c.ProtocolCap > ProtocolVersion {
+		c.ProtocolCap = ProtocolVersion
 	}
 	return c
 }
@@ -160,6 +170,11 @@ type Server struct {
 	closed bool
 	wg     sync.WaitGroup // connection pumps
 	dwg    sync.WaitGroup // dispatcher
+
+	// subMu guards the shard-mode delta-stream subscribers: the write
+	// pumps of connections whose hello asked for version pushes.
+	subMu sync.Mutex
+	subs  map[*connWriter]struct{}
 
 	connsAccepted, connsRefused     atomic.Uint64
 	requests, malformed, overloaded atomic.Uint64
@@ -397,7 +412,7 @@ func (s *Server) handleConn(conn net.Conn) {
 			// ourselves to a hello, reject shard verbs cleanly (the client
 			// dialed the wrong kind of server; retrying here cannot help).
 			if req.Op == OpHello {
-				if !w.send(shardResponse{Op: OpHello, Line: line, Mode: ModeVerdict, V: ProtocolVersion}) {
+				if !w.send(shardResponse{Op: OpHello, Line: line, Mode: ModeVerdict, V: s.cfg.ProtocolCap}) {
 					return
 				}
 			} else if !w.send(Response{Line: line, Error: fmt.Sprintf(

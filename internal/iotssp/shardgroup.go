@@ -355,25 +355,48 @@ func (g *ShardGroup) tryMember(m *groupMember, req shardRequest, timeout time.Du
 	return resp, err
 }
 
+// deltaOK reports whether every member has negotiated protocol v3, so
+// a classify batch may ship delta-packed regardless of which member the
+// failover lands it on. Members that have not completed a handshake yet
+// (proto 0) keep the batch on the plain codec — conservative, and only
+// until their first round-trip.
+func (g *ShardGroup) deltaOK() bool {
+	for _, m := range g.snapshot() {
+		if m.rs.Proto() < 3 {
+			return false
+		}
+	}
+	return true
+}
+
 // ClassifyBatch implements core.Shard: the batch ships to one healthy
 // member (any replica's answer is the answer), failing over
 // transparently if that member dies mid-flight. On a full group outage
-// it fails open to all-reject, like RemoteShard.
+// it fails open to all-reject, like RemoteShard. Once every member has
+// negotiated protocol v3 the batch ships delta-packed; until then (and
+// in any mixed-version group) it stays on the plain packed codec, since
+// a failover may land it on any member.
 func (g *ShardGroup) ClassifyBatch(fps []*fingerprint.Fingerprint, workers int) [][]string {
 	_ = workers // the member server fans the batch across its own cores
 	out := make([][]string, len(fps))
 	if len(fps) == 0 {
 		return out
 	}
+	enc := ""
+	pack := fingerprint.Pack
+	if g.deltaOK() {
+		enc = deltaEncoding
+		pack = fingerprint.PackDelta
+	}
 	batch := make([]string, len(fps))
 	for i, f := range fps {
-		packed, err := fingerprint.Pack(f)
+		packed, err := pack(f)
 		if err != nil {
 			return out
 		}
 		batch[i] = packed
 	}
-	resp, err := g.do(shardRequest{Op: OpClassify, Batch: batch}, g.cfg.Shard.Timeout)
+	resp, err := g.do(shardRequest{Op: OpClassify, Batch: batch, Enc: enc}, g.cfg.Shard.Timeout)
 	if err != nil || len(resp.Accepts) != len(fps) {
 		return out
 	}
@@ -508,6 +531,38 @@ func (g *ShardGroup) Remove(name string) error {
 				}
 			}
 			if err != nil {
+				errs[i] = fmt.Errorf("iotssp: shard group member %s: %w", m.rs.Addr(), err)
+			}
+		}(i, m)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// Snapshot implements core.Shard: the serialized state comes from one
+// healthy member (the members host bit-identical banks, so any
+// member's snapshot is the snapshot), with the usual failover.
+func (g *ShardGroup) Snapshot() ([]byte, error) {
+	resp, err := g.do(shardRequest{Op: OpSnapshot}, g.cfg.Shard.EnrollTimeout)
+	if err != nil {
+		return nil, err
+	}
+	return resp.Snapshot, nil
+}
+
+// Restore implements core.Shard by fanning the snapshot out to every
+// member concurrently — replicas must load the same state to keep
+// reads equivalent wherever they land. Any member error is surfaced
+// (the replicas may have diverged and the group refuses to hide it).
+func (g *ShardGroup) Restore(snapshot []byte) error {
+	members := g.snapshot()
+	errs := make([]error, len(members))
+	var wg sync.WaitGroup
+	for i, m := range members {
+		wg.Add(1)
+		go func(i int, m *groupMember) {
+			defer wg.Done()
+			if err := m.rs.Restore(snapshot); err != nil {
 				errs[i] = fmt.Errorf("iotssp: shard group member %s: %w", m.rs.Addr(), err)
 			}
 		}(i, m)

@@ -20,20 +20,29 @@ const (
 	ModeShard = "shard"
 )
 
-// shardRequest is one line of the shard wire protocol (version 2): an
-// op plus the fields that op consumes. F matrices always travel in the
-// packed codec (base64 zigzag varints) — the shard protocol is a
-// high-volume inter-node path and never pays the readable JSON form.
+// shardRequest is one line of the shard wire protocol: an op plus the
+// fields that op consumes. F matrices always travel in the packed codec
+// (base64 zigzag varints — or the tighter delta codec at protocol >= 3)
+// — the shard protocol is a high-volume inter-node path and never pays
+// the readable JSON form.
 type shardRequest struct {
 	// Op is the verb: OpHello, OpMeta, OpClassify, OpDiscriminate,
-	// OpEnroll or OpRemove. Empty means the line is a version-1 identify
-	// request that reached a shard endpoint by mistake.
+	// OpEnroll, OpRemove, OpSnapshot or OpRestore. Empty means the line
+	// is a version-1 identify request that reached a shard endpoint by
+	// mistake.
 	Op string `json:"op"`
 	// V is the client's protocol version (OpHello).
 	V int `json:"v,omitempty"`
+	// Sub asks the server to push OpDelta version bumps onto this
+	// connection whenever the shard's state changes (OpHello, protocol
+	// >= 3).
+	Sub bool `json:"sub,omitempty"`
 	// Batch is the packed F matrix of every fingerprint to classify
 	// (OpClassify), batch order preserved in the reply.
 	Batch []string `json:"batch,omitempty"`
+	// Enc names the Batch encoding: empty for the plain packed codec,
+	// deltaEncoding for delta-packed rows (protocol >= 3).
+	Enc string `json:"enc,omitempty"`
 	// Fingerprint is one packed F matrix (OpDiscriminate).
 	Fingerprint string `json:"fingerprint,omitempty"`
 	// Candidates are the device-types to discriminate among
@@ -43,6 +52,9 @@ type shardRequest struct {
 	// fingerprints (OpEnroll). OpRemove sends Type alone.
 	Type   string   `json:"type,omitempty"`
 	Prints []string `json:"prints,omitempty"`
+	// Snapshot is the serialized bank state to load (OpRestore; JSON
+	// carries it base64-encoded).
+	Snapshot []byte `json:"snapshot,omitempty"`
 }
 
 // shardResponse is the shard protocol's reply line. Every reply echoes
@@ -68,6 +80,9 @@ type shardResponse struct {
 	// Best and Scores carry OpDiscriminate results.
 	Best   string             `json:"best,omitempty"`
 	Scores map[string]float64 `json:"scores,omitempty"`
+	// Snapshot carries OpSnapshot's serialized bank state (base64 on the
+	// wire).
+	Snapshot []byte `json:"snapshot,omitempty"`
 	// Error/Retryable follow the identify protocol's error contract:
 	// malformed shard requests are never retryable, backpressure and
 	// mode mismatches a failover can fix are.
@@ -80,10 +95,12 @@ type shardResponse struct {
 func (r shardResponse) CorrelationLine() uint64 { return r.Line }
 
 // NewShardServer wraps one in-process classifier-bank shard for network
-// serving: the returned server speaks the shard verbs of the version-2
-// wire protocol (hello/meta/classify/discriminate/enroll) so a
-// core.ShardedBank in another process can address this bank through an
-// iotssp.RemoteShard. The admission spine is shared with verdict mode —
+// serving: the returned server speaks the shard verbs of the extended
+// wire protocol — the version-2 set (hello/meta/classify/discriminate/
+// enroll/remove) plus, at protocol v3, snapshot/restore state transfer,
+// delta-packed classify batches and pushed OpDelta version bumps to
+// hello subscribers — so a core.ShardedBank in another process can
+// address this bank through an iotssp.RemoteShard. The admission spine is shared with verdict mode —
 // bounded accept loop, MaxConns refusals, per-connection read/write
 // pumps, slow-client drops — but there is no micro-batching dispatcher:
 // shard clients already batch (a whole scatter flush arrives as one
@@ -99,6 +116,7 @@ func NewShardServer(bank *core.Bank, cfg ServerConfig) *Server {
 		cfg:   cfg,
 		queue: make(chan dispatchItem, cfg.QueueCapacity),
 		conns: make(map[net.Conn]struct{}),
+		subs:  make(map[*connWriter]struct{}),
 		// Enrolments train forests off the read pumps; bound how many may
 		// be queued or training at once so a misbehaving client cannot
 		// pile up goroutines each pinning a decoded training set.
@@ -124,6 +142,7 @@ func (s *Server) ShardBank() *core.Bank { return s.shard }
 // order through the write pump; classify/discriminate stay inline, and
 // the pipelined line echo keeps correlation exact either way.
 func (s *Server) handleShardConn(conn net.Conn, w *connWriter) {
+	defer s.unsubscribe(w)
 	scanner := bufio.NewScanner(conn)
 	scanner.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
 	var line uint64
@@ -183,25 +202,49 @@ func (s *Server) handleShardConn(conn net.Conn, w *connWriter) {
 			}
 			continue
 		}
-		if !w.send(s.serveShardOp(req, line)) {
+		if !w.send(s.serveShardOp(req, line, w)) {
 			return
 		}
 	}
 }
 
-// serveShardOp answers one inline shard verb.
-func (s *Server) serveShardOp(req shardRequest, line uint64) shardResponse {
+// serveShardOp answers one inline shard verb. w is the connection's
+// write pump, which a hello may register for delta-stream pushes.
+func (s *Server) serveShardOp(req shardRequest, line uint64, w *connWriter) shardResponse {
 	switch req.Op {
 	case OpHello:
-		return shardResponse{Op: OpHello, Line: line, Mode: ModeShard, V: ProtocolVersion, Version: s.shard.Version()}
+		// The subscription rides the negotiation: both sides must speak
+		// version 3 for the server to push uncorrelated lines (an older
+		// client's transport would drop — or choke on — them).
+		if req.Sub && s.cfg.ProtocolCap >= 3 && req.V >= 3 {
+			s.subscribe(w)
+		}
+		return shardResponse{Op: OpHello, Line: line, Mode: ModeShard, V: s.cfg.ProtocolCap, Version: s.shard.Version()}
 	case OpMeta:
 		s.requests.Add(1)
 		return shardResponse{Op: OpMeta, Line: line, Types: s.shard.Types(), Version: s.shard.Version()}
 	case OpClassify:
 		s.requests.Add(1)
+		if req.Enc != "" && req.Enc != deltaEncoding {
+			s.malformed.Add(1)
+			return shardResponse{Line: line, Error: fmt.Sprintf("line %d: unknown batch encoding %q", line, req.Enc)}
+		}
+		if req.Enc == deltaEncoding && s.cfg.ProtocolCap < 3 {
+			// A capped server predates the delta codec: refuse the batch the
+			// way an old build's strict decoder would, non-retryably, so the
+			// client falls back to the plain codec instead of looping.
+			s.malformed.Add(1)
+			return shardResponse{Line: line, Error: fmt.Sprintf("line %d: batch encoding %q requires protocol v3 (serving v%d)", line, req.Enc, s.cfg.ProtocolCap)}
+		}
 		fps := make([]*fingerprint.Fingerprint, len(req.Batch))
 		for i, packed := range req.Batch {
-			fp, err := fingerprint.Unpack(packed)
+			var fp *fingerprint.Fingerprint
+			var err error
+			if req.Enc == deltaEncoding {
+				fp, err = fingerprint.UnpackDelta(packed)
+			} else {
+				fp, err = fingerprint.Unpack(packed)
+			}
 			if err != nil {
 				s.malformed.Add(1)
 				return shardResponse{Line: line, Error: fmt.Sprintf("line %d: classify batch entry %d: %v", line, i, err)}
@@ -231,11 +274,70 @@ func (s *Server) serveShardOp(req shardRequest, line uint64) shardResponse {
 		if err := s.shard.Remove(req.Type); err != nil {
 			return shardResponse{Line: line, Error: fmt.Sprintf("line %d: %v", line, err), Version: s.shard.Version()}
 		}
+		s.notifyDelta([]string{req.Type})
 		return shardResponse{Op: OpRemove, Line: line, Version: s.shard.Version()}
-	default:
-		s.malformed.Add(1)
-		return shardResponse{Line: line, Error: fmt.Sprintf("line %d: unknown shard op %q (protocol v%d)", line, req.Op, ProtocolVersion)}
+	case OpSnapshot:
+		if s.cfg.ProtocolCap < 3 {
+			break // an old build answers exactly like any unknown op
+		}
+		s.requests.Add(1)
+		snap, err := s.shard.Snapshot()
+		if err != nil {
+			return shardResponse{Line: line, Error: fmt.Sprintf("line %d: %v", line, err), Version: s.shard.Version()}
+		}
+		return shardResponse{Op: OpSnapshot, Line: line, Snapshot: snap, Version: s.shard.Version()}
+	case OpRestore:
+		if s.cfg.ProtocolCap < 3 {
+			break
+		}
+		s.requests.Add(1)
+		if len(req.Snapshot) == 0 {
+			s.malformed.Add(1)
+			return shardResponse{Line: line, Error: fmt.Sprintf("line %d: restore with empty snapshot", line)}
+		}
+		if err := s.shard.Restore(req.Snapshot); err != nil {
+			return shardResponse{Line: line, Error: fmt.Sprintf("line %d: %v", line, err), Version: s.shard.Version()}
+		}
+		// A restore can move the whole type list at once; push the full
+		// new list so subscribers' caches track it.
+		s.notifyDelta(s.shard.Types())
+		return shardResponse{Op: OpRestore, Line: line, Version: s.shard.Version()}
 	}
+	s.malformed.Add(1)
+	return shardResponse{Line: line, Error: fmt.Sprintf("line %d: unknown shard op %q (protocol v%d)", line, req.Op, s.cfg.ProtocolCap)}
+}
+
+// subscribe registers a connection's write pump for delta-stream
+// pushes.
+func (s *Server) subscribe(w *connWriter) {
+	s.subMu.Lock()
+	s.subs[w] = struct{}{}
+	s.subMu.Unlock()
+}
+
+// unsubscribe drops a departed connection's write pump.
+func (s *Server) unsubscribe(w *connWriter) {
+	s.subMu.Lock()
+	delete(s.subs, w)
+	s.subMu.Unlock()
+}
+
+// notifyDelta pushes a version bump to every delta-stream subscriber:
+// an uncorrelated OpDelta line (no line echo) carrying the shard's new
+// version and the changed type names. Sends ride the write pumps'
+// bounded queues — a slow subscriber is dropped by the ordinary
+// slow-consumer protection, never waited on.
+func (s *Server) notifyDelta(changed []string) {
+	s.subMu.Lock()
+	if len(s.subs) == 0 {
+		s.subMu.Unlock()
+		return
+	}
+	resp := shardResponse{Op: OpDelta, Version: s.shard.Version(), Types: changed}
+	for w := range s.subs {
+		w.send(resp)
+	}
+	s.subMu.Unlock()
 }
 
 // serveEnroll trains the requested type on the hosted shard. It runs
@@ -259,6 +361,7 @@ func (s *Server) serveEnroll(req shardRequest, line uint64) shardResponse {
 	if err := s.shard.Enroll(req.Type, prints); err != nil {
 		return shardResponse{Line: line, Error: fmt.Sprintf("line %d: %v", line, err), Version: s.shard.Version()}
 	}
+	s.notifyDelta([]string{req.Type})
 	return shardResponse{Op: OpEnroll, Line: line, Version: s.shard.Version()}
 }
 

@@ -1,0 +1,228 @@
+package iotssp
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fingerprint"
+)
+
+// TestSnapshotRestoreOverWire moves a trained shard between two servers
+// by state transfer: snapshot from one remote, restore into the other,
+// and require the restored shard to be bit-identical.
+func TestSnapshotRestoreOverWire(t *testing.T) {
+	fix := getShardFixture(t)
+	src := freshShardedBank(t).Shard(0).(*core.Bank)
+	dst := freshShardedBank(t).Shard(0).(*core.Bank)
+	// Diverge the destination so the restore visibly replaces state.
+	if err := dst.Enroll(fix.spareName, fix.sparePrints); err != nil {
+		t.Fatal(err)
+	}
+
+	srcReplica := startShardReplica(t, src)
+	dstReplica := startShardReplica(t, dst)
+	srcRemote := NewRemoteShard(srcReplica.Addr(), RemoteShardConfig{Seed: 41})
+	defer srcRemote.Close()
+	dstRemote := NewRemoteShard(dstReplica.Addr(), RemoteShardConfig{Seed: 43})
+	defer dstRemote.Close()
+
+	snap, err := srcRemote.Snapshot()
+	if err != nil {
+		t.Fatalf("Snapshot over wire: %v", err)
+	}
+	local, err := src.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !core.SnapshotsEqual(snap, local) {
+		t.Fatal("wire snapshot differs from the shard's local snapshot")
+	}
+	if err := dstRemote.Restore(snap); err != nil {
+		t.Fatalf("Restore over wire: %v", err)
+	}
+	if got, want := dstRemote.Types(), src.Types(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("restored shard types %v, want %v", got, want)
+	}
+	if got, want := dstRemote.ClassifyBatch(fix.probes, 0), src.ClassifyBatch(fix.probes, 0); !reflect.DeepEqual(got, want) {
+		t.Fatal("restored shard classifies differently from the source")
+	}
+	after, err := dst.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !core.SnapshotsEqual(after, local) {
+		t.Fatal("restored shard's snapshot is not bit-identical to the source's")
+	}
+	// The restore must have pushed a version bump to the source of truth:
+	// the destination remote's cached version tracks the restored state.
+	if got, want := dstRemote.Version(), src.Version(); got != want {
+		t.Fatalf("restored remote cached version %d, want %d", got, want)
+	}
+}
+
+// TestRestoreOverWireRejectsCorrupt: a corrupt snapshot is refused by
+// the serving shard without disturbing it, and the refusal is not
+// retried into a timeout.
+func TestRestoreOverWireRejectsCorrupt(t *testing.T) {
+	fix := getShardFixture(t)
+	bank := freshShardedBank(t).Shard(0).(*core.Bank)
+	replica := startShardReplica(t, bank)
+	remote := NewRemoteShard(replica.Addr(), RemoteShardConfig{Seed: 47})
+	defer remote.Close()
+
+	before, err := bank.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := remote.Restore(before[:len(before)/2]); err == nil {
+		t.Fatal("truncated snapshot restored over the wire")
+	}
+	if time.Since(start) > 10*time.Second {
+		t.Fatalf("corrupt restore took %s (retried a non-retryable refusal?)", time.Since(start))
+	}
+	after, err := bank.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !core.SnapshotsEqual(before, after) {
+		t.Fatal("refused restore disturbed the serving shard")
+	}
+	_ = fix
+}
+
+// TestProtocolCapV2Compatibility emulates an old shard server build
+// with ProtocolCap: 2. The negotiated protocol must settle at 2,
+// classification must keep working over the plain packed encoding, the
+// v3 verbs must fail fast, and no delta subscription is granted.
+func TestProtocolCapV2Compatibility(t *testing.T) {
+	fix := getShardFixture(t)
+	bank := freshShardedBank(t).Shard(0).(*core.Bank)
+	r := NewShardReplica(bank, ServerConfig{ProtocolCap: 2})
+	if err := r.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { r.Close() })
+	remote := NewRemoteShard(r.Addr(), RemoteShardConfig{
+		Seed:         53,
+		MaxRetries:   2,
+		RetryBackoff: time.Millisecond,
+		MaxBackoff:   5 * time.Millisecond,
+	})
+	defer remote.Close()
+
+	if got, want := remote.ClassifyBatch(fix.probes, 0), bank.ClassifyBatch(fix.probes, 0); !reflect.DeepEqual(got, want) {
+		t.Fatal("classify against a v2-capped server diverged from local")
+	}
+	if got := remote.Proto(); got != 2 {
+		t.Fatalf("negotiated protocol %d against a v2-capped server, want 2", got)
+	}
+	start := time.Now()
+	if _, err := remote.Snapshot(); err == nil {
+		t.Fatal("snapshot verb succeeded against a v2-capped server")
+	} else if !strings.Contains(err.Error(), "unknown shard op") {
+		t.Fatalf("snapshot against v2 server failed with %v, want an unknown-op refusal", err)
+	}
+	if time.Since(start) > 10*time.Second {
+		t.Fatalf("snapshot refusal took %s (retried?)", time.Since(start))
+	}
+
+	// Server-side state changes produce no pushes: the v2 hello grants no
+	// subscription.
+	other := NewRemoteShard(r.Addr(), RemoteShardConfig{Seed: 59})
+	defer other.Close()
+	if err := other.Enroll(fix.spareName, fix.sparePrints); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond)
+	if n := remote.DeltasReceived(); n != 0 {
+		t.Fatalf("v2-capped server pushed %d deltas", n)
+	}
+}
+
+// TestDeltaEncodingRefusedBelowV3: a delta-packed batch offered to a
+// v2-capped server is refused non-retryably (the client would only send
+// one after negotiating v3, so this is the defensive server check), and
+// an unknown encoding is malformed at any cap.
+func TestDeltaEncodingRefusedBelowV3(t *testing.T) {
+	fix := getShardFixture(t)
+	capped := NewShardReplica(freshShardedBank(t).Shard(0).(*core.Bank), ServerConfig{ProtocolCap: 2})
+	if err := capped.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { capped.Close() })
+
+	packed, err := fingerprint.PackDelta(fix.probes[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := rawLine(t, capped.Addr(), `{"op":"classify","enc":"delta","batch":["`+packed+`"]}`)
+	if m["error"] == nil || m["retryable"] == true {
+		t.Fatalf("delta batch against v2-capped server = %v", m)
+	}
+	if !strings.Contains(m["error"].(string), "protocol v3") {
+		t.Fatalf("refusal does not name the protocol floor: %v", m)
+	}
+
+	full := startShardReplica(t, freshShardedBank(t).Shard(0).(*core.Bank))
+	if m := rawLine(t, full.Addr(), `{"op":"classify","enc":"delta","batch":["`+packed+`"]}`); m["error"] != nil {
+		t.Fatalf("delta batch against a current server = %v", m)
+	}
+	if m := rawLine(t, full.Addr(), `{"op":"classify","enc":"zstd","batch":[]}`); m["error"] == nil || m["retryable"] == true {
+		t.Fatalf("unknown batch encoding = %v", m)
+	}
+}
+
+// TestDeltaStreamPushesVersion: a subscribed verdict front learns of a
+// remote enrolment from the server's pushed version bump alone — its
+// own request counter must not move while the cached version catches
+// up, proving no classify or meta round-trip was spent.
+func TestDeltaStreamPushesVersion(t *testing.T) {
+	fix := getShardFixture(t)
+	bank := freshShardedBank(t).Shard(0).(*core.Bank)
+	replica := startShardReplica(t, bank)
+
+	front := NewRemoteShard(replica.Addr(), RemoteShardConfig{Seed: 61})
+	defer front.Close()
+	// Prime the connection (hello + subscription ride the first dial).
+	if got, want := front.Types(), bank.Types(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("front types %v, want %v", got, want)
+	}
+	if got := front.Proto(); got != ProtocolVersion {
+		t.Fatalf("negotiated protocol %d, want %d", got, ProtocolVersion)
+	}
+	v0 := front.Version()
+	requests0 := front.Counters().Requests
+
+	// A second client enrolls through the server; the front must observe
+	// the bump purely from the pushed delta line.
+	writer := NewRemoteShard(replica.Addr(), RemoteShardConfig{Seed: 67})
+	defer writer.Close()
+	if err := writer.Enroll(fix.spareName, fix.sparePrints); err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for front.Version() == v0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("front never observed the pushed version bump (still %d)", v0)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if got := front.Version(); got != v0+1 {
+		t.Fatalf("front version after push = %d, want %d", got, v0+1)
+	}
+	st := front.Counters()
+	if st.Requests != requests0 {
+		t.Fatalf("front spent %d round-trips learning of the enrolment, want 0 (delta stream)", st.Requests-requests0)
+	}
+	if st.DeltasReceived == 0 {
+		t.Fatal("front counted no received deltas")
+	}
+	if st.Transport.Pushes == 0 {
+		t.Fatal("transport counted no pushed lines")
+	}
+}

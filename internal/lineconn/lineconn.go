@@ -99,6 +99,16 @@ type Stats struct {
 	// delivered: stale-generation deliveries and responses with no
 	// registered waiter.
 	DroppedCorrelations uint64 `json:"dropped_correlations"`
+	// BytesWritten and BytesRead count wire traffic through the
+	// transport: request lines (handshakes included) out, response lines
+	// in. They are what the experiments divide by verdict counts to
+	// report bytes/verdict, so codec changes show up as a measured wire
+	// cost, not a guess.
+	BytesWritten uint64 `json:"bytes_written"`
+	BytesRead    uint64 `json:"bytes_read"`
+	// Pushes counts server-initiated lines (no line echo) handed to the
+	// Push handler rather than dropped.
+	Pushes uint64 `json:"pushes"`
 }
 
 // Counters accumulates transport counters. One Counters is typically
@@ -107,6 +117,7 @@ type Stats struct {
 // transport.
 type Counters struct {
 	dials, reconnects, bursts, burstReqs, dropped atomic.Uint64
+	bytesWritten, bytesRead, pushes               atomic.Uint64
 }
 
 // NewCounters creates an empty counter set.
@@ -120,6 +131,9 @@ func (c *Counters) Snapshot() Stats {
 		Bursts:              c.bursts.Load(),
 		BurstRequests:       c.burstReqs.Load(),
 		DroppedCorrelations: c.dropped.Load(),
+		BytesWritten:        c.bytesWritten.Load(),
+		BytesRead:           c.bytesRead.Load(),
+		Pushes:              c.pushes.Load(),
 	}
 }
 
@@ -170,6 +184,12 @@ type Options[M Message] struct {
 	// fails the dial and the connection never serves traffic.
 	Hello      []byte
 	CheckHello func(M) error
+	// Push, when non-nil, receives server-initiated lines: responses
+	// carrying no line echo (CorrelationLine 0), which correlate with no
+	// round-trip. Without a handler such lines are dropped and counted.
+	// The handler runs on the read pump — it must not block (a version
+	// stamp fold and a counter bump, not a round-trip).
+	Push func(M)
 }
 
 // result is one completed round-trip.
@@ -187,6 +207,7 @@ type Conn[M Message] struct {
 	counters *Counters
 	hello    []byte
 	check    func(M) error
+	push     func(M)
 
 	mu   sync.Mutex
 	conn net.Conn
@@ -211,6 +232,7 @@ func New[M Message](addr string, opts Options[M]) *Conn[M] {
 		counters: opts.Counters,
 		hello:    opts.Hello,
 		check:    opts.CheckHello,
+		push:     opts.Push,
 		waiters:  make(map[uint64]chan result[M]),
 	}
 }
@@ -271,6 +293,7 @@ func (c *Conn[M]) ensureConnLocked(ctx context.Context, deadline time.Time) erro
 		c.dropLocked(conn, err)
 		return fmt.Errorf("lineconn: handshake with %s: %w", c.addr, err)
 	}
+	c.counters.bytesWritten.Add(uint64(len(c.hello)))
 
 	// Wait for the handshake reply outside the lock.
 	c.mu.Unlock()
@@ -332,6 +355,7 @@ func (c *Conn[M]) RoundTrip(ctx context.Context, body []byte, timeout time.Durat
 		c.mu.Unlock()
 		return zero, werr
 	}
+	c.counters.bytesWritten.Add(uint64(len(body)))
 	c.mu.Unlock()
 
 	timer := time.NewTimer(time.Until(deadline))
@@ -389,6 +413,8 @@ func (c *Conn[M]) RoundTripBatch(ctx context.Context, bodies [][]byte, timeout t
 		// dropLocked fails every registered waiter, ours included; the
 		// wait loop below collects those failures positionally.
 		c.dropLocked(conn, fmt.Errorf("lineconn: writing burst to %s: %w", c.addr, err))
+	} else {
+		c.counters.bytesWritten.Add(uint64(len(burst)))
 	}
 	c.mu.Unlock()
 
@@ -430,6 +456,7 @@ func (c *Conn[M]) readPump(conn net.Conn, gen uint64) {
 			c.fail(conn, fmt.Errorf("lineconn: reading from %s: %w", c.addr, err))
 			return
 		}
+		c.counters.bytesRead.Add(uint64(len(line)))
 		var msg M
 		if err := json.Unmarshal(line, &msg); err != nil {
 			c.fail(conn, fmt.Errorf("lineconn: decoding response from %s: %w", c.addr, err))
@@ -442,15 +469,23 @@ func (c *Conn[M]) readPump(conn net.Conn, gen uint64) {
 }
 
 // deliver routes a response to the waiter for its echoed line number,
-// reporting whether the pump's connection is still current. Stale
-// generations and responses without a waiter (after a local timeout, or
-// lacking the line echo) are dropped and counted.
+// reporting whether the pump's connection is still current. Lines with
+// no echo at all are server-initiated pushes, handed to the Push
+// handler when one is configured. Stale generations and responses
+// without a waiter (after a local timeout, or an uncorrelated line with
+// no Push handler) are dropped and counted.
 func (c *Conn[M]) deliver(msg M, gen uint64) bool {
 	c.mu.Lock()
 	if c.gen != gen {
 		c.mu.Unlock()
 		c.counters.dropped.Add(1)
 		return false
+	}
+	if msg.CorrelationLine() == 0 && c.push != nil {
+		c.mu.Unlock()
+		c.counters.pushes.Add(1)
+		c.push(msg)
+		return true
 	}
 	ch := c.waiters[msg.CorrelationLine()]
 	if ch == nil {

@@ -15,6 +15,10 @@ type ForestConfig struct {
 	// subsampling). Two forests trained with the same seed on the same
 	// data are identical.
 	Seed int64
+	// Flat selects the flattened serving layout's compaction (float32
+	// thresholds, leaf caps). The zero value keeps predictions
+	// bit-identical to the trained trees; see FlatConfig.
+	Flat FlatConfig
 }
 
 // DefaultTrees is the default forest size.
@@ -52,7 +56,7 @@ func NewForest(ds *Dataset, cfg ForestConfig) (*Forest, error) {
 		sample := ds.Subset(bootstrap(ds.Len(), rng))
 		f.trees[i] = NewTree(sample, cfg.Tree, rng)
 	}
-	f.flat = flatten(f.trees)
+	f.flat = flatten(f.trees, cfg.Flat)
 	return f, nil
 }
 
@@ -98,3 +102,7 @@ func (f *Forest) Predict(x []float64) int {
 
 // Trees returns the number of trees in the forest.
 func (f *Forest) Trees() int { return len(f.trees) }
+
+// FlatBytes returns the byte size of the flattened serving arrays —
+// the cache-resident footprint the FlatConfig compaction shrinks.
+func (f *Forest) FlatBytes() int { return f.flat.bytes() }
