@@ -22,9 +22,19 @@
 //	sentinel-eval -experiment all -repeats 2  # faster smoke run
 //	sentinel-eval -experiment fleet -shards 4 -backends 3
 //	sentinel-eval -experiment distributed -shards 2
-//	sentinel-eval -experiment replicated -replicas 2
+//	sentinel-eval -experiment distributed -wire dict       # v4 dictionary wire + off-twin gain check
+//	sentinel-eval -experiment replicated -replicas 2 -wire dict+flate
 //	sentinel-eval -experiment rebalance -replicas 2 -mint snapshot
 //	sentinel-eval -experiment dataplane -workers 8
+//
+// The -wire flag (off|dict|dict+flate) turns on the protocol-v4 wire
+// compression for the distributed, replicated and rebalance
+// experiments: per-connection fingerprint dictionaries, and with
+// dict+flate framed flate transport on top. The distributed and
+// replicated experiments then also replay a wire-off twin phase,
+// assert its verdicts bit-equal, and fail unless the measured
+// steady-state bytes-per-verdict gain reaches -min-wire-gain (default
+// 5x).
 package main
 
 import (
@@ -36,6 +46,7 @@ import (
 
 	"repro/internal/controlplane"
 	"repro/internal/experiments"
+	"repro/internal/iotssp"
 )
 
 func main() {
@@ -62,9 +73,22 @@ func run(args []string) error {
 		minSpeedup  = fs.Float64("min-speedup", -1, "fail the dataplane experiment unless pipeline/serial packets/sec reaches this ratio (0 = report only; -1 = 2.0 when GOMAXPROCS >= 4, else report only)")
 		maxP99Ratio = fs.Float64("max-p99-ratio", -1, "fail the replicated/rebalance experiments unless the drill run's p99 stays within this multiple of the steady run's (0 = report only; -1 = 2.0 when GOMAXPROCS >= 4, else report only)")
 		mint        = fs.String("mint", "auto", "member-replacement minting strategy for the rebalance experiment: auto|snapshot|replay")
+		wire        = fs.String("wire", "off", "v4 wire compression for the distributed/replicated/rebalance experiments: off|dict|dict+flate")
+		minWireGain = fs.Float64("min-wire-gain", -1, "fail the distributed/replicated experiments unless wire-off/wire-on steady-state bytes per verdict reaches this ratio (0 = report only; -1 = 5.0 when -wire is on, else off)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	wireMode, err := iotssp.ParseWireMode(*wire)
+	if err != nil {
+		return err
+	}
+	wireGain := *minWireGain
+	if wireGain < 0 {
+		wireGain = 0
+		if wireMode != iotssp.WireOff {
+			wireGain = 5.0
+		}
 	}
 	var mintStrategy controlplane.MintStrategy
 	switch *mint {
@@ -158,10 +182,12 @@ func run(args []string) error {
 	if *experiment == "distributed" || *experiment == "all" {
 		fmt.Println()
 		res, err := experiments.RunDistributed(experiments.DistributedConfig{
-			Runs:   *runs / 2,
-			Trees:  *trees,
-			Shards: *shards,
-			Seed:   *seed,
+			Runs:        *runs / 2,
+			Trees:       *trees,
+			Shards:      *shards,
+			Seed:        *seed,
+			Wire:        wireMode,
+			MinWireGain: wireGain,
 		})
 		if err != nil {
 			return err
@@ -188,6 +214,8 @@ func run(args []string) error {
 			Replicas:    *replicas,
 			MaxP99Ratio: ratio,
 			Seed:        *seed,
+			Wire:        wireMode,
+			MinWireGain: wireGain,
 		})
 		if err != nil {
 			return err
@@ -212,6 +240,7 @@ func run(args []string) error {
 			MaxP99Ratio: ratio,
 			Mint:        mintStrategy,
 			Seed:        *seed,
+			Wire:        wireMode,
 		})
 		if err != nil {
 			return err

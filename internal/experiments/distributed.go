@@ -36,7 +36,8 @@ type DistributedConfig struct {
 	// the workload draws from (0 means 2).
 	ProbeModels int
 	// Requests is the total identification requests replayed per phase
-	// (0 means 384).
+	// (0 means 1024: long enough that the v4 dictionary's one-time
+	// seeding misses amortize out of the steady-state bytes/verdict).
 	Requests int
 	// Gateways is the number of concurrent gateway clients (0 means 2),
 	// InFlight each gateway's concurrent requests (0 means 8).
@@ -61,6 +62,15 @@ type DistributedConfig struct {
 	// phase — the canary's shard would be unreachable).
 	NoKill    bool
 	NoRestart bool
+	// Wire selects the v4 wire compression for every client transport in
+	// the run — the gateway pools toward the front server and the remote
+	// shard toward its shard server. When it is on, the run adds an
+	// uncompressed twin phase and reports the measured gain.
+	Wire iotssp.WireMode
+	// MinWireGain, with Wire on, fails the run unless the uncompressed
+	// twin's steady-state bytes/verdict divided by the compressed run's
+	// reaches it (0 reports the gain without asserting).
+	MinWireGain float64
 	// Seed drives dataset generation, training and workload sampling.
 	Seed int64
 }
@@ -82,7 +92,7 @@ func (c DistributedConfig) withDefaults() (DistributedConfig, error) {
 		c.ProbeModels = 2
 	}
 	if c.Requests == 0 {
-		c.Requests = 384
+		c.Requests = 1024
 	}
 	if c.Gateways == 0 {
 		c.Gateways = 2
@@ -110,7 +120,7 @@ func (c DistributedConfig) withDefaults() (DistributedConfig, error) {
 
 // phase shapes the experiment's replay phases.
 func (c DistributedConfig) phase() wirePhase {
-	return wirePhase{Requests: c.Requests, Gateways: c.Gateways, InFlight: c.InFlight, Seed: c.Seed}
+	return wirePhase{Requests: c.Requests, Gateways: c.Gateways, InFlight: c.InFlight, Seed: c.Seed, Wire: c.Wire}
 }
 
 // DistributedResult is the outcome of the distributed-bank experiment.
@@ -146,9 +156,20 @@ type DistributedResult struct {
 	P50, P99 time.Duration
 
 	// BytesPerVerdict is the distributed phase's measured shard-plane
-	// wire cost per verdict (both directions of the remote shard's
-	// transport, off the lineconn byte counters).
+	// steady-state wire cost per verdict (both directions of the remote
+	// shard's transport, off the lineconn byte counters, handshake and
+	// state-transfer bytes carved out).
 	BytesPerVerdict float64
+
+	// Wire is the run's wire-compression mode. With it on, the run adds
+	// an uncompressed twin phase: BytesPerVerdictOff is that twin's
+	// cost, WireGain the off/on ratio (how many times fewer bytes each
+	// verdict costs compressed), and DictHitRate the fingerprint
+	// dictionaries' hit rate in the compressed phase.
+	Wire               iotssp.WireMode
+	BytesPerVerdictOff float64
+	WireGain           float64
+	DictHitRate        float64
 
 	// Remote-enrolment invalidation check: enrolling the canary through
 	// the logical bank must route it to the remote shard (CanaryShard ==
@@ -197,10 +218,12 @@ func buildWireWorkload(types, runs, probeModels, requests int, seed int64) (map[
 }
 
 // wirePhase shapes one replayed load phase: how many requests, over how
-// many gateway clients with how many in-flight slots each.
+// many gateway clients with how many in-flight slots each, at which
+// wire-compression mode.
 type wirePhase struct {
 	Requests, Gateways, InFlight int
 	Seed                         int64
+	Wire                         iotssp.WireMode
 }
 
 // wireDrill is one mid-run intervention: Fn fires once the request
@@ -229,6 +252,7 @@ func runWirePhase(addr string, w *serviceWorkload, cfg wirePhase, drills []wireD
 			MaxRetries:   3,
 			RetryBackoff: 2 * time.Millisecond,
 			Seed:         cfg.Seed + int64(g),
+			Wire:         cfg.Wire,
 		})
 	}
 	defer func() {
@@ -358,6 +382,7 @@ func RunDistributed(cfg DistributedConfig) (*DistributedResult, error) {
 		RemoteShard:   remoteIdx,
 		Requests:      cfg.Requests,
 		Gateways:      cfg.Gateways,
+		Wire:          cfg.Wire,
 		CanaryType:    canary,
 		CanaryShard:   -1,
 	}
@@ -397,6 +422,7 @@ func RunDistributed(cfg DistributedConfig) (*DistributedResult, error) {
 			MaxBackoff:   50 * time.Millisecond,
 			MaxRetries:   40,
 			Seed:         cfg.Seed + 101,
+			Wire:         cfg.Wire,
 		},
 		CacheSize: -1,
 		DB:        vulndb.Seeded(),
@@ -453,6 +479,53 @@ func RunDistributed(cfg DistributedConfig) (*DistributedResult, error) {
 		return res, fmt.Errorf("killed shard server failed to restart")
 	}
 
+	// Wire-off twin — with compression on, replay the same workload
+	// against an identically trained mixed cluster speaking the plain
+	// wire (no drills: the twin prices the steady state). Its verdicts
+	// must stay bit-equal to the baseline — compression is lossless or
+	// it is a bug — and the off/on bytes-per-verdict ratio is the gain
+	// MinWireGain asserts.
+	if cfg.Wire != iotssp.WireOff {
+		res.DictHitRate = res.Metrics.DictHitRate
+		offCl, err := controlplane.Assemble(controlplane.ClusterConfig{
+			Core:   coreCfg,
+			Server: scfg,
+			Shard: iotssp.RemoteShardConfig{
+				RetryBackoff: 2 * time.Millisecond,
+				MaxBackoff:   50 * time.Millisecond,
+				MaxRetries:   40,
+				Seed:         cfg.Seed + 103,
+			},
+			CacheSize: -1,
+			DB:        vulndb.Seeded(),
+		}, mixedTopology(train, cfg.Shards, remoteIdx, 1), train)
+		if err != nil {
+			return res, err
+		}
+		offPhase := cfg.phase()
+		offPhase.Wire = iotssp.WireOff
+		offPhase.Seed = cfg.Seed + 103
+		_, _, offVerdicts, _, offLost := runWirePhase(offCl.Addr(), w, offPhase, nil)
+		offMetrics := &MetricsSnapshot{Experiment: "distributed-wire-off", Components: offCl.Snapshots()}
+		offCl.Close()
+		if offLost > 0 {
+			return res, fmt.Errorf("wire-off twin lost %d verdicts with no failure injected", offLost)
+		}
+		for i := range offVerdicts {
+			if !verdictsEqual(baseVerdicts[i], offVerdicts[i]) {
+				return res, fmt.Errorf("wire-off twin verdict %d differs from the baseline (want bit-equal)", i)
+			}
+		}
+		res.BytesPerVerdictOff = offMetrics.ComputeBytesPerVerdict(cfg.Requests)
+		if res.BytesPerVerdict > 0 {
+			res.WireGain = res.BytesPerVerdictOff / res.BytesPerVerdict
+		}
+		if cfg.MinWireGain > 0 && res.WireGain < cfg.MinWireGain {
+			return res, fmt.Errorf("wire compression gain %.2fx (off %.1f B/verdict, %s %.1f B/verdict) below the required %.1fx",
+				res.WireGain, res.BytesPerVerdictOff, cfg.Wire, res.BytesPerVerdict, cfg.MinWireGain)
+		}
+	}
+
 	// Phase 3 — remote enrolment drives shard-scoped cache
 	// invalidation. Skipped when the drill left the remote shard down.
 	if res.ShardKilled && cfg.NoRestart {
@@ -494,7 +567,11 @@ func (r *DistributedResult) RenderDistributed() string {
 	}
 	fmt.Fprintf(&sb, "latency p50 %s  p99 %s\n", r.P50, r.P99)
 	if r.BytesPerVerdict > 0 {
-		fmt.Fprintf(&sb, "shard wire cost: %.1f bytes/verdict\n", r.BytesPerVerdict)
+		fmt.Fprintf(&sb, "shard wire cost: %.1f bytes/verdict (steady state)\n", r.BytesPerVerdict)
+	}
+	if r.Wire != iotssp.WireOff && r.WireGain > 0 {
+		fmt.Fprintf(&sb, "wire compression (%s): %.1fx fewer bytes/verdict than the plain wire (%.1f vs %.1f), dict hit rate %.1f%%\n",
+			r.Wire, r.WireGain, r.BytesPerVerdict, r.BytesPerVerdictOff, 100*r.DictHitRate)
 	}
 	if r.CanaryShard >= 0 {
 		fmt.Fprintf(&sb, "remote invalidation: enrolling %q landed on remote shard %d and invalidated %d dependent verdicts, kept %d\n",

@@ -63,6 +63,51 @@ func TestRunDistributedTinyConfig(t *testing.T) {
 	}
 }
 
+// TestRunDistributedWireDict runs the same drill with the v4 wire
+// compression on: RunDistributed itself asserts bit-equal verdicts
+// (including the wire-off twin phase), zero lost across the shard
+// restart — which also proves dictionaries reset coherently across the
+// kill+revive — and at least the required compression gain.
+func TestRunDistributedWireDict(t *testing.T) {
+	for _, wire := range []iotssp.WireMode{iotssp.WireDict, iotssp.WireDictFlate} {
+		t.Run(wire.String(), func(t *testing.T) {
+			res, err := RunDistributed(DistributedConfig{
+				Types:       5,
+				Runs:        5,
+				Trees:       15,
+				ProbeModels: 1,
+				Requests:    512,
+				Gateways:    2,
+				InFlight:    8,
+				Shards:      2,
+				BatchSize:   16,
+				Seed:        13,
+				Wire:        wire,
+				MinWireGain: 5,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Mismatches != 0 || res.Lost != 0 {
+				t.Fatalf("mismatches=%d lost=%d", res.Mismatches, res.Lost)
+			}
+			if !res.ShardKilled || !res.Restarted {
+				t.Errorf("shard restart drill did not run: killed=%v restarted=%v", res.ShardKilled, res.Restarted)
+			}
+			if res.WireGain < 5 {
+				t.Fatalf("wire gain %.2fx, want >= 5x (on %.1f B/verdict, off %.1f)", res.WireGain, res.BytesPerVerdict, res.BytesPerVerdictOff)
+			}
+			if res.DictHitRate <= 0.5 {
+				t.Errorf("dict hit rate %.2f on a recurring-model workload, want > 0.5", res.DictHitRate)
+			}
+			out := res.RenderDistributed()
+			if !strings.Contains(out, "wire compression ("+wire.String()+")") {
+				t.Errorf("render missing the wire-compression line:\n%s", out)
+			}
+		})
+	}
+}
+
 // TestRunDistributedRejectsFullCatalog: the canary type must exist
 // beyond the enrolled set.
 func TestRunDistributedRejectsFullCatalog(t *testing.T) {

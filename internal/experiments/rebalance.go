@@ -63,6 +63,12 @@ type RebalanceConfig struct {
 	// reports the ratio without asserting (callers gate the assertion on
 	// GOMAXPROCS, like the replicated experiment).
 	MaxP99Ratio float64
+	// Wire selects the v4 wire compression on every client leg (gateway
+	// pools and the group's member links), as in DistributedConfig. The
+	// rebalance experiment reports no compression gain of its own — the
+	// distributed/replicated experiments own that assertion — but the
+	// drills then exercise dictionary resets across member replacement.
+	Wire iotssp.WireMode
 	// Seed drives dataset generation, training and workload sampling.
 	Seed int64
 }
@@ -112,7 +118,7 @@ func (c RebalanceConfig) withDefaults() (RebalanceConfig, error) {
 
 // phase shapes the experiment's replay phases.
 func (c RebalanceConfig) phase() wirePhase {
-	return wirePhase{Requests: c.Requests, Gateways: c.Gateways, InFlight: c.InFlight, Seed: c.Seed}
+	return wirePhase{Requests: c.Requests, Gateways: c.Gateways, InFlight: c.InFlight, Seed: c.Seed, Wire: c.Wire}
 }
 
 // rebalanceShards is the experiment's fixed partition count: a local
@@ -212,6 +218,7 @@ func assembleRebalance(cfg RebalanceConfig, coreCfg core.BankConfig, scfg iotssp
 				RetryBackoff: 200 * time.Microsecond,
 				MaxBackoff:   time.Millisecond,
 				Seed:         cfg.Seed + 211,
+				Wire:         cfg.Wire,
 			},
 			ProbeBackoff: 20 * time.Millisecond,
 		},

@@ -67,6 +67,47 @@ func TestRunRebalanceTinyConfig(t *testing.T) {
 	}
 }
 
+// TestRunRebalanceWireDict replays the live-topology drill on the v4
+// dictionary wire: the migrations and the rolling member replacement
+// tear down and re-open dictionary-coded connections mid-run, and the
+// experiment's own bit-equality and zero-lost assertions prove the
+// dictionaries reset coherently through every sever.
+func TestRunRebalanceWireDict(t *testing.T) {
+	res, err := RunRebalance(RebalanceConfig{
+		Types:       6,
+		Runs:        5,
+		Trees:       15,
+		ProbeModels: 1,
+		Requests:    96,
+		Gateways:    2,
+		InFlight:    4,
+		Replicas:    2,
+		BatchSize:   8,
+		Seed:        13,
+		Wire:        iotssp.WireDict,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Lost != 0 || res.Mismatches != 0 {
+		t.Fatalf("lost=%d mismatches=%d", res.Lost, res.Mismatches)
+	}
+	if !res.Rebalanced || !res.Replaced {
+		t.Errorf("rollout drills did not run: rebalanced=%v replaced=%v", res.Rebalanced, res.Replaced)
+	}
+	groups := unmarshalKind[iotssp.ShardGroupStats](t, res.Metrics, "shard_group")
+	if len(groups) != 1 {
+		t.Fatalf("metrics snapshot incomplete: %+v", res.Metrics)
+	}
+	var hits uint64
+	for _, m := range groups[0].Members {
+		hits += m.Shard.Transport.DictHits
+	}
+	if hits == 0 {
+		t.Errorf("group member links never engaged the dictionary: %+v", groups[0].Members)
+	}
+}
+
 // TestRunRebalanceRejectsBadConfigs: each of the three partitions must
 // keep at least one type through the migrations, and a one-member group
 // cannot roll a member.

@@ -32,7 +32,8 @@ type ReplicatedConfig struct {
 	// the workload draws from (0 means 2).
 	ProbeModels int
 	// Requests is the total identification requests replayed per phase
-	// (0 means 384).
+	// (0 means 1024: long enough that the v4 dictionary's one-time
+	// seeding misses amortize out of the steady-state bytes/verdict).
 	Requests int
 	// Gateways is the number of concurrent gateway clients (0 means 2),
 	// InFlight each gateway's concurrent requests (0 means 8).
@@ -62,6 +63,15 @@ type ReplicatedConfig struct {
 	// asserting (callers gate the assertion on GOMAXPROCS, like the
 	// fleet experiment's MinScaling).
 	MaxP99Ratio float64
+	// Wire selects the v4 wire compression for every client transport in
+	// the run — gateway pools and the group members' shard transports.
+	// When it is on, the run adds an uncompressed twin phase and reports
+	// the measured gain.
+	Wire iotssp.WireMode
+	// MinWireGain, with Wire on, fails the run unless the uncompressed
+	// twin's steady-state bytes/verdict divided by the compressed run's
+	// reaches it (0 reports the gain without asserting).
+	MinWireGain float64
 	// Seed drives dataset generation, training and workload sampling.
 	Seed int64
 }
@@ -83,7 +93,7 @@ func (c ReplicatedConfig) withDefaults() (ReplicatedConfig, error) {
 		c.ProbeModels = 2
 	}
 	if c.Requests == 0 {
-		c.Requests = 384
+		c.Requests = 1024
 	}
 	if c.Gateways == 0 {
 		c.Gateways = 2
@@ -117,7 +127,7 @@ func (c ReplicatedConfig) withDefaults() (ReplicatedConfig, error) {
 
 // phase shapes the experiment's replay phases.
 func (c ReplicatedConfig) phase() wirePhase {
-	return wirePhase{Requests: c.Requests, Gateways: c.Gateways, InFlight: c.InFlight, Seed: c.Seed}
+	return wirePhase{Requests: c.Requests, Gateways: c.Gateways, InFlight: c.InFlight, Seed: c.Seed, Wire: c.Wire}
 }
 
 // ReplicatedResult is the outcome of the replicated-shard experiment.
@@ -173,10 +183,21 @@ type ReplicatedResult struct {
 	DependentProbes   int
 	IndependentProbes int
 
-	// BytesPerVerdict is the measured shard-plane wire cost per verdict
-	// across the two group phases (every member transport's bytes in
-	// both directions, off the lineconn byte counters).
+	// BytesPerVerdict is the measured shard-plane steady-state wire cost
+	// per verdict across the two group phases (every member transport's
+	// bytes in both directions, off the lineconn byte counters,
+	// handshake and state-transfer bytes carved out).
 	BytesPerVerdict float64
+
+	// Wire is the run's wire-compression mode. With it on, the run adds
+	// an uncompressed twin of the no-kill group phase:
+	// BytesPerVerdictOff is that twin's cost, WireGain the off/on ratio
+	// and DictHitRate the fingerprint dictionaries' hit rate across the
+	// compressed phases.
+	Wire               iotssp.WireMode
+	BytesPerVerdictOff float64
+	WireGain           float64
+	DictHitRate        float64
 
 	// Metrics is the run's single JSON stats snapshot.
 	Metrics *MetricsSnapshot
@@ -235,6 +256,7 @@ func RunReplicatedShards(cfg ReplicatedConfig) (*ReplicatedResult, error) {
 		Replicas:        cfg.Replicas,
 		Requests:        cfg.Requests,
 		Gateways:        cfg.Gateways,
+		Wire:            cfg.Wire,
 		CanaryType:      canary,
 		CanaryShard:     -1,
 	}
@@ -282,6 +304,7 @@ func RunReplicatedShards(cfg ReplicatedConfig) (*ReplicatedResult, error) {
 				RetryBackoff: 200 * time.Microsecond,
 				MaxBackoff:   time.Millisecond,
 				Seed:         cfg.Seed + 211,
+				Wire:         cfg.Wire,
 			},
 			ProbeBackoff: 20 * time.Millisecond,
 		},
@@ -368,6 +391,57 @@ func RunReplicatedShards(cfg ReplicatedConfig) (*ReplicatedResult, error) {
 		}
 	}
 
+	// Wire-off twin — with compression on, replay the workload once
+	// against an identically trained group speaking the plain wire (no
+	// kill: the twin prices the steady state). Verdicts must stay
+	// bit-equal to the reference, and the off/on bytes-per-verdict
+	// ratio is the gain MinWireGain asserts. Both numbers are
+	// per-verdict normalized, so the twin's single phase compares
+	// cleanly against the group cluster's two.
+	if cfg.Wire != iotssp.WireOff {
+		res.DictHitRate = res.Metrics.DictHitRate
+		offCl, err := controlplane.Assemble(controlplane.ClusterConfig{
+			Core:   coreCfg,
+			Server: scfg,
+			Group: iotssp.ShardGroupConfig{
+				Shard: iotssp.RemoteShardConfig{
+					MaxRetries:   1,
+					RetryBackoff: 200 * time.Microsecond,
+					MaxBackoff:   time.Millisecond,
+					Seed:         cfg.Seed + 223,
+				},
+				ProbeBackoff: 20 * time.Millisecond,
+			},
+			CacheSize: -1,
+			DB:        vulndb.Seeded(),
+		}, mixedTopology(train, cfg.Shards, groupIdx, cfg.Replicas), train)
+		if err != nil {
+			return res, err
+		}
+		offPhase := cfg.phase()
+		offPhase.Wire = iotssp.WireOff
+		offPhase.Seed = cfg.Seed + 223
+		_, _, offVerdicts, _, offLost := runWirePhase(offCl.Addr(), w, offPhase, nil)
+		offMetrics := &MetricsSnapshot{Experiment: "replicated-wire-off", Components: offCl.Snapshots()}
+		offCl.Close()
+		if offLost > 0 {
+			return res, fmt.Errorf("wire-off twin lost %d verdicts with no failure injected", offLost)
+		}
+		for i := range offVerdicts {
+			if !verdictsEqual(refVerdicts[i], offVerdicts[i]) {
+				return res, fmt.Errorf("wire-off twin verdict %d differs from the single-replica reference (want bit-equal)", i)
+			}
+		}
+		res.BytesPerVerdictOff = offMetrics.ComputeBytesPerVerdict(cfg.Requests)
+		if res.BytesPerVerdict > 0 {
+			res.WireGain = res.BytesPerVerdictOff / res.BytesPerVerdict
+		}
+		if cfg.MinWireGain > 0 && res.WireGain < cfg.MinWireGain {
+			return res, fmt.Errorf("wire compression gain %.2fx (off %.1f B/verdict, %s %.1f B/verdict) below the required %.1fx",
+				res.WireGain, res.BytesPerVerdictOff, cfg.Wire, res.BytesPerVerdict, cfg.MinWireGain)
+		}
+	}
+
 	// Phase 4 — fan-out enrolment drives shard-scoped invalidation
 	// exactly once.
 	invSvc := cl.AuxService(cfg.CacheSize)
@@ -438,7 +512,11 @@ func (r *ReplicatedResult) RenderReplicated() string {
 			r.CanaryType, r.CanaryShard, r.DependentProbes, r.IndependentProbes)
 	}
 	if r.BytesPerVerdict > 0 {
-		fmt.Fprintf(&sb, "shard wire cost: %.1f bytes/verdict\n", r.BytesPerVerdict)
+		fmt.Fprintf(&sb, "shard wire cost: %.1f bytes/verdict (steady state)\n", r.BytesPerVerdict)
+	}
+	if r.Wire != iotssp.WireOff && r.WireGain > 0 {
+		fmt.Fprintf(&sb, "wire compression (%s): %.1fx fewer bytes/verdict than the plain wire (%.1f vs %.1f), dict hit rate %.1f%%\n",
+			r.Wire, r.WireGain, r.BytesPerVerdict, r.BytesPerVerdictOff, 100*r.DictHitRate)
 	}
 	if r.Metrics != nil {
 		fmt.Fprintf(&sb, "metrics: %s\n", r.Metrics.JSON())

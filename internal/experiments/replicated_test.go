@@ -83,6 +83,52 @@ func TestRunReplicatedShardsTinyConfig(t *testing.T) {
 	}
 }
 
+// TestRunReplicatedShardsWireDict runs the replicated drill with the v4
+// wire compression on: RunReplicatedShards itself asserts bit-equal
+// verdicts in both group phases and in the wire-off twin, zero lost
+// across the member kill+revive (dictionaries reset coherently on the
+// revived member's fresh connections), and at least the required
+// compression gain over the uncompressed twin.
+func TestRunReplicatedShardsWireDict(t *testing.T) {
+	for _, wire := range []iotssp.WireMode{iotssp.WireDict, iotssp.WireDictFlate} {
+		t.Run(wire.String(), func(t *testing.T) {
+			res, err := RunReplicatedShards(ReplicatedConfig{
+				Types:       5,
+				Runs:        5,
+				Trees:       15,
+				ProbeModels: 1,
+				Requests:    512,
+				Gateways:    2,
+				InFlight:    8,
+				Shards:      2,
+				Replicas:    2,
+				BatchSize:   16,
+				Seed:        13,
+				Wire:        wire,
+				MinWireGain: 5,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.MismatchesNoKill != 0 || res.MismatchesKill != 0 || res.Lost != 0 {
+				t.Fatalf("mismatches=%d+%d lost=%d", res.MismatchesNoKill, res.MismatchesKill, res.Lost)
+			}
+			if !res.MemberKilled || !res.Restarted {
+				t.Errorf("member restart drill did not run: killed=%v restarted=%v", res.MemberKilled, res.Restarted)
+			}
+			if res.WireGain < 5 {
+				t.Fatalf("wire gain %.2fx, want >= 5x (on %.1f B/verdict, off %.1f)", res.WireGain, res.BytesPerVerdict, res.BytesPerVerdictOff)
+			}
+			if res.DictHitRate <= 0.5 {
+				t.Errorf("dict hit rate %.2f on a recurring-model workload, want > 0.5", res.DictHitRate)
+			}
+			if !strings.Contains(res.RenderReplicated(), "wire compression ("+wire.String()+")") {
+				t.Errorf("render missing the wire-compression line:\n%s", res.RenderReplicated())
+			}
+		})
+	}
+}
+
 // TestRunReplicatedShardsRejectsBadConfigs: the canary type must exist
 // beyond the enrolled set, and a one-member group is not replication.
 func TestRunReplicatedShardsRejectsBadConfigs(t *testing.T) {

@@ -22,42 +22,73 @@ type MetricsSnapshot struct {
 	// Components holds one tagged counter snapshot per managed
 	// component, in assembly order.
 	Components []stats.Snapshot `json:"components"`
-	// ShardWireBytes is the shard-plane wire traffic the run recorded —
-	// both directions of every remote-shard client transport, standalone
-	// and inside shard groups — and BytesPerVerdict that traffic divided
-	// by the verdicts served. Both are filled by ComputeBytesPerVerdict;
-	// they are measured off the lineconn byte counters, so codec changes
-	// (delta-packed batches, quantized layouts) move a reported number
-	// rather than an estimate.
-	ShardWireBytes  uint64  `json:"shard_wire_bytes,omitempty"`
-	BytesPerVerdict float64 `json:"bytes_per_verdict,omitempty"`
+	// ShardWireBytes is the shard-plane steady-state wire traffic the
+	// run recorded — both directions of every remote-shard client
+	// transport, standalone and inside shard groups, minus the
+	// handshake, push and state-transfer bytes broken out into
+	// ShardControlBytes — and BytesPerVerdict that steady-state traffic
+	// divided by the verdicts served. All are filled by
+	// ComputeBytesPerVerdict; they are measured off the lineconn byte
+	// counters, so codec changes (delta-packed batches, dictionary
+	// references, framed flate) move a reported number rather than an
+	// estimate.
+	ShardWireBytes    uint64  `json:"shard_wire_bytes,omitempty"`
+	ShardControlBytes uint64  `json:"shard_control_bytes,omitempty"`
+	BytesPerVerdict   float64 `json:"bytes_per_verdict,omitempty"`
+	// DictHitRate is the v4 fingerprint dictionaries' hit rate across
+	// the same transports (0 when no dictionary traffic ran).
+	DictHitRate float64 `json:"dict_hit_rate,omitempty"`
 }
 
 // ComputeBytesPerVerdict folds the shard-plane transports' byte
 // counters out of the captured components into a per-verdict wire
-// cost, records it on the snapshot, and returns it. Zero verdicts (or
-// a run with no shard-plane components) reports zero.
+// cost, records it on the snapshot, and returns it. Handshake bytes,
+// server-pushed delta-stream bytes and state-transfer payloads
+// (enroll/snapshot/restore/meta) are carved out into ShardControlBytes
+// first, so the per-verdict number prices exactly the steady-state
+// classify traffic a fleet pays per request. Zero verdicts (or a run
+// with no shard-plane components) reports zero.
 func (m *MetricsSnapshot) ComputeBytesPerVerdict(verdicts int) float64 {
-	var total uint64
+	var steady, control, hits, misses uint64
+	fold := func(rs iotssp.RemoteShardStats) {
+		all := rs.Transport.BytesWritten + rs.Transport.BytesRead
+		carve := rs.Transport.HandshakeBytesWritten + rs.Transport.HandshakeBytesRead +
+			rs.Transport.PushBytesRead + rs.StateBytes
+		if carve > all {
+			// StateBytes is payload-sized while the transport counters are
+			// wire-sized: framed flate can compress the wire below the
+			// payload carve-out. Clamp — the steady-state remainder is then
+			// zero, never negative.
+			carve = all
+		}
+		steady += all - carve
+		control += carve
+		hits += rs.Transport.DictHits
+		misses += rs.Transport.DictMisses
+	}
 	for _, c := range m.Components {
 		switch c.Kind {
 		case "remote_shard":
 			var rs iotssp.RemoteShardStats
 			if json.Unmarshal(c.Data, &rs) == nil {
-				total += rs.Transport.BytesWritten + rs.Transport.BytesRead
+				fold(rs)
 			}
 		case "shard_group":
 			var g iotssp.ShardGroupStats
 			if json.Unmarshal(c.Data, &g) == nil {
 				for _, mem := range g.Members {
-					total += mem.Shard.Transport.BytesWritten + mem.Shard.Transport.BytesRead
+					fold(mem.Shard)
 				}
 			}
 		}
 	}
-	m.ShardWireBytes = total
+	m.ShardWireBytes = steady
+	m.ShardControlBytes = control
+	if hits+misses > 0 {
+		m.DictHitRate = float64(hits) / float64(hits+misses)
+	}
 	if verdicts > 0 {
-		m.BytesPerVerdict = float64(total) / float64(verdicts)
+		m.BytesPerVerdict = float64(steady) / float64(verdicts)
 	}
 	return m.BytesPerVerdict
 }

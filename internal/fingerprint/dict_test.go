@@ -1,0 +1,290 @@
+package fingerprint
+
+import (
+	"testing"
+
+	"repro/internal/features"
+)
+
+// dictFp builds a deterministic fingerprint of n rows from a model
+// seed; equal (model, n) build bit-equal fingerprints.
+func dictFp(model int, n int) *Fingerprint {
+	vs := make([]features.Vector, n)
+	for i := range vs {
+		for j := 0; j < features.NumFeatures; j++ {
+			vs[i][j] = int32((model*31+i*7+j*3)%97) - 11
+		}
+		// Keep consecutive rows distinct so FromVectors keeps them all.
+		vs[i][0] = int32(i)
+	}
+	return FromVectors(vs)
+}
+
+// dictPerturbed is dictFp with a few cells nudged — same shape and
+// first row, so it diffs against the model's base matrix.
+func dictPerturbed(model, n, nudge int) *Fingerprint {
+	f := dictFp(model, n)
+	vs := f.Vectors()
+	for i := 1; i < len(vs); i += 2 {
+		vs[i][5] += int32(nudge)
+	}
+	return FromVectors(vs)
+}
+
+// roundTrip packs a batch through enc's transaction and decodes it
+// through dec's, committing both, and asserts bit-equal fingerprints.
+func roundTrip(t *testing.T, enc, dec *Dict, fps []*Fingerprint) []string {
+	t.Helper()
+	etxn := enc.Begin()
+	entries := make([]string, len(fps))
+	for i, f := range fps {
+		e, err := etxn.Pack(f)
+		if err != nil {
+			t.Fatalf("Pack(%d): %v", i, err)
+		}
+		entries[i] = e
+	}
+	etxn.Commit()
+	dtxn := dec.Begin()
+	for i, e := range entries {
+		got, err := dtxn.Unpack(e)
+		if err != nil {
+			t.Fatalf("Unpack(%d) = %v", i, err)
+		}
+		if !got.Equal(fps[i]) {
+			t.Fatalf("entry %d decoded to a different matrix", i)
+		}
+	}
+	dtxn.Commit()
+	if enc.Len() != dec.Len() {
+		t.Fatalf("dictionaries diverged: enc holds %d, dec holds %d", enc.Len(), dec.Len())
+	}
+	return entries
+}
+
+func TestDictRoundTripAndRecurrence(t *testing.T) {
+	enc, dec := NewDict(64), NewDict(64)
+	batch := []*Fingerprint{dictFp(1, 12), dictFp(2, 9), dictFp(1, 12), dictFp(3, 5)}
+
+	first := roundTrip(t, enc, dec, batch)
+	if first[0][0] != dictFull {
+		t.Fatalf("first sighting should be full form, got %q", first[0][0])
+	}
+	if first[2][0] != dictRef {
+		t.Fatalf("intra-batch repeat should be a reference, got %q", first[2][0])
+	}
+
+	second := roundTrip(t, enc, dec, batch)
+	for i, e := range second {
+		if e[0] != dictRef {
+			t.Fatalf("recurring entry %d should be a reference, got %q", i, e[0])
+		}
+		if len(e) != 1+hashEncLen {
+			t.Fatalf("reference entry %d is %d bytes", i, len(e))
+		}
+	}
+	etxn := enc.Begin()
+	if _, err := etxn.Pack(batch[0]); err != nil {
+		t.Fatal(err)
+	}
+	hits, misses, refBytes := etxn.Stats()
+	if hits != 1 || misses != 0 || refBytes != 1+hashEncLen {
+		t.Fatalf("stats = %d hits %d misses %d refBytes", hits, misses, refBytes)
+	}
+}
+
+func TestDictDiffAgainstNearMatch(t *testing.T) {
+	enc, dec := NewDict(64), NewDict(64)
+	base := dictFp(7, 14)
+	variant := dictPerturbed(7, 14, 3)
+	roundTrip(t, enc, dec, []*Fingerprint{base})
+	entries := roundTrip(t, enc, dec, []*Fingerprint{variant})
+	if entries[0][0] != dictDiff {
+		t.Fatalf("near match should travel as a diff, got %q", entries[0][0])
+	}
+	full, _ := PackDelta(variant)
+	if len(entries[0]) >= len(full)+1 {
+		t.Fatalf("diff entry (%d bytes) not smaller than full form (%d)", len(entries[0]), len(full)+1)
+	}
+	// The diff inserted the variant on both ends: it now refs.
+	again := roundTrip(t, enc, dec, []*Fingerprint{variant})
+	if again[0][0] != dictRef {
+		t.Fatalf("diffed matrix should be referenced on resend, got %q", again[0][0])
+	}
+}
+
+func TestDictEvictionStaysCoherent(t *testing.T) {
+	enc, dec := NewDict(2), NewDict(2)
+	models := []*Fingerprint{dictFp(1, 6), dictFp(2, 6), dictFp(3, 6), dictFp(4, 6)}
+	for round := 0; round < 4; round++ {
+		for _, f := range models {
+			roundTrip(t, enc, dec, []*Fingerprint{f})
+		}
+	}
+	if enc.Len() != 2 || dec.Len() != 2 {
+		t.Fatalf("capacity not enforced: enc %d dec %d", enc.Len(), dec.Len())
+	}
+	// A batch larger than the capacity still round-trips: intra-batch
+	// references resolve against the transaction overlay.
+	big := []*Fingerprint{dictFp(10, 6), dictFp(11, 6), dictFp(12, 6), dictFp(10, 6)}
+	entries := roundTrip(t, enc, dec, big)
+	if entries[3][0] != dictRef {
+		t.Fatalf("intra-batch repeat past capacity should still reference, got %q", entries[3][0])
+	}
+}
+
+func TestDictUnknownReferenceRejectedWithoutPoison(t *testing.T) {
+	dec := NewDict(8)
+	txn := dec.Begin()
+	if _, err := txn.Unpack("R00000000deadbeef"); err == nil {
+		t.Fatal("unknown reference must error")
+	}
+	if _, err := txn.Unpack("D00000000deadbeefAAAA"); err == nil {
+		t.Fatal("diff against unknown base must error")
+	}
+	// The failed transaction is dropped; the dictionary still works.
+	if dec.Len() != 0 {
+		t.Fatalf("failed decode mutated the dictionary: %d entries", dec.Len())
+	}
+	enc := NewDict(8)
+	roundTrip(t, enc, dec, []*Fingerprint{dictFp(1, 8)})
+}
+
+func TestDictCorruptEntriesError(t *testing.T) {
+	dec := NewDict(8)
+	seed := dec.Begin()
+	base := dictFp(1, 4)
+	full, _ := PackDelta(base)
+	if _, err := seed.Unpack("F" + full); err != nil {
+		t.Fatal(err)
+	}
+	seed.Commit()
+	baseHash := formatHash(base.Hash())
+
+	bad := []string{
+		"",                           // empty
+		"X" + full,                   // unknown discriminator
+		"R1234",                      // short reference
+		"Rzzzzzzzzzzzzzzzz",          // bad hex
+		"R" + baseHash + "xx",        // trailing junk
+		"D" + baseHash[:8],           // truncated diff header
+		"D" + baseHash + "!!!",       // bad base64 diff body
+		"D" + baseHash + "AAAA",      // wrong diff cell count
+		"F" + full[:len(full)-2],     // corrupt full form
+		"D" + baseHash + full + full, // diff longer than base
+	}
+	for _, entry := range bad {
+		txn := dec.Begin()
+		if _, err := txn.Unpack(entry); err == nil {
+			t.Errorf("Unpack(%.24q) succeeded, want error", entry)
+		}
+	}
+	if dec.Len() != 1 {
+		t.Fatalf("corrupt entries mutated the dictionary: %d entries", dec.Len())
+	}
+}
+
+func TestDictAbortedTxnLeavesNoTrace(t *testing.T) {
+	enc := NewDict(8)
+	txn := enc.Begin()
+	if _, err := txn.Pack(dictFp(1, 6)); err != nil {
+		t.Fatal(err)
+	}
+	// No Commit: a failed marshal drops the transaction.
+	if enc.Len() != 0 {
+		t.Fatalf("aborted transaction leaked %d entries", enc.Len())
+	}
+	// The matrix is a miss again on the next transaction.
+	txn = enc.Begin()
+	entry, err := txn.Pack(dictFp(1, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if entry[0] != dictFull {
+		t.Fatalf("post-abort pack should be full form, got %q", entry[0])
+	}
+}
+
+func TestDictHashCollisionDegradesToFull(t *testing.T) {
+	enc := NewDict(8)
+	a, b := dictFp(1, 6), dictFp(2, 7)
+	txn := enc.Begin()
+	if _, err := txn.Pack(a); err != nil {
+		t.Fatal(err)
+	}
+	txn.Commit()
+	// Simulate a hash collision: overwrite a's slot with a different
+	// matrix, as if b collided into it.
+	enc.insert(a.Hash(), b)
+	txn = enc.Begin()
+	entry, err := txn.Pack(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if entry[0] == dictRef {
+		t.Fatal("colliding matrix must not travel as a reference")
+	}
+}
+
+func FuzzUnpackRef(f *testing.F) {
+	base := dictFp(3, 9)
+	full, _ := PackDelta(base)
+	f.Add("F" + full)
+	f.Add("R" + formatHash(base.Hash()))
+	f.Add("D" + formatHash(base.Hash()) + "AAAA")
+	f.Add("Rzz")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, entry string) {
+		dec := NewDict(4)
+		seed := dec.Begin()
+		if _, err := seed.Unpack("F" + full); err != nil {
+			t.Fatal(err)
+		}
+		seed.Commit()
+		txn := dec.Begin()
+		fp, err := txn.Unpack(entry)
+		if err != nil {
+			if dec.Len() != 1 {
+				t.Fatalf("failed Unpack mutated the dictionary")
+			}
+			return
+		}
+		if fp == nil {
+			t.Fatal("nil fingerprint without error")
+		}
+		txn.Commit()
+		// Whatever decoded must re-encode coherently: a fresh encoder
+		// pair round-trips it.
+		enc2, dec2 := NewDict(4), NewDict(4)
+		e2 := enc2.Begin()
+		entry2, err := e2.Pack(fp)
+		if err != nil {
+			t.Fatalf("re-Pack of decoded fingerprint: %v", err)
+		}
+		e2.Commit()
+		d2 := dec2.Begin()
+		got, err := d2.Unpack(entry2)
+		if err != nil {
+			t.Fatalf("re-Unpack: %v", err)
+		}
+		if !got.Equal(fp) {
+			t.Fatal("re-encoded fingerprint not bit-equal")
+		}
+	})
+}
+
+func TestFormatParseHash(t *testing.T) {
+	for _, h := range []uint64{0, 1, 0xdeadbeef, ^uint64(0)} {
+		s := formatHash(h)
+		if len(s) != hashEncLen {
+			t.Fatalf("formatHash(%x) = %q", h, s)
+		}
+		got, err := parseHash(s)
+		if err != nil || got != h {
+			t.Fatalf("parseHash(%q) = %x, %v", s, got, err)
+		}
+	}
+	if formatHash(0xab) != "AAAAAAAAAKs" {
+		t.Fatalf("formatHash(0xab) = %q, want the fixed-width base64url form", formatHash(0xab))
+	}
+}

@@ -36,6 +36,16 @@ type PoolConfig struct {
 	RetryBackoff time.Duration
 	// Seed seeds the jitter generator (0 selects 1).
 	Seed int64
+	// Wire selects the v4 wire compression toward the service:
+	// iotssp.WireOff (the default) keeps the plain JSON-lines wire,
+	// WireDict opens each connection with a hello negotiating a
+	// per-connection fingerprint dictionary, WireDictFlate adds framed
+	// flate transport. A pre-v4 service grants nothing and the pool
+	// degrades to the plain wire.
+	Wire iotssp.WireMode
+	// DictSize is the dictionary capacity asked for in the hello. 0
+	// selects iotssp.DefaultDictSize.
+	DictSize int
 }
 
 func (c PoolConfig) withDefaults() PoolConfig {
@@ -53,6 +63,9 @@ func (c PoolConfig) withDefaults() PoolConfig {
 	}
 	if c.Seed == 0 {
 		c.Seed = 1
+	}
+	if c.DictSize <= 0 {
+		c.DictSize = iotssp.DefaultDictSize
 	}
 	return c
 }
@@ -106,13 +119,49 @@ func NewPool(addr string, cfg PoolConfig) *Pool {
 		transport: lineconn.NewCounters(),
 	}
 	p.retry = lineconn.Retry{Base: cfg.RetryBackoff, Jitter: backoff.NewJitter(cfg.Seed)}
+	opts := lineconn.Options[iotssp.Response]{
+		Counters: p.transport,
+	}
+	if cfg.Wire != iotssp.WireOff {
+		// The v4 wire asks ride a hello handshake the plain pool never
+		// needed: the service's reply carries the grants, and a pre-v4
+		// peer's reply carries none, downgrading the connection in place.
+		helloReq := iotssp.Request{Op: iotssp.OpHello, V: iotssp.ProtocolVersion, Dict: cfg.DictSize}
+		if cfg.Wire == iotssp.WireDictFlate {
+			helloReq.Comp = iotssp.CompFlate
+		}
+		hello, _ := json.Marshal(helloReq)
+		opts.Hello = append(hello, '\n')
+		opts.CheckHello = func(h iotssp.Response) error {
+			if h.Error != "" {
+				return fmt.Errorf("gateway: hello: %s", h.Error)
+			}
+			if h.Mode != "" && h.Mode != iotssp.ModeVerdict {
+				return fmt.Errorf("gateway: peer is not an identify service (mode %q)", h.Mode)
+			}
+			return nil
+		}
+		opts.NewState = func(h iotssp.Response) any {
+			if h.Dict > 0 {
+				return &poolDict{dict: fingerprint.NewDict(h.Dict)}
+			}
+			return nil
+		}
+		opts.Framed = func(h iotssp.Response) bool { return h.Comp == iotssp.CompFlate }
+	}
 	p.conns = make([]*lineconn.Conn[iotssp.Response], cfg.Conns)
 	for i := range p.conns {
-		p.conns[i] = lineconn.New[iotssp.Response](addr, lineconn.Options[iotssp.Response]{
-			Counters: p.transport,
-		})
+		p.conns[i] = lineconn.New[iotssp.Response](addr, opts)
 	}
 	return p
+}
+
+// poolDict is a connection's per-incarnation dictionary state: it
+// mirrors the service's side of the same dictionary and dies with the
+// TCP connection, which is what keeps the pair coherent across
+// reconnects.
+type poolDict struct {
+	dict *fingerprint.Dict
 }
 
 // Counters snapshots the pool's typed counters.
@@ -156,11 +205,10 @@ func (p *Pool) Identify(ctx context.Context, mac string, fp *fingerprint.Fingerp
 // identify is Identify without the request accounting, so batch-path
 // fallbacks (already counted by IdentifyBatch) do not double-count.
 func (p *Pool) identify(ctx context.Context, mac string, fp *fingerprint.Fingerprint) (iotssp.Response, error) {
-	body, err := marshalIdentify(mac, fp)
-	if err != nil {
-		return iotssp.Response{}, err
+	if fp == nil {
+		return iotssp.Response{}, fmt.Errorf("gateway: identify %s: %w", mac, errNilFingerprint)
 	}
-
+	enc := p.encodeIdentify(mac, fp)
 	pc := p.pick(mac)
 	var lastErr error
 	for attempt := 0; attempt <= p.cfg.MaxRetries; attempt++ {
@@ -171,7 +219,7 @@ func (p *Pool) identify(ctx context.Context, mac string, fp *fingerprint.Fingerp
 				return iotssp.Response{}, fmt.Errorf("gateway: identify %s: %w (last error: %v)", mac, err, lastErr)
 			}
 		}
-		resp, err := pc.RoundTrip(ctx, body, p.cfg.Timeout)
+		resp, _, err := pc.RoundTripEnc(ctx, enc, p.cfg.Timeout)
 		if err != nil {
 			lastErr = err
 			if ctx.Err() != nil {
@@ -199,6 +247,10 @@ func (p *Pool) identify(ctx context.Context, mac string, fp *fingerprint.Fingerp
 	return iotssp.Response{}, fmt.Errorf("gateway: identify %s: %w", mac, lastErr)
 }
 
+// errNilFingerprint is the non-retryable marshal failure of the
+// identify paths (everything else about a fingerprint packs).
+var errNilFingerprint = fmt.Errorf("nil fingerprint")
+
 // marshalIdentify encodes one identify request line (packed fingerprint
 // report plus trailing newline).
 func marshalIdentify(mac string, fp *fingerprint.Fingerprint) ([]byte, error) {
@@ -211,6 +263,44 @@ func marshalIdentify(mac string, fp *fingerprint.Fingerprint) ([]byte, error) {
 		return nil, fmt.Errorf("gateway: encoding request: %w", err)
 	}
 	return append(body, '\n'), nil
+}
+
+// encodeIdentify builds one identify request's per-attempt encoder.
+// Against a connection holding a negotiated dictionary the fingerprint
+// ships dictionary-coded — a recurring model costs a 17-byte reference
+// instead of its packed matrix — with the txn committed only after the
+// body marshals, so a failed attempt never desyncs the pair. On a
+// plain connection the packed report is built once and replayed across
+// attempts.
+func (p *Pool) encodeIdentify(mac string, fp *fingerprint.Fingerprint) lineconn.Encoder {
+	var plainBody []byte
+	return func(state any) ([]byte, error) {
+		if pd, ok := state.(*poolDict); ok {
+			txn := pd.dict.Begin()
+			entry, err := txn.Pack(fp)
+			if err != nil {
+				return nil, err
+			}
+			body, err := json.Marshal(iotssp.Request{
+				Enc:         iotssp.DictEncoding,
+				Fingerprint: fingerprint.Report{MAC: mac, Packed: entry},
+			})
+			if err != nil {
+				return nil, err
+			}
+			txn.Commit()
+			p.transport.AddDict(txn.Stats())
+			return append(body, '\n'), nil
+		}
+		if plainBody == nil {
+			body, err := marshalIdentify(mac, fp)
+			if err != nil {
+				return nil, err
+			}
+			plainBody = body
+		}
+		return plainBody, nil
+	}
 }
 
 // IdentifyBatch implements BatchIdentifier: the batch is grouped by
@@ -229,17 +319,17 @@ func (p *Pool) IdentifyBatch(ctx context.Context, macs []string, fps []*fingerpr
 	}
 
 	// Group the batch by home connection, preserving batch order within
-	// each group, and marshal each request once.
+	// each group, with one per-attempt encoder per request (the encoder
+	// adapts each burst entry to its connection's negotiated wire).
 	groups := make(map[*lineconn.Conn[iotssp.Response]][]int, len(p.conns))
-	bodies := make([][]byte, len(macs))
+	encs := make([]lineconn.Encoder, len(macs))
 	for i, mac := range macs {
 		p.requests.Add(1)
-		body, err := marshalIdentify(mac, fps[i])
-		if err != nil {
-			errs[i] = err
+		if fps[i] == nil {
+			errs[i] = fmt.Errorf("gateway: identify %s: %w", mac, errNilFingerprint)
 			continue
 		}
-		bodies[i] = body
+		encs[i] = p.encodeIdentify(mac, fps[i])
 		pc := p.pick(mac)
 		groups[pc] = append(groups[pc], i)
 	}
@@ -250,11 +340,11 @@ func (p *Pool) IdentifyBatch(ctx context.Context, macs []string, fps []*fingerpr
 		wg.Add(1)
 		go func(pc *lineconn.Conn[iotssp.Response], idxs []int) {
 			defer wg.Done()
-			burst := make([][]byte, len(idxs))
+			burst := make([]lineconn.Encoder, len(idxs))
 			for j, i := range idxs {
-				burst[j] = bodies[i]
+				burst[j] = encs[i]
 			}
-			got, gerrs := pc.RoundTripBatch(ctx, burst, p.cfg.Timeout)
+			got, gerrs := pc.RoundTripBatchEnc(ctx, burst, p.cfg.Timeout)
 			for j, i := range idxs {
 				resps[i], errs[i] = got[j], gerrs[j]
 			}
@@ -274,8 +364,8 @@ func (p *Pool) IdentifyBatch(ctx context.Context, macs []string, fps []*fingerpr
 				errs[i] = fmt.Errorf("gateway: service error: %s", resps[i].Error)
 				continue
 			}
-		} else if bodies[i] == nil {
-			continue // marshal failures cannot be retried
+		} else if encs[i] == nil {
+			continue // nil fingerprints cannot be retried
 		}
 		p.retries.Add(1)
 		resps[i], errs[i] = p.identify(ctx, macs[i], fps[i])

@@ -1,0 +1,112 @@
+package gateway
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"reflect"
+	"testing"
+
+	"repro/internal/iotssp"
+)
+
+// startCappedServer serves svc with a capped wire-protocol generation.
+func startCappedServer(t *testing.T, svc *iotssp.Service, cap int) string {
+	t.Helper()
+	srv := iotssp.NewServer(svc, iotssp.ServerConfig{ProtocolCap: cap})
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(lis)
+	t.Cleanup(func() { srv.Close() })
+	return lis.Addr().String()
+}
+
+// TestPoolWireDictVerdictsBitEqual: the gateway pool's v4 dictionary
+// wire (with and without framed flate) yields responses bit-equal to
+// the plain wire on a recurring fleet workload, with the dictionary
+// carrying the repeats.
+func TestPoolWireDictVerdictsBitEqual(t *testing.T) {
+	names := []string{"Aria", "HueBridge", "EdimaxCam", "WeMoSwitch"}
+	svc := trainedService(t, names...)
+	addr := startTestServer(t, svc)
+
+	probes := make(map[string]*devicesProbe)
+	for _, name := range names {
+		probes[name] = probeFor(t, name)
+	}
+
+	plain := NewPool(addr, PoolConfig{Conns: 2, Seed: 41})
+	defer plain.Close()
+	const rounds = 6
+	for _, wire := range []iotssp.WireMode{iotssp.WireDict, iotssp.WireDictFlate} {
+		t.Run(wire.String(), func(t *testing.T) {
+			pool := NewPool(addr, PoolConfig{Conns: 2, Seed: 43, Wire: wire})
+			defer pool.Close()
+			for round := 0; round < rounds; round++ {
+				for name, probe := range probes {
+					mac := fmt.Sprintf("02:77:%02x:00:00:%02x", len(name), round)
+					got, err := pool.Identify(context.Background(), mac, probe.fp)
+					if err != nil {
+						t.Fatalf("dict identify %s: %v", name, err)
+					}
+					want, err := plain.Identify(context.Background(), mac, probe.fp)
+					if err != nil {
+						t.Fatalf("plain identify %s: %v", name, err)
+					}
+					// The correlation line is per-connection bookkeeping, not
+					// verdict content (the dict hello consumes a line).
+					got.Line, want.Line = 0, 0
+					if !reflect.DeepEqual(got, want) {
+						t.Fatalf("%s round %d: dict response %+v, want %+v", name, round, got, want)
+					}
+				}
+			}
+			st := pool.Counters().Transport
+			if st.DictHits == 0 {
+				t.Fatalf("pool dictionary never engaged: %+v", st)
+			}
+			pst := plain.Counters().Transport
+			dictB := st.BytesWritten - st.HandshakeBytesWritten
+			plainB := pst.BytesWritten - pst.HandshakeBytesWritten
+			if dictB*2 >= plainB {
+				t.Errorf("dict pool wrote %d steady bytes vs plain %d, want < half", dictB, plainB)
+			}
+		})
+	}
+}
+
+// TestPoolWireDictDowngrade: a dict-asking pool against a pre-v4
+// verdict server negotiates down to the plain wire — same verdicts,
+// zero dictionary traffic.
+func TestPoolWireDictDowngrade(t *testing.T) {
+	svc := trainedService(t, "Aria", "HueBridge")
+	capped := startCappedServer(t, svc, 3)
+	plainAddr := startTestServer(t, svc)
+
+	pool := NewPool(capped, PoolConfig{Conns: 2, Seed: 47, Wire: iotssp.WireDictFlate})
+	defer pool.Close()
+	plain := NewPool(plainAddr, PoolConfig{Conns: 2, Seed: 47})
+	defer plain.Close()
+
+	probe := probeFor(t, "Aria")
+	for i := 0; i < 4; i++ {
+		mac := fmt.Sprintf("02:77:aa:00:00:%02x", i)
+		got, err := pool.Identify(context.Background(), mac, probe.fp)
+		if err != nil {
+			t.Fatalf("identify against capped server: %v", err)
+		}
+		want, err := plain.Identify(context.Background(), mac, probe.fp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got.Line, want.Line = 0, 0
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("downgraded response %+v, want %+v", got, want)
+		}
+	}
+	if st := pool.Counters().Transport; st.DictHits+st.DictMisses != 0 {
+		t.Errorf("dict engaged against a v3 verdict server: %+v", st)
+	}
+}

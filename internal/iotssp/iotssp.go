@@ -155,6 +155,63 @@
 // answers the v3 verbs with a non-retryable unknown-op error and
 // refuses delta-encoded batches; clients therefore keep every v3
 // feature off unless the negotiated version reaches 3.
+//
+// # The v4 wire-compression generation
+//
+// Protocol version 4 makes connections stateful to attack the fleet's
+// actual redundancy: the same device models submit near-identical F
+// matrices across requests, so v3's intra-matrix deltas barely help.
+// Both options ride the hello and degrade cleanly against older peers.
+//
+//	verb / field         direction        negotiation
+//	hello dict:N         client asks      server replies dict:min(N, MaxDictSize)
+//	                                      and both ends build an N-entry
+//	                                      fingerprint.Dict for this
+//	                                      connection; absent/0 = no dict
+//	hello comp:"flate"   client asks      server echoes comp:"flate" and
+//	                                      everything after the hello
+//	                                      reply travels as framed flate
+//	                                      (lineconn.FrameWriter); absent
+//	                                      = plain lines
+//	enc:"dict"           classify /       batch entries and identify
+//	                     discriminate /   matrices are dictionary
+//	                     identify         entries ('F' full, 'R' exact
+//	                                      reference — 'R' plus the
+//	                                      base64url of the 8-byte
+//	                                      content hash — 'D' near-match
+//	                                      diff); only valid once a dict
+//	                                      was negotiated on this
+//	                                      connection
+//	interned names       both, shard      on a dict connection the
+//	                     verbs only       recurring device-type names
+//	                                      (discriminate candidates;
+//	                                      classify accepts, best, score
+//	                                      keys) travel through
+//	                                      per-direction intern tables:
+//	                                      "=name" defines the next
+//	                                      index, "#k" references it,
+//	                                      "~name" escapes a literal;
+//	                                      map keys are reference-or-
+//	                                      literal only (marshal order
+//	                                      is not definition order)
+//	op echo              response         a dict connection drops the
+//	                                      op echo on correlated shard
+//	                                      replies (the line echo
+//	                                      correlates); hello replies
+//	                                      and OpDelta pushes — which
+//	                                      have no line — keep it
+//
+// A dictionary and its name tables are strictly per-connection state:
+// encoder transactions commit only for lines actually written, the
+// server decodes them in line order on the read pump, and a decode
+// failure (a stale 'R' reference, an unknown "#k" name) answers a
+// non-retryable error and severs the connection — both ends then
+// rebuild empty state on the reconnect (the lineconn incarnation is
+// the dictionary generation), so a stale reference can never decode
+// against a cache the peer no longer holds. Servers with ProtocolCap
+// < 4 and v3-or-older clients never see any of this: the hello fields
+// go unanswered and the connection serves the v3 (or v2) wire forms
+// unchanged.
 package iotssp
 
 import (
@@ -180,8 +237,13 @@ import (
 // learning of remote enrolments only from response stamps). Clients
 // accept any peer >= 2 and simply keep the version-3 features off
 // against an older one, so mixed-version fleets degrade to the v2 wire
-// cost rather than failing.
-const ProtocolVersion = 3
+// cost rather than failing. Version 4 adds connection-stateful wire
+// compression: the hello negotiates a per-connection fingerprint
+// dictionary (the "enc":"dict" encoding for classify, discriminate and
+// identify matrices) and optionally framed flate transport compression
+// ("comp":"flate"); see the package doc's v4 section for the
+// negotiation table and coherence rules.
+const ProtocolVersion = 4
 
 // Wire operations (the Request/shardRequest "op" field). An empty op is
 // a version-1 identify request.
@@ -221,6 +283,67 @@ const (
 // protocol >= 3.
 const deltaEncoding = "delta"
 
+// DictEncoding is the Enc value selecting dictionary-coded F matrices
+// (fingerprint.Dict entries) in classify, discriminate and identify
+// requests — valid only on a connection whose hello negotiated a
+// dictionary (protocol >= 4).
+const DictEncoding = "dict"
+
+// CompFlate is the hello Comp value asking for framed flate transport
+// compression after the handshake (protocol >= 4).
+const CompFlate = "flate"
+
+// DefaultDictSize is the per-connection dictionary capacity clients
+// propose at hello: enough for a fleet's distinct recurring device
+// models without holding a one-off matrix forever.
+const DefaultDictSize = 512
+
+// MaxDictSize caps the dictionary capacity a server agrees to,
+// bounding per-connection memory whatever a client asks for.
+const MaxDictSize = 4096
+
+// WireMode selects a client stack's v4 wire compression: off (the v3
+// wire forms), the per-connection fingerprint dictionary, or the
+// dictionary plus framed flate transport compression. Zero value is
+// off, so existing configs are unchanged.
+type WireMode int
+
+const (
+	// WireOff sends the pre-v4 wire forms (packed or delta-packed
+	// matrices, plain lines).
+	WireOff WireMode = iota
+	// WireDict negotiates the per-connection fingerprint dictionary.
+	WireDict
+	// WireDictFlate negotiates the dictionary plus framed flate
+	// transport compression for the residual bytes.
+	WireDictFlate
+)
+
+// String renders the mode as the sentinel-eval -wire flag spells it.
+func (m WireMode) String() string {
+	switch m {
+	case WireDict:
+		return "dict"
+	case WireDictFlate:
+		return "dict+flate"
+	default:
+		return "off"
+	}
+}
+
+// ParseWireMode parses the sentinel-eval -wire flag values.
+func ParseWireMode(s string) (WireMode, error) {
+	switch s {
+	case "", "off":
+		return WireOff, nil
+	case "dict":
+		return WireDict, nil
+	case "dict+flate", "flate+dict":
+		return WireDictFlate, nil
+	}
+	return WireOff, fmt.Errorf("iotssp: unknown wire mode %q (want off, dict or dict+flate)", s)
+}
+
 // Request is one identification request from a Security Gateway.
 type Request struct {
 	// Op selects the wire operation. Empty means identify (the version-1
@@ -230,6 +353,19 @@ type Request struct {
 	Op string `json:"op,omitempty"`
 	// Fingerprint is the device's fingerprint report (MAC + F matrix).
 	Fingerprint fingerprint.Report `json:"fingerprint"`
+	// V is the client's protocol version, sent with OpHello (protocol
+	// >= 4 clients negotiating wire compression; older clients omit it).
+	V int `json:"v,omitempty"`
+	// Comp and Dict are the OpHello wire-compression asks: framed flate
+	// transport compression (CompFlate) and a per-connection fingerprint
+	// dictionary of the given capacity. The server's hello reply echoes
+	// what it agreed to.
+	Comp string `json:"comp,omitempty"`
+	Dict int    `json:"dict,omitempty"`
+	// Enc marks how Fingerprint's matrix travels: empty for the packed
+	// form, DictEncoding for a dictionary entry (Fingerprint.Packed then
+	// holds the entry; protocol >= 4, negotiated dictionary required).
+	Enc string `json:"enc,omitempty"`
 }
 
 // Response is the service's answer.
@@ -270,6 +406,15 @@ type Response struct {
 	// be retried after a backoff. Malformed-request errors are never
 	// retryable.
 	Retryable bool `json:"retryable,omitempty"`
+	// Mode, V, Comp and Dict surface the server's OpHello answer to a
+	// verdict-plane client (the reply travels as a shardResponse on the
+	// wire; these mirror the fields a gateway.Pool needs to read the
+	// negotiation): serving mode, protocol cap, and the agreed wire
+	// compression. Empty on ordinary identify responses.
+	Mode string `json:"mode,omitempty"`
+	V    int    `json:"v,omitempty"`
+	Comp string `json:"comp,omitempty"`
+	Dict int    `json:"dict,omitempty"`
 }
 
 // CorrelationLine implements lineconn.Message: pipelined clients

@@ -1,0 +1,109 @@
+package iotssp
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestNameInternRoundTrip: every wire form an encoder can emit decodes
+// back to the original name, with the two ends' tables in lockstep.
+func TestNameInternRoundTrip(t *testing.T) {
+	enc := &nameEnc{}
+	dec := &nameDec{}
+	names := []string{"Aria", "HueBridge", "Aria", "#strange", "=stranger", "~tilde", "HueBridge", "Aria"}
+	for i, name := range names {
+		wire := enc.define(name)
+		got, err := dec.resolve(wire)
+		if err != nil {
+			t.Fatalf("step %d: resolve(%q): %v", i, wire, err)
+		}
+		if got != name {
+			t.Fatalf("step %d: %q -> %q -> %q", i, name, wire, got)
+		}
+	}
+	// Second sight of a defined name is a reference, not a re-definition.
+	if wire := enc.define("Aria"); wire != "#0" {
+		t.Errorf("repeat define = %q, want #0", wire)
+	}
+	// ref never defines: an unseen name travels as an escaped literal.
+	if wire := enc.ref("NeverDefined"); wire != "NeverDefined" {
+		t.Errorf("ref of unseen plain name = %q", wire)
+	}
+	if wire := enc.ref("#odd"); wire != "~#odd" {
+		t.Errorf("ref of unseen escaped name = %q", wire)
+	}
+}
+
+// TestNameDecRejectsUnknownRef: a reference past the decode table is a
+// coherence failure, not a silent empty name.
+func TestNameDecRejectsUnknownRef(t *testing.T) {
+	dec := &nameDec{names: []string{"Aria"}}
+	for _, bad := range []string{"#1", "#-1", "#x", "#"} {
+		if _, err := dec.resolve(bad); err == nil {
+			t.Errorf("resolve(%q) accepted", bad)
+		}
+	}
+	if got, err := dec.resolve("#0"); err != nil || got != "Aria" {
+		t.Errorf("resolve(#0) = %q, %v", got, err)
+	}
+	if got, err := dec.resolve(""); err != nil || got != "" {
+		t.Errorf("resolve(empty) = %q, %v", got, err)
+	}
+}
+
+// TestInternCandidatesPendingCommit: candidate interning returns the
+// wire forms plus the definitions to commit only once the line ships —
+// and repeated names within one request reference the pending index.
+func TestInternCandidatesPendingCommit(t *testing.T) {
+	idx := map[string]int{"Aria": 0}
+	wire, defined := internCandidates([]string{"Aria", "HueBridge", "HueBridge", "WeMo"}, idx)
+	if want := []string{"#0", "=HueBridge", "#1", "=WeMo"}; !reflect.DeepEqual(wire, want) {
+		t.Fatalf("wire = %v, want %v", wire, want)
+	}
+	if want := []string{"HueBridge", "WeMo"}; !reflect.DeepEqual(defined, want) {
+		t.Fatalf("defined = %v, want %v", defined, want)
+	}
+	// Nothing committed yet: the caller owns the commit.
+	if len(idx) != 1 {
+		t.Fatalf("intern mutated the table before commit: %v", idx)
+	}
+	// The decoder reads the same line back into lockstep.
+	dec := &nameDec{names: []string{"Aria"}}
+	if err := expandCandidates(wire, dec); err != nil {
+		t.Fatal(err)
+	}
+	if want := []string{"Aria", "HueBridge", "HueBridge", "WeMo"}; !reflect.DeepEqual(wire, want) {
+		t.Fatalf("expanded = %v, want %v", wire, want)
+	}
+}
+
+// TestInternShardResponseRoundTrip: accepts define in wire order, best
+// reuses the table, score keys are reference-or-literal (map order is
+// not definition order), and expansion restores the original response.
+func TestInternShardResponseRoundTrip(t *testing.T) {
+	enc := &nameEnc{}
+	dec := &nameDec{}
+	orig := shardResponse{
+		Accepts: [][]string{{"Aria", "HueBridge"}, {}, {"Aria"}},
+		Best:    "HueBridge",
+		Scores:  map[string]float64{"Aria": 0.25, "HueBridge": 0.5, "Outsider": 0.125},
+	}
+	resp := shardResponse{
+		Accepts: [][]string{append([]string(nil), orig.Accepts[0]...), {}, append([]string(nil), orig.Accepts[2]...)},
+		Best:    orig.Best,
+		Scores:  map[string]float64{"Aria": 0.25, "HueBridge": 0.5, "Outsider": 0.125},
+	}
+	internShardResponse(&resp, enc)
+	if resp.Accepts[0][0] != "=Aria" || resp.Accepts[2][0] != "#0" || resp.Best != "#1" {
+		t.Fatalf("interned response = %+v", resp)
+	}
+	if _, ok := resp.Scores["Outsider"]; !ok {
+		t.Fatalf("undefined score key should stay literal: %v", resp.Scores)
+	}
+	if err := expandShardResponse(&resp, dec); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(resp, orig) {
+		t.Fatalf("round trip = %+v, want %+v", resp, orig)
+	}
+}

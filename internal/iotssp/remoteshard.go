@@ -43,6 +43,15 @@ type RemoteShardConfig struct {
 	MaxBackoff time.Duration
 	// Seed seeds the jitter generator (0 selects 1).
 	Seed int64
+	// Wire selects the v4 wire compression: WireOff (the default) keeps
+	// the v3 wire, WireDict negotiates the per-connection fingerprint
+	// dictionary, WireDictFlate adds framed flate transport. Either is
+	// an ask — a pre-v4 peer's hello grants nothing and the client
+	// degrades to the plain wire.
+	Wire WireMode
+	// DictSize is the dictionary capacity asked for in the hello (the
+	// server may cap it to MaxDictSize). 0 selects DefaultDictSize.
+	DictSize int
 }
 
 func (c RemoteShardConfig) withDefaults() RemoteShardConfig {
@@ -67,6 +76,9 @@ func (c RemoteShardConfig) withDefaults() RemoteShardConfig {
 	if c.Seed == 0 {
 		c.Seed = 1
 	}
+	if c.DictSize <= 0 {
+		c.DictSize = DefaultDictSize
+	}
 	return c
 }
 
@@ -87,6 +99,12 @@ type RemoteShardStats struct {
 	// into the version cache — remote state changes this client learned
 	// of without a round-trip.
 	DeltasReceived uint64 `json:"deltas_received"`
+	// StateBytes counts the payload bytes of state-transfer and control
+	// operations (enroll, snapshot, restore, meta) in both directions.
+	// Steady-state classify cost is the transport's byte counters minus
+	// this, the handshake bytes and the push bytes — the carve-out that
+	// keeps bytes-per-verdict honest.
+	StateBytes uint64 `json:"state_bytes,omitempty"`
 	// Transport is the pipelined connections' shared lineconn counter
 	// block (dials — each including a hello handshake — reconnects and
 	// dropped correlations).
@@ -146,6 +164,9 @@ type RemoteShard struct {
 	types   []string
 
 	requests, retries, failures atomic.Uint64
+	// stateBytes accumulates payload bytes of state-transfer operations
+	// (see RemoteShardStats.StateBytes).
+	stateBytes atomic.Uint64
 	// unhealthy latches after an operation exhausts its retries and
 	// clears on the next wire success (Healthy's signal).
 	unhealthy atomic.Bool
@@ -165,20 +186,69 @@ func NewRemoteShard(addr string, cfg RemoteShardConfig) *RemoteShard {
 		Max:    cfg.MaxBackoff,
 		Jitter: backoff.NewJitter(cfg.Seed),
 	}
-	// The hello subscribes to the delta stream; a version-2 peer simply
-	// ignores the flag (and never pushes).
-	hello, _ := json.Marshal(shardRequest{Op: OpHello, V: ProtocolVersion, Sub: true})
+	// The hello subscribes to the delta stream and, at WireDict and
+	// above, asks for the v4 wire compression; a version-2 peer simply
+	// ignores the flags (and never pushes or grants).
+	helloReq := shardRequest{Op: OpHello, V: ProtocolVersion, Sub: true}
+	if cfg.Wire != WireOff {
+		helloReq.Dict = cfg.DictSize
+		if cfg.Wire == WireDictFlate {
+			helloReq.Comp = CompFlate
+		}
+	}
+	hello, _ := json.Marshal(helloReq)
 	hello = append(hello, '\n')
+	opts := lineconn.Options[shardResponse]{
+		Counters:   rs.transport,
+		Hello:      hello,
+		CheckHello: rs.checkHello,
+		Push:       rs.handlePush,
+	}
+	if cfg.Wire != WireOff {
+		// The per-incarnation codec state: a dictionary sized by the
+		// server's grant, or nil against a peer that granted none. A
+		// reconnect rebuilds it empty — exactly when the server's side
+		// resets too, which is what keeps the pair coherent.
+		opts.NewState = func(h shardResponse) any {
+			if h.Dict > 0 {
+				return &connDict{dict: fingerprint.NewDict(h.Dict)}
+			}
+			return nil
+		}
+		opts.Framed = func(h shardResponse) bool { return h.Comp == CompFlate }
+		// Responses on a dict connection intern the type names they
+		// repeat (accepts, best, score keys); expansion must follow the
+		// server's definition order, which is wire order — so it runs on
+		// the read pump, against the incarnation's decode table.
+		opts.Inbound = func(state any, resp shardResponse) (shardResponse, error) {
+			cd, ok := state.(*connDict)
+			if !ok {
+				return resp, nil
+			}
+			if err := expandShardResponse(&resp, &cd.respNames); err != nil {
+				return resp, err
+			}
+			return resp, nil
+		}
+	}
 	rs.conns = make([]*lineconn.Conn[shardResponse], cfg.Conns)
 	for i := range rs.conns {
-		rs.conns[i] = lineconn.New[shardResponse](addr, lineconn.Options[shardResponse]{
-			Counters:   rs.transport,
-			Hello:      hello,
-			CheckHello: rs.checkHello,
-			Push:       rs.handlePush,
-		})
+		rs.conns[i] = lineconn.New[shardResponse](addr, opts)
 	}
 	return rs
+}
+
+// connDict is a connection's per-incarnation dictionary state (the
+// lineconn NewState payload): it lives exactly as long as one TCP
+// connection, mirroring the server's side of the same dictionary.
+type connDict struct {
+	dict *fingerprint.Dict
+	// reqNames is the request direction's name-intern index (candidate
+	// names sent before travel as references), touched only by encoders
+	// under the connection lock; respNames the response direction's
+	// table, touched only by the read pump's Inbound hook.
+	reqNames  map[string]int
+	respNames nameDec
 }
 
 // checkHello validates a fresh connection's hello reply: the peer must
@@ -233,6 +303,7 @@ func (rs *RemoteShard) Counters() RemoteShardStats {
 		Version:        rs.version.Load(),
 		Proto:          int(rs.proto.Load()),
 		DeltasReceived: rs.deltas.Load(),
+		StateBytes:     rs.stateBytes.Load(),
 		Transport:      rs.transport.Snapshot(),
 	}
 }
@@ -264,16 +335,35 @@ func (rs *RemoteShard) observeVersion(v uint64) {
 	}
 }
 
-// do runs one shard operation with reconnect + jittered retry, spreading
-// attempts over the connection pool.
+// do runs one shard operation with reconnect + jittered retry, the
+// request body marshalled once and replayed verbatim per attempt.
 func (rs *RemoteShard) do(req shardRequest, timeout time.Duration) (shardResponse, error) {
-	rs.requests.Add(1)
 	body, err := json.Marshal(req)
 	if err != nil {
+		rs.requests.Add(1)
 		return shardResponse{}, fmt.Errorf("iotssp: encoding shard request: %w", err)
 	}
 	body = append(body, '\n')
+	return rs.doEnc(req.Op, func(any) ([]byte, error) { return body, nil }, timeout)
+}
 
+// stateOp reports whether op is state transfer or control rather than
+// steady-state classification — its payload bytes land in StateBytes.
+func stateOp(op string) bool {
+	switch op {
+	case OpEnroll, OpSnapshot, OpRestore, OpMeta:
+		return true
+	}
+	return false
+}
+
+// doEnc runs one shard operation with reconnect + jittered retry,
+// spreading attempts over the connection pool. The encoder builds the
+// request body against each attempt's connection state — which is how
+// dictionary-coded requests stay coherent with whichever connection
+// (and dictionary incarnation) the attempt lands on.
+func (rs *RemoteShard) doEnc(op string, enc lineconn.Encoder, timeout time.Duration) (shardResponse, error) {
+	rs.requests.Add(1)
 	var lastErr error
 	for attempt := 0; attempt <= rs.cfg.MaxRetries; attempt++ {
 		if attempt > 0 {
@@ -281,7 +371,10 @@ func (rs *RemoteShard) do(req shardRequest, timeout time.Duration) (shardRespons
 			rs.retry.Sleep(context.Background(), attempt)
 		}
 		sc := rs.conns[rs.next.Add(1)%uint64(len(rs.conns))]
-		resp, err := sc.RoundTrip(context.Background(), body, timeout)
+		resp, sizes, err := sc.RoundTripEnc(context.Background(), enc, timeout)
+		if err == nil && stateOp(op) {
+			rs.stateBytes.Add(uint64(sizes.Wrote + sizes.Read))
+		}
 		if err != nil {
 			lastErr = err
 			continue
@@ -316,45 +409,138 @@ func (rs *RemoteShard) ClassifyBatch(fps []*fingerprint.Fingerprint, workers int
 	if len(fps) == 0 {
 		return out
 	}
-	// Against a version-3 peer the batch ships delta-packed: consecutive
-	// setup packets share most feature values, so per-column deltas are
-	// mostly zero and the batch shrinks by roughly a third. Before the
-	// first handshake (proto 0) and against v2 peers, the plain packed
-	// codec keeps the wire compatible.
-	enc := ""
-	pack := fingerprint.Pack
-	if rs.proto.Load() >= 3 {
-		enc = deltaEncoding
-		pack = fingerprint.PackDelta
-	}
-	batch := make([]string, len(fps))
-	for i, f := range fps {
-		packed, err := pack(f)
-		if err != nil {
-			return out
+	for _, f := range fps {
+		if f == nil {
+			return out // nothing packable; fail open like a pack error
 		}
-		batch[i] = packed
 	}
-	resp, err := rs.do(shardRequest{Op: OpClassify, Batch: batch, Enc: enc}, rs.cfg.Timeout)
+	resp, err := rs.doEnc(OpClassify, rs.classifyEncoder(fps), rs.cfg.Timeout)
 	if err != nil || len(resp.Accepts) != len(fps) {
 		return out
 	}
 	return resp.Accepts
 }
 
+// classifyEncoder builds the classify request encoder for one batch.
+// The encoder adapts the batch to the connection the attempt lands
+// on. With a negotiated dictionary the batch ships dictionary-coded:
+// recurring fingerprints cost a 12-byte reference instead of their
+// packed form, and the txn commits only after the body marshals, so
+// a failed attempt never desyncs the pair. Against a version-3 peer
+// without a dictionary the batch ships delta-packed: consecutive
+// setup packets share most feature values, so per-column deltas are
+// mostly zero and the batch shrinks by roughly a third. Before the
+// first handshake (proto 0) and against v2 peers, the plain packed
+// codec keeps the wire compatible. The plain bodies are built once
+// and replayed across attempts; the dictionary body is rebuilt per
+// attempt against that connection's own dictionary. A ShardGroup
+// calls this per member, so a failover re-encodes the batch against
+// the member (and dictionary incarnation) it actually lands on.
+func (rs *RemoteShard) classifyEncoder(fps []*fingerprint.Fingerprint) lineconn.Encoder {
+	var plainBody []byte
+	return func(state any) ([]byte, error) {
+		if cd, ok := state.(*connDict); ok {
+			txn := cd.dict.Begin()
+			batch := make([]string, len(fps))
+			for i, f := range fps {
+				entry, err := txn.Pack(f)
+				if err != nil {
+					return nil, err
+				}
+				batch[i] = entry
+			}
+			body, err := json.Marshal(shardRequest{Op: OpClassify, Batch: batch, Enc: DictEncoding})
+			if err != nil {
+				return nil, err
+			}
+			txn.Commit()
+			rs.transport.AddDict(txn.Stats())
+			return append(body, '\n'), nil
+		}
+		if plainBody == nil {
+			wireEnc := ""
+			pack := fingerprint.Pack
+			if rs.proto.Load() >= 3 {
+				wireEnc = deltaEncoding
+				pack = fingerprint.PackDelta
+			}
+			batch := make([]string, len(fps))
+			for i, f := range fps {
+				packed, err := pack(f)
+				if err != nil {
+					return nil, err
+				}
+				batch[i] = packed
+			}
+			body, err := json.Marshal(shardRequest{Op: OpClassify, Batch: batch, Enc: wireEnc})
+			if err != nil {
+				return nil, err
+			}
+			plainBody = append(body, '\n')
+		}
+		return plainBody, nil
+	}
+}
+
 // Discriminate implements core.Shard. On exhausted retries it reports
 // no scores, which concedes the discrimination to the other shards'
 // candidates.
 func (rs *RemoteShard) Discriminate(f *fingerprint.Fingerprint, candidates []string) (string, map[string]float64) {
-	packed, err := fingerprint.Pack(f)
-	if err != nil {
+	if f == nil {
 		return "", nil
 	}
-	resp, err := rs.do(shardRequest{Op: OpDiscriminate, Fingerprint: packed, Candidates: candidates}, rs.cfg.Timeout)
+	resp, err := rs.doEnc(OpDiscriminate, rs.discriminateEncoder(f, candidates), rs.cfg.Timeout)
 	if err != nil {
 		return "", nil
 	}
 	return resp.Best, resp.Scores
+}
+
+// discriminateEncoder builds the discriminate request encoder,
+// adapting to the connection each attempt lands on the same way
+// classifyEncoder does: dictionary-coded fingerprint plus interned
+// candidate names on a dict connection, the plain packed form (built
+// once, replayed) otherwise.
+func (rs *RemoteShard) discriminateEncoder(f *fingerprint.Fingerprint, candidates []string) lineconn.Encoder {
+	var plainBody []byte
+	return func(state any) ([]byte, error) {
+		if cd, ok := state.(*connDict); ok {
+			txn := cd.dict.Begin()
+			entry, err := txn.Pack(f)
+			if err != nil {
+				return nil, err
+			}
+			wire, defined := internCandidates(candidates, cd.reqNames)
+			body, err := json.Marshal(shardRequest{Op: OpDiscriminate, Fingerprint: entry, Candidates: wire, Enc: DictEncoding})
+			if err != nil {
+				return nil, err
+			}
+			// Commit both codecs only now that the line will ship: the
+			// dictionary transaction, and the candidate names this request
+			// defined into the intern table.
+			txn.Commit()
+			if cd.reqNames == nil {
+				cd.reqNames = make(map[string]int)
+			}
+			for _, name := range defined {
+				cd.reqNames[name] = len(cd.reqNames)
+			}
+			rs.transport.AddDict(txn.Stats())
+			return append(body, '\n'), nil
+		}
+		if plainBody == nil {
+			packed, err := fingerprint.Pack(f)
+			if err != nil {
+				return nil, err
+			}
+			body, err := json.Marshal(shardRequest{Op: OpDiscriminate, Fingerprint: packed, Candidates: candidates})
+			if err != nil {
+				return nil, err
+			}
+			plainBody = append(body, '\n')
+		}
+		return plainBody, nil
+	}
 }
 
 // Enroll implements core.Shard: the training fingerprints ship packed,

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/fingerprint"
+	"repro/internal/lineconn"
 	"repro/internal/stats"
 )
 
@@ -349,27 +350,51 @@ func (w *connWriter) shutdown() {
 }
 
 // pump encodes queued responses until the channel closes or the
-// connection breaks.
+// connection breaks. A switchFrames sentinel in the queue flushes
+// everything before it plain and wraps the writer in the framed-flate
+// transport for everything after — the hello reply granting
+// compression is the last plain line the client sees.
 func (w *connWriter) pump() {
 	bw := bufio.NewWriter(w.conn)
+	var fw *lineconn.FrameWriter
 	enc := json.NewEncoder(bw)
+	fail := func() {
+		w.conn.Close()
+		for range w.ch { // drain so senders never block
+		}
+	}
 	for resp := range w.ch {
-		if err := enc.Encode(resp); err != nil {
-			w.conn.Close()
-			for range w.ch { // drain so senders never block
+		if _, ok := resp.(switchFrames); ok {
+			if err := bw.Flush(); err != nil {
+				fail()
+				return
 			}
+			fw = lineconn.NewFrameWriter(bw)
+			enc = json.NewEncoder(fw)
+			continue
+		}
+		if err := enc.Encode(resp); err != nil {
+			fail()
 			return
 		}
 		// Flush eagerly when the queue is empty so single requests are
-		// answered immediately; coalesce writes under load.
+		// answered immediately; coalesce writes — and, framed, compress
+		// them as one frame — under load.
 		if len(w.ch) == 0 {
-			if err := bw.Flush(); err != nil {
-				w.conn.Close()
-				for range w.ch {
+			if fw != nil {
+				if _, err := fw.Flush(); err != nil {
+					fail()
+					return
 				}
+			}
+			if err := bw.Flush(); err != nil {
+				fail()
 				return
 			}
 		}
+	}
+	if fw != nil {
+		fw.Flush()
 	}
 	bw.Flush()
 }
@@ -394,13 +419,13 @@ func (s *Server) handleConn(conn net.Conn) {
 		return
 	}
 
-	scanner := bufio.NewScanner(conn)
-	scanner.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	ls := newLineScanner(conn)
+	cw := &connWire{}
 	var line uint64
-	for scanner.Scan() {
+	for ls.Scan() {
 		line++
 		var req Request
-		if err := json.Unmarshal(scanner.Bytes(), &req); err != nil {
+		if err := json.Unmarshal(ls.Bytes(), &req); err != nil {
 			s.malformed.Add(1)
 			if !w.send(Response{Line: line, Error: fmt.Sprintf("line %d: malformed request: %v", line, err)}) {
 				return
@@ -409,11 +434,23 @@ func (s *Server) handleConn(conn net.Conn) {
 		}
 		if req.Op != "" {
 			// Version-2 verbs against the verdict endpoint: introduce
-			// ourselves to a hello, reject shard verbs cleanly (the client
-			// dialed the wrong kind of server; retrying here cannot help).
+			// ourselves to a hello (negotiating the v4 wire compression it
+			// may ask for), reject shard verbs cleanly (the client dialed
+			// the wrong kind of server; retrying here cannot help).
 			if req.Op == OpHello {
-				if !w.send(shardResponse{Op: OpHello, Line: line, Mode: ModeVerdict, V: s.cfg.ProtocolCap}) {
+				resp := shardResponse{Op: OpHello, Line: line, Mode: ModeVerdict, V: s.cfg.ProtocolCap}
+				s.negotiateWire(&resp, req.V, req.Comp, req.Dict, cw)
+				if !w.send(resp) {
 					return
+				}
+				if cw.compPending {
+					// The grant above goes out plain; frame everything after.
+					cw.compPending = false
+					cw.comp = true
+					if !w.send(switchFrames{}) {
+						return
+					}
+					ls.startFrames()
 				}
 			} else if !w.send(Response{Line: line, Error: fmt.Sprintf(
 				"line %d: this server speaks the identify protocol (%s mode); shard op %q is not served here", line, ModeVerdict, req.Op)}) {
@@ -421,8 +458,30 @@ func (s *Server) handleConn(conn net.Conn) {
 			}
 			continue
 		}
-		mac, fp, err := fingerprint.UnmarshalReportStruct(req.Fingerprint)
-		if err != nil {
+		var mac string
+		var fp *fingerprint.Fingerprint
+		var err error
+		if req.Enc == DictEncoding {
+			// Dictionary-coded identify: the packed field carries a
+			// fingerprint.Dict entry against this connection's dictionary.
+			if s.cfg.ProtocolCap < 4 || cw.dict == nil {
+				s.malformed.Add(1)
+				w.send(Response{MAC: req.Fingerprint.MAC, Line: line, Error: fmt.Sprintf(
+					"line %d: encoding %q requires a hello-negotiated v4 dictionary (serving v%d)", line, req.Enc, s.cfg.ProtocolCap)})
+				return // protocol misuse of a stateful codec: sever
+			}
+			mac = req.Fingerprint.MAC
+			txn := cw.dict.Begin()
+			fp, err = txn.Unpack(req.Fingerprint.Packed)
+			if err != nil {
+				// Dictionaries can no longer be trusted to agree: answer,
+				// then sever so the reconnect resets both ends.
+				s.malformed.Add(1)
+				w.send(Response{MAC: mac, Line: line, Error: fmt.Sprintf("line %d: %v", line, err)})
+				return
+			}
+			txn.Commit()
+		} else if mac, fp, err = fingerprint.UnmarshalReportStruct(req.Fingerprint); err != nil {
 			s.malformed.Add(1)
 			if !w.send(Response{MAC: req.Fingerprint.MAC, Line: line, Error: fmt.Sprintf("line %d: %v", line, err)}) {
 				return

@@ -298,7 +298,7 @@ func (g *ShardGroup) Member(i int) *RemoteShard { return g.snapshot()[i].rs }
 // skipping ejected ones, and a transport-level failure moves on to the
 // next admitted member. When every member is ejected, one caller is let
 // through as a full-outage recovery probe.
-func (g *ShardGroup) do(req shardRequest, timeout time.Duration) (shardResponse, error) {
+func (g *ShardGroup) do(attempt func(*RemoteShard) (shardResponse, error)) (shardResponse, error) {
 	g.requests.Add(1)
 	members := g.snapshot()
 	start := int(g.cursor.Add(1) % uint64(len(members)))
@@ -313,7 +313,7 @@ func (g *ShardGroup) do(req shardRequest, timeout time.Duration) (shardResponse,
 			g.failovers.Add(1)
 		}
 		attempted = true
-		resp, err := g.tryMember(m, req, timeout)
+		resp, err := g.tryMember(m, attempt)
 		if err == nil || (resp.Error != "" && !resp.Retryable) {
 			return resp, err
 		}
@@ -329,7 +329,7 @@ func (g *ShardGroup) do(req shardRequest, timeout time.Duration) (shardResponse,
 			g.failures.Add(1)
 			return shardResponse{}, fmt.Errorf("iotssp: shard group: all %d members ejected, recovery probe in flight", len(members))
 		}
-		resp, err := g.tryMember(m, req, timeout)
+		resp, err := g.tryMember(m, attempt)
 		if err == nil || (resp.Error != "" && !resp.Retryable) {
 			return resp, err
 		}
@@ -340,12 +340,17 @@ func (g *ShardGroup) do(req shardRequest, timeout time.Duration) (shardResponse,
 }
 
 // tryMember runs one operation against one member and folds the outcome
-// into its breaker. A non-retryable service error (malformed request,
+// into its breaker. The operation runs as the member's own client call
+// (attempt receives the member's RemoteShard), so per-connection codec
+// state — the v4 fingerprint dictionary, the name-intern tables —
+// belongs to the member the request actually lands on, and a failover
+// re-encodes against the next member instead of replaying bytes coined
+// for the first. A non-retryable service error (malformed request,
 // duplicate enrolment) counts as member health: the shard itself
 // answered, and another replica would answer the same.
-func (g *ShardGroup) tryMember(m *groupMember, req shardRequest, timeout time.Duration) (shardResponse, error) {
+func (g *ShardGroup) tryMember(m *groupMember, attempt func(*RemoteShard) (shardResponse, error)) (shardResponse, error) {
 	m.requests.Add(1)
-	resp, err := m.rs.do(req, timeout)
+	resp, err := attempt(m.rs)
 	if err == nil || (resp.Error != "" && !resp.Retryable) {
 		m.breaker.NoteSuccess()
 		return resp, err
@@ -355,63 +360,44 @@ func (g *ShardGroup) tryMember(m *groupMember, req shardRequest, timeout time.Du
 	return resp, err
 }
 
-// deltaOK reports whether every member has negotiated protocol v3, so
-// a classify batch may ship delta-packed regardless of which member the
-// failover lands it on. Members that have not completed a handshake yet
-// (proto 0) keep the batch on the plain codec — conservative, and only
-// until their first round-trip.
-func (g *ShardGroup) deltaOK() bool {
-	for _, m := range g.snapshot() {
-		if m.rs.Proto() < 3 {
-			return false
-		}
-	}
-	return true
-}
-
 // ClassifyBatch implements core.Shard: the batch ships to one healthy
 // member (any replica's answer is the answer), failing over
 // transparently if that member dies mid-flight. On a full group outage
-// it fails open to all-reject, like RemoteShard. Once every member has
-// negotiated protocol v3 the batch ships delta-packed; until then (and
-// in any mixed-version group) it stays on the plain packed codec, since
-// a failover may land it on any member.
+// it fails open to all-reject, like RemoteShard. Each member encodes
+// the batch itself, against its own negotiated wire: a v4 member ships
+// it dictionary-coded, a v3 member delta-packed, a v2 member plain —
+// and a failover re-encodes for whichever member it lands on, so a
+// mixed-version group costs each member only its own wire generation.
 func (g *ShardGroup) ClassifyBatch(fps []*fingerprint.Fingerprint, workers int) [][]string {
 	_ = workers // the member server fans the batch across its own cores
 	out := make([][]string, len(fps))
 	if len(fps) == 0 {
 		return out
 	}
-	enc := ""
-	pack := fingerprint.Pack
-	if g.deltaOK() {
-		enc = deltaEncoding
-		pack = fingerprint.PackDelta
-	}
-	batch := make([]string, len(fps))
-	for i, f := range fps {
-		packed, err := pack(f)
-		if err != nil {
-			return out
+	for _, f := range fps {
+		if f == nil {
+			return out // nothing packable; fail open like a pack error
 		}
-		batch[i] = packed
 	}
-	resp, err := g.do(shardRequest{Op: OpClassify, Batch: batch, Enc: enc}, g.cfg.Shard.Timeout)
+	resp, err := g.do(func(rs *RemoteShard) (shardResponse, error) {
+		return rs.doEnc(OpClassify, rs.classifyEncoder(fps), rs.cfg.Timeout)
+	})
 	if err != nil || len(resp.Accepts) != len(fps) {
 		return out
 	}
 	return resp.Accepts
 }
 
-// Discriminate implements core.Shard with the same member failover. On
-// a full group outage it reports no scores, conceding the
-// discrimination to the other shards' candidates.
+// Discriminate implements core.Shard with the same member failover and
+// the same per-member encoding. On a full group outage it reports no
+// scores, conceding the discrimination to the other shards' candidates.
 func (g *ShardGroup) Discriminate(f *fingerprint.Fingerprint, candidates []string) (string, map[string]float64) {
-	packed, err := fingerprint.Pack(f)
-	if err != nil {
+	if f == nil {
 		return "", nil
 	}
-	resp, err := g.do(shardRequest{Op: OpDiscriminate, Fingerprint: packed, Candidates: candidates}, g.cfg.Shard.Timeout)
+	resp, err := g.do(func(rs *RemoteShard) (shardResponse, error) {
+		return rs.doEnc(OpDiscriminate, rs.discriminateEncoder(f, candidates), rs.cfg.Timeout)
+	})
 	if err != nil {
 		return "", nil
 	}
@@ -490,7 +476,9 @@ func (g *ShardGroup) foldVersion(v uint64) uint64 {
 // replicated partition's type list, falling back to the last
 // successfully fetched list when the whole group is unreachable.
 func (g *ShardGroup) Types() []string {
-	resp, err := g.do(shardRequest{Op: OpMeta}, g.cfg.Shard.Timeout)
+	resp, err := g.do(func(rs *RemoteShard) (shardResponse, error) {
+		return rs.do(shardRequest{Op: OpMeta}, rs.cfg.Timeout)
+	})
 	g.typesMu.Lock()
 	defer g.typesMu.Unlock()
 	if err == nil {
@@ -543,7 +531,9 @@ func (g *ShardGroup) Remove(name string) error {
 // healthy member (the members host bit-identical banks, so any
 // member's snapshot is the snapshot), with the usual failover.
 func (g *ShardGroup) Snapshot() ([]byte, error) {
-	resp, err := g.do(shardRequest{Op: OpSnapshot}, g.cfg.Shard.EnrollTimeout)
+	resp, err := g.do(func(rs *RemoteShard) (shardResponse, error) {
+		return rs.do(shardRequest{Op: OpSnapshot}, rs.cfg.EnrollTimeout)
+	})
 	if err != nil {
 		return nil, err
 	}

@@ -1,7 +1,6 @@
 package iotssp
 
 import (
-	"bufio"
 	"encoding/json"
 	"fmt"
 	"net"
@@ -37,6 +36,11 @@ type shardRequest struct {
 	// connection whenever the shard's state changes (OpHello, protocol
 	// >= 3).
 	Sub bool `json:"sub,omitempty"`
+	// Comp and Dict are the OpHello wire-compression asks (protocol
+	// >= 4): Comp == CompFlate requests framed flate transport, Dict > 0
+	// a per-connection fingerprint dictionary of that capacity.
+	Comp string `json:"comp,omitempty"`
+	Dict int    `json:"dict,omitempty"`
 	// Batch is the packed F matrix of every fingerprint to classify
 	// (OpClassify), batch order preserved in the reply.
 	Batch []string `json:"batch,omitempty"`
@@ -69,6 +73,11 @@ type shardResponse struct {
 	// Mode and V answer OpHello ("shard"/"verdict", ProtocolVersion).
 	Mode string `json:"mode,omitempty"`
 	V    int    `json:"v,omitempty"`
+	// Comp and Dict echo the OpHello wire-compression grants (protocol
+	// >= 4): Comp == CompFlate means frames follow this reply, Dict is
+	// the agreed per-connection dictionary capacity.
+	Comp string `json:"comp,omitempty"`
+	Dict int    `json:"dict,omitempty"`
 	// Version is the shard's enrolment version after handling the
 	// request.
 	Version uint64 `json:"version,omitempty"`
@@ -140,16 +149,18 @@ func (s *Server) ShardBank() *core.Bank { return s.shard }
 // the hosted bank. Enrolments train a forest — seconds, not
 // microseconds — so they run on their own goroutine and answer out of
 // order through the write pump; classify/discriminate stay inline, and
-// the pipelined line echo keeps correlation exact either way.
+// the pipelined line echo keeps correlation exact either way. The
+// connection's wire-compression state (dictionary, framing) lives on
+// this stack and dies with the connection.
 func (s *Server) handleShardConn(conn net.Conn, w *connWriter) {
 	defer s.unsubscribe(w)
-	scanner := bufio.NewScanner(conn)
-	scanner.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	ls := newLineScanner(conn)
+	cw := &connWire{}
 	var line uint64
-	for scanner.Scan() {
+	for ls.Scan() {
 		line++
 		var req shardRequest
-		err := json.Unmarshal(scanner.Bytes(), &req)
+		err := json.Unmarshal(ls.Bytes(), &req)
 		if err != nil || req.Op == "" {
 			// Not a shard verb. A version-1 identify request decodes as a
 			// Request (its "fingerprint" field is an object, which fails
@@ -158,7 +169,7 @@ func (s *Server) handleShardConn(conn net.Conn, w *connWriter) {
 			// old client backs off and fails over instead of parsing a
 			// surprise. Anything else is malformed.
 			var v1 Request
-			if verr := json.Unmarshal(scanner.Bytes(), &v1); verr == nil && (err == nil || v1.Fingerprint.MAC != "" || v1.Fingerprint.Packed != "" || len(v1.Fingerprint.Vectors) > 0) {
+			if verr := json.Unmarshal(ls.Bytes(), &v1); verr == nil && (err == nil || v1.Fingerprint.MAC != "" || v1.Fingerprint.Packed != "" || len(v1.Fingerprint.Vectors) > 0) {
 				s.malformed.Add(1)
 				if !w.send(Response{
 					MAC:       v1.Fingerprint.MAC,
@@ -202,30 +213,69 @@ func (s *Server) handleShardConn(conn net.Conn, w *connWriter) {
 			}
 			continue
 		}
-		if !w.send(s.serveShardOp(req, line, w)) {
+		resp := s.serveShardOp(req, line, cw)
+		if cw.respNames != nil {
+			// Dict connections intern the type names responses repeat
+			// (accepts, best, score keys). Rewriting here, on the read pump,
+			// keeps definition order equal to wire order: every name-bearing
+			// response comes from this goroutine (enrolment replies carry no
+			// names), and the write pump preserves queue order.
+			internShardResponse(&resp, cw.respNames)
+			if resp.Op != OpHello {
+				// The line echo correlates; dict connections drop the op echo
+				// (pushes, which have no line, keep theirs).
+				resp.Op = ""
+			}
+		}
+		if !w.send(resp) {
+			return
+		}
+		if req.Op == OpHello {
+			// The hello reply granting flate goes out plain; the sentinel
+			// tells the write pump to frame everything after it, and the
+			// scanner expects frames from the client's next line. Only then
+			// is the connection registered for delta pushes, so no plain
+			// push can slip between the grant and the first frame.
+			if cw.compPending {
+				cw.compPending = false
+				cw.comp = true
+				if !w.send(switchFrames{}) {
+					return
+				}
+				ls.startFrames()
+			}
+			if req.Sub && s.cfg.ProtocolCap >= 3 && req.V >= 3 {
+				s.subscribe(w)
+			}
+		}
+		if cw.fatal {
+			// A dictionary-coded request failed to decode: the peers'
+			// dictionaries can no longer be trusted to agree. The error
+			// reply is queued; sever so the reconnect resets both ends.
 			return
 		}
 	}
 }
 
-// serveShardOp answers one inline shard verb. w is the connection's
-// write pump, which a hello may register for delta-stream pushes.
-func (s *Server) serveShardOp(req shardRequest, line uint64, w *connWriter) shardResponse {
+// serveShardOp answers one inline shard verb. cw is the connection's
+// wire-compression state: hellos negotiate into it, dictionary-coded
+// batches decode against it, and a failed dictionary decode marks it
+// fatal so the read pump severs after the error reply.
+func (s *Server) serveShardOp(req shardRequest, line uint64, cw *connWire) shardResponse {
 	switch req.Op {
 	case OpHello:
-		// The subscription rides the negotiation: both sides must speak
-		// version 3 for the server to push uncorrelated lines (an older
-		// client's transport would drop — or choke on — them).
-		if req.Sub && s.cfg.ProtocolCap >= 3 && req.V >= 3 {
-			s.subscribe(w)
-		}
-		return shardResponse{Op: OpHello, Line: line, Mode: ModeShard, V: s.cfg.ProtocolCap, Version: s.shard.Version()}
+		resp := shardResponse{Op: OpHello, Line: line, Mode: ModeShard, V: s.cfg.ProtocolCap, Version: s.shard.Version()}
+		// Subscription (the read pump registers after sending this reply)
+		// and wire compression both ride the negotiation: v4 grants are
+		// echoed, older peers' hellos carry no asks and get none back.
+		s.negotiateWire(&resp, req.V, req.Comp, req.Dict, cw)
+		return resp
 	case OpMeta:
 		s.requests.Add(1)
 		return shardResponse{Op: OpMeta, Line: line, Types: s.shard.Types(), Version: s.shard.Version()}
 	case OpClassify:
 		s.requests.Add(1)
-		if req.Enc != "" && req.Enc != deltaEncoding {
+		if req.Enc != "" && req.Enc != deltaEncoding && req.Enc != DictEncoding {
 			s.malformed.Add(1)
 			return shardResponse{Line: line, Error: fmt.Sprintf("line %d: unknown batch encoding %q", line, req.Enc)}
 		}
@@ -236,27 +286,74 @@ func (s *Server) serveShardOp(req shardRequest, line uint64, w *connWriter) shar
 			s.malformed.Add(1)
 			return shardResponse{Line: line, Error: fmt.Sprintf("line %d: batch encoding %q requires protocol v3 (serving v%d)", line, req.Enc, s.cfg.ProtocolCap)}
 		}
+		if req.Enc == DictEncoding && (s.cfg.ProtocolCap < 4 || cw.dict == nil) {
+			s.malformed.Add(1)
+			return shardResponse{Line: line, Error: fmt.Sprintf("line %d: batch encoding %q requires a hello-negotiated v4 dictionary (serving v%d)", line, req.Enc, s.cfg.ProtocolCap)}
+		}
+		var txn *fingerprint.DictTxn
+		if req.Enc == DictEncoding {
+			txn = cw.dict.Begin()
+		}
 		fps := make([]*fingerprint.Fingerprint, len(req.Batch))
 		for i, packed := range req.Batch {
 			var fp *fingerprint.Fingerprint
 			var err error
-			if req.Enc == deltaEncoding {
+			switch {
+			case txn != nil:
+				fp, err = txn.Unpack(packed)
+			case req.Enc == deltaEncoding:
 				fp, err = fingerprint.UnpackDelta(packed)
-			} else {
+			default:
 				fp, err = fingerprint.Unpack(packed)
 			}
 			if err != nil {
 				s.malformed.Add(1)
+				if txn != nil {
+					cw.fatal = true // dictionaries out of sync: sever after replying
+				}
 				return shardResponse{Line: line, Error: fmt.Sprintf("line %d: classify batch entry %d: %v", line, i, err)}
 			}
 			fps[i] = fp
+		}
+		if txn != nil {
+			txn.Commit()
 		}
 		accepts := s.shard.ClassifyBatch(fps, s.cfg.Workers)
 		s.noteBatch(len(fps))
 		return shardResponse{Op: OpClassify, Line: line, Accepts: accepts, Version: s.shard.Version()}
 	case OpDiscriminate:
 		s.requests.Add(1)
-		fp, err := fingerprint.Unpack(req.Fingerprint)
+		if req.Enc != "" && req.Enc != DictEncoding {
+			s.malformed.Add(1)
+			return shardResponse{Line: line, Error: fmt.Sprintf("line %d: unknown fingerprint encoding %q", line, req.Enc)}
+		}
+		if req.Enc == DictEncoding && (s.cfg.ProtocolCap < 4 || cw.dict == nil) {
+			s.malformed.Add(1)
+			return shardResponse{Line: line, Error: fmt.Sprintf("line %d: fingerprint encoding %q requires a hello-negotiated v4 dictionary (serving v%d)", line, req.Enc, s.cfg.ProtocolCap)}
+		}
+		if cw.reqNames != nil {
+			// Dict connections intern candidate names; an unknown reference
+			// means the peers' tables diverged — same sever contract as the
+			// fingerprint dictionary.
+			if err := expandCandidates(req.Candidates, cw.reqNames); err != nil {
+				s.malformed.Add(1)
+				cw.fatal = true
+				return shardResponse{Line: line, Error: fmt.Sprintf("line %d: %v", line, err)}
+			}
+		}
+		var fp *fingerprint.Fingerprint
+		var err error
+		if req.Enc == DictEncoding {
+			txn := cw.dict.Begin()
+			fp, err = txn.Unpack(req.Fingerprint)
+			if err == nil {
+				txn.Commit()
+			} else {
+				cw.fatal = true
+			}
+		} else {
+			fp, err = fingerprint.Unpack(req.Fingerprint)
+		}
 		if err != nil {
 			s.malformed.Add(1)
 			return shardResponse{Line: line, Error: fmt.Sprintf("line %d: discriminate fingerprint: %v", line, err)}

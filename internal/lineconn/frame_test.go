@@ -1,0 +1,195 @@
+package lineconn
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var wire bytes.Buffer
+	w := NewFrameWriter(&wire)
+
+	lines := []string{
+		`{"op":"classify","line":1}` + "\n",
+		`{"op":"classify","line":2}` + "\n",
+		strings.Repeat("x", 100000) + "\n",
+	}
+	// Frame 1 carries two lines, frame 2 one big line.
+	for _, l := range lines[:2] {
+		if _, err := w.Write([]byte(l)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w1, err := w.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w1 <= 4 {
+		t.Fatalf("frame 1 wrote %d wire bytes", w1)
+	}
+	w.Write([]byte(lines[2]))
+	w2, err := w.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w2 >= len(lines[2]) {
+		t.Fatalf("repetitive line did not compress: %d wire bytes for %d", w2, len(lines[2]))
+	}
+	if w1+w2 != wire.Len() {
+		t.Fatalf("reported wire bytes %d, wrote %d", w1+w2, wire.Len())
+	}
+	// Flushing with nothing pending writes nothing.
+	if n, err := w.Flush(); n != 0 || err != nil {
+		t.Fatalf("empty Flush = %d, %v", n, err)
+	}
+
+	r := NewFrameReader(&wire)
+	totalWire := 0
+	for i, want := range lines {
+		got, n, err := r.Next()
+		if err != nil {
+			t.Fatalf("Next(%d): %v", i, err)
+		}
+		if string(got) != want {
+			t.Fatalf("line %d mismatch", i)
+		}
+		totalWire += n
+	}
+	if totalWire != w1+w2 {
+		t.Fatalf("reader counted %d wire bytes, writer %d", totalWire, w1+w2)
+	}
+	if _, _, err := r.Next(); err != io.EOF {
+		t.Fatalf("clean end = %v, want io.EOF", err)
+	}
+}
+
+func TestFrameWriterRejectsPartialLine(t *testing.T) {
+	w := NewFrameWriter(io.Discard)
+	w.Write([]byte("no newline"))
+	if _, err := w.Flush(); err == nil {
+		t.Fatal("flush of a partial line must error")
+	}
+}
+
+func TestFrameReaderRejectsCorrupt(t *testing.T) {
+	mk := func(b []byte) *FrameReader { return NewFrameReader(bytes.NewReader(b)) }
+	frame := func(payload []byte) []byte {
+		var buf bytes.Buffer
+		w := NewFrameWriter(&buf)
+		w.Write(payload)
+		if _, err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+
+	// Truncated header.
+	if _, _, err := mk([]byte{0, 0}).Next(); err == nil {
+		t.Fatal("truncated header accepted")
+	}
+	// Zero-length frame.
+	if _, _, err := mk([]byte{0, 0, 0, 0}).Next(); err == nil {
+		t.Fatal("empty frame accepted")
+	}
+	// Oversized declared length.
+	var huge [4]byte
+	binary.BigEndian.PutUint32(huge[:], uint32(maxFrameWire+1))
+	if _, _, err := mk(huge[:]).Next(); err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+	// Truncated payload.
+	good := frame([]byte("hello\n"))
+	if _, _, err := mk(good[:len(good)-1]).Next(); err == nil {
+		t.Fatal("truncated payload accepted")
+	}
+	// Garbage payload (not a flate stream).
+	var garbage bytes.Buffer
+	garbage.Write([]byte{0, 0, 0, 8})
+	garbage.Write([]byte("notflate"))
+	if _, _, err := mk(garbage.Bytes()).Next(); err == nil {
+		t.Fatal("garbage payload accepted")
+	}
+	// Valid flate stream that does not end in a newline.
+	raw := compressRaw(t, []byte("no-terminator"))
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(raw)))
+	if _, _, err := mk(append(hdr[:], raw...)).Next(); err == nil {
+		t.Fatal("partial-line frame accepted")
+	}
+}
+
+// compressRaw deflates payload without the writer's line-boundary
+// checks, to craft frames a conforming peer would never send.
+func compressRaw(t *testing.T, payload []byte) []byte {
+	t.Helper()
+	var out bytes.Buffer
+	fw, err := flate.NewWriter(&out, flate.BestSpeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw.Write(payload)
+	fw.Close()
+	return out.Bytes()
+}
+
+func TestFrameReaderResumesAfterLargeFrames(t *testing.T) {
+	var wire bytes.Buffer
+	w := NewFrameWriter(&wire)
+	var want []string
+	for i := 0; i < 50; i++ {
+		l := strings.Repeat("abc", i+1) + "\n"
+		want = append(want, l)
+		w.Write([]byte(l))
+		if i%7 == 0 {
+			if _, err := w.Flush(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if _, err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r := NewFrameReader(&wire)
+	for i, l := range want {
+		got, _, err := r.Next()
+		if err != nil {
+			t.Fatalf("Next(%d): %v", i, err)
+		}
+		if string(got) != l {
+			t.Fatalf("line %d mismatch", i)
+		}
+	}
+}
+
+func FuzzFrameRead(f *testing.F) {
+	seed := func(lines ...string) []byte {
+		var buf bytes.Buffer
+		w := NewFrameWriter(&buf)
+		for _, l := range lines {
+			w.Write([]byte(l))
+		}
+		w.Flush()
+		return buf.Bytes()
+	}
+	f.Add(seed("{\"op\":\"hello\"}\n"))
+	f.Add(seed("a\n", "b\n", "c\n"))
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 1, 2, 3})
+	f.Add([]byte("plain text, not frames at all\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewFrameReader(bytes.NewReader(data))
+		for i := 0; i < 1000; i++ {
+			line, _, err := r.Next()
+			if err != nil {
+				return // any error is fine; panics are not
+			}
+			if len(line) == 0 || line[len(line)-1] != '\n' {
+				t.Fatalf("Next returned a non-line: %q", line)
+			}
+		}
+	})
+}

@@ -47,6 +47,25 @@
 // serves traffic, so a mode or version mismatch fails the dial cleanly
 // instead of surfacing mid-pipeline.
 //
+// # Per-incarnation codec state and framed compression
+//
+// Wire protocol v4 makes connections stateful: both ends of one
+// connection keep a fingerprint dictionary that must stay in lockstep,
+// and the residual line stream may travel as compressed frames. The
+// transport owns the lifecycle for both. Options.NewState builds a
+// fresh codec-state value from each successful handshake reply — the
+// connection incarnation IS the state's generation, so a severed
+// connection can never encode against state the peer no longer holds —
+// and encoder callbacks (RoundTripEnc/RoundTripBatchEnc) run against
+// that state under the connection lock, atomically with the write that
+// ships their output. Options.Framed inspects the same reply to decide
+// whether everything after the handshake is framed flate
+// (FrameWriter/FrameReader); the hello itself always travels
+// uncompressed both ways. Handshake bytes, push bytes and
+// dictionary hit/miss/reference-byte tallies are counted separately so
+// steady-state bytes/verdict can be measured without the negotiation
+// noise.
+//
 // Reconnects are lazy (the next round-trip redials) and the jittered
 // exponential backoff between retry attempts comes from the shared
 // internal/backoff source via Retry, so a fleet of clients backing off
@@ -109,6 +128,20 @@ type Stats struct {
 	// Pushes counts server-initiated lines (no line echo) handed to the
 	// Push handler rather than dropped.
 	Pushes uint64 `json:"pushes"`
+	// HandshakeBytesWritten/HandshakeBytesRead are the subset of
+	// BytesWritten/BytesRead spent on handshake lines and their replies;
+	// PushBytesRead the subset of BytesRead spent on server-initiated
+	// push lines. Steady-state accounting subtracts them so a
+	// compression win is not diluted by negotiation traffic.
+	HandshakeBytesWritten uint64 `json:"handshake_bytes_written,omitempty"`
+	HandshakeBytesRead    uint64 `json:"handshake_bytes_read,omitempty"`
+	PushBytesRead         uint64 `json:"push_bytes_read,omitempty"`
+	// DictHits/DictMisses count fingerprints the v4 dictionary codec
+	// sent as references-or-diffs versus in full; DictRefBytes the entry
+	// bytes of the reference forms. Zero on pre-v4 connections.
+	DictHits     uint64 `json:"dict_hits,omitempty"`
+	DictMisses   uint64 `json:"dict_misses,omitempty"`
+	DictRefBytes uint64 `json:"dict_ref_bytes,omitempty"`
 }
 
 // Counters accumulates transport counters. One Counters is typically
@@ -118,22 +151,39 @@ type Stats struct {
 type Counters struct {
 	dials, reconnects, bursts, burstReqs, dropped atomic.Uint64
 	bytesWritten, bytesRead, pushes               atomic.Uint64
+	handshakeWritten, handshakeRead, pushRead     atomic.Uint64
+	dictHits, dictMisses, dictRefBytes            atomic.Uint64
 }
 
 // NewCounters creates an empty counter set.
 func NewCounters() *Counters { return &Counters{} }
 
+// AddDict folds one request's dictionary-codec tallies (a committed
+// DictTxn's Stats) into the counters. Encoder callbacks call it after
+// their transaction commits.
+func (c *Counters) AddDict(hits, misses, refBytes uint64) {
+	c.dictHits.Add(hits)
+	c.dictMisses.Add(misses)
+	c.dictRefBytes.Add(refBytes)
+}
+
 // Snapshot returns the current counter values.
 func (c *Counters) Snapshot() Stats {
 	return Stats{
-		Dials:               c.dials.Load(),
-		Reconnects:          c.reconnects.Load(),
-		Bursts:              c.bursts.Load(),
-		BurstRequests:       c.burstReqs.Load(),
-		DroppedCorrelations: c.dropped.Load(),
-		BytesWritten:        c.bytesWritten.Load(),
-		BytesRead:           c.bytesRead.Load(),
-		Pushes:              c.pushes.Load(),
+		Dials:                 c.dials.Load(),
+		Reconnects:            c.reconnects.Load(),
+		Bursts:                c.bursts.Load(),
+		BurstRequests:         c.burstReqs.Load(),
+		DroppedCorrelations:   c.dropped.Load(),
+		BytesWritten:          c.bytesWritten.Load(),
+		BytesRead:             c.bytesRead.Load(),
+		Pushes:                c.pushes.Load(),
+		HandshakeBytesWritten: c.handshakeWritten.Load(),
+		HandshakeBytesRead:    c.handshakeRead.Load(),
+		PushBytesRead:         c.pushRead.Load(),
+		DictHits:              c.dictHits.Load(),
+		DictMisses:            c.dictMisses.Load(),
+		DictRefBytes:          c.dictRefBytes.Load(),
 	}
 }
 
@@ -190,11 +240,61 @@ type Options[M Message] struct {
 	// The handler runs on the read pump — it must not block (a version
 	// stamp fold and a counter bump, not a round-trip).
 	Push func(M)
+	// NewState, when non-nil, builds the connection incarnation's codec
+	// state from each successful handshake reply (nil return = stateless
+	// connection). Encoder callbacks receive the value; a reconnect
+	// builds a fresh one, so state never outlives the connection the
+	// peer mirrors it on. Requires Hello.
+	NewState func(M) any
+	// Framed, when non-nil, inspects the handshake reply and reports
+	// whether everything after the handshake travels as compressed
+	// frames (FrameWriter/FrameReader) instead of plain lines. Requires
+	// Hello; the handshake itself is always plain.
+	Framed func(M) bool
+	// Inbound, when non-nil, transforms every post-handshake response
+	// line on the read pump, in wire order, against the incarnation's
+	// codec state — the hook for stateful response codecs whose
+	// decode order must match the peer's encode order (v4 name
+	// interning). An error severs the connection. It runs on the pump
+	// goroutine: it must not block or call back into the Conn, and it
+	// is the only reader of whatever state fields it touches (encoders
+	// run under the connection lock on different fields). Requires
+	// Hello.
+	Inbound func(state any, msg M) (M, error)
+}
+
+// Encoder builds one request line (trailing newline included) against
+// the connection incarnation's codec state — nil when the connection is
+// stateless. Encoders run under the connection lock, atomically with
+// the write that ships their output: they must be fast, must not call
+// back into the Conn, and must not commit state mutations except for
+// output they successfully return (an error return must leave the state
+// untouched, since nothing will be written).
+type Encoder func(state any) ([]byte, error)
+
+// Sizes reports one round-trip's payload byte counts: the request line
+// as encoded (pre-framing) and the correlated response line as decoded
+// (post-deframing). On a plain connection these equal wire bytes; on a
+// framed connection the wire cost is the compressed frames, counted in
+// Stats.BytesWritten/BytesRead. Clients use Sizes to attribute payload
+// bytes to traffic classes (state transfer versus steady-state
+// classifies) independently of transport compression.
+type Sizes struct {
+	Wrote, Read int
+}
+
+// pumpStart is the handshake decision ensureConnLocked hands the read
+// pump: whether the rest of the stream is framed, and the incarnation's
+// codec state for the Inbound hook.
+type pumpStart struct {
+	framed bool
+	state  any
 }
 
 // result is one completed round-trip.
 type result[M Message] struct {
 	msg M
+	n   int
 	err error
 }
 
@@ -203,14 +303,23 @@ type result[M Message] struct {
 // after any failure, and is safe for concurrent use — many goroutines
 // may have round-trips in flight at once.
 type Conn[M Message] struct {
-	addr     string
-	counters *Counters
-	hello    []byte
-	check    func(M) error
-	push     func(M)
+	addr       string
+	counters   *Counters
+	hello      []byte
+	check      func(M) error
+	push       func(M)
+	newState   func(M) any
+	framedHook func(M) bool
+	inbound    func(state any, msg M) (M, error)
 
 	mu   sync.Mutex
 	conn net.Conn
+	// dialing is non-nil while one goroutine dials and handshakes; it is
+	// closed when that attempt resolves. Concurrent round-trips wait on
+	// it instead of treating the half-handshaken conn as established —
+	// a request written before the framing/state decision would go out
+	// plain and unstated on a connection the peer is about to frame.
+	dialing chan struct{}
 	// gen counts connection incarnations (the generation guard: pumps
 	// carry their generation and stale deliveries are discarded).
 	gen uint64
@@ -219,6 +328,12 @@ type Conn[M Message] struct {
 	lines   uint64
 	waiters map[uint64]chan result[M]
 	closed  bool
+	// state, framed and fw belong to the current incarnation: the codec
+	// state NewState built from its handshake reply, whether its
+	// post-handshake stream is framed, and the frame writer when so.
+	state  any
+	framed bool
+	fw     *FrameWriter
 }
 
 // New creates a connection to addr (host:port). Nothing is dialed until
@@ -228,12 +343,15 @@ func New[M Message](addr string, opts Options[M]) *Conn[M] {
 		opts.Counters = NewCounters()
 	}
 	return &Conn[M]{
-		addr:     addr,
-		counters: opts.Counters,
-		hello:    opts.Hello,
-		check:    opts.CheckHello,
-		push:     opts.Push,
-		waiters:  make(map[uint64]chan result[M]),
+		addr:       addr,
+		counters:   opts.Counters,
+		hello:      opts.Hello,
+		check:      opts.CheckHello,
+		push:       opts.Push,
+		newState:   opts.NewState,
+		framedHook: opts.Framed,
+		inbound:    opts.Inbound,
+		waiters:    make(map[uint64]chan result[M]),
 	}
 }
 
@@ -254,9 +372,30 @@ func deadlineFor(ctx context.Context, timeout time.Duration) time.Time {
 // with mu released (the read pump needs it to deliver), and the method
 // returns with mu held either way.
 func (c *Conn[M]) ensureConnLocked(ctx context.Context, deadline time.Time) error {
+	for c.dialing != nil {
+		ch := c.dialing
+		c.mu.Unlock()
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			c.mu.Lock()
+			return ctx.Err()
+		}
+		c.mu.Lock()
+		if c.closed {
+			return ErrClosed
+		}
+	}
 	if c.conn != nil {
 		return nil
 	}
+	dialCh := make(chan struct{})
+	c.dialing = dialCh
+	defer func() {
+		// Runs with mu held: every return path below holds the lock.
+		c.dialing = nil
+		close(dialCh)
+	}()
 	d := net.Dialer{Deadline: deadline}
 	conn, err := d.DialContext(ctx, "tcp", c.addr)
 	if err != nil {
@@ -276,24 +415,34 @@ func (c *Conn[M]) ensureConnLocked(ctx context.Context, deadline time.Time) erro
 	c.conn = conn
 	c.gen++
 	c.lines = 0
+	c.state, c.framed, c.fw = nil, false, nil
 	c.counters.dials.Add(1)
 	gen := c.gen
 	if len(c.hello) == 0 {
-		go c.readPump(conn, gen)
+		go c.readPump(conn, gen, nil)
 		return nil
 	}
 
-	// The handshake consumes line 1 of the fresh connection.
+	// The handshake consumes line 1 of the fresh connection. The pump
+	// reads the reply plain, then blocks on decide: whether the rest of
+	// the stream is framed is known only after the reply is validated
+	// here, and the pump must not read past the reply until then (a
+	// framed peer may push frames right behind it).
 	c.lines = 1
 	helloCh := make(chan result[M], 1)
 	c.waiters[1] = helloCh
-	go c.readPump(conn, gen)
+	decide := make(chan pumpStart, 1)
+	go c.readPump(conn, gen, decide)
 	conn.SetWriteDeadline(deadline)
 	if _, err := conn.Write(c.hello); err != nil {
+		// The pump is still blocked reading the reply; closing the
+		// socket in dropLocked unblocks it without a decision.
 		c.dropLocked(conn, err)
+		decide <- pumpStart{}
 		return fmt.Errorf("lineconn: handshake with %s: %w", c.addr, err)
 	}
 	c.counters.bytesWritten.Add(uint64(len(c.hello)))
+	c.counters.handshakeWritten.Add(uint64(len(c.hello)))
 
 	// Wait for the handshake reply outside the lock.
 	c.mu.Unlock()
@@ -311,18 +460,29 @@ func (c *Conn[M]) ensureConnLocked(ctx context.Context, deadline time.Time) erro
 
 	if res.err != nil {
 		c.dropLocked(conn, res.err)
+		decide <- pumpStart{}
 		return res.err
 	}
 	if c.check != nil {
 		if err := c.check(res.msg); err != nil {
 			c.dropLocked(conn, err)
+			decide <- pumpStart{}
 			return err
 		}
 	}
 	if c.conn != conn {
 		// The connection died while the lock was released.
+		decide <- pumpStart{}
 		return fmt.Errorf("lineconn: %s: connection lost during handshake", c.addr)
 	}
+	if c.newState != nil {
+		c.state = c.newState(res.msg)
+	}
+	if c.framedHook != nil && c.framedHook(res.msg) {
+		c.framed = true
+		c.fw = NewFrameWriter(conn)
+	}
+	decide <- pumpStart{framed: c.framed, state: c.state}
 	return nil
 }
 
@@ -332,44 +492,57 @@ func (c *Conn[M]) ensureConnLocked(ctx context.Context, deadline time.Time) erro
 // the peer or the link is wedged, and every pipelined request should
 // fail fast rather than each waiting out its own timer.
 func (c *Conn[M]) RoundTrip(ctx context.Context, body []byte, timeout time.Duration) (M, error) {
+	msg, _, err := c.RoundTripEnc(ctx, func(any) ([]byte, error) { return body, nil }, timeout)
+	return msg, err
+}
+
+// RoundTripEnc is RoundTrip with the request line produced by an
+// Encoder against the connection's codec state (see Encoder for the
+// contract), reporting the payload Sizes alongside the response. An
+// encoder error aborts the call before anything is written.
+func (c *Conn[M]) RoundTripEnc(ctx context.Context, enc Encoder, timeout time.Duration) (M, Sizes, error) {
 	var zero M
 	deadline := deadlineFor(ctx, timeout)
 
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
-		return zero, ErrClosed
+		return zero, Sizes{}, ErrClosed
 	}
 	if err := c.ensureConnLocked(ctx, deadline); err != nil {
 		c.mu.Unlock()
-		return zero, err
+		return zero, Sizes{}, err
 	}
 	conn := c.conn
+	body, err := enc(c.state)
+	if err != nil {
+		c.mu.Unlock()
+		return zero, Sizes{}, err
+	}
 	ch := make(chan result[M], 1)
 	c.lines++
 	c.waiters[c.lines] = ch
 	conn.SetWriteDeadline(deadline)
-	if _, err := conn.Write(body); err != nil {
+	if err := c.writeLocked(conn, body); err != nil {
 		werr := fmt.Errorf("lineconn: writing to %s: %w", c.addr, err)
 		c.dropLocked(conn, werr)
 		c.mu.Unlock()
-		return zero, werr
+		return zero, Sizes{Wrote: len(body)}, werr
 	}
-	c.counters.bytesWritten.Add(uint64(len(body)))
 	c.mu.Unlock()
 
 	timer := time.NewTimer(time.Until(deadline))
 	defer timer.Stop()
 	select {
 	case res := <-ch:
-		return res.msg, res.err
+		return res.msg, Sizes{Wrote: len(body), Read: res.n}, res.err
 	case <-ctx.Done():
 		c.fail(conn, ctx.Err())
-		return zero, ctx.Err()
+		return zero, Sizes{Wrote: len(body)}, ctx.Err()
 	case <-timer.C:
 		err := fmt.Errorf("lineconn: %s: deadline exceeded", c.addr)
 		c.fail(conn, err)
-		return zero, err
+		return zero, Sizes{Wrote: len(body)}, err
 	}
 }
 
@@ -378,8 +551,22 @@ func (c *Conn[M]) RoundTrip(ctx context.Context, body []byte, timeout time.Durat
 // describe bodies[j]; a transport failure mid-burst fails the affected
 // entries (the caller decides whether to retry them individually).
 func (c *Conn[M]) RoundTripBatch(ctx context.Context, bodies [][]byte, timeout time.Duration) ([]M, []error) {
-	msgs := make([]M, len(bodies))
-	errs := make([]error, len(bodies))
+	encs := make([]Encoder, len(bodies))
+	for j := range bodies {
+		body := bodies[j]
+		encs[j] = func(any) ([]byte, error) { return body, nil }
+	}
+	return c.RoundTripBatchEnc(ctx, encs, timeout)
+}
+
+// RoundTripBatchEnc is RoundTripBatch with each request line produced
+// by an Encoder against the connection's codec state, in burst order —
+// on a stateful connection the peer decodes the lines in exactly the
+// order they were encoded. An encoder error fails only its own entry
+// (no line is written for it); the rest of the burst proceeds.
+func (c *Conn[M]) RoundTripBatchEnc(ctx context.Context, encs []Encoder, timeout time.Duration) ([]M, []error) {
+	msgs := make([]M, len(encs))
+	errs := make([]error, len(encs))
 	deadline := deadlineFor(ctx, timeout)
 
 	c.mu.Lock()
@@ -398,23 +585,30 @@ func (c *Conn[M]) RoundTripBatch(ctx context.Context, bodies [][]byte, timeout t
 		return msgs, errs
 	}
 	conn := c.conn
-	c.counters.bursts.Add(1)
-	c.counters.burstReqs.Add(uint64(len(bodies)))
-	chans := make([]chan result[M], len(bodies))
+	chans := make([]chan result[M], len(encs))
 	var burst []byte
-	for j, body := range bodies {
+	registered := 0
+	for j, enc := range encs {
+		body, err := enc(c.state)
+		if err != nil {
+			errs[j] = err
+			continue
+		}
 		chans[j] = make(chan result[M], 1)
 		c.lines++
 		c.waiters[c.lines] = chans[j]
 		burst = append(burst, body...)
+		registered++
 	}
-	conn.SetWriteDeadline(deadline)
-	if _, err := conn.Write(burst); err != nil {
-		// dropLocked fails every registered waiter, ours included; the
-		// wait loop below collects those failures positionally.
-		c.dropLocked(conn, fmt.Errorf("lineconn: writing burst to %s: %w", c.addr, err))
-	} else {
-		c.counters.bytesWritten.Add(uint64(len(burst)))
+	if registered > 0 {
+		c.counters.bursts.Add(1)
+		c.counters.burstReqs.Add(uint64(registered))
+		conn.SetWriteDeadline(deadline)
+		if err := c.writeLocked(conn, burst); err != nil {
+			// dropLocked fails every registered waiter, ours included; the
+			// wait loop below collects those failures positionally.
+			c.dropLocked(conn, fmt.Errorf("lineconn: writing burst to %s: %w", c.addr, err))
+		}
 	}
 	c.mu.Unlock()
 
@@ -422,6 +616,9 @@ func (c *Conn[M]) RoundTripBatch(ctx context.Context, bodies [][]byte, timeout t
 	defer timer.Stop()
 	severed := false
 	for j, ch := range chans {
+		if ch == nil {
+			continue // encoder failure; errs[j] already set
+		}
 		select {
 		case res := <-ch:
 			msgs[j], errs[j] = res.msg, res.err
@@ -444,26 +641,86 @@ func (c *Conn[M]) RoundTripBatch(ctx context.Context, bodies [][]byte, timeout t
 	return msgs, errs
 }
 
+// writeLocked ships one already-encoded payload onto conn: directly on
+// a plain connection, or as one compressed frame when the incarnation
+// negotiated framing. Wire bytes (frame overhead included, compression
+// applied) land in the counters on success either way. Callers hold mu
+// with conn current.
+func (c *Conn[M]) writeLocked(conn net.Conn, body []byte) error {
+	if !c.framed {
+		if _, err := conn.Write(body); err != nil {
+			return err
+		}
+		c.counters.bytesWritten.Add(uint64(len(body)))
+		return nil
+	}
+	if _, err := c.fw.Write(body); err != nil {
+		return err
+	}
+	wire, err := c.fw.Flush()
+	if err != nil {
+		return err
+	}
+	c.counters.bytesWritten.Add(uint64(wire))
+	return nil
+}
+
 // readPump decodes response lines and hands each to its waiter until
 // the connection breaks or a younger incarnation takes over (buffered
 // lines can outlive the socket close; they must not resolve the new
-// connection's waiters).
-func (c *Conn[M]) readPump(conn net.Conn, gen uint64) {
+// connection's waiters). On a handshaking connection, decide carries
+// the framing decision: the pump reads exactly one plain line (the
+// handshake reply), then waits for ensureConnLocked to validate it and
+// announce whether the rest of the stream is framed before reading on.
+func (c *Conn[M]) readPump(conn net.Conn, gen uint64, decide chan pumpStart) {
 	br := bufio.NewReader(conn)
+	var fr *FrameReader
+	var state any
+	first := decide != nil
 	for {
-		line, err := br.ReadBytes('\n')
+		var line []byte
+		var err error
+		if fr != nil {
+			var wire int
+			line, wire, err = fr.Next()
+			if err == nil {
+				c.counters.bytesRead.Add(uint64(wire))
+			}
+		} else {
+			line, err = br.ReadBytes('\n')
+			if err == nil {
+				c.counters.bytesRead.Add(uint64(len(line)))
+			}
+		}
 		if err != nil {
 			c.fail(conn, fmt.Errorf("lineconn: reading from %s: %w", c.addr, err))
 			return
 		}
-		c.counters.bytesRead.Add(uint64(len(line)))
+		if first {
+			c.counters.handshakeRead.Add(uint64(len(line)))
+		}
 		var msg M
 		if err := json.Unmarshal(line, &msg); err != nil {
 			c.fail(conn, fmt.Errorf("lineconn: decoding response from %s: %w", c.addr, err))
 			return
 		}
-		if !c.deliver(msg, gen) {
+		if !first && c.inbound != nil {
+			var err error
+			if msg, err = c.inbound(state, msg); err != nil {
+				c.fail(conn, fmt.Errorf("lineconn: decoding response from %s: %w", c.addr, err))
+				return
+			}
+		}
+		if !c.deliver(msg, gen, len(line)) {
 			return
+		}
+		if first {
+			first = false
+			start := <-decide
+			state = start.state
+			if start.framed {
+				fr = NewFrameReader(br)
+			}
 		}
 	}
 }
@@ -474,7 +731,7 @@ func (c *Conn[M]) readPump(conn net.Conn, gen uint64) {
 // handler when one is configured. Stale generations and responses
 // without a waiter (after a local timeout, or an uncorrelated line with
 // no Push handler) are dropped and counted.
-func (c *Conn[M]) deliver(msg M, gen uint64) bool {
+func (c *Conn[M]) deliver(msg M, gen uint64, n int) bool {
 	c.mu.Lock()
 	if c.gen != gen {
 		c.mu.Unlock()
@@ -484,6 +741,7 @@ func (c *Conn[M]) deliver(msg M, gen uint64) bool {
 	if msg.CorrelationLine() == 0 && c.push != nil {
 		c.mu.Unlock()
 		c.counters.pushes.Add(1)
+		c.counters.pushRead.Add(uint64(n))
 		c.push(msg)
 		return true
 	}
@@ -495,7 +753,7 @@ func (c *Conn[M]) deliver(msg M, gen uint64) bool {
 	}
 	delete(c.waiters, msg.CorrelationLine())
 	c.mu.Unlock()
-	ch <- result[M]{msg: msg}
+	ch <- result[M]{msg: msg, n: n}
 	return true
 }
 
@@ -515,6 +773,7 @@ func (c *Conn[M]) dropLocked(conn net.Conn, err error) {
 	}
 	conn.Close()
 	c.conn = nil
+	c.state, c.framed, c.fw = nil, false, nil
 	waiters := c.waiters
 	c.waiters = make(map[uint64]chan result[M])
 	for _, ch := range waiters {

@@ -149,7 +149,7 @@ func TestGenerationGuardDropsStaleDeliveries(t *testing.T) {
 	// A response buffered from the severed generation-1 connection
 	// carries the same line number. It must be dropped — and the stale
 	// pump told to exit — not delivered to the new waiter.
-	if c.deliver(testMsg{Line: 1, Tag: "stale"}, 1) {
+	if c.deliver(testMsg{Line: 1, Tag: "stale"}, 1, 0) {
 		t.Error("stale-generation delivery reported the pump as current")
 	}
 	select {
@@ -162,7 +162,7 @@ func TestGenerationGuardDropsStaleDeliveries(t *testing.T) {
 	}
 
 	// The current generation's delivery still lands.
-	if !c.deliver(testMsg{Line: 1, Tag: "fresh"}, 2) {
+	if !c.deliver(testMsg{Line: 1, Tag: "fresh"}, 2, 0) {
 		t.Error("current-generation delivery reported the pump as stale")
 	}
 	res := <-ch

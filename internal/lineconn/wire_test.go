@@ -1,0 +1,199 @@
+package lineconn
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// framedEchoServer speaks the v4-style negotiation: line 1 is a plain
+// hello answered plain with mode "framed", after which both directions
+// travel as compressed frames. Every later request line is echoed back
+// with its tag. killAfter > 0 severs each connection after that many
+// post-hello requests (testing state reset across reconnects).
+func framedEchoServer(t *testing.T, killAfter int) string {
+	t.Helper()
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { lis.Close() })
+	go func() {
+		for {
+			conn, err := lis.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn) {
+				defer conn.Close()
+				br := bufio.NewReader(conn)
+				if _, err := br.ReadBytes('\n'); err != nil {
+					return
+				}
+				respond(t, conn, testMsg{Line: 1, Mode: "framed"})
+				fr := NewFrameReader(br)
+				fw := NewFrameWriter(conn)
+				line := uint64(1)
+				served := 0
+				for {
+					raw, _, err := fr.Next()
+					if err != nil {
+						return
+					}
+					line++
+					var req testMsg
+					if err := json.Unmarshal(raw, &req); err != nil {
+						return
+					}
+					b, _ := json.Marshal(testMsg{Line: line, Tag: req.Tag})
+					fw.Write(append(b, '\n'))
+					if _, err := fw.Flush(); err != nil {
+						return
+					}
+					served++
+					if killAfter > 0 && served >= killAfter {
+						return
+					}
+				}
+			}(conn)
+		}
+	}()
+	return lis.Addr().String()
+}
+
+// connState is the per-incarnation codec state of the framed tests: a
+// request counter proving encoders see the incarnation's own state.
+type connState struct{ sent int }
+
+func framedOptions(counters *Counters, births *atomic.Uint64) Options[testMsg] {
+	return Options[testMsg]{
+		Counters: counters,
+		Hello:    []byte(`{"op":"hello"}` + "\n"),
+		CheckHello: func(m testMsg) error {
+			if m.Mode != "framed" {
+				return fmt.Errorf("mode %q", m.Mode)
+			}
+			return nil
+		},
+		NewState: func(m testMsg) any {
+			if births != nil {
+				births.Add(1)
+			}
+			return &connState{}
+		},
+		Framed: func(m testMsg) bool { return m.Mode == "framed" },
+	}
+}
+
+func TestFramedConnectionRoundTripsAndCounts(t *testing.T) {
+	addr := framedEchoServer(t, 0)
+	counters := NewCounters()
+	c := New[testMsg](addr, framedOptions(counters, nil))
+	defer c.Close()
+
+	// A highly repetitive payload must cost fewer wire bytes than
+	// payload bytes once frames carry it.
+	tag := strings.Repeat("recurring-model-", 256)
+	var payloadOut int
+	for i := 0; i < 8; i++ {
+		enc := func(state any) ([]byte, error) {
+			st := state.(*connState)
+			st.sent++
+			return reqLine(fmt.Sprintf("%s#%d", tag, st.sent)), nil
+		}
+		msg, sizes, err := c.RoundTripEnc(context.Background(), enc, 2*time.Second)
+		if err != nil {
+			t.Fatalf("round-trip %d: %v", i, err)
+		}
+		if want := fmt.Sprintf("%s#%d", tag, i+1); msg.Tag != want {
+			t.Fatalf("round-trip %d echoed %.40q, state not threaded", i, msg.Tag)
+		}
+		if sizes.Wrote == 0 || sizes.Read == 0 {
+			t.Fatalf("round-trip %d sizes = %+v", i, sizes)
+		}
+		payloadOut += sizes.Wrote
+	}
+
+	st := counters.Snapshot()
+	if st.HandshakeBytesWritten == 0 || st.HandshakeBytesRead == 0 {
+		t.Fatalf("handshake bytes not accounted: %+v", st)
+	}
+	steadyOut := st.BytesWritten - st.HandshakeBytesWritten
+	if steadyOut == 0 || steadyOut >= uint64(payloadOut) {
+		t.Fatalf("framed steady-state wrote %d wire bytes for %d payload bytes — no compression", steadyOut, payloadOut)
+	}
+}
+
+func TestFramedStateResetsOnReconnect(t *testing.T) {
+	addr := framedEchoServer(t, 3)
+	counters := NewCounters()
+	var births atomic.Uint64
+	c := New[testMsg](addr, framedOptions(counters, &births))
+	defer c.Close()
+
+	firstOfConn := 0
+	for i := 0; i < 8; i++ {
+		enc := func(state any) ([]byte, error) {
+			st := state.(*connState)
+			st.sent++
+			firstOfConn = st.sent
+			return reqLine(fmt.Sprintf("n%d", st.sent)), nil
+		}
+		msg, _, err := c.RoundTripEnc(context.Background(), enc, 2*time.Second)
+		if err != nil {
+			// The server killed the connection; the next call redials.
+			continue
+		}
+		if msg.Tag != fmt.Sprintf("n%d", firstOfConn) {
+			t.Fatalf("round-trip %d echoed %q, want n%d", i, msg.Tag, firstOfConn)
+		}
+		if firstOfConn > 3 {
+			t.Fatalf("state survived a reconnect: counter reached %d on a kill-after-3 server", firstOfConn)
+		}
+	}
+	if births.Load() < 2 {
+		t.Fatalf("NewState ran %d times across kills, want a fresh state per incarnation", births.Load())
+	}
+	if st := counters.Snapshot(); st.Reconnects == 0 {
+		t.Fatalf("no reconnects recorded: %+v", st)
+	}
+}
+
+func TestPlainHelloPeerStaysUnframed(t *testing.T) {
+	// A peer that answers the hello without the framed mode keeps the
+	// connection plain: Framed/NewState hooks negotiate down.
+	addr := scriptedServer(t, func(conn net.Conn, line int, raw []byte) bool {
+		respond(t, conn, testMsg{Line: uint64(line), Tag: "plain"})
+		return true
+	})
+	opts := framedOptions(NewCounters(), nil)
+	opts.CheckHello = nil // accept any hello reply; mode decides framing
+	opts.NewState = func(m testMsg) any {
+		if m.Mode == "framed" {
+			return &connState{}
+		}
+		return nil
+	}
+	c := New[testMsg](addr, opts)
+	defer c.Close()
+
+	enc := func(state any) ([]byte, error) {
+		if state != nil {
+			return nil, fmt.Errorf("downgraded peer got state %T", state)
+		}
+		return reqLine("x"), nil
+	}
+	msg, _, err := c.RoundTripEnc(context.Background(), enc, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg.Tag != "plain" {
+		t.Fatalf("echoed %q", msg.Tag)
+	}
+}
