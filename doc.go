@@ -207,6 +207,32 @@
 // BENCH_ci.json, and FuzzUnpackRef/FuzzFrameRead smoke the new
 // decoders.
 //
+// Stage one is a fused classification engine. Instead of answering a
+// batch one forest at a time — T sequential goroutine fan-outs, each
+// with its own join barrier — every enrolled forest's flattened node
+// arrays are fused into one contiguous multi-forest arena
+// (ml.ForestSet: shared feature/threshold/left/right arrays with
+// per-forest root ranges) and a single ForestSet.Votes pass answers all
+// types × all samples. Work is tiled into (forest-block × sample-block)
+// units handed out through an atomic cursor to one persistent
+// package-level worker pool, which single-fingerprint Identify rides
+// too; batch inputs are dense row-major ml.SampleMatrix rows filled in
+// place by fingerprint.FixedNInto (with a float32 mirror when the
+// quantized layout is on), vote counts land in a caller-owned []int32,
+// and accepts resolve against precomputed integer vote thresholds into
+// a reusable bitmask — so the steady-state classify path
+// (core.Bank.ClassifyVotes, and the pooled-scratch paths under
+// Identify/IdentifyBatch/ClassifyBatch) allocates nothing per verdict.
+// Verdicts are bit-identical to the per-forest oracle
+// (core.Bank.ClassifyOracle/ClassifyBatchOracle, kept as the reference
+// and benchmark baseline): integer tree votes are scheduling-
+// independent and the threshold comparison is monotone in the count.
+// The shard scatter shares one pooled matrix across local shards,
+// core.Bank/ShardedBank.ClassifyStats surface measured ns/fingerprint,
+// the service experiment re-asserts fused==oracle on its own cluster
+// per run, and BenchmarkFusedClassify (with a 0 allocs/op gate and a
+// benchstat old-vs-new comparison in CI) holds the regression line.
+//
 // Ingestion is a dataplane. internal/dataplane is the worker-per-core
 // capture-to-verdict pipeline that feeds raw frames (a pcap file via
 // dataplane.PcapSource, or an in-memory stream via dataplane.FrameSource)

@@ -165,6 +165,17 @@ type Bank struct {
 	rw    sync.RWMutex
 	types []*typeModel
 	index map[string]*typeModel
+	// fused is the multi-forest arena every stage-one path classifies
+	// through: all enrolled forests in enrolment order, fused into one
+	// contiguous node layout (see ml.ForestSet). Enroll appends the new
+	// forest incrementally; Remove and Restore rebuild. Guarded by rw
+	// alongside types.
+	fused *ml.ForestSet
+	// minVotes[f] is the smallest vote count at which forest f's vote
+	// fraction clears AcceptThreshold — precomputed per forest (tree
+	// counts may differ) so the fused integer votes matrix resolves to
+	// accepts bit-identically to the oracle's float comparison.
+	minVotes []int32
 	// retired holds tombstones of removed types: the classifier is
 	// dropped (the type no longer accepts fingerprints and leaves the
 	// negative pool) but the reference prints stay, so an in-flight
@@ -185,6 +196,12 @@ type Bank struct {
 	// RNG — which is what lets Snapshot/Restore transfer a bank whose
 	// future enrolments stay bit-identical to the incumbent's.
 	enrolls uint64
+
+	// classifyNanos/classifyFPs meter the fused stage-one pass (total
+	// wall nanoseconds and fingerprints classified) for the serving
+	// experiments' ns/fingerprint metric.
+	classifyNanos atomic.Uint64
+	classifyFPs   atomic.Uint64
 }
 
 // identScratch is per-goroutine scratch reused across an identification
@@ -202,6 +219,7 @@ func NewBank(cfg Config) *Bank {
 		cfg:     cfg,
 		index:   make(map[string]*typeModel),
 		retired: make(map[string]*typeModel),
+		fused:   ml.NewForestSet(cfg.Forest.Flat),
 	}
 }
 
@@ -241,6 +259,9 @@ func TrainOrdered(cfg Config, names []string, trainingSet map[string][]*fingerpr
 			return nil, fmt.Errorf("core: training classifier for %q: %w", tm.name, err)
 		}
 		tm.forest = forest
+		if err := b.appendFusedLocked(forest); err != nil {
+			return nil, err
+		}
 	}
 	b.version.Add(uint64(len(b.types)))
 	return b, nil
@@ -282,6 +303,12 @@ func (b *Bank) Enroll(name string, prints []*fingerprint.Fingerprint) error {
 	}
 	tm := b.types[len(b.types)-1]
 	forest, err := b.trainClassifier(tm)
+	if err == nil {
+		// The fused arena grows incrementally: one append rebases the new
+		// forest's nodes onto the shared arrays, never touching (or
+		// re-flattening) the enrolled ones.
+		err = b.appendFusedLocked(forest)
+	}
 	if err != nil {
 		// Roll back the registration (and the consumed training ordinal)
 		// so the bank stays consistent.
@@ -324,6 +351,11 @@ func (b *Bank) Remove(name string) error {
 	tm.forest = nil
 	tm.fixed = nil
 	b.retired[name] = tm
+	// A removal invalidates the fused arena's forest ordering; rebuild
+	// from the surviving types (Reset keeps the backing arrays).
+	if err := b.rebuildFusedLocked(); err != nil {
+		return err
+	}
 	b.version.Add(1)
 	return nil
 }
@@ -443,14 +475,34 @@ func deriveSeed(seed int64, ordinal uint64) int64 {
 
 // Classify runs stage one only: it returns the names of every device-type
 // whose classifier accepts the fixed-size fingerprint, in enrolment
-// order.
+// order. The pass runs through the fused multi-forest arena and is
+// bit-identical to ClassifyOracle, the per-forest reference.
 func (b *Bank) Classify(fixed []float64) []string {
 	b.rw.RLock()
 	defer b.rw.RUnlock()
 	return b.classifyLocked(fixed)
 }
 
+// classifyLocked classifies one fixed-size fingerprint through the
+// fused arena: a pooled one-row sample matrix, the shared worker pool
+// fanning the forest blocks. Callers hold the read lock.
 func (b *Bank) classifyLocked(fixed []float64) []string {
+	scr := classifyScratchPool.Get().(*classifyScratch)
+	scr.m.Reset(1, len(fixed))
+	scr.m.SetRow(0, fixed)
+	accepted := b.classifyMatrixLocked(&scr.m, scr, 0)
+	classifyScratchPool.Put(scr)
+	return accepted[0]
+}
+
+// ClassifyOracle is the per-forest reference implementation of
+// Classify: every enrolled forest predicts on its own, exactly the
+// pre-fusion stage one. It is kept as the bit-equality oracle the fused
+// engine is asserted against (in tests, in the service experiment, and
+// as the benchmark baseline) — not as a serving path.
+func (b *Bank) ClassifyOracle(fixed []float64) []string {
+	b.rw.RLock()
+	defer b.rw.RUnlock()
 	var accepted []string
 	for _, tm := range b.types {
 		if tm.forest.PredictProb(fixed) >= b.cfg.AcceptThreshold {
@@ -458,6 +510,63 @@ func (b *Bank) classifyLocked(fixed []float64) []string {
 		}
 	}
 	return accepted
+}
+
+// minVotesFor returns the smallest integer vote count whose fraction of
+// trees clears the accept threshold — the fused engine's integer form
+// of the oracle's `votes/trees >= threshold` float comparison. The
+// fraction is monotone in the vote count, so `votes >= minVotesFor(..)`
+// is exactly equivalent; a threshold no fraction reaches yields
+// trees+1, which never accepts.
+func minVotesFor(trees int, threshold float64) int32 {
+	for v := 0; v <= trees; v++ {
+		if float64(v)/float64(trees) >= threshold {
+			return int32(v)
+		}
+	}
+	return int32(trees + 1)
+}
+
+// appendFusedLocked fuses one newly trained forest into the serving
+// arena and records its accept threshold in vote counts. Callers hold
+// the write lock (or own the bank exclusively, as Train does).
+func (b *Bank) appendFusedLocked(forest *ml.Forest) error {
+	if err := b.fused.Append(forest); err != nil {
+		return err
+	}
+	b.minVotes = append(b.minVotes, minVotesFor(forest.Trees(), b.cfg.AcceptThreshold))
+	return nil
+}
+
+// rebuildFusedLocked reconstructs the fused arena from the enrolled
+// types (after a removal or restore reordered them), reusing the
+// backing arrays. Callers hold the write lock.
+func (b *Bank) rebuildFusedLocked() error {
+	b.fused.Reset()
+	b.minVotes = b.minVotes[:0]
+	for _, tm := range b.types {
+		if err := b.appendFusedLocked(tm.forest); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ClassifyStats reports the fused stage-one counters: how many
+// fingerprints the bank classified and the total wall nanoseconds the
+// fused passes took. The serving experiments surface the quotient as
+// classify-stage ns/fingerprint.
+type ClassifyStats struct {
+	Fingerprints uint64 `json:"fingerprints"`
+	Nanos        uint64 `json:"nanos"`
+}
+
+// ClassifyStats returns the bank's fused classify counters.
+func (b *Bank) ClassifyStats() ClassifyStats {
+	return ClassifyStats{
+		Fingerprints: b.classifyFPs.Load(),
+		Nanos:        b.classifyNanos.Load(),
+	}
 }
 
 // Identify runs the full two-stage pipeline on a fingerprint.
@@ -469,7 +578,13 @@ func (b *Bank) Identify(f *fingerprint.Fingerprint) Result {
 }
 
 func (b *Bank) identifyLocked(f *fingerprint.Fingerprint, scratch *identScratch) Result {
-	accepted := b.classifyLocked(f.FixedN(b.cfg.FixedPackets))
+	// The fixed-size form fills a pooled one-row matrix in place instead
+	// of allocating a FixedN vector per identification.
+	scr := classifyScratchPool.Get().(*classifyScratch)
+	scr.m.Reset(1, b.cfg.FixedPackets*features.NumFeatures)
+	f.FixedNInto(scr.m.Row(0), b.cfg.FixedPackets)
+	accepted := b.classifyMatrixLocked(&scr.m, scr, 0)[0]
+	classifyScratchPool.Put(scr)
 	return b.resolveLocked(f, accepted, scratch)
 }
 

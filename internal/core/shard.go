@@ -7,7 +7,9 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/features"
 	"repro/internal/fingerprint"
+	"repro/internal/ml"
 )
 
 // Shard is one partition of a logical classifier bank: the view
@@ -72,14 +74,26 @@ type distanceCounter interface {
 	DistanceComputations(candidates []string) int
 }
 
-// fixedClassifier is the optional Shard fast path for in-process
-// shards: they classify a precomputed fixed-size batch, shared across
-// every local shard of a flush, instead of re-deriving F′ per shard.
-// Implementations must use the same FixedPackets as the ShardedBank's
-// Config (local Banks built by NewShardedBank/TrainSharded do).
-type fixedClassifier interface {
-	ClassifyBatchFixed(fixed [][]float64, workers int) [][]string
+// matrixClassifier is the optional Shard fast path for in-process
+// shards: they classify one prepared dense sample matrix, shared
+// (read-only) across every local shard of a flush, instead of
+// re-deriving F′ per shard. Implementations must use the same
+// FixedPackets as the ShardedBank's Config (local Banks built by
+// NewShardedBank/TrainSharded do).
+type matrixClassifier interface {
+	ClassifyMatrix(m *ml.SampleMatrix, workers int) [][]string
 }
+
+// classifyStatser is the optional Shard refinement exposing the fused
+// classify counters; remote shards classify out-of-process and then
+// contribute nothing.
+type classifyStatser interface {
+	ClassifyStats() ClassifyStats
+}
+
+// scatterMatrixPool recycles the sample matrices ShardedBank fills once
+// per flush and shares across its local shards.
+var scatterMatrixPool = sync.Pool{New: func() any { return new(ml.SampleMatrix) }}
 
 // ShardedBank partitions the classifier bank across N independent
 // shards. Each shard is a complete Bank owning a disjoint subset of the
@@ -482,16 +496,23 @@ func (sb *ShardedBank) IdentifyBatch(fps []*fingerprint.Fingerprint, workers int
 	// gets ~workers/shards for its internal sample fan-out, minimum 1)
 	// so the scatter's total goroutine count stays near the requested
 	// budget rather than multiplying by the shard count. Local shards
-	// share one precomputed fixed-size batch (compute it once, not once
-	// per shard — they share the bank's FixedPackets); remote shards
-	// take the full fingerprints, which is what lets them ship the
-	// batch over the packed wire codec and derive F′ on their side.
-	var fixed [][]float64
+	// share one pooled dense sample matrix, filled once per flush
+	// in place (they share the bank's FixedPackets) and read
+	// concurrently by every shard's fused pass; remote shards take the
+	// full fingerprints, which is what lets them ship the batch over
+	// the packed wire codec and derive F′ on their side.
+	var m *ml.SampleMatrix
 	for _, shard := range sb.shards {
-		if _, ok := shard.(fixedClassifier); ok {
-			fixed = make([][]float64, len(fps))
+		if _, ok := shard.(matrixClassifier); ok {
+			m = scatterMatrixPool.Get().(*ml.SampleMatrix)
+			m.Reset(len(fps), sb.cfg.FixedPackets*features.NumFeatures)
 			for i, f := range fps {
-				fixed[i] = f.FixedN(sb.cfg.FixedPackets)
+				f.FixedNInto(m.Row(i), sb.cfg.FixedPackets)
+			}
+			if sb.cfg.Forest.Flat.Quantize {
+				// Concurrent shard passes must only read the shared matrix;
+				// build the quantized mirror before fanning out.
+				m.FillMirror()
 			}
 			break
 		}
@@ -503,14 +524,17 @@ func (sb *ShardedBank) IdentifyBatch(fps []*fingerprint.Fingerprint, workers int
 		wg.Add(1)
 		go func(s int) {
 			defer wg.Done()
-			if fc, ok := sb.shards[s].(fixedClassifier); ok {
-				perShard[s] = fc.ClassifyBatchFixed(fixed, perShardWorkers)
+			if mc, ok := sb.shards[s].(matrixClassifier); ok {
+				perShard[s] = mc.ClassifyMatrix(m, perShardWorkers)
 			} else {
 				perShard[s] = sb.shards[s].ClassifyBatch(fps, perShardWorkers)
 			}
 		}(s)
 	}
 	wg.Wait()
+	if m != nil {
+		scatterMatrixPool.Put(m)
+	}
 
 	// Gather: merge each fingerprint's accept sets in global enrolment
 	// order and collect the multi-accept discrimination tasks.
@@ -680,6 +704,22 @@ func (sb *ShardedBank) DistanceComputations(candidates []string) int {
 	return total
 }
 
+// ClassifyStats sums the fused classify counters across the local
+// shards (remote shards classify out-of-process and contribute zero).
+func (sb *ShardedBank) ClassifyStats() ClassifyStats {
+	var out ClassifyStats
+	for _, shard := range sb.shards {
+		if cs, ok := shard.(classifyStatser); ok {
+			s := cs.ClassifyStats()
+			out.Fingerprints += s.Fingerprints
+			out.Nanos += s.Nanos
+		}
+	}
+	return out
+}
+
 // The in-process Bank is the canonical Shard implementation.
 var _ Shard = (*Bank)(nil)
 var _ distanceCounter = (*Bank)(nil)
+var _ matrixClassifier = (*Bank)(nil)
+var _ classifyStatser = (*Bank)(nil)

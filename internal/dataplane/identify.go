@@ -40,16 +40,20 @@ func RunIdentify(ctx context.Context, cfg Config, src Source, ident BatchIdentif
 	var (
 		verdicts []Verdict
 		pending  []Capture
+		// Flush assembly buffers live across flushes: a long capture run
+		// reuses one macs/fps pair for every batch instead of allocating a
+		// fresh pair per flush.
+		macs []string
+		fps  []*fingerprint.Fingerprint
 	)
 	flush := func() {
 		if len(pending) == 0 {
 			return
 		}
-		macs := make([]string, len(pending))
-		fps := make([]*fingerprint.Fingerprint, len(pending))
-		for i, c := range pending {
-			macs[i] = c.MAC.String()
-			fps[i] = c.Fingerprint
+		macs, fps = macs[:0], fps[:0]
+		for _, c := range pending {
+			macs = append(macs, c.MAC.String())
+			fps = append(fps, c.Fingerprint)
 		}
 		resps, errs := ident.IdentifyBatch(ctx, macs, fps)
 		for i, c := range pending {

@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPaperConfigs pins the paper-protocol constructors to §VI: 20 runs
+// × 10-fold CV repeated 10 times with 100-tree forests for
+// identification, 15 iterations per measured pair for enforcement
+// overhead, and the reduced smoke protocol staying a strict subset.
+func TestPaperConfigs(t *testing.T) {
+	p := PaperIdentConfig()
+	if p.Runs != 20 || p.Folds != 10 || p.Repeats != 10 || p.Trees != 100 || p.NegativeRatio != 10 {
+		t.Errorf("PaperIdentConfig = %+v, want the §VI protocol", p)
+	}
+	q := QuickIdentConfig()
+	if q.Runs >= p.Runs || q.Trees >= p.Trees || q.Repeats >= p.Repeats {
+		t.Errorf("QuickIdentConfig %+v is not a reduced protocol of %+v", q, p)
+	}
+	if e := PaperEnforceConfig(); e.Iterations != 15 {
+		t.Errorf("PaperEnforceConfig iterations = %d, want 15", e.Iterations)
+	}
+}
+
+// TestEqualAccepts covers the accept-list comparison the fused-vs-oracle
+// assertion rests on: order-sensitive, length-sensitive, nil == empty.
+func TestEqualAccepts(t *testing.T) {
+	cases := []struct {
+		a, b []string
+		want bool
+	}{
+		{nil, nil, true},
+		{nil, []string{}, true},
+		{[]string{"a"}, []string{"a"}, true},
+		{[]string{"a"}, []string{"b"}, false},
+		{[]string{"a"}, []string{"a", "b"}, false},
+		{[]string{"a", "b"}, []string{"b", "a"}, false},
+	}
+	for _, c := range cases {
+		if got := equalAccepts(c.a, c.b); got != c.want {
+			t.Errorf("equalAccepts(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// TestAblationSweeps smoke-runs both ablation runners at a single
+// minimal point each: the sweep plumbing (config override per point,
+// label formatting, accuracy capture) is what's under test, not the
+// science — the full sweeps are operator-driven.
+func TestAblationSweeps(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CV sweeps in -short mode")
+	}
+	base := IdentConfig{Runs: 4, Folds: 2, Repeats: 1, Trees: 5, Seed: 3}
+	nr, err := RunAblationNegativeRatio(base, []int{5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nr.Points) != 1 || nr.Points[0].Label != "5n" {
+		t.Fatalf("negative-ratio sweep points = %+v", nr.Points)
+	}
+	fs, err := RunAblationForestSize(base, []int{5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs.Points) != 1 || fs.Points[0].Label != "5 trees" {
+		t.Fatalf("forest-size sweep points = %+v", fs.Points)
+	}
+	for _, p := range []AblationPoint{nr.Points[0], fs.Points[0]} {
+		if p.GlobalAccuracy <= 0 || p.GlobalAccuracy > 1 {
+			t.Errorf("point %q accuracy %v outside (0, 1]", p.Label, p.GlobalAccuracy)
+		}
+	}
+}
+
+// TestResultAccessorEdges covers the zero-denominator accessor branches
+// and the metrics JSON rendering.
+func TestResultAccessorEdges(t *testing.T) {
+	r := &IdentResult{Tested: map[string]int{}, Correct: map[string]int{}}
+	if got := r.Accuracy("ghost"); got != 0 {
+		t.Errorf("Accuracy(ghost) = %v, want 0", got)
+	}
+	if got := (PairLatency{}).OverheadPct(); got != 0 {
+		t.Errorf("OverheadPct with no baseline = %v, want 0", got)
+	}
+	m := &MetricsSnapshot{ClassifyNsPerFP: 42}
+	if s := m.JSON(); !strings.Contains(s, "classify_ns_per_fp") {
+		t.Errorf("metrics JSON missing classify_ns_per_fp: %s", s)
+	}
+}

@@ -3,6 +3,7 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -12,6 +13,7 @@ import (
 	"repro/internal/controlplane"
 	"repro/internal/core"
 	"repro/internal/devices"
+	"repro/internal/features"
 	"repro/internal/fingerprint"
 	"repro/internal/gateway"
 	"repro/internal/iotssp"
@@ -265,6 +267,75 @@ func runBaselinePhase(addr string, w *serviceWorkload, gateways int) (time.Durat
 	return elapsed, nil
 }
 
+// assertFusedOracle checks the fused stage-one verdicts against the
+// per-forest oracle on the serving cluster's own local shards for every
+// probe the run will replay — the bit-identity the unit tests hold is
+// re-asserted on the deployment-shaped bank, per run.
+func assertFusedOracle(sb *core.ShardedBank, probes []*fingerprint.Fingerprint) error {
+	for s := 0; s < sb.Shards(); s++ {
+		bank, ok := sb.Shard(s).(*core.Bank)
+		if !ok {
+			continue
+		}
+		for i, fp := range probes {
+			fixed := fp.FixedN(fingerprint.FixedPackets)
+			fused := bank.Classify(fixed)
+			oracle := bank.ClassifyOracle(fixed)
+			if !equalAccepts(fused, oracle) {
+				return fmt.Errorf("experiments: fused classify diverged from per-forest oracle on probe %d, shard %d: fused %v, oracle %v", i, s, fused, oracle)
+			}
+		}
+	}
+	return nil
+}
+
+func equalAccepts(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// measureClassifyAllocs measures the fused ClassifyVotes kernel's
+// steady-state heap allocation rate on one local shard: repeated passes
+// over a prepared sample matrix with reused votes/accepts buffers,
+// Mallocs delta divided by fingerprints classified. The first
+// (unmeasured) pass sizes the reusable buffers, so the measurement sees
+// only the steady state the engine promises is allocation-free.
+func measureClassifyAllocs(sb *core.ShardedBank, probes []*fingerprint.Fingerprint) float64 {
+	var bank *core.Bank
+	for s := 0; s < sb.Shards(); s++ {
+		if b, ok := sb.Shard(s).(*core.Bank); ok {
+			bank = b
+			break
+		}
+	}
+	if bank == nil || len(probes) == 0 {
+		return 0
+	}
+	var m ml.SampleMatrix
+	m.Reset(len(probes), fingerprint.FixedPackets*features.NumFeatures)
+	for i, fp := range probes {
+		fp.FixedNInto(m.Row(i), fingerprint.FixedPackets)
+	}
+	var votes []int32
+	var accepts core.AcceptMask
+	bank.ClassifyVotes(&m, &votes, &accepts, 0)
+	const rounds = 16
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for r := 0; r < rounds; r++ {
+		bank.ClassifyVotes(&m, &votes, &accepts, 0)
+	}
+	runtime.ReadMemStats(&after)
+	return float64(after.Mallocs-before.Mallocs) / float64(rounds*len(probes))
+}
+
 // serviceTopology is the load experiment's trivial topology: one local
 // partition owning every type, served by one frontend.
 func serviceTopology(train map[string][]*fingerprint.Fingerprint) controlplane.Topology {
@@ -341,7 +412,15 @@ func RunService(cfg ServiceConfig) (*ServiceResult, error) {
 	defer cl.Close()
 	addr := cl.Addr()
 
+	if err := assertFusedOracle(cl.Bank(), w.probes); err != nil {
+		return nil, err
+	}
+
 	// Warm the verdict cache: one pass over the distinct probe models.
+	// The fused classify counters start here, not at the timed phase —
+	// once the cache is warm the steady state serves hits, so the warm
+	// pass is where the fused passes actually run.
+	csBefore := cl.Bank().ClassifyStats()
 	warm := gateway.NewPool(addr, gateway.PoolConfig{Conns: cfg.ConnsPerGateway, Seed: cfg.Seed})
 	for i, fp := range w.probes {
 		if _, err := warm.Identify(context.Background(), fmt.Sprintf("02:f0:00:00:00:%02x", i), fp); err != nil {
@@ -356,6 +435,7 @@ func RunService(cfg ServiceConfig) (*ServiceResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	csAfter := cl.Bank().ClassifyStats()
 	res.ServicePerSec = float64(cfg.Requests) / elapsed.Seconds()
 	res.Speedup = res.ServicePerSec / res.BaselinePerSec
 
@@ -364,6 +444,10 @@ func RunService(cfg ServiceConfig) (*ServiceResult, error) {
 	for _, ps := range poolStats {
 		res.Metrics.Components = append(res.Metrics.Components, ps.Snapshot())
 	}
+	if d := csAfter.Fingerprints - csBefore.Fingerprints; d > 0 {
+		res.Metrics.ClassifyNsPerFP = float64(csAfter.Nanos-csBefore.Nanos) / float64(d)
+	}
+	res.Metrics.ClassifyAllocsPerVerdict = measureClassifyAllocs(cl.Bank(), w.probes)
 	c := res.Stats.Cache
 	warmed := warmStats.Cache
 	served := (c.Hits + c.Shared) - (warmed.Hits + warmed.Shared)
@@ -392,6 +476,12 @@ func (r *ServiceResult) RenderService() string {
 		100*r.CacheHitRate, r.P50, r.P99)
 	fmt.Fprintf(&sb, "dispatcher: %d batches, mean %.1f, max %d; overloaded %d, malformed %d\n",
 		r.Stats.Batches, r.Stats.MeanBatch(), r.Stats.MaxBatch, r.Stats.Overloaded, r.Stats.Malformed)
+	// ClassifyNsPerFP > 0 means the fused engine actually ran this run;
+	// the alloc figure prints alongside even when it is the ideal 0.
+	if r.Metrics != nil && r.Metrics.ClassifyNsPerFP > 0 {
+		fmt.Fprintf(&sb, "fused classify: %.0f ns/fingerprint, %.3f allocs/verdict (verdicts == per-forest oracle)\n",
+			r.Metrics.ClassifyNsPerFP, r.Metrics.ClassifyAllocsPerVerdict)
+	}
 	if r.Metrics != nil {
 		fmt.Fprintf(&sb, "metrics: %s\n", r.Metrics.JSON())
 	}

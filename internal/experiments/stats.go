@@ -38,6 +38,15 @@ type MetricsSnapshot struct {
 	// DictHitRate is the v4 fingerprint dictionaries' hit rate across
 	// the same transports (0 when no dictionary traffic ran).
 	DictHitRate float64 `json:"dict_hit_rate,omitempty"`
+	// ClassifyNsPerFP is the fused stage-one cost the local shards
+	// measured during the timed run: total ml.ForestSet pass nanoseconds
+	// divided by fingerprints classified (0 when the run classified
+	// nothing locally, e.g. every verdict came from the cache).
+	ClassifyNsPerFP float64 `json:"classify_ns_per_fp,omitempty"`
+	// ClassifyAllocsPerVerdict is the measured steady-state heap
+	// allocation rate of the fused ClassifyVotes kernel, in allocations
+	// per fingerprint — 0 on the allocation-free hot path.
+	ClassifyAllocsPerVerdict float64 `json:"classify_allocs_per_verdict,omitempty"`
 }
 
 // ComputeBytesPerVerdict folds the shard-plane transports' byte

@@ -106,15 +106,53 @@ func (f *Fingerprint) Fixed() []float64 { return f.FixedN(FixedPackets) }
 // after preliminary analysis; FixedN supports the ablation that revisits
 // that trade-off.
 func (f *Fingerprint) FixedN(n int) []float64 {
-	total := n * features.NumFeatures
-	out := make([]float64, 0, total)
-	for _, v := range f.UniquePrefix(n) {
-		out = v.Floats(out)
-	}
-	for len(out) < total {
-		out = append(out, 0)
-	}
+	out := make([]float64, n*features.NumFeatures)
+	f.FixedNInto(out, n)
 	return out
+}
+
+// fixedSeenInline bounds the stack-resident dedup window of FixedNInto:
+// prefixes up to this many unique vectors (every paper-sized F′ — n is
+// 12 there) dedup by linear scan over a stack array instead of a heap
+// map, so the batch fill paths allocate nothing per fingerprint.
+const fixedSeenInline = 32
+
+// FixedNInto computes FixedN in place: dst, which must have length
+// n·23, receives the first n unique vectors of F flattened in order and
+// is zero-padded past them. The dedup is allocation-free for n up to
+// fixedSeenInline; the identification hot paths reuse one arena row per
+// sample across calls. Element values are exact int32→float64
+// conversions, identical to FixedN's.
+func (f *Fingerprint) FixedNInto(dst []float64, n int) {
+	if n <= 0 {
+		return
+	}
+	dst = dst[:n*features.NumFeatures]
+	var seenBuf [fixedSeenInline]features.Vector
+	seen := seenBuf[:0]
+	if n > len(seenBuf) {
+		seen = make([]features.Vector, 0, n)
+	}
+	w := 0
+outer:
+	for _, v := range f.vectors {
+		for _, u := range seen {
+			if u == v {
+				continue outer
+			}
+		}
+		seen = append(seen, v)
+		for _, e := range v {
+			dst[w] = float64(e)
+			w++
+		}
+		if len(seen) == n {
+			break
+		}
+	}
+	for ; w < len(dst); w++ {
+		dst[w] = 0
+	}
 }
 
 // String summarizes the fingerprint for logs.

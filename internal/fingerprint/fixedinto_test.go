@@ -1,0 +1,79 @@
+package fingerprint
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/features"
+)
+
+// randomPrint builds a fingerprint of nvec vectors with repeats mixed
+// in, so the unique-prefix dedup has real work to do.
+func randomPrint(rng *rand.Rand, nvec int) *Fingerprint {
+	vs := make([]features.Vector, nvec)
+	for i := range vs {
+		vs[i] = vec(int32(rng.Intn(nvec/2 + 1)))
+		vs[i][features.DstIPCounter] = int32(rng.Intn(3))
+	}
+	return FromVectors(vs)
+}
+
+// TestFixedNIntoMatchesFixedN holds the in-place fill to the allocating
+// form across fingerprint lengths and n, including n past the inline
+// dedup buffer (the heap-slice fallback) and n larger than the
+// fingerprint (zero padding).
+func TestFixedNIntoMatchesFixedN(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for _, nvec := range []int{0, 1, 5, 40, 90} {
+		f := randomPrint(rng, nvec)
+		for _, n := range []int{1, 3, FixedPackets, fixedSeenInline, fixedSeenInline + 1, 48} {
+			want := f.FixedN(n)
+			// Poison the destination: the fill must overwrite every cell.
+			got := make([]float64, n*features.NumFeatures)
+			for i := range got {
+				got[i] = -1
+			}
+			f.FixedNInto(got, n)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("nvec=%d n=%d: cell %d = %v, FixedN %v", nvec, n, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestFixedNIntoDegenerate covers n <= 0 (no-op) and an oversized dst
+// (only the n*NumFeatures prefix is written).
+func TestFixedNIntoDegenerate(t *testing.T) {
+	f := FromVectors([]features.Vector{vec(1), vec(2)})
+	dst := []float64{7, 7, 7}
+	f.FixedNInto(dst, 0)
+	f.FixedNInto(dst, -1)
+	for i, v := range dst {
+		if v != 7 {
+			t.Fatalf("n<=0 wrote dst[%d] = %v", i, v)
+		}
+	}
+	big := make([]float64, 2*features.NumFeatures+5)
+	for i := range big {
+		big[i] = 7
+	}
+	f.FixedNInto(big, 2)
+	for i := 2 * features.NumFeatures; i < len(big); i++ {
+		if big[i] != 7 {
+			t.Fatalf("FixedNInto wrote past the n-packet prefix at %d", i)
+		}
+	}
+}
+
+// TestFixedNIntoZeroAlloc pins the point of the in-place form for every
+// n the serving paths use (n within the inline dedup buffer).
+func TestFixedNIntoZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	f := randomPrint(rng, 40)
+	dst := make([]float64, FixedPackets*features.NumFeatures)
+	if n := testing.AllocsPerRun(20, func() { f.FixedNInto(dst, FixedPackets) }); n != 0 {
+		t.Errorf("%v allocs per FixedNInto, want 0", n)
+	}
+}

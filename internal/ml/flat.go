@@ -224,10 +224,13 @@ func (f *flatForest) votes(x []float64) int {
 // fanning across goroutines; below it the spawn cost dominates.
 const minParallel = 8
 
-// votesParallel counts positive votes for one sample with the trees
-// partitioned across workers. Per-chunk vote counts are integers summed
-// after all workers join, so the result is bit-identical to the
-// sequential count regardless of scheduling.
+// votesParallel counts positive votes for one sample with the tree
+// chunks handed out to the package's persistent worker pool (the
+// submitter participates, so a saturated pool degrades to the
+// sequential count instead of blocking). Per-chunk vote counts are
+// integers accumulated atomically, so the result is bit-identical to
+// the sequential count regardless of scheduling — and the pooled job
+// struct means a single-fingerprint Identify allocates nothing here.
 func (f *flatForest) votesParallel(x []float64, workers int) int {
 	n := len(f.roots)
 	if workers > n {
@@ -237,28 +240,18 @@ func (f *flatForest) votesParallel(x []float64, workers int) int {
 		return f.votes(x)
 	}
 	chunk := (n + workers - 1) / workers
-	// ceil(n/workers) chunks of size chunk can over-cover n, so the
-	// number of chunks actually spawned — not workers — sizes partial
-	// and bounds the loop (w*chunk could otherwise pass n).
 	nchunks := (n + chunk - 1) / chunk
-	partial := make([]int, nchunks)
-	var wg sync.WaitGroup
-	for w, lo := 0, 0; lo < n; w, lo = w+1, lo+chunk {
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			partial[w] = f.votesRange(x, lo, hi)
-		}(w, lo, hi)
-	}
-	wg.Wait()
-	votes := 0
-	for _, v := range partial {
-		votes += v
-	}
+	j := treeVoteJobPool.Get().(*treeVoteJob)
+	j.f, j.x = f, x
+	j.chunk, j.n = chunk, n
+	j.cursor.Store(0)
+	j.total.Store(0)
+	classifyPool.fanOut(j, &j.wg, nchunks-1)
+	j.run()
+	j.wg.Wait()
+	votes := int(j.total.Load())
+	j.f, j.x = nil, nil
+	treeVoteJobPool.Put(j)
 	return votes
 }
 

@@ -1,0 +1,238 @@
+package ml
+
+import "fmt"
+
+// Tile geometry of the fused classify pass. A sample block bounds how
+// many rows stream through one forest block before its nodes are
+// re-fetched; a forest block groups consecutive forests to at least
+// treeBlockTrees trees so a tile amortizes cursor traffic while its
+// node arrays stay cache-resident (≈128 trees of paper-sized forests
+// fit comfortably in L2 alongside a 64-row sample block).
+const (
+	sampleBlock    = 64
+	treeBlockTrees = 128
+)
+
+// fblock is one forest block: the consecutive forest range [f0, f1).
+type fblock struct {
+	f0, f1 int32
+}
+
+// ForestSet fuses many trained forests into one contiguous multi-forest
+// arena: the per-forest struct-of-arrays layouts concatenated into
+// shared feature/threshold/left/right arrays, with roots grouped by
+// forest and rootOff[f] delimiting forest f's root range. One Votes
+// pass then answers all forests × all samples with a single worker
+// fan-out instead of one goroutine spawn + join barrier per forest.
+//
+// A ForestSet is built empty (NewForestSet), grows by Append — the
+// incremental path an enrolment takes — and rebuilds from scratch via
+// Reset + Appends when a forest leaves the set. Mutation and reads must
+// be externally synchronized (core.Bank holds its write lock across
+// Append/Reset and its read lock across Votes); concurrent Votes calls
+// are safe with each other.
+type ForestSet struct {
+	quantize bool
+
+	feature     []int32
+	threshold   []float64
+	threshold32 []float32
+	left        []int32
+	right       []int32
+
+	roots   []int32
+	rootOff []int32
+	blocks  []fblock
+}
+
+// NewForestSet creates an empty arena. cfg.Quantize selects which
+// threshold array the arena populates; appended forests must have been
+// flattened under the same setting. cfg.MaxLeaves needs no handling
+// here — each forest's flat layout already applied its cap.
+func NewForestSet(cfg FlatConfig) *ForestSet {
+	return &ForestSet{quantize: cfg.Quantize, rootOff: []int32{0}}
+}
+
+// Forests returns the number of fused forests.
+func (fs *ForestSet) Forests() int { return len(fs.rootOff) - 1 }
+
+// TreesOf returns forest f's tree count (forests may be ragged).
+func (fs *ForestSet) TreesOf(f int) int {
+	return int(fs.rootOff[f+1] - fs.rootOff[f])
+}
+
+// Reset empties the arena, keeping the backing arrays for reuse.
+func (fs *ForestSet) Reset() {
+	fs.feature = fs.feature[:0]
+	fs.threshold = fs.threshold[:0]
+	fs.threshold32 = fs.threshold32[:0]
+	fs.left = fs.left[:0]
+	fs.right = fs.right[:0]
+	fs.roots = fs.roots[:0]
+	fs.rootOff = append(fs.rootOff[:0], 0)
+	fs.blocks = fs.blocks[:0]
+}
+
+// Append fuses one more trained forest into the arena, rebasing its
+// node indices onto the shared arrays. The forest must use the same
+// flat layout precision the set was created with.
+func (fs *ForestSet) Append(f *Forest) error {
+	fl := f.flat
+	if fs.quantize != (fl.threshold32 != nil) {
+		return fmt.Errorf("ml: appending a forest with a mismatched flat layout (set quantize=%v)", fs.quantize)
+	}
+	base := int32(len(fs.feature))
+	fs.feature = append(fs.feature, fl.feature...)
+	if fs.quantize {
+		fs.threshold32 = append(fs.threshold32, fl.threshold32...)
+	} else {
+		fs.threshold = append(fs.threshold, fl.threshold...)
+	}
+	for _, v := range fl.left {
+		fs.left = append(fs.left, v+base)
+	}
+	for _, v := range fl.right {
+		fs.right = append(fs.right, v+base)
+	}
+	for _, r := range fl.roots {
+		fs.roots = append(fs.roots, r+base)
+	}
+	fs.rootOff = append(fs.rootOff, int32(len(fs.roots)))
+	fs.rebuildBlocks()
+	return nil
+}
+
+// rebuildBlocks repartitions the forests into tree blocks of at least
+// treeBlockTrees trees (the last block takes the remainder).
+func (fs *ForestSet) rebuildBlocks() {
+	fs.blocks = fs.blocks[:0]
+	F := fs.Forests()
+	start, trees := 0, 0
+	for f := 0; f < F; f++ {
+		trees += fs.TreesOf(f)
+		if trees >= treeBlockTrees {
+			fs.blocks = append(fs.blocks, fblock{int32(start), int32(f + 1)})
+			start, trees = f+1, 0
+		}
+	}
+	if start < F {
+		fs.blocks = append(fs.blocks, fblock{int32(start), int32(F)})
+	}
+}
+
+// Bytes returns the arena's byte footprint (the quantity tree blocks
+// are sized against).
+func (fs *ForestSet) Bytes() int {
+	n := len(fs.feature)
+	b := n*4*3 + len(fs.roots)*4 + len(fs.rootOff)*4
+	if fs.quantize {
+		return b + n*4
+	}
+	return b + n*8
+}
+
+// Votes runs the fused classify pass: votes[s*F+f] receives forest f's
+// positive vote count on sample s, for every enrolled forest and every
+// matrix row. len(votes) must be at least Rows()*Forests(). Work is
+// tiled into (forest block × sample block) units handed out through an
+// atomic cursor to the package's persistent worker pool; vote counts
+// are integers written by exactly one worker each, so the matrix is
+// bit-identical to a sequential per-forest pass for any worker count
+// (<= 0 selects GOMAXPROCS). Steady state allocates nothing: the job
+// struct is pooled and the caller owns votes and the matrix.
+func (fs *ForestSet) Votes(m *SampleMatrix, votes []int32, workers int) {
+	F := fs.Forests()
+	rows := m.rows
+	need := rows * F
+	for i := range votes[:need] {
+		votes[i] = 0
+	}
+	if F == 0 || rows == 0 {
+		return
+	}
+	if fs.quantize {
+		// Build the mirror before fanning out so workers only read it.
+		m.mirror()
+	}
+	nSB := (rows + sampleBlock - 1) / sampleBlock
+	tiles := len(fs.blocks) * nSB
+	workers = defaultWorkers(workers)
+	if workers > tiles {
+		workers = tiles
+	}
+	if workers <= 1 {
+		for _, fb := range fs.blocks {
+			fs.tileVotes(m, votes, fb, 0, rows)
+		}
+		return
+	}
+	j := voteJobPool.Get().(*voteJob)
+	j.fs, j.m, j.votes = fs, m, votes
+	j.nSB, j.tiles = nSB, tiles
+	j.cursor.Store(0)
+	classifyPool.fanOut(j, &j.wg, workers-1)
+	j.run()
+	j.wg.Wait()
+	j.fs, j.m, j.votes = nil, nil, nil
+	voteJobPool.Put(j)
+}
+
+// tileVotes accumulates one forest block's votes over sample rows
+// [s0, s1). The loop order is forest → tree → sample: a tree's node
+// path stays hot while the sample block streams through it.
+func (fs *ForestSet) tileVotes(m *SampleMatrix, votes []int32, fb fblock, s0, s1 int) {
+	if fs.quantize {
+		fs.tileVotes32(m, votes, fb, s0, s1)
+		return
+	}
+	F := fs.Forests()
+	dim := m.dim
+	data := m.data
+	for f := fb.f0; f < fb.f1; f++ {
+		col := int(f)
+		for _, root := range fs.roots[fs.rootOff[f]:fs.rootOff[f+1]] {
+			for s := s0; s < s1; s++ {
+				x := data[s*dim : (s+1)*dim]
+				i := root
+				for fs.feature[i] >= 0 {
+					if x[fs.feature[i]] <= fs.threshold[i] {
+						i = fs.left[i]
+					} else {
+						i = fs.right[i]
+					}
+				}
+				if fs.threshold[i] >= 0.5 {
+					votes[s*F+col]++
+				}
+			}
+		}
+	}
+}
+
+// tileVotes32 is tileVotes over the quantized layout, traversing the
+// float32 mirror so every comparison runs in single precision exactly
+// as flatForest.votesRange32 does.
+func (fs *ForestSet) tileVotes32(m *SampleMatrix, votes []int32, fb fblock, s0, s1 int) {
+	F := fs.Forests()
+	dim := m.dim
+	data := m.data32
+	for f := fb.f0; f < fb.f1; f++ {
+		col := int(f)
+		for _, root := range fs.roots[fs.rootOff[f]:fs.rootOff[f+1]] {
+			for s := s0; s < s1; s++ {
+				x := data[s*dim : (s+1)*dim]
+				i := root
+				for fs.feature[i] >= 0 {
+					if x[fs.feature[i]] <= fs.threshold32[i] {
+						i = fs.left[i]
+					} else {
+						i = fs.right[i]
+					}
+				}
+				if fs.threshold32[i] >= 0.5 {
+					votes[s*F+col]++
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,200 @@
+package ml
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+)
+
+// raggedForests trains a deliberately ragged bank of forests (tree
+// counts straddling the treeBlockTrees grouping threshold) under one
+// flat layout.
+func raggedForests(t *testing.T, cfg FlatConfig) []*Forest {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	sizes := []int{3, 17, 1, 60, 131, 9}
+	forests := make([]*Forest, 0, len(sizes))
+	for i, trees := range sizes {
+		ds := xorDataset(160, rng)
+		if i%2 == 1 {
+			ds = linearDataset(160, rng)
+		}
+		f, err := NewForest(ds, ForestConfig{Trees: trees, Seed: int64(100 + i), Flat: cfg})
+		if err != nil {
+			t.Fatalf("NewForest: %v", err)
+		}
+		forests = append(forests, f)
+	}
+	return forests
+}
+
+// probeMatrix fills a SampleMatrix with deterministic 2-feature probes
+// spanning the datasets' domain and returns the per-row slices for the
+// per-forest oracle.
+func probeMatrix(m *SampleMatrix, rows int) [][]float64 {
+	m.Reset(rows, 2)
+	rng := rand.New(rand.NewSource(42))
+	xs := make([][]float64, rows)
+	for s := 0; s < rows; s++ {
+		m.SetRow(s, []float64{rng.Float64() * 1.1, rng.Float64() * 1.1})
+		xs[s] = append([]float64(nil), m.Row(s)...)
+	}
+	return xs
+}
+
+// TestForestSetMatchesPerForest is the fused engine's bit-equality
+// property test: across layout precision, leaf caps, ragged tree counts,
+// batch sizes straddling the sample-block size and every worker count up
+// to twice GOMAXPROCS, ForestSet.Votes must equal each forest's own
+// sequential flat-layout vote count on every sample.
+func TestForestSetMatchesPerForest(t *testing.T) {
+	layouts := []FlatConfig{
+		{},
+		{Quantize: true},
+		{MaxLeaves: 8},
+		{Quantize: true, MaxLeaves: 8},
+	}
+	for _, cfg := range layouts {
+		forests := raggedForests(t, cfg)
+		fs := NewForestSet(cfg)
+		for _, f := range forests {
+			if err := fs.Append(f); err != nil {
+				t.Fatalf("Append(quantize=%v): %v", cfg.Quantize, err)
+			}
+		}
+		if fs.Forests() != len(forests) {
+			t.Fatalf("Forests() = %d, want %d", fs.Forests(), len(forests))
+		}
+		for i, f := range forests {
+			if fs.TreesOf(i) != f.Trees() {
+				t.Fatalf("TreesOf(%d) = %d, want %d", i, fs.TreesOf(i), f.Trees())
+			}
+		}
+		for _, rows := range []int{1, 5, sampleBlock, sampleBlock + 13} {
+			var m SampleMatrix
+			xs := probeMatrix(&m, rows)
+			want := make([]int32, rows*len(forests))
+			for s, x := range xs {
+				for fi, f := range forests {
+					want[s*len(forests)+fi] = int32(f.flat.votes(x))
+				}
+			}
+			votes := make([]int32, len(want))
+			for workers := 1; workers <= 2*runtime.GOMAXPROCS(0); workers++ {
+				for i := range votes {
+					votes[i] = -1 // Votes must overwrite every cell.
+				}
+				fs.Votes(&m, votes, workers)
+				for i := range want {
+					if votes[i] != want[i] {
+						t.Fatalf("quantize=%v maxLeaves=%d rows=%d workers=%d: votes[%d] = %d, oracle %d",
+							cfg.Quantize, cfg.MaxLeaves, rows, workers, i, votes[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestForestSetAppendMatchesRebuild holds the incremental enrolment
+// path to the rebuild path: appending forests one at a time (with
+// classify passes interleaved, as live enrolment does) yields the same
+// vote matrix as a Reset + full re-append.
+func TestForestSetAppendMatchesRebuild(t *testing.T) {
+	cfg := FlatConfig{Quantize: true}
+	forests := raggedForests(t, cfg)
+	var m SampleMatrix
+	probeMatrix(&m, 33)
+
+	incr := NewForestSet(cfg)
+	scratch := make([]int32, m.Rows()*len(forests))
+	for _, f := range forests {
+		if err := incr.Append(f); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+		incr.Votes(&m, scratch[:m.Rows()*incr.Forests()], 3)
+	}
+
+	rebuilt := NewForestSet(cfg)
+	rebuilt.Reset() // Reset on empty is a no-op; exercise it anyway.
+	for _, f := range forests {
+		if err := rebuilt.Append(f); err != nil {
+			t.Fatalf("Append after Reset: %v", err)
+		}
+	}
+
+	a := make([]int32, m.Rows()*incr.Forests())
+	b := make([]int32, m.Rows()*rebuilt.Forests())
+	incr.Votes(&m, a, 0)
+	rebuilt.Votes(&m, b, 1)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("incremental vs rebuilt diverge at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	if incr.Bytes() != rebuilt.Bytes() {
+		t.Fatalf("Bytes: incremental %d, rebuilt %d", incr.Bytes(), rebuilt.Bytes())
+	}
+}
+
+// TestForestSetAppendLayoutMismatch rejects fusing a forest flattened
+// under the other precision.
+func TestForestSetAppendLayoutMismatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	f, err := NewForest(linearDataset(80, rng), ForestConfig{Trees: 5, Seed: 2, Flat: FlatConfig{Quantize: true}})
+	if err != nil {
+		t.Fatalf("NewForest: %v", err)
+	}
+	if err := NewForestSet(FlatConfig{}).Append(f); err == nil {
+		t.Fatal("appending a quantized forest to a float64 set succeeded")
+	}
+}
+
+// TestForestSetVotesZeroAlloc pins the tentpole's allocation contract:
+// after one warm-up pass (which sizes the float32 mirror and spins up
+// the worker pool), a fused classify allocates nothing — sequential or
+// fanned out.
+func TestForestSetVotesZeroAlloc(t *testing.T) {
+	for _, cfg := range []FlatConfig{{}, {Quantize: true}} {
+		forests := raggedForests(t, cfg)
+		fs := NewForestSet(cfg)
+		for _, f := range forests {
+			if err := fs.Append(f); err != nil {
+				t.Fatalf("Append: %v", err)
+			}
+		}
+		var m SampleMatrix
+		probeMatrix(&m, 70)
+		votes := make([]int32, m.Rows()*fs.Forests())
+		for _, workers := range []int{1, runtime.GOMAXPROCS(0) + 1} {
+			fs.Votes(&m, votes, workers) // warm pool, job cache, mirror
+			if n := testing.AllocsPerRun(20, func() { fs.Votes(&m, votes, workers) }); n != 0 {
+				t.Errorf("quantize=%v workers=%d: %v allocs per Votes, want 0", cfg.Quantize, workers, n)
+			}
+		}
+	}
+}
+
+// TestForestSetEmpty covers the degenerate shapes: an empty arena and a
+// zero-row matrix both return without touching votes beyond the zeroed
+// prefix.
+func TestForestSetEmpty(t *testing.T) {
+	fs := NewForestSet(FlatConfig{})
+	var m SampleMatrix
+	probeMatrix(&m, 4)
+	fs.Votes(&m, nil, 8) // no forests: must not panic
+	if fs.Forests() != 0 {
+		t.Fatalf("Forests() = %d, want 0", fs.Forests())
+	}
+
+	rng := rand.New(rand.NewSource(6))
+	f, err := NewForest(linearDataset(80, rng), ForestConfig{Trees: 5, Seed: 3})
+	if err != nil {
+		t.Fatalf("NewForest: %v", err)
+	}
+	if err := fs.Append(f); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	m.Reset(0, 2)
+	fs.Votes(&m, nil, 8) // no rows: must not panic
+}

@@ -1,0 +1,67 @@
+package ml
+
+import "testing"
+
+// TestSampleMatrixShape covers the dense-matrix surface directly: shape
+// accessors, the SetRow zero-pad branch, and mirror invalidation across
+// Reset (the contract the quantized classify pass and the shard scatter
+// depend on).
+func TestSampleMatrixShape(t *testing.T) {
+	var m SampleMatrix
+	m.Reset(3, 4)
+	if m.Rows() != 3 || m.Dim() != 4 {
+		t.Fatalf("shape = %dx%d, want 3x4", m.Rows(), m.Dim())
+	}
+	m.SetRow(0, []float64{1, 2}) // shorter than dim: must zero-pad
+	m.SetRow(1, []float64{5, 6, 7, 8})
+	m.SetRow(2, []float64{9, 10, 11, 12})
+	if got := m.Row(0); got[0] != 1 || got[1] != 2 || got[2] != 0 || got[3] != 0 {
+		t.Fatalf("padded row = %v, want [1 2 0 0]", got)
+	}
+
+	// The eager mirror must equal the per-element float32 conversion.
+	m.FillMirror()
+	m32 := m.mirror()
+	if len(m32) != 12 {
+		t.Fatalf("mirror length = %d, want 12", len(m32))
+	}
+	for i, v := range m.data {
+		if m32[i] != float32(v) {
+			t.Fatalf("mirror[%d] = %v, want %v", i, m32[i], float32(v))
+		}
+	}
+
+	// Reset reuses backing arrays and invalidates the mirror: a stale
+	// mirror surviving a shrink would feed the next classify old rows.
+	m.Reset(1, 4)
+	m.SetRow(0, []float64{42, 43, 44, 45})
+	m32 = m.mirror()
+	if len(m32) != 4 || m32[0] != 42 || m32[3] != 45 {
+		t.Fatalf("post-Reset mirror = %v, want [42 43 44 45]", m32)
+	}
+}
+
+// TestForestSetBytesQuantized pins the footprint accounting both ways:
+// the quantized arena stores float32 thresholds, so at equal tree
+// structure it must report strictly fewer bytes than the float64 form.
+func TestForestSetBytesQuantized(t *testing.T) {
+	plain := NewForestSet(FlatConfig{})
+	quant := NewForestSet(FlatConfig{Quantize: true})
+	for _, f := range raggedForests(t, FlatConfig{}) {
+		if err := plain.Append(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, f := range raggedForests(t, FlatConfig{Quantize: true}) {
+		if err := quant.Append(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pb, qb := plain.Bytes(), quant.Bytes()
+	if pb <= 0 || qb <= 0 {
+		t.Fatalf("Bytes: plain %d, quantized %d, want both positive", pb, qb)
+	}
+	if qb >= pb {
+		t.Fatalf("quantized arena %d B not smaller than float64 arena %d B", qb, pb)
+	}
+}
